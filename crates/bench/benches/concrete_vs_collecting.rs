@@ -1,0 +1,22 @@
+//! E1 — the concrete interpreter versus the fresh-address concrete
+//! collecting semantics obtained from the same monadic `mnext`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mai_cps::programs::identity_application;
+use mai_cps::{analyse_concrete_collecting, interpret_with_limit};
+
+fn concrete_vs_collecting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("concrete_vs_collecting");
+    group.sample_size(10);
+    let program = identity_application();
+    group.bench_function("concrete-interpreter", |b| {
+        b.iter(|| interpret_with_limit(&program, 10_000))
+    });
+    group.bench_function("concrete-collecting-semantics", |b| {
+        b.iter(|| analyse_concrete_collecting(&program, 64))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, concrete_vs_collecting);
+criterion_main!(benches);

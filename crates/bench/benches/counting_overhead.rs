@@ -1,0 +1,26 @@
+//! E4 — the cost of abstract counting: plain store vs. counting store with
+//! the same semantics and contexts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mai_cps::analysis::{analyse_kcfa_shared, analyse_kcfa_with_count};
+use mai_cps::programs::{fan_out, identity_application};
+
+fn counting_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counting_overhead");
+    group.sample_size(10);
+    for (name, program) in [
+        ("identity", identity_application()),
+        ("fan-out-5", fan_out(5)),
+    ] {
+        group.bench_with_input(BenchmarkId::new("plain", name), &program, |b, p| {
+            b.iter(|| analyse_kcfa_shared::<1>(p))
+        });
+        group.bench_with_input(BenchmarkId::new("counting", name), &program, |b, p| {
+            b.iter(|| analyse_kcfa_with_count::<1>(p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, counting_overhead);
+criterion_main!(benches);

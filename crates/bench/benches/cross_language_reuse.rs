@@ -1,0 +1,31 @@
+//! E6 — the same monadic parameters (0CFA / 1CFA, shared store) driving all
+//! three language substrates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mai_cps::convert::cps_convert;
+
+fn cross_language_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cross_language_reuse");
+    group.sample_size(10);
+
+    let cesk_term = mai_lambda::programs::church_multiplication(2, 2);
+    let cps_program = cps_convert(&cesk_term);
+    let fj_program = mai_fj::programs::two_cells();
+
+    group.bench_function("cps/0CFA/church-2x2", |b| {
+        b.iter(|| mai_cps::analyse_mono(&cps_program))
+    });
+    group.bench_function("cesk/0CFA/church-2x2", |b| {
+        b.iter(|| mai_lambda::analyse_mono(&cesk_term))
+    });
+    group.bench_function("fj/0CFA/two-cells", |b| {
+        b.iter(|| mai_fj::analyse_mono(&fj_program))
+    });
+    group.bench_function("fj/1CFA/two-cells", |b| {
+        b.iter(|| mai_fj::analyse_kcfa_shared::<1>(&fj_program))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, cross_language_reuse);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E5 — abstract garbage collection: time with and without GC on a
+//! garbage-heavy workload (the precision side is reported by the
+//! `mai-bench` report binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mai_cps::analysis::{analyse_kcfa_shared, analyse_kcfa_shared_gc};
+use mai_cps::programs::garbage_chain;
+
+fn gc_precision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gc_precision");
+    group.sample_size(10);
+    for n in [4usize, 6] {
+        let program = garbage_chain(n);
+        group.bench_with_input(BenchmarkId::new("no-gc", n), &program, |b, p| {
+            b.iter(|| analyse_kcfa_shared::<1>(p))
+        });
+        group.bench_with_input(BenchmarkId::new("gc", n), &program, |b, p| {
+            b.iter(|| analyse_kcfa_shared_gc::<1>(p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, gc_precision);
+criterion_main!(benches);

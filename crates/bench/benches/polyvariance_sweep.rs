@@ -1,0 +1,25 @@
+//! E2 — analysis time as the polyvariance knob (k) changes, same semantics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mai_cps::analysis::{analyse_kcfa_shared, analyse_mono};
+use mai_cps::programs::{fan_out, id_chain};
+
+fn polyvariance_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("polyvariance_sweep");
+    group.sample_size(10);
+    for (name, program) in [("fan-out-5", fan_out(5)), ("id-chain-5", id_chain(5))] {
+        group.bench_with_input(BenchmarkId::new("0CFA", name), &program, |b, p| {
+            b.iter(|| analyse_mono(p))
+        });
+        group.bench_with_input(BenchmarkId::new("1CFA", name), &program, |b, p| {
+            b.iter(|| analyse_kcfa_shared::<1>(p))
+        });
+        group.bench_with_input(BenchmarkId::new("2CFA", name), &program, |b, p| {
+            b.iter(|| analyse_kcfa_shared::<2>(p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, polyvariance_sweep);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! E3 — heap cloning (per-state stores) versus the single-threaded,
+//! widened store, as the program grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mai_cps::analysis::{analyse_kcfa, analyse_kcfa_shared};
+use mai_cps::programs::id_chain;
+
+fn store_cloning_vs_shared(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_cloning_vs_shared");
+    group.sample_size(10);
+    for n in [2usize, 3, 4] {
+        let program = id_chain(n);
+        group.bench_with_input(BenchmarkId::new("per-state", n), &program, |b, p| {
+            b.iter(|| analyse_kcfa::<1>(p))
+        });
+        group.bench_with_input(BenchmarkId::new("shared", n), &program, |b, p| {
+            b.iter(|| analyse_kcfa_shared::<1>(p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, store_cloning_vs_shared);
+criterion_main!(benches);

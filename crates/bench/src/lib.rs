@@ -1,0 +1,128 @@
+//! Shared helpers for the experiment harness: workload corpora and metric
+//! extraction used both by the Criterion benches (`benches/`) and by the
+//! `mai-bench` report binary (`src/main.rs`), which regenerates the
+//! experiment tables listed in `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mai_cps::analysis::{
+    analyse_kcfa, analyse_kcfa_shared, analyse_kcfa_shared_gc, analyse_mono, AnalysisMetrics,
+};
+use mai_cps::syntax::CExp;
+use mai_cps::PState;
+use mai_core::KCallAddr;
+
+/// One row of a polyvariance / precision table for a CPS program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrecisionRow {
+    /// The workload name.
+    pub program: &'static str,
+    /// The analysis configuration name.
+    pub configuration: String,
+    /// The measured metrics.
+    pub metrics: AnalysisMetrics,
+}
+
+impl PrecisionRow {
+    /// Renders the row in the fixed-width format used by the report binary.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<18} {:<14} states={:<5} bindings={:<5} facts={:<6} singletons={:<5}",
+            self.program,
+            self.configuration,
+            self.metrics.distinct_states,
+            self.metrics.store_bindings,
+            self.metrics.store_facts,
+            self.metrics.singleton_flows,
+        )
+    }
+}
+
+/// Runs the polyvariance sweep (experiment E2) for one program: 0CFA, 1CFA
+/// and 2CFA with a shared store.
+pub fn polyvariance_rows(name: &'static str, program: &CExp) -> Vec<PrecisionRow> {
+    let mut rows = Vec::new();
+    rows.push(PrecisionRow {
+        program: name,
+        configuration: "0CFA".to_string(),
+        metrics: AnalysisMetrics::of_shared(&analyse_mono(program)),
+    });
+    rows.push(PrecisionRow {
+        program: name,
+        configuration: "1CFA".to_string(),
+        metrics: AnalysisMetrics::of_shared(&analyse_kcfa_shared::<1>(program)),
+    });
+    rows.push(PrecisionRow {
+        program: name,
+        configuration: "2CFA".to_string(),
+        metrics: AnalysisMetrics::of_shared(&analyse_kcfa_shared::<2>(program)),
+    });
+    rows
+}
+
+/// Runs the GC experiment (E5) for one program: 1CFA with and without
+/// abstract garbage collection.
+pub fn gc_rows(name: &'static str, program: &CExp) -> Vec<PrecisionRow> {
+    vec![
+        PrecisionRow {
+            program: name,
+            configuration: "1CFA".to_string(),
+            metrics: AnalysisMetrics::of_shared(&analyse_kcfa_shared::<1>(program)),
+        },
+        PrecisionRow {
+            program: name,
+            configuration: "1CFA+GC".to_string(),
+            metrics: AnalysisMetrics::of_shared(&analyse_kcfa_shared_gc::<1>(program)),
+        },
+    ]
+}
+
+/// The number of abstract configurations explored by the heap-cloning
+/// analysis versus the shared-store analysis (experiment E3).
+pub fn cloning_vs_shared(program: &CExp) -> (usize, usize) {
+    let cloned: mai_core::PerStateDomain<
+        PState<KCallAddr>,
+        mai_core::KCallCtx<1>,
+        mai_cps::analysis::KStore,
+    > = analyse_kcfa::<1>(program);
+    let shared = analyse_kcfa_shared::<1>(program);
+    (cloned.len(), shared.len())
+}
+
+/// The CPS corpus used by the experiments, restricted to sizes that finish
+/// quickly enough for Criterion.
+pub fn cps_corpus() -> Vec<(&'static str, CExp)> {
+    mai_cps::programs::standard_corpus()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_render_and_cover_the_corpus() {
+        for (name, program) in cps_corpus() {
+            let rows = polyvariance_rows(name, &program);
+            assert_eq!(rows.len(), 3);
+            for row in &rows {
+                assert!(!row.render().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn cloning_explores_at_least_as_many_configurations_as_sharing() {
+        let program = mai_cps::programs::id_chain(4);
+        let (cloned, shared) = cloning_vs_shared(&program);
+        assert!(cloned >= 1);
+        assert!(shared >= 1);
+    }
+
+    #[test]
+    fn gc_rows_report_no_more_facts_than_plain_rows() {
+        let program = mai_cps::programs::garbage_chain(4);
+        let rows = gc_rows("garbage-chain-4", &program);
+        assert!(rows[1].metrics.store_facts <= rows[0].metrics.store_facts);
+    }
+}

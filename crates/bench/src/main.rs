@@ -1,0 +1,144 @@
+//! The experiment report binary: regenerates the qualitative tables listed
+//! in `EXPERIMENTS.md` (E1–E7) and prints them to stdout.
+//!
+//! Run with `cargo run -p mai-bench --release`.
+
+use mai_bench::{cloning_vs_shared, cps_corpus, gc_rows, polyvariance_rows};
+use mai_cps::analysis::{analyse_kcfa_shared, analyse_mono};
+use mai_cps::convert::cps_convert;
+use mai_cps::programs::{garbage_chain, id_chain, kcfa_worst_case};
+use mai_core::store::StoreLike;
+use mai_cps::{analyse_concrete_collecting, interpret_with_limit, PState};
+use mai_fj::analysis::result_classes;
+use mai_lambda::decode_church_numeral;
+
+fn heading(title: &str) {
+    println!();
+    println!("==== {title} ====");
+}
+
+/// E1 — adequacy: the concrete interpreter and the fresh-address concrete
+/// collecting semantics agree on termination for the terminating corpus.
+fn experiment_adequacy() {
+    heading("E1  concrete interpreter vs. concrete collecting semantics");
+    for (name, program) in cps_corpus() {
+        let concrete = interpret_with_limit(&program, 20_000);
+        let collecting = analyse_concrete_collecting(&program, 256);
+        let collecting_halts = collecting
+            .value()
+            .distinct_states()
+            .iter()
+            .any(PState::is_final);
+        println!(
+            "{name:<18} concrete-halts={:<5} collecting-halts={:<5} collecting-converged={}",
+            concrete.halted(),
+            collecting_halts,
+            collecting.converged()
+        );
+    }
+}
+
+/// E2 — polyvariance sweep (0CFA / 1CFA / 2CFA).
+fn experiment_polyvariance() {
+    heading("E2  polyvariance sweep (shared store)");
+    for (name, program) in cps_corpus() {
+        for row in polyvariance_rows(name, &program) {
+            println!("{}", row.render());
+        }
+    }
+}
+
+/// E3 — heap cloning vs. shared-store widening.
+fn experiment_cloning() {
+    heading("E3  per-state (heap-cloning) vs. shared-store configurations");
+    for n in [2usize, 3, 4, 5] {
+        let chain = id_chain(n);
+        let (cloned, shared) = cloning_vs_shared(&chain);
+        println!("id-chain-{n:<2}        cloned={cloned:<7} shared={shared:<7}");
+    }
+    for n in [1usize, 2, 3] {
+        let worst = kcfa_worst_case(n);
+        let (cloned, shared) = cloning_vs_shared(&worst);
+        println!("kcfa-worst-{n:<2}      cloned={cloned:<7} shared={shared:<7}");
+    }
+}
+
+/// E4 — abstract counting.
+fn experiment_counting() {
+    heading("E4  abstract counting (per-state counting store)");
+    for (name, program) in cps_corpus() {
+        let counted = mai_cps::analysis::analyse_kcfa_count_cloned::<1>(&program);
+        let mut single = 0usize;
+        let mut total = 0usize;
+        for (_, store) in counted.iter() {
+            single += store.single_count();
+            total += store.addresses().len();
+        }
+        println!("{name:<18} singleton-count-certificates={single:<6} of {total}");
+    }
+}
+
+/// E5 — abstract garbage collection.
+fn experiment_gc() {
+    heading("E5  abstract garbage collection (1CFA, shared store)");
+    for n in [4usize, 6, 8] {
+        let program = garbage_chain(n);
+        for row in gc_rows("garbage-chain", &program) {
+            println!("n={n:<3} {}", row.render());
+        }
+    }
+}
+
+/// E6 — the same monadic parameters drive all three languages.
+fn experiment_reuse() {
+    heading("E6  cross-language reuse of the monadic parameters");
+    let cps_program = cps_convert(&mai_lambda::programs::church_multiplication(2, 2));
+    let cps_result = analyse_mono(&cps_program);
+    println!(
+        "CPS     0CFA on church 2×2: {} states",
+        cps_result.distinct_states().len()
+    );
+    let cesk_result = mai_lambda::analyse_mono(&mai_lambda::programs::church_multiplication(2, 2));
+    println!(
+        "CESK    0CFA on church 2×2: {} states",
+        cesk_result.distinct_states().len()
+    );
+    let fj_result = mai_fj::analyse_mono(&mai_fj::programs::two_cells());
+    println!(
+        "FJ      0CFA on two-cells : {} states, result classes {:?}",
+        fj_result.distinct_states().len(),
+        result_classes(&fj_result)
+    );
+    println!(
+        "church 2×2 decodes concretely to {}",
+        decode_church_numeral(&mai_lambda::programs::church_multiplication(2, 2))
+    );
+}
+
+/// E7 — classical expected CFA results.
+fn experiment_classic() {
+    heading("E7  textbook flow sets");
+    let fan = mai_cps::programs::fan_out(5);
+    let mono = analyse_mono(&fan);
+    let one = analyse_kcfa_shared::<1>(&fan);
+    let mono_flows = mai_cps::flow_map_of_store(mono.store());
+    let x = mai_core::Name::from("x");
+    println!(
+        "fan-out-5: |0CFA flow set of x| = {} (expected 5), 1CFA singleton addresses = {}",
+        mono_flows[&x].len(),
+        mai_cps::AnalysisMetrics::of_shared(&one).singleton_flows
+    );
+}
+
+fn main() {
+    println!("Monadic Abstract Interpreters — experiment report");
+    experiment_adequacy();
+    experiment_polyvariance();
+    experiment_cloning();
+    experiment_counting();
+    experiment_gc();
+    experiment_reuse();
+    experiment_classic();
+    println!();
+    println!("done.");
+}

@@ -1,0 +1,100 @@
+//! Contexts drawn from a bounded set of naturals (paper §3.4).
+//!
+//! "One can take a bounded set of naturals `{n ∈ N | n ≤ N}` for some `N`
+//! as contexts, which will give a good precision for sufficiently big `N`."
+
+use std::fmt;
+
+use crate::name::{Label, Name};
+
+use super::{Context, HasInitial};
+
+/// A context that counts transitions modulo-saturating at `N - 1`.
+///
+/// With a large `N` this behaves like the concrete counter on short
+/// executions while remaining finite; with `N = 1` it degenerates to the
+/// monovariant allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BoundedCtx<const N: u64> {
+    tick: u64,
+}
+
+impl<const N: u64> BoundedCtx<N> {
+    /// The current (saturated) counter value.
+    pub fn value(&self) -> u64 {
+        self.tick
+    }
+}
+
+/// An address allocated under a [`BoundedCtx`]: a variable paired with the
+/// saturated counter.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BoundedAddr {
+    /// The bound variable.
+    pub name: Name,
+    /// The saturated counter at allocation time.
+    pub tick: u64,
+}
+
+impl fmt::Debug for BoundedAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.name, self.tick)
+    }
+}
+
+impl<const N: u64> HasInitial for BoundedCtx<N> {
+    fn initial() -> Self {
+        BoundedCtx { tick: 0 }
+    }
+}
+
+impl<const N: u64> Context for BoundedCtx<N> {
+    type Addr = BoundedAddr;
+
+    fn valloc(&self, name: &Name) -> Self::Addr {
+        BoundedAddr {
+            name: name.clone(),
+            tick: self.tick,
+        }
+    }
+
+    fn advance(self, _site: Label) -> Self {
+        let ceiling = N.saturating_sub(1);
+        BoundedCtx {
+            tick: (self.tick + 1).min(ceiling),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_saturates_at_bound() {
+        let mut c = BoundedCtx::<3>::initial();
+        for _ in 0..10 {
+            c = c.advance(Label::none());
+        }
+        assert_eq!(c.value(), 2);
+    }
+
+    #[test]
+    fn bound_one_behaves_monovariantly() {
+        let c = BoundedCtx::<1>::initial()
+            .advance(Label::new(1))
+            .advance(Label::new(2));
+        assert_eq!(c, BoundedCtx::<1>::initial());
+        assert_eq!(
+            c.valloc(&Name::from("x")),
+            BoundedCtx::<1>::initial().valloc(&Name::from("x"))
+        );
+    }
+
+    #[test]
+    fn early_allocations_are_distinguished() {
+        let c0 = BoundedCtx::<8>::initial();
+        let c1 = c0.advanced(Label::none());
+        assert_ne!(c0.valloc(&Name::from("x")), c1.valloc(&Name::from("x")));
+    }
+}

@@ -1,0 +1,156 @@
+//! k-CFA call-string contexts (paper §2.4.1 and §6.1).
+
+use std::fmt;
+
+use crate::name::{Label, Name};
+
+use super::{Context, HasInitial};
+
+/// A k-CFA context: the labels of the last `K` call sites crossed,
+/// most recent first (`T̂ime_{kCFA} = Call^{≤k}`).
+///
+/// The degree `K` is a compile-time parameter, mirroring the paper's `KCFA`
+/// class whose `getK` fixes the analysis degree per instance.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct KCallCtx<const K: usize> {
+    calls: Vec<Label>,
+}
+
+impl<const K: usize> KCallCtx<K> {
+    /// The empty call string (`τ₀ = ⟨⟩`).
+    pub fn empty() -> Self {
+        KCallCtx { calls: Vec::new() }
+    }
+
+    /// The call string, most recent call first.
+    pub fn calls(&self) -> &[Label] {
+        &self.calls
+    }
+
+    /// The analysis degree `k`.
+    pub fn degree(&self) -> usize {
+        K
+    }
+}
+
+impl<const K: usize> fmt::Debug for KCallCtx<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, l) in self.calls.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", l)?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+/// A k-CFA address: a variable paired with the context in which it was
+/// bound (`Âddr_{kCFA} = Var × T̂ime_{kCFA}`).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct KCallAddr {
+    /// The bound variable.
+    pub name: Name,
+    /// The call string at binding time (already truncated to length `k`).
+    pub context: Vec<Label>,
+}
+
+impl fmt::Debug for KCallAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ᵏ{:?}", self.name, self.context)
+    }
+}
+
+impl<const K: usize> HasInitial for KCallCtx<K> {
+    fn initial() -> Self {
+        KCallCtx::empty()
+    }
+}
+
+impl<const K: usize> Context for KCallCtx<K> {
+    type Addr = KCallAddr;
+
+    fn valloc(&self, name: &Name) -> Self::Addr {
+        KCallAddr {
+            name: name.clone(),
+            context: self.calls.clone(),
+        }
+    }
+
+    fn advance(mut self, site: Label) -> Self {
+        // ⌊site : calls⌋_k — prepend and truncate.
+        self.calls.insert(0, site);
+        self.calls.truncate(K);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_cfa_as_k_equals_zero_conflates_everything() {
+        let ctx = KCallCtx::<0>::initial()
+            .advance(Label::new(1))
+            .advance(Label::new(2));
+        assert_eq!(ctx, KCallCtx::<0>::empty());
+        assert_eq!(
+            ctx.valloc(&Name::from("x")),
+            KCallCtx::<0>::empty().valloc(&Name::from("x"))
+        );
+    }
+
+    #[test]
+    fn one_cfa_remembers_only_the_last_call() {
+        let ctx = KCallCtx::<1>::initial()
+            .advance(Label::new(1))
+            .advance(Label::new(2));
+        assert_eq!(ctx.calls(), &[Label::new(2)]);
+    }
+
+    #[test]
+    fn two_cfa_remembers_two_most_recent_calls_in_order() {
+        let ctx = KCallCtx::<2>::initial()
+            .advance(Label::new(1))
+            .advance(Label::new(2))
+            .advance(Label::new(3));
+        assert_eq!(ctx.calls(), &[Label::new(3), Label::new(2)]);
+        assert_eq!(ctx.degree(), 2);
+    }
+
+    #[test]
+    fn addresses_separate_bindings_by_context() {
+        let x = Name::from("x");
+        let c1 = KCallCtx::<1>::initial().advance(Label::new(1));
+        let c2 = KCallCtx::<1>::initial().advance(Label::new(2));
+        assert_ne!(c1.valloc(&x), c2.valloc(&x));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_call_string_never_exceeds_k(sites in proptest::collection::vec(1u32..100, 0..20)) {
+            let mut c2 = KCallCtx::<2>::initial();
+            let mut c3 = KCallCtx::<3>::initial();
+            for s in &sites {
+                c2 = c2.advance(Label::new(*s));
+                c3 = c3.advance(Label::new(*s));
+            }
+            prop_assert!(c2.calls().len() <= 2);
+            prop_assert!(c3.calls().len() <= 3);
+            // The 2-context is always a prefix of the 3-context.
+            prop_assert_eq!(c2.calls(), &c3.calls()[..c2.calls().len().min(c3.calls().len())]);
+        }
+
+        #[test]
+        fn prop_last_site_is_always_remembered_when_k_positive(sites in proptest::collection::vec(1u32..100, 1..20)) {
+            let mut c = KCallCtx::<1>::initial();
+            for s in &sites {
+                c = c.advance(Label::new(*s));
+            }
+            prop_assert_eq!(c.calls(), &[Label::new(*sites.last().unwrap())]);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! The monovariant (0CFA) allocator (paper §2.3.1).
+
+use std::fmt;
+
+use crate::name::{Label, Name};
+
+use super::{Context, HasInitial};
+
+/// A monovariant address: just the variable itself.
+///
+/// `Âddr₀CFA = Var` — every binding of a variable, anywhere in the program,
+/// is conflated into a single abstract address.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MonoAddr(pub Name);
+
+impl fmt::Debug for MonoAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The trivial context of a monovariant, context-insensitive analysis.
+///
+/// This is the paper's "context-insensitivity monad" parameter in its purest
+/// form: there is exactly one context, `advance` is the identity, and the
+/// allocator returns the variable itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MonoCtx;
+
+impl HasInitial for MonoCtx {
+    fn initial() -> Self {
+        MonoCtx
+    }
+}
+
+impl Context for MonoCtx {
+    type Addr = MonoAddr;
+
+    fn valloc(&self, name: &Name) -> Self::Addr {
+        MonoAddr(name.clone())
+    }
+
+    fn advance(self, _site: Label) -> Self {
+        MonoCtx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_contexts_are_the_same() {
+        let c = MonoCtx::initial();
+        assert_eq!(c, c.advanced(Label::new(1)).advanced(Label::new(2)));
+    }
+
+    #[test]
+    fn address_is_the_variable_itself() {
+        let c = MonoCtx::initial();
+        assert_eq!(c.valloc(&Name::from("f")), MonoAddr(Name::from("f")));
+        // Advancing never changes allocation decisions.
+        assert_eq!(
+            c.advanced(Label::new(9)).valloc(&Name::from("f")),
+            c.valloc(&Name::from("f"))
+        );
+    }
+}

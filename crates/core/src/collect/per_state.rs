@@ -1,0 +1,234 @@
+//! The heap-cloning analysis domain: every state carries its own store
+//! (paper §5.3.3).
+
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+
+use crate::addr::HasInitial;
+use crate::lattice::Lattice;
+use crate::monad::{run_store_passing, MonadFamily, StorePassing, Value};
+
+use super::Collecting;
+
+/// The analysis domain `P(((PΣ, g), s))`: a set of partial states, each
+/// paired with its own guts (`g`) and its own store (`s`).
+///
+/// This is the domain the abstracted abstract machine produces by default —
+/// "heap cloning" in the classification of the paper's §6.5 — maximally
+/// precise with respect to store flows, but potentially exponential in the
+/// program size.
+///
+/// `Ps` is the language's partial-state type, `G` the analysis guts
+/// (context/time) and `S` the store.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PerStateDomain<Ps: Ord, G: Ord, S: Ord> {
+    elements: BTreeSet<((Ps, G), S)>,
+}
+
+impl<Ps: Ord, G: Ord, S: Ord> Default for PerStateDomain<Ps, G, S> {
+    fn default() -> Self {
+        PerStateDomain {
+            elements: BTreeSet::new(),
+        }
+    }
+}
+
+impl<Ps: Ord + Clone, G: Ord + Clone, S: Ord + Clone> PerStateDomain<Ps, G, S> {
+    /// Creates an empty domain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The set of `((state, guts), store)` triples explored so far.
+    pub fn elements(&self) -> &BTreeSet<((Ps, G), S)> {
+        &self.elements
+    }
+
+    /// Iterates over the explored triples.
+    pub fn iter(&self) -> impl Iterator<Item = &((Ps, G), S)> {
+        self.elements.iter()
+    }
+
+    /// How many `((state, guts), store)` triples have been explored — the
+    /// "reachable configurations" size metric used by the benchmarks.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Whether no configuration has been explored.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// The set of distinct partial states, ignoring guts and stores — the
+    /// "reachable program points" precision metric.
+    pub fn distinct_states(&self) -> BTreeSet<Ps> {
+        self.elements.iter().map(|((ps, _), _)| ps.clone()).collect()
+    }
+
+    /// Builds a domain directly from triples (useful in tests and for the
+    /// Galois connection with the shared-store domain).
+    pub fn from_elements<I: IntoIterator<Item = ((Ps, G), S)>>(iter: I) -> Self {
+        PerStateDomain {
+            elements: iter.into_iter().collect(),
+        }
+    }
+
+    /// The covering ("Hoare") preorder: every configuration of `self` is
+    /// dominated by a configuration of `other` with the same state and guts
+    /// but a possibly larger store.
+    ///
+    /// This is the order with respect to which the shared-store widening of
+    /// §6.5 is extensive (`X` is covered by `γ(α(X))`), and it is coarser
+    /// than the plain subset order used for fixed-point detection.
+    pub fn covered_by(&self, other: &Self) -> bool
+    where
+        S: Lattice,
+    {
+        self.elements.iter().all(|((ps, g), s)| {
+            other
+                .elements
+                .iter()
+                .any(|((ps2, g2), s2)| ps == ps2 && g == g2 && s.leq(s2))
+        })
+    }
+}
+
+impl<Ps, G, S> Debug for PerStateDomain<Ps, G, S>
+where
+    Ps: Ord + Debug,
+    G: Ord + Debug,
+    S: Ord + Debug,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PerStateDomain")
+            .field("elements", &self.elements)
+            .finish()
+    }
+}
+
+impl<Ps, G, S> Lattice for PerStateDomain<Ps, G, S>
+where
+    Ps: Ord + Clone,
+    G: Ord + Clone,
+    S: Ord + Clone,
+{
+    fn bottom() -> Self {
+        Self::default()
+    }
+
+    fn join(mut self, other: Self) -> Self {
+        self.elements.extend(other.elements);
+        self
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.elements.is_subset(&other.elements)
+    }
+}
+
+impl<Ps, G, S> Collecting<StorePassing<G, S>, Ps> for PerStateDomain<Ps, G, S>
+where
+    Ps: Value + Ord,
+    G: Value + Ord + HasInitial,
+    S: Value + Ord + Lattice,
+{
+    fn inject(ps: Ps) -> Self {
+        PerStateDomain {
+            elements: [((ps, G::initial()), S::bottom())].into_iter().collect(),
+        }
+    }
+
+    fn apply_step<F>(step: &F, fp: &Self) -> Self
+    where
+        F: Fn(Ps) -> <StorePassing<G, S> as MonadFamily>::M<Ps>,
+    {
+        let mut out = BTreeSet::new();
+        for ((ps, guts), store) in &fp.elements {
+            let computation = step(ps.clone());
+            for result in run_store_passing(computation, guts.clone(), store.clone()) {
+                out.insert(result);
+            }
+        }
+        PerStateDomain { elements: out }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monad::{MonadPlus, MonadState, MonadTrans, StateT, VecM};
+
+    type G = u64;
+    type S = BTreeSet<u32>;
+    type M = StorePassing<G, S>;
+
+    /// A toy step function over "states" that are just numbers: each step
+    /// bumps the guts, records the state in the store, and branches.
+    fn step(n: u32) -> <M as MonadFamily>::M<u32> {
+        if n >= 4 {
+            return M::pure(n);
+        }
+        let record = <M as MonadTrans>::lift(<StateT<S, VecM> as MonadState<S>>::modify(
+            move |mut s: S| {
+                s.insert(n);
+                s
+            },
+        ));
+        let bump = <M as MonadState<G>>::modify(|g| g + 1);
+        M::bind(record, move |_| {
+            let bump = bump.clone();
+            M::bind(bump, move |_| M::mplus(M::pure(n + 1), M::pure(n + 2)))
+        })
+    }
+
+    #[test]
+    fn inject_seeds_initial_guts_and_bottom_store() {
+        let d: PerStateDomain<u32, G, S> = Collecting::<M, u32>::inject(7);
+        assert_eq!(d.len(), 1);
+        let ((ps, g), s) = d.iter().next().unwrap().clone();
+        assert_eq!(ps, 7);
+        assert_eq!(g, 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn apply_step_fans_out_over_branches_with_cloned_stores() {
+        let d: PerStateDomain<u32, G, S> = Collecting::<M, u32>::inject(0);
+        let next = PerStateDomain::apply_step(&step, &d);
+        // From 0 we branch to 1 and 2, each carrying its own store {0}.
+        assert_eq!(next.len(), 2);
+        for ((ps, g), s) in next.iter() {
+            assert!(*ps == 1 || *ps == 2);
+            assert_eq!(*g, 1);
+            assert_eq!(s.clone(), [0u32].into_iter().collect());
+        }
+    }
+
+    #[test]
+    fn explore_fp_terminates_and_clones_heaps() {
+        let result: PerStateDomain<u32, G, S> = super::super::explore_fp::<M, u32, _, _>(step, 0);
+        // Final states 4 and 5 are reached along several different paths,
+        // each with its own store — heap cloning keeps them apart.
+        let finals: BTreeSet<S> = result
+            .iter()
+            .filter(|((ps, _), _)| *ps >= 4)
+            .map(|(_, s)| s.clone())
+            .collect();
+        assert!(finals.len() > 1, "expected distinct per-path stores");
+        assert!(result.distinct_states().contains(&4));
+        assert!(result.distinct_states().contains(&5));
+    }
+
+    #[test]
+    fn lattice_structure_is_set_union() {
+        let a: PerStateDomain<u32, G, S> =
+            PerStateDomain::from_elements([((1, 0), BTreeSet::new())]);
+        let b: PerStateDomain<u32, G, S> =
+            PerStateDomain::from_elements([((2, 0), BTreeSet::new())]);
+        let j = a.clone().join(b.clone());
+        assert_eq!(j.len(), 2);
+        assert!(a.leq(&j) && b.leq(&j));
+        assert!(PerStateDomain::<u32, G, S>::bottom().is_empty());
+    }
+}

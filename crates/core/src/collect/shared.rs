@@ -1,0 +1,256 @@
+//! The shared-store (single-threaded, widened) analysis domain
+//! (paper §6.5 and §8.2).
+
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+
+use crate::addr::HasInitial;
+use crate::lattice::{GaloisConnection, Lattice};
+use crate::monad::{MonadFamily, StorePassing, Value};
+
+use super::{Collecting, PerStateDomain};
+
+/// The widened analysis domain `P((PΣ, g)) × s`: a set of partial states
+/// (with their guts) sharing **one** global store.
+///
+/// This is Shivers' single-threaded store, obtained from the heap-cloning
+/// domain through the Galois connection of the paper's equation (3):
+///
+/// ```text
+/// ⟨P(Σ̂ₜ × Ŝtore), ⊆⟩ ⇄ ⟨P(Σ̂ₜ) × Ŝtore, ⊆⟩
+/// ```
+///
+/// `α` joins all per-state stores into one; `γ` spreads the shared store
+/// back over every state.  `apply_step` is literally
+/// `alpha ∘ applyStep' ∘ gamma`, re-using the per-state domain's step — the
+/// same definition the paper gives.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SharedStoreDomain<Ps: Ord, G: Ord, S> {
+    states: BTreeSet<(Ps, G)>,
+    store: S,
+}
+
+impl<Ps, G, S> SharedStoreDomain<Ps, G, S>
+where
+    Ps: Ord + Clone,
+    G: Ord + Clone,
+    S: Lattice,
+{
+    /// Creates a domain from parts.
+    pub fn from_parts(states: BTreeSet<(Ps, G)>, store: S) -> Self {
+        SharedStoreDomain { states, store }
+    }
+
+    /// The set of `(state, guts)` pairs explored so far.
+    pub fn states(&self) -> &BTreeSet<(Ps, G)> {
+        &self.states
+    }
+
+    /// The single widened store shared by every state.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// How many `(state, guts)` pairs have been explored.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether no state has been explored.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The set of distinct partial states, ignoring guts.
+    pub fn distinct_states(&self) -> BTreeSet<Ps> {
+        self.states.iter().map(|(ps, _)| ps.clone()).collect()
+    }
+}
+
+impl<Ps, G, S> Debug for SharedStoreDomain<Ps, G, S>
+where
+    Ps: Ord + Debug,
+    G: Ord + Debug,
+    S: Debug,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedStoreDomain")
+            .field("states", &self.states)
+            .field("store", &self.store)
+            .finish()
+    }
+}
+
+impl<Ps, G, S> Default for SharedStoreDomain<Ps, G, S>
+where
+    Ps: Ord,
+    G: Ord,
+    S: Lattice,
+{
+    fn default() -> Self {
+        SharedStoreDomain {
+            states: BTreeSet::new(),
+            store: S::bottom(),
+        }
+    }
+}
+
+impl<Ps, G, S> Lattice for SharedStoreDomain<Ps, G, S>
+where
+    Ps: Ord + Clone,
+    G: Ord + Clone,
+    S: Lattice,
+{
+    fn bottom() -> Self {
+        Self::default()
+    }
+
+    fn join(mut self, other: Self) -> Self {
+        self.states.extend(other.states);
+        SharedStoreDomain {
+            states: self.states,
+            store: self.store.join(other.store),
+        }
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.states.is_subset(&other.states) && self.store.leq(&other.store)
+    }
+}
+
+/// The Galois connection of equation (3): `alpha` merges per-state stores,
+/// `gamma` spreads the shared store over every state.
+impl<Ps, G, S> GaloisConnection<PerStateDomain<Ps, G, S>> for SharedStoreDomain<Ps, G, S>
+where
+    Ps: Ord + Clone,
+    G: Ord + Clone,
+    S: Lattice + Ord,
+{
+    fn alpha(concrete: PerStateDomain<Ps, G, S>) -> Self {
+        let mut states = BTreeSet::new();
+        let mut store = S::bottom();
+        for ((ps, g), s) in concrete.elements().iter().cloned() {
+            states.insert((ps, g));
+            store = store.join(s);
+        }
+        SharedStoreDomain { states, store }
+    }
+
+    fn gamma(&self) -> PerStateDomain<Ps, G, S> {
+        PerStateDomain::from_elements(
+            self.states
+                .iter()
+                .cloned()
+                .map(|(ps, g)| ((ps, g), self.store.clone())),
+        )
+    }
+}
+
+impl<Ps, G, S> Collecting<StorePassing<G, S>, Ps> for SharedStoreDomain<Ps, G, S>
+where
+    Ps: Value + Ord,
+    G: Value + Ord + HasInitial,
+    S: Value + Ord + Lattice,
+{
+    fn inject(ps: Ps) -> Self {
+        SharedStoreDomain {
+            states: [(ps, G::initial())].into_iter().collect(),
+            store: S::bottom(),
+        }
+    }
+
+    fn apply_step<F>(step: &F, fp: &Self) -> Self
+    where
+        F: Fn(Ps) -> <StorePassing<G, S> as MonadFamily>::M<Ps>,
+    {
+        // applyStep = alpha ∘ applyStep' ∘ gamma   (paper §6.5 / §8.2)
+        Self::alpha(PerStateDomain::apply_step(step, &fp.gamma()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monad::{MonadPlus, MonadState, MonadTrans, StateT, VecM};
+
+    type G = u64;
+    type S = BTreeSet<u32>;
+    type M = StorePassing<G, S>;
+
+    fn step(n: u32) -> <M as MonadFamily>::M<u32> {
+        if n >= 4 {
+            return M::pure(n);
+        }
+        let record = <M as MonadTrans>::lift(<StateT<S, VecM> as MonadState<S>>::modify(
+            move |mut s: S| {
+                s.insert(n);
+                s
+            },
+        ));
+        M::bind(record, move |_| M::mplus(M::pure(n + 1), M::pure(n + 2)))
+    }
+
+    #[test]
+    fn alpha_gamma_form_a_galois_connection() {
+        let per_state: PerStateDomain<u32, G, S> = PerStateDomain::from_elements([
+            ((1, 0), [10u32].into_iter().collect()),
+            ((2, 0), [20u32].into_iter().collect()),
+        ]);
+        let shared = SharedStoreDomain::alpha(per_state.clone());
+        // α merges the stores…
+        assert_eq!(shared.store(), &[10u32, 20].into_iter().collect());
+        // …extensiveness holds with respect to the covering preorder (every
+        // configuration is dominated by one carrying the widened store)…
+        assert!(per_state.covered_by(&shared.gamma()));
+        // …and α ∘ γ is reductive (here in fact the identity).
+        assert!(SharedStoreDomain::alpha(shared.gamma()).leq(&shared));
+    }
+
+    #[test]
+    fn gamma_spreads_the_store_over_all_states() {
+        let shared: SharedStoreDomain<u32, G, S> = SharedStoreDomain::from_parts(
+            [(1, 0), (2, 0)].into_iter().collect(),
+            [7u32].into_iter().collect(),
+        );
+        let per_state = shared.gamma();
+        assert_eq!(per_state.len(), 2);
+        for (_, s) in per_state.iter() {
+            assert_eq!(s.clone(), [7u32].into_iter().collect());
+        }
+    }
+
+    #[test]
+    fn widened_analysis_overapproximates_the_cloning_analysis() {
+        let cloned: PerStateDomain<u32, G, S> = super::super::explore_fp::<M, u32, _, _>(step, 0);
+        let shared: SharedStoreDomain<u32, G, S> = super::super::explore_fp::<M, u32, _, _>(step, 0);
+        // Soundness of widening: α(lfp cloned) ⊑ lfp shared.
+        assert!(SharedStoreDomain::alpha(cloned).leq(&shared));
+        // And the widened result uses a single store containing every write.
+        assert_eq!(shared.store(), &[0u32, 1, 2, 3].into_iter().collect());
+    }
+
+    #[test]
+    fn widening_collapses_distinct_stores_into_one() {
+        let cloned: PerStateDomain<u32, G, S> = super::super::explore_fp::<M, u32, _, _>(step, 0);
+        let shared: SharedStoreDomain<u32, G, S> = super::super::explore_fp::<M, u32, _, _>(step, 0);
+        let distinct_cloned_stores: BTreeSet<S> =
+            cloned.iter().map(|(_, s)| s.clone()).collect();
+        assert!(distinct_cloned_stores.len() > 1);
+        // The widened domain carries exactly one store by construction, and
+        // it is an upper bound of every per-state store.
+        for s in distinct_cloned_stores {
+            assert!(s.leq(shared.store()));
+        }
+    }
+
+    #[test]
+    fn lattice_and_default_are_consistent() {
+        let bot = SharedStoreDomain::<u32, G, S>::bottom();
+        assert!(bot.is_empty());
+        assert!(bot.store().is_empty());
+        let injected: SharedStoreDomain<u32, G, S> = Collecting::<M, u32>::inject(3);
+        assert!(bot.leq(&injected));
+        assert_eq!(injected.distinct_states(), [3u32].into_iter().collect());
+        assert_eq!(injected.len(), 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! The abstract-counting lattice `N̂ = {0, 1, ∞}` (paper §6.3).
+
+use std::fmt;
+use std::ops::Add;
+
+use super::{Lattice, MeetLattice, TopLattice};
+
+/// An abstract natural number: how many times an abstract resource has been
+/// allocated.
+///
+/// `AbsNat` is both a lattice (ordered `0 ⊑ 1 ⊑ ∞`) and a commutative
+/// monoid under the abstract addition `⊕` of the paper: adding any two
+/// non-zero counts saturates to `∞`.  Counting with this lattice is what
+/// lets an analysis perform strong updates and must-alias reasoning: when an
+/// address's count is exactly [`AbsNat::One`], the abstract binding
+/// corresponds to exactly one concrete binding.
+///
+/// ```rust
+/// use mai_core::lattice::AbsNat;
+/// assert_eq!(AbsNat::Zero + AbsNat::One, AbsNat::One);
+/// assert_eq!(AbsNat::One + AbsNat::One, AbsNat::Many);
+/// assert!(AbsNat::One.is_at_most_one());
+/// assert!(!AbsNat::Many.is_at_most_one());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum AbsNat {
+    /// Never allocated.
+    #[default]
+    Zero,
+    /// Allocated exactly once.
+    One,
+    /// Allocated more than once (the abstraction of "2 or more").
+    Many,
+}
+
+impl AbsNat {
+    /// The abstraction function from concrete naturals.
+    pub fn abstraction(n: usize) -> Self {
+        match n {
+            0 => AbsNat::Zero,
+            1 => AbsNat::One,
+            _ => AbsNat::Many,
+        }
+    }
+
+    /// Abstract addition `⊕` (method form; also available through `+`).
+    #[must_use]
+    pub fn plus(self, other: Self) -> Self {
+        match (self, other) {
+            (AbsNat::Zero, n) | (n, AbsNat::Zero) => n,
+            _ => AbsNat::Many,
+        }
+    }
+
+    /// True for `Zero` and `One`: the counted resource is known to have at
+    /// most one concrete instance, so strong updates are sound.
+    pub fn is_at_most_one(self) -> bool {
+        !matches!(self, AbsNat::Many)
+    }
+}
+
+impl Add for AbsNat {
+    type Output = AbsNat;
+
+    fn add(self, rhs: Self) -> Self::Output {
+        self.plus(rhs)
+    }
+}
+
+impl fmt::Display for AbsNat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbsNat::Zero => write!(f, "0"),
+            AbsNat::One => write!(f, "1"),
+            AbsNat::Many => write!(f, "∞"),
+        }
+    }
+}
+
+impl Lattice for AbsNat {
+    fn bottom() -> Self {
+        AbsNat::Zero
+    }
+
+    fn join(self, other: Self) -> Self {
+        self.max(other)
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self <= other
+    }
+}
+
+impl TopLattice for AbsNat {
+    fn top() -> Self {
+        AbsNat::Many
+    }
+}
+
+impl MeetLattice for AbsNat {
+    fn meet(self, other: Self) -> Self {
+        self.min(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_absnat() -> impl Strategy<Value = AbsNat> {
+        prop_oneof![
+            Just(AbsNat::Zero),
+            Just(AbsNat::One),
+            Just(AbsNat::Many)
+        ]
+    }
+
+    #[test]
+    fn abstraction_is_sound_for_small_naturals() {
+        assert_eq!(AbsNat::abstraction(0), AbsNat::Zero);
+        assert_eq!(AbsNat::abstraction(1), AbsNat::One);
+        assert_eq!(AbsNat::abstraction(2), AbsNat::Many);
+        assert_eq!(AbsNat::abstraction(1000), AbsNat::Many);
+    }
+
+    #[test]
+    fn addition_matches_the_paper_table() {
+        assert_eq!(AbsNat::Zero + AbsNat::Zero, AbsNat::Zero);
+        assert_eq!(AbsNat::Zero + AbsNat::Many, AbsNat::Many);
+        assert_eq!(AbsNat::One + AbsNat::Zero, AbsNat::One);
+        assert_eq!(AbsNat::One + AbsNat::Many, AbsNat::Many);
+        assert_eq!(AbsNat::Many + AbsNat::Many, AbsNat::Many);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_plus_abstracts_concrete_addition(a in 0usize..5, b in 0usize..5) {
+            // α(a + b) ⊑ α(a) ⊕ α(b) — in fact they are equal here.
+            prop_assert_eq!(
+                AbsNat::abstraction(a + b),
+                AbsNat::abstraction(a) + AbsNat::abstraction(b)
+            );
+        }
+
+        #[test]
+        fn prop_plus_commutative_associative(a in arb_absnat(), b in arb_absnat(), c in arb_absnat()) {
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_eq!((a + b) + c, a + (b + c));
+            prop_assert_eq!(a + AbsNat::Zero, a);
+        }
+
+        #[test]
+        fn prop_lattice_laws(a in arb_absnat(), b in arb_absnat()) {
+            prop_assert_eq!(a.join(b), b.join(a));
+            prop_assert_eq!(a.join(a), a);
+            prop_assert!(AbsNat::bottom().leq(&a));
+            prop_assert!(a.leq(&AbsNat::top()));
+            prop_assert_eq!(a.leq(&b), a.join(b) == b);
+            prop_assert!(a.meet(b).leq(&a));
+        }
+
+        #[test]
+        fn prop_plus_is_monotone(a in arb_absnat(), b in arb_absnat(), c in arb_absnat()) {
+            if a.leq(&b) {
+                prop_assert!((a + c).leq(&(b + c)));
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(AbsNat::Zero.to_string(), "0");
+        assert_eq!(AbsNat::One.to_string(), "1");
+        assert_eq!(AbsNat::Many.to_string(), "∞");
+    }
+}

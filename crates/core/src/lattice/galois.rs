@@ -1,0 +1,129 @@
+//! Galois connections (paper §5.1, §6.5).
+
+use super::Lattice;
+
+/// A Galois connection `⟨C, ⊑⟩ ⇄ ⟨A, ≤⟩` between a concrete and an abstract
+/// lattice, given by an abstraction function `α` and a concretisation
+/// function `γ` with `α(c) ≤ a ⟺ c ⊑ γ(a)`.
+///
+/// The paper uses a Galois connection between the heap-cloning analysis
+/// domain `P(Σ̂ₜ × Ŝtore)` and the shared-store domain `P(Σ̂ₜ) × Ŝtore`
+/// (equation (3)) to derive the single-threaded-store widening; that
+/// connection is implemented by
+/// [`SharedStoreDomain`](crate::collect::SharedStoreDomain), which
+/// implements this trait.
+///
+/// # Laws
+///
+/// * `α` and `γ` are monotone;
+/// * `c ⊑ γ(α(c))` (extensiveness);
+/// * `α(γ(a)) ≤ a` (reductiveness).
+pub trait GaloisConnection<C: Lattice>: Lattice {
+    /// The abstraction function `α`.
+    fn alpha(concrete: C) -> Self;
+
+    /// The concretisation function `γ`.
+    fn gamma(&self) -> C;
+
+    /// Transports a concrete operator along the connection:
+    /// `α ∘ f ∘ γ`, the best correct approximation induced by `f`.
+    fn transport<F>(f: F, abstract_value: &Self) -> Self
+    where
+        F: Fn(C) -> C,
+    {
+        Self::alpha(f(abstract_value.gamma()))
+    }
+
+    /// Checks the two Galois laws on a particular pair of points.  Intended
+    /// for tests.
+    fn check_on(concrete: C, abstract_value: Self) -> bool {
+        let extensive = concrete.leq(&Self::alpha(concrete.clone()).gamma());
+        let reductive = Self::alpha(abstract_value.gamma()).leq(&abstract_value);
+        extensive && reductive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    /// A toy abstraction: a set of naturals abstracted by parity flags
+    /// (has-even, has-odd).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Parity {
+        has_even: bool,
+        has_odd: bool,
+    }
+
+    impl Lattice for Parity {
+        fn bottom() -> Self {
+            Parity {
+                has_even: false,
+                has_odd: false,
+            }
+        }
+
+        fn join(self, other: Self) -> Self {
+            Parity {
+                has_even: self.has_even || other.has_even,
+                has_odd: self.has_odd || other.has_odd,
+            }
+        }
+
+        fn leq(&self, other: &Self) -> bool {
+            (!self.has_even || other.has_even) && (!self.has_odd || other.has_odd)
+        }
+    }
+
+    impl GaloisConnection<BTreeSet<u8>> for Parity {
+        fn alpha(concrete: BTreeSet<u8>) -> Self {
+            Parity {
+                has_even: concrete.iter().any(|n| n % 2 == 0),
+                has_odd: concrete.iter().any(|n| n % 2 == 1),
+            }
+        }
+
+        fn gamma(&self) -> BTreeSet<u8> {
+            (0u8..=255)
+                .filter(|n| {
+                    if n % 2 == 0 {
+                        self.has_even
+                    } else {
+                        self.has_odd
+                    }
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn galois_laws_hold_for_the_parity_example() {
+        let concrete: BTreeSet<u8> = [2u8, 4, 7].into_iter().collect();
+        let abstract_value = Parity {
+            has_even: true,
+            has_odd: false,
+        };
+        assert!(Parity::check_on(concrete, abstract_value));
+    }
+
+    #[test]
+    fn transport_computes_best_approximation() {
+        // Concrete operator: add one to every element.
+        let start = Parity {
+            has_even: true,
+            has_odd: false,
+        };
+        let stepped = Parity::transport(
+            |s: BTreeSet<u8>| s.into_iter().map(|n| n.wrapping_add(1)).collect(),
+            &start,
+        );
+        assert_eq!(
+            stepped,
+            Parity {
+                has_even: false,
+                has_odd: true
+            }
+        );
+    }
+}

@@ -1,0 +1,393 @@
+//! `Lattice` instances for the container types of the systematic
+//! abstraction: unit, booleans, pairs, options, power-sets and point-wise
+//! maps (paper §5.2), plus the flat lattice.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use super::{Lattice, MeetLattice, TopLattice};
+
+impl Lattice for () {
+    fn bottom() -> Self {}
+
+    fn join(self, _other: Self) -> Self {}
+
+    fn leq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl MeetLattice for () {
+    fn meet(self, _other: Self) -> Self {}
+}
+
+impl TopLattice for () {
+    fn top() -> Self {}
+}
+
+impl Lattice for bool {
+    fn bottom() -> Self {
+        false
+    }
+
+    fn join(self, other: Self) -> Self {
+        self || other
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        !*self || *other
+    }
+}
+
+impl MeetLattice for bool {
+    fn meet(self, other: Self) -> Self {
+        self && other
+    }
+}
+
+impl TopLattice for bool {
+    fn top() -> Self {
+        true
+    }
+}
+
+impl<A: Lattice, B: Lattice> Lattice for (A, B) {
+    fn bottom() -> Self {
+        (A::bottom(), B::bottom())
+    }
+
+    fn join(self, other: Self) -> Self {
+        (self.0.join(other.0), self.1.join(other.1))
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.0.leq(&other.0) && self.1.leq(&other.1)
+    }
+}
+
+impl<A: MeetLattice, B: MeetLattice> MeetLattice for (A, B) {
+    fn meet(self, other: Self) -> Self {
+        (self.0.meet(other.0), self.1.meet(other.1))
+    }
+}
+
+impl<A: TopLattice, B: TopLattice> TopLattice for (A, B) {
+    fn top() -> Self {
+        (A::top(), B::top())
+    }
+}
+
+impl<A: Lattice, B: Lattice, C: Lattice> Lattice for (A, B, C) {
+    fn bottom() -> Self {
+        (A::bottom(), B::bottom(), C::bottom())
+    }
+
+    fn join(self, other: Self) -> Self {
+        (
+            self.0.join(other.0),
+            self.1.join(other.1),
+            self.2.join(other.2),
+        )
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.0.leq(&other.0) && self.1.leq(&other.1) && self.2.leq(&other.2)
+    }
+}
+
+/// `Option` lifts a lattice by adjoining a new bottom (`None`).
+impl<A: Lattice> Lattice for Option<A> {
+    fn bottom() -> Self {
+        None
+    }
+
+    fn join(self, other: Self) -> Self {
+        match (self, other) {
+            (None, x) | (x, None) => x,
+            (Some(a), Some(b)) => Some(a.join(b)),
+        }
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (None, _) => true,
+            (Some(_), None) => false,
+            (Some(a), Some(b)) => a.leq(b),
+        }
+    }
+}
+
+/// Power-sets ordered by inclusion: the `P s` instance of the paper.
+impl<T: Ord + Clone> Lattice for BTreeSet<T> {
+    fn bottom() -> Self {
+        BTreeSet::new()
+    }
+
+    fn join(mut self, other: Self) -> Self {
+        self.extend(other);
+        self
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.is_subset(other)
+    }
+}
+
+impl<T: Ord + Clone> MeetLattice for BTreeSet<T> {
+    fn meet(self, other: Self) -> Self {
+        self.intersection(&other).cloned().collect()
+    }
+}
+
+/// Point-wise lifted maps: the `k ⇀ v` instance of the paper.  Missing keys
+/// are implicitly bound to the co-domain's `⊥`.
+impl<K: Ord + Clone, V: Lattice> Lattice for BTreeMap<K, V> {
+    fn bottom() -> Self {
+        BTreeMap::new()
+    }
+
+    fn join(mut self, other: Self) -> Self {
+        for (k, v) in other {
+            match self.remove(&k) {
+                Some(old) => {
+                    self.insert(k, old.join(v));
+                }
+                None => {
+                    self.insert(k, v);
+                }
+            }
+        }
+        self
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.iter().all(|(k, v)| match other.get(k) {
+            Some(w) => v.leq(w),
+            None => v.leq(&V::bottom()),
+        })
+    }
+}
+
+/// Convenience operations on point-wise-lifted maps.
+pub trait PointwiseExt<K, V> {
+    /// Looks a key up, returning the co-domain `⊥` when absent (total-map
+    /// view of a partial map, as the paper's `σ(â)` does).
+    fn fetch_or_bottom(&self, key: &K) -> V;
+
+    /// Joins `value` into the binding of `key` (the paper's
+    /// `σ ⊔ [â ↦ v]`).
+    #[must_use]
+    fn join_at(self, key: K, value: V) -> Self;
+}
+
+impl<K: Ord + Clone, V: Lattice> PointwiseExt<K, V> for BTreeMap<K, V> {
+    fn fetch_or_bottom(&self, key: &K) -> V {
+        self.get(key).cloned().unwrap_or_else(V::bottom)
+    }
+
+    fn join_at(mut self, key: K, value: V) -> Self {
+        let joined = match self.remove(&key) {
+            Some(old) => old.join(value),
+            None => value,
+        };
+        self.insert(key, joined);
+        self
+    }
+}
+
+/// The flat lattice over a base type: `⊥ < every element < ⊤`.
+///
+/// Used to abstract base values (integers, booleans) in language substrates
+/// that have them.
+///
+/// ```rust
+/// use mai_core::lattice::{Flat, Lattice};
+/// let a = Flat::Exactly(3u8);
+/// let b = Flat::Exactly(4u8);
+/// assert_eq!(a.clone().join(a.clone()), a);
+/// assert_eq!(a.join(b), Flat::Top);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Flat<T> {
+    /// No information: the value is unreachable.
+    Bottom,
+    /// Exactly this base value.
+    Exactly(T),
+    /// Any value.
+    Top,
+}
+
+impl<T> Flat<T> {
+    /// Returns the exact value, if this element is a singleton.
+    pub fn exact(&self) -> Option<&T> {
+        match self {
+            Flat::Exactly(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl<T: Clone + Eq> Lattice for Flat<T> {
+    fn bottom() -> Self {
+        Flat::Bottom
+    }
+
+    fn join(self, other: Self) -> Self {
+        match (self, other) {
+            (Flat::Bottom, x) | (x, Flat::Bottom) => x,
+            (Flat::Top, _) | (_, Flat::Top) => Flat::Top,
+            (Flat::Exactly(a), Flat::Exactly(b)) => {
+                if a == b {
+                    Flat::Exactly(a)
+                } else {
+                    Flat::Top
+                }
+            }
+        }
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Flat::Bottom, _) => true,
+            (_, Flat::Top) => true,
+            (Flat::Exactly(a), Flat::Exactly(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl<T: Clone + Eq> TopLattice for Flat<T> {
+    fn top() -> Self {
+        Flat::Top
+    }
+}
+
+impl<T: Clone + Eq> MeetLattice for Flat<T> {
+    fn meet(self, other: Self) -> Self {
+        match (self, other) {
+            (Flat::Top, x) | (x, Flat::Top) => x,
+            (Flat::Bottom, _) | (_, Flat::Bottom) => Flat::Bottom,
+            (Flat::Exactly(a), Flat::Exactly(b)) => {
+                if a == b {
+                    Flat::Exactly(a)
+                } else {
+                    Flat::Bottom
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_set() -> impl Strategy<Value = BTreeSet<u8>> {
+        proptest::collection::btree_set(0u8..32, 0..8)
+    }
+
+    fn arb_map() -> impl Strategy<Value = BTreeMap<u8, BTreeSet<u8>>> {
+        proptest::collection::btree_map(0u8..8, arb_set(), 0..6)
+    }
+
+    proptest! {
+        #[test]
+        fn prop_set_join_is_lub(a in arb_set(), b in arb_set()) {
+            let j = a.clone().join(b.clone());
+            prop_assert!(a.leq(&j));
+            prop_assert!(b.leq(&j));
+            // least: any other upper bound is above the join
+            let ub = a.clone().join(b.clone()).join([200u8].into_iter().collect());
+            prop_assert!(j.leq(&ub));
+        }
+
+        #[test]
+        fn prop_set_join_idempotent_commutative_associative(
+            a in arb_set(), b in arb_set(), c in arb_set()
+        ) {
+            prop_assert_eq!(a.clone().join(a.clone()), a.clone());
+            prop_assert_eq!(a.clone().join(b.clone()), b.clone().join(a.clone()));
+            prop_assert_eq!(
+                a.clone().join(b.clone()).join(c.clone()),
+                a.clone().join(b.clone().join(c.clone()))
+            );
+            prop_assert_eq!(a.clone().join(BTreeSet::bottom()), a);
+        }
+
+        #[test]
+        fn prop_map_join_pointwise(a in arb_map(), b in arb_map(), k in 0u8..8) {
+            let j = a.clone().join(b.clone());
+            let expected = a.fetch_or_bottom(&k).join(b.fetch_or_bottom(&k));
+            prop_assert_eq!(j.fetch_or_bottom(&k), expected);
+        }
+
+        #[test]
+        fn prop_map_leq_iff_join_absorbs(a in arb_map(), b in arb_map()) {
+            let j = a.clone().join(b.clone());
+            prop_assert!(a.leq(&j));
+            prop_assert!(b.leq(&j));
+            // a ⊑ b iff a ⊔ b is *semantically* equal to b (maps with explicit
+            // bottom bindings are non-canonical representations, so compare
+            // with mutual ⊑ rather than structural equality).
+            prop_assert_eq!(a.leq(&b), j.leq(&b) && b.leq(&j));
+        }
+
+        #[test]
+        fn prop_pair_lattice_componentwise(a in arb_set(), b in arb_set(), c in arb_set(), d in arb_set()) {
+            let j = (a.clone(), b.clone()).join((c.clone(), d.clone()));
+            prop_assert_eq!(j.0, a.join(c));
+            prop_assert_eq!(j.1, b.join(d));
+        }
+
+        #[test]
+        fn prop_flat_laws(a in any::<u8>(), b in any::<u8>()) {
+            let fa = Flat::Exactly(a);
+            let fb = Flat::Exactly(b);
+            prop_assert!(Flat::<u8>::Bottom.leq(&fa));
+            prop_assert!(fa.leq(&Flat::Top));
+            prop_assert_eq!(fa.clone().join(fb.clone()).leq(&Flat::Top), true);
+            if a != b {
+                prop_assert_eq!(fa.clone().join(fb.clone()), Flat::Top);
+                prop_assert_eq!(fa.meet(fb), Flat::Bottom);
+            }
+        }
+    }
+
+    #[test]
+    fn option_adjoins_a_new_bottom() {
+        let a: Option<BTreeSet<u8>> = Some([1].into_iter().collect());
+        assert!(Option::<BTreeSet<u8>>::bottom().leq(&a));
+        assert_eq!(None.join(a.clone()), a);
+    }
+
+    #[test]
+    fn bool_lattice_is_implication_order() {
+        assert!(false.leq(&true));
+        assert!(!true.leq(&false));
+        assert_eq!(bool::top(), true);
+        assert_eq!(true.meet(false), false);
+    }
+
+    #[test]
+    fn join_at_merges_bindings() {
+        let m: BTreeMap<u8, BTreeSet<u8>> = BTreeMap::new();
+        let m = m.join_at(1, [1u8].into_iter().collect());
+        let m = m.join_at(1, [2u8].into_iter().collect());
+        assert_eq!(m.fetch_or_bottom(&1), [1u8, 2].into_iter().collect());
+        assert_eq!(m.fetch_or_bottom(&9), BTreeSet::new());
+    }
+
+    #[test]
+    fn triple_lattice_joins_componentwise() {
+        let a = (
+            [1u8].into_iter().collect::<BTreeSet<u8>>(),
+            false,
+            BTreeSet::<u8>::new(),
+        );
+        let b = ([2u8].into_iter().collect(), true, [9u8].into_iter().collect());
+        let j = a.join(b);
+        assert_eq!(j.0, [1u8, 2].into_iter().collect());
+        assert!(j.1);
+        assert_eq!(j.2, [9u8].into_iter().collect());
+    }
+}

@@ -1,0 +1,176 @@
+//! Kleene iteration: computing least fixed points by ascending iteration
+//! from `⊥` (paper §5.2, equation (1)).
+
+use super::Lattice;
+
+/// Computes the least fixed point of a monotone function by Kleene
+/// iteration, exactly as the paper's `kleeneIt`:
+///
+/// ```text
+/// kleeneIt f = loop ⊥  where loop c = let c' = f c in if c' ⊑ c then c else loop c'
+/// ```
+///
+/// # Termination
+///
+/// Terminates when the iterates stabilise; over a finite-height lattice (the
+/// abstract domains of the framework) this always happens.  For domains of
+/// unbounded height prefer [`kleene_it_bounded`].
+///
+/// ```rust
+/// use std::collections::BTreeSet;
+/// use mai_core::lattice::kleene_it;
+///
+/// // Reachability in a tiny graph: 0 -> 1 -> 2.
+/// let fixed: BTreeSet<u8> = kleene_it(|s: &BTreeSet<u8>| {
+///     let mut next = s.clone();
+///     next.insert(0);
+///     next.extend(s.iter().filter(|&&n| n < 2).map(|&n| n + 1));
+///     next
+/// });
+/// assert_eq!(fixed, [0u8, 1, 2].into_iter().collect());
+/// ```
+pub fn kleene_it<L, F>(f: F) -> L
+where
+    L: Lattice,
+    F: Fn(&L) -> L,
+{
+    let mut current = L::bottom();
+    loop {
+        let next = f(&current);
+        if next.leq(&current) {
+            return current;
+        }
+        current = next;
+    }
+}
+
+/// The result of a bounded Kleene iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KleeneOutcome<L> {
+    /// The iteration stabilised at this fixed point after the recorded
+    /// number of steps.
+    Converged {
+        /// The least fixed point.
+        value: L,
+        /// How many applications of the functional were needed.
+        iterations: usize,
+    },
+    /// The iteration was cut off after `max_iterations` steps; the carried
+    /// value is a sound *under*-approximation of the least fixed point of a
+    /// monotone functional (the last iterate computed).
+    Exhausted {
+        /// The last iterate computed before giving up.
+        value: L,
+        /// The bound that was hit.
+        max_iterations: usize,
+    },
+}
+
+impl<L> KleeneOutcome<L> {
+    /// The carried lattice element, whether or not the iteration converged.
+    pub fn value(&self) -> &L {
+        match self {
+            KleeneOutcome::Converged { value, .. } => value,
+            KleeneOutcome::Exhausted { value, .. } => value,
+        }
+    }
+
+    /// Whether the iteration reached a fixed point.
+    pub fn converged(&self) -> bool {
+        matches!(self, KleeneOutcome::Converged { .. })
+    }
+
+    /// Consumes the outcome, yielding the lattice element.
+    pub fn into_value(self) -> L {
+        match self {
+            KleeneOutcome::Converged { value, .. } => value,
+            KleeneOutcome::Exhausted { value, .. } => value,
+        }
+    }
+}
+
+/// Kleene iteration with an explicit bound on the number of steps, reporting
+/// whether the iteration converged.
+///
+/// Useful for analyses whose guts are allowed to grow without bound (e.g.
+/// the simple integer-time collecting semantics of §5.3, which the paper
+/// itself notes "may not terminate").
+pub fn kleene_it_bounded<L, F>(f: F, max_iterations: usize) -> KleeneOutcome<L>
+where
+    L: Lattice,
+    F: Fn(&L) -> L,
+{
+    let mut current = L::bottom();
+    for i in 0..max_iterations {
+        let next = f(&current);
+        if next.leq(&current) {
+            return KleeneOutcome::Converged {
+                value: current,
+                iterations: i,
+            };
+        }
+        current = next;
+    }
+    KleeneOutcome::Exhausted {
+        value: current,
+        max_iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn kleene_reaches_closure_of_monotone_function() {
+        let lfp: BTreeSet<u32> = kleene_it(|s: &BTreeSet<u32>| {
+            let mut next = s.clone();
+            next.insert(1);
+            next.extend(s.iter().filter(|&&x| x < 64).map(|&x| x * 2));
+            next
+        });
+        assert_eq!(lfp, [1u32, 2, 4, 8, 16, 32, 64].into_iter().collect());
+    }
+
+    #[test]
+    fn kleene_of_constant_function_is_that_constant() {
+        let constant: BTreeSet<u8> = [7u8].into_iter().collect();
+        let expected = constant.clone();
+        let lfp: BTreeSet<u8> = kleene_it(move |_| constant.clone());
+        assert_eq!(lfp, expected);
+    }
+
+    #[test]
+    fn bounded_iteration_reports_convergence() {
+        let out = kleene_it_bounded(
+            |s: &BTreeSet<u8>| {
+                let mut next = s.clone();
+                next.insert(3);
+                next
+            },
+            10,
+        );
+        assert!(out.converged());
+        assert_eq!(out.value(), &[3u8].into_iter().collect());
+        if let KleeneOutcome::Converged { iterations, .. } = out {
+            assert!(iterations <= 2);
+        }
+    }
+
+    #[test]
+    fn bounded_iteration_reports_exhaustion() {
+        // A functional over an infinite-height chain never converges.
+        let out = kleene_it_bounded(
+            |s: &BTreeSet<u64>| {
+                let mut next = s.clone();
+                next.insert(s.len() as u64);
+                next
+            },
+            5,
+        );
+        assert!(!out.converged());
+        assert_eq!(out.value().len(), 5);
+        assert_eq!(out.into_value().len(), 5);
+    }
+}

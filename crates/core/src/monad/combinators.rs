@@ -1,0 +1,236 @@
+//! Generic monadic combinators (`mapM`, `sequence`, `getsNDSet`, …).
+//!
+//! These are the handful of library functions the paper leans on to keep the
+//! monadic semantics readable: `mapM` for allocating a list of addresses or
+//! evaluating a list of arguments, `sequence` for issuing a list of store
+//! writes, and `getsNDSet` (§5.3.2) — "the crux of handling non-determinism"
+//! — for fanning a set-valued state observation out into monadic branches.
+
+use std::collections::BTreeSet;
+
+use super::{MonadFamily, MonadPlus, MonadState, Value};
+
+/// Monadic map over a vector (Haskell's `mapM`), preserving order.
+///
+/// Effects are sequenced left-to-right; the result collects one output per
+/// input.
+///
+/// ```rust
+/// use mai_core::monad::{map_m, MonadFamily, VecM};
+/// let out = map_m::<VecM, _, _, _>(|x: u8| vec![x, x + 10], vec![1, 2]);
+/// assert_eq!(out, vec![vec![1, 2], vec![1, 12], vec![11, 2], vec![11, 12]]);
+/// ```
+pub fn map_m<M, A, B, F>(f: F, xs: Vec<A>) -> M::M<Vec<B>>
+where
+    M: MonadFamily,
+    A: Value,
+    B: Value,
+    F: Fn(A) -> M::M<B> + 'static,
+{
+    let mut acc: M::M<Vec<B>> = M::pure(Vec::new());
+    for x in xs {
+        let mb: M::M<B> = f(x);
+        acc = M::bind(acc, move |ys: Vec<B>| {
+            let ys = ys.clone();
+            M::bind(mb.clone(), move |b| {
+                let mut out = ys.clone();
+                out.push(b);
+                M::pure(out)
+            })
+        });
+    }
+    acc
+}
+
+/// Sequences a vector of computations (Haskell's `sequence`).
+pub fn sequence_m<M, A>(ms: Vec<M::M<A>>) -> M::M<Vec<A>>
+where
+    M: MonadFamily,
+    A: Value,
+{
+    map_m::<M, M::M<A>, A, _>(|m| m, ms)
+}
+
+/// Monadic right fold (Haskell's `foldrM`).
+pub fn foldr_m<M, A, B, F>(f: F, init: B, xs: Vec<A>) -> M::M<B>
+where
+    M: MonadFamily,
+    A: Value,
+    B: Value,
+    F: Fn(A, B) -> M::M<B> + Clone + 'static,
+{
+    let mut acc: M::M<B> = M::pure(init);
+    for x in xs.into_iter().rev() {
+        let f = f.clone();
+        acc = M::bind(acc, move |b| f(x.clone(), b));
+    }
+    acc
+}
+
+/// Flattens a nested computation (Haskell's `join`).
+pub fn join_m<M, A>(mm: M::M<M::M<A>>) -> M::M<A>
+where
+    M: MonadFamily,
+    A: Value,
+{
+    M::bind(mm, |m| m)
+}
+
+/// Conditional effect (Haskell's `when`).
+pub fn when_m<M>(cond: bool, m: M::M<()>) -> M::M<()>
+where
+    M: MonadFamily,
+{
+    if cond {
+        m
+    } else {
+        M::pure(())
+    }
+}
+
+/// Non-deterministic sum of a collection of computations (Haskell's `msum`).
+pub fn msum<M, A>(ms: Vec<M::M<A>>) -> M::M<A>
+where
+    M: MonadPlus,
+    A: Value,
+{
+    let mut acc = M::mzero();
+    for m in ms {
+        acc = M::mplus(acc, m);
+    }
+    acc
+}
+
+/// The paper's `getsNDSet` (§5.3.2): observe the monad's state with a
+/// set-valued projection and branch non-deterministically over the members
+/// of the resulting set.
+///
+/// This single combinator is where abstract-store lookups become the
+/// non-determinism of the abstract semantics.
+///
+/// ```rust
+/// use std::collections::BTreeSet;
+/// use mai_core::monad::{gets_nd_set, run_state_t, MonadFamily, StateT, VecM};
+///
+/// type M = StateT<BTreeSet<u8>, VecM>;
+/// let m = gets_nd_set::<M, BTreeSet<u8>, u8, _>(|s| s.clone());
+/// let state: BTreeSet<u8> = [3u8, 1, 2].into_iter().collect();
+/// let results: Vec<u8> = run_state_t::<_, VecM, u8>(m, state).into_iter().map(|(a, _)| a).collect();
+/// assert_eq!(results, vec![1, 2, 3]);
+/// ```
+pub fn gets_nd_set<M, S, A, F>(f: F) -> M::M<A>
+where
+    M: MonadPlus + MonadState<S>,
+    S: Value,
+    A: Value + Ord,
+    F: Fn(&S) -> BTreeSet<A> + 'static,
+{
+    M::bind(M::get(), move |s| {
+        let mut acc = M::mzero();
+        for x in f(&s) {
+            acc = M::mplus(acc, M::pure(x));
+        }
+        acc
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monad::{run_state_t, IdM, MonadTrans, StateT, VecM};
+
+    #[test]
+    fn map_m_in_identity_is_plain_map() {
+        let out = map_m::<IdM, u32, u32, _>(|x| x + 1, vec![1, 2, 3]);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn map_m_preserves_order_and_length_under_state() {
+        type M = StateT<u32, VecM>;
+        // Each element increments the shared counter and records its old value.
+        let m = map_m::<M, u32, (u32, u32), _>(
+            |x| {
+                M::bind(<M as crate::monad::MonadState<u32>>::get(), move |c| {
+                    M::then(
+                        <M as crate::monad::MonadState<u32>>::put(c + 1),
+                        M::pure((x, c)),
+                    )
+                })
+            },
+            vec![10, 20, 30],
+        );
+        let out = run_state_t::<u32, VecM, Vec<(u32, u32)>>(m, 0);
+        assert_eq!(out, vec![(vec![(10, 0), (20, 1), (30, 2)], 3)]);
+    }
+
+    #[test]
+    fn sequence_m_collects_branches() {
+        let out = sequence_m::<VecM, u8>(vec![vec![1, 2], vec![3]]);
+        assert_eq!(out, vec![vec![1, 3], vec![2, 3]]);
+    }
+
+    #[test]
+    fn foldr_m_folds_right() {
+        let out = foldr_m::<IdM, u32, Vec<u32>, _>(
+            |x, mut acc| {
+                acc.insert(0, x);
+                acc
+            },
+            Vec::new(),
+            vec![1, 2, 3],
+        );
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn join_m_flattens() {
+        let nested: Vec<Vec<u8>> = vec![vec![1, 2], vec![3]];
+        assert_eq!(join_m::<VecM, u8>(nested), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn when_m_runs_only_when_true() {
+        type M = StateT<u32, VecM>;
+        let bump = <M as crate::monad::MonadState<u32>>::modify(|s| s + 1);
+        assert_eq!(
+            run_state_t::<u32, VecM, ()>(when_m::<M>(true, bump.clone()), 0),
+            vec![((), 1)]
+        );
+        assert_eq!(
+            run_state_t::<u32, VecM, ()>(when_m::<M>(false, bump), 0),
+            vec![((), 0)]
+        );
+    }
+
+    #[test]
+    fn msum_concatenates_alternatives() {
+        let out = msum::<VecM, u8>(vec![vec![1], vec![], vec![2, 3]]);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn gets_nd_set_branches_over_the_set() {
+        type M = StateT<BTreeSet<u8>, VecM>;
+        let m = gets_nd_set::<M, BTreeSet<u8>, u8, _>(|s| s.iter().map(|x| x * 2).collect());
+        let state: BTreeSet<u8> = [1u8, 2].into_iter().collect();
+        let out = run_state_t::<BTreeSet<u8>, VecM, u8>(m, state.clone());
+        assert_eq!(out, vec![(2, state.clone()), (4, state)]);
+    }
+
+    #[test]
+    fn lift_then_gets_nd_set_matches_paper_usage() {
+        // The paper accesses the store (inner layer) with `lift $ getsNDSet …`.
+        type Inner = StateT<BTreeSet<u8>, VecM>;
+        type Outer = StateT<u64, Inner>;
+        let m = <Outer as MonadTrans>::lift(gets_nd_set::<Inner, BTreeSet<u8>, u8, _>(|s| {
+            s.clone()
+        }));
+        let store: BTreeSet<u8> = [9u8, 7].into_iter().collect();
+        let out = run_state_t::<BTreeSet<u8>, VecM, (u8, u64)>(
+            run_state_t::<u64, Inner, u8>(m, 1),
+            store.clone(),
+        );
+        assert_eq!(out, vec![((7, 1), store.clone()), ((9, 1), store)]);
+    }
+}

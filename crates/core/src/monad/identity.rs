@@ -1,0 +1,57 @@
+//! The identity monad: computations with no effect at all.
+
+use super::{MonadFamily, Value};
+
+/// The identity monad family: `M<A> = A`.
+///
+/// Useful as the base of a transformer stack when no non-determinism is
+/// wanted (for instance a purely deterministic concrete interpreter), and as
+/// the degenerate point of the spectrum of analyses the paper describes.
+///
+/// ```rust
+/// use mai_core::monad::{IdM, MonadFamily};
+/// let v = IdM::bind(IdM::pure(20), |x| IdM::pure(x + 2));
+/// assert_eq!(v, 22);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IdM;
+
+impl MonadFamily for IdM {
+    type M<A: Value> = A;
+
+    fn pure<A: Value>(a: A) -> Self::M<A> {
+        a
+    }
+
+    fn bind<A: Value, B: Value, F>(m: Self::M<A>, k: F) -> Self::M<B>
+    where
+        F: Fn(A) -> Self::M<B> + 'static,
+    {
+        k(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_just_application() {
+        assert_eq!(IdM::pure(7u32), 7);
+        assert_eq!(IdM::bind(7u32, |x| x + 1), 8);
+        assert_eq!(IdM::fmap(7u32, |x| x * 2), 14);
+    }
+
+    #[test]
+    fn identity_monad_laws() {
+        let k = |x: u32| x.wrapping_mul(3);
+        // left identity
+        assert_eq!(IdM::bind(IdM::pure(5u32), move |x| IdM::pure(k(x))), k(5));
+        // right identity
+        assert_eq!(IdM::bind(11u32, IdM::pure), 11);
+        // associativity
+        let lhs = IdM::bind(IdM::bind(2u32, |x| x + 1), |y| y * 2);
+        let rhs = IdM::bind(2u32, |x| IdM::bind(x + 1, |y| y * 2));
+        assert_eq!(lhs, rhs);
+    }
+}

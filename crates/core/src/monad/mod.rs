@@ -1,0 +1,248 @@
+//! The analysis monads.
+//!
+//! The paper expresses its semantic interfaces against an arbitrary Haskell
+//! `Monad m`, and recovers specific interpreters and analyses by choosing a
+//! concrete monad: the `IO` monad for the concrete interpreter, and the
+//! `StorePassing s g = StateT g (StateT s [])` monad stack for the
+//! collecting/abstract semantics.
+//!
+//! Rust has no higher-kinded types, but *generic associated types* express
+//! the same `* -> *` abstraction: a [`MonadFamily`] is a (usually zero-sized)
+//! marker type whose associated type constructor `M<A>` is the monad.  This
+//! module provides:
+//!
+//! * [`MonadFamily`] — `return`/`pure` and `>>=`/`bind`, plus derived
+//!   combinators.
+//! * [`MonadPlus`] — non-deterministic choice (`mzero`/`mplus`), the
+//!   mechanism by which abstraction-induced branching is "captured,
+//!   explained and throttled entirely monadically" (paper §3.1).
+//! * [`MonadState`] — access to a state component carried by the monad
+//!   (the store, the time-stamp, abstract counters, …).
+//! * [`MonadTrans`] — explicit `lift`ing through one transformer layer,
+//!   exactly as the paper's `StorePassing` instances use Haskell's `lift`.
+//! * Concrete families: [`IdM`], [`VecM`], [`StateM`], [`StateT`] and the
+//!   assembled [`StorePassing`] stack.
+//! * [`combinators`] — `map_m`, `sequence_m`, `gets_nd_set` and friends.
+//!
+//! ### Design notes (faithfulness vs. Rust)
+//!
+//! Monadic values built from [`StateT`] are reference-counted closures
+//! (`Rc<dyn Fn(S) -> …>`), so they can be run several times — which is
+//! required because the non-determinism at the bottom of the stack re-runs
+//! continuations once per branch.  Consequently all payload types carried by
+//! a monad must implement [`Value`] (`Clone + 'static`); this corresponds to
+//! the ubiquitous `(Ord a, Eq a)`-style constraints of the Haskell original
+//! and is harmless for the finite machine states the framework manipulates.
+
+mod identity;
+mod nondet;
+mod state;
+mod state_t;
+
+pub mod combinators;
+
+pub use combinators::{foldr_m, gets_nd_set, join_m, map_m, msum, sequence_m, when_m};
+pub use identity::IdM;
+pub use nondet::VecM;
+pub use state::{eval_state, exec_state, run_state, StateM};
+pub use state_t::{run_state_t, StateT};
+
+/// A value that may be carried by an analysis monad.
+///
+/// This is a "trait alias" for `Clone + 'static`.  Every machine state,
+/// environment, abstract value and address in the framework satisfies it.
+pub trait Value: Clone + 'static {}
+
+impl<T: Clone + 'static> Value for T {}
+
+/// A family of monadic computations, encoded with a generic associated type.
+///
+/// A `MonadFamily` plays the role of Haskell's `Monad m` class; the family
+/// itself is a marker type (e.g. [`VecM`] or [`StateT<S, N>`](StateT)) and
+/// `Self::M<A>` is the type of computations producing an `A`.
+///
+/// # Laws
+///
+/// Implementations are expected to satisfy the monad laws up to observable
+/// behaviour (verified by property tests in this crate for the provided
+/// families):
+///
+/// * left identity: `bind(pure(a), k) ≡ k(a)`
+/// * right identity: `bind(m, pure) ≡ m`
+/// * associativity: `bind(bind(m, k), h) ≡ bind(m, |a| bind(k(a), h))`
+///
+/// ```rust
+/// use mai_core::monad::{MonadFamily, VecM};
+/// let m = VecM::pure(21u64);
+/// let n = VecM::bind(m, |x| VecM::pure(x * 2));
+/// assert_eq!(n, vec![42]);
+/// ```
+pub trait MonadFamily {
+    /// The type of computations in this monad producing values of type `A`.
+    type M<A: Value>: Clone + 'static;
+
+    /// Haskell's `return` / `pure`: the computation that immediately yields
+    /// `a` with no effect.
+    fn pure<A: Value>(a: A) -> Self::M<A>;
+
+    /// Haskell's `>>=`: sequence `m` with the continuation `k`.
+    ///
+    /// The continuation may be invoked zero, one or many times (many times
+    /// in the presence of non-determinism), which is why it is a `Fn` and
+    /// why monadic payloads must be [`Value`].
+    fn bind<A: Value, B: Value, F>(m: Self::M<A>, k: F) -> Self::M<B>
+    where
+        F: Fn(A) -> Self::M<B> + 'static;
+
+    /// Functorial map, derived from [`bind`](MonadFamily::bind) and
+    /// [`pure`](MonadFamily::pure).
+    fn fmap<A: Value, B: Value, F>(m: Self::M<A>, f: F) -> Self::M<B>
+    where
+        F: Fn(A) -> B + 'static,
+    {
+        Self::bind(m, move |a| Self::pure(f(a)))
+    }
+
+    /// Haskell's `>>`: sequence two computations, discarding the first
+    /// result.
+    fn then<A: Value, B: Value>(m: Self::M<A>, n: Self::M<B>) -> Self::M<B> {
+        Self::bind(m, move |_| n.clone())
+    }
+}
+
+/// Monads with non-deterministic choice (Haskell's `MonadPlus`).
+///
+/// In the paper, the non-determinism introduced by abstracting an
+/// operational semantics (a variable may be bound to *several* abstract
+/// closures) is threaded through `MonadPlus`; the analysis literally
+/// enumerates branches with `mplus`.
+///
+/// ```rust
+/// use mai_core::monad::{MonadFamily, MonadPlus, VecM};
+/// let m: Vec<u8> = VecM::mplus(VecM::pure(1), VecM::mplus(VecM::mzero(), VecM::pure(2)));
+/// assert_eq!(m, vec![1, 2]);
+/// ```
+pub trait MonadPlus: MonadFamily {
+    /// The failing computation (no results).
+    fn mzero<A: Value>() -> Self::M<A>;
+
+    /// Non-deterministic choice between two computations.
+    fn mplus<A: Value>(x: Self::M<A>, y: Self::M<A>) -> Self::M<A>;
+}
+
+/// Monads carrying a state component of type `S` (Haskell's `MonadState`).
+///
+/// The `StorePassing` stack implements `MonadState<G>` for its *outer* state
+/// (the analysis "guts": the time-stamp / context); the inner store is
+/// reached through [`MonadTrans::lift`], exactly as the paper's instances
+/// do.
+pub trait MonadState<S: Value>: MonadFamily {
+    /// Yields the current state.
+    fn get() -> Self::M<S>;
+
+    /// Replaces the current state.
+    fn put(s: S) -> Self::M<()>;
+
+    /// Applies a function to the current state.
+    fn modify<F>(f: F) -> Self::M<()>
+    where
+        F: Fn(S) -> S + 'static,
+    {
+        Self::bind(Self::get(), move |s| Self::put(f(s)))
+    }
+
+    /// Projects a value out of the current state.
+    fn gets<A: Value, F>(f: F) -> Self::M<A>
+    where
+        F: Fn(&S) -> A + 'static,
+    {
+        Self::bind(Self::get(), move |s| Self::pure(f(&s)))
+    }
+}
+
+/// A monad transformer: a family built on top of a `Base` family, with an
+/// explicit `lift` (Haskell's `MonadTrans`).
+pub trait MonadTrans: MonadFamily {
+    /// The underlying monad this transformer wraps.
+    type Base: MonadFamily;
+
+    /// Lifts a computation of the base monad into the transformed monad.
+    fn lift<A: Value>(m: <Self::Base as MonadFamily>::M<A>) -> Self::M<A>;
+}
+
+/// The paper's analysis monad (§5.3.1):
+///
+/// ```text
+/// type StorePassing s g = StateT g (StateT s [])
+/// ```
+///
+/// reading the stack "inside-out", a computation of type
+/// `StorePassing<G, S>::M<A>` is a function `G -> S -> Vec<((A, G), S)>`:
+/// given the analysis guts (time-stamp/context) and the store it produces a
+/// *set* of results, each paired with an updated guts and store.
+///
+/// `G` is the "guts" (outer state: the context/time component), `S` is the
+/// store.  Use [`run_store_passing`] to run a computation to this desugared
+/// form.
+pub type StorePassing<G, S> = StateT<G, StateT<S, VecM>>;
+
+/// Runs a [`StorePassing`] computation, exposing the desugared
+/// `g -> s -> Vec<((a, g), s)>` shape described in §5.3.1 of the paper.
+///
+/// ```rust
+/// use mai_core::monad::{run_store_passing, MonadFamily, MonadState, StorePassing};
+///
+/// type M = StorePassing<u32, u32>;
+/// let m = <M as MonadState<u32>>::modify(|t| t + 1);
+/// let results = run_store_passing::<u32, u32, ()>(m, 7, 100);
+/// assert_eq!(results, vec![(((), 8), 100)]);
+/// ```
+pub fn run_store_passing<G: Value, S: Value, A: Value>(
+    m: <StorePassing<G, S> as MonadFamily>::M<A>,
+    guts: G,
+    store: S,
+) -> Vec<((A, G), S)> {
+    run_state_t::<S, VecM, (A, G)>(run_state_t::<G, StateT<S, VecM>, A>(m, guts), store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Sp = StorePassing<u64, u64>;
+
+    #[test]
+    fn store_passing_threads_both_states() {
+        // Increment the guts, then (via lift) double the store.
+        let m = Sp::bind(<Sp as MonadState<u64>>::modify(|t| t + 1), |_| {
+            <Sp as MonadTrans>::lift(<StateT<u64, VecM> as MonadState<u64>>::modify(|s| s * 2))
+        });
+        let out = run_store_passing::<u64, u64, ()>(m, 1, 10);
+        assert_eq!(out, vec![(((), 2), 20)]);
+    }
+
+    #[test]
+    fn store_passing_nondeterminism_duplicates_state_threads() {
+        // Two branches, each then increments the guts independently.
+        let branches: <Sp as MonadFamily>::M<u64> = Sp::mplus(Sp::pure(10), Sp::pure(20));
+        let m = Sp::bind(branches, |v| {
+            Sp::bind(<Sp as MonadState<u64>>::modify(move |t| t + v), move |_| {
+                Sp::pure(v)
+            })
+        });
+        let out = run_store_passing::<u64, u64, u64>(m, 0, 0);
+        assert_eq!(out, vec![((10, 10), 0), ((20, 20), 0)]);
+    }
+
+    #[test]
+    fn then_discards_first_result() {
+        let m = VecM::then(VecM::pure("ignored"), VecM::pure(5u8));
+        assert_eq!(m, vec![5]);
+    }
+
+    #[test]
+    fn fmap_maps_over_all_branches() {
+        let m = VecM::fmap(vec![1u8, 2, 3], |x| x * 10);
+        assert_eq!(m, vec![10, 20, 30]);
+    }
+}

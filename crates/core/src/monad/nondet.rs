@@ -1,0 +1,103 @@
+//! The non-determinism (list) monad.
+
+use super::{MonadFamily, MonadPlus, Value};
+
+/// The list monad family: `M<A> = Vec<A>`.
+///
+/// This is the monad the paper uses to "capture, explain and throttle"
+/// the non-determinism introduced by abstraction: looking up a variable in
+/// an abstract store yields a *set* of abstract closures, and the semantics
+/// branches over each of them.  Sitting at the bottom of the
+/// [`StorePassing`](super::StorePassing) stack it turns the whole analysis
+/// monad into a function producing a set of results.
+///
+/// The order of results follows the left-to-right order of `mplus`; callers
+/// that need set semantics collect the results into a `BTreeSet` (as the
+/// collecting-semantics domains in [`crate::collect`] do).
+///
+/// ```rust
+/// use mai_core::monad::{MonadFamily, MonadPlus, VecM};
+/// let pairs = VecM::bind(vec![1u8, 2], |x| VecM::bind(vec![10u8, 20], move |y| VecM::pure(x + y)));
+/// assert_eq!(pairs, vec![11, 21, 12, 22]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VecM;
+
+impl MonadFamily for VecM {
+    type M<A: Value> = Vec<A>;
+
+    fn pure<A: Value>(a: A) -> Self::M<A> {
+        vec![a]
+    }
+
+    fn bind<A: Value, B: Value, F>(m: Self::M<A>, k: F) -> Self::M<B>
+    where
+        F: Fn(A) -> Self::M<B> + 'static,
+    {
+        m.into_iter().flat_map(k).collect()
+    }
+}
+
+impl MonadPlus for VecM {
+    fn mzero<A: Value>() -> Self::M<A> {
+        Vec::new()
+    }
+
+    fn mplus<A: Value>(mut x: Self::M<A>, y: Self::M<A>) -> Self::M<A> {
+        x.extend(y);
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bind_is_flat_map() {
+        let out = VecM::bind(vec![1u32, 2, 3], |x| vec![x, x * 10]);
+        assert_eq!(out, vec![1, 10, 2, 20, 3, 30]);
+    }
+
+    #[test]
+    fn mzero_annihilates_bind() {
+        let out: Vec<u32> = VecM::bind(VecM::mzero::<u32>(), |x| VecM::pure(x + 1));
+        assert!(out.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_left_identity(a in any::<u16>(), mult in any::<u16>()) {
+            let k = move |x: u16| vec![x.wrapping_mul(mult), x.wrapping_add(1)];
+            prop_assert_eq!(VecM::bind(VecM::pure(a), k), k(a));
+        }
+
+        #[test]
+        fn prop_right_identity(xs in proptest::collection::vec(any::<u16>(), 0..16)) {
+            prop_assert_eq!(VecM::bind(xs.clone(), VecM::pure), xs);
+        }
+
+        #[test]
+        fn prop_associativity(xs in proptest::collection::vec(any::<u16>(), 0..8)) {
+            let k = |x: u16| vec![x, x.wrapping_add(1)];
+            let h = |x: u16| vec![x.wrapping_mul(2)];
+            let lhs = VecM::bind(VecM::bind(xs.clone(), k), h);
+            let rhs = VecM::bind(xs, move |a| VecM::bind(k(a), h));
+            prop_assert_eq!(lhs, rhs);
+        }
+
+        #[test]
+        fn prop_mplus_is_associative_with_mzero_unit(
+            xs in proptest::collection::vec(any::<u16>(), 0..8),
+            ys in proptest::collection::vec(any::<u16>(), 0..8),
+            zs in proptest::collection::vec(any::<u16>(), 0..8),
+        ) {
+            let lhs = VecM::mplus(VecM::mplus(xs.clone(), ys.clone()), zs.clone());
+            let rhs = VecM::mplus(xs.clone(), VecM::mplus(ys, zs));
+            prop_assert_eq!(lhs, rhs);
+            prop_assert_eq!(VecM::mplus(VecM::mzero(), xs.clone()), xs.clone());
+            prop_assert_eq!(VecM::mplus(xs.clone(), VecM::mzero()), xs);
+        }
+    }
+}

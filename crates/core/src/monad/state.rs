@@ -1,0 +1,139 @@
+//! The plain state monad.
+
+use std::rc::Rc;
+
+use super::{MonadFamily, MonadState, Value};
+
+/// The state monad family over a state type `S`: `M<A> = S -> (A, S)`.
+///
+/// This is the monad used to recover a *concrete* interpreter from the
+/// monadically-parameterized semantics (paper §4).  The paper uses Haskell's
+/// `IO` monad with `IORef`s as "the real heap"; here a deterministic state
+/// monad threading an explicit heap plays the same role (see the
+/// `mai-cps`/`mai-lambda`/`mai-fj` concrete interpreters), which preserves
+/// the relevant behaviour: every allocation is fresh, lookups are exact and
+/// updates are strong.
+///
+/// ```rust
+/// use mai_core::monad::{run_state, MonadFamily, MonadState, StateM};
+///
+/// type Counter = StateM<u64>;
+/// let m = Counter::bind(<Counter as MonadState<u64>>::get(), |n| {
+///     Counter::then(<Counter as MonadState<u64>>::put(n + 1), Counter::pure(n))
+/// });
+/// assert_eq!(run_state(m, 41), (41, 42));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StateM<S>(std::marker::PhantomData<S>);
+
+impl<S: Value> MonadFamily for StateM<S> {
+    type M<A: Value> = Rc<dyn Fn(S) -> (A, S)>;
+
+    fn pure<A: Value>(a: A) -> Self::M<A> {
+        Rc::new(move |s| (a.clone(), s))
+    }
+
+    fn bind<A: Value, B: Value, F>(m: Self::M<A>, k: F) -> Self::M<B>
+    where
+        F: Fn(A) -> Self::M<B> + 'static,
+    {
+        Rc::new(move |s| {
+            let (a, s1) = m(s);
+            (k(a))(s1)
+        })
+    }
+}
+
+impl<S: Value> MonadState<S> for StateM<S> {
+    fn get() -> Self::M<S> {
+        Rc::new(|s: S| (s.clone(), s))
+    }
+
+    fn put(s: S) -> Self::M<()> {
+        Rc::new(move |_old| ((), s.clone()))
+    }
+
+    fn modify<F>(f: F) -> Self::M<()>
+    where
+        F: Fn(S) -> S + 'static,
+    {
+        Rc::new(move |s| ((), f(s)))
+    }
+
+    fn gets<A: Value, F>(f: F) -> Self::M<A>
+    where
+        F: Fn(&S) -> A + 'static,
+    {
+        Rc::new(move |s| {
+            let a = f(&s);
+            (a, s)
+        })
+    }
+}
+
+/// Runs a [`StateM`] computation with an initial state, returning the result
+/// and the final state.
+pub fn run_state<S: Value, A: Value>(m: <StateM<S> as MonadFamily>::M<A>, s: S) -> (A, S) {
+    m(s)
+}
+
+/// Runs a [`StateM`] computation and keeps only its result.
+pub fn eval_state<S: Value, A: Value>(m: <StateM<S> as MonadFamily>::M<A>, s: S) -> A {
+    m(s).0
+}
+
+/// Runs a [`StateM`] computation and keeps only the final state.
+pub fn exec_state<S: Value, A: Value>(m: <StateM<S> as MonadFamily>::M<A>, s: S) -> S {
+    m(s).1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type C = StateM<i64>;
+
+    #[test]
+    fn get_put_round_trip() {
+        let m = C::bind(<C as MonadState<i64>>::get(), |n| {
+            <C as MonadState<i64>>::put(n * 2)
+        });
+        assert_eq!(run_state(m, 21), ((), 42));
+    }
+
+    #[test]
+    fn modify_and_gets() {
+        let m = C::then(
+            <C as MonadState<i64>>::modify(|n| n + 5),
+            <C as MonadState<i64>>::gets(|n| n * 10),
+        );
+        assert_eq!(run_state(m, 1), (60, 6));
+    }
+
+    #[test]
+    fn eval_and_exec_project_the_pair() {
+        let m = C::then(<C as MonadState<i64>>::modify(|n| n + 1), C::pure("done"));
+        assert_eq!(eval_state(m.clone(), 0), "done");
+        assert_eq!(exec_state(m, 0), 1);
+    }
+
+    #[test]
+    fn monadic_values_are_reusable() {
+        // Rc-based encodings may be run several times with different states.
+        let m = <C as MonadState<i64>>::gets(|n| n + 1);
+        assert_eq!(run_state(m.clone(), 1).0, 2);
+        assert_eq!(run_state(m, 10).0, 11);
+    }
+
+    #[test]
+    fn state_monad_laws_observationally() {
+        let k = |x: i64| <C as MonadState<i64>>::gets(move |s| s + x);
+        let lhs = C::bind(C::pure(3), k);
+        let rhs = k(3);
+        assert_eq!(run_state(lhs, 100), run_state(rhs, 100));
+
+        let m = <C as MonadState<i64>>::gets(|s| s * 2);
+        let lhs = C::bind(m.clone(), C::pure);
+        assert_eq!(run_state(lhs, 7), run_state(m, 7));
+    }
+}

@@ -1,0 +1,167 @@
+//! The state monad *transformer*.
+
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+use super::{MonadFamily, MonadPlus, MonadState, MonadTrans, Value};
+
+/// The state transformer `StateT<S, N>`: `M<A> = S -> N::M<(A, S)>`.
+///
+/// Stacking two of these over the non-determinism monad yields the paper's
+/// analysis monad (§5.3.1):
+///
+/// ```text
+/// type StorePassing s g = StateT g (StateT s [])
+/// ```
+///
+/// The outer layer carries the analysis "guts" (time-stamps / contexts), the
+/// inner layer carries the store, and the list at the bottom carries the
+/// non-determinism of the abstract semantics.  Exactly as in the paper, the
+/// outer layer's [`MonadState`] accesses the guts directly while the store
+/// is reached with an explicit [`MonadTrans::lift`].
+///
+/// ```rust
+/// use mai_core::monad::{run_state_t, MonadFamily, MonadState, StateT, VecM};
+///
+/// type M = StateT<u32, VecM>;
+/// let m = <M as MonadState<u32>>::modify(|s| s + 1);
+/// assert_eq!(run_state_t::<u32, VecM, ()>(m, 9), vec![((), 10)]);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StateT<S, N>(PhantomData<(S, N)>);
+
+impl<S: Value, N: MonadFamily + 'static> MonadFamily for StateT<S, N> {
+    type M<A: Value> = Rc<dyn Fn(S) -> N::M<(A, S)>>;
+
+    fn pure<A: Value>(a: A) -> Self::M<A> {
+        Rc::new(move |s| N::pure((a.clone(), s)))
+    }
+
+    fn bind<A: Value, B: Value, F>(m: Self::M<A>, k: F) -> Self::M<B>
+    where
+        F: Fn(A) -> Self::M<B> + 'static,
+    {
+        let k = Rc::new(k);
+        Rc::new(move |s| {
+            let k = Rc::clone(&k);
+            N::bind(m(s), move |(a, s1)| (k(a))(s1))
+        })
+    }
+}
+
+impl<S: Value, N: MonadPlus + 'static> MonadPlus for StateT<S, N> {
+    fn mzero<A: Value>() -> Self::M<A> {
+        Rc::new(move |_s| N::mzero())
+    }
+
+    fn mplus<A: Value>(x: Self::M<A>, y: Self::M<A>) -> Self::M<A> {
+        Rc::new(move |s: S| N::mplus(x(s.clone()), y(s)))
+    }
+}
+
+impl<S: Value, N: MonadFamily + 'static> MonadState<S> for StateT<S, N> {
+    fn get() -> Self::M<S> {
+        Rc::new(|s: S| N::pure((s.clone(), s)))
+    }
+
+    fn put(s: S) -> Self::M<()> {
+        Rc::new(move |_old| N::pure(((), s.clone())))
+    }
+
+    fn modify<F>(f: F) -> Self::M<()>
+    where
+        F: Fn(S) -> S + 'static,
+    {
+        Rc::new(move |s| N::pure(((), f(s))))
+    }
+
+    fn gets<A: Value, F>(f: F) -> Self::M<A>
+    where
+        F: Fn(&S) -> A + 'static,
+    {
+        Rc::new(move |s| {
+            let a = f(&s);
+            N::pure((a, s))
+        })
+    }
+}
+
+impl<S: Value, N: MonadFamily + 'static> MonadTrans for StateT<S, N> {
+    type Base = N;
+
+    fn lift<A: Value>(m: N::M<A>) -> Self::M<A> {
+        Rc::new(move |s: S| {
+            let s2 = s;
+            N::bind(m.clone(), move |a| N::pure((a, s2.clone())))
+        })
+    }
+}
+
+/// Runs one [`StateT`] layer with an initial state, exposing the computation
+/// of the underlying monad.
+pub fn run_state_t<S: Value, N: MonadFamily + 'static, A: Value>(
+    m: <StateT<S, N> as MonadFamily>::M<A>,
+    s: S,
+) -> N::M<(A, S)> {
+    m(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monad::VecM;
+
+    type M = StateT<u32, VecM>;
+
+    #[test]
+    fn state_layer_threads_through_nondeterminism() {
+        // Branch first, then each branch bumps the state by its own value.
+        let branches: <M as MonadFamily>::M<u32> = M::mplus(M::pure(1), M::pure(2));
+        let m = M::bind(branches, |v| {
+            M::then(
+                <M as MonadState<u32>>::modify(move |s| s + v),
+                M::pure(v * 100),
+            )
+        });
+        assert_eq!(run_state_t::<u32, VecM, u32>(m, 0), vec![(100, 1), (200, 2)]);
+    }
+
+    #[test]
+    fn lift_injects_base_nondeterminism() {
+        let m = <M as MonadTrans>::lift(vec![7u32, 8]);
+        assert_eq!(run_state_t::<u32, VecM, u32>(m, 3), vec![(7, 3), (8, 3)]);
+    }
+
+    #[test]
+    fn mzero_produces_no_results() {
+        let m: <M as MonadFamily>::M<u32> = M::mzero();
+        assert!(run_state_t::<u32, VecM, u32>(m, 0).is_empty());
+    }
+
+    #[test]
+    fn put_and_get_observe_each_other() {
+        let m = M::then(
+            <M as MonadState<u32>>::put(55),
+            <M as MonadState<u32>>::get(),
+        );
+        assert_eq!(run_state_t::<u32, VecM, u32>(m, 0), vec![(55, 55)]);
+    }
+
+    #[test]
+    fn monad_laws_observationally() {
+        let k = |x: u32| <M as MonadState<u32>>::gets(move |s| s + x);
+        let lhs = M::bind(M::pure(4), k);
+        let rhs = k(4);
+        assert_eq!(
+            run_state_t::<u32, VecM, u32>(lhs, 10),
+            run_state_t::<u32, VecM, u32>(rhs, 10)
+        );
+
+        let m = M::mplus(M::pure(1u32), M::pure(2));
+        let lhs = M::bind(m.clone(), M::pure);
+        assert_eq!(
+            run_state_t::<u32, VecM, u32>(lhs, 0),
+            run_state_t::<u32, VecM, u32>(m, 0)
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! Interned identifiers and program-point labels.
+//!
+//! Every language substrate (CPS, direct-style λ-calculus, Featherweight
+//! Java) refers to variables, fields and methods through [`Name`] and to
+//! program points (call sites, allocation sites) through [`Label`].  Keeping
+//! these in the core crate is what allows the polyvariance machinery of
+//! [`crate::addr`] to be completely language-independent: a k-CFA context is
+//! a bounded string of [`Label`]s no matter which calculus produced them.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// An identifier: a variable, field, method or class name.
+///
+/// Internally a cheaply-cloneable shared string.  `Name`s are ordered and
+/// hashable so that they can serve as keys of environments and as components
+/// of abstract addresses.
+///
+/// ```rust
+/// use mai_core::name::Name;
+/// let x = Name::from("x");
+/// assert_eq!(x.as_str(), "x");
+/// assert_eq!(x.to_string(), "x");
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Name(Arc<str>);
+
+impl Name {
+    /// Creates a new name from anything string-like.
+    pub fn new(s: impl AsRef<str>) -> Self {
+        Name(Arc::from(s.as_ref()))
+    }
+
+    /// A view of the underlying identifier text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Derives a fresh, related name by appending a suffix.
+    ///
+    /// Used by the machine constructions that need synthetic names (for
+    /// example store-allocated continuations use the name of the expression
+    /// label they belong to).
+    pub fn suffixed(&self, suffix: &str) -> Self {
+        Name::new(format!("{}{}", self.0, suffix))
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Name({})", self.0)
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Name {
+    fn from(s: &str) -> Self {
+        Name::new(s)
+    }
+}
+
+impl From<String> for Name {
+    fn from(s: String) -> Self {
+        Name::new(s)
+    }
+}
+
+impl AsRef<str> for Name {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+/// A program-point label.
+///
+/// Labels are attached to call sites (and other interesting program points)
+/// by each language front end; the context abstractions of [`crate::addr`]
+/// record bounded sequences of them.  Label `0` is reserved for "no
+/// particular program point" (used e.g. by synthetic halt continuations).
+///
+/// ```rust
+/// use mai_core::name::Label;
+/// let l = Label::new(42);
+/// assert_eq!(l.index(), 42);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Label(u32);
+
+impl Label {
+    /// Creates a label with the given index.
+    pub fn new(index: u32) -> Self {
+        Label(index)
+    }
+
+    /// The reserved "nowhere" label.
+    pub fn none() -> Self {
+        Label(0)
+    }
+
+    /// The numeric index of this label.
+    pub fn index(&self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ℓ{}", self.0)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ℓ{}", self.0)
+    }
+}
+
+/// A monotonically increasing supply of fresh labels.
+///
+/// Language front ends use one `LabelSupply` per program so that every call
+/// site receives a unique [`Label`].
+///
+/// ```rust
+/// use mai_core::name::LabelSupply;
+/// let mut supply = LabelSupply::new();
+/// let a = supply.fresh();
+/// let b = supply.fresh();
+/// assert_ne!(a, b);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LabelSupply {
+    next: u32,
+}
+
+impl LabelSupply {
+    /// Creates a supply whose first fresh label is `ℓ1` (`ℓ0` is reserved).
+    pub fn new() -> Self {
+        LabelSupply { next: 1 }
+    }
+
+    /// Produces the next unused label.
+    pub fn fresh(&mut self) -> Label {
+        let l = Label(self.next);
+        self.next += 1;
+        l
+    }
+
+    /// How many labels have been handed out so far.
+    pub fn count(&self) -> u32 {
+        self.next.saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn names_compare_by_content() {
+        assert_eq!(Name::from("x"), Name::new(String::from("x")));
+        assert!(Name::from("a") < Name::from("b"));
+    }
+
+    #[test]
+    fn name_display_and_debug_are_nonempty() {
+        let n = Name::from("foo");
+        assert_eq!(n.to_string(), "foo");
+        assert!(format!("{:?}", n).contains("foo"));
+    }
+
+    #[test]
+    fn suffixed_derives_distinct_names() {
+        let n = Name::from("k");
+        let s = n.suffixed("$1");
+        assert_ne!(n, s);
+        assert_eq!(s.as_str(), "k$1");
+    }
+
+    #[test]
+    fn labels_are_ordered_by_index() {
+        assert!(Label::new(1) < Label::new(2));
+        assert_eq!(Label::none().index(), 0);
+    }
+
+    #[test]
+    fn label_supply_is_injective() {
+        let mut supply = LabelSupply::new();
+        let labels: BTreeSet<Label> = (0..100).map(|_| supply.fresh()).collect();
+        assert_eq!(labels.len(), 100);
+        assert!(!labels.contains(&Label::none()));
+        assert_eq!(supply.count(), 100);
+    }
+
+    #[test]
+    fn names_work_as_map_keys() {
+        use std::collections::BTreeMap;
+        let mut m = BTreeMap::new();
+        m.insert(Name::from("x"), 1);
+        m.insert(Name::from("y"), 2);
+        assert_eq!(m[&Name::from("x")], 1);
+    }
+}

@@ -1,0 +1,204 @@
+//! The plain power-set store.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::addr::Address;
+use crate::lattice::{Lattice, PointwiseExt};
+
+use super::StoreLike;
+
+/// The standard abstract store of the abstracted abstract machine:
+/// a point-wise map from addresses to *sets* of values,
+/// `Ŝtore = Âddr → P(D̂)`.
+///
+/// `bind` performs the weak update `σ ⊔ [â ↦ {d̂}]`; `replace` performs a
+/// strong update.  The store is itself a lattice (point-wise join), an
+/// ordered value (so it can participate in power-set analysis domains) and
+/// printable.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BasicStore<A: Ord, V: Ord> {
+    bindings: BTreeMap<A, BTreeSet<V>>,
+}
+
+impl<A: Ord + Clone, V: Ord + Clone> BasicStore<A, V> {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        BasicStore {
+            bindings: BTreeMap::new(),
+        }
+    }
+
+    /// Iterates over the bindings of the store.
+    pub fn iter(&self) -> impl Iterator<Item = (&A, &BTreeSet<V>)> {
+        self.bindings.iter()
+    }
+
+    /// The total number of `(address, value)` facts in the store — the
+    /// usual "size of the flow relation" precision metric.
+    pub fn fact_count(&self) -> usize {
+        self.bindings.values().map(|vs| vs.len()).sum()
+    }
+
+    /// The number of addresses whose value set is a singleton — a common
+    /// precision metric (more singletons means more definite flows).
+    pub fn singleton_count(&self) -> usize {
+        self.bindings.values().filter(|vs| vs.len() == 1).count()
+    }
+}
+
+impl<A: Ord + Clone + fmt::Debug, V: Ord + Clone + fmt::Debug> fmt::Debug for BasicStore<A, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.bindings.iter()).finish()
+    }
+}
+
+impl<A: Ord + Clone, V: Ord + Clone> Lattice for BasicStore<A, V> {
+    fn bottom() -> Self {
+        BasicStore::new()
+    }
+
+    fn join(self, other: Self) -> Self {
+        BasicStore {
+            bindings: self.bindings.join(other.bindings),
+        }
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.bindings.leq(&other.bindings)
+    }
+}
+
+impl<A, V> StoreLike<A> for BasicStore<A, V>
+where
+    A: Address,
+    V: Ord + Clone + fmt::Debug + 'static,
+{
+    type D = BTreeSet<V>;
+
+    fn bind(mut self, a: A, d: Self::D) -> Self {
+        self.bindings = self.bindings.join_at(a, d);
+        self
+    }
+
+    fn replace(mut self, a: A, d: Self::D) -> Self {
+        self.bindings.insert(a, d);
+        self
+    }
+
+    fn fetch(&self, a: &A) -> Self::D {
+        self.bindings.fetch_or_bottom(a)
+    }
+
+    fn filter_store<F>(mut self, keep: F) -> Self
+    where
+        F: Fn(&A) -> bool,
+    {
+        self.bindings.retain(|a, _| keep(a));
+        self
+    }
+
+    fn addresses(&self) -> BTreeSet<A> {
+        self.bindings.keys().cloned().collect()
+    }
+}
+
+impl<A: Ord + Clone, V: Ord + Clone> FromIterator<(A, BTreeSet<V>)> for BasicStore<A, V> {
+    fn from_iter<T: IntoIterator<Item = (A, BTreeSet<V>)>>(iter: T) -> Self {
+        let mut store = BasicStore::new();
+        for (a, d) in iter {
+            store.bindings = store.bindings.join_at(a, d);
+        }
+        store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    type S = BasicStore<u8, u8>;
+
+    fn set(xs: &[u8]) -> BTreeSet<u8> {
+        xs.iter().copied().collect()
+    }
+
+    #[test]
+    fn bind_is_a_weak_update() {
+        let s = S::new().bind(1, set(&[10])).bind(1, set(&[20]));
+        assert_eq!(s.fetch(&1), set(&[10, 20]));
+        assert_eq!(s.fact_count(), 2);
+        assert_eq!(s.singleton_count(), 0);
+    }
+
+    #[test]
+    fn replace_is_a_strong_update() {
+        let s = S::new().bind(1, set(&[10, 20])).replace(1, set(&[30]));
+        assert_eq!(s.fetch(&1), set(&[30]));
+        assert_eq!(s.singleton_count(), 1);
+    }
+
+    #[test]
+    fn fetch_of_unbound_address_is_bottom() {
+        assert_eq!(S::new().fetch(&9), BTreeSet::new());
+    }
+
+    #[test]
+    fn filter_store_restricts_the_domain() {
+        let s = S::new()
+            .bind(1, set(&[1]))
+            .bind(2, set(&[2]))
+            .bind(3, set(&[3]))
+            .filter_store(|a| *a != 2);
+        assert_eq!(s.addresses(), set(&[1, 3]));
+        assert!(!s.contains(&2));
+    }
+
+    #[test]
+    fn from_iterator_joins_duplicate_addresses() {
+        let s: S = vec![(1u8, set(&[1])), (1, set(&[2]))].into_iter().collect();
+        assert_eq!(s.fetch(&1), set(&[1, 2]));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bind_only_grows_the_store(
+            addrs in proptest::collection::vec((0u8..8, 0u8..8), 0..20)
+        ) {
+            let mut s = S::new();
+            for (a, v) in addrs {
+                let next = s.clone().bind(a, set(&[v]));
+                prop_assert!(s.leq(&next));
+                prop_assert!(next.fetch(&a).contains(&v));
+                s = next;
+            }
+        }
+
+        #[test]
+        fn prop_store_join_is_pointwise(
+            xs in proptest::collection::vec((0u8..6, 0u8..6), 0..12),
+            ys in proptest::collection::vec((0u8..6, 0u8..6), 0..12),
+            probe in 0u8..6,
+        ) {
+            let s1: S = xs.into_iter().map(|(a, v)| (a, set(&[v]))).collect();
+            let s2: S = ys.into_iter().map(|(a, v)| (a, set(&[v]))).collect();
+            let joined = s1.clone().join(s2.clone());
+            prop_assert_eq!(
+                joined.fetch(&probe),
+                s1.fetch(&probe).join(s2.fetch(&probe))
+            );
+            prop_assert!(s1.leq(&joined) && s2.leq(&joined));
+        }
+
+        #[test]
+        fn prop_filter_then_fetch_is_bottom_for_dropped(
+            xs in proptest::collection::vec((0u8..6, 0u8..6), 0..12),
+            dropped in 0u8..6,
+        ) {
+            let s: S = xs.into_iter().map(|(a, v)| (a, set(&[v]))).collect();
+            let filtered = s.filter_store(|a| *a != dropped);
+            prop_assert!(filtered.fetch(&dropped).is_empty());
+        }
+    }
+}

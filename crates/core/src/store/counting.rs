@@ -1,0 +1,284 @@
+//! The counting store: abstract counting layered on the store (paper §6.3).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::addr::Address;
+use crate::lattice::{AbsNat, Lattice};
+
+use super::StoreLike;
+
+/// A store that additionally tracks, for every address, an [`AbsNat`]
+/// abstract count of how many times it has been allocated/bound:
+///
+/// ```text
+/// type CountingStore a d = a ⇀ (d, AbsNat)
+/// ```
+///
+/// Because counts live inside the store, abstract counting requires *no*
+/// change to the semantics or to the analysis logic: a `CountingStore` can
+/// be plugged into the `StorePassing` monad wherever a
+/// [`BasicStore`](super::BasicStore) was used, implicitly extending the
+/// abstract state-space with the `Ĉount` component of §6.3.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CountingStore<A: Ord, V: Ord> {
+    bindings: BTreeMap<A, (BTreeSet<V>, AbsNat)>,
+}
+
+impl<A: Ord + Clone, V: Ord + Clone> CountingStore<A, V> {
+    /// Creates an empty counting store.
+    pub fn new() -> Self {
+        CountingStore {
+            bindings: BTreeMap::new(),
+        }
+    }
+
+    /// Iterates over `(address, values, count)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (&A, &BTreeSet<V>, AbsNat)> {
+        self.bindings.iter().map(|(a, (vs, n))| (a, vs, *n))
+    }
+
+    /// The number of addresses whose abstract count is exactly one — the
+    /// addresses for which strong updates and must-alias facts are sound.
+    pub fn single_count(&self) -> usize {
+        self.bindings
+            .values()
+            .filter(|(_, n)| *n == AbsNat::One)
+            .count()
+    }
+
+    /// The total number of `(address, value)` facts in the store.
+    pub fn fact_count(&self) -> usize {
+        self.bindings.values().map(|(vs, _)| vs.len()).sum()
+    }
+}
+
+impl<A: Ord + Clone + fmt::Debug, V: Ord + Clone + fmt::Debug> fmt::Debug for CountingStore<A, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map()
+            .entries(self.bindings.iter().map(|(a, (vs, n))| (a, (vs, n))))
+            .finish()
+    }
+}
+
+impl<A: Ord + Clone, V: Ord + Clone> Lattice for CountingStore<A, V> {
+    fn bottom() -> Self {
+        CountingStore::new()
+    }
+
+    fn join(mut self, other: Self) -> Self {
+        for (a, (vs, n)) in other.bindings {
+            match self.bindings.remove(&a) {
+                Some((vs0, n0)) => {
+                    self.bindings.insert(a, (vs0.join(vs), n0.join(n)));
+                }
+                None => {
+                    self.bindings.insert(a, (vs, n));
+                }
+            }
+        }
+        self
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.bindings.iter().all(|(a, (vs, n))| match other.bindings.get(a) {
+            Some((vs2, n2)) => vs.leq(vs2) && n.leq(n2),
+            None => vs.is_empty() && *n == AbsNat::Zero,
+        })
+    }
+}
+
+impl<A, V> StoreLike<A> for CountingStore<A, V>
+where
+    A: Address,
+    V: Ord + Clone + fmt::Debug + 'static,
+{
+    type D = BTreeSet<V>;
+
+    fn bind(mut self, a: A, d: Self::D) -> Self {
+        // σ ⊔ [â ↦ d],  μ ⊕ [â ↦ 1]
+        match self.bindings.remove(&a) {
+            Some((vs, n)) => {
+                self.bindings.insert(a, (vs.join(d), n + AbsNat::One));
+            }
+            None => {
+                self.bindings.insert(a, (d, AbsNat::One));
+            }
+        }
+        self
+    }
+
+    fn replace(mut self, a: A, d: Self::D) -> Self {
+        // Strong update of the value; the count is unchanged (the address
+        // still corresponds to however many concrete allocations it did).
+        match self.bindings.remove(&a) {
+            Some((_, n)) => {
+                self.bindings.insert(a, (d, n));
+            }
+            None => {
+                self.bindings.insert(a, (d, AbsNat::Zero));
+            }
+        }
+        self
+    }
+
+    fn fetch(&self, a: &A) -> Self::D {
+        self.bindings
+            .get(a)
+            .map(|(vs, _)| vs.clone())
+            .unwrap_or_default()
+    }
+
+    fn filter_store<F>(mut self, keep: F) -> Self
+    where
+        F: Fn(&A) -> bool,
+    {
+        self.bindings.retain(|a, _| keep(a));
+        self
+    }
+
+    fn addresses(&self) -> BTreeSet<A> {
+        self.bindings.keys().cloned().collect()
+    }
+}
+
+/// The paper's `ACounter` class: stores that can report how often an
+/// address has been allocated.
+///
+/// Because the counter is parameterized over addresses it is independent of
+/// any specific semantics and "can be used with any other semantics" —
+/// which is exactly how the language crates use it.
+pub trait Counter<A: Address>: StoreLike<A> {
+    /// The abstract allocation count of `a` (the paper's `count σ a`).
+    fn count(&self, a: &A) -> AbsNat;
+
+    /// A *sound* update: strong (replacing) when the count certifies that
+    /// `a` stands for at most one concrete address, weak (joining)
+    /// otherwise.  This is the "dependent enhancement" of §6.3 that
+    /// counting enables.
+    #[must_use]
+    fn update_sound(self, a: A, d: Self::D) -> Self {
+        if self.count(&a).is_at_most_one() {
+            self.replace(a, d)
+        } else {
+            self.bind(a, d)
+        }
+    }
+}
+
+impl<A, V> Counter<A> for CountingStore<A, V>
+where
+    A: Address,
+    V: Ord + Clone + fmt::Debug + 'static,
+{
+    fn count(&self, a: &A) -> AbsNat {
+        self.bindings
+            .get(a)
+            .map(|(_, n)| *n)
+            .unwrap_or(AbsNat::Zero)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    type S = CountingStore<u8, u8>;
+
+    fn set(xs: &[u8]) -> BTreeSet<u8> {
+        xs.iter().copied().collect()
+    }
+
+    #[test]
+    fn counts_track_allocations() {
+        let s = S::new();
+        assert_eq!(s.count(&1), AbsNat::Zero);
+        let s = s.bind(1, set(&[5]));
+        assert_eq!(s.count(&1), AbsNat::One);
+        let s = s.bind(1, set(&[6]));
+        assert_eq!(s.count(&1), AbsNat::Many);
+        assert_eq!(s.fetch(&1), set(&[5, 6]));
+    }
+
+    #[test]
+    fn single_count_reports_must_alias_addresses() {
+        let s = S::new()
+            .bind(1, set(&[5]))
+            .bind(2, set(&[6]))
+            .bind(2, set(&[7]));
+        assert_eq!(s.single_count(), 1);
+        assert_eq!(s.fact_count(), 3);
+    }
+
+    #[test]
+    fn sound_update_is_strong_for_singletons_weak_otherwise() {
+        let once = S::new().bind(1, set(&[5]));
+        let strongly = once.clone().update_sound(1, set(&[9]));
+        assert_eq!(strongly.fetch(&1), set(&[9]));
+
+        let twice = once.bind(1, set(&[6]));
+        let weakly = twice.update_sound(1, set(&[9]));
+        assert_eq!(weakly.fetch(&1), set(&[5, 6, 9]));
+    }
+
+    #[test]
+    fn replace_keeps_the_count() {
+        let s = S::new().bind(1, set(&[5])).bind(1, set(&[6]));
+        let replaced = s.replace(1, set(&[7]));
+        assert_eq!(replaced.fetch(&1), set(&[7]));
+        assert_eq!(replaced.count(&1), AbsNat::Many);
+    }
+
+    #[test]
+    fn join_joins_values_and_counts() {
+        let a = S::new().bind(1, set(&[5]));
+        let b = S::new().bind(1, set(&[6]));
+        let j = a.clone().join(b.clone());
+        assert_eq!(j.fetch(&1), set(&[5, 6]));
+        // Join is a lattice join of counts (max), not abstract addition.
+        assert_eq!(j.count(&1), AbsNat::One);
+        assert!(a.leq(&j) && b.leq(&j));
+    }
+
+    #[test]
+    fn filter_store_drops_counts_too() {
+        let s = S::new().bind(1, set(&[5])).bind(2, set(&[6]));
+        let s = s.filter_store(|a| *a == 1);
+        assert_eq!(s.count(&2), AbsNat::Zero);
+        assert_eq!(s.addresses(), [1u8].into_iter().collect());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_count_abstracts_number_of_binds(
+            binds in proptest::collection::vec(0u8..4, 0..10)
+        ) {
+            let mut s = S::new();
+            let mut concrete: BTreeMap<u8, usize> = BTreeMap::new();
+            for a in binds {
+                s = s.bind(a, set(&[a]));
+                *concrete.entry(a).or_insert(0) += 1;
+            }
+            for (a, n) in concrete {
+                prop_assert_eq!(s.count(&a), AbsNat::abstraction(n));
+            }
+        }
+
+        #[test]
+        fn prop_lattice_laws(
+            xs in proptest::collection::vec((0u8..4, 0u8..4), 0..10),
+            ys in proptest::collection::vec((0u8..4, 0u8..4), 0..10),
+        ) {
+            let mk = |items: Vec<(u8, u8)>| {
+                items.into_iter().fold(S::new(), |s, (a, v)| s.bind(a, set(&[v])))
+            };
+            let a = mk(xs);
+            let b = mk(ys);
+            let j = a.clone().join(b.clone());
+            prop_assert!(a.leq(&j));
+            prop_assert!(b.leq(&j));
+            prop_assert_eq!(a.clone().join(a.clone()), a);
+        }
+    }
+}

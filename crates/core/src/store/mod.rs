@@ -1,0 +1,114 @@
+//! Abstract stores (paper §6.2) and abstract counting (§6.3).
+//!
+//! The store is the one component the systematic abstraction threads through
+//! everything: cutting the recursion in the state-space, carrying abstract
+//! values, and — depending on its representation — enabling abstract
+//! counting, strong updates and garbage collection.  The paper makes the
+//! analysis *store-generic* through the `StoreLike` class; this module
+//! provides that trait plus the two store representations used in the
+//! paper's experiments:
+//!
+//! * [`BasicStore`] — a point-wise map from addresses to sets of values;
+//! * [`CountingStore`] — the same map additionally tracking an [`AbsNat`]
+//!   allocation count per address (the `Ĉount` component of §6.3), with
+//!   [`Counter`] exposing the counts and sound strong updates.
+
+mod basic;
+mod counting;
+
+pub use basic::BasicStore;
+pub use counting::{Counter, CountingStore};
+
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+
+use crate::addr::Address;
+use crate::lattice::Lattice;
+
+/// The paper's `StoreLike a s d` class: an abstract store `s` mapping
+/// addresses `a` to elements of a co-domain lattice `d`.
+///
+/// The co-domain is an associated type (the functional dependency `s → d`
+/// of the Haskell original).  All operations are value-oriented — they
+/// consume and return stores — because stores live inside analysis domains
+/// that are themselves immutable lattice elements.
+///
+/// ```rust
+/// use mai_core::store::{BasicStore, StoreLike};
+/// use std::collections::BTreeSet;
+///
+/// let store: BasicStore<u32, &'static str> = BasicStore::empty_store();
+/// let store = store.bind(1, ["closure-a"].into_iter().collect());
+/// let store = store.bind(1, ["closure-b"].into_iter().collect());
+/// let fetched: BTreeSet<&str> = store.fetch(&1);
+/// assert_eq!(fetched.len(), 2); // weak update: both closures flow to address 1
+/// ```
+pub trait StoreLike<A: Address>: Lattice + Ord + Debug + 'static {
+    /// The co-domain of the store: what an address denotes.
+    type D: Lattice + Ord + Clone + Debug + 'static;
+
+    /// The empty store `σ₀`.
+    fn empty_store() -> Self {
+        Self::bottom()
+    }
+
+    /// Weak update: joins `d` into the binding of `a`
+    /// (the paper's `bind σ a d`).
+    #[must_use]
+    fn bind(self, a: A, d: Self::D) -> Self;
+
+    /// Strong update: replaces the binding of `a` with `d`
+    /// (the paper's `replace σ a d`).
+    ///
+    /// Strong updates are only *sound* when the caller knows the abstract
+    /// address stands for at most one concrete address — which is exactly
+    /// the information a [`CountingStore`] provides.
+    #[must_use]
+    fn replace(self, a: A, d: Self::D) -> Self;
+
+    /// Looks up the binding of `a`, returning the co-domain `⊥` for unbound
+    /// addresses (the paper's `fetch σ a`).
+    fn fetch(&self, a: &A) -> Self::D;
+
+    /// Restricts the store to the addresses satisfying `keep`
+    /// (the paper's `filterStore`, used by abstract garbage collection).
+    #[must_use]
+    fn filter_store<F>(self, keep: F) -> Self
+    where
+        F: Fn(&A) -> bool;
+
+    /// The set of addresses currently bound.  Used by the garbage
+    /// collector's reachability sweep and by precision metrics.
+    fn addresses(&self) -> BTreeSet<A>;
+
+    /// Whether the address is currently bound to something other than `⊥`.
+    fn contains(&self, a: &A) -> bool {
+        !self.fetch(a).is_bottom()
+    }
+
+    /// The number of bound addresses.
+    fn binding_count(&self) -> usize {
+        self.addresses().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_store_is_bottom_and_has_no_bindings() {
+        let s: BasicStore<u8, u8> = BasicStore::empty_store();
+        assert!(s.is_bottom());
+        assert_eq!(s.binding_count(), 0);
+        assert!(!s.contains(&3));
+    }
+
+    #[test]
+    fn contains_reflects_bindings() {
+        let s: BasicStore<u8, u8> = BasicStore::empty_store().bind(4, [9u8].into_iter().collect());
+        assert!(s.contains(&4));
+        assert!(!s.contains(&5));
+        assert_eq!(s.binding_count(), 1);
+    }
+}

@@ -1,0 +1,457 @@
+//! Abstract interpretation of CPS: the `StorePassing` instance of the
+//! semantic interface, abstract garbage collection, and the k-CFA analysis
+//! family (paper §5.3, §6 and §8).
+//!
+//! Everything in this module is assembled from language-independent parts of
+//! `mai-core`: the [`StorePassing`] monad, [`Context`]s for polyvariance,
+//! [`StoreLike`] stores (plain or counting), the per-state / shared-store
+//! [`Collecting`] domains, and the garbage-collection reachability engine.
+//! The only CPS-specific ingredients are the [`CpsInterface`] instance below
+//! and the [`Touches`] instances of [`crate::semantics`].
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mai_core::addr::{Context, NamedAddress};
+use mai_core::collect::{
+    explore_fp_bounded, run_analysis, with_gc, Collecting, PerStateDomain, SharedStoreDomain,
+};
+use mai_core::gc::{reachable, GcStrategy, Touches};
+use mai_core::lattice::{KleeneOutcome, Lattice};
+use mai_core::monad::{
+    gets_nd_set, MonadFamily, MonadState, MonadTrans, StateT, StorePassing, Value, VecM,
+};
+use mai_core::name::Name;
+use mai_core::store::{BasicStore, CountingStore, StoreLike};
+use mai_core::{ConcreteCtx, KCallAddr, KCallCtx, MonoAddr, MonoCtx};
+
+use crate::semantics::{mnext, CpsInterface, Env, PState, Val};
+use crate::syntax::{AExp, CExp, Lambda, Var};
+
+/// The abstract (and concrete-collecting) implementation of the CPS semantic
+/// interface over the paper's `StorePassing` monad (§5.3.2, generalised to
+/// arbitrary contexts in §6.1 and arbitrary stores in §6.2).
+///
+/// * `fun`/`arg` on a variable reference go through `lift ∘ getsNDSet`,
+///   turning the set of closures at the variable's address into monadic
+///   non-determinism;
+/// * `write` joins a singleton into the store (a weak update);
+/// * `alloc` consults the context (the outer state) through `valloc`;
+/// * `tick` advances the context across the call site being executed.
+impl<C, S> CpsInterface<C::Addr> for StorePassing<C, S>
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Val<C::Addr>>> + Value,
+{
+    fn fun(env: &Env<C::Addr>, e: &AExp) -> Self::M<Val<C::Addr>> {
+        match e {
+            AExp::Lam(lam) => Self::pure(Val::closure(lam.clone(), env.clone())),
+            AExp::Ref(v) => {
+                let addr = env.get(v).cloned();
+                Self::lift(gets_nd_set::<StateT<S, VecM>, S, Val<C::Addr>, _>(
+                    move |store| match &addr {
+                        Some(a) => store.fetch(a),
+                        None => BTreeSet::new(),
+                    },
+                ))
+            }
+        }
+    }
+
+    fn arg(env: &Env<C::Addr>, e: &AExp) -> Self::M<Val<C::Addr>> {
+        Self::fun(env, e)
+    }
+
+    fn write(addr: C::Addr, val: Val<C::Addr>) -> Self::M<()> {
+        Self::lift(<StateT<S, VecM> as MonadState<S>>::modify(move |store| {
+            store.bind(addr.clone(), [val.clone()].into_iter().collect())
+        }))
+    }
+
+    fn alloc(var: &Var) -> Self::M<C::Addr> {
+        let var = var.clone();
+        <Self as MonadState<C>>::gets(move |ctx| ctx.valloc(&var))
+    }
+
+    fn tick(_proc: &Val<C::Addr>, ps: &PState<C::Addr>) -> Self::M<()> {
+        let site = ps.site();
+        <Self as MonadState<C>>::modify(move |ctx| ctx.advance(site))
+    }
+}
+
+/// The abstract garbage collector for CPS (paper §6.4): restrict the store
+/// to the addresses reachable from the current partial state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CpsGc;
+
+impl<C, S> GcStrategy<StorePassing<C, S>, PState<C::Addr>> for CpsGc
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Val<C::Addr>>> + Value,
+{
+    fn collect(&self, ps: &PState<C::Addr>) -> <StorePassing<C, S> as MonadFamily>::M<()> {
+        let roots = ps.touches();
+        <StorePassing<C, S> as MonadTrans>::lift(<StateT<S, VecM> as MonadState<S>>::modify(
+            move |store: S| {
+                let live = reachable(roots.clone(), &store);
+                store.filter_store(|a| live.contains(a))
+            },
+        ))
+    }
+}
+
+/// Runs the monadically-parameterized analysis of a CPS program with an
+/// arbitrary combination of context `C`, store `S` and collecting domain
+/// `Fp` — the paper's `runAnalysis` with its three degrees of freedom
+/// spelled out as type parameters.
+pub fn analyse<C, S, Fp>(program: &CExp) -> Fp
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Val<C::Addr>>> + Value,
+    Fp: Collecting<StorePassing<C, S>, PState<C::Addr>>,
+{
+    run_analysis::<StorePassing<C, S>, _, Fp, _>(
+        mnext::<StorePassing<C, S>, C::Addr>,
+        PState::inject(program.clone()),
+    )
+}
+
+/// Like [`analyse`], but performs abstract garbage collection after every
+/// transition (the `STEP-GC` rule of §6.4).
+pub fn analyse_gc<C, S, Fp>(program: &CExp) -> Fp
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Val<C::Addr>>> + Value,
+    Fp: Collecting<StorePassing<C, S>, PState<C::Addr>>,
+{
+    run_analysis::<StorePassing<C, S>, _, Fp, _>(
+        with_gc::<StorePassing<C, S>, PState<C::Addr>, _, _>(
+            mnext::<StorePassing<C, S>, C::Addr>,
+            CpsGc,
+        ),
+        PState::inject(program.clone()),
+    )
+}
+
+/// The plain store used by the k-CFA family: addresses are
+/// variable × call-string pairs, values are CPS closures.
+pub type KStore = BasicStore<KCallAddr, Val<KCallAddr>>;
+
+/// The counting store used by `analyseWithCount` (§8.3).
+pub type KCountingStore = CountingStore<KCallAddr, Val<KCallAddr>>;
+
+/// The heap-cloning ("per-state store") k-CFA analysis domain (§8.1).
+pub type KCfaPerState<const K: usize> = PerStateDomain<PState<KCallAddr>, KCallCtx<K>, KStore>;
+
+/// The shared-store (widened) k-CFA analysis domain (§8.2).
+pub type KCfaShared<const K: usize> = SharedStoreDomain<PState<KCallAddr>, KCallCtx<K>, KStore>;
+
+/// The shared-store k-CFA domain with abstract counting (§8.3).
+pub type KCfaCounting<const K: usize> =
+    SharedStoreDomain<PState<KCallAddr>, KCallCtx<K>, KCountingStore>;
+
+/// The monovariant (0CFA) shared-store analysis domain.
+pub type MonoShared = SharedStoreDomain<PState<MonoAddr>, MonoCtx, BasicStore<MonoAddr, Val<MonoAddr>>>;
+
+/// The paper's `analyseKCFA` (§8.1): a k-CFA analysis with a per-state
+/// ("cloned") store.
+pub fn analyse_kcfa<const K: usize>(program: &CExp) -> KCfaPerState<K> {
+    analyse::<KCallCtx<K>, KStore, _>(program)
+}
+
+/// The paper's `analyseShared` (§8.2): k-CFA with a single widened store.
+pub fn analyse_kcfa_shared<const K: usize>(program: &CExp) -> KCfaShared<K> {
+    analyse::<KCallCtx<K>, KStore, _>(program)
+}
+
+/// The paper's `analyseWithCount` (§8.3): k-CFA with a shared *counting*
+/// store, enabling cardinality bounds.
+///
+/// Note that with a single widened store the global Kleene iteration
+/// re-executes transitions against the accumulated store, so counts
+/// saturate quickly; they remain a *sound* upper bound on allocation
+/// multiplicity (which is all §6.3 requires).  For the precise per-path
+/// counts used by must-alias reasoning, use
+/// [`analyse_kcfa_count_cloned`], which pairs the counting store with the
+/// heap-cloning domain.
+pub fn analyse_kcfa_with_count<const K: usize>(program: &CExp) -> KCfaCounting<K> {
+    analyse::<KCallCtx<K>, KCountingStore, _>(program)
+}
+
+/// The heap-cloning k-CFA domain with abstract counting: every explored
+/// configuration carries its own counting store, so counts reflect the
+/// allocations actually performed along each path.
+pub type KCfaCountingPerState<const K: usize> =
+    PerStateDomain<PState<KCallAddr>, KCallCtx<K>, KCountingStore>;
+
+/// k-CFA with per-state *counting* stores: the configuration of abstract
+/// counting used for must-alias / strong-update reasoning (§6.3).
+pub fn analyse_kcfa_count_cloned<const K: usize>(program: &CExp) -> KCfaCountingPerState<K> {
+    analyse::<KCallCtx<K>, KCountingStore, _>(program)
+}
+
+/// k-CFA with a shared store and abstract garbage collection (§6.4).
+pub fn analyse_kcfa_shared_gc<const K: usize>(program: &CExp) -> KCfaShared<K> {
+    analyse_gc::<KCallCtx<K>, KStore, _>(program)
+}
+
+/// k-CFA with a per-state store and abstract garbage collection.
+pub fn analyse_kcfa_gc<const K: usize>(program: &CExp) -> KCfaPerState<K> {
+    analyse_gc::<KCallCtx<K>, KStore, _>(program)
+}
+
+/// The classical monovariant analysis (0CFA, §2.3.1) with a shared store.
+pub fn analyse_mono(program: &CExp) -> MonoShared {
+    analyse::<MonoCtx, BasicStore<MonoAddr, Val<MonoAddr>>, _>(program)
+}
+
+/// The fresh-address *concrete collecting semantics* of §5.3, explored for
+/// at most `max_iterations` Kleene steps (its domain has unbounded height,
+/// so exhaustive exploration of a non-terminating program would diverge —
+/// the paper makes the same caveat).
+pub fn analyse_concrete_collecting(
+    program: &CExp,
+    max_iterations: usize,
+) -> KleeneOutcome<
+    PerStateDomain<
+        PState<<ConcreteCtx as Context>::Addr>,
+        ConcreteCtx,
+        BasicStore<<ConcreteCtx as Context>::Addr, Val<<ConcreteCtx as Context>::Addr>>,
+    >,
+> {
+    type A = <ConcreteCtx as Context>::Addr;
+    type S = BasicStore<A, Val<A>>;
+    explore_fp_bounded::<StorePassing<ConcreteCtx, S>, _, _, _>(
+        mnext::<StorePassing<ConcreteCtx, S>, A>,
+        PState::inject(program.clone()),
+        max_iterations,
+    )
+}
+
+/// A flow set: which λ-abstractions may be bound to each variable.
+pub type FlowMap = BTreeMap<Name, BTreeSet<Lambda>>;
+
+/// Extracts the flow map (variable ↦ set of λ-abstractions) from any store
+/// whose addresses remember their variable.
+pub fn flow_map_of_store<A, S>(store: &S) -> FlowMap
+where
+    A: NamedAddress,
+    S: StoreLike<A, D = BTreeSet<Val<A>>>,
+{
+    let mut flows: FlowMap = BTreeMap::new();
+    for addr in store.addresses() {
+        let entry = flows.entry(addr.variable().clone()).or_default();
+        for val in store.fetch(&addr) {
+            entry.insert(val.lambda().clone());
+        }
+    }
+    flows
+}
+
+/// Precision and size metrics of an analysis result, used by the
+/// experiment harness and the regression tests.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AnalysisMetrics {
+    /// Number of abstract configurations explored (states × guts × stores
+    /// for per-state domains, states × guts for shared-store domains).
+    pub configurations: usize,
+    /// Number of distinct partial states (program point + environment).
+    pub distinct_states: usize,
+    /// Number of bound addresses in the (joined) store.
+    pub store_bindings: usize,
+    /// Number of `(address, value)` facts in the (joined) store.
+    pub store_facts: usize,
+    /// Number of addresses with a singleton flow set — the headline
+    /// precision metric (higher is more precise for the same program).
+    pub singleton_flows: usize,
+}
+
+impl AnalysisMetrics {
+    /// Metrics of a shared-store analysis result.
+    pub fn of_shared<Ps, C, A>(result: &SharedStoreDomain<Ps, C, BasicStore<A, Val<A>>>) -> Self
+    where
+        Ps: Ord + Clone,
+        C: Ord + Clone,
+        A: NamedAddress,
+    {
+        let store = result.store();
+        AnalysisMetrics {
+            configurations: result.len(),
+            distinct_states: result.distinct_states().len(),
+            store_bindings: store.binding_count(),
+            store_facts: store.fact_count(),
+            singleton_flows: store.singleton_count(),
+        }
+    }
+
+    /// Metrics of a per-state-store analysis result (stores are joined
+    /// before being measured).
+    pub fn of_per_state<Ps, C, A>(result: &PerStateDomain<Ps, C, BasicStore<A, Val<A>>>) -> Self
+    where
+        Ps: Ord + Clone,
+        C: Ord + Clone,
+        A: NamedAddress,
+        Val<A>: Ord,
+    {
+        let joined: BasicStore<A, Val<A>> =
+            Lattice::join_all(result.iter().map(|(_, s)| s.clone()));
+        AnalysisMetrics {
+            configurations: result.len(),
+            distinct_states: result.distinct_states().len(),
+            store_bindings: joined.binding_count(),
+            store_facts: joined.fact_count(),
+            singleton_flows: joined.singleton_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn identity_program() -> CExp {
+        parse_program("((λ (x k) (k x)) (λ (y j) (j y)) (λ (r) exit))").unwrap()
+    }
+
+    /// Two different functions bound to the same variable through two calls:
+    /// a monovariant analysis must conflate them, a 1-CFA analysis must not.
+    fn two_call_sites() -> CExp {
+        parse_program(
+            "((λ (id k0)
+                 (id (λ (a) exit)
+                     (λ (f1) (id (λ (b) exit) (λ (f2) (f1 f2))))))
+              (λ (x k) (k x))
+              (λ (r) exit))",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identity_program_reaches_exit_under_every_analysis() {
+        let p = identity_program();
+        assert!(analyse_mono(&p).distinct_states().iter().any(PState::is_final));
+        assert!(analyse_kcfa::<1>(&p).distinct_states().iter().any(PState::is_final));
+        assert!(analyse_kcfa_shared::<1>(&p)
+            .distinct_states()
+            .iter()
+            .any(PState::is_final));
+        assert!(analyse_kcfa_with_count::<1>(&p)
+            .distinct_states()
+            .iter()
+            .any(PState::is_final));
+        assert!(analyse_kcfa_shared_gc::<1>(&p)
+            .distinct_states()
+            .iter()
+            .any(PState::is_final));
+    }
+
+    #[test]
+    fn flow_map_of_identity_program_binds_x_to_the_argument_lambda() {
+        let p = identity_program();
+        let result = analyse_mono(&p);
+        let flows = flow_map_of_store(result.store());
+        let x_flows = &flows[&Name::from("x")];
+        assert_eq!(x_flows.len(), 1);
+        assert_eq!(x_flows.iter().next().unwrap().params[0], Name::from("y"));
+    }
+
+    #[test]
+    fn monovariant_analysis_conflates_what_one_cfa_distinguishes() {
+        let p = two_call_sites();
+        let mono = analyse_mono(&p);
+        let kcfa = analyse_kcfa_shared::<1>(&p);
+        let mono_flows = flow_map_of_store(mono.store());
+        let kcfa_flows = flow_map_of_store(kcfa.store());
+        // Under 0CFA the identity's parameter x receives both argument
+        // lambdas; the analysis result itself is still sound.
+        assert!(mono_flows[&Name::from("x")].len() >= 2);
+        // Under 1CFA the binding is split per call site, so at least as many
+        // singleton flows exist overall and strictly more address bindings.
+        let mono_metrics = AnalysisMetrics::of_shared(&mono);
+        let kcfa_metrics = AnalysisMetrics::of_shared(&kcfa);
+        assert!(kcfa_metrics.store_bindings > mono_metrics.store_bindings);
+        assert!(kcfa_flows.contains_key(&Name::from("x")));
+    }
+
+    #[test]
+    fn shared_store_overapproximates_per_state_store() {
+        let p = two_call_sites();
+        let cloned = analyse_kcfa::<1>(&p);
+        let shared = analyse_kcfa_shared::<1>(&p);
+        // Every state explored with heap cloning is also reached with the
+        // widened store.
+        for ps in cloned.distinct_states() {
+            assert!(shared.distinct_states().contains(&ps));
+        }
+        // And every per-state store is below the widened store.
+        for (_, store) in cloned.iter() {
+            assert!(store.leq(shared.store()));
+        }
+    }
+
+    #[test]
+    fn counting_store_certifies_linear_bindings() {
+        use mai_core::store::Counter;
+
+        let p = identity_program();
+        // With per-state counting stores, every variable in this program is
+        // bound exactly once along every path.
+        let cloned = analyse_kcfa_count_cloned::<1>(&p);
+        let mut saw_binding = false;
+        for (_, store) in cloned.iter() {
+            for addr in store.addresses() {
+                saw_binding = true;
+                assert_eq!(store.count(&addr), mai_core::AbsNat::One);
+            }
+        }
+        assert!(saw_binding);
+
+        // The widened (shared-store) counting analysis is a sound upper
+        // bound: it never reports a *lower* count than any per-path store.
+        let shared = analyse_kcfa_with_count::<1>(&p);
+        for (_, store) in cloned.iter() {
+            for addr in store.addresses() {
+                assert!(store.count(&addr).leq(&shared.store().count(&addr)));
+            }
+        }
+    }
+
+    #[test]
+    fn gc_never_loses_reachable_results_and_can_only_shrink_the_store() {
+        let p = two_call_sites();
+        let plain = analyse_kcfa_shared::<0>(&p);
+        let gced = analyse_kcfa_shared_gc::<0>(&p);
+        assert!(gced
+            .distinct_states()
+            .iter()
+            .any(PState::is_final));
+        let plain_metrics = AnalysisMetrics::of_shared(&plain);
+        let gc_metrics = AnalysisMetrics::of_shared(&gced);
+        assert!(gc_metrics.store_facts <= plain_metrics.store_facts);
+    }
+
+    #[test]
+    fn concrete_collecting_semantics_of_terminating_program_converges() {
+        let out = analyse_concrete_collecting(&identity_program(), 64);
+        assert!(out.converged());
+        assert!(out
+            .value()
+            .distinct_states()
+            .iter()
+            .any(PState::is_final));
+    }
+
+    #[test]
+    fn metrics_are_internally_consistent() {
+        let p = identity_program();
+        let shared = analyse_kcfa_shared::<1>(&p);
+        let m = AnalysisMetrics::of_shared(&shared);
+        assert!(m.singleton_flows <= m.store_bindings);
+        assert!(m.store_bindings <= m.store_facts);
+        assert!(m.distinct_states <= m.configurations);
+
+        let cloned = analyse_kcfa::<1>(&p);
+        let mc = AnalysisMetrics::of_per_state(&cloned);
+        assert!(mc.distinct_states <= mc.configurations);
+    }
+}

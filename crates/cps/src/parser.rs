@@ -1,0 +1,247 @@
+//! A parser for the Scheme-like concrete syntax of CPS programs.
+//!
+//! Grammar (s-expressions):
+//!
+//! ```text
+//! call ::= (f æ …)            application
+//!        | exit | (exit)      the halt expression
+//! æ    ::= x                  variable reference
+//!        | (λ (x …) call)     abstraction  (`lambda` is accepted for `λ`)
+//! ```
+//!
+//! Every call site receives a fresh [`Label`] in parse order, so two parses
+//! of the same text produce structurally equal programs.
+
+use std::error::Error;
+use std::fmt;
+
+use mai_core::name::{LabelSupply, Name};
+use mai_core::sexp::{parse_one, ParseSexpError, Sexp};
+
+use crate::syntax::{AExp, CExp, Lambda, Var};
+
+/// An error produced while parsing a CPS program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseCpsError {
+    /// The underlying s-expression was malformed.
+    Sexp(ParseSexpError),
+    /// A λ-abstraction was malformed (wrong arity, bad parameter list, …).
+    MalformedLambda(String),
+    /// A call expression was malformed.
+    MalformedCall(String),
+    /// A keyword (`λ`, `exit`) was used where a variable was expected, or
+    /// vice versa.
+    ReservedWord(String),
+}
+
+impl fmt::Display for ParseCpsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseCpsError::Sexp(e) => write!(f, "malformed s-expression: {}", e),
+            ParseCpsError::MalformedLambda(msg) => write!(f, "malformed lambda: {}", msg),
+            ParseCpsError::MalformedCall(msg) => write!(f, "malformed call: {}", msg),
+            ParseCpsError::ReservedWord(w) => write!(f, "reserved word used as variable: {}", w),
+        }
+    }
+}
+
+impl Error for ParseCpsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseCpsError::Sexp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseSexpError> for ParseCpsError {
+    fn from(e: ParseSexpError) -> Self {
+        ParseCpsError::Sexp(e)
+    }
+}
+
+const LAMBDA_KEYWORDS: &[&str] = &["λ", "lambda"];
+const EXIT_KEYWORD: &str = "exit";
+
+fn is_lambda_keyword(s: &str) -> bool {
+    LAMBDA_KEYWORDS.contains(&s)
+}
+
+fn parse_var(atom: &str) -> Result<Var, ParseCpsError> {
+    if is_lambda_keyword(atom) || atom == EXIT_KEYWORD {
+        return Err(ParseCpsError::ReservedWord(atom.to_string()));
+    }
+    Ok(Name::from(atom))
+}
+
+fn parse_aexp(sexp: &Sexp, labels: &mut LabelSupply) -> Result<AExp, ParseCpsError> {
+    match sexp {
+        Sexp::Atom(a) => Ok(AExp::Ref(parse_var(a)?)),
+        Sexp::List(items) => {
+            let head = items.first().and_then(Sexp::as_atom);
+            if head.map(is_lambda_keyword) == Some(true) {
+                if items.len() != 3 {
+                    return Err(ParseCpsError::MalformedLambda(format!(
+                        "expected (λ (params…) body), got {} items",
+                        items.len()
+                    )));
+                }
+                let params = match &items[1] {
+                    Sexp::List(ps) => ps
+                        .iter()
+                        .map(|p| match p {
+                            Sexp::Atom(a) => parse_var(a),
+                            Sexp::List(_) => Err(ParseCpsError::MalformedLambda(
+                                "parameter must be an identifier".to_string(),
+                            )),
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                    Sexp::Atom(_) => {
+                        return Err(ParseCpsError::MalformedLambda(
+                            "parameter list must be parenthesised".to_string(),
+                        ))
+                    }
+                };
+                let body = parse_cexp(&items[2], labels)?;
+                Ok(AExp::Lam(Lambda::new(params, body)))
+            } else {
+                Err(ParseCpsError::MalformedCall(format!(
+                    "a call expression cannot appear in argument position: {}",
+                    sexp
+                )))
+            }
+        }
+    }
+}
+
+fn parse_cexp(sexp: &Sexp, labels: &mut LabelSupply) -> Result<CExp, ParseCpsError> {
+    match sexp {
+        Sexp::Atom(a) if a == EXIT_KEYWORD => Ok(CExp::Exit),
+        Sexp::Atom(a) => Err(ParseCpsError::MalformedCall(format!(
+            "a bare variable `{}` is not a call expression",
+            a
+        ))),
+        Sexp::List(items) => {
+            if items.len() == 1 && items[0].as_atom() == Some(EXIT_KEYWORD) {
+                return Ok(CExp::Exit);
+            }
+            if items.is_empty() {
+                return Err(ParseCpsError::MalformedCall("empty call".to_string()));
+            }
+            let label = labels.fresh();
+            let f = parse_aexp(&items[0], labels)?;
+            let args = items[1..]
+                .iter()
+                .map(|a| parse_aexp(a, labels))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(CExp::Call { label, f, args })
+        }
+    }
+}
+
+/// Parses a CPS program from its s-expression concrete syntax.
+///
+/// # Errors
+///
+/// Returns [`ParseCpsError`] when the s-expression is malformed or does not
+/// follow the CPS grammar.
+///
+/// ```rust
+/// use mai_cps::parser::parse_program;
+/// let program = parse_program("((λ (x k) (k x)) (λ (y j) (j y)) (λ (r) exit))").unwrap();
+/// assert!(program.is_closed());
+/// assert_eq!(program.call_site_count(), 3);
+/// ```
+pub fn parse_program(input: &str) -> Result<CExp, ParseCpsError> {
+    let sexp = parse_one(input)?;
+    let mut labels = LabelSupply::new();
+    parse_cexp(&sexp, &mut labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_identity_application() {
+        let p = parse_program("((λ (x k) (k x)) (λ (y j) (j y)) (λ (r) exit))").unwrap();
+        assert_eq!(p.call_site_count(), 3);
+        assert!(p.is_closed());
+    }
+
+    #[test]
+    fn lambda_keyword_spelled_out_is_accepted() {
+        let a = parse_program("((lambda (x k) (k x)) (lambda (y) exit) (lambda (r) exit))").unwrap();
+        let b = parse_program("((λ (x k) (k x)) (λ (y) exit) (λ (r) exit))").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exit_in_both_spellings() {
+        assert_eq!(parse_program("exit").unwrap(), CExp::Exit);
+        assert_eq!(parse_program("(exit)").unwrap(), CExp::Exit);
+    }
+
+    #[test]
+    fn labels_are_assigned_deterministically() {
+        let text = "((λ (x k) (k x)) (λ (y j) (j y)) (λ (r) exit))";
+        assert_eq!(parse_program(text).unwrap(), parse_program(text).unwrap());
+    }
+
+    #[test]
+    fn nested_calls_in_argument_position_are_rejected() {
+        let err = parse_program("((λ (x k) (k x)) (f g))").unwrap_err();
+        assert!(matches!(err, ParseCpsError::MalformedCall(_)));
+    }
+
+    #[test]
+    fn malformed_lambdas_are_rejected() {
+        assert!(matches!(
+            parse_program("((λ x (k x)) y)").unwrap_err(),
+            ParseCpsError::MalformedLambda(_)
+        ));
+        assert!(matches!(
+            parse_program("((λ (x)) y)").unwrap_err(),
+            ParseCpsError::MalformedLambda(_)
+        ));
+    }
+
+    #[test]
+    fn reserved_words_cannot_be_variables() {
+        assert!(matches!(
+            parse_program("((λ (λ) exit) (λ (x) exit))").unwrap_err(),
+            ParseCpsError::ReservedWord(_)
+        ));
+    }
+
+    #[test]
+    fn bare_variable_is_not_a_program() {
+        assert!(matches!(
+            parse_program("x").unwrap_err(),
+            ParseCpsError::MalformedCall(_)
+        ));
+    }
+
+    #[test]
+    fn unbalanced_input_reports_a_sexp_error() {
+        assert!(matches!(
+            parse_program("((λ (x) exit)").unwrap_err(),
+            ParseCpsError::Sexp(_)
+        ));
+    }
+
+    #[test]
+    fn error_messages_are_nonempty_and_chained() {
+        let err = parse_program("((λ (x) exit)").unwrap_err();
+        assert!(!err.to_string().is_empty());
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn parse_round_trips_through_display() {
+        let text = "((λ (x k) (k x)) (λ (y j) (j y)) (λ (r) exit))";
+        let once = parse_program(text).unwrap();
+        let twice = parse_program(&once.to_string()).unwrap();
+        assert_eq!(once, twice);
+    }
+}

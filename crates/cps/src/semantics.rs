@@ -1,0 +1,308 @@
+//! The monadic semantic interface of CPS and its single transition rule
+//! (paper §3, Figure 2).
+//!
+//! This module is the heart of the reproduction: the [`CpsInterface`] trait
+//! is the paper's `CPSInterface m a` type class, and [`mnext`] is its
+//! *final* `mnext` — written once, against the interface, and never changed
+//! again.  Everything else (concrete interpretation, 0CFA, k-CFA, abstract
+//! counting, garbage collection, store widening) is obtained by choosing a
+//! different monad and interface implementation in
+//! [`crate::analysis`] / [`crate::concrete`].
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use mai_core::addr::Address;
+use mai_core::gc::Touches;
+use mai_core::monad::{map_m, sequence_m, MonadFamily};
+use mai_core::name::Label;
+
+use crate::syntax::{AExp, CExp, Lambda, Var};
+
+/// An environment: a finite map from variables to addresses
+/// (`Env a = Var ⇀ a`).
+pub type Env<A> = BTreeMap<Var, A>;
+
+/// A denotable value.  CPS is so small that closures are the only kind of
+/// value (`Val a = Clo (Lambda, Env a)`).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Val<A> {
+    /// A closure: a λ-abstraction paired with its environment.
+    Clo {
+        /// The code of the closure.
+        lambda: Lambda,
+        /// The captured environment.
+        env: Env<A>,
+    },
+}
+
+impl<A> Val<A> {
+    /// Creates a closure value.
+    pub fn closure(lambda: Lambda, env: Env<A>) -> Self {
+        Val::Clo { lambda, env }
+    }
+
+    /// The λ-abstraction of this closure.
+    pub fn lambda(&self) -> &Lambda {
+        match self {
+            Val::Clo { lambda, .. } => lambda,
+        }
+    }
+
+    /// The captured environment of this closure.
+    pub fn env(&self) -> &Env<A> {
+        match self {
+            Val::Clo { env, .. } => env,
+        }
+    }
+}
+
+impl<A: fmt::Debug> fmt::Debug for Val<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::Clo { lambda, env } => write!(f, "⟨{}, {:?}⟩", lambda, env),
+        }
+    }
+}
+
+/// A closure touches the addresses its environment assigns to the free
+/// variables of its code (the paper's `T̂(æ, ρ̂)`, restricted to the
+/// variables that can actually be referenced).
+impl<A: Address> Touches<A> for Val<A> {
+    fn touches(&self) -> BTreeSet<A> {
+        let Val::Clo { lambda, env } = self;
+        lambda
+            .free_vars()
+            .iter()
+            .filter_map(|v| env.get(v).cloned())
+            .collect()
+    }
+}
+
+/// A *partial* state: the machine state with the store (and the time) pulled
+/// out into the monad (`PΣ a = (CExp, Env a)` — paper §3.3/§3.4).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PState<A> {
+    /// The control component: the call being executed.
+    pub call: CExp,
+    /// The environment in force.
+    pub env: Env<A>,
+}
+
+impl<A> PState<A> {
+    /// Creates a partial state.
+    pub fn new(call: CExp, env: Env<A>) -> Self {
+        PState { call, env }
+    }
+
+    /// The injector `I(call) = (call, [])`: the initial state of a program.
+    pub fn inject(program: CExp) -> Self {
+        PState {
+            call: program,
+            env: Env::new(),
+        }
+    }
+
+    /// Whether this state has halted.
+    pub fn is_final(&self) -> bool {
+        self.call.is_exit()
+    }
+
+    /// The label of the call site this state is about to execute.
+    pub fn site(&self) -> Label {
+        self.call.label()
+    }
+}
+
+impl<A: fmt::Debug> fmt::Debug for PState<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{}, {:?}⟩", self.call, self.env)
+    }
+}
+
+/// A state touches the addresses its environment assigns to the free
+/// variables of its control expression (the paper's `T̂(call, ρ̂, σ̂, t̂)`).
+impl<A: Address> Touches<A> for PState<A> {
+    fn touches(&self) -> BTreeSet<A> {
+        self.call
+            .free_vars()
+            .iter()
+            .filter_map(|v| self.env.get(v).cloned())
+            .collect()
+    }
+}
+
+/// The paper's `CPSInterface m a` (Figure 2): the five operations through
+/// which the CPS semantics interacts with values, the store and time.
+///
+/// Implementations choose the analysis monad `Self` and the address type
+/// `A`; [`mnext`] is written once against this interface.
+///
+/// * [`fun`](CpsInterface::fun) evaluates the operator position (the only
+///   source of non-determinism in the abstract semantics);
+/// * [`arg`](CpsInterface::arg) evaluates operand positions;
+/// * [`write`](CpsInterface::write) is the paper's `(↦)`: binds an address
+///   to a value in the store carried by the monad;
+/// * [`alloc`](CpsInterface::alloc) allocates an address for a variable,
+///   consulting whatever context the monad carries;
+/// * [`tick`](CpsInterface::tick) advances the monad's internal notion of
+///   time across a call.
+pub trait CpsInterface<A: Address>: MonadFamily {
+    /// Evaluates an atomic expression in operator position.
+    fn fun(env: &Env<A>, e: &AExp) -> Self::M<Val<A>>;
+
+    /// Evaluates an atomic expression in operand position.
+    fn arg(env: &Env<A>, e: &AExp) -> Self::M<Val<A>>;
+
+    /// Binds `addr ↦ val` in the store carried by the monad.
+    fn write(addr: A, val: Val<A>) -> Self::M<()>;
+
+    /// Allocates an address for the variable `var`.
+    fn alloc(var: &Var) -> Self::M<A>;
+
+    /// Advances time across the application of `proc` at state `ps`.
+    fn tick(proc: &Val<A>, ps: &PState<A>) -> Self::M<()>;
+}
+
+/// The single transition rule of CPS in monadic normal form — the paper's
+/// final `mnext` (Figure 2), transcribed bind-for-bind:
+///
+/// ```text
+/// mnext ps@(Call f aes, ρ) = do
+///   proc@(Clo (vs ⇒ call′, ρ′)) ← fun ρ f
+///   tick proc ps
+///   as ← mapM alloc vs
+///   ds ← mapM (arg ρ) aes
+///   let ρ′′ = ρ′ // [v ⇒ a | v ← vs | a ← as]
+///   sequence [a ↦ d | a ← as | d ← ds]
+///   return (call′, ρ′′)
+/// mnext ς = return ς
+/// ```
+///
+/// Exit states (and stuck states — a call whose operator evaluates to
+/// nothing) simply produce no successors or themselves, depending on the
+/// monad's notion of failure.
+pub fn mnext<M, A>(ps: PState<A>) -> M::M<PState<A>>
+where
+    M: CpsInterface<A>,
+    A: Address,
+{
+    match ps.call.clone() {
+        CExp::Call { f, args, .. } => {
+            let env = ps.env.clone();
+            let state = ps;
+            M::bind(M::fun(&env, &f), move |proc| {
+                // Each non-deterministic callee gets its own copies.
+                let env = env.clone();
+                let args = args.clone();
+                let state = state.clone();
+                let lambda = proc.lambda().clone();
+                let captured_env = proc.env().clone();
+                M::bind(M::tick(&proc, &state), move |()| {
+                    let env = env.clone();
+                    let args = args.clone();
+                    let params = lambda.params.clone();
+                    let body = lambda.body.clone();
+                    let captured_env = captured_env.clone();
+                    M::bind(
+                        map_m::<M, Var, A, _>(|v| M::alloc(&v), params.clone()),
+                        move |addrs| {
+                            let env = env.clone();
+                            let args = args.clone();
+                            let params = params.clone();
+                            let body = body.clone();
+                            let captured_env = captured_env.clone();
+                            M::bind(
+                                map_m::<M, AExp, Val<A>, _>(
+                                    {
+                                        let env = env.clone();
+                                        move |ae| M::arg(&env, &ae)
+                                    },
+                                    args.clone(),
+                                ),
+                                move |vals| {
+                                    // ρ′′ = ρ′ // [v ⇒ a]
+                                    let mut next_env = captured_env.clone();
+                                    for (v, a) in params.iter().zip(addrs.iter()) {
+                                        next_env.insert(v.clone(), a.clone());
+                                    }
+                                    // sequence [a ↦ d]
+                                    let writes: Vec<M::M<()>> = addrs
+                                        .iter()
+                                        .cloned()
+                                        .zip(vals.into_iter())
+                                        .map(|(a, d)| M::write(a, d))
+                                        .collect();
+                                    let body = body.clone();
+                                    M::bind(sequence_m::<M, ()>(writes), move |_| {
+                                        M::pure(PState::new((*body).clone(), next_env.clone()))
+                                    })
+                                },
+                            )
+                        },
+                    )
+                })
+            })
+        }
+        CExp::Exit => M::pure(ps),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mai_core::name::Name;
+
+    #[test]
+    fn inject_starts_with_an_empty_environment() {
+        let ps: PState<u32> = PState::inject(CExp::Exit);
+        assert!(ps.env.is_empty());
+        assert!(ps.is_final());
+        assert_eq!(ps.site(), Label::none());
+    }
+
+    #[test]
+    fn closures_touch_only_their_free_variables() {
+        // (λ (x) (f x)) with env {f ↦ 1, g ↦ 2, x ↦ 3}
+        let lam = Lambda::new(
+            vec![Name::from("x")],
+            CExp::call(Label::new(1), AExp::var("f"), vec![AExp::var("x")]),
+        );
+        let env: Env<u32> = [
+            (Name::from("f"), 1u32),
+            (Name::from("g"), 2),
+            (Name::from("x"), 3),
+        ]
+        .into_iter()
+        .collect();
+        let val = Val::closure(lam, env);
+        assert_eq!(val.touches(), [1u32].into_iter().collect());
+    }
+
+    #[test]
+    fn states_touch_the_addresses_of_their_free_variables() {
+        let call = CExp::call(Label::new(1), AExp::var("f"), vec![AExp::var("x")]);
+        let env: Env<u32> = [(Name::from("f"), 10u32), (Name::from("x"), 20)]
+            .into_iter()
+            .collect();
+        let ps = PState::new(call, env);
+        assert_eq!(ps.touches(), [10u32, 20].into_iter().collect());
+    }
+
+    #[test]
+    fn val_accessors_expose_code_and_environment() {
+        let lam = Lambda::new(vec![Name::from("x")], CExp::Exit);
+        let env: Env<u32> = [(Name::from("y"), 5u32)].into_iter().collect();
+        let v = Val::closure(lam.clone(), env.clone());
+        assert_eq!(v.lambda(), &lam);
+        assert_eq!(v.env(), &env);
+    }
+
+    #[test]
+    fn debug_renderings_are_nonempty() {
+        let ps: PState<u32> = PState::inject(CExp::Exit);
+        assert!(!format!("{:?}", ps).is_empty());
+        let v: Val<u32> = Val::closure(Lambda::new(vec![], CExp::Exit), Env::new());
+        assert!(!format!("{:?}", v).is_empty());
+    }
+}

@@ -1,0 +1,323 @@
+//! Syntax of the continuation-passing-style λ-calculus (paper Figure 1).
+//!
+//! CPS partitions the λ-calculus into two worlds: *atomic expressions*
+//! (variable references and λ-abstractions, evaluation of which always
+//! terminates and has no effect) and *call sites* (the application of a
+//! function to atomic arguments), plus a distinguished `exit` call.
+
+use std::fmt;
+use std::rc::Rc;
+
+use mai_core::name::{Label, Name};
+
+/// A variable.  CPS variables are plain [`Name`]s.
+pub type Var = Name;
+
+/// A λ-abstraction `(λ (v₁ … vₙ) call)`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lambda {
+    /// The formal parameters.
+    pub params: Vec<Var>,
+    /// The body — always a call site in CPS.
+    pub body: Rc<CExp>,
+}
+
+impl Lambda {
+    /// Creates a λ-abstraction.
+    pub fn new(params: Vec<Var>, body: CExp) -> Self {
+        Lambda {
+            params,
+            body: Rc::new(body),
+        }
+    }
+
+    /// The free variables of this λ-abstraction.
+    pub fn free_vars(&self) -> std::collections::BTreeSet<Var> {
+        let mut free = self.body.free_vars();
+        for p in &self.params {
+            free.remove(p);
+        }
+        free
+    }
+}
+
+impl fmt::Debug for Lambda {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for Lambda {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(λ (")?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}", p)?;
+        }
+        write!(f, ") {})", self.body)
+    }
+}
+
+/// An atomic expression: a variable reference or a λ-abstraction.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AExp {
+    /// A variable reference.
+    Ref(Var),
+    /// A λ-abstraction.
+    Lam(Lambda),
+}
+
+impl AExp {
+    /// Convenience constructor for a variable reference.
+    pub fn var(name: impl Into<Name>) -> Self {
+        AExp::Ref(name.into())
+    }
+
+    /// Convenience constructor for a λ-abstraction.
+    pub fn lam(params: Vec<Var>, body: CExp) -> Self {
+        AExp::Lam(Lambda::new(params, body))
+    }
+
+    /// The free variables of this atomic expression.
+    pub fn free_vars(&self) -> std::collections::BTreeSet<Var> {
+        match self {
+            AExp::Ref(v) => [v.clone()].into_iter().collect(),
+            AExp::Lam(lam) => lam.free_vars(),
+        }
+    }
+}
+
+impl fmt::Debug for AExp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for AExp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AExp::Ref(v) => write!(f, "{}", v),
+            AExp::Lam(lam) => write!(f, "{}", lam),
+        }
+    }
+}
+
+/// A call expression: either the application of a function to atomic
+/// arguments, or the distinguished `exit` expression that halts the
+/// machine.
+///
+/// Every call site carries a [`Label`] identifying it as a program point;
+/// the k-CFA context machinery records sequences of these labels.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CExp {
+    /// `(f æ₁ … æₙ)` — apply `f` to the arguments.
+    Call {
+        /// The program-point label of this call site.
+        label: Label,
+        /// The operator position.
+        f: AExp,
+        /// The operand positions.
+        args: Vec<AExp>,
+    },
+    /// The final state of the machine.
+    Exit,
+}
+
+impl CExp {
+    /// Creates a call expression.
+    pub fn call(label: Label, f: AExp, args: Vec<AExp>) -> Self {
+        CExp::Call { label, f, args }
+    }
+
+    /// The label of this call site ([`Label::none`] for `exit`).
+    pub fn label(&self) -> Label {
+        match self {
+            CExp::Call { label, .. } => *label,
+            CExp::Exit => Label::none(),
+        }
+    }
+
+    /// Whether this is the `exit` expression.
+    pub fn is_exit(&self) -> bool {
+        matches!(self, CExp::Exit)
+    }
+
+    /// The free variables of this call expression.
+    pub fn free_vars(&self) -> std::collections::BTreeSet<Var> {
+        match self {
+            CExp::Call { f, args, .. } => {
+                let mut free = f.free_vars();
+                for a in args {
+                    free.extend(a.free_vars());
+                }
+                free
+            }
+            CExp::Exit => std::collections::BTreeSet::new(),
+        }
+    }
+
+    /// All call-site labels occurring in this expression (including inside
+    /// nested λ-abstractions).  Useful for sanity checks and for sizing
+    /// benchmark programs.
+    pub fn labels(&self) -> std::collections::BTreeSet<Label> {
+        fn go_cexp(e: &CExp, out: &mut std::collections::BTreeSet<Label>) {
+            if let CExp::Call { label, f, args } = e {
+                out.insert(*label);
+                go_aexp(f, out);
+                for a in args {
+                    go_aexp(a, out);
+                }
+            }
+        }
+        fn go_aexp(e: &AExp, out: &mut std::collections::BTreeSet<Label>) {
+            if let AExp::Lam(lam) = e {
+                go_cexp(&lam.body, out);
+            }
+        }
+        let mut out = std::collections::BTreeSet::new();
+        go_cexp(self, &mut out);
+        out
+    }
+
+    /// The number of call sites in the program.
+    pub fn call_site_count(&self) -> usize {
+        self.labels().len()
+    }
+
+    /// All λ-abstractions occurring in this expression, in syntactic order.
+    pub fn lambdas(&self) -> Vec<Lambda> {
+        fn go_cexp(e: &CExp, out: &mut Vec<Lambda>) {
+            if let CExp::Call { f, args, .. } = e {
+                go_aexp(f, out);
+                for a in args {
+                    go_aexp(a, out);
+                }
+            }
+        }
+        fn go_aexp(e: &AExp, out: &mut Vec<Lambda>) {
+            if let AExp::Lam(lam) = e {
+                out.push(lam.clone());
+                go_cexp(&lam.body, out);
+            }
+        }
+        let mut out = Vec::new();
+        go_cexp(self, &mut out);
+        out
+    }
+
+    /// Whether the program is closed (no free variables).
+    pub fn is_closed(&self) -> bool {
+        self.free_vars().is_empty()
+    }
+}
+
+impl fmt::Debug for CExp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for CExp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CExp::Call { f: op, args, .. } => {
+                write!(f, "({}", op)?;
+                for a in args {
+                    write!(f, " {}", a)?;
+                }
+                write!(f, ")")
+            }
+            CExp::Exit => write!(f, "exit"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CExp {
+        // ((λ (x k) (k x)) (λ (y j) (j y)) (λ (r) exit))
+        CExp::call(
+            Label::new(1),
+            AExp::lam(
+                vec![Name::from("x"), Name::from("k")],
+                CExp::call(Label::new(2), AExp::var("k"), vec![AExp::var("x")]),
+            ),
+            vec![
+                AExp::lam(
+                    vec![Name::from("y"), Name::from("j")],
+                    CExp::call(Label::new(3), AExp::var("j"), vec![AExp::var("y")]),
+                ),
+                AExp::lam(vec![Name::from("r")], CExp::Exit),
+            ],
+        )
+    }
+
+    #[test]
+    fn free_vars_of_closed_program_is_empty() {
+        assert!(sample().is_closed());
+    }
+
+    #[test]
+    fn free_vars_sees_through_binders() {
+        let open = CExp::call(
+            Label::new(1),
+            AExp::lam(
+                vec![Name::from("x")],
+                CExp::call(Label::new(2), AExp::var("f"), vec![AExp::var("x")]),
+            ),
+            vec![AExp::var("y")],
+        );
+        let free = open.free_vars();
+        assert!(free.contains(&Name::from("f")));
+        assert!(free.contains(&Name::from("y")));
+        assert!(!free.contains(&Name::from("x")));
+    }
+
+    #[test]
+    fn labels_collects_all_call_sites() {
+        let labels = sample().labels();
+        assert_eq!(
+            labels,
+            [Label::new(1), Label::new(2), Label::new(3)].into_iter().collect()
+        );
+        assert_eq!(sample().call_site_count(), 3);
+    }
+
+    #[test]
+    fn lambdas_are_enumerated_in_syntactic_order() {
+        let lambdas = sample().lambdas();
+        assert_eq!(lambdas.len(), 3);
+        assert_eq!(lambdas[0].params[0], Name::from("x"));
+        assert_eq!(lambdas[2].params[0], Name::from("r"));
+    }
+
+    #[test]
+    fn display_renders_readable_sexps() {
+        assert_eq!(
+            sample().to_string(),
+            "((λ (x k) (k x)) (λ (y j) (j y)) (λ (r) exit))"
+        );
+        assert_eq!(CExp::Exit.to_string(), "exit");
+    }
+
+    #[test]
+    fn exit_has_the_reserved_label() {
+        assert_eq!(CExp::Exit.label(), Label::none());
+        assert!(CExp::Exit.is_exit());
+        assert!(!sample().is_exit());
+    }
+
+    #[test]
+    fn syntax_is_ordered_and_hashable() {
+        use std::collections::BTreeSet;
+        let mut set = BTreeSet::new();
+        set.insert(sample());
+        set.insert(sample());
+        set.insert(CExp::Exit);
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,373 @@
+//! Abstract interpretation of Featherweight Java.
+//!
+//! The `StorePassing` instance of [`FjInterface`] is assembled from the same
+//! language-independent parameters as the λ-calculi substrates: contexts for
+//! call-site sensitivity, plain or counting stores, abstract garbage
+//! collection and the per-state / shared-store collecting domains.  Nothing
+//! in `mai-core` was written with objects in mind, yet everything applies —
+//! the paper's claim that "context-sensitivity for Java and for the lambda
+//! calculus is the same monad".
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mai_core::addr::{Context, NamedAddress};
+use mai_core::collect::{run_analysis, with_gc, Collecting, PerStateDomain, SharedStoreDomain};
+use mai_core::gc::{reachable, GcStrategy, Touches};
+use mai_core::monad::{
+    gets_nd_set, MonadFamily, MonadState, MonadTrans, StateT, StorePassing, Value, VecM,
+};
+use mai_core::name::{Label, Name};
+use mai_core::store::{BasicStore, CountingStore, StoreLike};
+use mai_core::{KCallAddr, KCallCtx, MonoAddr, MonoCtx};
+
+use crate::machine::{
+    kont_name, mnext, Env, FjInterface, Kont, KontKind, Obj, PState, Storable,
+};
+use crate::syntax::{ClassName, ClassTable, Program, VarName};
+
+impl<C, S> FjInterface<C::Addr> for StorePassing<C, S>
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+{
+    fn lookup(env: &Env<C::Addr>, var: &VarName) -> Self::M<Obj<C::Addr>> {
+        let addr = env.get(var).cloned();
+        Self::lift(gets_nd_set::<StateT<S, VecM>, S, Obj<C::Addr>, _>(
+            move |store| match &addr {
+                Some(a) => store
+                    .fetch(a)
+                    .iter()
+                    .filter_map(Storable::as_val)
+                    .cloned()
+                    .collect(),
+                None => BTreeSet::new(),
+            },
+        ))
+    }
+
+    fn fetch(addr: &C::Addr) -> Self::M<Obj<C::Addr>> {
+        let addr = addr.clone();
+        Self::lift(gets_nd_set::<StateT<S, VecM>, S, Obj<C::Addr>, _>(
+            move |store| {
+                store
+                    .fetch(&addr)
+                    .iter()
+                    .filter_map(Storable::as_val)
+                    .cloned()
+                    .collect()
+            },
+        ))
+    }
+
+    fn kont_at(addr: &C::Addr) -> Self::M<Kont<C::Addr>> {
+        let addr = addr.clone();
+        Self::lift(gets_nd_set::<StateT<S, VecM>, S, Kont<C::Addr>, _>(
+            move |store| {
+                store
+                    .fetch(&addr)
+                    .iter()
+                    .filter_map(Storable::as_kont)
+                    .cloned()
+                    .collect()
+            },
+        ))
+    }
+
+    fn bind_val(addr: C::Addr, val: Obj<C::Addr>) -> Self::M<()> {
+        Self::lift(<StateT<S, VecM> as MonadState<S>>::modify(move |store| {
+            store.bind(addr.clone(), [Storable::Val(val.clone())].into_iter().collect())
+        }))
+    }
+
+    fn bind_kont(addr: C::Addr, kont: Kont<C::Addr>) -> Self::M<()> {
+        Self::lift(<StateT<S, VecM> as MonadState<S>>::modify(move |store| {
+            store.bind(
+                addr.clone(),
+                [Storable::Kont(kont.clone())].into_iter().collect(),
+            )
+        }))
+    }
+
+    fn alloc(name: &Name) -> Self::M<C::Addr> {
+        let name = name.clone();
+        <Self as MonadState<C>>::gets(move |ctx| ctx.valloc(&name))
+    }
+
+    fn alloc_kont(site: Label, kind: KontKind) -> Self::M<C::Addr> {
+        let name = kont_name(site, kind);
+        <Self as MonadState<C>>::gets(move |ctx| ctx.valloc(&name))
+    }
+
+    fn tick(site: Label) -> Self::M<()> {
+        <Self as MonadState<C>>::modify(move |ctx| ctx.advance(site))
+    }
+}
+
+/// The abstract garbage collector for Featherweight Java.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FjGc;
+
+impl<C, S> GcStrategy<StorePassing<C, S>, PState<C::Addr>> for FjGc
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+{
+    fn collect(&self, ps: &PState<C::Addr>) -> <StorePassing<C, S> as MonadFamily>::M<()> {
+        let roots = ps.touches();
+        <StorePassing<C, S> as MonadTrans>::lift(<StateT<S, VecM> as MonadState<S>>::modify(
+            move |store: S| {
+                let live = reachable(roots.clone(), &store);
+                store.filter_store(|a| live.contains(a))
+            },
+        ))
+    }
+}
+
+/// Runs the Featherweight Java analysis with an arbitrary context, store and
+/// collecting domain.
+pub fn analyse<C, S, Fp>(program: &Program) -> Fp
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: Collecting<StorePassing<C, S>, PState<C::Addr>>,
+{
+    let table = program.table.clone();
+    run_analysis::<StorePassing<C, S>, _, Fp, _>(
+        move |ps| mnext::<StorePassing<C, S>, C::Addr>(&table, ps),
+        PState::inject(program.main.clone()),
+    )
+}
+
+/// Like [`analyse`], with abstract garbage collection after every step.
+pub fn analyse_with_gc<C, S, Fp>(program: &Program) -> Fp
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: Collecting<StorePassing<C, S>, PState<C::Addr>>,
+{
+    let table = program.table.clone();
+    run_analysis::<StorePassing<C, S>, _, Fp, _>(
+        with_gc::<StorePassing<C, S>, PState<C::Addr>, _, _>(
+            move |ps| mnext::<StorePassing<C, S>, C::Addr>(&table, ps),
+            FjGc,
+        ),
+        PState::inject(program.main.clone()),
+    )
+}
+
+/// The plain store of the call-site-sensitive FJ analyses.
+pub type KFjStore = BasicStore<KCallAddr, Storable<KCallAddr>>;
+
+/// The counting store of the call-site-sensitive FJ analyses.
+pub type KFjCountingStore = CountingStore<KCallAddr, Storable<KCallAddr>>;
+
+/// Shared-store k-call-site-sensitive FJ analysis domain.
+pub type KFjShared<const K: usize> = SharedStoreDomain<PState<KCallAddr>, KCallCtx<K>, KFjStore>;
+
+/// Per-state-store k-call-site-sensitive FJ analysis domain.
+pub type KFjPerState<const K: usize> = PerStateDomain<PState<KCallAddr>, KCallCtx<K>, KFjStore>;
+
+/// Shared-store monovariant FJ analysis domain.
+pub type MonoFjShared =
+    SharedStoreDomain<PState<MonoAddr>, MonoCtx, BasicStore<MonoAddr, Storable<MonoAddr>>>;
+
+/// k-call-site-sensitive analysis with a shared (widened) store.
+pub fn analyse_kcfa_shared<const K: usize>(program: &Program) -> KFjShared<K> {
+    analyse::<KCallCtx<K>, KFjStore, _>(program)
+}
+
+/// k-call-site-sensitive analysis with per-state stores (heap cloning).
+pub fn analyse_kcfa<const K: usize>(program: &Program) -> KFjPerState<K> {
+    analyse::<KCallCtx<K>, KFjStore, _>(program)
+}
+
+/// k-call-site-sensitive analysis with a shared counting store.
+pub fn analyse_kcfa_with_count<const K: usize>(
+    program: &Program,
+) -> SharedStoreDomain<PState<KCallAddr>, KCallCtx<K>, KFjCountingStore> {
+    analyse::<KCallCtx<K>, KFjCountingStore, _>(program)
+}
+
+/// k-call-site-sensitive analysis with a shared store and abstract GC.
+pub fn analyse_kcfa_shared_gc<const K: usize>(program: &Program) -> KFjShared<K> {
+    analyse_with_gc::<KCallCtx<K>, KFjStore, _>(program)
+}
+
+/// Monovariant (context-insensitive) analysis with a shared store.
+pub fn analyse_mono(program: &Program) -> MonoFjShared {
+    analyse::<MonoCtx, BasicStore<MonoAddr, Storable<MonoAddr>>, _>(program)
+}
+
+/// Which classes may flow to each variable or field cell, extracted from an
+/// FJ store (continuation entries are ignored).  This is the standard
+/// "points-to / class analysis" view of the result.
+pub fn class_flow_map<A, S>(store: &S) -> BTreeMap<Name, BTreeSet<ClassName>>
+where
+    A: NamedAddress,
+    S: StoreLike<A, D = BTreeSet<Storable<A>>>,
+{
+    let mut flows: BTreeMap<Name, BTreeSet<ClassName>> = BTreeMap::new();
+    for addr in store.addresses() {
+        for storable in store.fetch(&addr) {
+            if let Storable::Val(obj) = storable {
+                flows
+                    .entry(addr.variable().clone())
+                    .or_default()
+                    .insert(obj.class.clone());
+            }
+        }
+    }
+    flows
+}
+
+/// The set of dynamic classes the program's `main` expression may evaluate
+/// to, according to a shared-store analysis result.
+pub fn result_classes<Ps, C, S>(result: &SharedStoreDomain<Ps, C, S>) -> BTreeSet<ClassName>
+where
+    Ps: Ord + Clone + ResultClass,
+    C: Ord + Clone,
+    S: mai_core::Lattice,
+{
+    result
+        .distinct_states()
+        .iter()
+        .filter_map(ResultClass::result_class)
+        .collect()
+}
+
+/// States that may report the class of their halt value.
+pub trait ResultClass {
+    /// The dynamic class of the halt value, if this state is a halt state.
+    fn result_class(&self) -> Option<ClassName>;
+}
+
+impl<A> ResultClass for PState<A> {
+    fn result_class(&self) -> Option<ClassName> {
+        self.result().map(|obj| obj.class.clone())
+    }
+}
+
+/// A typed façade bundling a program with the analyses most examples need.
+#[derive(Debug, Clone)]
+pub struct FjAnalyser {
+    program: Program,
+}
+
+impl FjAnalyser {
+    /// Creates an analyser for a (well-formed) program.
+    pub fn new(program: Program) -> Self {
+        FjAnalyser { program }
+    }
+
+    /// The underlying class table.
+    pub fn table(&self) -> &ClassTable {
+        &self.program.table
+    }
+
+    /// Monovariant class analysis of the program: variable/field → classes.
+    pub fn mono_class_flows(&self) -> BTreeMap<Name, BTreeSet<ClassName>> {
+        class_flow_map(analyse_mono(&self.program).store())
+    }
+
+    /// The classes the program may evaluate to under 1-call-site
+    /// sensitivity.
+    pub fn result_classes_1cfa(&self) -> BTreeSet<ClassName> {
+        result_classes(&analyse_kcfa_shared::<1>(&self.program))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs;
+
+    #[test]
+    fn pair_program_halts_under_every_analysis() {
+        let program = programs::pair_fst();
+        assert!(analyse_mono(&program)
+            .distinct_states()
+            .iter()
+            .any(PState::is_final));
+        assert!(analyse_kcfa_shared::<1>(&program)
+            .distinct_states()
+            .iter()
+            .any(PState::is_final));
+        assert!(analyse_kcfa_with_count::<1>(&program)
+            .distinct_states()
+            .iter()
+            .any(PState::is_final));
+        assert!(analyse_kcfa_shared_gc::<1>(&program)
+            .distinct_states()
+            .iter()
+            .any(PState::is_final));
+    }
+
+    #[test]
+    fn pair_fst_returns_exactly_class_a() {
+        let program = programs::pair_fst();
+        let shared = analyse_kcfa_shared::<1>(&program);
+        assert_eq!(
+            result_classes(&shared),
+            [Name::from("A")].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn monovariant_container_analysis_conflates_two_cells() {
+        let program = programs::two_cells();
+        let mono = analyse_mono(&program);
+        let flows = class_flow_map(mono.store());
+        // Under the monovariant analysis the single abstract cell for the
+        // field `Cell.content` receives both A and B.
+        let cell = flows
+            .iter()
+            .find(|(name, _)| name.as_str() == "Cell.content")
+            .map(|(_, classes)| classes.clone())
+            .unwrap_or_default();
+        assert!(cell.contains(&Name::from("A")));
+        assert!(cell.contains(&Name::from("B")));
+    }
+
+    #[test]
+    fn one_cfa_separates_the_two_cells_results() {
+        let program = programs::two_cells();
+        // The program's result is the content of the *first* cell, so a
+        // 1-call-site-sensitive analysis should (at least) include A; the
+        // monovariant one necessarily also reports B.
+        let mono_result = result_classes(&analyse_mono(&program));
+        let one_result = result_classes(&analyse_kcfa_shared::<1>(&program));
+        assert!(mono_result.contains(&Name::from("A")));
+        assert!(mono_result.contains(&Name::from("B")));
+        assert!(one_result.contains(&Name::from("A")));
+        assert!(one_result.len() <= mono_result.len());
+    }
+
+    #[test]
+    fn gc_only_shrinks_the_store() {
+        let program = programs::two_cells();
+        let plain = analyse_kcfa_shared::<0>(&program);
+        let gced = analyse_kcfa_shared_gc::<0>(&program);
+        assert!(gced.store().fact_count() <= plain.store().fact_count());
+        assert!(gced.distinct_states().iter().any(PState::is_final));
+    }
+
+    #[test]
+    fn failed_downcasts_lead_to_stuck_not_halt() {
+        let program = programs::bad_downcast();
+        let result = analyse_mono(&program);
+        assert!(result.distinct_states().iter().any(PState::is_stuck));
+        assert!(!result.distinct_states().iter().any(PState::is_final));
+    }
+
+    #[test]
+    fn analyser_facade_reports_flows_and_results() {
+        let analyser = FjAnalyser::new(programs::pair_fst());
+        let flows = analyser.mono_class_flows();
+        assert!(!flows.is_empty());
+        assert_eq!(
+            analyser.result_classes_1cfa(),
+            [Name::from("A")].into_iter().collect()
+        );
+        assert!(analyser.table().class(&Name::from("Pair")).is_some());
+    }
+}

@@ -1,0 +1,448 @@
+//! The Featherweight Java type system (Igarashi, Pierce & Wadler), used to
+//! validate programs before they are interpreted or analysed.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use mai_core::name::Name;
+
+use crate::syntax::{
+    object_class, this_var, ClassName, ClassTable, Expr, MethodDecl, Program, TableError, VarName,
+};
+
+/// A typing environment: variable → declared class.
+pub type TypeEnv = BTreeMap<VarName, ClassName>;
+
+/// A type error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// A class-table lookup failed.
+    Table(TableError),
+    /// An unbound variable was referenced.
+    UnboundVariable(VarName),
+    /// A constructor received the wrong number of arguments.
+    ConstructorArity {
+        /// The constructed class.
+        class: ClassName,
+        /// How many fields the class has.
+        expected: usize,
+        /// How many arguments were supplied.
+        found: usize,
+    },
+    /// A method received the wrong number of arguments.
+    MethodArity {
+        /// The invoked method.
+        method: Name,
+        /// Expected argument count.
+        expected: usize,
+        /// Supplied argument count.
+        found: usize,
+    },
+    /// An expression's type is not a subtype of what the context requires.
+    NotASubtype {
+        /// The inferred type.
+        found: ClassName,
+        /// The required supertype.
+        required: ClassName,
+    },
+    /// A cast between unrelated classes ("stupid cast" in FJ parlance).
+    StupidCast {
+        /// The cast target.
+        target: ClassName,
+        /// The type of the expression being cast.
+        found: ClassName,
+    },
+    /// A method override changes the signature of the inherited method.
+    InvalidOverride {
+        /// The class declaring the override.
+        class: ClassName,
+        /// The offending method.
+        method: Name,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::Table(e) => write!(f, "{}", e),
+            TypeError::UnboundVariable(v) => write!(f, "unbound variable {}", v),
+            TypeError::ConstructorArity {
+                class,
+                expected,
+                found,
+            } => write!(
+                f,
+                "new {} expects {} arguments, found {}",
+                class, expected, found
+            ),
+            TypeError::MethodArity {
+                method,
+                expected,
+                found,
+            } => write!(
+                f,
+                "method {} expects {} arguments, found {}",
+                method, expected, found
+            ),
+            TypeError::NotASubtype { found, required } => {
+                write!(f, "{} is not a subtype of {}", found, required)
+            }
+            TypeError::StupidCast { target, found } => {
+                write!(f, "cast of {} to unrelated class {}", found, target)
+            }
+            TypeError::InvalidOverride { class, method } => {
+                write!(f, "class {} overrides {} with a different signature", class, method)
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+impl From<TableError> for TypeError {
+    fn from(e: TableError) -> Self {
+        TypeError::Table(e)
+    }
+}
+
+/// Infers the type of an expression under a typing environment.
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] if the expression is ill-typed.
+pub fn type_of(table: &ClassTable, env: &TypeEnv, expr: &Expr) -> Result<ClassName, TypeError> {
+    match expr {
+        Expr::Var(v) => env
+            .get(v)
+            .cloned()
+            .ok_or_else(|| TypeError::UnboundVariable(v.clone())),
+        Expr::FieldAccess { object, field, .. } => {
+            let receiver = type_of(table, env, object)?;
+            let fields = table.fields(&receiver)?;
+            fields
+                .iter()
+                .find(|(_, f)| f == field)
+                .map(|(t, _)| t.clone())
+                .ok_or(TypeError::Table(TableError::UnknownField(
+                    receiver,
+                    field.clone(),
+                )))
+        }
+        Expr::MethodCall {
+            object,
+            method,
+            args,
+            ..
+        } => {
+            let receiver = type_of(table, env, object)?;
+            let (param_types, return_type) = table.mtype(method, &receiver)?;
+            if param_types.len() != args.len() {
+                return Err(TypeError::MethodArity {
+                    method: method.clone(),
+                    expected: param_types.len(),
+                    found: args.len(),
+                });
+            }
+            for (arg, expected) in args.iter().zip(param_types.iter()) {
+                let found = type_of(table, env, arg)?;
+                if !table.is_subtype(&found, expected)? {
+                    return Err(TypeError::NotASubtype {
+                        found,
+                        required: expected.clone(),
+                    });
+                }
+            }
+            Ok(return_type)
+        }
+        Expr::New { class, args, .. } => {
+            let fields = table.fields(class)?;
+            if fields.len() != args.len() {
+                return Err(TypeError::ConstructorArity {
+                    class: class.clone(),
+                    expected: fields.len(),
+                    found: args.len(),
+                });
+            }
+            for (arg, (expected, _)) in args.iter().zip(fields.iter()) {
+                let found = type_of(table, env, arg)?;
+                if !table.is_subtype(&found, expected)? {
+                    return Err(TypeError::NotASubtype {
+                        found,
+                        required: expected.clone(),
+                    });
+                }
+            }
+            Ok(class.clone())
+        }
+        Expr::Cast { class, object, .. } => {
+            let found = type_of(table, env, object)?;
+            let up = table.is_subtype(&found, class)?;
+            let down = table.is_subtype(class, &found)?;
+            if up || down {
+                Ok(class.clone())
+            } else {
+                Err(TypeError::StupidCast {
+                    target: class.clone(),
+                    found,
+                })
+            }
+        }
+    }
+}
+
+fn check_method(table: &ClassTable, class: &ClassName, m: &MethodDecl) -> Result<(), TypeError> {
+    // Parameter and return types must exist.
+    table.ancestry(&m.return_type)?;
+    for (t, _) in &m.params {
+        table.ancestry(t)?;
+    }
+    // The body must be well-typed under this + params, at a subtype of the
+    // declared return type.
+    let mut env = TypeEnv::new();
+    env.insert(this_var(), class.clone());
+    for (t, x) in &m.params {
+        env.insert(x.clone(), t.clone());
+    }
+    let body_type = type_of(table, &env, &m.body)?;
+    if !table.is_subtype(&body_type, &m.return_type)? {
+        return Err(TypeError::NotASubtype {
+            found: body_type,
+            required: m.return_type.clone(),
+        });
+    }
+    // Overrides must preserve the signature.
+    let decl = table.class(class).expect("checked by caller");
+    if decl.superclass != object_class() {
+        if let Ok((super_params, super_ret)) = table.mtype(&m.name, &decl.superclass) {
+            let my_params: Vec<ClassName> = m.params.iter().map(|(t, _)| t.clone()).collect();
+            if super_params != my_params || super_ret != m.return_type {
+                return Err(TypeError::InvalidOverride {
+                    class: class.clone(),
+                    method: m.name.clone(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks an entire program: every class and method is well-formed and the
+/// `main` expression is well-typed in the empty environment.  Returns the
+/// type of `main`.
+///
+/// # Errors
+///
+/// Returns the first [`TypeError`] found.
+pub fn check_program(program: &Program) -> Result<ClassName, TypeError> {
+    let table = &program.table;
+    for decl in table.classes() {
+        // The superclass chain must be acyclic and known.
+        table.ancestry(&decl.name)?;
+        for (t, _) in &decl.fields {
+            table.ancestry(t)?;
+        }
+        for m in &decl.methods {
+            check_method(table, &decl.name, m)?;
+        }
+    }
+    Ok(type_of(table, &TypeEnv::new(), &program.main)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::{class, method, ExprBuilder};
+
+    fn pair_program(main: Expr) -> Program {
+        let mut b = ExprBuilder::new();
+        let fst = method("Object", "fst", &[], b.field(Expr::var("this"), "first"));
+        let snd = method("Object", "snd", &[], b.field(Expr::var("this"), "second"));
+        let set_fst = {
+            let body_snd = b.field(Expr::var("this"), "second");
+            method(
+                "Pair",
+                "setFst",
+                &[("Object", "newFirst")],
+                b.new_object("Pair", vec![Expr::var("newFirst"), body_snd]),
+            )
+        };
+        let table = ClassTable::new(vec![
+            class("A", "Object", &[], vec![]),
+            class("B", "A", &[], vec![]),
+            class(
+                "Pair",
+                "Object",
+                &[("Object", "first"), ("Object", "second")],
+                vec![fst, snd, set_fst],
+            ),
+        ])
+        .unwrap();
+        Program { table, main }
+    }
+
+    fn new_pair(b: &mut ExprBuilder) -> Expr {
+        let a = b.new_object("A", vec![]);
+        let bb = b.new_object("B", vec![]);
+        b.new_object("Pair", vec![a, bb])
+    }
+
+    #[test]
+    fn well_typed_program_checks() {
+        let mut b = ExprBuilder::new();
+        let pair = new_pair(&mut b);
+        let main = b.call(pair, "fst", vec![]);
+        let program = pair_program(main);
+        assert_eq!(check_program(&program).unwrap(), Name::from("Object"));
+    }
+
+    #[test]
+    fn method_calls_check_arity_and_argument_types() {
+        let mut b = ExprBuilder::new();
+        let pair = new_pair(&mut b);
+        let main = b.call(pair, "setFst", vec![]);
+        assert!(matches!(
+            check_program(&pair_program(main)),
+            Err(TypeError::MethodArity { .. })
+        ));
+
+        let mut b = ExprBuilder::new();
+        let pair = new_pair(&mut b);
+        let a = b.new_object("A", vec![]);
+        let main = b.call(pair, "setFst", vec![a]);
+        assert_eq!(check_program(&pair_program(main)).unwrap(), Name::from("Pair"));
+    }
+
+    #[test]
+    fn constructors_check_arity() {
+        let mut b = ExprBuilder::new();
+        let main = b.new_object("Pair", vec![]);
+        assert!(matches!(
+            check_program(&pair_program(main)),
+            Err(TypeError::ConstructorArity { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_names_are_reported() {
+        let mut b = ExprBuilder::new();
+        let main = b.new_object("Nope", vec![]);
+        assert!(matches!(
+            check_program(&pair_program(main)),
+            Err(TypeError::Table(TableError::UnknownClass(_)))
+        ));
+
+        let mut b = ExprBuilder::new();
+        let a = b.new_object("A", vec![]);
+        let main = b.call(a, "missing", vec![]);
+        assert!(matches!(
+            check_program(&pair_program(main)),
+            Err(TypeError::Table(TableError::UnknownMethod(_, _)))
+        ));
+
+        let main = Expr::var("loose");
+        assert!(matches!(
+            check_program(&pair_program(main)),
+            Err(TypeError::UnboundVariable(_))
+        ));
+    }
+
+    #[test]
+    fn casts_allow_up_and_down_but_not_sideways() {
+        let mut b = ExprBuilder::new();
+        let a = b.new_object("A", vec![]);
+        let up = b.cast("Object", a);
+        assert_eq!(check_program(&pair_program(up)).unwrap(), object_class());
+
+        let mut b = ExprBuilder::new();
+        let a = b.new_object("A", vec![]);
+        let down = b.cast("B", a);
+        assert_eq!(
+            check_program(&pair_program(down)).unwrap(),
+            Name::from("B")
+        );
+
+        let mut b = ExprBuilder::new();
+        let a = b.new_object("A", vec![]);
+        let sideways = b.cast("Pair", a);
+        assert!(matches!(
+            check_program(&pair_program(sideways)),
+            Err(TypeError::StupidCast { .. })
+        ));
+    }
+
+    #[test]
+    fn ill_typed_method_bodies_are_rejected() {
+        let mut b = ExprBuilder::new();
+        let bad = method("Pair", "broken", &[], b.new_object("A", vec![]));
+        let table = ClassTable::new(vec![
+            class("A", "Object", &[], vec![]),
+            class("Pair", "Object", &[("Object", "first")], vec![bad]),
+        ])
+        .unwrap();
+        let mut b2 = ExprBuilder::new();
+        let a = b2.new_object("A", vec![]);
+        let program = Program {
+            table,
+            main: b2.new_object("Pair", vec![a]),
+        };
+        assert!(matches!(
+            check_program(&program),
+            Err(TypeError::NotASubtype { .. })
+        ));
+    }
+
+    #[test]
+    fn signature_changing_overrides_are_rejected() {
+        let mut b = ExprBuilder::new();
+        let base = method("Object", "get", &[], b.field(Expr::var("this"), "x"));
+        let bad_override = method("Base", "get", &[], Expr::var("this"));
+        let table = ClassTable::new(vec![
+            class("Base", "Object", &[("Object", "x")], vec![base]),
+            class("Derived", "Base", &[], vec![bad_override]),
+        ])
+        .unwrap();
+        let program = Program {
+            table,
+            main: Expr::var("unused"),
+        };
+        // Even though main is ill-typed too, the override error should be
+        // reported first (classes are checked before main).
+        assert!(matches!(
+            check_program(&program),
+            Err(TypeError::InvalidOverride { .. })
+        ));
+    }
+
+    #[test]
+    fn type_errors_display_nonempty_messages() {
+        let errors: Vec<TypeError> = vec![
+            TypeError::UnboundVariable(Name::from("x")),
+            TypeError::ConstructorArity {
+                class: Name::from("C"),
+                expected: 2,
+                found: 1,
+            },
+            TypeError::MethodArity {
+                method: Name::from("m"),
+                expected: 1,
+                found: 0,
+            },
+            TypeError::NotASubtype {
+                found: Name::from("A"),
+                required: Name::from("B"),
+            },
+            TypeError::StupidCast {
+                target: Name::from("A"),
+                found: Name::from("B"),
+            },
+            TypeError::InvalidOverride {
+                class: Name::from("C"),
+                method: Name::from("m"),
+            },
+            TypeError::Table(TableError::UnknownClass(Name::from("Z"))),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,598 @@
+//! The monadic CESK machine for the direct-style λ-calculus.
+//!
+//! This is the second language the paper's implementation replays the
+//! monadic refactoring for: a CESK machine whose continuations are
+//! *store-allocated* (as in "Abstracting Abstract Machines"), refactored so
+//! that the store, the continuation store and time all live behind the
+//! analysis monad.  The semantic interface [`CeskInterface`] plays the role
+//! `CPSInterface` plays for CPS; the transition function [`mnext`] is again
+//! written once and reused by the concrete interpreter and every analysis.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::rc::Rc;
+
+use mai_core::addr::Address;
+use mai_core::gc::Touches;
+use mai_core::monad::MonadFamily;
+use mai_core::name::{Label, Name};
+
+use crate::syntax::{Term, Var};
+
+/// An environment: a finite map from variables to addresses.
+pub type Env<A> = BTreeMap<Var, A>;
+
+/// A reference to a continuation: `None` is the halt continuation, `Some`
+/// points at a store-allocated continuation.
+pub type KontRef<A> = Option<A>;
+
+/// A denotable value: a closure.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Closure<A> {
+    /// The formal parameter.
+    pub param: Var,
+    /// The body.
+    pub body: Rc<Term>,
+    /// The captured environment.
+    pub env: Env<A>,
+}
+
+impl<A: fmt::Debug> fmt::Debug for Closure<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨λ{}. {}, {:?}⟩", self.param, self.body, self.env)
+    }
+}
+
+impl<A: Address> Touches<A> for Closure<A> {
+    fn touches(&self) -> BTreeSet<A> {
+        let mut free = self.body.free_vars();
+        free.remove(&self.param);
+        free.iter().filter_map(|v| self.env.get(v).cloned()).collect()
+    }
+}
+
+/// A continuation frame, store-allocated.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Kont<A> {
+    /// Evaluate the argument next (the operator has just been evaluated).
+    Ar {
+        /// The label of the application this frame belongs to.
+        site: Label,
+        /// The argument term still to be evaluated.
+        arg: Rc<Term>,
+        /// The environment in which to evaluate it.
+        env: Env<A>,
+        /// The rest of the continuation.
+        next: KontRef<A>,
+    },
+    /// Apply the already-evaluated operator to the value being produced.
+    Fn {
+        /// The label of the application this frame belongs to.
+        site: Label,
+        /// The evaluated operator.
+        closure: Closure<A>,
+        /// The rest of the continuation.
+        next: KontRef<A>,
+    },
+    /// Bind a `let` variable and continue with the body.
+    LetK {
+        /// The label of the `let` this frame belongs to.
+        site: Label,
+        /// The bound variable.
+        name: Var,
+        /// The body of the `let`.
+        body: Rc<Term>,
+        /// The environment of the `let`.
+        env: Env<A>,
+        /// The rest of the continuation.
+        next: KontRef<A>,
+    },
+}
+
+impl<A: fmt::Debug> fmt::Debug for Kont<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Kont::Ar { site, arg, .. } => write!(f, "Ar@{}({})", site, arg),
+            Kont::Fn { site, closure, .. } => write!(f, "Fn@{}({:?})", site, closure),
+            Kont::LetK { site, name, .. } => write!(f, "Let@{}({})", site, name),
+        }
+    }
+}
+
+impl<A: Address> Touches<A> for Kont<A> {
+    fn touches(&self) -> BTreeSet<A> {
+        match self {
+            Kont::Ar { arg, env, next, .. } => {
+                let mut out: BTreeSet<A> = arg
+                    .free_vars()
+                    .iter()
+                    .filter_map(|v| env.get(v).cloned())
+                    .collect();
+                out.extend(next.clone());
+                out
+            }
+            Kont::Fn { closure, next, .. } => {
+                let mut out = closure.touches();
+                out.extend(next.clone());
+                out
+            }
+            Kont::LetK {
+                name,
+                body,
+                env,
+                next,
+                ..
+            } => {
+                let mut free = body.free_vars();
+                free.remove(name);
+                let mut out: BTreeSet<A> =
+                    free.iter().filter_map(|v| env.get(v).cloned()).collect();
+                out.extend(next.clone());
+                out
+            }
+        }
+    }
+}
+
+/// What lives at a store address: a value or a continuation frame.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Storable<A> {
+    /// A value.
+    Val(Closure<A>),
+    /// A continuation.
+    Kont(Kont<A>),
+}
+
+impl<A> Storable<A> {
+    /// The value, if this storable is one.
+    pub fn as_val(&self) -> Option<&Closure<A>> {
+        match self {
+            Storable::Val(v) => Some(v),
+            Storable::Kont(_) => None,
+        }
+    }
+
+    /// The continuation, if this storable is one.
+    pub fn as_kont(&self) -> Option<&Kont<A>> {
+        match self {
+            Storable::Val(_) => None,
+            Storable::Kont(k) => Some(k),
+        }
+    }
+}
+
+impl<A: fmt::Debug> fmt::Debug for Storable<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Storable::Val(v) => write!(f, "{:?}", v),
+            Storable::Kont(k) => write!(f, "{:?}", k),
+        }
+    }
+}
+
+impl<A: Address> Touches<A> for Storable<A> {
+    fn touches(&self) -> BTreeSet<A> {
+        match self {
+            Storable::Val(v) => v.touches(),
+            Storable::Kont(k) => k.touches(),
+        }
+    }
+}
+
+/// The control component of a CESK partial state.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Control<A> {
+    /// Evaluating a term.
+    Eval(Rc<Term>),
+    /// Returning a value to the continuation.
+    Value(Closure<A>),
+    /// The machine has halted with this value.
+    Halted(Closure<A>),
+}
+
+impl<A: fmt::Debug> fmt::Debug for Control<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Control::Eval(t) => write!(f, "eval {}", t),
+            Control::Value(v) => write!(f, "value {:?}", v),
+            Control::Halted(v) => write!(f, "halted {:?}", v),
+        }
+    }
+}
+
+/// A partial CESK state: control, environment and continuation pointer.
+/// The store (value *and* continuation store) and the time live in the
+/// monad.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PState<A> {
+    /// The control component.
+    pub control: Control<A>,
+    /// The environment (only meaningful while evaluating).
+    pub env: Env<A>,
+    /// The continuation pointer.
+    pub kont: KontRef<A>,
+}
+
+impl<A> PState<A> {
+    /// The initial state of a program: evaluate it in the empty environment
+    /// with the halt continuation.
+    pub fn inject(term: Term) -> Self {
+        PState {
+            control: Control::Eval(Rc::new(term)),
+            env: Env::new(),
+            kont: None,
+        }
+    }
+
+    /// Whether the machine has halted.
+    pub fn is_final(&self) -> bool {
+        matches!(self.control, Control::Halted(_))
+    }
+
+    /// The halt value, if the machine has halted.
+    pub fn result(&self) -> Option<&Closure<A>> {
+        match &self.control {
+            Control::Halted(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl<A: fmt::Debug> fmt::Debug for PState<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{:?}, {:?}, {:?}⟩", self.control, self.env, self.kont)
+    }
+}
+
+impl<A: Address> Touches<A> for PState<A> {
+    fn touches(&self) -> BTreeSet<A> {
+        let mut out: BTreeSet<A> = match &self.control {
+            Control::Eval(t) => t
+                .free_vars()
+                .iter()
+                .filter_map(|v| self.env.get(v).cloned())
+                .collect(),
+            Control::Value(v) | Control::Halted(v) => v.touches(),
+        };
+        out.extend(self.kont.clone());
+        out
+    }
+}
+
+/// The semantic interface of the direct-style λ-calculus: how the CESK
+/// machine interacts with values, continuations, the store and time.
+/// The analysis monads and context/store/GC parameters plugged into it are
+/// exactly the ones used for CPS — this is the reuse claim of the paper's
+/// Figure 3.
+pub trait CeskInterface<A: Address>: MonadFamily {
+    /// Looks up the value of a variable.
+    fn lookup(env: &Env<A>, var: &Var) -> Self::M<Closure<A>>;
+
+    /// Fetches a continuation frame from the store.
+    fn kont_at(addr: &A) -> Self::M<Kont<A>>;
+
+    /// Binds a value in the store.
+    fn bind_val(addr: A, val: Closure<A>) -> Self::M<()>;
+
+    /// Binds a continuation frame in the store.
+    fn bind_kont(addr: A, kont: Kont<A>) -> Self::M<()>;
+
+    /// Allocates an address for a variable binding.
+    fn alloc_val(var: &Var) -> Self::M<A>;
+
+    /// Allocates an address for a continuation of the given kind created
+    /// at `site`.
+    fn alloc_kont(site: Label, kind: KontKind) -> Self::M<A>;
+
+    /// Advances time across the call/binding at `site`.
+    fn tick(site: Label) -> Self::M<()>;
+}
+
+/// The kind of continuation frame being allocated.  Allocating frames of
+/// different kinds at different (synthetic) names keeps, say, the `Ar` and
+/// `Fn` frames of one application apart even under a monovariant context —
+/// a standard precision refinement of store-allocated continuations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum KontKind {
+    /// An argument-evaluation frame.
+    Ar,
+    /// A function-application frame.
+    Fn,
+    /// A `let`-binding frame.
+    Let,
+}
+
+impl KontKind {
+    /// A short tag used in synthetic continuation names.
+    pub fn tag(self) -> &'static str {
+        match self {
+            KontKind::Ar => "ar",
+            KontKind::Fn => "fn",
+            KontKind::Let => "let",
+        }
+    }
+}
+
+/// The synthetic variable name under which continuations of a given kind
+/// allocated at a given program point are stored.
+pub fn kont_name(site: Label, kind: KontKind) -> Name {
+    Name::from(format!("$kont-{}{}", kind.tag(), site.index()))
+}
+
+/// The monadic transition function of the CESK machine — the analogue of
+/// the paper's `mnext` for the direct-style λ-calculus.  Written once
+/// against [`CeskInterface`]; every interpreter and analysis of this crate
+/// reuses it unchanged.
+pub fn mnext<M, A>(ps: PState<A>) -> M::M<PState<A>>
+where
+    M: CeskInterface<A>,
+    A: Address,
+{
+    match ps.control.clone() {
+        Control::Eval(term) => step_eval::<M, A>(term, ps),
+        Control::Value(value) => step_value::<M, A>(value, ps),
+        Control::Halted(_) => M::pure(ps),
+    }
+}
+
+fn step_eval<M, A>(term: Rc<Term>, ps: PState<A>) -> M::M<PState<A>>
+where
+    M: CeskInterface<A>,
+    A: Address,
+{
+    let env = ps.env.clone();
+    let kont = ps.kont.clone();
+    match term.as_ref().clone() {
+        Term::Var(v) => M::bind(M::lookup(&env, &v), move |value| {
+            M::pure(PState {
+                control: Control::Value(value),
+                env: Env::new(),
+                kont: kont.clone(),
+            })
+        }),
+        Term::Lam { param, body } => M::pure(PState {
+            control: Control::Value(Closure {
+                param,
+                body,
+                env: env.clone(),
+            }),
+            env: Env::new(),
+            kont,
+        }),
+        Term::App { label, func, arg } => {
+            let frame = Kont::Ar {
+                site: label,
+                arg,
+                env: env.clone(),
+                next: kont,
+            };
+            M::bind(M::alloc_kont(label, KontKind::Ar), move |addr| {
+                let frame = frame.clone();
+                let env = env.clone();
+                let func = func.clone();
+                let keep = addr.clone();
+                M::bind(M::bind_kont(addr, frame), move |_| {
+                    M::pure(PState {
+                        control: Control::Eval(func.clone()),
+                        env: env.clone(),
+                        kont: Some(keep.clone()),
+                    })
+                })
+            })
+        }
+        Term::Let {
+            label,
+            name,
+            rhs,
+            body,
+        } => {
+            let frame = Kont::LetK {
+                site: label,
+                name,
+                body,
+                env: env.clone(),
+                next: kont,
+            };
+            M::bind(M::alloc_kont(label, KontKind::Let), move |addr| {
+                let frame = frame.clone();
+                let env = env.clone();
+                let rhs = rhs.clone();
+                let keep = addr.clone();
+                M::bind(M::bind_kont(addr, frame), move |_| {
+                    M::pure(PState {
+                        control: Control::Eval(rhs.clone()),
+                        env: env.clone(),
+                        kont: Some(keep.clone()),
+                    })
+                })
+            })
+        }
+    }
+}
+
+fn step_value<M, A>(value: Closure<A>, ps: PState<A>) -> M::M<PState<A>>
+where
+    M: CeskInterface<A>,
+    A: Address,
+{
+    match ps.kont.clone() {
+        None => M::pure(PState {
+            control: Control::Halted(value),
+            env: Env::new(),
+            kont: None,
+        }),
+        Some(addr) => M::bind(M::kont_at(&addr), move |frame| {
+            let value = value.clone();
+            match frame {
+                Kont::Ar {
+                    site,
+                    arg,
+                    env,
+                    next,
+                } => {
+                    let fn_frame = Kont::Fn {
+                        site,
+                        closure: value,
+                        next,
+                    };
+                    M::bind(M::alloc_kont(site, KontKind::Fn), move |kaddr| {
+                        let fn_frame = fn_frame.clone();
+                        let arg = arg.clone();
+                        let env = env.clone();
+                        let keep = kaddr.clone();
+                        M::bind(M::bind_kont(kaddr, fn_frame), move |_| {
+                            M::pure(PState {
+                                control: Control::Eval(arg.clone()),
+                                env: env.clone(),
+                                kont: Some(keep.clone()),
+                            })
+                        })
+                    })
+                }
+                Kont::Fn {
+                    site,
+                    closure,
+                    next,
+                } => {
+                    let param = closure.param.clone();
+                    let body = closure.body.clone();
+                    let captured = closure.env.clone();
+                    M::bind(M::tick(site), move |_| {
+                        let param = param.clone();
+                        let body = body.clone();
+                        let captured = captured.clone();
+                        let value = value.clone();
+                        let next = next.clone();
+                        M::bind(M::alloc_val(&param), move |vaddr| {
+                            let mut env = captured.clone();
+                            env.insert(param.clone(), vaddr.clone());
+                            let body = body.clone();
+                            let next = next.clone();
+                            M::bind(M::bind_val(vaddr, value.clone()), move |_| {
+                                M::pure(PState {
+                                    control: Control::Eval(body.clone()),
+                                    env: env.clone(),
+                                    kont: next.clone(),
+                                })
+                            })
+                        })
+                    })
+                }
+                Kont::LetK {
+                    site,
+                    name,
+                    body,
+                    env,
+                    next,
+                } => {
+                    M::bind(M::tick(site), move |_| {
+                        let name = name.clone();
+                        let body = body.clone();
+                        let outer = env.clone();
+                        let value = value.clone();
+                        let next = next.clone();
+                        M::bind(M::alloc_val(&name), move |vaddr| {
+                            let mut env = outer.clone();
+                            env.insert(name.clone(), vaddr.clone());
+                            let body = body.clone();
+                            let next = next.clone();
+                            M::bind(M::bind_val(vaddr, value.clone()), move |_| {
+                                M::pure(PState {
+                                    control: Control::Eval(body.clone()),
+                                    env: env.clone(),
+                                    kont: next.clone(),
+                                })
+                            })
+                        })
+                    })
+                }
+            }
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mai_core::name::Label;
+
+    #[test]
+    fn inject_starts_at_eval_with_halt_continuation() {
+        let ps: PState<u32> = PState::inject(Term::lam("x", Term::var("x")));
+        assert!(matches!(ps.control, Control::Eval(_)));
+        assert!(ps.kont.is_none());
+        assert!(!ps.is_final());
+        assert!(ps.result().is_none());
+    }
+
+    #[test]
+    fn closure_touches_free_variables_only() {
+        let body = Term::app(Label::new(1), Term::var("f"), Term::var("x"));
+        let clo: Closure<u32> = Closure {
+            param: Name::from("x"),
+            body: Rc::new(body),
+            env: [(Name::from("f"), 7u32), (Name::from("x"), 8)]
+                .into_iter()
+                .collect(),
+        };
+        assert_eq!(clo.touches(), [7u32].into_iter().collect());
+    }
+
+    #[test]
+    fn kont_touches_include_the_rest_of_the_stack() {
+        let clo: Closure<u32> = Closure {
+            param: Name::from("x"),
+            body: Rc::new(Term::var("x")),
+            env: Env::new(),
+        };
+        let k: Kont<u32> = Kont::Fn {
+            site: Label::new(2),
+            closure: clo,
+            next: Some(42),
+        };
+        assert!(Touches::<u32>::touches(&k).contains(&42));
+    }
+
+    #[test]
+    fn state_touches_include_the_continuation_pointer() {
+        let ps: PState<u32> = PState {
+            control: Control::Eval(Rc::new(Term::var("y"))),
+            env: [(Name::from("y"), 3u32)].into_iter().collect(),
+            kont: Some(9),
+        };
+        assert_eq!(ps.touches(), [3u32, 9].into_iter().collect());
+    }
+
+    #[test]
+    fn storable_projections_are_exclusive() {
+        let clo: Closure<u32> = Closure {
+            param: Name::from("x"),
+            body: Rc::new(Term::var("x")),
+            env: Env::new(),
+        };
+        let v = Storable::Val(clo.clone());
+        let k = Storable::Kont(Kont::Fn {
+            site: Label::new(1),
+            closure: clo,
+            next: None,
+        });
+        assert!(v.as_val().is_some() && v.as_kont().is_none());
+        assert!(k.as_kont().is_some() && k.as_val().is_none());
+    }
+
+    #[test]
+    fn kont_names_are_per_site_and_per_kind() {
+        assert_ne!(
+            kont_name(Label::new(1), KontKind::Ar),
+            kont_name(Label::new(2), KontKind::Ar)
+        );
+        assert_ne!(
+            kont_name(Label::new(1), KontKind::Ar),
+            kont_name(Label::new(1), KontKind::Fn)
+        );
+        assert_eq!(
+            kont_name(Label::new(3), KontKind::Let),
+            kont_name(Label::new(3), KontKind::Let)
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Benchmark and example programs for the direct-style λ-calculus.
+
+use crate::syntax::{church_add, church_exp, church_mul, church_numeral, Term, TermBuilder};
+
+/// `(λx. x) (λy. y)` — the identity applied to the identity.
+pub fn identity_application() -> Term {
+    let mut b = TermBuilder::new();
+    b.app(
+        Term::lam("x", Term::var("x")),
+        Term::lam("y", Term::var("y")),
+    )
+}
+
+/// The divergent Ω combinator.
+pub fn omega() -> Term {
+    let mut b = TermBuilder::new();
+    let ff = b.app(Term::var("f"), Term::var("f"));
+    let gg = b.app(Term::var("g"), Term::var("g"));
+    b.app(Term::lam("f", ff), Term::lam("g", gg))
+}
+
+/// Church-numeral addition `m + n`, as an unevaluated program.
+pub fn church_addition(m: usize, n: usize) -> Term {
+    let mut b = TermBuilder::new();
+    let add = church_add(&mut b);
+    let cm = church_numeral(&mut b, m);
+    let cn = church_numeral(&mut b, n);
+    b.apps(add, vec![cm, cn])
+}
+
+/// Church-numeral multiplication `m × n`, as an unevaluated program.
+pub fn church_multiplication(m: usize, n: usize) -> Term {
+    let mut b = TermBuilder::new();
+    let mul = church_mul(&mut b);
+    let cm = church_numeral(&mut b, m);
+    let cn = church_numeral(&mut b, n);
+    b.apps(mul, vec![cm, cn])
+}
+
+/// Church-numeral exponentiation `m ^ n`, as an unevaluated program.
+pub fn church_exponentiation(m: usize, n: usize) -> Term {
+    let mut b = TermBuilder::new();
+    let exp = church_exp(&mut b);
+    let cm = church_numeral(&mut b, m);
+    let cn = church_numeral(&mut b, n);
+    b.apps(exp, vec![cm, cn])
+}
+
+/// A `let`-chain re-binding a shared identity at `n` distinct call sites —
+/// the direct-style analogue of the CPS `fan_out` polyvariance benchmark.
+pub fn let_chain(n: usize) -> Term {
+    let mut b = TermBuilder::new();
+    // let id = λx. x in
+    //   let v1 = id (λ p1. p1) in … let vn = id (λ pn. pn) in vn
+    let mut body = Term::var(format!("v{}", n.max(1)));
+    for i in (1..=n.max(1)).rev() {
+        let call = b.app(Term::var("id"), Term::lam(format!("p{i}"), Term::var(format!("p{i}"))));
+        body = b.let_in(&format!("v{i}"), call, body);
+    }
+    b.let_in("id", Term::lam("x", Term::var("x")), body)
+}
+
+/// The "blur" benchmark (Shivers): repeatedly η-expands and applies an
+/// identity so that a monovariant analysis loses track of which lambda goes
+/// where.  Scaled by the number of blur rounds.
+pub fn blur(rounds: usize) -> Term {
+    let mut b = TermBuilder::new();
+    // let id = λx. x in
+    // let blur = λy. id y in
+    //   blur (blur (… (blur (λz. z)) …))
+    let mut body = Term::lam("z", Term::var("z"));
+    for _ in 0..rounds {
+        body = b.app(Term::var("blur"), body);
+    }
+    let blur_fn = {
+        let idy = b.app(Term::var("id"), Term::var("y"));
+        Term::lam("y", idy)
+    };
+    let inner = b.let_in("blur", blur_fn, body);
+    b.let_in("id", Term::lam("x", Term::var("x")), inner)
+}
+
+/// The standard direct-style corpus used by the experiment harness.
+pub fn standard_corpus() -> Vec<(&'static str, Term)> {
+    vec![
+        ("identity", identity_application()),
+        ("omega", omega()),
+        ("church-add-2-3", church_addition(2, 3)),
+        ("church-mul-2-2", church_multiplication(2, 2)),
+        ("church-exp-2-2", church_exponentiation(2, 2)),
+        ("let-chain-6", let_chain(6)),
+        ("blur-3", blur(3)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{analyse_kcfa_shared, analyse_mono};
+    use crate::concrete::{decode_church_numeral, evaluate_with_limit};
+    use crate::machine::PState;
+
+    #[test]
+    fn corpus_terms_are_closed() {
+        for (name, term) in standard_corpus() {
+            assert!(term.is_closed(), "{name} is open");
+        }
+    }
+
+    #[test]
+    fn church_programs_compute_the_right_numbers() {
+        assert_eq!(decode_church_numeral(&church_addition(2, 3)), 5);
+        assert_eq!(decode_church_numeral(&church_multiplication(3, 3)), 9);
+        assert_eq!(decode_church_numeral(&church_exponentiation(2, 3)), 8);
+        assert_eq!(decode_church_numeral(&church_exponentiation(3, 2)), 9);
+    }
+
+    #[test]
+    fn concrete_evaluation_terminates_on_every_corpus_entry_except_omega() {
+        for (name, term) in standard_corpus() {
+            let out = evaluate_with_limit(&term, 100_000);
+            if name == "omega" {
+                assert!(!out.halted());
+            } else {
+                assert!(out.halted(), "{name} did not halt");
+            }
+        }
+    }
+
+    #[test]
+    fn analyses_terminate_on_the_whole_corpus() {
+        for (name, term) in standard_corpus() {
+            let mono = analyse_mono(&term);
+            assert!(!mono.is_empty(), "{name}: empty 0CFA result");
+            if name != "omega" {
+                assert!(
+                    mono.distinct_states().iter().any(PState::is_final),
+                    "{name}: 0CFA lost the final state"
+                );
+            }
+            let one = analyse_kcfa_shared::<1>(&term);
+            assert!(!one.is_empty(), "{name}: empty 1CFA result");
+        }
+    }
+
+    #[test]
+    fn generators_scale_with_their_parameter() {
+        assert!(let_chain(8).size() > let_chain(2).size());
+        assert!(blur(5).size() > blur(1).size());
+        assert!(church_exponentiation(3, 3).size() >= church_exponentiation(2, 2).size());
+    }
+}

@@ -1,0 +1,314 @@
+//! Syntax of the direct-style λ-calculus.
+//!
+//! The paper's accompanying implementation replays the monadic refactoring
+//! for a direct-style λ-calculus evaluated by a CESK machine; this module is
+//! the syntax for that substrate.  Applications and `let`-bindings carry
+//! [`Label`]s so that the same k-CFA context machinery applies unchanged.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::rc::Rc;
+
+use mai_core::name::{Label, LabelSupply, Name};
+
+/// A variable.
+pub type Var = Name;
+
+/// A direct-style λ-term.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// A variable reference.
+    Var(Var),
+    /// A λ-abstraction `(λ (x) e)`.
+    Lam {
+        /// The formal parameter.
+        param: Var,
+        /// The body.
+        body: Rc<Term>,
+    },
+    /// An application `(e₀ e₁)`, labelled as a program point.
+    App {
+        /// The program-point label of this application.
+        label: Label,
+        /// The operator.
+        func: Rc<Term>,
+        /// The operand.
+        arg: Rc<Term>,
+    },
+    /// A `let`-binding `(let (x e₁) e₂)`, labelled as a program point.
+    ///
+    /// `let` is not strictly necessary (it is sugar for an application) but
+    /// keeping it primitive makes the generated workloads and the CESK
+    /// machine's behaviour easier to read.
+    Let {
+        /// The program-point label of this binding.
+        label: Label,
+        /// The bound variable.
+        name: Var,
+        /// The bound term.
+        rhs: Rc<Term>,
+        /// The body.
+        body: Rc<Term>,
+    },
+}
+
+impl Term {
+    /// A variable reference.
+    pub fn var(name: impl Into<Name>) -> Self {
+        Term::Var(name.into())
+    }
+
+    /// A λ-abstraction.
+    pub fn lam(param: impl Into<Name>, body: Term) -> Self {
+        Term::Lam {
+            param: param.into(),
+            body: Rc::new(body),
+        }
+    }
+
+    /// Nested λ-abstractions over several parameters (curried).
+    pub fn lams(params: &[&str], body: Term) -> Self {
+        params
+            .iter()
+            .rev()
+            .fold(body, |acc, p| Term::lam(*p, acc))
+    }
+
+    /// An application with an explicit label.
+    pub fn app(label: Label, func: Term, arg: Term) -> Self {
+        Term::App {
+            label,
+            func: Rc::new(func),
+            arg: Rc::new(arg),
+        }
+    }
+
+    /// A `let`-binding with an explicit label.
+    pub fn let_in(label: Label, name: impl Into<Name>, rhs: Term, body: Term) -> Self {
+        Term::Let {
+            label,
+            name: name.into(),
+            rhs: Rc::new(rhs),
+            body: Rc::new(body),
+        }
+    }
+
+    /// The free variables of this term.
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        match self {
+            Term::Var(v) => [v.clone()].into_iter().collect(),
+            Term::Lam { param, body } => {
+                let mut free = body.free_vars();
+                free.remove(param);
+                free
+            }
+            Term::App { func, arg, .. } => {
+                let mut free = func.free_vars();
+                free.extend(arg.free_vars());
+                free
+            }
+            Term::Let {
+                name, rhs, body, ..
+            } => {
+                let mut free = body.free_vars();
+                free.remove(name);
+                free.extend(rhs.free_vars());
+                free
+            }
+        }
+    }
+
+    /// Whether the term is closed.
+    pub fn is_closed(&self) -> bool {
+        self.free_vars().is_empty()
+    }
+
+    /// All application/`let` labels in the term.
+    pub fn labels(&self) -> BTreeSet<Label> {
+        let mut out = BTreeSet::new();
+        self.collect_labels(&mut out);
+        out
+    }
+
+    fn collect_labels(&self, out: &mut BTreeSet<Label>) {
+        match self {
+            Term::Var(_) => {}
+            Term::Lam { body, .. } => body.collect_labels(out),
+            Term::App { label, func, arg } => {
+                out.insert(*label);
+                func.collect_labels(out);
+                arg.collect_labels(out);
+            }
+            Term::Let {
+                label, rhs, body, ..
+            } => {
+                out.insert(*label);
+                rhs.collect_labels(out);
+                body.collect_labels(out);
+            }
+        }
+    }
+
+    /// The number of AST nodes — a simple program-size metric.
+    pub fn size(&self) -> usize {
+        match self {
+            Term::Var(_) => 1,
+            Term::Lam { body, .. } => 1 + body.size(),
+            Term::App { func, arg, .. } => 1 + func.size() + arg.size(),
+            Term::Let { rhs, body, .. } => 1 + rhs.size() + body.size(),
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{}", v),
+            Term::Lam { param, body } => write!(f, "(λ ({}) {})", param, body),
+            Term::App { func, arg, .. } => write!(f, "({} {})", func, arg),
+            Term::Let {
+                name, rhs, body, ..
+            } => write!(f, "(let ({} {}) {})", name, rhs, body),
+        }
+    }
+}
+
+/// A builder that assigns fresh labels to applications and `let`s, for
+/// constructing terms programmatically.
+#[derive(Debug, Default)]
+pub struct TermBuilder {
+    labels: LabelSupply,
+}
+
+impl TermBuilder {
+    /// Creates a fresh builder.
+    pub fn new() -> Self {
+        TermBuilder {
+            labels: LabelSupply::new(),
+        }
+    }
+
+    /// An application with a fresh label.
+    pub fn app(&mut self, func: Term, arg: Term) -> Term {
+        Term::app(self.labels.fresh(), func, arg)
+    }
+
+    /// Left-nested application of a function to several arguments.
+    pub fn apps(&mut self, func: Term, args: Vec<Term>) -> Term {
+        args.into_iter().fold(func, |acc, a| self.app(acc, a))
+    }
+
+    /// A `let`-binding with a fresh label.
+    pub fn let_in(&mut self, name: &str, rhs: Term, body: Term) -> Term {
+        Term::let_in(self.labels.fresh(), name, rhs, body)
+    }
+}
+
+/// The Church numeral `n` as a direct-style term `λf. λx. fⁿ x`.
+pub fn church_numeral(builder: &mut TermBuilder, n: usize) -> Term {
+    let mut body = Term::var("x");
+    for _ in 0..n {
+        body = builder.app(Term::var("f"), body);
+    }
+    Term::lams(&["f", "x"], body)
+}
+
+/// Church addition `λm. λn. λf. λx. m f (n f x)`.
+pub fn church_add(builder: &mut TermBuilder) -> Term {
+    let nfx = {
+        let nf = builder.app(Term::var("n"), Term::var("f"));
+        builder.app(nf, Term::var("x"))
+    };
+    let mf = builder.app(Term::var("m"), Term::var("f"));
+    let body = builder.app(mf, nfx);
+    Term::lams(&["m", "n", "f", "x"], body)
+}
+
+/// Church multiplication `λm. λn. λf. m (n f)`.
+pub fn church_mul(builder: &mut TermBuilder) -> Term {
+    let nf = builder.app(Term::var("n"), Term::var("f"));
+    let body = builder.app(Term::var("m"), nf);
+    Term::lams(&["m", "n", "f"], body)
+}
+
+/// Church exponentiation `λm. λn. n m`.
+pub fn church_exp(builder: &mut TermBuilder) -> Term {
+    let body = builder.app(Term::var("n"), Term::var("m"));
+    Term::lams(&["m", "n"], body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_variables_respect_binders() {
+        let t = Term::lam("x", Term::var("x"));
+        assert!(t.is_closed());
+        let open = Term::lam("x", Term::var("y"));
+        assert_eq!(open.free_vars(), [Name::from("y")].into_iter().collect());
+    }
+
+    #[test]
+    fn let_binds_only_in_the_body() {
+        let mut b = TermBuilder::new();
+        // (let (x x) x): the rhs reference to x is free.
+        let t = b.let_in("x", Term::var("x"), Term::var("x"));
+        assert_eq!(t.free_vars(), [Name::from("x")].into_iter().collect());
+    }
+
+    #[test]
+    fn builders_assign_unique_labels() {
+        let mut b = TermBuilder::new();
+        let t = b.apps(
+            Term::var("f"),
+            vec![Term::var("a"), Term::var("b"), Term::var("c")],
+        );
+        assert_eq!(t.labels().len(), 3);
+    }
+
+    #[test]
+    fn church_numerals_are_closed_and_grow_linearly() {
+        let mut b = TermBuilder::new();
+        for n in 0..6 {
+            let c = church_numeral(&mut b, n);
+            assert!(c.is_closed());
+            assert_eq!(c.size(), 3 + 2 * n);
+        }
+        assert!(church_add(&mut b).is_closed());
+        assert!(church_mul(&mut b).is_closed());
+        assert!(church_exp(&mut b).is_closed());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let t = Term::lam("x", Term::var("x"));
+        assert_eq!(t.to_string(), "(λ (x) x)");
+        let mut b = TermBuilder::new();
+        let a = b.app(Term::var("f"), Term::var("y"));
+        assert_eq!(a.to_string(), "(f y)");
+        let l = b.let_in("z", Term::var("a"), Term::var("z"));
+        assert_eq!(l.to_string(), "(let (z a) z)");
+    }
+
+    #[test]
+    fn lams_curry_in_the_right_order() {
+        let t = Term::lams(&["a", "b"], Term::var("a"));
+        match t {
+            Term::Lam { param, body } => {
+                assert_eq!(param, Name::from("a"));
+                match body.as_ref() {
+                    Term::Lam { param, .. } => assert_eq!(param, &Name::from("b")),
+                    _ => panic!("expected nested lambda"),
+                }
+            }
+            _ => panic!("expected lambda"),
+        }
+    }
+}

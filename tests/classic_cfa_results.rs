@@ -1,0 +1,69 @@
+//! E7 — textbook control-flow-analysis results, plus the qualitative
+//! store-widening and GC claims of §6.4–§6.5.
+
+use monadic_ai::core::Lattice;
+use monadic_ai::cps::programs::{garbage_chain, id_chain, identity_application, kcfa_worst_case};
+use monadic_ai::cps::{
+    analyse_kcfa, analyse_kcfa_shared, analyse_kcfa_shared_gc, analyse_mono, flow_map_of_store,
+    AnalysisMetrics, PState,
+};
+use monadic_ai::core::Name;
+
+#[test]
+fn the_identity_example_has_the_expected_flow_sets() {
+    let program = identity_application();
+    let result = analyse_mono(&program);
+    let flows = flow_map_of_store(result.store());
+    // x ↦ {(λ (y j) …)}, k ↦ {(λ (r) exit)}, r ↦ {(λ (y j) …)}
+    assert_eq!(flows[&Name::from("x")].len(), 1);
+    assert_eq!(flows[&Name::from("k")].len(), 1);
+    assert_eq!(flows[&Name::from("r")].len(), 1);
+    assert_eq!(
+        flows[&Name::from("x")], flows[&Name::from("r")],
+        "the value returned through k is the value bound to x"
+    );
+}
+
+#[test]
+fn shared_store_widening_is_sound_and_coarser_than_heap_cloning() {
+    for program in [id_chain(4), kcfa_worst_case(2)] {
+        let cloned = analyse_kcfa::<1>(&program);
+        let shared = analyse_kcfa_shared::<1>(&program);
+        // Every program point reached with per-state stores is reached with
+        // the widened store…
+        for ps in cloned.distinct_states() {
+            assert!(shared.distinct_states().contains(&ps));
+        }
+        // …and every per-state store is below the single widened store.
+        for (_, store) in cloned.iter() {
+            assert!(store.leq(shared.store()));
+        }
+    }
+}
+
+#[test]
+fn heap_cloning_explores_at_least_as_many_configurations_as_sharing() {
+    for n in [2usize, 3, 4] {
+        let program = id_chain(n);
+        let cloned = analyse_kcfa::<1>(&program).len();
+        let shared = analyse_kcfa_shared::<1>(&program).len();
+        assert!(
+            cloned >= shared,
+            "id-chain-{n}: cloning explored {cloned} < shared {shared}"
+        );
+    }
+}
+
+#[test]
+fn abstract_gc_never_loses_reachability_and_never_grows_the_store() {
+    for n in [3usize, 5, 7] {
+        let program = garbage_chain(n);
+        let plain = analyse_kcfa_shared::<1>(&program);
+        let gced = analyse_kcfa_shared_gc::<1>(&program);
+        assert!(gced.distinct_states().iter().any(PState::is_final));
+        let plain_metrics = AnalysisMetrics::of_shared(&plain);
+        let gc_metrics = AnalysisMetrics::of_shared(&gced);
+        assert!(gc_metrics.store_facts <= plain_metrics.store_facts);
+        assert!(gc_metrics.store_bindings <= plain_metrics.store_bindings);
+    }
+}

@@ -1,0 +1,54 @@
+//! Featherweight Java end-to-end: typechecking, concrete execution and the
+//! abstract class analyses agree with each other on the example corpus.
+
+use monadic_ai::core::Name;
+use monadic_ai::fj::programs::{bad_downcast, nested_cells, standard_corpus};
+use monadic_ai::fj::{
+    analyse_kcfa_shared, analyse_mono, check_program, result_classes, run_with_limit, PState,
+};
+
+#[test]
+fn corpus_programs_typecheck_run_and_are_covered_by_the_analyses() {
+    for (name, program) in standard_corpus() {
+        check_program(&program).unwrap_or_else(|e| panic!("{name} is ill-typed: {e}"));
+        let concrete = run_with_limit(&program, 200_000);
+        assert!(concrete.halted(), "{name} did not halt");
+        let concrete_class = concrete.result_class().unwrap();
+
+        let mono_classes = result_classes(&analyse_mono(&program));
+        let one_classes = result_classes(&analyse_kcfa_shared::<1>(&program));
+        assert!(
+            mono_classes.contains(&concrete_class),
+            "{name}: 0CFA result {mono_classes:?} does not cover {concrete_class}"
+        );
+        assert!(
+            one_classes.contains(&concrete_class),
+            "{name}: 1CFA result {one_classes:?} does not cover {concrete_class}"
+        );
+        // Context sensitivity only refines the result set.
+        assert!(one_classes.len() <= mono_classes.len(), "{name}");
+    }
+}
+
+#[test]
+fn failing_downcasts_are_stuck_in_both_semantics() {
+    let program = bad_downcast();
+    check_program(&program).expect("downcasts are statically fine");
+    let concrete = run_with_limit(&program, 10_000);
+    assert!(!concrete.halted());
+    let abstract_result = analyse_mono(&program);
+    assert!(abstract_result.distinct_states().iter().any(PState::is_stuck));
+    assert!(!abstract_result.distinct_states().iter().any(PState::is_final));
+}
+
+#[test]
+fn nested_cells_always_return_the_payload_class() {
+    for n in 1..6 {
+        let program = nested_cells(n);
+        check_program(&program).expect("nested cells are well-typed");
+        let concrete = run_with_limit(&program, 200_000);
+        assert_eq!(concrete.result_class(), Some(Name::from("A")), "depth {n}");
+        let abstract_classes = result_classes(&analyse_kcfa_shared::<1>(&program));
+        assert!(abstract_classes.contains(&Name::from("A")), "depth {n}");
+    }
+}
