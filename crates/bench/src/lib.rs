@@ -6,12 +6,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use mai_core::collect::explore_fp;
+use mai_core::engine::EngineStats;
+use mai_core::{KCallAddr, KCallCtx, StorePassing};
 use mai_cps::analysis::{
-    analyse_kcfa, analyse_kcfa_shared, analyse_kcfa_shared_gc, analyse_mono, AnalysisMetrics,
+    analyse_kcfa, analyse_kcfa_shared, analyse_kcfa_shared_gc, analyse_kcfa_shared_worklist,
+    analyse_mono, AnalysisMetrics, KCfaShared, KStore,
 };
 use mai_cps::syntax::CExp;
-use mai_cps::PState;
-use mai_core::KCallAddr;
+use mai_cps::{mnext, PState};
 
 /// One row of a polyvariance / precision table for a CPS program.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,23 +49,23 @@ impl PrecisionRow {
 /// Runs the polyvariance sweep (experiment E2) for one program: 0CFA, 1CFA
 /// and 2CFA with a shared store.
 pub fn polyvariance_rows(name: &'static str, program: &CExp) -> Vec<PrecisionRow> {
-    let mut rows = Vec::new();
-    rows.push(PrecisionRow {
-        program: name,
-        configuration: "0CFA".to_string(),
-        metrics: AnalysisMetrics::of_shared(&analyse_mono(program)),
-    });
-    rows.push(PrecisionRow {
-        program: name,
-        configuration: "1CFA".to_string(),
-        metrics: AnalysisMetrics::of_shared(&analyse_kcfa_shared::<1>(program)),
-    });
-    rows.push(PrecisionRow {
-        program: name,
-        configuration: "2CFA".to_string(),
-        metrics: AnalysisMetrics::of_shared(&analyse_kcfa_shared::<2>(program)),
-    });
-    rows
+    vec![
+        PrecisionRow {
+            program: name,
+            configuration: "0CFA".to_string(),
+            metrics: AnalysisMetrics::of_shared(&analyse_mono(program)),
+        },
+        PrecisionRow {
+            program: name,
+            configuration: "1CFA".to_string(),
+            metrics: AnalysisMetrics::of_shared(&analyse_kcfa_shared::<1>(program)),
+        },
+        PrecisionRow {
+            program: name,
+            configuration: "2CFA".to_string(),
+            metrics: AnalysisMetrics::of_shared(&analyse_kcfa_shared::<2>(program)),
+        },
+    ]
 }
 
 /// Runs the GC experiment (E5) for one program: 1CFA with and without
@@ -96,6 +103,78 @@ pub fn cps_corpus() -> Vec<(&'static str, CExp)> {
     mai_cps::programs::standard_corpus()
 }
 
+/// One row of the worklist-vs-Kleene comparison (experiment E8): the same
+/// 1CFA shared-store analysis solved by naive Kleene iteration and by the
+/// frontier-driven worklist engine, with step counts and wall-clock times.
+#[derive(Debug, Clone)]
+pub struct WorklistRow {
+    /// The workload name.
+    pub program: &'static str,
+    /// How many times Kleene iteration invoked the step function.
+    pub kleene_steps: usize,
+    /// Wall-clock time of the Kleene solve.
+    pub kleene_time: Duration,
+    /// The engine's work statistics.
+    pub stats: EngineStats,
+    /// Wall-clock time of the worklist solve.
+    pub worklist_time: Duration,
+    /// Whether the two fixpoints were identical (they always must be).
+    pub equal: bool,
+}
+
+impl WorklistRow {
+    /// Renders the row in the fixed-width format used by the report binary.
+    pub fn render(&self) -> String {
+        let ratio = if self.stats.states_stepped > 0 {
+            self.kleene_steps as f64 / self.stats.states_stepped as f64
+        } else {
+            f64::NAN
+        };
+        format!(
+            "{:<18} kleene-steps={:<7} worklist-steps={:<6} step-ratio={:<5.1} \
+             kleene={:<10.2?} worklist={:<10.2?} equal={}",
+            self.program,
+            self.kleene_steps,
+            self.stats.states_stepped,
+            ratio,
+            self.kleene_time,
+            self.worklist_time,
+            self.equal,
+        )
+    }
+}
+
+/// Runs the E8 comparison for one program: 1CFA with a shared store, solved
+/// by `explore_fp` (instrumented to count step invocations) and by the
+/// worklist engine.
+pub fn worklist_row(name: &'static str, program: &CExp) -> WorklistRow {
+    type Ctx = KCallCtx<1>;
+    type M = StorePassing<Ctx, KStore>;
+
+    let steps = Rc::new(Cell::new(0usize));
+    let counter = Rc::clone(&steps);
+    let counted = move |ps: PState<KCallAddr>| {
+        counter.set(counter.get() + 1);
+        mnext::<M, KCallAddr>(ps)
+    };
+    let start = Instant::now();
+    let kleene: KCfaShared<1> = explore_fp::<M, _, _, _>(counted, PState::inject(program.clone()));
+    let kleene_time = start.elapsed();
+
+    let start = Instant::now();
+    let (worklist, stats) = analyse_kcfa_shared_worklist::<1>(program);
+    let worklist_time = start.elapsed();
+
+    WorklistRow {
+        program: name,
+        kleene_steps: steps.get(),
+        kleene_time,
+        stats,
+        worklist_time,
+        equal: worklist == kleene,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,5 +203,18 @@ mod tests {
         let program = mai_cps::programs::garbage_chain(4);
         let rows = gc_rows("garbage-chain-4", &program);
         assert!(rows[1].metrics.store_facts <= rows[0].metrics.store_facts);
+    }
+
+    #[test]
+    fn worklist_rows_agree_and_step_less() {
+        let program = mai_cps::programs::kcfa_worst_case(2);
+        let row = worklist_row("kcfa-worst-2", &program);
+        assert!(row.equal, "worklist and Kleene fixpoints differ");
+        assert!(
+            row.stats.states_stepped < row.kleene_steps,
+            "expected fewer worklist steps: {}",
+            row.render()
+        );
+        assert!(!row.render().is_empty());
     }
 }

@@ -1,13 +1,13 @@
 //! The experiment report binary: regenerates the qualitative tables listed
-//! in `EXPERIMENTS.md` (E1–E7) and prints them to stdout.
+//! in `EXPERIMENTS.md` (E1–E8) and prints them to stdout.
 //!
 //! Run with `cargo run -p mai-bench --release`.
 
-use mai_bench::{cloning_vs_shared, cps_corpus, gc_rows, polyvariance_rows};
+use mai_bench::{cloning_vs_shared, cps_corpus, gc_rows, polyvariance_rows, worklist_row};
+use mai_core::store::StoreLike;
 use mai_cps::analysis::{analyse_kcfa_shared, analyse_mono};
 use mai_cps::convert::cps_convert;
 use mai_cps::programs::{garbage_chain, id_chain, kcfa_worst_case};
-use mai_core::store::StoreLike;
 use mai_cps::{analyse_concrete_collecting, interpret_with_limit, PState};
 use mai_fj::analysis::result_classes;
 use mai_lambda::decode_church_numeral;
@@ -22,8 +22,8 @@ fn heading(title: &str) {
 fn experiment_adequacy() {
     heading("E1  concrete interpreter vs. concrete collecting semantics");
     for (name, program) in cps_corpus() {
-        let concrete = interpret_with_limit(&program, 20_000);
-        let collecting = analyse_concrete_collecting(&program, 256);
+        let concrete = interpret_with_limit(&program, 2_000);
+        let collecting = analyse_concrete_collecting(&program, 128);
         let collecting_halts = collecting
             .value()
             .distinct_states()
@@ -130,6 +130,21 @@ fn experiment_classic() {
     );
 }
 
+/// E8 — the frontier-driven worklist engine vs. naive Kleene iteration:
+/// identical fixpoints, strictly fewer step-function invocations.
+fn experiment_worklist() {
+    heading("E8  worklist engine vs. Kleene iteration (1CFA, shared store)");
+    for (name, program) in cps_corpus() {
+        println!("{}", worklist_row(name, &program).render());
+    }
+    for n in [3usize, 4] {
+        let program = kcfa_worst_case(n);
+        let row = worklist_row("kcfa-worst", &program);
+        println!("n={n:<3} {}", row.render());
+        println!("     engine: {}", row.stats);
+    }
+}
+
 fn main() {
     println!("Monadic Abstract Interpreters — experiment report");
     experiment_adequacy();
@@ -139,6 +154,7 @@ fn main() {
     experiment_gc();
     experiment_reuse();
     experiment_classic();
+    experiment_worklist();
     println!();
     println!("done.");
 }

@@ -160,10 +160,7 @@ mod tests {
     #[test]
     fn initial_context_mirrors_has_initial() {
         assert_eq!(MonoCtx::initial_context(), MonoCtx::initial());
-        assert_eq!(
-            KCallCtx::<2>::initial_context(),
-            KCallCtx::<2>::initial()
-        );
+        assert_eq!(KCallCtx::<2>::initial_context(), KCallCtx::<2>::initial());
     }
 
     #[test]

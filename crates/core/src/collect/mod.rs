@@ -67,7 +67,11 @@ where
 /// Useful for analysis configurations whose domains have unbounded height
 /// (for example the fresh-address concrete collecting semantics of §5.3 on
 /// a non-terminating program).
-pub fn explore_fp_bounded<M, A, Fp, F>(step: F, initial: A, max_iterations: usize) -> KleeneOutcome<Fp>
+pub fn explore_fp_bounded<M, A, Fp, F>(
+    step: F,
+    initial: A,
+    max_iterations: usize,
+) -> KleeneOutcome<Fp>
 where
     M: MonadFamily,
     A: Value,

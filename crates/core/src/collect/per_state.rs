@@ -63,7 +63,10 @@ impl<Ps: Ord + Clone, G: Ord + Clone, S: Ord + Clone> PerStateDomain<Ps, G, S> {
     /// The set of distinct partial states, ignoring guts and stores — the
     /// "reachable program points" precision metric.
     pub fn distinct_states(&self) -> BTreeSet<Ps> {
-        self.elements.iter().map(|((ps, _), _)| ps.clone()).collect()
+        self.elements
+            .iter()
+            .map(|((ps, _), _)| ps.clone())
+            .collect()
     }
 
     /// Builds a domain directly from triples (useful in tests and for the

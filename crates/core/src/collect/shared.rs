@@ -222,7 +222,8 @@ mod tests {
     #[test]
     fn widened_analysis_overapproximates_the_cloning_analysis() {
         let cloned: PerStateDomain<u32, G, S> = super::super::explore_fp::<M, u32, _, _>(step, 0);
-        let shared: SharedStoreDomain<u32, G, S> = super::super::explore_fp::<M, u32, _, _>(step, 0);
+        let shared: SharedStoreDomain<u32, G, S> =
+            super::super::explore_fp::<M, u32, _, _>(step, 0);
         // Soundness of widening: α(lfp cloned) ⊑ lfp shared.
         assert!(SharedStoreDomain::alpha(cloned).leq(&shared));
         // And the widened result uses a single store containing every write.
@@ -232,9 +233,9 @@ mod tests {
     #[test]
     fn widening_collapses_distinct_stores_into_one() {
         let cloned: PerStateDomain<u32, G, S> = super::super::explore_fp::<M, u32, _, _>(step, 0);
-        let shared: SharedStoreDomain<u32, G, S> = super::super::explore_fp::<M, u32, _, _>(step, 0);
-        let distinct_cloned_stores: BTreeSet<S> =
-            cloned.iter().map(|(_, s)| s.clone()).collect();
+        let shared: SharedStoreDomain<u32, G, S> =
+            super::super::explore_fp::<M, u32, _, _>(step, 0);
+        let distinct_cloned_stores: BTreeSet<S> = cloned.iter().map(|(_, s)| s.clone()).collect();
         assert!(distinct_cloned_stores.len() > 1);
         // The widened domain carries exactly one store by construction, and
         // it is an upper bound of every per-state store.

@@ -1,0 +1,113 @@
+//! Frontier reachability for the heap-cloning domain.
+//!
+//! In [`PerStateDomain`] every element is a closed `((state, guts), store)`
+//! triple: stepping it consults nothing outside the triple itself, so the
+//! least fixed point of `inject ⊔ applyStep` is plain transitive closure.
+//! Kleene iteration recomputes the successors of *every* triple on *every*
+//! pass; the worklist steps each triple exactly once.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use crate::addr::HasInitial;
+use crate::collect::PerStateDomain;
+use crate::lattice::Lattice;
+use crate::monad::{run_store_passing, MonadFamily, StorePassing, Value};
+
+use super::{EngineStats, FrontierCollecting};
+
+impl<Ps, G, S> FrontierCollecting<StorePassing<G, S>, Ps> for PerStateDomain<Ps, G, S>
+where
+    Ps: Value + Ord,
+    G: Value + Ord + HasInitial,
+    S: Value + Ord + Lattice,
+{
+    fn explore_frontier<F>(step: &F, initial: Ps) -> (Self, EngineStats)
+    where
+        F: Fn(Ps) -> <StorePassing<G, S> as MonadFamily>::M<Ps>,
+    {
+        let mut stats = EngineStats::default();
+        let mut seen: BTreeSet<((Ps, G), S)> = BTreeSet::new();
+        let mut frontier: VecDeque<((Ps, G), S)> = VecDeque::new();
+
+        let injected = ((initial, G::initial()), S::bottom());
+        seen.insert(injected.clone());
+        frontier.push_back(injected);
+        stats.peak_frontier = 1;
+
+        while let Some(((ps, guts), store)) = frontier.pop_front() {
+            stats.iterations += 1;
+            stats.states_stepped += 1;
+            for successor in run_store_passing(step(ps.clone()), guts, store) {
+                if !seen.contains(&successor) {
+                    seen.insert(successor.clone());
+                    frontier.push_back(successor);
+                }
+            }
+            stats.peak_frontier = stats.peak_frontier.max(frontier.len());
+        }
+
+        (PerStateDomain::from_elements(seen), stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::explore_fp;
+    use crate::monad::{MonadPlus, MonadState, MonadTrans, StateT, VecM};
+
+    type G = u64;
+    type S = BTreeSet<u32>;
+    type M = StorePassing<G, S>;
+
+    fn step(n: u32) -> <M as MonadFamily>::M<u32> {
+        if n >= 6 {
+            return M::pure(n);
+        }
+        let record = <M as MonadTrans>::lift(<StateT<S, VecM> as MonadState<S>>::modify(
+            move |mut s: S| {
+                s.insert(n);
+                s
+            },
+        ));
+        M::bind(record, move |_| M::mplus(M::pure(n + 1), M::pure(n + 3)))
+    }
+
+    #[test]
+    fn worklist_equals_kleene_on_a_branching_toy_machine() {
+        let kleene: PerStateDomain<u32, G, S> = explore_fp::<M, u32, _, _>(step, 0);
+        let (worklist, stats) =
+            <PerStateDomain<u32, G, S> as FrontierCollecting<M, u32>>::explore_frontier(&step, 0);
+        assert_eq!(worklist, kleene);
+        // Each of the triples was stepped exactly once.
+        assert_eq!(stats.states_stepped, worklist.len());
+        assert_eq!(stats.iterations, stats.states_stepped);
+        assert!(stats.peak_frontier >= 1);
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.store_widenings, 0);
+    }
+
+    #[test]
+    fn worklist_steps_fewer_states_than_kleene_resteps() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+
+        // Count how many times Kleene iteration invokes the step function.
+        let kleene_steps = Rc::new(Cell::new(0usize));
+        let counter = Rc::clone(&kleene_steps);
+        let counted = move |n: u32| {
+            counter.set(counter.get() + 1);
+            step(n)
+        };
+        let _: PerStateDomain<u32, G, S> = explore_fp::<M, u32, _, _>(counted, 0);
+
+        let (_, stats) =
+            <PerStateDomain<u32, G, S> as FrontierCollecting<M, u32>>::explore_frontier(&step, 0);
+        assert!(
+            stats.states_stepped < kleene_steps.get(),
+            "worklist stepped {} states, Kleene {}",
+            stats.states_stepped,
+            kleene_steps.get()
+        );
+    }
+}

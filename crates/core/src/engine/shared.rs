@@ -1,0 +1,296 @@
+//! Dependency-invalidating solver for the shared-store domain.
+//!
+//! With a single widened store (§6.5) a `(state, guts)` pair is *not* a
+//! closed unit: its successors depend on the global store, which other
+//! states keep widening.  Naive Kleene iteration handles this by re-stepping
+//! every pair every round.  This engine replays the *same* iterate sequence
+//! but memoises each pair's step outcome together with the set of addresses
+//! the transition may have read — the [`reachable`] closure of the pair's
+//! [`StateRoots`], the very set abstract GC proves sufficient — and replays
+//! the cached outcome verbatim unless one of those addresses changed since.
+//!
+//! Store changes are tracked per address and per round ("epochs") through
+//! [`StoreDelta::changed_addresses`]; a cached entry recorded at version `v`
+//! is invalidated exactly when some address in its read set changed at a
+//! version `> v`.  Because a transition is a pure function of the state,
+//! the guts and the store *restricted to its read set* (the §6.4 garbage
+//! collection argument), substituting a valid cached outcome is
+//! observationally identical to re-running the step — so the engine's
+//! iterates, termination point and final fixpoint coincide with
+//! [`explore_fp`](crate::collect::explore_fp)'s, including for GC'd step
+//! functions and counting stores.
+//!
+//! ## Cost model
+//!
+//! What the cache eliminates is *step execution* — running the monadic
+//! transition (the dominant cost: environment/closure manipulation,
+//! non-deterministic fan-out, store reads and writes).  Each round still
+//! re-joins every cached contribution into the next iterate, so a round
+//! costs O(|states| × store-join) even when almost everything is cached.
+//! That re-join cannot be maintained incrementally in general: lattice
+//! joins are not invertible, and under abstract GC a re-stepped state's
+//! contribution *replaces* its old one rather than growing it, so removing
+//! the stale contribution from a running join is impossible without
+//! recomputing it.  An incremental mode for the join-monotone (GC-free)
+//! configurations is future work (see ROADMAP).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::addr::HasInitial;
+use crate::collect::SharedStoreDomain;
+use crate::gc::{reachable, Touches};
+use crate::lattice::Lattice;
+use crate::monad::{run_store_passing, MonadFamily, StorePassing, Value};
+use crate::store::{StoreDelta, StoreLike};
+
+use super::{EngineStats, FrontierCollecting, StateRoots};
+
+/// The memoised outcome of stepping one `(state, guts)` pair.
+struct CacheEntry<Ps, G, S, A> {
+    /// The successor pairs the step produced.
+    successors: BTreeSet<(Ps, G)>,
+    /// The join of the per-branch result stores.
+    store: S,
+    /// Every address the transition may have read:
+    ///
+    /// * the reachable closure of the pair's roots in the pre-store (what
+    ///   the semantics may `fetch`),
+    /// * the closure of each successor's roots in that branch's result
+    ///   store (which bounds what the result store copied out of the
+    ///   pre-store), and
+    /// * every address the step visibly wrote — `bind` *reads* the written
+    ///   address's current binding (it joins values and, in a counting
+    ///   store, increments the count on top of it), so a write target is a
+    ///   read dependency too.
+    deps: BTreeSet<A>,
+    /// The store version this entry was computed against.
+    version: usize,
+}
+
+/// The memo table of the shared-store engine, keyed by `(state, guts)`.
+type StepCache<Ps, G, S, A> = BTreeMap<(Ps, G), CacheEntry<Ps, G, S, A>>;
+
+impl<Ps, G, S> FrontierCollecting<StorePassing<G, S>, Ps> for SharedStoreDomain<Ps, G, S>
+where
+    Ps: Value + Ord + StateRoots,
+    G: Value + Ord + HasInitial,
+    S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + Value,
+    S::D: Touches<Ps::Addr>,
+{
+    fn explore_frontier<F>(step: &F, initial: Ps) -> (Self, EngineStats)
+    where
+        F: Fn(Ps) -> <StorePassing<G, S> as MonadFamily>::M<Ps>,
+    {
+        let mut stats = EngineStats::default();
+        let mut cache: StepCache<Ps, G, S, Ps::Addr> = BTreeMap::new();
+        // For every address: the last store version at which its binding
+        // changed.  Addresses never seen changing are absent.
+        let mut last_changed: BTreeMap<Ps::Addr, usize> = BTreeMap::new();
+        let mut version = 0usize;
+        let mut current: Self = Lattice::bottom();
+
+        loop {
+            stats.iterations += 1;
+            // One Kleene iterate: next = inject(initial) ⊔ applyStep(current),
+            // with applyStep evaluated through the memo cache.
+            let mut next_states: BTreeSet<(Ps, G)> =
+                [(initial.clone(), G::initial())].into_iter().collect();
+            let mut next_store = S::bottom();
+            let mut fresh_this_round = 0usize;
+
+            for key in current.states().iter() {
+                // One lookup decides both the cache verdict and whether an
+                // invalidation is a re-enqueue of a previously-stepped pair.
+                let valid = match cache.get(key) {
+                    Some(entry)
+                        if entry
+                            .deps
+                            .iter()
+                            .all(|a| last_changed.get(a).is_none_or(|&c| c <= entry.version)) =>
+                    {
+                        stats.cache_hits += 1;
+                        true
+                    }
+                    Some(_) => {
+                        stats.reenqueued += 1;
+                        false
+                    }
+                    None => false,
+                };
+                if !valid {
+                    fresh_this_round += 1;
+                    stats.states_stepped += 1;
+                    let (ps, guts) = key;
+                    let mut successors = BTreeSet::new();
+                    let mut out_store = S::bottom();
+                    let mut deps = reachable(ps.state_roots(), current.store());
+                    for ((ps2, g2), s2) in
+                        run_store_passing(step(ps.clone()), guts.clone(), current.store().clone())
+                    {
+                        deps.extend(reachable(ps2.state_roots(), &s2));
+                        // Write targets are read dependencies (see the
+                        // CacheEntry docs); keep only the addresses the
+                        // result still binds — an address a GC'd step
+                        // filtered away no longer influences the outcome,
+                        // and it can only become relevant again through a
+                        // change at an address that *is* in the closure.
+                        let result_addrs = s2.addresses();
+                        deps.extend(
+                            s2.changed_addresses(current.store())
+                                .into_iter()
+                                .filter(|a| result_addrs.contains(a)),
+                        );
+                        successors.insert((ps2, g2));
+                        out_store = out_store.join(s2);
+                    }
+                    cache.insert(
+                        key.clone(),
+                        CacheEntry {
+                            successors,
+                            store: out_store,
+                            deps,
+                            version,
+                        },
+                    );
+                }
+                let entry = &cache[key];
+                next_states.extend(entry.successors.iter().cloned());
+                next_store = next_store.join(entry.store.clone());
+            }
+
+            stats.peak_frontier = stats.peak_frontier.max(fresh_this_round);
+
+            let next = SharedStoreDomain::from_parts(next_states, next_store);
+            if next.leq(&current) {
+                return (current, stats);
+            }
+            let changed = next.store().changed_addresses(current.store());
+            stats.store_widenings += changed.len();
+            version += 1;
+            for addr in changed {
+                last_changed.insert(addr, version);
+            }
+            current = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::explore_fp;
+    use crate::monad::{MonadPlus, MonadState, MonadTrans, StateT, VecM};
+
+    /// A heap value that is itself an address (a one-cell pointer).
+    #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+    struct Ptr(u8);
+
+    impl Touches<u8> for Ptr {
+        fn touches(&self) -> BTreeSet<u8> {
+            [self.0].into_iter().collect()
+        }
+    }
+
+    /// Toy machine states are small numbers marching down a chain
+    /// `0 → 1 → … → 6`.  Only state 1 *reads* the shared cell 0 and only
+    /// state 4 *writes* it, so the engine should serve most of the chain
+    /// from its cache across rounds, and re-enqueue state 1 exactly when
+    /// state 4's write lands.
+    #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+    struct St(u32);
+
+    impl StateRoots for St {
+        type Addr = u8;
+
+        fn state_roots(&self) -> BTreeSet<u8> {
+            if self.0 == 1 {
+                [0u8].into_iter().collect()
+            } else {
+                BTreeSet::new()
+            }
+        }
+    }
+
+    type G = u64;
+    type S = crate::store::BasicStore<u8, Ptr>;
+    type M = StorePassing<G, S>;
+
+    fn step(st: St) -> <M as MonadFamily>::M<St> {
+        let n = st.0;
+        match n {
+            1 => {
+                // Reads cell 0: one successor per stored pointer, plus the
+                // unconditional next chain state.
+                let fetched =
+                    <M as MonadTrans>::lift(
+                        crate::monad::gets_nd_set::<StateT<S, VecM>, S, Ptr, _>(move |store| {
+                            store.fetch(&0u8)
+                        }),
+                    );
+                let via_heap = M::bind(fetched, move |ptr| M::pure(St(ptr.0 as u32 + 1)));
+                M::mplus(M::pure(St(2)), via_heap)
+            }
+            4 => {
+                // Writes cell 0, widening what state 1 can observe.
+                let write = <M as MonadTrans>::lift(<StateT<S, VecM> as MonadState<S>>::modify(
+                    move |store: S| store.bind(0u8, [Ptr(9)].into_iter().collect()),
+                ));
+                M::bind(write, move |_| M::pure(St(5)))
+            }
+            n if n >= 6 => M::pure(st),
+            _ => M::pure(St(n + 1)),
+        }
+    }
+
+    #[test]
+    fn worklist_equals_kleene_and_serves_from_cache() {
+        let kleene: SharedStoreDomain<St, G, S> = explore_fp::<M, St, _, _>(step, St(0));
+        let (worklist, stats) =
+            <SharedStoreDomain<St, G, S> as FrontierCollecting<M, St>>::explore_frontier(
+                &step,
+                St(0),
+            );
+        assert_eq!(worklist, kleene);
+        assert!(stats.cache_hits > 0, "expected cache hits: {stats}");
+        assert!(stats.store_widenings > 0);
+        assert!(stats.iterations > 1);
+    }
+
+    #[test]
+    fn worklist_steps_strictly_fewer_states_than_kleene() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+
+        let kleene_steps = Rc::new(Cell::new(0usize));
+        let counter = Rc::clone(&kleene_steps);
+        let counted = move |st: St| {
+            counter.set(counter.get() + 1);
+            step(st)
+        };
+        let _: SharedStoreDomain<St, G, S> = explore_fp::<M, St, _, _>(counted, St(0));
+
+        let (_, stats) =
+            <SharedStoreDomain<St, G, S> as FrontierCollecting<M, St>>::explore_frontier(
+                &step,
+                St(0),
+            );
+        assert!(
+            stats.states_stepped < kleene_steps.get(),
+            "worklist stepped {} states, Kleene {}",
+            stats.states_stepped,
+            kleene_steps.get()
+        );
+    }
+
+    #[test]
+    fn invalidation_is_observable_when_states_share_cells() {
+        let (_, stats) =
+            <SharedStoreDomain<St, G, S> as FrontierCollecting<M, St>>::explore_frontier(
+                &step,
+                St(0),
+            );
+        // The toy machine's states write into each other's read cells, so at
+        // least one previously-stepped state must have been re-enqueued.
+        assert!(stats.reenqueued > 0, "expected re-enqueues: {stats}");
+    }
+}

@@ -109,11 +109,7 @@ mod tests {
     use proptest::prelude::*;
 
     fn arb_absnat() -> impl Strategy<Value = AbsNat> {
-        prop_oneof![
-            Just(AbsNat::Zero),
-            Just(AbsNat::One),
-            Just(AbsNat::Many)
-        ]
+        prop_oneof![Just(AbsNat::Zero), Just(AbsNat::One), Just(AbsNat::Many)]
     }
 
     #[test]

@@ -345,9 +345,9 @@ mod tests {
             let fb = Flat::Exactly(b);
             prop_assert!(Flat::<u8>::Bottom.leq(&fa));
             prop_assert!(fa.leq(&Flat::Top));
-            prop_assert_eq!(fa.clone().join(fb.clone()).leq(&Flat::Top), true);
+            prop_assert!(fa.join(fb).leq(&Flat::Top));
             if a != b {
-                prop_assert_eq!(fa.clone().join(fb.clone()), Flat::Top);
+                prop_assert_eq!(fa.join(fb), Flat::Top);
                 prop_assert_eq!(fa.meet(fb), Flat::Bottom);
             }
         }
@@ -364,8 +364,8 @@ mod tests {
     fn bool_lattice_is_implication_order() {
         assert!(false.leq(&true));
         assert!(!true.leq(&false));
-        assert_eq!(bool::top(), true);
-        assert_eq!(true.meet(false), false);
+        assert!(bool::top());
+        assert!(!true.meet(false));
     }
 
     #[test]
@@ -384,7 +384,11 @@ mod tests {
             false,
             BTreeSet::<u8>::new(),
         );
-        let b = ([2u8].into_iter().collect(), true, [9u8].into_iter().collect());
+        let b = (
+            [2u8].into_iter().collect(),
+            true,
+            [9u8].into_iter().collect(),
+        );
         let j = a.join(b);
         assert_eq!(j.0, [1u8, 2].into_iter().collect());
         assert!(j.1);

@@ -28,6 +28,10 @@
 //!   per-state-store ("heap-cloning") analysis domain (§5.3.3) and the
 //!   shared-store widened domain obtained through a Galois connection
 //!   (§6.5).
+//! * [`engine`] — the frontier-driven worklist fixpoint engine: a drop-in
+//!   replacement for naive Kleene iteration that only re-steps states whose
+//!   store dependencies changed, with instrumentation for the experiment
+//!   harness.
 //! * [`name`] — interned identifiers and program-point labels shared by all
 //!   language substrates.
 //! * [`sexp`] — a small s-expression reader used by the CPS and
@@ -55,6 +59,7 @@
 
 pub mod addr;
 pub mod collect;
+pub mod engine;
 pub mod gc;
 pub mod lattice;
 pub mod monad;
@@ -67,8 +72,11 @@ pub use addr::{
     KCallCtx, MonoAddr, MonoCtx, NamedAddress,
 };
 pub use collect::{explore_fp, run_analysis, Collecting, PerStateDomain, SharedStoreDomain};
+pub use engine::{
+    explore_worklist, explore_worklist_stats, EngineStats, FrontierCollecting, StateRoots,
+};
 pub use gc::{reachable, GcStrategy, NoGc, Touches};
 pub use lattice::{kleene_it, AbsNat, Lattice};
 pub use monad::{MonadFamily, MonadPlus, MonadState, MonadTrans, StorePassing, Value};
 pub use name::{Label, Name};
-pub use store::{BasicStore, Counter, CountingStore, StoreLike};
+pub use store::{BasicStore, Counter, CountingStore, StoreDelta, StoreLike};

@@ -223,9 +223,8 @@ mod tests {
         // The paper accesses the store (inner layer) with `lift $ getsNDSet …`.
         type Inner = StateT<BTreeSet<u8>, VecM>;
         type Outer = StateT<u64, Inner>;
-        let m = <Outer as MonadTrans>::lift(gets_nd_set::<Inner, BTreeSet<u8>, u8, _>(|s| {
-            s.clone()
-        }));
+        let m =
+            <Outer as MonadTrans>::lift(gets_nd_set::<Inner, BTreeSet<u8>, u8, _>(|s| s.clone()));
         let store: BTreeSet<u8> = [9u8, 7].into_iter().collect();
         let out = run_state_t::<BTreeSet<u8>, VecM, (u8, u64)>(
             run_state_t::<u64, Inner, u8>(m, 1),

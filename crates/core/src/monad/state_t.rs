@@ -123,7 +123,10 @@ mod tests {
                 M::pure(v * 100),
             )
         });
-        assert_eq!(run_state_t::<u32, VecM, u32>(m, 0), vec![(100, 1), (200, 2)]);
+        assert_eq!(
+            run_state_t::<u32, VecM, u32>(m, 0),
+            vec![(100, 1), (200, 2)]
+        );
     }
 
     #[test]

@@ -239,7 +239,8 @@ mod tests {
         assert_eq!(parse_one("(f x"), Err(ParseSexpError::UnexpectedEnd));
         assert!(matches!(
             parse_one("f x)"),
-            Err(ParseSexpError::TrailingTokens { .. }) | Err(ParseSexpError::UnexpectedClose { .. })
+            Err(ParseSexpError::TrailingTokens { .. })
+                | Err(ParseSexpError::UnexpectedClose { .. })
         ));
         assert!(matches!(
             parse_all(")"),
@@ -256,10 +257,7 @@ mod tests {
     #[test]
     fn unicode_atoms_survive() {
         let parsed = parse_one("(λ (x) x)").unwrap();
-        assert_eq!(
-            parsed.as_list().unwrap()[0],
-            Sexp::atom("λ")
-        );
+        assert_eq!(parsed.as_list().unwrap()[0], Sexp::atom("λ"));
     }
 
     #[test]

@@ -103,6 +103,16 @@ where
     }
 }
 
+impl<A, V> super::StoreDelta<A> for BasicStore<A, V>
+where
+    A: Address,
+    V: Ord + Clone + fmt::Debug + 'static,
+{
+    fn changed_addresses(&self, other: &Self) -> BTreeSet<A> {
+        super::map_changed_addresses(&self.bindings, &other.bindings)
+    }
+}
+
 impl<A: Ord + Clone, V: Ord + Clone> FromIterator<(A, BTreeSet<V>)> for BasicStore<A, V> {
     fn from_iter<T: IntoIterator<Item = (A, BTreeSet<V>)>>(iter: T) -> Self {
         let mut store = BasicStore::new();

@@ -81,10 +81,12 @@ impl<A: Ord + Clone, V: Ord + Clone> Lattice for CountingStore<A, V> {
     }
 
     fn leq(&self, other: &Self) -> bool {
-        self.bindings.iter().all(|(a, (vs, n))| match other.bindings.get(a) {
-            Some((vs2, n2)) => vs.leq(vs2) && n.leq(n2),
-            None => vs.is_empty() && *n == AbsNat::Zero,
-        })
+        self.bindings
+            .iter()
+            .all(|(a, (vs, n))| match other.bindings.get(a) {
+                Some((vs2, n2)) => vs.leq(vs2) && n.leq(n2),
+                None => vs.is_empty() && *n == AbsNat::Zero,
+            })
     }
 }
 
@@ -139,6 +141,19 @@ where
 
     fn addresses(&self) -> BTreeSet<A> {
         self.bindings.keys().cloned().collect()
+    }
+}
+
+impl<A, V> super::StoreDelta<A> for CountingStore<A, V>
+where
+    A: Address,
+    V: Ord + Clone + fmt::Debug + 'static,
+{
+    fn changed_addresses(&self, other: &Self) -> BTreeSet<A> {
+        // Counts are part of the observable binding: an address whose value
+        // set is unchanged but whose count was bumped still counts as
+        // changed.
+        super::map_changed_addresses(&self.bindings, &other.bindings)
     }
 }
 

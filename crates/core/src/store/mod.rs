@@ -92,6 +92,49 @@ pub trait StoreLike<A: Address>: Lattice + Ord + Debug + 'static {
     }
 }
 
+/// Stores that can report *which addresses* differ between two snapshots —
+/// the primitive the worklist engine's dependency invalidation
+/// ([`crate::engine`]) is built on.
+///
+/// The contract is: `self` and `other` are observationally identical at
+/// every address **not** in the returned set.  "Observationally" includes
+/// any auxiliary per-address data the store carries (e.g. the abstract
+/// counts of a [`CountingStore`]), not just the [`StoreLike::fetch`] value
+/// set — a cached transition may be replayed only if *nothing* it could
+/// have read at the address changed.  The diff is symmetric: an address
+/// bound on either side but not the other (or bound to different contents)
+/// is reported.
+pub trait StoreDelta<A: Address>: StoreLike<A> {
+    /// The addresses whose binding differs between `self` and `other`.
+    fn changed_addresses(&self, other: &Self) -> BTreeSet<A>;
+}
+
+/// The symmetric key-wise diff of two binding maps: every key bound on one
+/// side but not the other, or bound to different contents.  Shared by the
+/// [`StoreDelta`] implementations of [`BasicStore`] and [`CountingStore`]
+/// so their invalidation semantics cannot drift apart.
+pub(crate) fn map_changed_addresses<A, T>(
+    left: &std::collections::BTreeMap<A, T>,
+    right: &std::collections::BTreeMap<A, T>,
+) -> BTreeSet<A>
+where
+    A: Ord + Clone,
+    T: PartialEq,
+{
+    let mut changed = BTreeSet::new();
+    for (a, binding) in left {
+        if right.get(a) != Some(binding) {
+            changed.insert(a.clone());
+        }
+    }
+    for a in right.keys() {
+        if !left.contains_key(a) {
+            changed.insert(a.clone());
+        }
+    }
+    changed
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,6 +15,7 @@ use mai_core::addr::{Context, NamedAddress};
 use mai_core::collect::{
     explore_fp_bounded, run_analysis, with_gc, Collecting, PerStateDomain, SharedStoreDomain,
 };
+use mai_core::engine::{explore_worklist_stats, EngineStats, FrontierCollecting};
 use mai_core::gc::{reachable, GcStrategy, Touches};
 use mai_core::lattice::{KleeneOutcome, Lattice};
 use mai_core::monad::{
@@ -132,6 +133,39 @@ where
     )
 }
 
+/// Like [`analyse`], but solved by the frontier-driven worklist engine
+/// instead of naive Kleene iteration, additionally reporting
+/// [`EngineStats`].  Computes exactly the same fixpoint (the engine replays
+/// the Kleene iterate sequence, serving unchanged states from its step
+/// cache), so `analyse` remains the reference oracle.
+pub fn analyse_worklist<C, S, Fp>(program: &CExp) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Val<C::Addr>>> + Value,
+    Fp: FrontierCollecting<StorePassing<C, S>, PState<C::Addr>>,
+{
+    explore_worklist_stats::<StorePassing<C, S>, _, Fp, _>(
+        mnext::<StorePassing<C, S>, C::Addr>,
+        PState::inject(program.clone()),
+    )
+}
+
+/// Like [`analyse_gc`], but solved by the worklist engine.
+pub fn analyse_gc_worklist<C, S, Fp>(program: &CExp) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Val<C::Addr>>> + Value,
+    Fp: FrontierCollecting<StorePassing<C, S>, PState<C::Addr>>,
+{
+    explore_worklist_stats::<StorePassing<C, S>, _, Fp, _>(
+        with_gc::<StorePassing<C, S>, PState<C::Addr>, _, _>(
+            mnext::<StorePassing<C, S>, C::Addr>,
+            CpsGc,
+        ),
+        PState::inject(program.clone()),
+    )
+}
+
 /// The plain store used by the k-CFA family: addresses are
 /// variable × call-string pairs, values are CPS closures.
 pub type KStore = BasicStore<KCallAddr, Val<KCallAddr>>;
@@ -150,7 +184,8 @@ pub type KCfaCounting<const K: usize> =
     SharedStoreDomain<PState<KCallAddr>, KCallCtx<K>, KCountingStore>;
 
 /// The monovariant (0CFA) shared-store analysis domain.
-pub type MonoShared = SharedStoreDomain<PState<MonoAddr>, MonoCtx, BasicStore<MonoAddr, Val<MonoAddr>>>;
+pub type MonoShared =
+    SharedStoreDomain<PState<MonoAddr>, MonoCtx, BasicStore<MonoAddr, Val<MonoAddr>>>;
 
 /// The paper's `analyseKCFA` (§8.1): a k-CFA analysis with a per-state
 /// ("cloned") store.
@@ -204,6 +239,61 @@ pub fn analyse_mono(program: &CExp) -> MonoShared {
     analyse::<MonoCtx, BasicStore<MonoAddr, Val<MonoAddr>>, _>(program)
 }
 
+/// [`analyse_kcfa`] solved by the worklist engine (per-state stores).
+pub fn analyse_kcfa_worklist<const K: usize>(program: &CExp) -> (KCfaPerState<K>, EngineStats) {
+    analyse_worklist::<KCallCtx<K>, KStore, _>(program)
+}
+
+/// [`analyse_kcfa_shared`] solved by the worklist engine with store-delta
+/// dependency invalidation.
+pub fn analyse_kcfa_shared_worklist<const K: usize>(
+    program: &CExp,
+) -> (KCfaShared<K>, EngineStats) {
+    analyse_worklist::<KCallCtx<K>, KStore, _>(program)
+}
+
+/// [`analyse_kcfa_with_count`] solved by the worklist engine (shared
+/// counting store; count bumps participate in dependency invalidation).
+pub fn analyse_kcfa_with_count_worklist<const K: usize>(
+    program: &CExp,
+) -> (KCfaCounting<K>, EngineStats) {
+    analyse_worklist::<KCallCtx<K>, KCountingStore, _>(program)
+}
+
+/// [`analyse_kcfa_count_cloned`] solved by the worklist engine.
+pub fn analyse_kcfa_count_cloned_worklist<const K: usize>(
+    program: &CExp,
+) -> (KCfaCountingPerState<K>, EngineStats) {
+    analyse_worklist::<KCallCtx<K>, KCountingStore, _>(program)
+}
+
+/// [`analyse_kcfa_shared_gc`] solved by the worklist engine: abstract GC
+/// composes with the engine because a GC'd transition still only depends on
+/// the store restricted to the state's reachable addresses.
+pub fn analyse_kcfa_shared_gc_worklist<const K: usize>(
+    program: &CExp,
+) -> (KCfaShared<K>, EngineStats) {
+    analyse_gc_worklist::<KCallCtx<K>, KStore, _>(program)
+}
+
+/// [`analyse_kcfa_gc`] solved by the worklist engine.
+pub fn analyse_kcfa_gc_worklist<const K: usize>(program: &CExp) -> (KCfaPerState<K>, EngineStats) {
+    analyse_gc_worklist::<KCallCtx<K>, KStore, _>(program)
+}
+
+/// [`analyse_mono`] solved by the worklist engine.
+pub fn analyse_mono_worklist(program: &CExp) -> (MonoShared, EngineStats) {
+    analyse_worklist::<MonoCtx, BasicStore<MonoAddr, Val<MonoAddr>>, _>(program)
+}
+
+/// The per-state domain of the fresh-address concrete collecting semantics
+/// (§5.3): concrete contexts, concrete addresses, one store per state.
+pub type ConcreteCollectingDomain = PerStateDomain<
+    PState<<ConcreteCtx as Context>::Addr>,
+    ConcreteCtx,
+    BasicStore<<ConcreteCtx as Context>::Addr, Val<<ConcreteCtx as Context>::Addr>>,
+>;
+
 /// The fresh-address *concrete collecting semantics* of §5.3, explored for
 /// at most `max_iterations` Kleene steps (its domain has unbounded height,
 /// so exhaustive exploration of a non-terminating program would diverge —
@@ -211,13 +301,7 @@ pub fn analyse_mono(program: &CExp) -> MonoShared {
 pub fn analyse_concrete_collecting(
     program: &CExp,
     max_iterations: usize,
-) -> KleeneOutcome<
-    PerStateDomain<
-        PState<<ConcreteCtx as Context>::Addr>,
-        ConcreteCtx,
-        BasicStore<<ConcreteCtx as Context>::Addr, Val<<ConcreteCtx as Context>::Addr>>,
-    >,
-> {
+) -> KleeneOutcome<ConcreteCollectingDomain> {
     type A = <ConcreteCtx as Context>::Addr;
     type S = BasicStore<A, Val<A>>;
     explore_fp_bounded::<StorePassing<ConcreteCtx, S>, _, _, _>(
@@ -329,8 +413,14 @@ mod tests {
     #[test]
     fn identity_program_reaches_exit_under_every_analysis() {
         let p = identity_program();
-        assert!(analyse_mono(&p).distinct_states().iter().any(PState::is_final));
-        assert!(analyse_kcfa::<1>(&p).distinct_states().iter().any(PState::is_final));
+        assert!(analyse_mono(&p)
+            .distinct_states()
+            .iter()
+            .any(PState::is_final));
+        assert!(analyse_kcfa::<1>(&p)
+            .distinct_states()
+            .iter()
+            .any(PState::is_final));
         assert!(analyse_kcfa_shared::<1>(&p)
             .distinct_states()
             .iter()
@@ -421,10 +511,7 @@ mod tests {
         let p = two_call_sites();
         let plain = analyse_kcfa_shared::<0>(&p);
         let gced = analyse_kcfa_shared_gc::<0>(&p);
-        assert!(gced
-            .distinct_states()
-            .iter()
-            .any(PState::is_final));
+        assert!(gced.distinct_states().iter().any(PState::is_final));
         let plain_metrics = AnalysisMetrics::of_shared(&plain);
         let gc_metrics = AnalysisMetrics::of_shared(&gced);
         assert!(gc_metrics.store_facts <= plain_metrics.store_facts);
@@ -434,11 +521,7 @@ mod tests {
     fn concrete_collecting_semantics_of_terminating_program_converges() {
         let out = analyse_concrete_collecting(&identity_program(), 64);
         assert!(out.converged());
-        assert!(out
-            .value()
-            .distinct_states()
-            .iter()
-            .any(PState::is_final));
+        assert!(out.value().distinct_states().iter().any(PState::is_final));
     }
 
     #[test]

@@ -264,11 +264,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "unbound variable")]
     fn open_programs_get_stuck() {
-        let p = CExp::call(
-            mai_core::name::Label::new(1),
-            AExp::var("free"),
-            vec![],
-        );
+        let p = CExp::call(mai_core::name::Label::new(1), AExp::var("free"), vec![]);
         let _ = interpret(&p);
     }
 }

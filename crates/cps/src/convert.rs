@@ -61,11 +61,8 @@ impl CpsConverter {
                 let fv = self.fresh("f");
                 let vv = self.fresh("v");
                 let label = self.labels.fresh();
-                let apply = CExp::call(
-                    label,
-                    AExp::Ref(fv.clone()),
-                    vec![AExp::Ref(vv.clone()), k],
-                );
+                let apply =
+                    CExp::call(label, AExp::Ref(fv.clone()), vec![AExp::Ref(vv.clone()), k]);
                 let arg_cps = self.convert(arg, AExp::Lam(Lambda::new(vec![vv], apply)));
                 self.convert(func, AExp::Lam(Lambda::new(vec![fv], arg_cps)))
             }

@@ -171,7 +171,8 @@ mod tests {
 
     #[test]
     fn lambda_keyword_spelled_out_is_accepted() {
-        let a = parse_program("((lambda (x k) (k x)) (lambda (y) exit) (lambda (r) exit))").unwrap();
+        let a =
+            parse_program("((lambda (x k) (k x)) (lambda (y) exit) (lambda (r) exit))").unwrap();
         let b = parse_program("((λ (x k) (k x)) (λ (y) exit) (λ (r) exit))").unwrap();
         assert_eq!(a, b);
     }

@@ -225,7 +225,10 @@ mod tests {
     fn generated_programs_have_unique_labels() {
         for (name, program) in standard_corpus() {
             let labels = program.labels();
-            assert!(!labels.is_empty() || program.is_exit(), "{name} has no call sites");
+            assert!(
+                !labels.is_empty() || program.is_exit(),
+                "{name} has no call sites"
+            );
             // Labels are a set, so uniqueness is by construction; check that
             // the count grows with the size parameter for the generators.
         }
@@ -269,9 +272,6 @@ mod tests {
         let result = analyse_mono(&omega());
         // The abstract state space of Ω is tiny and the analysis must halt.
         assert!(result.distinct_states().len() <= 4);
-        assert!(!result
-            .distinct_states()
-            .iter()
-            .any(PState::is_final));
+        assert!(!result.distinct_states().iter().any(PState::is_final));
     }
 }

@@ -13,6 +13,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use mai_core::addr::Address;
+use mai_core::engine::StateRoots;
 use mai_core::gc::Touches;
 use mai_core::monad::{map_m, sequence_m, MonadFamily};
 use mai_core::name::Label;
@@ -132,6 +133,17 @@ impl<A: Address> Touches<A> for PState<A> {
     }
 }
 
+/// The worklist engine's view of a state's read set: the same roots abstract
+/// GC starts from ([`Touches`]), with the address type pinned down so the
+/// engine can close them over the shared store.
+impl<A: Address> StateRoots for PState<A> {
+    type Addr = A;
+
+    fn state_roots(&self) -> BTreeSet<A> {
+        self.touches()
+    }
+}
+
 /// The paper's `CPSInterface m a` (Figure 2): the five operations through
 /// which the CPS semantics interacts with values, the store and time.
 ///
@@ -230,7 +242,7 @@ where
                                     let writes: Vec<M::M<()>> = addrs
                                         .iter()
                                         .cloned()
-                                        .zip(vals.into_iter())
+                                        .zip(vals)
                                         .map(|(a, d)| M::write(a, d))
                                         .collect();
                                     let body = body.clone();

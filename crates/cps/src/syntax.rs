@@ -282,7 +282,9 @@ mod tests {
         let labels = sample().labels();
         assert_eq!(
             labels,
-            [Label::new(1), Label::new(2), Label::new(3)].into_iter().collect()
+            [Label::new(1), Label::new(2), Label::new(3)]
+                .into_iter()
+                .collect()
         );
         assert_eq!(sample().call_site_count(), 3);
     }

@@ -12,6 +12,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use mai_core::addr::{Context, NamedAddress};
 use mai_core::collect::{run_analysis, with_gc, Collecting, PerStateDomain, SharedStoreDomain};
+use mai_core::engine::{explore_worklist_stats, EngineStats, FrontierCollecting};
 use mai_core::gc::{reachable, GcStrategy, Touches};
 use mai_core::monad::{
     gets_nd_set, MonadFamily, MonadState, MonadTrans, StateT, StorePassing, Value, VecM,
@@ -20,9 +21,7 @@ use mai_core::name::{Label, Name};
 use mai_core::store::{BasicStore, CountingStore, StoreLike};
 use mai_core::{KCallAddr, KCallCtx, MonoAddr, MonoCtx};
 
-use crate::machine::{
-    kont_name, mnext, Env, FjInterface, Kont, KontKind, Obj, PState, Storable,
-};
+use crate::machine::{kont_name, mnext, Env, FjInterface, Kont, KontKind, Obj, PState, Storable};
 use crate::syntax::{ClassName, ClassTable, Program, VarName};
 
 impl<C, S> FjInterface<C::Addr> for StorePassing<C, S>
@@ -75,7 +74,10 @@ where
 
     fn bind_val(addr: C::Addr, val: Obj<C::Addr>) -> Self::M<()> {
         Self::lift(<StateT<S, VecM> as MonadState<S>>::modify(move |store| {
-            store.bind(addr.clone(), [Storable::Val(val.clone())].into_iter().collect())
+            store.bind(
+                addr.clone(),
+                [Storable::Val(val.clone())].into_iter().collect(),
+            )
         }))
     }
 
@@ -155,6 +157,39 @@ where
     )
 }
 
+/// Like [`analyse`], but solved by the frontier-driven worklist engine
+/// instead of naive Kleene iteration, additionally reporting
+/// [`EngineStats`].  Computes exactly the same fixpoint.
+pub fn analyse_worklist<C, S, Fp>(program: &Program) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: FrontierCollecting<StorePassing<C, S>, PState<C::Addr>>,
+{
+    let table = program.table.clone();
+    explore_worklist_stats::<StorePassing<C, S>, _, Fp, _>(
+        move |ps| mnext::<StorePassing<C, S>, C::Addr>(&table, ps),
+        PState::inject(program.main.clone()),
+    )
+}
+
+/// Like [`analyse_with_gc`], but solved by the worklist engine.
+pub fn analyse_with_gc_worklist<C, S, Fp>(program: &Program) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: FrontierCollecting<StorePassing<C, S>, PState<C::Addr>>,
+{
+    let table = program.table.clone();
+    explore_worklist_stats::<StorePassing<C, S>, _, Fp, _>(
+        with_gc::<StorePassing<C, S>, PState<C::Addr>, _, _>(
+            move |ps| mnext::<StorePassing<C, S>, C::Addr>(&table, ps),
+            FjGc,
+        ),
+        PState::inject(program.main.clone()),
+    )
+}
+
 /// The plain store of the call-site-sensitive FJ analyses.
 pub type KFjStore = BasicStore<KCallAddr, Storable<KCallAddr>>;
 
@@ -196,6 +231,40 @@ pub fn analyse_kcfa_shared_gc<const K: usize>(program: &Program) -> KFjShared<K>
 /// Monovariant (context-insensitive) analysis with a shared store.
 pub fn analyse_mono(program: &Program) -> MonoFjShared {
     analyse::<MonoCtx, BasicStore<MonoAddr, Storable<MonoAddr>>, _>(program)
+}
+
+/// [`analyse_kcfa_shared`] solved by the worklist engine.
+pub fn analyse_kcfa_shared_worklist<const K: usize>(
+    program: &Program,
+) -> (KFjShared<K>, EngineStats) {
+    analyse_worklist::<KCallCtx<K>, KFjStore, _>(program)
+}
+
+/// [`analyse_kcfa`] solved by the worklist engine (per-state stores).
+pub fn analyse_kcfa_worklist<const K: usize>(program: &Program) -> (KFjPerState<K>, EngineStats) {
+    analyse_worklist::<KCallCtx<K>, KFjStore, _>(program)
+}
+
+/// [`analyse_kcfa_with_count`] solved by the worklist engine.
+pub fn analyse_kcfa_with_count_worklist<const K: usize>(
+    program: &Program,
+) -> (
+    SharedStoreDomain<PState<KCallAddr>, KCallCtx<K>, KFjCountingStore>,
+    EngineStats,
+) {
+    analyse_worklist::<KCallCtx<K>, KFjCountingStore, _>(program)
+}
+
+/// [`analyse_kcfa_shared_gc`] solved by the worklist engine.
+pub fn analyse_kcfa_shared_gc_worklist<const K: usize>(
+    program: &Program,
+) -> (KFjShared<K>, EngineStats) {
+    analyse_with_gc_worklist::<KCallCtx<K>, KFjStore, _>(program)
+}
+
+/// [`analyse_mono`] solved by the worklist engine.
+pub fn analyse_mono_worklist(program: &Program) -> (MonoFjShared, EngineStats) {
+    analyse_worklist::<MonoCtx, BasicStore<MonoAddr, Storable<MonoAddr>>, _>(program)
 }
 
 /// Which classes may flow to each variable or field cell, extracted from an

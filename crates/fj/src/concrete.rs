@@ -7,9 +7,7 @@ use std::fmt;
 use mai_core::monad::{run_state, MonadFamily, MonadState, StateM};
 use mai_core::name::{Label, Name};
 
-use crate::machine::{
-    kont_name, mnext, Env, FjInterface, Kont, KontKind, Obj, PState,
-};
+use crate::machine::{kont_name, mnext, Env, FjInterface, Kont, KontKind, Obj, PState};
 use crate::syntax::{ClassName, Program, VarName};
 
 /// A concrete heap address.
@@ -185,10 +183,8 @@ pub fn run_with_limit(program: &Program, max_steps: usize) -> Outcome {
                 reason: reason.clone(),
             };
         }
-        let (next_state, next_heap) = run_state(
-            mnext::<StateM<Heap>, HeapAddr>(&program.table, state),
-            heap,
-        );
+        let (next_state, next_heap) =
+            run_state(mnext::<StateM<Heap>, HeapAddr>(&program.table, state), heap);
         state = next_state;
         heap = next_heap;
     }
@@ -257,11 +253,12 @@ mod tests {
         if let Outcome::Halted { heap, steps, .. } = out {
             assert!(heap.allocation_count() > 0);
             assert!(steps > 0);
-            assert!(heap.read(&HeapAddr {
-                name: Name::from("does-not-exist"),
-                index: 999,
-            })
-            .is_none());
+            assert!(heap
+                .read(&HeapAddr {
+                    name: Name::from("does-not-exist"),
+                    index: 999,
+                })
+                .is_none());
         } else {
             panic!("expected halt");
         }

@@ -12,6 +12,7 @@ use std::fmt;
 use std::rc::Rc;
 
 use mai_core::addr::Address;
+use mai_core::engine::StateRoots;
 use mai_core::gc::Touches;
 use mai_core::monad::{map_m, MonadFamily};
 use mai_core::name::{Label, Name};
@@ -119,7 +120,9 @@ impl<A: fmt::Debug> fmt::Debug for Kont<A> {
         match self {
             Kont::FieldK { field, .. } => write!(f, "·.{}", field),
             Kont::CallRcvK { method, .. } => write!(f, "·.{}(…)", method),
-            Kont::CallArgsK { method, done, .. } => write!(f, "call {}[{} done]", method, done.len()),
+            Kont::CallArgsK { method, done, .. } => {
+                write!(f, "call {}[{} done]", method, done.len())
+            }
             Kont::NewK { class, done, .. } => write!(f, "new {}[{} done]", class, done.len()),
             Kont::CastK { class, .. } => write!(f, "({}) ·", class),
         }
@@ -297,6 +300,17 @@ impl<A: Address> Touches<A> for PState<A> {
         };
         out.extend(self.kont.clone());
         out
+    }
+}
+
+/// The worklist engine's view of a state's read set: the same roots abstract
+/// GC starts from ([`Touches`]), with the address type pinned down so the
+/// engine can close them over the shared store.
+impl<A: Address> StateRoots for PState<A> {
+    type Addr = A;
+
+    fn state_roots(&self) -> BTreeSet<A> {
+        self.touches()
     }
 }
 
@@ -535,10 +549,7 @@ where
             args.len()
         )));
     }
-    let names: Vec<Name> = fields
-        .iter()
-        .map(|(_, f)| field_name(&class, f))
-        .collect();
+    let names: Vec<Name> = fields.iter().map(|(_, f)| field_name(&class, f)).collect();
     M::bind(M::tick(site), move |_| {
         let names = names.clone();
         let args = args.clone();
@@ -558,16 +569,13 @@ where
                     fields: addrs.clone(),
                 };
                 let kont = kont.clone();
-                M::bind(
-                    mai_core::monad::sequence_m::<M, ()>(writes),
-                    move |_| {
-                        M::pure(PState {
-                            control: Control::Value(object.clone()),
-                            env: Env::new(),
-                            kont: kont.clone(),
-                        })
-                    },
-                )
+                M::bind(mai_core::monad::sequence_m::<M, ()>(writes), move |_| {
+                    M::pure(PState {
+                        control: Control::Value(object.clone()),
+                        env: Env::new(),
+                        kont: kont.clone(),
+                    })
+                })
             },
         )
     })
@@ -620,21 +628,18 @@ where
                 let writes: Vec<M::M<()>> = addrs
                     .iter()
                     .cloned()
-                    .zip(values.into_iter())
+                    .zip(values)
                     .map(|(a, o)| M::bind_val(a, o))
                     .collect();
                 let body = body.clone();
                 let kont = kont.clone();
-                M::bind(
-                    mai_core::monad::sequence_m::<M, ()>(writes),
-                    move |_| {
-                        M::pure(PState {
-                            control: Control::Eval(body.clone()),
-                            env: env.clone(),
-                            kont: kont.clone(),
-                        })
-                    },
-                )
+                M::bind(mai_core::monad::sequence_m::<M, ()>(writes), move |_| {
+                    M::pure(PState {
+                        control: Control::Eval(body.clone()),
+                        env: env.clone(),
+                        kont: kont.clone(),
+                    })
+                })
             },
         )
     })

@@ -513,7 +513,11 @@ mod tests {
             vec![(Name::from("Object"), Name::from("extra"))]
         );
         assert_eq!(t.fields(&object_class()).unwrap(), vec![]);
-        assert_eq!(t.field_index(&Name::from("Pair"), &Name::from("second")).unwrap(), 1);
+        assert_eq!(
+            t.field_index(&Name::from("Pair"), &Name::from("second"))
+                .unwrap(),
+            1
+        );
     }
 
     #[test]

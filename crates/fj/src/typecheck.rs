@@ -91,7 +91,11 @@ impl fmt::Display for TypeError {
                 write!(f, "cast of {} to unrelated class {}", found, target)
             }
             TypeError::InvalidOverride { class, method } => {
-                write!(f, "class {} overrides {} with a different signature", class, method)
+                write!(
+                    f,
+                    "class {} overrides {} with a different signature",
+                    class, method
+                )
             }
         }
     }
@@ -245,7 +249,7 @@ pub fn check_program(program: &Program) -> Result<ClassName, TypeError> {
             check_method(table, &decl.name, m)?;
         }
     }
-    Ok(type_of(table, &TypeEnv::new(), &program.main)?)
+    type_of(table, &TypeEnv::new(), &program.main)
 }
 
 #[cfg(test)]
@@ -309,7 +313,10 @@ mod tests {
         let pair = new_pair(&mut b);
         let a = b.new_object("A", vec![]);
         let main = b.call(pair, "setFst", vec![a]);
-        assert_eq!(check_program(&pair_program(main)).unwrap(), Name::from("Pair"));
+        assert_eq!(
+            check_program(&pair_program(main)).unwrap(),
+            Name::from("Pair")
+        );
     }
 
     #[test]
@@ -356,10 +363,7 @@ mod tests {
         let mut b = ExprBuilder::new();
         let a = b.new_object("A", vec![]);
         let down = b.cast("B", a);
-        assert_eq!(
-            check_program(&pair_program(down)).unwrap(),
-            Name::from("B")
-        );
+        assert_eq!(check_program(&pair_program(down)).unwrap(), Name::from("B"));
 
         let mut b = ExprBuilder::new();
         let a = b.new_object("A", vec![]);

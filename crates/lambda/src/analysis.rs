@@ -9,11 +9,10 @@
 use std::collections::BTreeSet;
 
 use mai_core::addr::{Context, NamedAddress};
-use mai_core::collect::{
-    run_analysis, with_gc, Collecting, PerStateDomain, SharedStoreDomain,
-};
-use mai_core::gc::{reachable, GcStrategy};
+use mai_core::collect::{run_analysis, with_gc, Collecting, PerStateDomain, SharedStoreDomain};
+use mai_core::engine::{explore_worklist_stats, EngineStats, FrontierCollecting};
 use mai_core::gc::Touches;
+use mai_core::gc::{reachable, GcStrategy};
 use mai_core::monad::{
     gets_nd_set, MonadFamily, MonadState, MonadTrans, StateT, StorePassing, Value, VecM,
 };
@@ -21,7 +20,9 @@ use mai_core::name::{Label, Name};
 use mai_core::store::{BasicStore, CountingStore, StoreLike};
 use mai_core::{KCallAddr, KCallCtx, MonoAddr, MonoCtx};
 
-use crate::machine::{kont_name, mnext, CeskInterface, Closure, Env, Kont, KontKind, PState, Storable};
+use crate::machine::{
+    kont_name, mnext, CeskInterface, Closure, Env, Kont, KontKind, PState, Storable,
+};
 use crate::syntax::{Term, Var};
 
 impl<C, S> CeskInterface<C::Addr> for StorePassing<C, S>
@@ -60,7 +61,10 @@ where
 
     fn bind_val(addr: C::Addr, val: Closure<C::Addr>) -> Self::M<()> {
         Self::lift(<StateT<S, VecM> as MonadState<S>>::modify(move |store| {
-            store.bind(addr.clone(), [Storable::Val(val.clone())].into_iter().collect())
+            store.bind(
+                addr.clone(),
+                [Storable::Val(val.clone())].into_iter().collect(),
+            )
         }))
     }
 
@@ -140,6 +144,37 @@ where
     )
 }
 
+/// Like [`analyse`], but solved by the frontier-driven worklist engine
+/// instead of naive Kleene iteration, additionally reporting
+/// [`EngineStats`].  Computes exactly the same fixpoint.
+pub fn analyse_worklist<C, S, Fp>(term: &Term) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: FrontierCollecting<StorePassing<C, S>, PState<C::Addr>>,
+{
+    explore_worklist_stats::<StorePassing<C, S>, _, Fp, _>(
+        mnext::<StorePassing<C, S>, C::Addr>,
+        PState::inject(term.clone()),
+    )
+}
+
+/// Like [`analyse_with_gc`], but solved by the worklist engine.
+pub fn analyse_with_gc_worklist<C, S, Fp>(term: &Term) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: FrontierCollecting<StorePassing<C, S>, PState<C::Addr>>,
+{
+    explore_worklist_stats::<StorePassing<C, S>, _, Fp, _>(
+        with_gc::<StorePassing<C, S>, PState<C::Addr>, _, _>(
+            mnext::<StorePassing<C, S>, C::Addr>,
+            CeskGc,
+        ),
+        PState::inject(term.clone()),
+    )
+}
+
 /// The plain store of the k-CFA CESK family.
 pub type KCeskStore = BasicStore<KCallAddr, Storable<KCallAddr>>;
 
@@ -152,8 +187,7 @@ pub type KCeskShared<const K: usize> =
 
 /// The per-state-store ("heap cloning") k-CFA analysis domain for the CESK
 /// machine.
-pub type KCeskPerState<const K: usize> =
-    PerStateDomain<PState<KCallAddr>, KCallCtx<K>, KCeskStore>;
+pub type KCeskPerState<const K: usize> = PerStateDomain<PState<KCallAddr>, KCallCtx<K>, KCeskStore>;
 
 /// The shared-store monovariant analysis domain for the CESK machine.
 pub type MonoCeskShared =
@@ -184,6 +218,38 @@ pub fn analyse_kcfa_shared_gc<const K: usize>(term: &Term) -> KCeskShared<K> {
 /// Monovariant (0CFA) analysis of the CESK machine with a shared store.
 pub fn analyse_mono(term: &Term) -> MonoCeskShared {
     analyse::<MonoCtx, BasicStore<MonoAddr, Storable<MonoAddr>>, _>(term)
+}
+
+/// [`analyse_kcfa_shared`] solved by the worklist engine.
+pub fn analyse_kcfa_shared_worklist<const K: usize>(term: &Term) -> (KCeskShared<K>, EngineStats) {
+    analyse_worklist::<KCallCtx<K>, KCeskStore, _>(term)
+}
+
+/// [`analyse_kcfa`] solved by the worklist engine (per-state stores).
+pub fn analyse_kcfa_worklist<const K: usize>(term: &Term) -> (KCeskPerState<K>, EngineStats) {
+    analyse_worklist::<KCallCtx<K>, KCeskStore, _>(term)
+}
+
+/// [`analyse_kcfa_with_count`] solved by the worklist engine.
+pub fn analyse_kcfa_with_count_worklist<const K: usize>(
+    term: &Term,
+) -> (
+    SharedStoreDomain<PState<KCallAddr>, KCallCtx<K>, KCeskCountingStore>,
+    EngineStats,
+) {
+    analyse_worklist::<KCallCtx<K>, KCeskCountingStore, _>(term)
+}
+
+/// [`analyse_kcfa_shared_gc`] solved by the worklist engine.
+pub fn analyse_kcfa_shared_gc_worklist<const K: usize>(
+    term: &Term,
+) -> (KCeskShared<K>, EngineStats) {
+    analyse_with_gc_worklist::<KCallCtx<K>, KCeskStore, _>(term)
+}
+
+/// [`analyse_mono`] solved by the worklist engine.
+pub fn analyse_mono_worklist(term: &Term) -> (MonoCeskShared, EngineStats) {
+    analyse_worklist::<MonoCtx, BasicStore<MonoAddr, Storable<MonoAddr>>, _>(term)
 }
 
 /// Which λ-abstraction parameters each variable may be bound to, extracted

@@ -13,6 +13,7 @@ use std::fmt;
 use std::rc::Rc;
 
 use mai_core::addr::Address;
+use mai_core::engine::StateRoots;
 use mai_core::gc::Touches;
 use mai_core::monad::MonadFamily;
 use mai_core::name::{Label, Name};
@@ -47,7 +48,9 @@ impl<A: Address> Touches<A> for Closure<A> {
     fn touches(&self) -> BTreeSet<A> {
         let mut free = self.body.free_vars();
         free.remove(&self.param);
-        free.iter().filter_map(|v| self.env.get(v).cloned()).collect()
+        free.iter()
+            .filter_map(|v| self.env.get(v).cloned())
+            .collect()
     }
 }
 
@@ -256,6 +259,17 @@ impl<A: Address> Touches<A> for PState<A> {
         };
         out.extend(self.kont.clone());
         out
+    }
+}
+
+/// The worklist engine's view of a state's read set: the same roots abstract
+/// GC starts from ([`Touches`]), with the address type pinned down so the
+/// engine can close them over the shared store.
+impl<A: Address> StateRoots for PState<A> {
+    type Addr = A;
+
+    fn state_roots(&self) -> BTreeSet<A> {
+        self.touches()
     }
 }
 
@@ -484,28 +498,26 @@ where
                     body,
                     env,
                     next,
-                } => {
-                    M::bind(M::tick(site), move |_| {
-                        let name = name.clone();
+                } => M::bind(M::tick(site), move |_| {
+                    let name = name.clone();
+                    let body = body.clone();
+                    let outer = env.clone();
+                    let value = value.clone();
+                    let next = next.clone();
+                    M::bind(M::alloc_val(&name), move |vaddr| {
+                        let mut env = outer.clone();
+                        env.insert(name.clone(), vaddr.clone());
                         let body = body.clone();
-                        let outer = env.clone();
-                        let value = value.clone();
                         let next = next.clone();
-                        M::bind(M::alloc_val(&name), move |vaddr| {
-                            let mut env = outer.clone();
-                            env.insert(name.clone(), vaddr.clone());
-                            let body = body.clone();
-                            let next = next.clone();
-                            M::bind(M::bind_val(vaddr, value.clone()), move |_| {
-                                M::pure(PState {
-                                    control: Control::Eval(body.clone()),
-                                    env: env.clone(),
-                                    kont: next.clone(),
-                                })
+                        M::bind(M::bind_val(vaddr, value.clone()), move |_| {
+                            M::pure(PState {
+                                control: Control::Eval(body.clone()),
+                                env: env.clone(),
+                                kont: next.clone(),
                             })
                         })
                     })
-                }
+                }),
             }
         }),
     }

@@ -114,9 +114,7 @@ fn parse_term_sexp(sexp: &Sexp, labels: &mut LabelSupply) -> Result<Term, ParseT
                             let name = binding[0]
                                 .as_atom()
                                 .ok_or_else(|| {
-                                    ParseTermError::Malformed(
-                                        "let binds an identifier".to_string(),
-                                    )
+                                    ParseTermError::Malformed("let binds an identifier".to_string())
                                 })
                                 .and_then(parse_var)?;
                             let rhs = parse_term_sexp(&binding[1], labels)?;

@@ -54,7 +54,10 @@ pub fn let_chain(n: usize) -> Term {
     //   let v1 = id (λ p1. p1) in … let vn = id (λ pn. pn) in vn
     let mut body = Term::var(format!("v{}", n.max(1)));
     for i in (1..=n.max(1)).rev() {
-        let call = b.app(Term::var("id"), Term::lam(format!("p{i}"), Term::var(format!("p{i}"))));
+        let call = b.app(
+            Term::var("id"),
+            Term::lam(format!("p{i}"), Term::var(format!("p{i}"))),
+        );
         body = b.let_in(&format!("v{i}"), call, body);
     }
     b.let_in("id", Term::lam("x", Term::var("x")), body)
@@ -118,7 +121,12 @@ mod tests {
     #[test]
     fn concrete_evaluation_terminates_on_every_corpus_entry_except_omega() {
         for (name, term) in standard_corpus() {
-            let out = evaluate_with_limit(&term, 100_000);
+            // The fresh-address heap makes each step cost O(heap), so a
+            // divergent term that exhausts its whole budget runs in
+            // quadratic time — give omega a budget that classifies it
+            // quickly; the halting entries finish far below either limit.
+            let budget = if name == "omega" { 2_000 } else { 100_000 };
+            let out = evaluate_with_limit(&term, budget);
             if name == "omega" {
                 assert!(!out.halted());
             } else {

@@ -68,10 +68,7 @@ impl Term {
 
     /// Nested λ-abstractions over several parameters (curried).
     pub fn lams(params: &[&str], body: Term) -> Self {
-        params
-            .iter()
-            .rev()
-            .fold(body, |acc, p| Term::lam(*p, acc))
+        params.iter().rev().fold(body, |acc, p| Term::lam(*p, acc))
     }
 
     /// An application with an explicit label.

@@ -1,0 +1,213 @@
+//! A minimal, dependency-free stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness.
+//!
+//! This workspace builds in environments without network access, so the real
+//! crates.io criterion cannot be fetched.  The stub implements the subset of
+//! the API the workspace's benches use — `Criterion`, `BenchmarkGroup`,
+//! `BenchmarkId`, `Bencher::iter`, `black_box` and the `criterion_group!` /
+//! `criterion_main!` macros — with honest wall-clock timing and a one-line
+//! median report per benchmark, but none of criterion's statistics, plots or
+//! baseline management.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from discarding a value (`std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The identifier of one benchmark within a group: a function name plus a
+/// parameter rendering, printed as `function/parameter`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new<F: fmt::Display, P: fmt::Display>(function_name: F, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+/// Runs the closure under measurement repeatedly and records the samples.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            durations: Vec::new(),
+        }
+    }
+
+    /// Times `routine`: one untimed warm-up call followed by the configured
+    /// number of timed samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.durations.push(start.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Option<Duration> {
+        if self.durations.is_empty() {
+            return None;
+        }
+        self.durations.sort();
+        Some(self.durations[self.durations.len() / 2])
+    }
+}
+
+fn report(name: &str, bencher: &mut Bencher) {
+    match bencher.median() {
+        Some(median) => println!("{name:<55} time: [{median:>12.2?} median]"),
+        None => println!("{name:<55} (no samples)"),
+    }
+}
+
+/// The top-level harness handle passed to every benchmark function.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: fmt::Display>(&mut self, group_name: S) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: group_name.to_string(),
+            sample_size,
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<S, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        S: fmt::Display,
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        report(&id.to_string(), &mut bencher);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks a closure under `group-name/id`.
+    pub fn bench_function<S, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        S: fmt::Display,
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, id), &mut bencher);
+        self
+    }
+
+    /// Benchmarks a closure that receives a borrowed input value.
+    pub fn bench_with_input<S, I, F>(&mut self, id: S, input: &I, mut f: F) -> &mut Self
+    where
+        S: fmt::Display,
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id), &mut bencher);
+        self
+    }
+
+    /// Ends the group (a no-op in this stub, kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a function running the listed benchmark targets in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_bench(c: &mut Criterion) {
+        c.bench_function("toy/sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut group = c.benchmark_group("toy-group");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("double", 21), &21u64, |b, n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default();
+        toy_bench(&mut c);
+    }
+
+    criterion_group!(benches, toy_bench);
+
+    #[test]
+    fn group_macro_builds_a_runner() {
+        benches();
+    }
+}

@@ -1,0 +1,549 @@
+//! A minimal, dependency-free, **deterministic** stand-in for the
+//! [`proptest`](https://crates.io/crates/proptest) crate.
+//!
+//! This workspace builds in environments without network access, so the real
+//! crates.io `proptest` cannot be fetched.  This vendored stub implements
+//! exactly the subset of the API the workspace's property tests use:
+//!
+//! * the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`] and
+//!   [`prop_oneof!`] macros,
+//! * the [`strategy::Strategy`] trait with `prop_map`, `prop_recursive` and
+//!   `boxed`,
+//! * range, tuple, [`strategy::Just`], `any::<T>()` and simple
+//!   character-class regex string strategies,
+//! * [`collection::vec`], [`collection::btree_set`] and
+//!   [`collection::btree_map`].
+//!
+//! Unlike the real proptest there is **no shrinking** and the generator is a
+//! fixed-seed xorshift PRNG, so failures reproduce identically on every run.
+//! Each `proptest!` test executes a fixed number of cases (64).
+
+#![forbid(unsafe_code)]
+
+/// The test-case driver: a deterministic PRNG plus the case budget.
+pub mod test_runner {
+    /// A tiny xorshift64* PRNG.  Deterministic by construction: every test
+    /// run sees the same sequence.
+    #[derive(Debug, Clone)]
+    pub struct Rng(u64);
+
+    impl Rng {
+        /// Creates a generator from a non-zero seed.
+        pub fn new(seed: u64) -> Self {
+            Rng(seed.max(1))
+        }
+
+        /// The next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+
+        /// A value uniformly below `n` (`0` when `n == 0`).
+        pub fn below(&mut self, n: u64) -> u64 {
+            if n == 0 {
+                0
+            } else {
+                self.next_u64() % n
+            }
+        }
+    }
+
+    /// Drives the cases of one `proptest!` test.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        /// The deterministic source of randomness for this test.
+        pub rng: Rng,
+        /// How many cases each property is exercised with.
+        pub cases: usize,
+    }
+
+    impl Default for TestRunner {
+        fn default() -> Self {
+            TestRunner {
+                rng: Rng::new(0x9E37_79B9_7F4A_7C15),
+                cases: 64,
+            }
+        }
+    }
+}
+
+/// Strategies: first-class descriptions of how to generate values.
+pub mod strategy {
+    use crate::test_runner::Rng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    /// A generator of values of type `Self::Value` (the API-compatible core
+    /// of proptest's `Strategy`, without shrinking).
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+        /// Maps a function over generated values.
+        fn prop_map<B, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> B,
+        {
+            Map { base: self, f }
+        }
+
+        /// Erases the strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            let rc = Rc::new(self);
+            BoxedStrategy(Rc::new(move |rng| rc.generate(rng)))
+        }
+
+        /// Builds a recursive strategy: `expand` turns a strategy for the
+        /// inner occurrences into a strategy for the enclosing shape, nested
+        /// up to `depth` levels.  (`_desired_size` and `_expected_branch`
+        /// are accepted for API compatibility and ignored.)
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            expand: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + Clone + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let mut current = self.clone().boxed();
+            for _ in 0..depth {
+                let leaf = self.clone().boxed();
+                let composite = expand(current).boxed();
+                current = one_of(vec![leaf, composite]);
+            }
+            current
+        }
+    }
+
+    /// A type-erased, reference-counted strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut Rng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut Rng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Picks uniformly among the given strategies (the engine behind
+    /// [`prop_oneof!`](crate::prop_oneof) and `prop_recursive`).
+    pub fn one_of<T: 'static>(options: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+        assert!(!options.is_empty(), "one_of requires at least one strategy");
+        BoxedStrategy(Rc::new(move |rng| {
+            let i = rng.below(options.len() as u64) as usize;
+            options[i].generate(rng)
+        }))
+    }
+
+    /// The strategy produced by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, B, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> B,
+    {
+        type Value = B;
+
+        fn generate(&self, rng: &mut Rng) -> B {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of the given value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut Rng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),+) => {
+            $(
+                impl Strategy for Range<$t> {
+                    type Value = $t;
+
+                    fn generate(&self, rng: &mut Rng) -> $t {
+                        assert!(self.start < self.end, "empty range strategy");
+                        let span = (self.end - self.start) as u64;
+                        self.start + rng.below(span) as $t
+                    }
+                }
+            )+
+        };
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut Rng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A: 0, B: 1);
+    tuple_strategy!(A: 0, B: 1, C: 2);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+    /// String strategies from a character-class regex (`&'static str`
+    /// patterns such as `"[a-z][a-z0-9]{0,5}"`).  Supports literal
+    /// characters, `[...]` classes with ranges, and an optional `{m,n}`
+    /// repetition suffix — the subset this workspace's tests use.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut Rng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut Rng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let alternatives: Vec<char> = if chars[i] == '[' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"));
+                let mut alts = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        alts.extend((lo..=hi).collect::<Vec<char>>());
+                        j += 3;
+                    } else {
+                        alts.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                alts
+            } else {
+                let c = chars[i];
+                i += 1;
+                vec![c]
+            };
+            // Optional {m,n} repetition suffix.
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed repetition in pattern {pattern:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                let (m, n) = match body.split_once(',') {
+                    Some((m, n)) => (m, n),
+                    None => (body.as_str(), body.as_str()),
+                };
+                i = close + 1;
+                (
+                    m.parse::<usize>().expect("repetition lower bound"),
+                    n.parse::<usize>().expect("repetition upper bound"),
+                )
+            } else {
+                (1, 1)
+            };
+            let reps = lo + rng.below((hi - lo + 1) as u64) as usize;
+            for _ in 0..reps {
+                let pick = rng.below(alternatives.len() as u64) as usize;
+                out.push(alternatives[pick]);
+            }
+        }
+        out
+    }
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut Rng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),+) => {
+            $(
+                impl Arbitrary for $t {
+                    fn arbitrary(rng: &mut Rng) -> $t {
+                        rng.next_u64() as $t
+                    }
+                }
+            )+
+        };
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut Rng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut Rng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// `any::<T>()`: the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies (`proptest::collection::{vec, btree_set, btree_map}`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::Rng;
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::ops::Range;
+
+    /// A strategy for `Vec`s with sizes drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+            let span = self.size.end.saturating_sub(self.size.start).max(1);
+            let len = self.size.start + rng.below(span as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec`: vectors of `element` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// A strategy for `BTreeSet`s.
+    #[derive(Clone, Debug)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut Rng) -> BTreeSet<S::Value> {
+            let span = self.size.end.saturating_sub(self.size.start).max(1);
+            let len = self.size.start + rng.below(span as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::btree_set`: sets of `element` with at most
+    /// `size.end - 1` entries (duplicates collapse, as in real proptest).
+    pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    /// A strategy for `BTreeMap`s.
+    #[derive(Clone, Debug)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut Rng) -> BTreeMap<K::Value, V::Value> {
+            let span = self.size.end.saturating_sub(self.size.start).max(1);
+            let len = self.size.start + rng.below(span as u64) as usize;
+            (0..len)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+
+    /// `proptest::collection::btree_map`: maps with keys from `key`, values
+    /// from `value` and entry counts in `size`.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: Range<usize>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+}
+
+/// The `proptest!` macro: declares property tests whose arguments are drawn
+/// from strategies.
+///
+/// ```rust
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     // (Under `#[cfg(test)]` you would add `#[test]` here.)
+///     fn addition_commutes(a in 0u8..100, b in 0u8..100) {
+///         prop_assert_eq!(a as u16 + b as u16, b as u16 + a as u16);
+///     }
+/// }
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner = $crate::test_runner::TestRunner::default();
+                let cases = runner.cases;
+                for _case in 0..cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut runner.rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// `prop_assert!`: asserts a condition inside a property (panics on failure,
+/// like `assert!` — this stub has no shrinking to drive).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// `prop_assert_eq!`: asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// `prop_oneof!`: picks uniformly among the listed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::TestRunner;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::Rng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng::new(42);
+        for _ in 0..200 {
+            let v = Strategy::generate(&(3u8..9), &mut rng);
+            assert!((3..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn pattern_strings_match_the_class_shape() {
+        let mut rng = Rng::new(7);
+        for _ in 0..100 {
+            let s = Strategy::generate(&"[a-z][a-z0-9]{0,5}", &mut rng);
+            let mut cs = s.chars();
+            let first = cs.next().unwrap();
+            assert!(first.is_ascii_lowercase());
+            assert!(s.len() <= 6);
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn collections_respect_size_ranges() {
+        let mut rng = Rng::new(11);
+        for _ in 0..50 {
+            let v = Strategy::generate(&crate::collection::vec(0u8..4, 2..5), &mut rng);
+            assert!((2..5).contains(&v.len()));
+            let m = Strategy::generate(
+                &crate::collection::btree_map(0u8..4, 0u8..4, 0..3),
+                &mut rng,
+            );
+            assert!(m.len() < 3);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_works(x in 0u16..50, ys in crate::collection::vec(0u8..5, 0..4)) {
+            prop_assert!(x < 50);
+            prop_assert!(ys.len() < 4);
+            prop_assert!(ys.iter().all(|y| *y < 5));
+        }
+    }
+}

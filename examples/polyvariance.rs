@@ -10,9 +10,7 @@
 
 use monadic_ai::core::Name;
 use monadic_ai::cps::programs::fan_out;
-use monadic_ai::cps::{
-    analyse_kcfa_shared, analyse_mono, flow_map_of_store, AnalysisMetrics,
-};
+use monadic_ai::cps::{analyse_kcfa_shared, analyse_mono, flow_map_of_store, AnalysisMetrics};
 
 fn main() {
     let program = fan_out(6);
@@ -48,6 +46,12 @@ fn main() {
         )
     };
     println!();
-    println!("0CFA  : {}", singleton_bindings(&AnalysisMetrics::of_shared(&mono)));
-    println!("1CFA  : {}", singleton_bindings(&AnalysisMetrics::of_shared(&one)));
+    println!(
+        "0CFA  : {}",
+        singleton_bindings(&AnalysisMetrics::of_shared(&mono))
+    );
+    println!(
+        "1CFA  : {}",
+        singleton_bindings(&AnalysisMetrics::of_shared(&one))
+    );
 }

@@ -35,12 +35,6 @@ fn main() {
     //    garbage collection.
     let one = analyse_kcfa_shared::<1>(&program);
     let one_gc = analyse_kcfa_shared_gc::<1>(&program);
-    println!(
-        "1CFA        : {:?}",
-        AnalysisMetrics::of_shared(&one)
-    );
-    println!(
-        "1CFA + GC   : {:?}",
-        AnalysisMetrics::of_shared(&one_gc)
-    );
+    println!("1CFA        : {:?}", AnalysisMetrics::of_shared(&one));
+    println!("1CFA + GC   : {:?}", AnalysisMetrics::of_shared(&one_gc));
 }

@@ -2,12 +2,12 @@
 //! store-widening and GC claims of §6.4–§6.5.
 
 use monadic_ai::core::Lattice;
+use monadic_ai::core::Name;
 use monadic_ai::cps::programs::{garbage_chain, id_chain, identity_application, kcfa_worst_case};
 use monadic_ai::cps::{
     analyse_kcfa, analyse_kcfa_shared, analyse_kcfa_shared_gc, analyse_mono, flow_map_of_store,
     AnalysisMetrics, PState,
 };
-use monadic_ai::core::Name;
 
 #[test]
 fn the_identity_example_has_the_expected_flow_sets() {
@@ -19,7 +19,8 @@ fn the_identity_example_has_the_expected_flow_sets() {
     assert_eq!(flows[&Name::from("k")].len(), 1);
     assert_eq!(flows[&Name::from("r")].len(), 1);
     assert_eq!(
-        flows[&Name::from("x")], flows[&Name::from("r")],
+        flows[&Name::from("x")],
+        flows[&Name::from("r")],
         "the value returned through k is the value bound to x"
     );
 }

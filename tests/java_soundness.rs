@@ -37,8 +37,14 @@ fn failing_downcasts_are_stuck_in_both_semantics() {
     let concrete = run_with_limit(&program, 10_000);
     assert!(!concrete.halted());
     let abstract_result = analyse_mono(&program);
-    assert!(abstract_result.distinct_states().iter().any(PState::is_stuck));
-    assert!(!abstract_result.distinct_states().iter().any(PState::is_final));
+    assert!(abstract_result
+        .distinct_states()
+        .iter()
+        .any(PState::is_stuck));
+    assert!(!abstract_result
+        .distinct_states()
+        .iter()
+        .any(PState::is_final));
 }
 
 #[test]

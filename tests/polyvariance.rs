@@ -2,9 +2,7 @@
 
 use monadic_ai::core::Name;
 use monadic_ai::cps::programs::{fan_out, id_chain};
-use monadic_ai::cps::{
-    analyse_kcfa_shared, analyse_mono, flow_map_of_store, AnalysisMetrics,
-};
+use monadic_ai::cps::{analyse_kcfa_shared, analyse_mono, flow_map_of_store, AnalysisMetrics};
 
 #[test]
 fn zero_cfa_conflates_fan_out_arguments_and_one_cfa_splits_them() {
