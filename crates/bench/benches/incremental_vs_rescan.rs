@@ -1,0 +1,67 @@
+//! E9 — the incremental accumulator engine vs. the PR-1 rescanning engine
+//! on the workloads where the per-round O(|states|) contribution re-join
+//! hurts most: the k-CFA worst-case family (many states sharing one widened
+//! store, so late rounds have tiny frontiers) and the garbage chain under
+//! abstract GC (the GC'd configuration the engine must stay exact on; GC'd
+//! contributions remain monotone across rounds, so these runs stay on the
+//! fast path — the rebuild round itself is covered by a deliberately
+//! non-monotone machine in the engine's unit tests).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mai_core::{KCallCtx, SharedStoreDomain};
+use mai_cps::analysis::{analyse_kcfa_shared_rescan, analyse_kcfa_shared_worklist};
+use mai_cps::programs::{garbage_chain, kcfa_worst_case};
+use mai_cps::{analyse_gc_worklist, analyse_gc_worklist_rescan};
+
+type GcDomain = mai_cps::analysis::KCfaShared<1>;
+
+fn gc_incremental(program: &mai_cps::syntax::CExp) -> GcDomain {
+    let (result, _): (
+        SharedStoreDomain<_, KCallCtx<1>, mai_cps::analysis::KStore>,
+        _,
+    ) = analyse_gc_worklist::<KCallCtx<1>, mai_cps::analysis::KStore, _>(program);
+    result
+}
+
+fn gc_rescan(program: &mai_cps::syntax::CExp) -> GcDomain {
+    let (result, _): (
+        SharedStoreDomain<_, KCallCtx<1>, mai_cps::analysis::KStore>,
+        _,
+    ) = analyse_gc_worklist_rescan::<KCallCtx<1>, mai_cps::analysis::KStore, _>(program);
+    result
+}
+
+fn incremental_vs_rescan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_vs_rescan");
+    group.sample_size(10);
+    for n in [2usize, 3] {
+        let program = kcfa_worst_case(n);
+        group.bench_with_input(
+            BenchmarkId::new("kcfa-worst/rescan", n),
+            &program,
+            |b, p| b.iter(|| analyse_kcfa_shared_rescan::<1>(p)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("kcfa-worst/incremental", n),
+            &program,
+            |b, p| b.iter(|| analyse_kcfa_shared_worklist::<1>(p)),
+        );
+    }
+    for n in [6usize, 10] {
+        let program = garbage_chain(n);
+        group.bench_with_input(
+            BenchmarkId::new("garbage-chain-gc/rescan", n),
+            &program,
+            |b, p| b.iter(|| gc_rescan(p)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("garbage-chain-gc/incremental", n),
+            &program,
+            |b, p| b.iter(|| gc_incremental(p)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, incremental_vs_rescan);
+criterion_main!(benches);

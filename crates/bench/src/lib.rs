@@ -6,6 +6,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod report;
+
 use std::cell::Cell;
 use std::rc::Rc;
 use std::time::{Duration, Instant};
@@ -14,11 +16,12 @@ use mai_core::collect::explore_fp;
 use mai_core::engine::EngineStats;
 use mai_core::{KCallAddr, KCallCtx, StorePassing};
 use mai_cps::analysis::{
-    analyse_kcfa, analyse_kcfa_shared, analyse_kcfa_shared_gc, analyse_kcfa_shared_worklist,
-    analyse_mono, AnalysisMetrics, KCfaShared, KStore,
+    analyse_kcfa, analyse_kcfa_shared, analyse_kcfa_shared_gc, analyse_kcfa_shared_rescan,
+    analyse_kcfa_shared_worklist, analyse_mono, AnalysisMetrics, KCfaShared, KStore,
 };
 use mai_cps::syntax::CExp;
 use mai_cps::{mnext, PState};
+use report::{engine_stats_json, Json};
 
 /// One row of a polyvariance / precision table for a CPS program.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -175,6 +178,124 @@ pub fn worklist_row(name: &'static str, program: &CExp) -> WorklistRow {
     }
 }
 
+impl PrecisionRow {
+    /// The JSON rendering of the row for `BENCH_report.json`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("program", Json::Str(self.program.to_string())),
+            ("configuration", Json::Str(self.configuration.clone())),
+            (
+                "distinct_states",
+                Json::Int(self.metrics.distinct_states as u64),
+            ),
+            (
+                "store_bindings",
+                Json::Int(self.metrics.store_bindings as u64),
+            ),
+            ("store_facts", Json::Int(self.metrics.store_facts as u64)),
+            (
+                "singleton_flows",
+                Json::Int(self.metrics.singleton_flows as u64),
+            ),
+        ])
+    }
+}
+
+impl WorklistRow {
+    /// The JSON rendering of the row for `BENCH_report.json`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("program", Json::Str(self.program.to_string())),
+            ("kleene_steps", Json::Int(self.kleene_steps as u64)),
+            ("kleene_ms", Json::Num(self.kleene_time.as_secs_f64() * 1e3)),
+            ("engine", engine_stats_json(&self.stats)),
+            (
+                "worklist_ms",
+                Json::Num(self.worklist_time.as_secs_f64() * 1e3),
+            ),
+            ("equal", Json::Bool(self.equal)),
+        ])
+    }
+}
+
+/// One row of the E9 comparison: the same 1CFA shared-store analysis solved
+/// by the incremental accumulator engine and by the PR-1 rescanning engine.
+#[derive(Debug, Clone)]
+pub struct IncrementalRow {
+    /// The workload name.
+    pub program: &'static str,
+    /// `(state, guts)` pairs in the fixpoint (identical for both engines).
+    pub configurations: usize,
+    /// Work statistics of the incremental accumulator.
+    pub incremental: EngineStats,
+    /// Wall-clock time of the incremental solve.
+    pub incremental_time: Duration,
+    /// Work statistics of the PR-1 rescanning engine.
+    pub rescan: EngineStats,
+    /// Wall-clock time of the rescanning solve.
+    pub rescan_time: Duration,
+    /// Whether the two fixpoints were identical (they always must be).
+    pub equal: bool,
+}
+
+impl IncrementalRow {
+    /// Renders the row in the fixed-width format used by the report binary.
+    /// The headline columns are joins-per-round: O(|frontier|) for the
+    /// incremental engine against O(|states|) for the rescanning engine.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<18} states={:<5} joins/round inc={:<7.1} rescan={:<7.1} \
+             inc={:<10.2?} rescan={:<10.2?} rebuilds={} equal={}",
+            self.program,
+            self.configurations,
+            self.incremental.joins_per_round(),
+            self.rescan.joins_per_round(),
+            self.incremental_time,
+            self.rescan_time,
+            self.incremental.rebuild_rounds,
+            self.equal,
+        )
+    }
+
+    /// The JSON rendering of the row for `BENCH_report.json`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("program", Json::Str(self.program.to_string())),
+            ("configurations", Json::Int(self.configurations as u64)),
+            ("incremental", engine_stats_json(&self.incremental)),
+            (
+                "incremental_ms",
+                Json::Num(self.incremental_time.as_secs_f64() * 1e3),
+            ),
+            ("rescan", engine_stats_json(&self.rescan)),
+            ("rescan_ms", Json::Num(self.rescan_time.as_secs_f64() * 1e3)),
+            ("equal", Json::Bool(self.equal)),
+        ])
+    }
+}
+
+/// Runs the E9 comparison for one program: 1CFA with a shared store, solved
+/// by the incremental accumulator and by the PR-1 rescanning engine.
+pub fn incremental_row(name: &'static str, program: &CExp) -> IncrementalRow {
+    let start = Instant::now();
+    let (incremental, inc_stats) = analyse_kcfa_shared_worklist::<1>(program);
+    let incremental_time = start.elapsed();
+
+    let start = Instant::now();
+    let (rescan, rescan_stats) = analyse_kcfa_shared_rescan::<1>(program);
+    let rescan_time = start.elapsed();
+
+    IncrementalRow {
+        program: name,
+        configurations: incremental.len(),
+        incremental: inc_stats,
+        incremental_time,
+        rescan: rescan_stats,
+        rescan_time,
+        equal: incremental == rescan,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,6 +324,24 @@ mod tests {
         let program = mai_cps::programs::garbage_chain(4);
         let rows = gc_rows("garbage-chain-4", &program);
         assert!(rows[1].metrics.store_facts <= rows[0].metrics.store_facts);
+    }
+
+    #[test]
+    fn incremental_rows_agree_and_join_less() {
+        let program = mai_cps::programs::kcfa_worst_case(2);
+        let row = incremental_row("kcfa-worst-2", &program);
+        assert!(row.equal, "incremental and rescan fixpoints differ");
+        // The whole point of E9: the incremental engine folds O(|frontier|)
+        // contributions per round where the rescanning engine re-joins
+        // O(|states|).
+        assert!(
+            row.incremental.store_joins < row.rescan.store_joins,
+            "expected fewer incremental joins: {}",
+            row.render()
+        );
+        assert!(row.incremental.joins_per_round() < row.rescan.joins_per_round());
+        let json = row.to_json().render();
+        assert!(json.contains("\"joins_per_round\""));
     }
 
     #[test]

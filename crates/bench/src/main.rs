@@ -1,9 +1,16 @@
 //! The experiment report binary: regenerates the qualitative tables listed
-//! in `EXPERIMENTS.md` (E1–E8) and prints them to stdout.
+//! in `EXPERIMENTS.md` (E1–E9), prints them to stdout and writes the
+//! machine-readable `BENCH_report.json` next to the current directory so
+//! the performance trajectory is tracked across PRs.
 //!
 //! Run with `cargo run -p mai-bench --release`.
 
-use mai_bench::{cloning_vs_shared, cps_corpus, gc_rows, polyvariance_rows, worklist_row};
+use std::time::Instant;
+
+use mai_bench::report::Json;
+use mai_bench::{
+    cloning_vs_shared, cps_corpus, gc_rows, incremental_row, polyvariance_rows, worklist_row,
+};
 use mai_core::store::StoreLike;
 use mai_cps::analysis::{analyse_kcfa_shared, analyse_mono};
 use mai_cps::convert::cps_convert;
@@ -39,13 +46,16 @@ fn experiment_adequacy() {
 }
 
 /// E2 — polyvariance sweep (0CFA / 1CFA / 2CFA).
-fn experiment_polyvariance() {
+fn experiment_polyvariance() -> Vec<Json> {
     heading("E2  polyvariance sweep (shared store)");
+    let mut rows = Vec::new();
     for (name, program) in cps_corpus() {
         for row in polyvariance_rows(name, &program) {
             println!("{}", row.render());
+            rows.push(row.to_json());
         }
     }
+    rows
 }
 
 /// E3 — heap cloning vs. shared-store widening.
@@ -132,29 +142,73 @@ fn experiment_classic() {
 
 /// E8 — the frontier-driven worklist engine vs. naive Kleene iteration:
 /// identical fixpoints, strictly fewer step-function invocations.
-fn experiment_worklist() {
+fn experiment_worklist() -> Vec<Json> {
     heading("E8  worklist engine vs. Kleene iteration (1CFA, shared store)");
+    let mut rows = Vec::new();
     for (name, program) in cps_corpus() {
-        println!("{}", worklist_row(name, &program).render());
+        let row = worklist_row(name, &program);
+        println!("{}", row.render());
+        rows.push(row.to_json());
     }
-    for n in [3usize, 4] {
+    for (n, name) in [(3usize, "kcfa-worst-3"), (4, "kcfa-worst-4")] {
         let program = kcfa_worst_case(n);
-        let row = worklist_row("kcfa-worst", &program);
+        let row = worklist_row(name, &program);
         println!("n={n:<3} {}", row.render());
         println!("     engine: {}", row.stats);
+        rows.push(row.to_json());
     }
+    rows
+}
+
+/// E9 — the incremental accumulator engine vs. the PR-1 rescanning engine:
+/// identical fixpoints, O(|frontier|) instead of O(|states|) contribution
+/// joins per round.
+fn experiment_incremental() -> Vec<Json> {
+    heading("E9  incremental accumulator vs. PR-1 rescanning engine (1CFA, shared store)");
+    let mut rows = Vec::new();
+    for (name, program) in cps_corpus() {
+        let row = incremental_row(name, &program);
+        println!("{}", row.render());
+        rows.push(row.to_json());
+    }
+    for (n, name) in [(3usize, "kcfa-worst-3"), (4, "kcfa-worst-4")] {
+        let program = kcfa_worst_case(n);
+        let row = incremental_row(name, &program);
+        println!("n={n:<3} {}", row.render());
+        println!("     incremental: {}", row.incremental);
+        println!("     rescan:      {}", row.rescan);
+        rows.push(row.to_json());
+    }
+    rows
 }
 
 fn main() {
+    let started = Instant::now();
     println!("Monadic Abstract Interpreters — experiment report");
     experiment_adequacy();
-    experiment_polyvariance();
+    let polyvariance = experiment_polyvariance();
     experiment_cloning();
     experiment_counting();
     experiment_gc();
     experiment_reuse();
     experiment_classic();
-    experiment_worklist();
-    println!();
+    let worklist = experiment_worklist();
+    let incremental = experiment_incremental();
+
+    let report = Json::obj([
+        ("schema_version", Json::Int(1)),
+        (
+            "report_wall_clock_ms",
+            Json::Num(started.elapsed().as_secs_f64() * 1e3),
+        ),
+        ("e2_polyvariance", Json::Arr(polyvariance)),
+        ("e8_worklist_vs_kleene", Json::Arr(worklist)),
+        ("e9_incremental_vs_rescan", Json::Arr(incremental)),
+    ]);
+    let path = "BENCH_report.json";
+    match std::fs::write(path, report.render() + "\n") {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(err) => eprintln!("\nfailed to write {path}: {err}"),
+    }
     println!("done.");
 }

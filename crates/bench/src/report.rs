@@ -1,0 +1,164 @@
+//! A minimal JSON value type and renderer for the machine-readable
+//! `BENCH_report.json` emitted by the report binary.
+//!
+//! The workspace is built offline (no serde), so the report is assembled
+//! from this tiny hand-rolled builder instead.  Only what the report needs
+//! is implemented: objects, arrays, strings, integers, floats and booleans,
+//! rendered with stable key order (insertion order) and two-space
+//! indentation so diffs across PRs stay readable.
+
+use std::fmt::Write as _;
+
+use mai_core::engine::EngineStats;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// A JSON object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+    /// A JSON array.
+    Arr(Vec<Json>),
+    /// A string (escaped on render).
+    Str(String),
+    /// An integer (rendered without a fraction).
+    Int(u64),
+    /// A float (rendered with up to three decimals — milliseconds and
+    /// ratios don't need more).
+    Num(f64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj<I: IntoIterator<Item = (&'static str, Json)>>(fields: I) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Renders the value as pretty-printed JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        let inner_pad = "  ".repeat(indent + 1);
+        match self {
+            Json::Obj(fields) if fields.is_empty() => out.push_str("{}"),
+            Json::Obj(fields) => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    let _ = write!(out, "{inner_pad}\"{}\": ", escape(k));
+                    v.write(out, indent + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                let _ = write!(out, "{pad}}}");
+            }
+            Json::Arr(items) if items.is_empty() => out.push_str("[]"),
+            Json::Arr(items) => {
+                out.push_str("[\n");
+                for (i, v) in items.iter().enumerate() {
+                    out.push_str(&inner_pad);
+                    v.write(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                let _ = write!(out, "{pad}]");
+            }
+            Json::Str(s) => {
+                let _ = write!(out, "\"{}\"", escape(s));
+            }
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Num(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x:.3}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The JSON rendering of an [`EngineStats`], shared by every report section
+/// so the field names cannot drift.
+pub fn engine_stats_json(stats: &EngineStats) -> Json {
+    Json::obj([
+        ("iterations", Json::Int(stats.iterations as u64)),
+        ("states_stepped", Json::Int(stats.states_stepped as u64)),
+        ("cache_hits", Json::Int(stats.cache_hits as u64)),
+        ("reenqueued", Json::Int(stats.reenqueued as u64)),
+        ("store_widenings", Json::Int(stats.store_widenings as u64)),
+        ("store_joins", Json::Int(stats.store_joins as u64)),
+        ("joins_per_round", Json::Num(stats.joins_per_round())),
+        ("rebuild_rounds", Json::Int(stats.rebuild_rounds as u64)),
+        ("peak_frontier", Json::Int(stats.peak_frontier as u64)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_values_with_escaping() {
+        let value = Json::obj([
+            ("name", Json::Str("kcfa\"worst\"".into())),
+            ("steps", Json::Int(42)),
+            ("ratio", Json::Num(2.5)),
+            ("equal", Json::Bool(true)),
+            ("rows", Json::Arr(vec![Json::Int(1), Json::Int(2)])),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let rendered = value.render();
+        assert!(rendered.contains("\"kcfa\\\"worst\\\"\""));
+        assert!(rendered.contains("\"steps\": 42"));
+        assert!(rendered.contains("\"ratio\": 2.500"));
+        assert!(rendered.contains("\"empty\": []"));
+        // The output is self-consistent enough to round-trip through a
+        // whitespace-insensitive comparison.
+        assert!(rendered.starts_with('{') && rendered.ends_with('}'));
+    }
+
+    #[test]
+    fn engine_stats_serialise_every_counter() {
+        let stats = EngineStats {
+            iterations: 2,
+            states_stepped: 5,
+            store_joins: 6,
+            ..EngineStats::default()
+        };
+        let rendered = engine_stats_json(&stats).render();
+        assert!(rendered.contains("\"states_stepped\": 5"));
+        assert!(rendered.contains("\"joins_per_round\": 3.000"));
+    }
+}

@@ -77,6 +77,12 @@ impl<Ps: Ord + Clone, G: Ord + Clone, S: Ord + Clone> PerStateDomain<Ps, G, S> {
         }
     }
 
+    /// Adds one configuration in place, reporting whether it was new — the
+    /// accumulation primitive the frontier engine drives its worklist off.
+    pub fn insert(&mut self, element: ((Ps, G), S)) -> bool {
+        self.elements.insert(element)
+    }
+
     /// The covering ("Hoare") preorder: every configuration of `self` is
     /// dominated by a configuration of `other` with the same state and guts
     /// but a possibly larger store.
@@ -127,6 +133,14 @@ where
 
     fn leq(&self, other: &Self) -> bool {
         self.elements.is_subset(&other.elements)
+    }
+
+    fn join_in_place(&mut self, other: Self) -> bool {
+        self.elements.join_in_place(other.elements)
+    }
+
+    fn is_bottom(&self) -> bool {
+        self.elements.is_empty()
     }
 }
 
@@ -221,6 +235,21 @@ mod tests {
         assert!(finals.len() > 1, "expected distinct per-path stores");
         assert!(result.distinct_states().contains(&4));
         assert!(result.distinct_states().contains(&5));
+    }
+
+    #[test]
+    fn insert_and_join_in_place_track_growth() {
+        let mut d: PerStateDomain<u32, G, S> = PerStateDomain::new();
+        assert!(d.is_bottom());
+        assert!(d.insert(((1, 0), BTreeSet::new())));
+        assert!(!d.insert(((1, 0), BTreeSet::new())));
+        let other: PerStateDomain<u32, G, S> =
+            PerStateDomain::from_elements([((2, 0), BTreeSet::new())]);
+        let mut acc = d.clone();
+        assert!(acc.join_in_place(other.clone()));
+        assert_eq!(acc, d.clone().join(other.clone()));
+        assert!(!acc.join_in_place(other));
+        assert!(!acc.is_bottom());
     }
 
     #[test]

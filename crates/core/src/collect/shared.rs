@@ -65,6 +65,21 @@ where
     pub fn distinct_states(&self) -> BTreeSet<Ps> {
         self.states.iter().map(|(ps, _)| ps.clone()).collect()
     }
+
+    /// Adds one `(state, guts)` pair in place, reporting whether it was new.
+    ///
+    /// Together with [`Self::store_mut`] this is how the incremental engine
+    /// maintains the running accumulated domain without rebuilding it.
+    pub(crate) fn insert_state(&mut self, key: (Ps, G)) -> bool {
+        self.states.insert(key)
+    }
+
+    /// Mutable access to the shared store, for the incremental engine's
+    /// in-place widening (`join_in_place_delta`).  Crate-private: arbitrary
+    /// mutation could shrink the store, which no lattice operation may do.
+    pub(crate) fn store_mut(&mut self) -> &mut S {
+        &mut self.store
+    }
 }
 
 impl<Ps, G, S> Debug for SharedStoreDomain<Ps, G, S>
@@ -115,6 +130,14 @@ where
 
     fn leq(&self, other: &Self) -> bool {
         self.states.is_subset(&other.states) && self.store.leq(&other.store)
+    }
+
+    fn join_in_place(&mut self, other: Self) -> bool {
+        self.states.join_in_place(other.states) | self.store.join_in_place(other.store)
+    }
+
+    fn is_bottom(&self) -> bool {
+        self.states.is_empty() && self.store.is_bottom()
     }
 }
 
@@ -242,6 +265,26 @@ mod tests {
         for s in distinct_cloned_stores {
             assert!(s.leq(shared.store()));
         }
+    }
+
+    #[test]
+    fn join_in_place_agrees_with_join_and_tracks_change() {
+        let a: SharedStoreDomain<u32, G, S> = SharedStoreDomain::from_parts(
+            [(1, 0)].into_iter().collect(),
+            [7u32].into_iter().collect(),
+        );
+        let b: SharedStoreDomain<u32, G, S> = SharedStoreDomain::from_parts(
+            [(2, 0)].into_iter().collect(),
+            [9u32].into_iter().collect(),
+        );
+        let mut acc = a.clone();
+        assert!(acc.join_in_place(b.clone()));
+        assert_eq!(acc, a.clone().join(b.clone()));
+        // Re-joining something already absorbed reports no growth.
+        assert!(!acc.join_in_place(b));
+        assert!(!acc.join_in_place(a));
+        assert!(SharedStoreDomain::<u32, G, S>::bottom().is_bottom());
+        assert!(!acc.is_bottom());
     }
 
     #[test]

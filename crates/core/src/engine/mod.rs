@@ -24,22 +24,27 @@
 //! * **Shared (widened) store**
 //!   ([`SharedStoreDomain`](crate::collect::SharedStoreDomain), §6.5): a
 //!   `(state, guts)` pair reads the single global store, so a pair's
-//!   successors can change when the store is widened.  The engine tracks
-//!   store *epochs*: every address-level change to the global store is
-//!   versioned (via [`StoreDelta`](crate::store::StoreDelta)), every stepped
-//!   pair records the set of addresses its transition may read (the
-//!   [`reachable`](crate::gc::reachable) closure of its
-//!   [`StateRoots`] — the same root set abstract GC uses), and a pair is
-//!   re-enqueued **only** when an address it read was widened since it was
-//!   last stepped.  Everything else is served from the step cache.
+//!   successors can change when the store is widened.  The engine is an
+//!   **incremental accumulator**: it maintains one running domain, steps
+//!   only the frontier (new pairs, plus pairs invalidated through a reverse
+//!   dependency index over the addresses their transition may read — the
+//!   [`reachable`](crate::gc::reachable) closure of their [`StateRoots`],
+//!   the same root set abstract GC uses), and folds only those re-stepped
+//!   contributions back in with the change-tracking in-place joins of the
+//!   lattice layer.  Per-address store deltas fall out of the fold
+//!   ([`StoreDelta::join_in_place_delta`](crate::store::StoreDelta)), so a
+//!   round costs O(|frontier| × store-join) — the PR-1 engine's remaining
+//!   O(|states| × store-join) per-round re-join is gone.  That PR-1
+//!   *rescanning* solver is retained as
+//!   [`FrontierCollecting::explore_frontier_rescan`] for differential
+//!   testing and as the E9 benchmark baseline.
 //!
-//! Both strategies compute *exactly* the fixpoint
-//! [`explore_fp`](crate::collect::explore_fp) computes — the shared-store
-//! engine literally replays the Kleene iterate sequence, substituting cached
-//! step results whose dependencies are untouched — so the Kleene driver
-//! remains usable as a reference oracle (and is asserted equal across the
-//! test corpus).  The engines additionally report [`EngineStats`] so
-//! experiment harnesses can quantify the work saved.
+//! All strategies compute *exactly* the fixpoint
+//! [`explore_fp`](crate::collect::explore_fp) computes — see the
+//! shared-store solver's module docs for why folding only the frontier is
+//! exact — so the Kleene driver remains usable as a reference oracle (and
+//! is asserted equal across the test corpus).  The engines additionally report
+//! [`EngineStats`] so experiment harnesses can quantify the work saved.
 //!
 //! ## Choosing a driver
 //!
@@ -71,8 +76,11 @@ pub struct EngineStats {
     pub iterations: usize,
     /// How many times the monadic step function was actually executed.
     pub states_stepped: usize,
-    /// Steps served from the memo cache instead of being re-executed
-    /// (shared-store engine only).
+    /// Steps whose cached contribution was reused instead of being
+    /// re-executed: per round, the states *not* on the frontier.  The
+    /// incremental engine does not even visit them on fast-path rounds
+    /// (rebuild rounds re-execute everything, so they contribute no hits);
+    /// the rescan engine replays them from its memo table.
     pub cache_hits: usize,
     /// Previously-stepped states that were re-enqueued because an address
     /// they read was widened (shared-store engine only).
@@ -80,6 +88,17 @@ pub struct EngineStats {
     /// Address-level store-widening events: how many `(round, address)`
     /// pairs saw the global store change (shared-store engine only).
     pub store_widenings: usize,
+    /// Contribution joins folded into the running (or rebuilt) domain: the
+    /// per-round cost the incremental engine drops from O(|states|) to
+    /// O(|frontier|).  For the per-state engine, successful domain inserts.
+    pub store_joins: usize,
+    /// Rounds of the incremental shared-store engine that re-stepped and
+    /// re-folded *every* cached pair because a re-stepped contribution
+    /// shrank — evidence of a non-monotone step function.  0 for every
+    /// configuration of this framework (including abstract GC, whose
+    /// contributions stay monotone across rounds); a hand-written
+    /// non-monotone semantics triggers it.
+    pub rebuild_rounds: usize,
     /// The largest observed frontier: for the per-state engine, the peak
     /// worklist (queue) length; for the round-based shared-store engine,
     /// the largest number of states actually stepped in a single round
@@ -87,16 +106,31 @@ pub struct EngineStats {
     pub peak_frontier: usize,
 }
 
+impl EngineStats {
+    /// Average contribution joins per solver round — the E9 headline metric
+    /// (O(|frontier|) for the incremental engine, O(|states|) for the
+    /// rescanning engine and naive Kleene iteration).
+    pub fn joins_per_round(&self) -> f64 {
+        if self.iterations == 0 {
+            0.0
+        } else {
+            self.store_joins as f64 / self.iterations as f64
+        }
+    }
+}
+
 impl fmt::Display for EngineStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "iters={} stepped={} hits={} reenq={} widenings={} peak={}",
+            "iters={} stepped={} hits={} reenq={} widenings={} joins={} rebuilds={} peak={}",
             self.iterations,
             self.states_stepped,
             self.cache_hits,
             self.reenqueued,
             self.store_widenings,
+            self.store_joins,
+            self.rebuild_rounds,
             self.peak_frontier
         )
     }
@@ -132,9 +166,28 @@ pub trait FrontierCollecting<M: MonadFamily, A: Value>: Collecting<M, A> {
     /// Solves `lfp (λX. inject(initial) ⊔ applyStep(step, X))` with a
     /// frontier-driven worklist, returning the fixpoint and the work
     /// statistics.
+    ///
+    /// This is the *incremental accumulator*: the solver maintains one
+    /// running domain and folds in only the contributions of re-stepped
+    /// states, so a round costs O(|frontier| × store-join) instead of the
+    /// O(|states| × store-join) the rescanning engine pays.
     fn explore_frontier<F>(step: &F, initial: A) -> (Self, EngineStats)
     where
         F: Fn(A) -> M::M<A>;
+
+    /// The PR-1 *rescanning* solver: memoises step outcomes the same way,
+    /// but rebuilds the iterate by re-joining **every** cached contribution
+    /// each round.  Computes the identical fixpoint; kept as the
+    /// differential-testing oracle and the baseline the E9 benchmarks
+    /// measure the incremental accumulator against.  Domains whose
+    /// [`Self::explore_frontier`] already steps each state exactly once
+    /// (the per-state domain) use it unchanged.
+    fn explore_frontier_rescan<F>(step: &F, initial: A) -> (Self, EngineStats)
+    where
+        F: Fn(A) -> M::M<A>,
+    {
+        Self::explore_frontier(step, initial)
+    }
 }
 
 /// Computes the collecting semantics with the worklist engine — the drop-in
@@ -159,6 +212,20 @@ where
     F: Fn(A) -> M::M<A>,
 {
     Fp::explore_frontier(&step, initial)
+}
+
+/// Solves with the PR-1 *rescanning* worklist engine
+/// ([`FrontierCollecting::explore_frontier_rescan`]): same fixpoint, but
+/// every round re-joins every cached contribution.  Exposed for
+/// differential testing and for the E9 incremental-vs-rescan benchmarks.
+pub fn explore_worklist_rescan_stats<M, A, Fp, F>(step: F, initial: A) -> (Fp, EngineStats)
+where
+    M: MonadFamily,
+    A: Value,
+    Fp: FrontierCollecting<M, A>,
+    F: Fn(A) -> M::M<A>,
+{
+    Fp::explore_frontier_rescan(&step, initial)
 }
 
 #[cfg(test)]
@@ -247,6 +314,10 @@ mod tests {
             let (worklist, stats): (SharedStoreDomain<St, u64, S>, _) =
                 explore_worklist_stats::<M, St, _, _>(&step, St(0));
             prop_assert_eq!(&worklist, &kleene);
+            // …and so does the PR-1 rescanning solver.
+            let (rescan, rescan_stats): (SharedStoreDomain<St, u64, S>, _) =
+                explore_worklist_rescan_stats::<M, St, _, _>(&step, St(0));
+            prop_assert_eq!(&rescan, &kleene);
             // The result is a genuine fixpoint of the Kleene functional.
             type Domain = SharedStoreDomain<St, u64, S>;
             let again = <Domain as crate::collect::Collecting<M, St>>::apply_step(&step, &worklist)
@@ -255,6 +326,12 @@ mod tests {
             // Stats sanity: every state pair was stepped at least once.
             prop_assert!(stats.states_stepped >= worklist.len());
             prop_assert_eq!(stats.states_stepped - stats.reenqueued, worklist.len());
+            // These machines are GC-free, so every round stays on the
+            // monotone fast path: one contribution fold per stepped pair,
+            // never more than the rescanning engine's full re-joins.
+            prop_assert_eq!(stats.rebuild_rounds, 0);
+            prop_assert_eq!(stats.store_joins, stats.states_stepped);
+            prop_assert!(stats.store_joins <= rescan_stats.store_joins);
         }
 
         #[test]

@@ -5,8 +5,15 @@
 //! least fixed point of `inject ⊔ applyStep` is plain transitive closure.
 //! Kleene iteration recomputes the successors of *every* triple on *every*
 //! pass; the worklist steps each triple exactly once.
+//!
+//! The domain itself is the accumulator: each successor is inserted
+//! in place, the insertion's change flag doubles as the seen-set test, and
+//! the engine returns the accumulated domain without a final rebuild.
+//! Because every triple is stepped exactly once, the incremental and
+//! rescanning solvers coincide here
+//! ([`FrontierCollecting::explore_frontier_rescan`] keeps its default).
 
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::VecDeque;
 
 use crate::addr::HasInitial;
 use crate::collect::PerStateDomain;
@@ -26,11 +33,12 @@ where
         F: Fn(Ps) -> <StorePassing<G, S> as MonadFamily>::M<Ps>,
     {
         let mut stats = EngineStats::default();
-        let mut seen: BTreeSet<((Ps, G), S)> = BTreeSet::new();
+        let mut domain = PerStateDomain::new();
         let mut frontier: VecDeque<((Ps, G), S)> = VecDeque::new();
 
         let injected = ((initial, G::initial()), S::bottom());
-        seen.insert(injected.clone());
+        domain.insert(injected.clone());
+        stats.store_joins += 1;
         frontier.push_back(injected);
         stats.peak_frontier = 1;
 
@@ -38,15 +46,15 @@ where
             stats.iterations += 1;
             stats.states_stepped += 1;
             for successor in run_store_passing(step(ps.clone()), guts, store) {
-                if !seen.contains(&successor) {
-                    seen.insert(successor.clone());
+                if domain.insert(successor.clone()) {
+                    stats.store_joins += 1;
                     frontier.push_back(successor);
                 }
             }
             stats.peak_frontier = stats.peak_frontier.max(frontier.len());
         }
 
-        (PerStateDomain::from_elements(seen), stats)
+        (domain, stats)
     }
 }
 
@@ -55,6 +63,7 @@ mod tests {
     use super::*;
     use crate::collect::explore_fp;
     use crate::monad::{MonadPlus, MonadState, MonadTrans, StateT, VecM};
+    use std::collections::BTreeSet;
 
     type G = u64;
     type S = BTreeSet<u32>;

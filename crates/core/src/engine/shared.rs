@@ -1,43 +1,67 @@
-//! Dependency-invalidating solver for the shared-store domain.
+//! Incremental, dependency-invalidating solver for the shared-store domain.
 //!
 //! With a single widened store (§6.5) a `(state, guts)` pair is *not* a
 //! closed unit: its successors depend on the global store, which other
 //! states keep widening.  Naive Kleene iteration handles this by re-stepping
-//! every pair every round.  This engine replays the *same* iterate sequence
-//! but memoises each pair's step outcome together with the set of addresses
-//! the transition may have read — the [`reachable`] closure of the pair's
-//! [`StateRoots`], the very set abstract GC proves sufficient — and replays
-//! the cached outcome verbatim unless one of those addresses changed since.
+//! every pair every round.  The PR-1 engine memoised each pair's step
+//! outcome together with the set of addresses the transition may have read —
+//! the [`reachable`] closure of the pair's [`StateRoots`], the very set
+//! abstract GC proves sufficient — and replayed cached outcomes verbatim,
+//! but still **re-joined every cached contribution into a fresh iterate
+//! each round**: O(|states| × store-join) per round even when almost
+//! everything was cached.
 //!
-//! Store changes are tracked per address and per round ("epochs") through
-//! [`StoreDelta::changed_addresses`]; a cached entry recorded at version `v`
-//! is invalidated exactly when some address in its read set changed at a
-//! version `> v`.  Because a transition is a pure function of the state,
-//! the guts and the store *restricted to its read set* (the §6.4 garbage
-//! collection argument), substituting a valid cached outcome is
-//! observationally identical to re-running the step — so the engine's
-//! iterates, termination point and final fixpoint coincide with
-//! [`explore_fp`](crate::collect::explore_fp)'s, including for GC'd step
-//! functions and counting stores.
+//! This module's [`FrontierCollecting::explore_frontier`] removes that last
+//! per-round full scan.  The solver maintains **one running accumulated
+//! domain** and, per round,
 //!
-//! ## Cost model
+//! 1. steps only the *frontier* — states with no cached outcome (newly
+//!    discovered) plus states invalidated through a reverse dependency
+//!    index (address → dependent states) by the previous round's
+//!    per-address store deltas;
+//! 2. folds only those re-stepped contributions into the running domain
+//!    with the change-tracking, delta-reporting in-place joins of the
+//!    lattice layer ([`Lattice::join_in_place`],
+//!    [`StoreDelta::join_in_place_delta`]), obtaining the next round's
+//!    invalidations directly from the fold — no snapshot clone, no
+//!    whole-store diff, no whole-domain `==`.
 //!
-//! What the cache eliminates is *step execution* — running the monadic
-//! transition (the dominant cost: environment/closure manipulation,
-//! non-deterministic fan-out, store reads and writes).  Each round still
-//! re-joins every cached contribution into the next iterate, so a round
-//! costs O(|states| × store-join) even when almost everything is cached.
-//! That re-join cannot be maintained incrementally in general: lattice
-//! joins are not invertible, and under abstract GC a re-stepped state's
-//! contribution *replaces* its old one rather than growing it, so removing
-//! the stale contribution from a running join is impossible without
-//! recomputing it.  An incremental mode for the join-monotone (GC-free)
-//! configurations is future work (see ROADMAP).
+//! A round therefore costs O(|frontier| × store-join).  Convergence is
+//! detected when a round's folds report no growth (empty next frontier).
+//!
+//! ## Why folding only the frontier is exact
+//!
+//! The accumulated domain only ever grows, and every cached contribution
+//! was folded into it the round it was computed.  A non-frontier state's
+//! cached contribution is therefore already below the running domain, and —
+//! because none of its read dependencies changed since (else it would be on
+//! the frontier) — re-running its transition would reproduce that cached
+//! contribution exactly (the §6.4 garbage-collection argument: a transition
+//! is a pure function of the state, the guts and the store restricted to
+//! its read set).  So `current ⊔ f(current)`, the accumulated Kleene
+//! iterate computed by [`explore_fp`](crate::collect::explore_fp), equals
+//! `current ⊔ (inject ⊔ Σ frontier contributions)` — the fold the engine
+//! performs.  As defence in depth, whenever a re-stepped contribution
+//! *shrank* — evidence the step function is not monotone on the current
+//! iterate, which no well-behaved configuration of this framework
+//! exhibits (GC'd contributions shrink only relative to *other* states'
+//! stores, not across rounds), but a hand-written semantics could — the
+//! engine abandons the fast path for that round: it re-steps **every**
+//! cached pair against the same pre-store and folds all of the fresh
+//! contributions, making the round literally the accumulated Kleene
+//! iterate `current ⊔ f(current)` with no reliance on cached outcomes at
+//! all ([`EngineStats::rebuild_rounds`] counts these rounds; the engine's
+//! unit tests force one with a deliberately non-monotone machine).
+//!
+//! The PR-1 rescanning solver is retained as
+//! [`FrontierCollecting::explore_frontier_rescan`]: same memoisation, same
+//! fixpoint, but a full contribution re-join per round.  It remains the
+//! differential-testing oracle and the baseline of experiment E9.
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::addr::HasInitial;
-use crate::collect::SharedStoreDomain;
+use crate::collect::{Collecting, SharedStoreDomain};
 use crate::gc::{reachable, Touches};
 use crate::lattice::Lattice;
 use crate::monad::{run_store_passing, MonadFamily, StorePassing, Value};
@@ -63,12 +87,90 @@ struct CacheEntry<Ps, G, S, A> {
     ///   store, increments the count on top of it), so a write target is a
     ///   read dependency too.
     deps: BTreeSet<A>,
-    /// The store version this entry was computed against.
-    version: usize,
 }
 
-/// The memo table of the shared-store engine, keyed by `(state, guts)`.
+/// The memo table of the shared-store engines, keyed by `(state, guts)`.
 type StepCache<Ps, G, S, A> = BTreeMap<(Ps, G), CacheEntry<Ps, G, S, A>>;
+
+/// The reverse dependency index of the incremental engine: for every
+/// address, the cached pairs whose outcome may depend on it.
+type Dependents<Ps, G, A> = BTreeMap<A, BTreeSet<(Ps, G)>>;
+
+/// Steps `key`, installs the outcome in the cache and the reverse
+/// dependency index (replacing any previous entry), updates the step/
+/// re-enqueue counters, and reports whether the fresh contribution *shrank*
+/// relative to the cached one — the signal that the step function is not
+/// monotone on this round's iterate and the fast path must be abandoned.
+fn step_and_cache<Ps, G, S, F>(
+    step: &F,
+    key: &(Ps, G),
+    store: &S,
+    cache: &mut StepCache<Ps, G, S, Ps::Addr>,
+    dependents: &mut Dependents<Ps, G, Ps::Addr>,
+    stats: &mut EngineStats,
+) -> bool
+where
+    Ps: Value + Ord + StateRoots,
+    G: Value + Ord,
+    S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + Value,
+    S::D: Touches<Ps::Addr>,
+    F: Fn(Ps) -> <StorePassing<G, S> as MonadFamily>::M<Ps>,
+{
+    stats.states_stepped += 1;
+    let entry = step_pair(step, key, store);
+    let mut shrank = false;
+    if let Some(old) = cache.get(key) {
+        stats.reenqueued += 1;
+        shrank = !(old.successors.is_subset(&entry.successors) && old.store.leq(&entry.store));
+        for a in &old.deps {
+            if let Some(keys) = dependents.get_mut(a) {
+                keys.remove(key);
+            }
+        }
+    }
+    for a in &entry.deps {
+        dependents.entry(a.clone()).or_default().insert(key.clone());
+    }
+    cache.insert(key.clone(), entry);
+    shrank
+}
+
+/// Executes one monadic step of `key` against `store`, packaging the
+/// successors, the joined result store and the read-dependency set.
+fn step_pair<Ps, G, S, F>(step: &F, key: &(Ps, G), store: &S) -> CacheEntry<Ps, G, S, Ps::Addr>
+where
+    Ps: Value + Ord + StateRoots,
+    G: Value + Ord,
+    S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + Value,
+    S::D: Touches<Ps::Addr>,
+    F: Fn(Ps) -> <StorePassing<G, S> as MonadFamily>::M<Ps>,
+{
+    let (ps, guts) = key;
+    let mut successors = BTreeSet::new();
+    let mut out_store = S::bottom();
+    let mut deps = reachable(ps.state_roots(), store);
+    for ((ps2, g2), s2) in run_store_passing(step(ps.clone()), guts.clone(), store.clone()) {
+        deps.extend(reachable(ps2.state_roots(), &s2));
+        // Write targets are read dependencies (see the CacheEntry docs);
+        // keep only the addresses the result still binds — an address a
+        // GC'd step filtered away no longer influences the outcome, and it
+        // can only become relevant again through a change at an address
+        // that *is* in the closure.
+        let result_addrs = s2.addresses();
+        deps.extend(
+            s2.changed_addresses(store)
+                .into_iter()
+                .filter(|a| result_addrs.contains(a)),
+        );
+        successors.insert((ps2, g2));
+        out_store.join_in_place(s2);
+    }
+    CacheEntry {
+        successors,
+        store: out_store,
+        deps,
+    }
+}
 
 impl<Ps, G, S> FrontierCollecting<StorePassing<G, S>, Ps> for SharedStoreDomain<Ps, G, S>
 where
@@ -83,9 +185,107 @@ where
     {
         let mut stats = EngineStats::default();
         let mut cache: StepCache<Ps, G, S, Ps::Addr> = BTreeMap::new();
+        // The reverse dependency index: for every address, the cached pairs
+        // whose outcome may depend on it.  Maintained alongside the cache so
+        // a store delta invalidates exactly its dependents — no per-round
+        // scan of all states.
+        let mut dependents: BTreeMap<Ps::Addr, BTreeSet<(Ps, G)>> = BTreeMap::new();
+        // The running accumulated domain (starts as inject(initial)).
+        let mut current: Self = Collecting::<StorePassing<G, S>, Ps>::inject(initial);
+        let mut frontier: BTreeSet<(Ps, G)> = current.states().clone();
+
+        while !frontier.is_empty() {
+            stats.iterations += 1;
+
+            // Step phase: every frontier pair against the same pre-store
+            // (the folds below land only after the whole frontier was
+            // stepped, so the round sees one consistent iterate).
+            let mut shrank = false;
+            for key in &frontier {
+                shrank |= step_and_cache(
+                    step,
+                    key,
+                    current.store(),
+                    &mut cache,
+                    &mut dependents,
+                    &mut stats,
+                );
+            }
+
+            // Rebuild round: a contribution shrank, so the step function is
+            // not monotone on this iterate and the fast path's
+            // dependency-validity argument is off the table.  Re-step
+            // *every* cached pair against the same pre-store and fold all
+            // of the fresh contributions — the round becomes literally the
+            // accumulated Kleene iterate `current ⊔ f(current)`, with no
+            // reliance on cached outcomes at all.
+            let fold_keys: Vec<(Ps, G)> = if shrank {
+                stats.rebuild_rounds += 1;
+                stats.peak_frontier = stats.peak_frontier.max(current.len());
+                let rest: Vec<(Ps, G)> = current
+                    .states()
+                    .iter()
+                    .filter(|key| !frontier.contains(*key))
+                    .cloned()
+                    .collect();
+                for key in &rest {
+                    // Further shrinkage is immaterial: the whole round is
+                    // already being recomputed from scratch.
+                    step_and_cache(
+                        step,
+                        key,
+                        current.store(),
+                        &mut cache,
+                        &mut dependents,
+                        &mut stats,
+                    );
+                }
+                current.states().iter().cloned().collect()
+            } else {
+                stats.peak_frontier = stats.peak_frontier.max(frontier.len());
+                // Everything off the frontier is served from the
+                // accumulated domain without being visited at all.
+                stats.cache_hits += current.len() - frontier.len();
+                frontier.iter().cloned().collect()
+            };
+            let mut changed_addrs: BTreeSet<Ps::Addr> = BTreeSet::new();
+            let mut discovered: Vec<(Ps, G)> = Vec::new();
+            for key in &fold_keys {
+                let entry = &cache[key];
+                stats.store_joins += 1;
+                for succ in &entry.successors {
+                    if current.insert_state(succ.clone()) {
+                        discovered.push(succ.clone());
+                    }
+                }
+                changed_addrs.extend(current.store_mut().join_in_place_delta(entry.store.clone()));
+            }
+            stats.store_widenings += changed_addrs.len();
+
+            // Next frontier: freshly discovered pairs (no cached outcome
+            // yet) plus every cached dependent of an address that grew.
+            let mut next: BTreeSet<(Ps, G)> = discovered.into_iter().collect();
+            for a in &changed_addrs {
+                if let Some(keys) = dependents.get(a) {
+                    next.extend(keys.iter().cloned());
+                }
+            }
+            frontier = next;
+        }
+
+        (current, stats)
+    }
+
+    fn explore_frontier_rescan<F>(step: &F, initial: Ps) -> (Self, EngineStats)
+    where
+        F: Fn(Ps) -> <StorePassing<G, S> as MonadFamily>::M<Ps>,
+    {
+        let mut stats = EngineStats::default();
+        let mut cache: StepCache<Ps, G, S, Ps::Addr> = BTreeMap::new();
         // For every address: the last store version at which its binding
         // changed.  Addresses never seen changing are absent.
         let mut last_changed: BTreeMap<Ps::Addr, usize> = BTreeMap::new();
+        let mut versions: BTreeMap<(Ps, G), usize> = BTreeMap::new();
         let mut version = 0usize;
         let mut current: Self = Lattice::bottom();
 
@@ -93,9 +293,7 @@ where
             stats.iterations += 1;
             // One Kleene iterate: next = inject(initial) ⊔ applyStep(current),
             // with applyStep evaluated through the memo cache.
-            let mut next_states: BTreeSet<(Ps, G)> =
-                [(initial.clone(), G::initial())].into_iter().collect();
-            let mut next_store = S::bottom();
+            let mut next: Self = Collecting::<StorePassing<G, S>, Ps>::inject(initial.clone());
             let mut fresh_this_round = 0usize;
 
             for key in current.states().iter() {
@@ -106,7 +304,7 @@ where
                         if entry
                             .deps
                             .iter()
-                            .all(|a| last_changed.get(a).is_none_or(|&c| c <= entry.version)) =>
+                            .all(|a| last_changed.get(a).is_none_or(|&c| c <= versions[key])) =>
                     {
                         stats.cache_hits += 1;
                         true
@@ -120,57 +318,28 @@ where
                 if !valid {
                     fresh_this_round += 1;
                     stats.states_stepped += 1;
-                    let (ps, guts) = key;
-                    let mut successors = BTreeSet::new();
-                    let mut out_store = S::bottom();
-                    let mut deps = reachable(ps.state_roots(), current.store());
-                    for ((ps2, g2), s2) in
-                        run_store_passing(step(ps.clone()), guts.clone(), current.store().clone())
-                    {
-                        deps.extend(reachable(ps2.state_roots(), &s2));
-                        // Write targets are read dependencies (see the
-                        // CacheEntry docs); keep only the addresses the
-                        // result still binds — an address a GC'd step
-                        // filtered away no longer influences the outcome,
-                        // and it can only become relevant again through a
-                        // change at an address that *is* in the closure.
-                        let result_addrs = s2.addresses();
-                        deps.extend(
-                            s2.changed_addresses(current.store())
-                                .into_iter()
-                                .filter(|a| result_addrs.contains(a)),
-                        );
-                        successors.insert((ps2, g2));
-                        out_store = out_store.join(s2);
-                    }
-                    cache.insert(
-                        key.clone(),
-                        CacheEntry {
-                            successors,
-                            store: out_store,
-                            deps,
-                            version,
-                        },
-                    );
+                    cache.insert(key.clone(), step_pair(step, key, current.store()));
+                    versions.insert(key.clone(), version);
                 }
                 let entry = &cache[key];
-                next_states.extend(entry.successors.iter().cloned());
-                next_store = next_store.join(entry.store.clone());
+                stats.store_joins += 1;
+                next.join_in_place(SharedStoreDomain::from_parts(
+                    entry.successors.clone(),
+                    entry.store.clone(),
+                ));
             }
 
             stats.peak_frontier = stats.peak_frontier.max(fresh_this_round);
 
-            let next = SharedStoreDomain::from_parts(next_states, next_store);
-            if next.leq(&current) {
+            let changed = next.store().changed_addresses(current.store());
+            if !current.join_in_place(next) {
                 return (current, stats);
             }
-            let changed = next.store().changed_addresses(current.store());
             stats.store_widenings += changed.len();
             version += 1;
             for addr in changed {
                 last_changed.insert(addr, version);
             }
-            current = next;
         }
     }
 }
@@ -193,8 +362,8 @@ mod tests {
 
     /// Toy machine states are small numbers marching down a chain
     /// `0 → 1 → … → 6`.  Only state 1 *reads* the shared cell 0 and only
-    /// state 4 *writes* it, so the engine should serve most of the chain
-    /// from its cache across rounds, and re-enqueue state 1 exactly when
+    /// state 4 *writes* it, so the engine should leave most of the chain
+    /// untouched across rounds, and re-enqueue state 1 exactly when
     /// state 4's write lands.
     #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
     struct St(u32);
@@ -243,17 +412,35 @@ mod tests {
     }
 
     #[test]
-    fn worklist_equals_kleene_and_serves_from_cache() {
+    fn incremental_equals_kleene_and_rescan() {
         let kleene: SharedStoreDomain<St, G, S> = explore_fp::<M, St, _, _>(step, St(0));
-        let (worklist, stats) =
+        let (incremental, stats) =
             <SharedStoreDomain<St, G, S> as FrontierCollecting<M, St>>::explore_frontier(
                 &step,
                 St(0),
             );
-        assert_eq!(worklist, kleene);
+        let (rescan, rescan_stats) =
+            <SharedStoreDomain<St, G, S> as FrontierCollecting<M, St>>::explore_frontier_rescan(
+                &step,
+                St(0),
+            );
+        assert_eq!(incremental, kleene);
+        assert_eq!(rescan, kleene);
         assert!(stats.cache_hits > 0, "expected cache hits: {stats}");
         assert!(stats.store_widenings > 0);
         assert!(stats.iterations > 1);
+        // The incremental engine folds strictly fewer contributions than
+        // the rescanning engine re-joins.
+        assert!(
+            stats.store_joins < rescan_stats.store_joins,
+            "incremental folded {} joins, rescan {}",
+            stats.store_joins,
+            rescan_stats.store_joins
+        );
+        // On this GC-free machine every round stays on the fast path, so
+        // joins == steps (one fold per re-stepped pair).
+        assert_eq!(stats.rebuild_rounds, 0);
+        assert_eq!(stats.store_joins, stats.states_stepped);
     }
 
     #[test]
@@ -282,15 +469,101 @@ mod tests {
         );
     }
 
+    /// A state whose roots point at the cell the non-monotone machine
+    /// inspects (cell 9 for state 0, so its dependency is registered).
+    #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+    struct NmSt(u32);
+
+    impl StateRoots for NmSt {
+        type Addr = u8;
+
+        fn state_roots(&self) -> BTreeSet<u8> {
+            if self.0 == 0 {
+                [9u8].into_iter().collect()
+            } else {
+                BTreeSet::new()
+            }
+        }
+    }
+
+    /// A deliberately *non-monotone* machine: state 0 emits an extra
+    /// successor only while cell 9 is still empty, and state 2 later writes
+    /// that cell.  Re-stepping state 0 after the write shrinks its successor
+    /// set, which no configuration of the framework's own semantics does —
+    /// exactly the situation the rebuild round exists for.
+    fn nonmonotone_step(st: NmSt) -> <StorePassing<G, S> as MonadFamily>::M<NmSt> {
+        type M = StorePassing<G, S>;
+        match st.0 {
+            0 => {
+                let peeked =
+                    <M as MonadTrans>::lift(
+                        crate::monad::gets_nd_set::<StateT<S, VecM>, S, Ptr, _>(move |store| {
+                            if store.fetch(&9u8).is_empty() {
+                                [Ptr(7)].into_iter().collect()
+                            } else {
+                                BTreeSet::new()
+                            }
+                        }),
+                    );
+                let extra = M::bind(peeked, move |ptr| M::pure(NmSt(ptr.0 as u32 + 1)));
+                M::mplus(M::pure(NmSt(1)), extra)
+            }
+            1 => M::pure(NmSt(2)),
+            2 => {
+                let write = <M as MonadTrans>::lift(<StateT<S, VecM> as MonadState<S>>::modify(
+                    move |store: S| store.bind(9u8, [Ptr(3)].into_iter().collect()),
+                ));
+                M::bind(write, move |_| M::pure(NmSt(3)))
+            }
+            _ => M::pure(st),
+        }
+    }
+
+    #[test]
+    fn nonmonotone_contributions_trigger_a_real_rebuild_round() {
+        let kleene: SharedStoreDomain<NmSt, G, S> =
+            explore_fp::<StorePassing<G, S>, NmSt, _, _>(nonmonotone_step, NmSt(0));
+        let (incremental, stats) = <SharedStoreDomain<NmSt, G, S> as FrontierCollecting<
+            StorePassing<G, S>,
+            NmSt,
+        >>::explore_frontier(&nonmonotone_step, NmSt(0));
+        let (rescan, _) = <SharedStoreDomain<NmSt, G, S> as FrontierCollecting<
+            StorePassing<G, S>,
+            NmSt,
+        >>::explore_frontier_rescan(&nonmonotone_step, NmSt(0));
+
+        // The write to cell 9 invalidates state 0, whose re-step *shrinks*
+        // its successor set — the engine must leave the fast path…
+        assert!(
+            stats.rebuild_rounds > 0,
+            "expected a rebuild round: {stats}"
+        );
+        // …and still agree bit-for-bit with the accumulated Kleene iterate
+        // and the rescanning engine.
+        assert_eq!(incremental, kleene);
+        assert_eq!(rescan, kleene);
+        // The shrunken-away successor (state 8, reached through Ptr(7))
+        // stays in the accumulated domain: cumulative semantics never
+        // un-discovers a state.
+        assert!(incremental.states().iter().any(|(ps, _)| ps.0 == 8));
+    }
+
     #[test]
     fn invalidation_is_observable_when_states_share_cells() {
-        let (_, stats) =
+        for (_, stats) in [
             <SharedStoreDomain<St, G, S> as FrontierCollecting<M, St>>::explore_frontier(
                 &step,
                 St(0),
-            );
-        // The toy machine's states write into each other's read cells, so at
-        // least one previously-stepped state must have been re-enqueued.
-        assert!(stats.reenqueued > 0, "expected re-enqueues: {stats}");
+            ),
+            <SharedStoreDomain<St, G, S> as FrontierCollecting<M, St>>::explore_frontier_rescan(
+                &step,
+                St(0),
+            ),
+        ] {
+            // The toy machine's states write into each other's read cells,
+            // so at least one previously-stepped state must have been
+            // re-enqueued by either engine.
+            assert!(stats.reenqueued > 0, "expected re-enqueues: {stats}");
+        }
     }
 }

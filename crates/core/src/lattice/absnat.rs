@@ -89,6 +89,18 @@ impl Lattice for AbsNat {
     fn leq(&self, other: &Self) -> bool {
         self <= other
     }
+
+    fn join_in_place(&mut self, other: Self) -> bool {
+        let changed = other > *self;
+        if changed {
+            *self = other;
+        }
+        changed
+    }
+
+    fn is_bottom(&self) -> bool {
+        *self == AbsNat::Zero
+    }
 }
 
 impl TopLattice for AbsNat {
@@ -154,6 +166,15 @@ mod tests {
             prop_assert!(a.leq(&AbsNat::top()));
             prop_assert_eq!(a.leq(&b), a.join(b) == b);
             prop_assert!(a.meet(b).leq(&a));
+        }
+
+        #[test]
+        fn prop_join_in_place_law(a in arb_absnat(), b in arb_absnat()) {
+            let mut acc = a;
+            let changed = acc.join_in_place(b);
+            prop_assert_eq!(acc, a.join(b));
+            prop_assert_eq!(changed, !b.leq(&a));
+            prop_assert_eq!(a.is_bottom(), a == AbsNat::Zero);
         }
 
         #[test]

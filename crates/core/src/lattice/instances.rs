@@ -14,6 +14,14 @@ impl Lattice for () {
     fn leq(&self, _other: &Self) -> bool {
         true
     }
+
+    fn join_in_place(&mut self, _other: Self) -> bool {
+        false
+    }
+
+    fn is_bottom(&self) -> bool {
+        true
+    }
 }
 
 impl MeetLattice for () {
@@ -35,6 +43,16 @@ impl Lattice for bool {
 
     fn leq(&self, other: &Self) -> bool {
         !*self || *other
+    }
+
+    fn join_in_place(&mut self, other: Self) -> bool {
+        let changed = other && !*self;
+        *self = *self || other;
+        changed
+    }
+
+    fn is_bottom(&self) -> bool {
+        !*self
     }
 }
 
@@ -61,6 +79,16 @@ impl<A: Lattice, B: Lattice> Lattice for (A, B) {
 
     fn leq(&self, other: &Self) -> bool {
         self.0.leq(&other.0) && self.1.leq(&other.1)
+    }
+
+    fn join_in_place(&mut self, other: Self) -> bool {
+        // `|`, not `||`: both components must be joined even when the first
+        // already grew.
+        self.0.join_in_place(other.0) | self.1.join_in_place(other.1)
+    }
+
+    fn is_bottom(&self) -> bool {
+        self.0.is_bottom() && self.1.is_bottom()
     }
 }
 
@@ -92,6 +120,16 @@ impl<A: Lattice, B: Lattice, C: Lattice> Lattice for (A, B, C) {
     fn leq(&self, other: &Self) -> bool {
         self.0.leq(&other.0) && self.1.leq(&other.1) && self.2.leq(&other.2)
     }
+
+    fn join_in_place(&mut self, other: Self) -> bool {
+        self.0.join_in_place(other.0)
+            | self.1.join_in_place(other.1)
+            | self.2.join_in_place(other.2)
+    }
+
+    fn is_bottom(&self) -> bool {
+        self.0.is_bottom() && self.1.is_bottom() && self.2.is_bottom()
+    }
 }
 
 /// `Option` lifts a lattice by adjoining a new bottom (`None`).
@@ -114,6 +152,23 @@ impl<A: Lattice> Lattice for Option<A> {
             (Some(a), Some(b)) => a.leq(b),
         }
     }
+
+    fn join_in_place(&mut self, other: Self) -> bool {
+        match (self.as_mut(), other) {
+            (_, None) => false,
+            (Some(a), Some(b)) => a.join_in_place(b),
+            // `Some(⊥) ⋢ None`: Option adjoins a *new* bottom, so even a
+            // `Some` wrapping the inner bottom is a strict growth.
+            (None, some) => {
+                *self = some;
+                true
+            }
+        }
+    }
+
+    fn is_bottom(&self) -> bool {
+        self.is_none()
+    }
 }
 
 /// Power-sets ordered by inclusion: the `P s` instance of the paper.
@@ -129,6 +184,18 @@ impl<T: Ord + Clone> Lattice for BTreeSet<T> {
 
     fn leq(&self, other: &Self) -> bool {
         self.is_subset(other)
+    }
+
+    fn join_in_place(&mut self, other: Self) -> bool {
+        let mut changed = false;
+        for x in other {
+            changed |= self.insert(x);
+        }
+        changed
+    }
+
+    fn is_bottom(&self) -> bool {
+        self.is_empty()
     }
 }
 
@@ -146,24 +213,29 @@ impl<K: Ord + Clone, V: Lattice> Lattice for BTreeMap<K, V> {
     }
 
     fn join(mut self, other: Self) -> Self {
-        for (k, v) in other {
-            match self.remove(&k) {
-                Some(old) => {
-                    self.insert(k, old.join(v));
-                }
-                None => {
-                    self.insert(k, v);
-                }
-            }
-        }
+        self.join_in_place(other);
         self
     }
 
     fn leq(&self, other: &Self) -> bool {
         self.iter().all(|(k, v)| match other.get(k) {
             Some(w) => v.leq(w),
-            None => v.leq(&V::bottom()),
+            None => v.is_bottom(),
         })
+    }
+
+    fn join_in_place(&mut self, other: Self) -> bool {
+        let mut changed = false;
+        for (k, v) in other {
+            changed |= self.join_at_in_place(k, v);
+        }
+        changed
+    }
+
+    fn is_bottom(&self) -> bool {
+        // A map is semantically ⊥ when every explicit binding is ⊥ (missing
+        // keys are implicitly bound to ⊥) — no `bottom()` allocation needed.
+        self.values().all(V::is_bottom)
     }
 }
 
@@ -177,6 +249,11 @@ pub trait PointwiseExt<K, V> {
     /// `σ ⊔ [â ↦ v]`).
     #[must_use]
     fn join_at(self, key: K, value: V) -> Self;
+
+    /// In-place version of [`PointwiseExt::join_at`]: joins `value` into the
+    /// binding of `key` without re-inserting the entry, reporting whether
+    /// the binding grew (`!(value ⊑ old binding)`).
+    fn join_at_in_place(&mut self, key: K, value: V) -> bool;
 }
 
 impl<K: Ord + Clone, V: Lattice> PointwiseExt<K, V> for BTreeMap<K, V> {
@@ -185,12 +262,21 @@ impl<K: Ord + Clone, V: Lattice> PointwiseExt<K, V> for BTreeMap<K, V> {
     }
 
     fn join_at(mut self, key: K, value: V) -> Self {
-        let joined = match self.remove(&key) {
-            Some(old) => old.join(value),
-            None => value,
-        };
-        self.insert(key, joined);
+        self.join_at_in_place(key, value);
         self
+    }
+
+    fn join_at_in_place(&mut self, key: K, value: V) -> bool {
+        match self.entry(key) {
+            std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().join_in_place(value),
+            std::collections::btree_map::Entry::Vacant(e) => {
+                // Inserting an explicit ⊥ binding matches what `join` does
+                // structurally, but is no semantic growth.
+                let changed = !value.is_bottom();
+                e.insert(value);
+                changed
+            }
+        }
     }
 }
 
@@ -252,6 +338,26 @@ impl<T: Clone + Eq> Lattice for Flat<T> {
             (Flat::Exactly(a), Flat::Exactly(b)) => a == b,
             _ => false,
         }
+    }
+
+    fn join_in_place(&mut self, other: Self) -> bool {
+        match (&*self, other) {
+            (_, Flat::Bottom) => false,
+            (Flat::Top, _) => false,
+            (Flat::Exactly(a), Flat::Exactly(b)) if *a == b => false,
+            (Flat::Bottom, x) => {
+                *self = x;
+                true
+            }
+            _ => {
+                *self = Flat::Top;
+                true
+            }
+        }
+    }
+
+    fn is_bottom(&self) -> bool {
+        matches!(self, Flat::Bottom)
     }
 }
 
@@ -339,6 +445,74 @@ mod tests {
             prop_assert_eq!(j.1, b.join(d));
         }
 
+        /// The `join_in_place` law for every container instance: it agrees
+        /// with `join` structurally and its change flag is `!(b ⊑ a)`.
+        #[test]
+        fn prop_join_in_place_law_sets_maps_pairs(
+            a in arb_map(), b in arb_map(),
+            s in arb_set(), t in arb_set(),
+        ) {
+            let mut m = a.clone();
+            let changed = m.join_in_place(b.clone());
+            prop_assert_eq!(&m, &a.clone().join(b.clone()));
+            prop_assert_eq!(changed, !b.leq(&a));
+
+            let mut u = s.clone();
+            let changed = u.join_in_place(t.clone());
+            prop_assert_eq!(&u, &s.clone().join(t.clone()));
+            prop_assert_eq!(changed, !t.leq(&s));
+
+            let pa = (s.clone(), a.clone());
+            let pb = (t.clone(), b.clone());
+            let mut p = pa.clone();
+            let changed = p.join_in_place(pb.clone());
+            prop_assert_eq!(&p, &pa.clone().join(pb.clone()));
+            prop_assert_eq!(changed, !pb.leq(&pa));
+        }
+
+        #[test]
+        fn prop_join_in_place_law_options(a in arb_set(), b in arb_set(), none_side in 0u8..4) {
+            let oa = if none_side & 1 == 0 { Some(a.clone()) } else { None };
+            let ob = if none_side & 2 == 0 { Some(b.clone()) } else { None };
+            let mut o = oa.clone();
+            let changed = o.join_in_place(ob.clone());
+            prop_assert_eq!(&o, &oa.clone().join(ob.clone()));
+            prop_assert_eq!(changed, !ob.leq(&oa));
+        }
+
+        #[test]
+        fn prop_join_in_place_law_flat(a in 0u8..4, b in 0u8..4, shape in 0u8..9) {
+            let lift = |n: u8, s: u8| match s % 3 {
+                0 => Flat::Bottom,
+                1 => Flat::Exactly(n),
+                _ => Flat::Top,
+            };
+            let fa = lift(a, shape);
+            let fb = lift(b, shape / 3);
+            let mut f = fa;
+            let changed = f.join_in_place(fb);
+            prop_assert_eq!(f, fa.join(fb));
+            prop_assert_eq!(changed, !fb.leq(&fa));
+            prop_assert_eq!(fa.is_bottom(), fa == Flat::Bottom);
+        }
+
+        #[test]
+        fn prop_is_bottom_matches_default(m in arb_map(), s in arb_set()) {
+            // The cheap overrides agree with the allocating default.
+            prop_assert_eq!(m.is_bottom(), m.leq(&BTreeMap::bottom()));
+            prop_assert_eq!(s.is_bottom(), s.leq(&BTreeSet::bottom()));
+        }
+
+        #[test]
+        fn prop_join_at_in_place_matches_join_at(
+            m in arb_map(), k in 0u8..8, v in arb_set()
+        ) {
+            let mut inplace = m.clone();
+            let changed = inplace.join_at_in_place(k, v.clone());
+            prop_assert_eq!(&inplace, &m.clone().join_at(k, v.clone()));
+            prop_assert_eq!(changed, !v.leq(&m.fetch_or_bottom(&k)));
+        }
+
         #[test]
         fn prop_flat_laws(a in any::<u8>(), b in any::<u8>()) {
             let fa = Flat::Exactly(a);
@@ -366,6 +540,31 @@ mod tests {
         assert!(!true.leq(&false));
         assert!(bool::top());
         assert!(!true.meet(false));
+    }
+
+    #[test]
+    fn scalar_join_in_place_tracks_change() {
+        let mut b = false;
+        assert!(b.join_in_place(true));
+        assert!(!b.join_in_place(true));
+        assert!(b);
+        assert!(!b.is_bottom());
+
+        let mut u = ();
+        assert!(!u.join_in_place(()));
+        assert!(u.is_bottom());
+    }
+
+    #[test]
+    fn map_with_explicit_bottom_bindings_is_still_bottom() {
+        let mut m: BTreeMap<u8, BTreeSet<u8>> = BTreeMap::new();
+        m.insert(3, BTreeSet::new());
+        assert!(m.is_bottom());
+        // Joining an explicit ⊥ binding reports no growth but keeps the
+        // representation `join` would produce.
+        let mut n: BTreeMap<u8, BTreeSet<u8>> = BTreeMap::new();
+        assert!(!n.join_in_place(m.clone()));
+        assert_eq!(n, m);
     }
 
     #[test]

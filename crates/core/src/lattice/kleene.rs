@@ -4,11 +4,21 @@
 use super::Lattice;
 
 /// Computes the least fixed point of a monotone function by Kleene
-/// iteration, exactly as the paper's `kleeneIt`:
+/// iteration, as the paper's `kleeneIt`:
 ///
 /// ```text
 /// kleeneIt f = loop ⊥  where loop c = let c' = f c in if c' ⊑ c then c else loop c'
 /// ```
+///
+/// The iterate is maintained as a *running accumulator*: each round joins
+/// `f(current)` into `current` with the change-tracking
+/// [`Lattice::join_in_place`], and the iteration stops as soon as a round
+/// reports no growth (`f(current) ⊑ current` — the same stopping condition
+/// as the paper's, detected by the change flag instead of a whole-domain
+/// comparison per round).  For a monotone `f` the Kleene sequence from `⊥`
+/// is ascending, so accumulation computes exactly the paper's iterates and
+/// the same least fixed point; for a non-monotone `f` it computes the least
+/// fixed point of the inflationary closure `λx. x ⊔ f(x)`.
 ///
 /// # Termination
 ///
@@ -37,10 +47,9 @@ where
     let mut current = L::bottom();
     loop {
         let next = f(&current);
-        if next.leq(&current) {
+        if !current.join_in_place(next) {
             return current;
         }
-        current = next;
     }
 }
 
@@ -57,9 +66,9 @@ pub enum KleeneOutcome<L> {
     },
     /// The iteration was cut off after `max_iterations` steps; the carried
     /// value is a sound *under*-approximation of the least fixed point of a
-    /// monotone functional (the last iterate computed).
+    /// monotone functional (the running accumulated iterate).
     Exhausted {
-        /// The last iterate computed before giving up.
+        /// The accumulated iterate reached before giving up.
         value: L,
         /// The bound that was hit.
         max_iterations: usize,
@@ -103,13 +112,12 @@ where
     let mut current = L::bottom();
     for i in 0..max_iterations {
         let next = f(&current);
-        if next.leq(&current) {
+        if !current.join_in_place(next) {
             return KleeneOutcome::Converged {
                 value: current,
                 iterations: i,
             };
         }
-        current = next;
     }
     KleeneOutcome::Exhausted {
         value: current,

@@ -5,8 +5,10 @@
 //! iteration.  This module provides:
 //!
 //! * the [`Lattice`] trait (join semi-lattice with bottom — the part of the
-//!   paper's `Lattice` class actually used by the framework) together with
-//!   the optional [`MeetLattice`] and [`TopLattice`] extensions,
+//!   paper's `Lattice` class actually used by the framework, extended with
+//!   the in-place, change-tracking `join_in_place` the incremental fixpoint
+//!   engines are built on) together with the optional [`MeetLattice`] and
+//!   [`TopLattice`] extensions,
 //! * instances for the container types used by the systematic abstraction
 //!   of abstract machines: unit, booleans, pairs, options, power-sets and
 //!   point-wise maps (§5.2),
@@ -44,7 +46,9 @@ pub use kleene::{kleene_it, kleene_it_bounded, KleeneOutcome};
 ///
 /// * `join` is associative, commutative and idempotent;
 /// * `bottom` is the unit of `join`;
-/// * `leq(a, b)` iff `join(a.clone(), b.clone()) == b`.
+/// * `leq(a, b)` iff `join(a.clone(), b.clone()) == b`;
+/// * `join_in_place` agrees with `join` and its change flag equals
+///   `!(other ⊑ self)`.
 ///
 /// These laws are checked by property tests for all the provided instances.
 ///
@@ -69,7 +73,33 @@ pub trait Lattice: Sized + Clone {
     /// The partial order `⊑`.
     fn leq(&self, other: &Self) -> bool;
 
+    /// In-place, change-tracking join: grows `self` to `self ⊔ other` and
+    /// reports whether anything grew.
+    ///
+    /// # Law
+    ///
+    /// Writing `old` for the value of `self` before the call,
+    ///
+    /// * `self == old.join(other)` afterwards (structurally — the same
+    ///   representation `join` would have produced), and
+    /// * the returned flag equals `!other.leq(&old)`.
+    ///
+    /// The change flag is what lets fixpoint drivers ([`kleene_it`], the
+    /// incremental engine in [`crate::engine`]) detect convergence without
+    /// comparing whole domains per round.  Instances should override the
+    /// default with a non-allocating implementation; the default falls back
+    /// to one `leq` plus a value-passing `join`.
+    fn join_in_place(&mut self, other: Self) -> bool {
+        let changed = !other.leq(self);
+        let old = std::mem::replace(self, Self::bottom());
+        *self = old.join(other);
+        changed
+    }
+
     /// Whether this element is `⊥`.
+    ///
+    /// The default allocates a fresh `bottom()` and runs `leq`; instances
+    /// with a cheap emptiness check should override it.
     fn is_bottom(&self) -> bool {
         self.leq(&Self::bottom())
     }
@@ -77,7 +107,11 @@ pub trait Lattice: Sized + Clone {
     /// Joins every element of an iterator, starting from `⊥`
     /// (the paper's `joinWith` specialised to the identity).
     fn join_all<I: IntoIterator<Item = Self>>(items: I) -> Self {
-        items.into_iter().fold(Self::bottom(), Self::join)
+        let mut acc = Self::bottom();
+        for item in items {
+            acc.join_in_place(item);
+        }
+        acc
     }
 }
 
@@ -111,7 +145,11 @@ where
     F: Fn(A) -> L,
     I: IntoIterator<Item = A>,
 {
-    items.into_iter().fold(L::bottom(), |acc, x| acc.join(f(x)))
+    let mut acc = L::bottom();
+    for x in items {
+        acc.join_in_place(f(x));
+    }
+    acc
 }
 
 #[cfg(test)]

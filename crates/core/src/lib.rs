@@ -73,7 +73,8 @@ pub use addr::{
 };
 pub use collect::{explore_fp, run_analysis, Collecting, PerStateDomain, SharedStoreDomain};
 pub use engine::{
-    explore_worklist, explore_worklist_stats, EngineStats, FrontierCollecting, StateRoots,
+    explore_worklist, explore_worklist_rescan_stats, explore_worklist_stats, EngineStats,
+    FrontierCollecting, StateRoots,
 };
 pub use gc::{reachable, GcStrategy, NoGc, Touches};
 pub use lattice::{kleene_it, AbsNat, Lattice};

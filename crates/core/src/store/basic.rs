@@ -67,6 +67,14 @@ impl<A: Ord + Clone, V: Ord + Clone> Lattice for BasicStore<A, V> {
     fn leq(&self, other: &Self) -> bool {
         self.bindings.leq(&other.bindings)
     }
+
+    fn join_in_place(&mut self, other: Self) -> bool {
+        self.bindings.join_in_place(other.bindings)
+    }
+
+    fn is_bottom(&self) -> bool {
+        self.bindings.is_bottom()
+    }
 }
 
 impl<A, V> StoreLike<A> for BasicStore<A, V>
@@ -76,9 +84,8 @@ where
 {
     type D = BTreeSet<V>;
 
-    fn bind(mut self, a: A, d: Self::D) -> Self {
-        self.bindings = self.bindings.join_at(a, d);
-        self
+    fn bind_in_place(&mut self, a: A, d: Self::D) -> bool {
+        self.bindings.join_at_in_place(a, d)
     }
 
     fn replace(mut self, a: A, d: Self::D) -> Self {
@@ -111,13 +118,17 @@ where
     fn changed_addresses(&self, other: &Self) -> BTreeSet<A> {
         super::map_changed_addresses(&self.bindings, &other.bindings)
     }
+
+    fn join_in_place_delta(&mut self, other: Self) -> BTreeSet<A> {
+        super::map_join_in_place_delta(&mut self.bindings, other.bindings)
+    }
 }
 
 impl<A: Ord + Clone, V: Ord + Clone> FromIterator<(A, BTreeSet<V>)> for BasicStore<A, V> {
     fn from_iter<T: IntoIterator<Item = (A, BTreeSet<V>)>>(iter: T) -> Self {
         let mut store = BasicStore::new();
         for (a, d) in iter {
-            store.bindings = store.bindings.join_at(a, d);
+            store.bindings.join_at_in_place(a, d);
         }
         store
     }
@@ -199,6 +210,45 @@ mod tests {
                 s1.fetch(&probe).join(s2.fetch(&probe))
             );
             prop_assert!(s1.leq(&joined) && s2.leq(&joined));
+        }
+
+        #[test]
+        fn prop_join_in_place_law_and_delta(
+            xs in proptest::collection::vec((0u8..6, 0u8..6), 0..12),
+            ys in proptest::collection::vec((0u8..6, 0u8..6), 0..12),
+        ) {
+            use crate::store::StoreDelta;
+            let s1: S = xs.into_iter().map(|(a, v)| (a, set(&[v]))).collect();
+            let s2: S = ys.into_iter().map(|(a, v)| (a, set(&[v]))).collect();
+
+            let mut inplace = s1.clone();
+            let changed = inplace.join_in_place(s2.clone());
+            prop_assert_eq!(&inplace, &s1.clone().join(s2.clone()));
+            prop_assert_eq!(changed, !s2.leq(&s1));
+
+            // The delta fold produces the same store and reports exactly the
+            // addresses whose binding grew.
+            let mut delta_store = s1.clone();
+            let delta = delta_store.join_in_place_delta(s2.clone());
+            prop_assert_eq!(&delta_store, &inplace);
+            prop_assert_eq!(delta.is_empty(), !changed);
+            for a in 0u8..6 {
+                let grew = !s2.fetch(&a).leq(&s1.fetch(&a));
+                prop_assert_eq!(delta.contains(&a), grew, "address {}", a);
+            }
+        }
+
+        #[test]
+        fn prop_bind_in_place_matches_bind(
+            xs in proptest::collection::vec((0u8..6, 0u8..6), 0..12),
+            a in 0u8..6,
+            v in 0u8..6,
+        ) {
+            let s: S = xs.into_iter().map(|(a, v)| (a, set(&[v]))).collect();
+            let mut inplace = s.clone();
+            let changed = inplace.bind_in_place(a, set(&[v]));
+            prop_assert_eq!(&inplace, &s.clone().bind(a, set(&[v])));
+            prop_assert_eq!(changed, !s.fetch(&a).contains(&v));
         }
 
         #[test]

@@ -67,16 +67,7 @@ impl<A: Ord + Clone, V: Ord + Clone> Lattice for CountingStore<A, V> {
     }
 
     fn join(mut self, other: Self) -> Self {
-        for (a, (vs, n)) in other.bindings {
-            match self.bindings.remove(&a) {
-                Some((vs0, n0)) => {
-                    self.bindings.insert(a, (vs0.join(vs), n0.join(n)));
-                }
-                None => {
-                    self.bindings.insert(a, (vs, n));
-                }
-            }
-        }
+        self.join_in_place(other);
         self
     }
 
@@ -88,6 +79,16 @@ impl<A: Ord + Clone, V: Ord + Clone> Lattice for CountingStore<A, V> {
                 None => vs.is_empty() && *n == AbsNat::Zero,
             })
     }
+
+    fn join_in_place(&mut self, other: Self) -> bool {
+        // The `(value set, count)` bindings are pair lattices, so the
+        // point-wise map instance provides the join and its change flag.
+        self.bindings.join_in_place(other.bindings)
+    }
+
+    fn is_bottom(&self) -> bool {
+        self.bindings.is_bottom()
+    }
 }
 
 impl<A, V> StoreLike<A> for CountingStore<A, V>
@@ -97,17 +98,23 @@ where
 {
     type D = BTreeSet<V>;
 
-    fn bind(mut self, a: A, d: Self::D) -> Self {
+    fn bind_in_place(&mut self, a: A, d: Self::D) -> bool {
         // σ ⊔ [â ↦ d],  μ ⊕ [â ↦ 1]
-        match self.bindings.remove(&a) {
-            Some((vs, n)) => {
-                self.bindings.insert(a, (vs.join(d), n + AbsNat::One));
+        match self.bindings.entry(a) {
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                let (vs, n) = e.get_mut();
+                let grew = vs.join_in_place(d);
+                let bumped = *n + AbsNat::One;
+                let count_changed = bumped != *n;
+                *n = bumped;
+                grew || count_changed
             }
-            None => {
-                self.bindings.insert(a, (d, AbsNat::One));
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert((d, AbsNat::One));
+                // The count went 0 → 1, so the binding always changed.
+                true
             }
         }
-        self
     }
 
     fn replace(mut self, a: A, d: Self::D) -> Self {
@@ -154,6 +161,12 @@ where
         // set is unchanged but whose count was bumped still counts as
         // changed.
         super::map_changed_addresses(&self.bindings, &other.bindings)
+    }
+
+    fn join_in_place_delta(&mut self, other: Self) -> BTreeSet<A> {
+        // The `(value set, count)` entries are pair lattices, so the shared
+        // map fold reports count-only growth too.
+        super::map_join_in_place_delta(&mut self.bindings, other.bindings)
     }
 }
 
@@ -294,6 +307,56 @@ mod tests {
             prop_assert!(a.leq(&j));
             prop_assert!(b.leq(&j));
             prop_assert_eq!(a.clone().join(a.clone()), a);
+        }
+
+        #[test]
+        fn prop_join_in_place_law_and_delta(
+            xs in proptest::collection::vec((0u8..4, 0u8..4), 0..10),
+            ys in proptest::collection::vec((0u8..4, 0u8..4), 0..10),
+        ) {
+            use crate::store::StoreDelta;
+            let mk = |items: Vec<(u8, u8)>| {
+                items.into_iter().fold(S::new(), |s, (a, v)| s.bind(a, set(&[v])))
+            };
+            let a = mk(xs);
+            let b = mk(ys);
+
+            let mut inplace = a.clone();
+            let changed = inplace.join_in_place(b.clone());
+            prop_assert_eq!(&inplace, &a.clone().join(b.clone()));
+            prop_assert_eq!(changed, !b.leq(&a));
+
+            // Count-only growth must show up in the delta: joining a store
+            // whose counts are higher changes those addresses even when the
+            // value sets coincide.
+            let mut delta_store = a.clone();
+            let delta = delta_store.join_in_place_delta(b.clone());
+            prop_assert_eq!(&delta_store, &inplace);
+            prop_assert_eq!(delta.is_empty(), !changed);
+            for addr in 0u8..4 {
+                let grew = !b.fetch(&addr).leq(&a.fetch(&addr))
+                    || !b.count(&addr).leq(&a.count(&addr));
+                prop_assert_eq!(delta.contains(&addr), grew, "address {}", addr);
+            }
+        }
+
+        #[test]
+        fn prop_bind_in_place_matches_bind(
+            xs in proptest::collection::vec((0u8..4, 0u8..4), 0..10),
+            a in 0u8..4,
+            v in 0u8..4,
+        ) {
+            let mk = |items: Vec<(u8, u8)>| {
+                items.into_iter().fold(S::new(), |s, (a, v)| s.bind(a, set(&[v])))
+            };
+            let s = mk(xs);
+            let mut inplace = s.clone();
+            let changed = inplace.bind_in_place(a, set(&[v]));
+            prop_assert_eq!(&inplace, &s.clone().bind(a, set(&[v])));
+            // A bind changes the binding unless the count was already
+            // saturated *and* the value already present.
+            let expected = !s.fetch(&a).contains(&v) || s.count(&a) != AbsNat::Many;
+            prop_assert_eq!(changed, expected);
         }
     }
 }

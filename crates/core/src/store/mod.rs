@@ -55,7 +55,17 @@ pub trait StoreLike<A: Address>: Lattice + Ord + Debug + 'static {
     /// Weak update: joins `d` into the binding of `a`
     /// (the paper's `bind σ a d`).
     #[must_use]
-    fn bind(self, a: A, d: Self::D) -> Self;
+    fn bind(mut self, a: A, d: Self::D) -> Self {
+        self.bind_in_place(a, d);
+        self
+    }
+
+    /// In-place weak update: joins `d` into the binding of `a` without
+    /// consuming the store, reporting whether the store *observably* changed
+    /// (same standard as [`StoreDelta`]: any per-address data counts, e.g. a
+    /// [`CountingStore`] allocation-count bump with an unchanged value set
+    /// still reports `true`).
+    fn bind_in_place(&mut self, a: A, d: Self::D) -> bool;
 
     /// Strong update: replaces the binding of `a` with `d`
     /// (the paper's `replace σ a d`).
@@ -107,6 +117,19 @@ pub trait StoreLike<A: Address>: Lattice + Ord + Debug + 'static {
 pub trait StoreDelta<A: Address>: StoreLike<A> {
     /// The addresses whose binding differs between `self` and `other`.
     fn changed_addresses(&self, other: &Self) -> BTreeSet<A>;
+
+    /// In-place join that reports *which addresses grew*: grows `self` to
+    /// `self ⊔ other` and returns every address whose binding observably
+    /// changed (value set or auxiliary data such as counts).
+    ///
+    /// This is the incremental engine's widening primitive: folding a
+    /// step's result store into the running global store yields the delta
+    /// for dependency invalidation directly, with no snapshot clone and no
+    /// after-the-fact [`StoreDelta::changed_addresses`] diff.  The returned
+    /// set is exactly `joined.changed_addresses(old_self)` restricted to
+    /// growth (a join can only grow), and the flag-free join law holds:
+    /// the set is empty iff `other ⊑ old_self`.
+    fn join_in_place_delta(&mut self, other: Self) -> BTreeSet<A>;
 }
 
 /// The symmetric key-wise diff of two binding maps: every key bound on one
@@ -130,6 +153,39 @@ where
     for a in right.keys() {
         if !left.contains_key(a) {
             changed.insert(a.clone());
+        }
+    }
+    changed
+}
+
+/// The key-wise in-place join of two binding maps, reporting every key whose
+/// binding grew.  Shared by the [`StoreDelta::join_in_place_delta`]
+/// implementations of [`BasicStore`] and [`CountingStore`] (whose entries —
+/// a value set, or a value set paired with a count — are both lattices), so
+/// their change-report semantics cannot drift apart.
+pub(crate) fn map_join_in_place_delta<A, T>(
+    left: &mut std::collections::BTreeMap<A, T>,
+    right: std::collections::BTreeMap<A, T>,
+) -> BTreeSet<A>
+where
+    A: Ord + Clone,
+    T: Lattice,
+{
+    let mut changed = BTreeSet::new();
+    for (a, entry) in right {
+        match left.entry(a) {
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                if e.get_mut().join_in_place(entry) {
+                    changed.insert(e.key().clone());
+                }
+            }
+            std::collections::btree_map::Entry::Vacant(e) => {
+                // A fresh explicit ⊥ binding is no observable growth.
+                if !entry.is_bottom() {
+                    changed.insert(e.key().clone());
+                }
+                e.insert(entry);
+            }
         }
     }
     changed

@@ -15,7 +15,9 @@ use mai_core::addr::{Context, NamedAddress};
 use mai_core::collect::{
     explore_fp_bounded, run_analysis, with_gc, Collecting, PerStateDomain, SharedStoreDomain,
 };
-use mai_core::engine::{explore_worklist_stats, EngineStats, FrontierCollecting};
+use mai_core::engine::{
+    explore_worklist_rescan_stats, explore_worklist_stats, EngineStats, FrontierCollecting,
+};
 use mai_core::gc::{reachable, GcStrategy, Touches};
 use mai_core::lattice::{KleeneOutcome, Lattice};
 use mai_core::monad::{
@@ -166,6 +168,37 @@ where
     )
 }
 
+/// Like [`analyse_worklist`], but solved by the PR-1 *rescanning* worklist
+/// engine (full contribution re-join per round).  Same fixpoint; kept as
+/// the differential-testing oracle and the E9 benchmark baseline.
+pub fn analyse_worklist_rescan<C, S, Fp>(program: &CExp) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Val<C::Addr>>> + Value,
+    Fp: FrontierCollecting<StorePassing<C, S>, PState<C::Addr>>,
+{
+    explore_worklist_rescan_stats::<StorePassing<C, S>, _, Fp, _>(
+        mnext::<StorePassing<C, S>, C::Addr>,
+        PState::inject(program.clone()),
+    )
+}
+
+/// Like [`analyse_gc_worklist`], but solved by the rescanning engine.
+pub fn analyse_gc_worklist_rescan<C, S, Fp>(program: &CExp) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Val<C::Addr>>> + Value,
+    Fp: FrontierCollecting<StorePassing<C, S>, PState<C::Addr>>,
+{
+    explore_worklist_rescan_stats::<StorePassing<C, S>, _, Fp, _>(
+        with_gc::<StorePassing<C, S>, PState<C::Addr>, _, _>(
+            mnext::<StorePassing<C, S>, C::Addr>,
+            CpsGc,
+        ),
+        PState::inject(program.clone()),
+    )
+}
+
 /// The plain store used by the k-CFA family: addresses are
 /// variable × call-string pairs, values are CPS closures.
 pub type KStore = BasicStore<KCallAddr, Val<KCallAddr>>;
@@ -250,6 +283,12 @@ pub fn analyse_kcfa_shared_worklist<const K: usize>(
     program: &CExp,
 ) -> (KCfaShared<K>, EngineStats) {
     analyse_worklist::<KCallCtx<K>, KStore, _>(program)
+}
+
+/// [`analyse_kcfa_shared`] solved by the PR-1 rescanning worklist engine —
+/// the baseline the E9 experiment measures the incremental engine against.
+pub fn analyse_kcfa_shared_rescan<const K: usize>(program: &CExp) -> (KCfaShared<K>, EngineStats) {
+    analyse_worklist_rescan::<KCallCtx<K>, KStore, _>(program)
 }
 
 /// [`analyse_kcfa_with_count`] solved by the worklist engine (shared

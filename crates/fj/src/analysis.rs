@@ -12,7 +12,9 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use mai_core::addr::{Context, NamedAddress};
 use mai_core::collect::{run_analysis, with_gc, Collecting, PerStateDomain, SharedStoreDomain};
-use mai_core::engine::{explore_worklist_stats, EngineStats, FrontierCollecting};
+use mai_core::engine::{
+    explore_worklist_rescan_stats, explore_worklist_stats, EngineStats, FrontierCollecting,
+};
 use mai_core::gc::{reachable, GcStrategy, Touches};
 use mai_core::monad::{
     gets_nd_set, MonadFamily, MonadState, MonadTrans, StateT, StorePassing, Value, VecM,
@@ -190,6 +192,39 @@ where
     )
 }
 
+/// Like [`analyse_worklist`], but solved by the PR-1 *rescanning* worklist
+/// engine (full contribution re-join per round) — the differential-testing
+/// oracle and E9 benchmark baseline.
+pub fn analyse_worklist_rescan<C, S, Fp>(program: &Program) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: FrontierCollecting<StorePassing<C, S>, PState<C::Addr>>,
+{
+    let table = program.table.clone();
+    explore_worklist_rescan_stats::<StorePassing<C, S>, _, Fp, _>(
+        move |ps| mnext::<StorePassing<C, S>, C::Addr>(&table, ps),
+        PState::inject(program.main.clone()),
+    )
+}
+
+/// Like [`analyse_with_gc_worklist`], but solved by the rescanning engine.
+pub fn analyse_with_gc_worklist_rescan<C, S, Fp>(program: &Program) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: FrontierCollecting<StorePassing<C, S>, PState<C::Addr>>,
+{
+    let table = program.table.clone();
+    explore_worklist_rescan_stats::<StorePassing<C, S>, _, Fp, _>(
+        with_gc::<StorePassing<C, S>, PState<C::Addr>, _, _>(
+            move |ps| mnext::<StorePassing<C, S>, C::Addr>(&table, ps),
+            FjGc,
+        ),
+        PState::inject(program.main.clone()),
+    )
+}
+
 /// The plain store of the call-site-sensitive FJ analyses.
 pub type KFjStore = BasicStore<KCallAddr, Storable<KCallAddr>>;
 
@@ -238,6 +273,13 @@ pub fn analyse_kcfa_shared_worklist<const K: usize>(
     program: &Program,
 ) -> (KFjShared<K>, EngineStats) {
     analyse_worklist::<KCallCtx<K>, KFjStore, _>(program)
+}
+
+/// [`analyse_kcfa_shared`] solved by the PR-1 rescanning worklist engine.
+pub fn analyse_kcfa_shared_rescan<const K: usize>(
+    program: &Program,
+) -> (KFjShared<K>, EngineStats) {
+    analyse_worklist_rescan::<KCallCtx<K>, KFjStore, _>(program)
 }
 
 /// [`analyse_kcfa`] solved by the worklist engine (per-state stores).

@@ -10,7 +10,9 @@ use std::collections::BTreeSet;
 
 use mai_core::addr::{Context, NamedAddress};
 use mai_core::collect::{run_analysis, with_gc, Collecting, PerStateDomain, SharedStoreDomain};
-use mai_core::engine::{explore_worklist_stats, EngineStats, FrontierCollecting};
+use mai_core::engine::{
+    explore_worklist_rescan_stats, explore_worklist_stats, EngineStats, FrontierCollecting,
+};
 use mai_core::gc::Touches;
 use mai_core::gc::{reachable, GcStrategy};
 use mai_core::monad::{
@@ -175,6 +177,37 @@ where
     )
 }
 
+/// Like [`analyse_worklist`], but solved by the PR-1 *rescanning* worklist
+/// engine (full contribution re-join per round) — the differential-testing
+/// oracle and E9 benchmark baseline.
+pub fn analyse_worklist_rescan<C, S, Fp>(term: &Term) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: FrontierCollecting<StorePassing<C, S>, PState<C::Addr>>,
+{
+    explore_worklist_rescan_stats::<StorePassing<C, S>, _, Fp, _>(
+        mnext::<StorePassing<C, S>, C::Addr>,
+        PState::inject(term.clone()),
+    )
+}
+
+/// Like [`analyse_with_gc_worklist`], but solved by the rescanning engine.
+pub fn analyse_with_gc_worklist_rescan<C, S, Fp>(term: &Term) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: FrontierCollecting<StorePassing<C, S>, PState<C::Addr>>,
+{
+    explore_worklist_rescan_stats::<StorePassing<C, S>, _, Fp, _>(
+        with_gc::<StorePassing<C, S>, PState<C::Addr>, _, _>(
+            mnext::<StorePassing<C, S>, C::Addr>,
+            CeskGc,
+        ),
+        PState::inject(term.clone()),
+    )
+}
+
 /// The plain store of the k-CFA CESK family.
 pub type KCeskStore = BasicStore<KCallAddr, Storable<KCallAddr>>;
 
@@ -245,6 +278,11 @@ pub fn analyse_kcfa_shared_gc_worklist<const K: usize>(
     term: &Term,
 ) -> (KCeskShared<K>, EngineStats) {
     analyse_with_gc_worklist::<KCallCtx<K>, KCeskStore, _>(term)
+}
+
+/// [`analyse_kcfa_shared`] solved by the PR-1 rescanning worklist engine.
+pub fn analyse_kcfa_shared_rescan<const K: usize>(term: &Term) -> (KCeskShared<K>, EngineStats) {
+    analyse_worklist_rescan::<KCallCtx<K>, KCeskStore, _>(term)
 }
 
 /// [`analyse_mono`] solved by the worklist engine.

@@ -8,6 +8,11 @@
 //! `criterion_main!` macros — with honest wall-clock timing and a one-line
 //! median report per benchmark, but none of criterion's statistics, plots or
 //! baseline management.
+//!
+//! Like the real criterion, passing `--test` on the command line (i.e.
+//! `cargo bench -- --test`) switches to *test mode*: every benchmark
+//! routine runs exactly once, untimed, so CI can smoke-check that benches
+//! still compile and execute without paying for measurement.
 
 #![forbid(unsafe_code)]
 
@@ -79,7 +84,7 @@ impl Bencher {
 fn report(name: &str, bencher: &mut Bencher) {
     match bencher.median() {
         Some(median) => println!("{name:<55} time: [{median:>12.2?} median]"),
-        None => println!("{name:<55} (no samples)"),
+        None => println!("{name:<55} test: ok (ran once, untimed)"),
     }
 }
 
@@ -87,20 +92,34 @@ fn report(name: &str, bencher: &mut Bencher) {
 #[derive(Debug)]
 pub struct Criterion {
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        Criterion {
+            sample_size: 10,
+            // `cargo bench -- --test` forwards `--test` to every bench
+            // binary, exactly as the real criterion's test mode.
+            test_mode: std::env::args().any(|arg| arg == "--test"),
+        }
     }
 }
 
 impl Criterion {
+    fn samples(&self, configured: usize) -> usize {
+        if self.test_mode {
+            0
+        } else {
+            configured
+        }
+    }
+
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group<S: fmt::Display>(&mut self, group_name: S) -> BenchmarkGroup<'_> {
         let sample_size = self.sample_size;
         BenchmarkGroup {
-            _parent: self,
+            parent: self,
             name: group_name.to_string(),
             sample_size,
         }
@@ -112,7 +131,7 @@ impl Criterion {
         S: fmt::Display,
         F: FnMut(&mut Bencher),
     {
-        let mut bencher = Bencher::new(self.sample_size);
+        let mut bencher = Bencher::new(self.samples(self.sample_size));
         f(&mut bencher);
         report(&id.to_string(), &mut bencher);
         self
@@ -122,7 +141,7 @@ impl Criterion {
 /// A named collection of benchmarks sharing configuration.
 #[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
-    _parent: &'a mut Criterion,
+    parent: &'a mut Criterion,
     name: String,
     sample_size: usize,
 }
@@ -140,7 +159,7 @@ impl BenchmarkGroup<'_> {
         S: fmt::Display,
         F: FnMut(&mut Bencher),
     {
-        let mut bencher = Bencher::new(self.sample_size);
+        let mut bencher = Bencher::new(self.parent.samples(self.sample_size));
         f(&mut bencher);
         report(&format!("{}/{}", self.name, id), &mut bencher);
         self
@@ -153,7 +172,7 @@ impl BenchmarkGroup<'_> {
         I: ?Sized,
         F: FnMut(&mut Bencher, &I),
     {
-        let mut bencher = Bencher::new(self.sample_size);
+        let mut bencher = Bencher::new(self.parent.samples(self.sample_size));
         f(&mut bencher, input);
         report(&format!("{}/{}", self.name, id), &mut bencher);
         self

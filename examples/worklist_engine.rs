@@ -5,7 +5,8 @@
 
 use monadic_ai::cps::programs::{kcfa_worst_case, omega};
 use monadic_ai::cps::{
-    analyse_kcfa_shared, analyse_kcfa_shared_worklist, analyse_mono_worklist, parse_program,
+    analyse_kcfa_shared, analyse_kcfa_shared_rescan, analyse_kcfa_shared_worklist,
+    analyse_mono_worklist, parse_program,
 };
 
 fn main() {
@@ -26,12 +27,19 @@ fn main() {
     );
 
     // The k-CFA worst case: identical fixpoint, far fewer steps than the
-    // Kleene oracle re-steps.
+    // Kleene oracle re-steps — and far fewer contribution joins than the
+    // PR-1 rescanning engine re-joins (the `joins=` counter: the
+    // incremental accumulator folds O(|frontier|) contributions per round,
+    // the rescanning engine O(|states|)).
     let program = kcfa_worst_case(3);
     let kleene = analyse_kcfa_shared::<1>(&program);
     let (worklist, stats) = analyse_kcfa_shared_worklist::<1>(&program);
+    let (rescan, rescan_stats) = analyse_kcfa_shared_rescan::<1>(&program);
     println!(
-        "kcfa-worst-3 (1CFA): worklist == kleene: {}, engine [{stats}]",
-        worklist == kleene
+        "kcfa-worst-3 (1CFA): incremental == kleene: {}, rescan == kleene: {}",
+        worklist == kleene,
+        rescan == kleene
     );
+    println!("  incremental [{stats}]");
+    println!("  rescan      [{rescan_stats}]");
 }

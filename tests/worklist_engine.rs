@@ -1,13 +1,17 @@
-//! The worklist engine is observationally equivalent to Kleene iteration.
+//! The worklist engines are observationally equivalent to Kleene iteration.
 //!
-//! The frontier-driven engine (`mai_core::engine`) promises to compute
-//! *exactly* the fixpoint `explore_fp` computes, for every combination of
-//! the paper's degrees of freedom: context sensitivity (mono / 0CFA /
-//! 1CFA), store representation (basic / counting) and abstract GC (on /
-//! off), with per-state or shared stores, across all three language
-//! substrates.  These tests assert `==` on the analysis domains over the
-//! benchmark corpus, and additionally that the engine does strictly less
-//! work than Kleene iteration on the k-CFA worst-case family.
+//! The incremental accumulator engine (`mai_core::engine`, the default
+//! behind `analyse_*_worklist`) and the retained PR-1 rescanning engine
+//! (`analyse_*_rescan`) both promise to compute *exactly* the fixpoint
+//! `explore_fp` computes, for every combination of the paper's degrees of
+//! freedom: context sensitivity (mono / 0CFA / 1CFA), store representation
+//! (basic / counting) and abstract GC (on / off), with per-state or shared
+//! stores, across all three language substrates.  These tests assert `==`
+//! on the analysis domains over the benchmark corpus, that the engines do
+//! strictly less work than Kleene iteration on the k-CFA worst-case
+//! family, and that the incremental engine folds O(|frontier|)
+//! contributions per round where the rescanning engine re-joins
+//! O(|states|).
 
 use std::cell::Cell;
 use std::rc::Rc;
@@ -21,8 +25,8 @@ use monadic_ai::cps::programs::{
 use monadic_ai::cps::{PState, Val};
 use monadic_ai::{cps, fj, lambda};
 
-/// Asserts Kleene/worklist agreement for one CPS shared-store
-/// configuration, with and without abstract GC.
+/// Asserts Kleene / incremental-worklist / rescanning-worklist agreement
+/// for one CPS shared-store configuration, with and without abstract GC.
 macro_rules! check_cps_shared {
     ($name:expr, $program:expr, $label:expr, $ctx:ty, $store:ty) => {{
         type Domain = monadic_ai::core::SharedStoreDomain<
@@ -39,12 +43,42 @@ macro_rules! check_cps_shared {
             $name, $label
         );
         assert!(stats.states_stepped > 0);
+        let (rescan, rescan_stats): (Domain, _) =
+            cps::analyse_worklist_rescan::<$ctx, $store, _>(program);
+        assert_eq!(
+            rescan, kleene,
+            "{}/{}: rescanning engine differs from Kleene (no gc)",
+            $name, $label
+        );
+        // GC-free contributions are monotone, so the incremental engine
+        // never leaves the fast path and folds exactly one contribution per
+        // stepped pair — never more than the rescanning engine's per-round
+        // full re-join.
+        assert_eq!(stats.rebuild_rounds, 0, "{}/{}", $name, $label);
+        assert_eq!(
+            stats.store_joins, stats.states_stepped,
+            "{}/{}",
+            $name, $label
+        );
+        assert!(
+            stats.store_joins <= rescan_stats.store_joins,
+            "{}/{}",
+            $name,
+            $label
+        );
 
         let kleene_gc: Domain = cps::analyse_gc::<$ctx, $store, _>(program);
         let (worklist_gc, _): (Domain, _) = cps::analyse_gc_worklist::<$ctx, $store, _>(program);
         assert_eq!(
             worklist_gc, kleene_gc,
             "{}/{}: worklist differs from Kleene (gc)",
+            $name, $label
+        );
+        let (rescan_gc, _): (Domain, _) =
+            cps::analyse_gc_worklist_rescan::<$ctx, $store, _>(program);
+        assert_eq!(
+            rescan_gc, kleene_gc,
+            "{}/{}: rescanning engine differs from Kleene (gc)",
             $name, $label
         );
     }};
@@ -166,6 +200,46 @@ fn worklist_steps_strictly_fewer_states_than_kleene_on_kcfa_worst_case() {
     }
 }
 
+/// The E9 acceptance criterion on `kcfa_worst_case`: the incremental
+/// engine's contribution joins per round are O(|frontier|) where the
+/// rescanning engine (like naive Kleene iteration) re-joins O(|states|)
+/// cached contributions per round.
+#[test]
+fn incremental_engine_joins_per_frontier_not_per_state() {
+    for n in [2usize, 3, 4] {
+        let program = kcfa_worst_case(n);
+        let (incremental, stats) = cps::analyse_kcfa_shared_worklist::<1>(&program);
+        let (rescan, rescan_stats) = cps::analyse_kcfa_shared_rescan::<1>(&program);
+        assert_eq!(incremental, rescan, "kcfa-worst-{n}: fixpoints differ");
+
+        // Fast path throughout: one fold per stepped pair, so total joins
+        // track the frontier sizes (Σ_r |frontier_r| = states_stepped)…
+        assert_eq!(stats.rebuild_rounds, 0, "kcfa-worst-{n}");
+        assert_eq!(stats.store_joins, stats.states_stepped, "kcfa-worst-{n}");
+        // …while the rescanning engine re-joins every cached contribution
+        // every round (Σ_r |states_r| ≥ iterations × final-state-count / 2).
+        assert!(
+            stats.store_joins < rescan_stats.store_joins,
+            "kcfa-worst-{n}: incremental joined {} contributions, rescan {}",
+            stats.store_joins,
+            rescan_stats.store_joins
+        );
+        // The per-round average drops from O(|states|) to O(|frontier|):
+        // the rescanning engine's joins/round equals the (growing) state
+        // count, the incremental engine's stays a small constant frontier.
+        assert!(
+            stats.joins_per_round() < rescan_stats.joins_per_round(),
+            "kcfa-worst-{n}: joins/round {} vs {}",
+            stats.joins_per_round(),
+            rescan_stats.joins_per_round()
+        );
+        assert!(
+            rescan_stats.joins_per_round() >= incremental.len() as f64 / 2.0,
+            "kcfa-worst-{n}: rescan joins/round should scale with |states|"
+        );
+    }
+}
+
 /// The same engine drives the CESK machine unchanged.
 #[test]
 fn cesk_worklist_agrees_with_kleene() {
@@ -183,6 +257,8 @@ fn cesk_worklist_agrees_with_kleene() {
         let one = lambda::analyse_kcfa_shared::<1>(&term);
         let (one_wl, _) = lambda::analyse_kcfa_shared_worklist::<1>(&term);
         assert_eq!(one_wl, one, "{name}: CESK 1CFA differs");
+        let (one_rescan, _) = lambda::analyse_kcfa_shared_rescan::<1>(&term);
+        assert_eq!(one_rescan, one, "{name}: CESK 1CFA rescan differs");
 
         let counted = lambda::analyse_kcfa_with_count::<1>(&term);
         let (counted_wl, _) = lambda::analyse_kcfa_with_count_worklist::<1>(&term);
@@ -191,6 +267,12 @@ fn cesk_worklist_agrees_with_kleene() {
         let gced = lambda::analyse_kcfa_shared_gc::<1>(&term);
         let (gced_wl, _) = lambda::analyse_kcfa_shared_gc_worklist::<1>(&term);
         assert_eq!(gced_wl, gced, "{name}: CESK 1CFA+GC differs");
+        let (gced_rescan, _) = lambda::analyse_with_gc_worklist_rescan::<
+            KCallCtx<1>,
+            monadic_ai::core::BasicStore<KCallAddr, lambda::Storable<KCallAddr>>,
+            lambda::analysis::KCeskShared<1>,
+        >(&term);
+        assert_eq!(gced_rescan, gced, "{name}: CESK 1CFA+GC rescan differs");
     }
 }
 
@@ -205,6 +287,8 @@ fn fj_worklist_agrees_with_kleene() {
         let one = fj::analyse_kcfa_shared::<1>(&program);
         let (one_wl, _) = fj::analyse_kcfa_shared_worklist::<1>(&program);
         assert_eq!(one_wl, one, "{name}: FJ 1CFA differs");
+        let (one_rescan, _) = fj::analyse_kcfa_shared_rescan::<1>(&program);
+        assert_eq!(one_rescan, one, "{name}: FJ 1CFA rescan differs");
 
         let counted = fj::analyse_kcfa_with_count::<1>(&program);
         let (counted_wl, _) = fj::analyse_kcfa_with_count_worklist::<1>(&program);
@@ -213,6 +297,12 @@ fn fj_worklist_agrees_with_kleene() {
         let gced = fj::analyse_kcfa_shared_gc::<1>(&program);
         let (gced_wl, _) = fj::analyse_kcfa_shared_gc_worklist::<1>(&program);
         assert_eq!(gced_wl, gced, "{name}: FJ 1CFA+GC differs");
+        let (gced_rescan, _) = fj::analyse_with_gc_worklist_rescan::<
+            KCallCtx<1>,
+            monadic_ai::core::BasicStore<KCallAddr, fj::Storable<KCallAddr>>,
+            fj::analysis::KFjShared<1>,
+        >(&program);
+        assert_eq!(gced_rescan, gced, "{name}: FJ 1CFA+GC rescan differs");
     }
 }
 
