@@ -52,7 +52,7 @@ fn fused_round(frontier: &[(PState<Addr>, Ctx, Store)]) -> Vec<(PState<Addr>, Ct
             let lambda = callee.lambda().clone();
             let mut env2 = callee.env().clone();
             let mut store2 = store.clone();
-            for (param, arg) in lambda.params.iter().zip(args.iter()) {
+            for (param, arg) in lambda.params().iter().zip(args.iter()) {
                 let addr = ctx2.valloc(param);
                 let vals: BTreeSet<Val<Addr>> = match arg {
                     AExp::Lam(lam) => [Val::closure(lam.clone(), ps.env.clone())]
@@ -63,7 +63,11 @@ fn fused_round(frontier: &[(PState<Addr>, Ctx, Store)]) -> Vec<(PState<Addr>, Ct
                 store2 = store2.bind(addr.clone(), vals);
                 env2.insert(param.clone(), addr);
             }
-            out.push((PState::new((*lambda.body).clone(), env2), ctx2, store2));
+            out.push((
+                PState::new(lambda.body().as_ref().clone(), env2),
+                ctx2,
+                store2,
+            ));
         }
     }
     out

@@ -17,7 +17,8 @@ use mai_core::engine::EngineStats;
 use mai_core::{KCallAddr, KCallCtx, StorePassing};
 use mai_cps::analysis::{
     analyse_kcfa, analyse_kcfa_shared, analyse_kcfa_shared_gc, analyse_kcfa_shared_rescan,
-    analyse_kcfa_shared_worklist, analyse_mono, AnalysisMetrics, KCfaShared, KStore,
+    analyse_kcfa_shared_structural, analyse_kcfa_shared_worklist, analyse_mono, distinct_env_count,
+    AnalysisMetrics, KCfaShared, KStore,
 };
 use mai_cps::syntax::CExp;
 use mai_cps::{mnext, PState};
@@ -274,6 +275,121 @@ impl IncrementalRow {
     }
 }
 
+/// The width knob of the scaled k-CFA worst-case family measured by E10
+/// (`kcfa_worst_case_scaled(n, E10_SCALE_WIDTH)` for n = 3..6): wide enough
+/// that wall-clock differences between the engines dominate measurement
+/// noise, small enough that the report stays fast.
+pub const E10_SCALE_WIDTH: usize = 16;
+
+/// One row of the E10 comparison: the same 1CFA shared-store analysis
+/// solved by the id-indexed (hash-consed) engine and by the PR-2
+/// structural-key incremental engine.
+#[derive(Debug, Clone)]
+pub struct InternedRow {
+    /// The workload name (owned: the scaled worst-case family generates
+    /// names like `kcfa-worst-4w16`).
+    pub program: String,
+    /// `(state, guts)` pairs in the fixpoint (identical for both engines).
+    pub configurations: usize,
+    /// Work statistics of the id-indexed engine, with the intern counters
+    /// filled by the engine and `distinct_envs` filled at the language
+    /// boundary.
+    pub interned: EngineStats,
+    /// Wall-clock time of the id-indexed solve.
+    pub interned_time: Duration,
+    /// Work statistics of the PR-2 structural-key engine.
+    pub structural: EngineStats,
+    /// Wall-clock time of the structural solve.
+    pub structural_time: Duration,
+    /// Whether the two fixpoints were identical (they always must be).
+    pub equal: bool,
+}
+
+impl InternedRow {
+    /// Wall-clock speedup of the id-indexed engine over the structural
+    /// engine (>1 means interning won).
+    pub fn speedup(&self) -> f64 {
+        let interned = self.interned_time.as_secs_f64();
+        if interned > 0.0 {
+            self.structural_time.as_secs_f64() / interned
+        } else {
+            f64::NAN
+        }
+    }
+
+    /// Renders the row in the fixed-width format used by the report binary.
+    /// The headline column is the wall-clock speedup; the intern hit rate
+    /// and the distinct state/env counts explain where it comes from.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<18} states={:<6} envs={:<5} hit-rate={:<5.2} \
+             interned={:<10.2?} structural={:<10.2?} speedup={:<5.2} equal={}",
+            self.program,
+            self.interned.distinct_states,
+            self.interned.distinct_envs,
+            self.interned.intern_hit_rate(),
+            self.interned_time,
+            self.structural_time,
+            self.speedup(),
+            self.equal,
+        )
+    }
+
+    /// The JSON rendering of the row for `BENCH_report.json`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("program", Json::Str(self.program.clone())),
+            ("configurations", Json::Int(self.configurations as u64)),
+            ("interned", engine_stats_json(&self.interned)),
+            (
+                "interned_ms",
+                Json::Num(self.interned_time.as_secs_f64() * 1e3),
+            ),
+            ("structural", engine_stats_json(&self.structural)),
+            (
+                "structural_ms",
+                Json::Num(self.structural_time.as_secs_f64() * 1e3),
+            ),
+            ("speedup", Json::Num(self.speedup())),
+            ("equal", Json::Bool(self.equal)),
+        ])
+    }
+}
+
+/// Runs the E10 comparison for one program: 1CFA with a shared store,
+/// solved by the id-indexed engine and by the PR-2 structural engine.  Both
+/// solves are repeated `repeats` times (minimum taken) so the small corpus
+/// programs produce stable wall-clock numbers.
+pub fn interned_row(name: impl Into<String>, program: &CExp, repeats: usize) -> InternedRow {
+    let repeats = repeats.max(1);
+    let mut interned_time = Duration::MAX;
+    let mut structural_time = Duration::MAX;
+    let mut measured: Option<(KCfaShared<1>, EngineStats, KCfaShared<1>, EngineStats)> = None;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        let (interned, interned_stats) = analyse_kcfa_shared_worklist::<1>(program);
+        interned_time = interned_time.min(start.elapsed());
+
+        let start = Instant::now();
+        let (structural, structural_stats) = analyse_kcfa_shared_structural::<1>(program);
+        structural_time = structural_time.min(start.elapsed());
+        measured = Some((interned, interned_stats, structural, structural_stats));
+    }
+    let (interned, mut interned_stats, structural, structural_stats) =
+        measured.expect("at least one repeat");
+    interned_stats.distinct_envs = distinct_env_count(&interned);
+
+    InternedRow {
+        program: name.into(),
+        configurations: interned.len(),
+        interned: interned_stats,
+        interned_time,
+        structural: structural_stats,
+        structural_time,
+        equal: interned == structural,
+    }
+}
+
 /// Runs the E9 comparison for one program: 1CFA with a shared store, solved
 /// by the incremental accumulator and by the PR-1 rescanning engine.
 pub fn incremental_row(name: &'static str, program: &CExp) -> IncrementalRow {
@@ -342,6 +458,32 @@ mod tests {
         assert!(row.incremental.joins_per_round() < row.rescan.joins_per_round());
         let json = row.to_json().render();
         assert!(json.contains("\"joins_per_round\""));
+    }
+
+    #[test]
+    fn interned_rows_agree_and_report_interning() {
+        let program = mai_cps::programs::kcfa_worst_case_scaled(2, 3);
+        let row = interned_row("kcfa-worst-2w3", &program, 2);
+        assert!(row.equal, "interned and structural fixpoints differ");
+        // Same frontier strategy, tighter read sets: the id-indexed engine
+        // never steps or folds more than the structural engine.
+        assert!(
+            row.interned.states_stepped <= row.structural.states_stepped,
+            "{}",
+            row.render()
+        );
+        assert!(row.interned.store_joins <= row.structural.store_joins);
+        // The id-indexed engine actually interned: every configuration got
+        // an id, and repeat sightings were hits.
+        assert_eq!(row.interned.distinct_states, row.configurations);
+        assert!(row.interned.intern_hits > 0);
+        assert!(row.interned.distinct_envs > 0);
+        assert!(row.interned.distinct_envs <= row.configurations);
+        // The structural baseline does not intern.
+        assert_eq!(row.structural.intern_misses, 0);
+        let json = row.to_json().render();
+        assert!(json.contains("\"intern_hit_rate\""));
+        assert!(json.contains("\"speedup\""));
     }
 
     #[test]

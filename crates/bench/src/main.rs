@@ -1,20 +1,28 @@
 //! The experiment report binary: regenerates the qualitative tables listed
-//! in `EXPERIMENTS.md` (E1–E9), prints them to stdout and writes the
+//! in `EXPERIMENTS.md` (E1–E10), prints them to stdout and writes the
 //! machine-readable `BENCH_report.json` next to the current directory so
 //! the performance trajectory is tracked across PRs.
 //!
 //! Run with `cargo run -p mai-bench --release`.
+//!
+//! With `--check-regress`, instead of regenerating the report, the binary
+//! re-measures the *deterministic* work counters (step-function invocations
+//! and contribution joins per engine and workload), compares them against
+//! the committed `BENCH_report.json`, and exits non-zero if any counter
+//! regressed — the CI gate that keeps the engines from quietly re-doing
+//! work they had stopped doing.
 
 use std::time::Instant;
 
 use mai_bench::report::Json;
 use mai_bench::{
-    cloning_vs_shared, cps_corpus, gc_rows, incremental_row, polyvariance_rows, worklist_row,
+    cloning_vs_shared, cps_corpus, gc_rows, incremental_row, interned_row, polyvariance_rows,
+    worklist_row, E10_SCALE_WIDTH,
 };
 use mai_core::store::StoreLike;
 use mai_cps::analysis::{analyse_kcfa_shared, analyse_mono};
 use mai_cps::convert::cps_convert;
-use mai_cps::programs::{garbage_chain, id_chain, kcfa_worst_case};
+use mai_cps::programs::{garbage_chain, id_chain, kcfa_worst_case, kcfa_worst_case_scaled};
 use mai_cps::{analyse_concrete_collecting, interpret_with_limit, PState};
 use mai_fj::analysis::result_classes;
 use mai_lambda::decode_church_numeral;
@@ -182,7 +190,228 @@ fn experiment_incremental() -> Vec<Json> {
     rows
 }
 
-fn main() {
+/// The E10 workload list: the benchmark corpus plus the scaled k-CFA
+/// worst-case family at the depths where wall-clock differences are
+/// visible.  Shared by the report and by `--check-regress` so the two
+/// always measure the same rows.
+fn e10_workloads() -> Vec<(String, mai_cps::syntax::CExp, usize)> {
+    let mut workloads: Vec<(String, mai_cps::syntax::CExp, usize)> = cps_corpus()
+        .into_iter()
+        .map(|(name, program)| (name.to_string(), program, 5))
+        .collect();
+    workloads.push(("kcfa-worst-4".to_string(), kcfa_worst_case(4), 5));
+    for n in 3..=6 {
+        workloads.push((
+            format!("kcfa-worst-{n}w{E10_SCALE_WIDTH}"),
+            kcfa_worst_case_scaled(n, E10_SCALE_WIDTH),
+            5,
+        ));
+    }
+    workloads
+}
+
+/// E10 — the id-indexed (hash-consed) engine vs. the PR-2 structural-key
+/// incremental engine: identical fixpoints, O(1) state identity.
+fn experiment_interned() -> Vec<Json> {
+    heading(
+        "E10  id-indexed (interned) engine vs. structural incremental engine (1CFA, shared store)",
+    );
+    let mut rows = Vec::new();
+    for (name, program, repeats) in e10_workloads() {
+        let row = interned_row(name, &program, repeats);
+        println!("{}", row.render());
+        rows.push(row.to_json());
+    }
+    rows
+}
+
+/// One deterministic counter of one engine row: `(section, program,
+/// counter-path, fresh value)`.
+type CounterSample = (&'static str, String, &'static str, u64);
+
+/// Reads `row.engine.states_stepped`-style nested counters out of a parsed
+/// report row.
+fn committed_counter(row: &Json, path: &str) -> Option<u64> {
+    let mut value = row;
+    for part in path.split('.') {
+        value = value.get(part)?;
+    }
+    value.as_u64()
+}
+
+/// Measures every deterministic engine counter the report tracks, without
+/// printing the tables.
+fn fresh_counters() -> Vec<CounterSample> {
+    let mut samples: Vec<CounterSample> = Vec::new();
+    let mut corpus = cps_corpus();
+    corpus.push(("kcfa-worst-3", kcfa_worst_case(3)));
+    corpus.push(("kcfa-worst-4", kcfa_worst_case(4)));
+    // E8: Kleene step counts and worklist engine counters.
+    for (name, program) in &corpus {
+        let row = worklist_row(name, program);
+        assert!(row.equal, "{name}: worklist fixpoint differs from Kleene");
+        samples.push((
+            "e8_worklist_vs_kleene",
+            name.to_string(),
+            "kleene_steps",
+            row.kleene_steps as u64,
+        ));
+        samples.push((
+            "e8_worklist_vs_kleene",
+            name.to_string(),
+            "engine.states_stepped",
+            row.stats.states_stepped as u64,
+        ));
+        samples.push((
+            "e8_worklist_vs_kleene",
+            name.to_string(),
+            "engine.store_joins",
+            row.stats.store_joins as u64,
+        ));
+    }
+    // E9: incremental vs. rescanning counters.
+    for (name, program) in &corpus {
+        let row = incremental_row(name, program);
+        assert!(
+            row.equal,
+            "{name}: incremental fixpoint differs from rescan"
+        );
+        samples.push((
+            "e9_incremental_vs_rescan",
+            name.to_string(),
+            "incremental.states_stepped",
+            row.incremental.states_stepped as u64,
+        ));
+        samples.push((
+            "e9_incremental_vs_rescan",
+            name.to_string(),
+            "incremental.store_joins",
+            row.incremental.store_joins as u64,
+        ));
+        samples.push((
+            "e9_incremental_vs_rescan",
+            name.to_string(),
+            "rescan.states_stepped",
+            row.rescan.states_stepped as u64,
+        ));
+        samples.push((
+            "e9_incremental_vs_rescan",
+            name.to_string(),
+            "rescan.store_joins",
+            row.rescan.store_joins as u64,
+        ));
+    }
+    // E10: id-indexed vs. structural counters.
+    for (name, program, _) in e10_workloads() {
+        let row = interned_row(name.clone(), &program, 1);
+        assert!(
+            row.equal,
+            "{name}: interned fixpoint differs from structural"
+        );
+        samples.push((
+            "e10_interned_vs_structural",
+            name.clone(),
+            "interned.states_stepped",
+            row.interned.states_stepped as u64,
+        ));
+        samples.push((
+            "e10_interned_vs_structural",
+            name.clone(),
+            "interned.store_joins",
+            row.interned.store_joins as u64,
+        ));
+        samples.push((
+            "e10_interned_vs_structural",
+            name.clone(),
+            "structural.states_stepped",
+            row.structural.states_stepped as u64,
+        ));
+        samples.push((
+            "e10_interned_vs_structural",
+            name,
+            "structural.store_joins",
+            row.structural.store_joins as u64,
+        ));
+    }
+    samples
+}
+
+/// The `--check-regress` mode: compares freshly measured deterministic
+/// counters against the committed `BENCH_report.json`.  Exits non-zero on
+/// any counter that grew (the engine does *more* work than the committed
+/// baseline); counters that shrank are reported as improvements and pass
+/// (regenerate the report to lock them in).
+fn check_regress() -> std::process::ExitCode {
+    println!("Monadic Abstract Interpreters — counter regression check");
+    let path = "BENCH_report.json";
+    let committed = match std::fs::read_to_string(path) {
+        Ok(text) => match Json::parse(&text) {
+            Ok(json) => json,
+            Err(err) => {
+                eprintln!("failed to parse {path}: {err}");
+                return std::process::ExitCode::FAILURE;
+            }
+        },
+        Err(err) => {
+            eprintln!("failed to read {path}: {err}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+
+    let mut regressions = 0usize;
+    let mut improvements = 0usize;
+    let mut missing = 0usize;
+    for (section, program, counter, fresh) in fresh_counters() {
+        let baseline = committed
+            .get(section)
+            .and_then(|rows| {
+                rows.items()
+                    .iter()
+                    .find(|row| row.get("program").and_then(Json::as_str) == Some(&program))
+            })
+            .and_then(|row| committed_counter(row, counter));
+        match baseline {
+            Some(committed_value) if fresh > committed_value => {
+                regressions += 1;
+                println!(
+                    "REGRESSION  {section}/{program} {counter}: {fresh} > committed {committed_value}"
+                );
+            }
+            Some(committed_value) if fresh < committed_value => {
+                improvements += 1;
+                println!(
+                    "improved    {section}/{program} {counter}: {fresh} < committed {committed_value}"
+                );
+            }
+            Some(_) => {}
+            None => {
+                missing += 1;
+                println!(
+                    "new row     {section}/{program} {counter}: {fresh} (no committed baseline)"
+                );
+            }
+        }
+    }
+    println!(
+        "\ncheck-regress: {regressions} regression(s), {improvements} improvement(s), {missing} new counter(s)"
+    );
+    if regressions > 0 {
+        println!("step/join counters regressed — investigate, or regenerate BENCH_report.json if intentional");
+        std::process::ExitCode::FAILURE
+    } else {
+        if improvements > 0 {
+            println!(
+                "counters improved — regenerate BENCH_report.json to lock the new baseline in"
+            );
+        }
+        std::process::ExitCode::SUCCESS
+    }
+}
+
+fn main() -> std::process::ExitCode {
+    if std::env::args().any(|arg| arg == "--check-regress") {
+        return check_regress();
+    }
     let started = Instant::now();
     println!("Monadic Abstract Interpreters — experiment report");
     experiment_adequacy();
@@ -194,9 +423,10 @@ fn main() {
     experiment_classic();
     let worklist = experiment_worklist();
     let incremental = experiment_incremental();
+    let interned = experiment_interned();
 
     let report = Json::obj([
-        ("schema_version", Json::Int(1)),
+        ("schema_version", Json::Int(2)),
         (
             "report_wall_clock_ms",
             Json::Num(started.elapsed().as_secs_f64() * 1e3),
@@ -204,6 +434,7 @@ fn main() {
         ("e2_polyvariance", Json::Arr(polyvariance)),
         ("e8_worklist_vs_kleene", Json::Arr(worklist)),
         ("e9_incremental_vs_rescan", Json::Arr(incremental)),
+        ("e10_interned_vs_structural", Json::Arr(interned)),
     ]);
     let path = "BENCH_report.json";
     match std::fs::write(path, report.render() + "\n") {
@@ -211,4 +442,5 @@ fn main() {
         Err(err) => eprintln!("\nfailed to write {path}: {err}"),
     }
     println!("done.");
+    std::process::ExitCode::SUCCESS
 }

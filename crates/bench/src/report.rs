@@ -91,6 +91,257 @@ impl Json {
     }
 }
 
+impl Json {
+    /// Parses a JSON document (the subset this module renders: objects,
+    /// arrays, strings with the escapes [`escape`] emits, numbers,
+    /// booleans and `null` — `null` parses as `Num(NAN)`, matching how
+    /// non-finite floats render).  Used by the `--check-regress` mode to
+    /// read the committed `BENCH_report.json` back in.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing input at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    /// The value of a field of an object (`None` for non-objects and
+    /// missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The items of an array (empty for non-arrays).
+    pub fn items(&self) -> &[Json] {
+        match self {
+            Json::Arr(items) => items,
+            _ => &[],
+        }
+    }
+
+    /// The numeric value of an `Int` or `Num` (`None` otherwise).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(n) => Some(*n as f64),
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The integer value of an `Int` (`None` otherwise).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value of a `Str` (`None` otherwise).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                byte as char,
+                self.pos,
+                self.bytes.get(self.pos).map(|b| *b as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Num(f64::NAN)),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("invalid escape {:?}", other)),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one multi-byte UTF-8 scalar, validating at
+                    // most the next four bytes rather than the rest of the
+                    // document.
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let chunk = &self.bytes[self.pos..end];
+                    let c = match std::str::from_utf8(chunk) {
+                        Ok(s) => s.chars().next(),
+                        // A shorter valid prefix still yields the leading
+                        // scalar (the chunk may split a following scalar).
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&chunk[..e.valid_up_to()])
+                                .expect("validated prefix")
+                                .chars()
+                                .next()
+                        }
+                        Err(e) => return Err(e.to_string()),
+                    }
+                    .ok_or("unexpected end of string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        if text.is_empty() {
+            return Err(format!("expected a number at byte {start}"));
+        }
+        if text.bytes().all(|b| b.is_ascii_digit()) {
+            text.parse::<u64>()
+                .map(Json::Int)
+                .map_err(|e| e.to_string())
+        } else {
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|e| e.to_string())
+        }
+    }
+}
+
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -122,6 +373,11 @@ pub fn engine_stats_json(stats: &EngineStats) -> Json {
         ("joins_per_round", Json::Num(stats.joins_per_round())),
         ("rebuild_rounds", Json::Int(stats.rebuild_rounds as u64)),
         ("peak_frontier", Json::Int(stats.peak_frontier as u64)),
+        ("intern_hits", Json::Int(stats.intern_hits as u64)),
+        ("intern_misses", Json::Int(stats.intern_misses as u64)),
+        ("intern_hit_rate", Json::Num(stats.intern_hit_rate())),
+        ("distinct_states", Json::Int(stats.distinct_states as u64)),
+        ("distinct_envs", Json::Int(stats.distinct_envs as u64)),
     ])
 }
 
@@ -147,6 +403,48 @@ mod tests {
         // The output is self-consistent enough to round-trip through a
         // whitespace-insensitive comparison.
         assert!(rendered.starts_with('{') && rendered.ends_with('}'));
+    }
+
+    #[test]
+    fn rendered_reports_parse_back() {
+        let value = Json::obj([
+            ("name", Json::Str("kcfa \"worst\"\ncase".into())),
+            ("unicode", Json::Str("σ₀ → ρ̂ λx".into())),
+            ("steps", Json::Int(42)),
+            ("ratio", Json::Num(2.5)),
+            ("nan", Json::Num(f64::NAN)),
+            ("equal", Json::Bool(true)),
+            ("off", Json::Bool(false)),
+            ("rows", Json::Arr(vec![Json::Int(1), Json::Num(0.125)])),
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::obj([])),
+        ]);
+        let reparsed = Json::parse(&value.render()).expect("round trip");
+        assert_eq!(
+            reparsed.get("name").and_then(Json::as_str),
+            Some("kcfa \"worst\"\ncase")
+        );
+        assert_eq!(
+            reparsed.get("unicode").and_then(Json::as_str),
+            Some("σ₀ → ρ̂ λx")
+        );
+        assert_eq!(reparsed.get("steps").and_then(Json::as_u64), Some(42));
+        assert_eq!(reparsed.get("ratio").and_then(Json::as_f64), Some(2.5));
+        // Non-finite floats render as null and parse back as NaN.
+        assert!(reparsed.get("nan").and_then(Json::as_f64).unwrap().is_nan());
+        assert_eq!(reparsed.get("equal"), Some(&Json::Bool(true)));
+        assert_eq!(reparsed.get("rows").map(|r| r.items().len()), Some(2));
+        assert_eq!(reparsed.get("empty_arr"), Some(&Json::Arr(vec![])));
+        assert_eq!(reparsed.get("missing"), None);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1, 2,,]").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+        assert!(Json::parse("truthy").is_err());
     }
 
     #[test]

@@ -104,6 +104,22 @@ pub struct EngineStats {
     /// the largest number of states actually stepped in a single round
     /// (cached states are not part of a round's frontier).
     pub peak_frontier: usize,
+    /// Intern-table lookups that found an existing id (id-indexed engines
+    /// only): how often a step produced an already-known state, i.e. how
+    /// much deep hashing/cloning the hash-consing layer amortised away.
+    pub intern_hits: usize,
+    /// Intern-table lookups that allocated a fresh id (id-indexed engines
+    /// only).  Always equals [`EngineStats::distinct_states`].
+    pub intern_misses: usize,
+    /// Distinct interned states: `(state, guts)` pairs for the shared-store
+    /// engine, `((state, guts), store)` triples for the per-state engine.
+    pub distinct_states: usize,
+    /// Distinct environments among the fixpoint's states.  The engines are
+    /// language-generic and cannot see environments, so this is filled in
+    /// at the language boundary (the `distinct_env_count` helpers of the
+    /// language crates, used by the E10 experiment rows); 0 when nothing
+    /// filled it.
+    pub distinct_envs: usize,
 }
 
 impl EngineStats {
@@ -117,13 +133,27 @@ impl EngineStats {
             self.store_joins as f64 / self.iterations as f64
         }
     }
+
+    /// Fraction of intern lookups served by an existing id — the E10
+    /// headline metric for the hash-consing layer (how much state identity
+    /// work became O(1)).  0 when the run did not intern (structural
+    /// engines).
+    pub fn intern_hit_rate(&self) -> f64 {
+        let total = self.intern_hits + self.intern_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.intern_hits as f64 / total as f64
+        }
+    }
 }
 
 impl fmt::Display for EngineStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "iters={} stepped={} hits={} reenq={} widenings={} joins={} rebuilds={} peak={}",
+            "iters={} stepped={} hits={} reenq={} widenings={} joins={} rebuilds={} peak={} \
+             intern={}/{} distinct={}",
             self.iterations,
             self.states_stepped,
             self.cache_hits,
@@ -131,7 +161,10 @@ impl fmt::Display for EngineStats {
             self.store_widenings,
             self.store_joins,
             self.rebuild_rounds,
-            self.peak_frontier
+            self.peak_frontier,
+            self.intern_hits,
+            self.intern_misses,
+            self.distinct_states
         )
     }
 }
@@ -188,6 +221,22 @@ pub trait FrontierCollecting<M: MonadFamily, A: Value>: Collecting<M, A> {
     {
         Self::explore_frontier(step, initial)
     }
+
+    /// The PR-2 *structural-key* incremental accumulator: the same
+    /// frontier/fold strategy as [`Self::explore_frontier`], but with every
+    /// engine table keyed by the full `(state, guts)` structure — `BTreeMap`
+    /// lookups paying a deep `Ord` walk per comparison, frontier, successor
+    /// and dependency sets deep-cloning states.  Computes the identical
+    /// fixpoint; kept as a differential-testing oracle and the baseline the
+    /// E10 benchmarks measure the id-indexed engine against.  Domains whose
+    /// [`Self::explore_frontier`] never had a structural-key incarnation
+    /// (the per-state domain) use it unchanged.
+    fn explore_frontier_structural<F>(step: &F, initial: A) -> (Self, EngineStats)
+    where
+        F: Fn(A) -> M::M<A>,
+    {
+        Self::explore_frontier(step, initial)
+    }
 }
 
 /// Computes the collecting semantics with the worklist engine — the drop-in
@@ -228,6 +277,22 @@ where
     Fp::explore_frontier_rescan(&step, initial)
 }
 
+/// Solves with the PR-2 *structural-key* incremental engine
+/// ([`FrontierCollecting::explore_frontier_structural`]): same fixpoint and
+/// same frontier strategy as [`explore_worklist_stats`], but state identity
+/// is structural (deep `Ord`/clone) instead of id-indexed.  Exposed for
+/// differential testing and as the baseline of the E10
+/// interned-vs-incremental benchmarks.
+pub fn explore_worklist_structural_stats<M, A, Fp, F>(step: F, initial: A) -> (Fp, EngineStats)
+where
+    M: MonadFamily,
+    A: Value,
+    Fp: FrontierCollecting<M, A>,
+    F: Fn(A) -> M::M<A>,
+{
+    Fp::explore_frontier_structural(&step, initial)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,7 +304,7 @@ mod tests {
     use std::collections::BTreeSet;
 
     /// A pointer-shaped heap value for the randomized machines.
-    #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+    #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
     struct Ptr(u8);
 
     impl crate::gc::Touches<u8> for Ptr {
@@ -248,7 +313,7 @@ mod tests {
         }
     }
 
-    #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+    #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
     struct St(u8);
 
     impl StateRoots for St {

@@ -6,17 +6,24 @@
 //! Kleene iteration recomputes the successors of *every* triple on *every*
 //! pass; the worklist steps each triple exactly once.
 //!
-//! The domain itself is the accumulator: each successor is inserted
-//! in place, the insertion's change flag doubles as the seen-set test, and
-//! the engine returns the accumulated domain without a final rebuild.
-//! Because every triple is stepped exactly once, the incremental and
-//! rescanning solvers coincide here
-//! ([`FrontierCollecting::explore_frontier_rescan`] keeps its default).
+//! The seen-set is a hash-consing [`Interner`]: every triple is assigned a
+//! dense [`StateId`] on first sight, so the membership test that used to be
+//! a `BTreeSet` insert — a deep structural `Ord` walk over the state, the
+//! guts *and* the cloned store, per comparison, per tree level — becomes
+//! one deep hash plus (usually) one equality check, and the worklist is a
+//! queue of plain `u32`s.  The domain itself is assembled once at the end,
+//! from the interner's value table.  Because every triple is stepped
+//! exactly once, the incremental, structural and rescanning solvers all
+//! coincide here ([`FrontierCollecting::explore_frontier_rescan`] and
+//! [`FrontierCollecting::explore_frontier_structural`] keep their
+//! defaults).
 
 use std::collections::VecDeque;
+use std::hash::Hash;
 
 use crate::addr::HasInitial;
 use crate::collect::PerStateDomain;
+use crate::intern::{InternKey, Interner, StateId};
 use crate::lattice::Lattice;
 use crate::monad::{run_store_passing, MonadFamily, StorePassing, Value};
 
@@ -24,36 +31,44 @@ use super::{EngineStats, FrontierCollecting};
 
 impl<Ps, G, S> FrontierCollecting<StorePassing<G, S>, Ps> for PerStateDomain<Ps, G, S>
 where
-    Ps: Value + Ord,
-    G: Value + Ord + HasInitial,
-    S: Value + Ord + Lattice,
+    Ps: Value + Ord + Hash,
+    G: Value + Ord + Hash + HasInitial,
+    S: Value + Ord + Hash + Lattice,
 {
     fn explore_frontier<F>(step: &F, initial: Ps) -> (Self, EngineStats)
     where
         F: Fn(Ps) -> <StorePassing<G, S> as MonadFamily>::M<Ps>,
     {
         let mut stats = EngineStats::default();
-        let mut domain = PerStateDomain::new();
-        let mut frontier: VecDeque<((Ps, G), S)> = VecDeque::new();
+        // The interner is the seen-set: a triple's first intern is its
+        // discovery, and the id doubles as the worklist entry.
+        let mut interner: Interner<((Ps, G), S), StateId> = Interner::new();
+        let mut frontier: VecDeque<StateId> = VecDeque::new();
 
         let injected = ((initial, G::initial()), S::bottom());
-        domain.insert(injected.clone());
+        frontier.push_back(interner.intern(injected));
         stats.store_joins += 1;
-        frontier.push_back(injected);
         stats.peak_frontier = 1;
 
-        while let Some(((ps, guts), store)) = frontier.pop_front() {
+        while let Some(id) = frontier.pop_front() {
             stats.iterations += 1;
             stats.states_stepped += 1;
-            for successor in run_store_passing(step(ps.clone()), guts, store) {
-                if domain.insert(successor.clone()) {
+            let ((ps, guts), store) = interner.resolve(id).clone();
+            for successor in run_store_passing(step(ps), guts, store) {
+                let known = interner.len();
+                let succ_id = interner.intern(successor);
+                if succ_id.index() >= known {
                     stats.store_joins += 1;
-                    frontier.push_back(successor);
+                    frontier.push_back(succ_id);
                 }
             }
             stats.peak_frontier = stats.peak_frontier.max(frontier.len());
         }
 
+        stats.intern_hits = interner.hits();
+        stats.intern_misses = interner.misses();
+        stats.distinct_states = interner.len();
+        let domain = PerStateDomain::from_elements(interner.values().iter().cloned());
         (domain, stats)
     }
 }
@@ -94,6 +109,10 @@ mod tests {
         assert!(stats.peak_frontier >= 1);
         assert_eq!(stats.cache_hits, 0);
         assert_eq!(stats.store_widenings, 0);
+        // The interner is the seen-set: one miss per distinct triple, one
+        // hit per re-derived duplicate.
+        assert_eq!(stats.distinct_states, worklist.len());
+        assert_eq!(stats.intern_misses, worklist.len());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Incremental, dependency-invalidating solver for the shared-store domain.
+//! Incremental, dependency-invalidating solvers for the shared-store domain.
 //!
 //! With a single widened store (§6.5) a `(state, guts)` pair is *not* a
 //! closed unit: its successors depend on the global store, which other
@@ -7,13 +7,10 @@
 //! outcome together with the set of addresses the transition may have read —
 //! the [`reachable`] closure of the pair's [`StateRoots`], the very set
 //! abstract GC proves sufficient — and replayed cached outcomes verbatim,
-//! but still **re-joined every cached contribution into a fresh iterate
-//! each round**: O(|states| × store-join) per round even when almost
-//! everything was cached.
-//!
-//! This module's [`FrontierCollecting::explore_frontier`] removes that last
-//! per-round full scan.  The solver maintains **one running accumulated
-//! domain** and, per round,
+//! but still re-joined every cached contribution each round.  The PR-2
+//! engine ([`FrontierCollecting::explore_frontier_structural`]) removed that
+//! per-round full scan: it maintains **one running accumulated domain** and,
+//! per round,
 //!
 //! 1. steps only the *frontier* — states with no cached outcome (newly
 //!    discovered) plus states invalidated through a reverse dependency
@@ -26,8 +23,24 @@
 //!    invalidations directly from the fold — no snapshot clone, no
 //!    whole-store diff, no whole-domain `==`.
 //!
-//! A round therefore costs O(|frontier| × store-join).  Convergence is
-//! detected when a round's folds report no growth (empty next frontier).
+//! A round therefore costs O(|frontier| × store-join) — but every one of
+//! the PR-2 engine's tables was keyed by the *full state structure*: each
+//! `BTreeMap<(Ps, G), …>` lookup paid a deep `Ord` walk over the whole
+//! state (environment, continuation, context), the reverse dependency index
+//! stored a deep clone of every dependent state per address, and every
+//! frontier round cloned states wholesale.  Once joins are O(frontier),
+//! that state identity work dominates the run.
+//!
+//! This module's default solver ([`FrontierCollecting::explore_frontier`])
+//! is the **id-indexed** engine: a hash-consing [`Interner`] maps every
+//! distinct `(state, guts)` pair to a dense [`StateId`] the moment it is
+//! produced, so clone and equality become O(1) and each engine table
+//! becomes a flat `Vec` indexed by the id (step cache) or a small id-set
+//! (frontier, reverse dependency index).  States are deeply hashed exactly
+//! once — on intern — and un-interned back to structural values only at the
+//! language boundary, when the final [`SharedStoreDomain`] is assembled.
+//! The frontier/fold strategy (and therefore the round structure, the
+//! rebuild defence and the computed fixpoint) is exactly the PR-2 engine's.
 //!
 //! ## Why folding only the frontier is exact
 //!
@@ -40,36 +53,47 @@
 //! is a pure function of the state, the guts and the store restricted to
 //! its read set).  So `current ⊔ f(current)`, the accumulated Kleene
 //! iterate computed by [`explore_fp`](crate::collect::explore_fp), equals
-//! `current ⊔ (inject ⊔ Σ frontier contributions)` — the fold the engine
-//! performs.  As defence in depth, whenever a re-stepped contribution
+//! `current ⊔ (inject ⊔ Σ frontier contributions)` — the fold the engines
+//! perform.  As defence in depth, whenever a re-stepped contribution
 //! *shrank* — evidence the step function is not monotone on the current
 //! iterate, which no well-behaved configuration of this framework
 //! exhibits (GC'd contributions shrink only relative to *other* states'
 //! stores, not across rounds), but a hand-written semantics could — the
-//! engine abandons the fast path for that round: it re-steps **every**
-//! cached pair against the same pre-store and folds all of the fresh
+//! engines abandon the fast path for that round: they re-step **every**
+//! cached pair against the same pre-store and fold all of the fresh
 //! contributions, making the round literally the accumulated Kleene
 //! iterate `current ⊔ f(current)` with no reliance on cached outcomes at
 //! all ([`EngineStats::rebuild_rounds`] counts these rounds; the engine's
 //! unit tests force one with a deliberately non-monotone machine).
 //!
-//! The PR-1 rescanning solver is retained as
-//! [`FrontierCollecting::explore_frontier_rescan`]: same memoisation, same
-//! fixpoint, but a full contribution re-join per round.  It remains the
-//! differential-testing oracle and the baseline of experiment E9.
+//! Three observationally equivalent solvers are exposed, newest first:
+//!
+//! * [`FrontierCollecting::explore_frontier`] — id-indexed incremental
+//!   accumulator (this PR; the default behind `analyse_*_worklist`);
+//! * [`FrontierCollecting::explore_frontier_structural`] — the PR-2
+//!   structural-key incremental accumulator, the E10 baseline;
+//! * [`FrontierCollecting::explore_frontier_rescan`] — the PR-1 rescanning
+//!   solver (full contribution re-join per round), the E9 baseline.
+//!
+//! All three remain differential-testing oracles for one another, with
+//! [`explore_fp`](crate::collect::explore_fp) as the ground truth.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::hash::Hash;
 
 use crate::addr::HasInitial;
 use crate::collect::{Collecting, SharedStoreDomain};
 use crate::gc::{reachable, Touches};
+use crate::hash::{FxHashMap, FxHashSet};
+use crate::intern::{InternKey, Interner, StateId};
 use crate::lattice::Lattice;
 use crate::monad::{run_store_passing, MonadFamily, StorePassing, Value};
 use crate::store::{StoreDelta, StoreLike};
 
 use super::{EngineStats, FrontierCollecting, StateRoots};
 
-/// The memoised outcome of stepping one `(state, guts)` pair.
+/// The memoised outcome of stepping one `(state, guts)` pair, in the
+/// structural (PR-1/PR-2) engines.
 struct CacheEntry<Ps, G, S, A> {
     /// The successor pairs the step produced.
     successors: BTreeSet<(Ps, G)>,
@@ -89,12 +113,42 @@ struct CacheEntry<Ps, G, S, A> {
     deps: BTreeSet<A>,
 }
 
-/// The memo table of the shared-store engines, keyed by `(state, guts)`.
+/// The memo table of the structural shared-store engines, keyed by
+/// `(state, guts)`.
 type StepCache<Ps, G, S, A> = BTreeMap<(Ps, G), CacheEntry<Ps, G, S, A>>;
 
-/// The reverse dependency index of the incremental engine: for every
-/// address, the cached pairs whose outcome may depend on it.
+/// The reverse dependency index of the structural incremental engine: for
+/// every address, the cached pairs whose outcome may depend on it.
 type Dependents<Ps, G, A> = BTreeMap<A, BTreeSet<(Ps, G)>>;
+
+/// The memoised outcome of stepping one interned pair, in the id-indexed
+/// engine: same content as [`CacheEntry`], except that successors are dense
+/// ids, the table itself is a flat `Vec` indexed by [`StateId`] — and the
+/// store contribution is kept as a *delta*.
+///
+/// A step's raw result store is the whole threaded store plus its writes,
+/// so caching (and folding) it verbatim costs O(|store|) per contribution —
+/// the structural engines pay exactly that.  Because the accumulated store
+/// only ever grows and every binding the step merely passed through is
+/// already below it, folding only the bindings the step *changed* relative
+/// to its pre-store joins to the identical result; the delta is typically a
+/// handful of addresses.
+struct InternedEntry<S, A> {
+    /// The successor ids the step produced (sorted, deduplicated).
+    successors: Vec<StateId>,
+    /// The join of the per-branch result stores, restricted to the
+    /// addresses the step changed relative to its pre-store.
+    delta: S,
+    /// Every address the transition may have read (see [`CacheEntry::deps`];
+    /// sorted, deduplicated).
+    deps: Vec<A>,
+}
+
+/// The flat memo table of the id-indexed engine (`None` = not yet stepped).
+type InternedCache<S, A> = Vec<Option<InternedEntry<S, A>>>;
+
+/// The reverse dependency index of the id-indexed engine.
+type IdDependents<A> = FxHashMap<A, FxHashSet<StateId>>;
 
 /// Steps `key`, installs the outcome in the cache and the reverse
 /// dependency index (replacing any previous entry), updates the step/
@@ -172,14 +226,255 @@ where
     }
 }
 
+/// Executes one monadic step of the interned pair `id` against `store`,
+/// interning every successor on the spot (successor discovery *is* the
+/// intern miss) and packaging the id-level cache entry.
+fn step_interned<Ps, G, S, F>(
+    step: &F,
+    id: StateId,
+    store: &S,
+    interner: &mut Interner<(Ps, G), StateId>,
+) -> InternedEntry<S, Ps::Addr>
+where
+    Ps: Value + Ord + Hash + StateRoots,
+    G: Value + Ord + Hash,
+    S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + Value,
+    S::D: Touches<Ps::Addr>,
+    F: Fn(Ps) -> <StorePassing<G, S> as MonadFamily>::M<Ps>,
+{
+    let (ps, guts) = interner.resolve(id).clone();
+    let mut deps = reachable(ps.state_roots(), store);
+    let mut successors: Vec<StateId> = Vec::new();
+    let mut delta = S::bottom();
+    for ((ps2, g2), s2) in run_store_passing(step(ps), guts, store.clone()) {
+        // Same write-targets-are-reads rule as `step_pair`, probing the
+        // handful of changed addresses directly instead of materialising
+        // the full address set of the result store.  While probing, watch
+        // for *drops* — changed addresses the result no longer binds.
+        let changed = s2.changed_addresses(store);
+        let mut dropped = false;
+        for a in &changed {
+            if s2.contains(a) {
+                deps.insert(a.clone());
+            } else {
+                dropped = true;
+            }
+        }
+        // A branch that dropped nothing is a pure weak update: its delta is
+        // confined to its write targets (all registered above) and its
+        // successors are a function of its fetches (all inside the
+        // pre-state closure), so the entry cannot be perturbed through any
+        // other address and the successor-side closure is redundant.  A
+        // branch that *did* drop bindings ran abstract GC, and whether a
+        // write target stays dropped depends on reachability through the
+        // whole result store — so there, like the structural engines, the
+        // closure of the successor's roots joins the read set.
+        if dropped {
+            deps.extend(reachable(ps2.state_roots(), &s2));
+        }
+        successors.push(interner.intern((ps2, g2)));
+        // Keep only what the branch changed: every other binding of `s2`
+        // was copied out of the pre-store and is already below the
+        // accumulated store the entry will be folded into.
+        delta.join_in_place(s2.filter_store(|a| changed.contains(a)));
+    }
+    successors.sort_unstable();
+    successors.dedup();
+    InternedEntry {
+        successors,
+        delta,
+        deps: deps.into_iter().collect(),
+    }
+}
+
+/// Whether the sorted id slice `old` is a subset of the sorted id slice
+/// `new` (the successor half of the monotonicity check, on ids).
+fn sorted_subset(old: &[StateId], new: &[StateId]) -> bool {
+    let mut it = new.iter();
+    'outer: for o in old {
+        for n in it.by_ref() {
+            match n.cmp(o) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => continue 'outer,
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// The id-indexed analogue of [`step_and_cache`]: steps `id`, installs the
+/// outcome in the flat cache and the id-level reverse dependency index, and
+/// reports whether the fresh contribution shrank.
+fn step_and_cache_interned<Ps, G, S, F>(
+    step: &F,
+    id: StateId,
+    store: &S,
+    interner: &mut Interner<(Ps, G), StateId>,
+    cache: &mut InternedCache<S, Ps::Addr>,
+    dependents: &mut IdDependents<Ps::Addr>,
+    stats: &mut EngineStats,
+) -> bool
+where
+    Ps: Value + Ord + Hash + StateRoots,
+    Ps::Addr: Hash,
+    G: Value + Ord + Hash,
+    S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + Value,
+    S::D: Touches<Ps::Addr>,
+    F: Fn(Ps) -> <StorePassing<G, S> as MonadFamily>::M<Ps>,
+{
+    stats.states_stepped += 1;
+    let entry = step_interned(step, id, store, interner);
+    // Interning the successors may have minted fresh ids; keep the flat
+    // cache as long as the id space.
+    if cache.len() < interner.len() {
+        cache.resize_with(interner.len(), || None);
+    }
+    let slot = &mut cache[id.index()];
+    let mut shrank = false;
+    if let Some(old) = slot.as_ref() {
+        stats.reenqueued += 1;
+        // The non-monotonicity detector, on ids: a re-step that loses a
+        // successor.  The structural engine additionally compares full
+        // result stores, but with delta entries the store half is vacuous —
+        // the old delta was folded into the accumulated store the round it
+        // was computed, so it is below every later pre-store by
+        // construction.  A shrinking store contribution therefore cannot
+        // un-grow the accumulator; what it *can* do is drop a successor,
+        // which is exactly what this check watches.
+        shrank = !sorted_subset(&old.successors, &entry.successors);
+        for a in &old.deps {
+            if let Some(ids) = dependents.get_mut(a) {
+                ids.remove(&id);
+            }
+        }
+    }
+    for a in &entry.deps {
+        dependents.entry(a.clone()).or_default().insert(id);
+    }
+    *slot = Some(entry);
+    shrank
+}
+
 impl<Ps, G, S> FrontierCollecting<StorePassing<G, S>, Ps> for SharedStoreDomain<Ps, G, S>
 where
-    Ps: Value + Ord + StateRoots,
-    G: Value + Ord + HasInitial,
+    Ps: Value + Ord + Hash + StateRoots,
+    Ps::Addr: Hash,
+    G: Value + Ord + Hash + HasInitial,
     S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + Value,
     S::D: Touches<Ps::Addr>,
 {
     fn explore_frontier<F>(step: &F, initial: Ps) -> (Self, EngineStats)
+    where
+        F: Fn(Ps) -> <StorePassing<G, S> as MonadFamily>::M<Ps>,
+    {
+        let mut stats = EngineStats::default();
+        // The hash-consing table: every distinct (state, guts) pair gets a
+        // dense StateId on first sight.  The interner doubles as the
+        // seen-set and, at the end, as the domain's state set.
+        let mut interner: Interner<(Ps, G), StateId> = Interner::new();
+        // The flat memo table and the id-level reverse dependency index.
+        let mut cache: InternedCache<S, Ps::Addr> = Vec::new();
+        let mut dependents: IdDependents<Ps::Addr> = FxHashMap::default();
+        // The running accumulated store (the states half of the running
+        // domain is the interner itself).
+        let mut store: S = S::bottom();
+        let initial_id = interner.intern((initial, G::initial()));
+        let mut frontier: BTreeSet<StateId> = [initial_id].into_iter().collect();
+
+        while !frontier.is_empty() {
+            stats.iterations += 1;
+            // Ids below this watermark were known when the round began;
+            // everything interned during the round is a fresh discovery.
+            let known = interner.len();
+
+            // Step phase: every frontier pair against the same pre-store
+            // (the folds below land only after the whole frontier was
+            // stepped, so the round sees one consistent iterate).
+            let mut shrank = false;
+            for &id in &frontier {
+                shrank |= step_and_cache_interned(
+                    step,
+                    id,
+                    &store,
+                    &mut interner,
+                    &mut cache,
+                    &mut dependents,
+                    &mut stats,
+                );
+            }
+
+            // Rebuild round: a contribution shrank, so the step function is
+            // not monotone on this iterate and the fast path's
+            // dependency-validity argument is off the table.  Re-step
+            // *every* cached pair against the same pre-store and fold all
+            // of the fresh contributions — the round becomes literally the
+            // accumulated Kleene iterate `current ⊔ f(current)`, with no
+            // reliance on cached outcomes at all.
+            let fold_ids: Vec<StateId> = if shrank {
+                stats.rebuild_rounds += 1;
+                stats.peak_frontier = stats.peak_frontier.max(known);
+                let rest: Vec<StateId> = (0..known)
+                    .map(StateId::from_index)
+                    .filter(|id| !frontier.contains(id))
+                    .collect();
+                for &id in &rest {
+                    // Further shrinkage is immaterial: the whole round is
+                    // already being recomputed from scratch.
+                    step_and_cache_interned(
+                        step,
+                        id,
+                        &store,
+                        &mut interner,
+                        &mut cache,
+                        &mut dependents,
+                        &mut stats,
+                    );
+                }
+                (0..known).map(StateId::from_index).collect()
+            } else {
+                stats.peak_frontier = stats.peak_frontier.max(frontier.len());
+                // Everything off the frontier is served from the
+                // accumulated domain without being visited at all.
+                stats.cache_hits += known - frontier.len();
+                frontier.iter().copied().collect()
+            };
+
+            // Fold phase: only the re-stepped contributions — and only
+            // their store *deltas* — with the per-address growth report
+            // falling straight out of the in-place join.
+            let mut changed_addrs: BTreeSet<Ps::Addr> = BTreeSet::new();
+            for &id in &fold_ids {
+                let entry = cache[id.index()].as_ref().expect("fold of an unstepped id");
+                stats.store_joins += 1;
+                changed_addrs.extend(store.join_in_place_delta(entry.delta.clone()));
+            }
+            stats.store_widenings += changed_addrs.len();
+
+            // Next frontier: freshly discovered pairs (ids minted during
+            // this round have no cached outcome yet) plus every cached
+            // dependent of an address that grew.
+            let mut next: BTreeSet<StateId> =
+                (known..interner.len()).map(StateId::from_index).collect();
+            for a in &changed_addrs {
+                if let Some(ids) = dependents.get(a) {
+                    next.extend(ids.iter().copied());
+                }
+            }
+            frontier = next;
+        }
+
+        stats.intern_hits = interner.hits();
+        stats.intern_misses = interner.misses();
+        stats.distinct_states = interner.len();
+        // Un-intern only here, at the boundary: the structural domain is
+        // assembled once, from the interner's value table.
+        let states: BTreeSet<(Ps, G)> = interner.values().iter().cloned().collect();
+        (SharedStoreDomain::from_parts(states, store), stats)
+    }
+
+    fn explore_frontier_structural<F>(step: &F, initial: Ps) -> (Self, EngineStats)
     where
         F: Fn(Ps) -> <StorePassing<G, S> as MonadFamily>::M<Ps>,
     {
@@ -212,13 +507,8 @@ where
                 );
             }
 
-            // Rebuild round: a contribution shrank, so the step function is
-            // not monotone on this iterate and the fast path's
-            // dependency-validity argument is off the table.  Re-step
-            // *every* cached pair against the same pre-store and fold all
-            // of the fresh contributions — the round becomes literally the
-            // accumulated Kleene iterate `current ⊔ f(current)`, with no
-            // reliance on cached outcomes at all.
+            // Rebuild round: see `explore_frontier` — identical defence,
+            // structural keys.
             let fold_keys: Vec<(Ps, G)> = if shrank {
                 stats.rebuild_rounds += 1;
                 stats.peak_frontier = stats.peak_frontier.max(current.len());
@@ -351,7 +641,7 @@ mod tests {
     use crate::monad::{MonadPlus, MonadState, MonadTrans, StateT, VecM};
 
     /// A heap value that is itself an address (a one-cell pointer).
-    #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+    #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
     struct Ptr(u8);
 
     impl Touches<u8> for Ptr {
@@ -365,7 +655,7 @@ mod tests {
     /// state 4 *writes* it, so the engine should leave most of the chain
     /// untouched across rounds, and re-enqueue state 1 exactly when
     /// state 4's write lands.
-    #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+    #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
     struct St(u32);
 
     impl StateRoots for St {
@@ -412,28 +702,55 @@ mod tests {
     }
 
     #[test]
-    fn incremental_equals_kleene_and_rescan() {
+    fn sorted_subset_matches_set_semantics() {
+        let ids = |xs: &[usize]| -> Vec<StateId> {
+            xs.iter().copied().map(StateId::from_index).collect()
+        };
+        assert!(sorted_subset(&ids(&[]), &ids(&[])));
+        assert!(sorted_subset(&ids(&[]), &ids(&[1, 2])));
+        assert!(sorted_subset(&ids(&[1]), &ids(&[0, 1, 2])));
+        assert!(sorted_subset(&ids(&[0, 2]), &ids(&[0, 1, 2])));
+        assert!(!sorted_subset(&ids(&[3]), &ids(&[0, 1, 2])));
+        assert!(!sorted_subset(&ids(&[0, 3]), &ids(&[0, 1, 2])));
+        assert!(!sorted_subset(&ids(&[1]), &ids(&[])));
+    }
+
+    #[test]
+    fn interned_equals_kleene_structural_and_rescan() {
         let kleene: SharedStoreDomain<St, G, S> = explore_fp::<M, St, _, _>(step, St(0));
-        let (incremental, stats) =
+        let (interned, stats) =
             <SharedStoreDomain<St, G, S> as FrontierCollecting<M, St>>::explore_frontier(
                 &step,
                 St(0),
             );
+        let (structural, structural_stats) = <SharedStoreDomain<St, G, S> as FrontierCollecting<
+            M,
+            St,
+        >>::explore_frontier_structural(&step, St(0));
         let (rescan, rescan_stats) =
             <SharedStoreDomain<St, G, S> as FrontierCollecting<M, St>>::explore_frontier_rescan(
                 &step,
                 St(0),
             );
-        assert_eq!(incremental, kleene);
+        assert_eq!(interned, kleene);
+        assert_eq!(structural, kleene);
         assert_eq!(rescan, kleene);
         assert!(stats.cache_hits > 0, "expected cache hits: {stats}");
         assert!(stats.store_widenings > 0);
         assert!(stats.iterations > 1);
-        // The incremental engine folds strictly fewer contributions than
+        // The id-indexed engine never does more logical work than the
+        // structural engine — and may do strictly less: its delta-shaped
+        // cache entries need tighter read sets (no successor closures on
+        // drop-free branches), so fewer store growths re-enqueue it.
+        assert!(stats.iterations <= structural_stats.iterations);
+        assert!(stats.states_stepped <= structural_stats.states_stepped);
+        assert!(stats.store_joins <= structural_stats.store_joins);
+        assert_eq!(stats.store_widenings, structural_stats.store_widenings);
+        // Both incremental engines fold strictly fewer contributions than
         // the rescanning engine re-joins.
         assert!(
             stats.store_joins < rescan_stats.store_joins,
-            "incremental folded {} joins, rescan {}",
+            "interned folded {} joins, rescan {}",
             stats.store_joins,
             rescan_stats.store_joins
         );
@@ -441,6 +758,14 @@ mod tests {
         // joins == steps (one fold per re-stepped pair).
         assert_eq!(stats.rebuild_rounds, 0);
         assert_eq!(stats.store_joins, stats.states_stepped);
+        // Intern accounting: every distinct pair interned once; each step
+        // re-interns its successors, so hits dominate after round one.
+        assert_eq!(stats.distinct_states, interned.len());
+        assert_eq!(stats.intern_misses, stats.distinct_states);
+        assert!(stats.intern_hits > 0);
+        assert!(stats.intern_hit_rate() > 0.0);
+        // The structural engine does not intern at all.
+        assert_eq!(structural_stats.intern_misses, 0);
     }
 
     #[test]
@@ -471,7 +796,7 @@ mod tests {
 
     /// A state whose roots point at the cell the non-monotone machine
     /// inspects (cell 9 for state 0, so its dependency is registered).
-    #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+    #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
     struct NmSt(u32);
 
     impl StateRoots for NmSt {
@@ -523,35 +848,46 @@ mod tests {
     fn nonmonotone_contributions_trigger_a_real_rebuild_round() {
         let kleene: SharedStoreDomain<NmSt, G, S> =
             explore_fp::<StorePassing<G, S>, NmSt, _, _>(nonmonotone_step, NmSt(0));
-        let (incremental, stats) = <SharedStoreDomain<NmSt, G, S> as FrontierCollecting<
+        let (interned, stats) = <SharedStoreDomain<NmSt, G, S> as FrontierCollecting<
             StorePassing<G, S>,
             NmSt,
         >>::explore_frontier(&nonmonotone_step, NmSt(0));
+        let (structural, structural_stats) = <SharedStoreDomain<NmSt, G, S> as FrontierCollecting<
+            StorePassing<G, S>,
+            NmSt,
+        >>::explore_frontier_structural(&nonmonotone_step, NmSt(0));
         let (rescan, _) = <SharedStoreDomain<NmSt, G, S> as FrontierCollecting<
             StorePassing<G, S>,
             NmSt,
         >>::explore_frontier_rescan(&nonmonotone_step, NmSt(0));
 
         // The write to cell 9 invalidates state 0, whose re-step *shrinks*
-        // its successor set — the engine must leave the fast path…
+        // its successor set — both incremental engines must leave the fast
+        // path…
         assert!(
             stats.rebuild_rounds > 0,
             "expected a rebuild round: {stats}"
         );
+        assert!(structural_stats.rebuild_rounds > 0);
         // …and still agree bit-for-bit with the accumulated Kleene iterate
         // and the rescanning engine.
-        assert_eq!(incremental, kleene);
+        assert_eq!(interned, kleene);
+        assert_eq!(structural, kleene);
         assert_eq!(rescan, kleene);
         // The shrunken-away successor (state 8, reached through Ptr(7))
         // stays in the accumulated domain: cumulative semantics never
         // un-discovers a state.
-        assert!(incremental.states().iter().any(|(ps, _)| ps.0 == 8));
+        assert!(interned.states().iter().any(|(ps, _)| ps.0 == 8));
     }
 
     #[test]
     fn invalidation_is_observable_when_states_share_cells() {
         for (_, stats) in [
             <SharedStoreDomain<St, G, S> as FrontierCollecting<M, St>>::explore_frontier(
+                &step,
+                St(0),
+            ),
+            <SharedStoreDomain<St, G, S> as FrontierCollecting<M, St>>::explore_frontier_structural(
                 &step,
                 St(0),
             ),
@@ -562,7 +898,7 @@ mod tests {
         ] {
             // The toy machine's states write into each other's read cells,
             // so at least one previously-stepped state must have been
-            // re-enqueued by either engine.
+            // re-enqueued by every engine.
             assert!(stats.reenqueued > 0, "expected re-enqueues: {stats}");
         }
     }

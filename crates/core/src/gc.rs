@@ -94,7 +94,13 @@ where
         if !seen.insert(addr.clone()) {
             continue;
         }
-        for next in store.fetch(&addr).touches() {
+        // Borrow the binding when the store can lend it — the sweep visits
+        // every live address, so per-address co-domain clones add up.
+        let touched = match store.fetch_ref(&addr) {
+            Some(binding) => binding.touches(),
+            None => store.fetch(&addr).touches(),
+        };
+        for next in touched {
             if !seen.contains(&next) {
                 frontier.push(next);
             }

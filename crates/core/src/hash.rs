@@ -1,0 +1,148 @@
+//! Fast, deterministic hashing for the id-indexed engine layer.
+//!
+//! The interning layer ([`crate::intern`]) and the id-indexed fixpoint
+//! engines ([`crate::engine`]) key hash tables by machine states, addresses
+//! and dense ids millions of times per run.  The standard library's default
+//! SipHash is DoS-resistant but several times slower than necessary for
+//! trusted, in-process keys, so this module provides the well-known
+//! Fx multiply-rotate hash (the Firefox/rustc hasher) as a tiny, dependency
+//! free [`std::hash::Hasher`], plus `HashMap`/`HashSet` aliases using it.
+//!
+//! The hash is deterministic across runs (no random seed), which also keeps
+//! the experiment harness reproducible.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+/// The multiplier of the Fx hash (64-bit): `2^64 / φ`, the same constant
+/// rustc and Firefox use.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// How far each ingested word is rotated before being mixed in.
+const ROTATE: u32 = 5;
+
+/// The Fx hasher: `hash = (hash.rotate_left(5) ^ word) * SEED` per word.
+///
+/// Not cryptographic and not DoS-resistant — use only for trusted,
+/// in-process keys (which is all the analysis engines ever hash).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// A [`std::hash::BuildHasher`] producing [`FxHasher`]s (zero state, so
+/// hashes are identical across tables and across runs).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the Fx hash.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with the Fx hash.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hashes one value with the Fx hash — the precomputed-hash primitive the
+/// interner stores alongside each id.
+pub fn fx_hash_of<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut hasher = FxHasher::default();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_values_hash_equal_and_deterministically() {
+        assert_eq!(fx_hash_of(&42u64), fx_hash_of(&42u64));
+        assert_eq!(fx_hash_of("abc"), fx_hash_of("abc"));
+        // Deterministic across hasher instances (no random seed).
+        let a = fx_hash_of(&("state", 7u32));
+        let b = fx_hash_of(&("state", 7u32));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nearby_values_hash_differently() {
+        // Not a statistical test — just a sanity check that the mixer is
+        // not the identity on small inputs.
+        assert_ne!(fx_hash_of(&1u64), fx_hash_of(&2u64));
+        assert_ne!(fx_hash_of("ab"), fx_hash_of("ba"));
+    }
+
+    #[test]
+    fn fx_maps_behave_like_maps() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        m.insert("x".into(), 1);
+        m.insert("y".into(), 2);
+        assert_eq!(m.get("x"), Some(&1));
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+    }
+
+    #[test]
+    fn unaligned_byte_tails_are_hashed() {
+        // 9 bytes: one full chunk plus a 1-byte tail; the tail must matter.
+        assert_ne!(fx_hash_of(&b"12345678a"[..]), fx_hash_of(&b"12345678b"[..]));
+    }
+}

@@ -32,8 +32,13 @@
 //!   replacement for naive Kleene iteration that only re-steps states whose
 //!   store dependencies changed, with instrumentation for the experiment
 //!   harness.
-//! * [`name`] — interned identifiers and program-point labels shared by all
-//!   language substrates.
+//! * [`intern`] — hash-consed state/environment interning: dense `u32` ids
+//!   with precomputed hashes, the identity currency of the id-indexed
+//!   engines (with [`hash`] supplying the fast deterministic hasher).
+//! * [`env`] — shared copy-on-write environment maps, so state construction
+//!   stops deep-cloning environments per transition.
+//! * [`name`] — globally pooled identifiers and program-point labels shared
+//!   by all language substrates.
 //! * [`sexp`] — a small s-expression reader used by the CPS and
 //!   direct-style λ-calculus front ends.
 //!
@@ -60,7 +65,10 @@
 pub mod addr;
 pub mod collect;
 pub mod engine;
+pub mod env;
 pub mod gc;
+pub mod hash;
+pub mod intern;
 pub mod lattice;
 pub mod monad;
 pub mod name;
@@ -73,10 +81,13 @@ pub use addr::{
 };
 pub use collect::{explore_fp, run_analysis, Collecting, PerStateDomain, SharedStoreDomain};
 pub use engine::{
-    explore_worklist, explore_worklist_rescan_stats, explore_worklist_stats, EngineStats,
-    FrontierCollecting, StateRoots,
+    explore_worklist, explore_worklist_rescan_stats, explore_worklist_stats,
+    explore_worklist_structural_stats, EngineStats, FrontierCollecting, StateRoots,
 };
+pub use env::{CowMap, CowSet};
 pub use gc::{reachable, GcStrategy, NoGc, Touches};
+pub use hash::{fx_hash_of, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use intern::{EnvId, InternKey, Interner, StateId};
 pub use lattice::{kleene_it, AbsNat, Lattice};
 pub use monad::{MonadFamily, MonadPlus, MonadState, MonadTrans, StorePassing, Value};
 pub use name::{Label, Name};

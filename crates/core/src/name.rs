@@ -8,13 +8,33 @@
 //! a bounded string of [`Label`]s no matter which calculus produced them.
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::hash::FxHashSet;
+
+/// The global name pool: every [`Name`] ever created, deduplicated by
+/// content.  Hot paths (parsers, allocators, synthetic continuation names)
+/// construct the same handful of identifiers over and over; pooling makes
+/// every such construction return the *same* `Arc<str>`, so no fresh
+/// allocation happens after first sight and equality usually short-circuits
+/// on pointer identity.
+///
+/// Deliberate trade-offs: entries are never evicted (identifier sets are
+/// tiny and shared across the analyses of one process; a long-lived server
+/// embedding many unrelated programs would retain their identifier
+/// strings), and construction takes an uncontended mutex (the analyses are
+/// single-threaded; a parallel front end would want a sharded pool).
+fn name_pool() -> &'static Mutex<FxHashSet<Arc<str>>> {
+    static POOL: OnceLock<Mutex<FxHashSet<Arc<str>>>> = OnceLock::new();
+    POOL.get_or_init(|| Mutex::new(FxHashSet::default()))
+}
 
 /// An identifier: a variable, field, method or class name.
 ///
-/// Internally a cheaply-cloneable shared string.  `Name`s are ordered and
-/// hashable so that they can serve as keys of environments and as components
-/// of abstract addresses.
+/// Internally a cheaply-cloneable shared string, globally interned: two
+/// `Name`s with the same content share one allocation.  `Name`s are ordered
+/// and hashable so that they can serve as keys of environments and as
+/// components of abstract addresses.
 ///
 /// ```rust
 /// use mai_core::name::Name;
@@ -22,13 +42,55 @@ use std::sync::Arc;
 /// assert_eq!(x.as_str(), "x");
 /// assert_eq!(x.to_string(), "x");
 /// ```
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Clone)]
 pub struct Name(Arc<str>);
 
+impl PartialEq for Name {
+    fn eq(&self, other: &Self) -> bool {
+        // Pooled names with equal content share an allocation, so the
+        // pointer check almost always decides; the content comparison keeps
+        // equality structural unconditionally.
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl Eq for Name {}
+
+impl PartialOrd for Name {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Name {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if Arc::ptr_eq(&self.0, &other.0) {
+            return std::cmp::Ordering::Equal;
+        }
+        self.0.cmp(&other.0)
+    }
+}
+
+impl std::hash::Hash for Name {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Content hash, consistent with the structural `PartialEq`.
+        self.0.hash(state);
+    }
+}
+
 impl Name {
-    /// Creates a new name from anything string-like.
+    /// Creates a new name from anything string-like, deduplicated through
+    /// the global name pool: the same content always yields the same shared
+    /// allocation.
     pub fn new(s: impl AsRef<str>) -> Self {
-        Name(Arc::from(s.as_ref()))
+        let s = s.as_ref();
+        let mut pool = name_pool().lock().expect("name pool poisoned");
+        if let Some(existing) = pool.get(s) {
+            return Name(Arc::clone(existing));
+        }
+        let fresh: Arc<str> = Arc::from(s);
+        pool.insert(Arc::clone(&fresh));
+        Name(fresh)
     }
 
     /// A view of the underlying identifier text.
@@ -43,6 +105,30 @@ impl Name {
     /// label they belong to).
     pub fn suffixed(&self, suffix: &str) -> Self {
         Name::new(format!("{}{}", self.0, suffix))
+    }
+
+    /// A synthetic name `<prefix><tag><index>`, cached by `(tag, index)`.
+    ///
+    /// Machine step functions mint the same synthetic names (continuation
+    /// addresses per program point and frame kind) on every transition;
+    /// this constructor skips even the `format!` after first sight, where
+    /// [`Name::new`] would still build the string before pooling it.
+    pub fn synthetic(prefix: &'static str, tag: &'static str, index: u32) -> Self {
+        type Key = (&'static str, &'static str, u32);
+        type Cache = std::collections::HashMap<Key, Name>;
+        static CACHE: OnceLock<Mutex<Cache>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(Cache::new()));
+        let mut cache = cache.lock().expect("synthetic name cache poisoned");
+        cache
+            .entry((prefix, tag, index))
+            .or_insert_with(|| Name::new(format!("{prefix}{tag}{index}")))
+            .clone()
+    }
+
+    /// Whether two names share their underlying allocation — true for any
+    /// two pooled names with equal content (an O(1) equality witness).
+    pub fn ptr_eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
     }
 }
 
@@ -195,6 +281,31 @@ mod tests {
         assert_eq!(labels.len(), 100);
         assert!(!labels.contains(&Label::none()));
         assert_eq!(supply.count(), 100);
+    }
+
+    #[test]
+    fn equal_names_share_one_pooled_allocation() {
+        let a = Name::from("pooled-name-test");
+        let b = Name::new(String::from("pooled-name-test"));
+        assert!(a.ptr_eq(&b), "the pool must deduplicate equal content");
+        assert_eq!(a, b);
+        // Distinct content stays distinct.
+        let c = Name::from("pooled-name-test-2");
+        assert!(!a.ptr_eq(&c));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn synthetic_names_are_cached_and_formatted() {
+        let a = Name::synthetic("$kont-", "ar", 7);
+        let b = Name::synthetic("$kont-", "ar", 7);
+        assert!(a.ptr_eq(&b));
+        assert_eq!(a.as_str(), "$kont-ar7");
+        assert_ne!(a, Name::synthetic("$kont-", "fn", 7));
+        assert_ne!(a, Name::synthetic("$kont-", "ar", 8));
+        // The cache and the pool agree: building the same text the long way
+        // round yields the same allocation.
+        assert!(a.ptr_eq(&Name::from("$kont-ar7")));
     }
 
     #[test]

@@ -4,6 +4,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use crate::addr::Address;
+use crate::env::CowSet;
 use crate::lattice::{Lattice, PointwiseExt};
 
 use super::StoreLike;
@@ -16,9 +17,17 @@ use super::StoreLike;
 /// strong update.  The store is itself a lattice (point-wise join), an
 /// ordered value (so it can participate in power-set analysis domains) and
 /// printable.
+///
+/// Internally each value set is a shared copy-on-write [`CowSet`]: cloning
+/// a store — which the store-passing monad does once per transition —
+/// shares every per-address set instead of deep-copying it, a write copies
+/// only the one set it touches, and diffing or joining two stores
+/// short-circuits on pointer identity for every set that was merely
+/// carried along.  The [`StoreLike`] co-domain stays the structural
+/// `BTreeSet<V>`.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct BasicStore<A: Ord, V: Ord> {
-    bindings: BTreeMap<A, BTreeSet<V>>,
+    bindings: BTreeMap<A, CowSet<V>>,
 }
 
 impl<A: Ord + Clone, V: Ord + Clone> BasicStore<A, V> {
@@ -31,7 +40,7 @@ impl<A: Ord + Clone, V: Ord + Clone> BasicStore<A, V> {
 
     /// Iterates over the bindings of the store.
     pub fn iter(&self) -> impl Iterator<Item = (&A, &BTreeSet<V>)> {
-        self.bindings.iter()
+        self.bindings.iter().map(|(a, vs)| (a, vs.as_set()))
     }
 
     /// The total number of `(address, value)` facts in the store — the
@@ -85,16 +94,30 @@ where
     type D = BTreeSet<V>;
 
     fn bind_in_place(&mut self, a: A, d: Self::D) -> bool {
-        self.bindings.join_at_in_place(a, d)
+        self.bindings
+            .join_at_in_place(a, d.into_iter().collect::<CowSet<V>>())
     }
 
     fn replace(mut self, a: A, d: Self::D) -> Self {
-        self.bindings.insert(a, d);
+        self.bindings.insert(a, d.into_iter().collect());
         self
     }
 
     fn fetch(&self, a: &A) -> Self::D {
-        self.bindings.fetch_or_bottom(a)
+        self.bindings
+            .get(a)
+            .map(|vs| vs.as_set().clone())
+            .unwrap_or_default()
+    }
+
+    fn contains(&self, a: &A) -> bool {
+        // Cheaper than the trait default, which materialises the fetched
+        // set just to test it for bottom.
+        self.bindings.get(a).is_some_and(|vs| !vs.is_empty())
+    }
+
+    fn fetch_ref(&self, a: &A) -> Option<&Self::D> {
+        self.bindings.get(a).map(CowSet::as_set)
     }
 
     fn filter_store<F>(mut self, keep: F) -> Self
@@ -128,7 +151,9 @@ impl<A: Ord + Clone, V: Ord + Clone> FromIterator<(A, BTreeSet<V>)> for BasicSto
     fn from_iter<T: IntoIterator<Item = (A, BTreeSet<V>)>>(iter: T) -> Self {
         let mut store = BasicStore::new();
         for (a, d) in iter {
-            store.bindings.join_at_in_place(a, d);
+            store
+                .bindings
+                .join_at_in_place(a, d.into_iter().collect::<CowSet<V>>());
         }
         store
     }

@@ -138,6 +138,10 @@ where
             .unwrap_or_default()
     }
 
+    fn fetch_ref(&self, a: &A) -> Option<&Self::D> {
+        self.bindings.get(a).map(|(vs, _)| vs)
+    }
+
     fn filter_store<F>(mut self, keep: F) -> Self
     where
         F: Fn(&A) -> bool,

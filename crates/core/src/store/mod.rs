@@ -80,6 +80,16 @@ pub trait StoreLike<A: Address>: Lattice + Ord + Debug + 'static {
     /// addresses (the paper's `fetch σ a`).
     fn fetch(&self, a: &A) -> Self::D;
 
+    /// Borrows the binding of `a` without materialising it, when the store
+    /// representation can (`None` both for unbound addresses and for stores
+    /// that cannot lend their bindings — callers fall back to
+    /// [`StoreLike::fetch`]).  The garbage collector's reachability sweep
+    /// visits every live address once per transition, so skipping the
+    /// per-address co-domain clone matters.
+    fn fetch_ref(&self, _a: &A) -> Option<&Self::D> {
+        None
+    }
+
     /// Restricts the store to the addresses satisfying `keep`
     /// (the paper's `filterStore`, used by abstract garbage collection).
     #[must_use]

@@ -16,7 +16,8 @@ use mai_core::collect::{
     explore_fp_bounded, run_analysis, with_gc, Collecting, PerStateDomain, SharedStoreDomain,
 };
 use mai_core::engine::{
-    explore_worklist_rescan_stats, explore_worklist_stats, EngineStats, FrontierCollecting,
+    explore_worklist_rescan_stats, explore_worklist_stats, explore_worklist_structural_stats,
+    EngineStats, FrontierCollecting,
 };
 use mai_core::gc::{reachable, GcStrategy, Touches};
 use mai_core::lattice::{KleeneOutcome, Lattice};
@@ -168,6 +169,38 @@ where
     )
 }
 
+/// Like [`analyse_worklist`], but solved by the PR-2 *structural-key*
+/// incremental engine (states as `BTreeMap` keys instead of interned ids).
+/// Same fixpoint and same frontier strategy; kept as a differential-testing
+/// oracle and the E10 benchmark baseline.
+pub fn analyse_worklist_structural<C, S, Fp>(program: &CExp) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Val<C::Addr>>> + Value,
+    Fp: FrontierCollecting<StorePassing<C, S>, PState<C::Addr>>,
+{
+    explore_worklist_structural_stats::<StorePassing<C, S>, _, Fp, _>(
+        mnext::<StorePassing<C, S>, C::Addr>,
+        PState::inject(program.clone()),
+    )
+}
+
+/// Like [`analyse_gc_worklist`], but solved by the structural-key engine.
+pub fn analyse_gc_worklist_structural<C, S, Fp>(program: &CExp) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Val<C::Addr>>> + Value,
+    Fp: FrontierCollecting<StorePassing<C, S>, PState<C::Addr>>,
+{
+    explore_worklist_structural_stats::<StorePassing<C, S>, _, Fp, _>(
+        with_gc::<StorePassing<C, S>, PState<C::Addr>, _, _>(
+            mnext::<StorePassing<C, S>, C::Addr>,
+            CpsGc,
+        ),
+        PState::inject(program.clone()),
+    )
+}
+
 /// Like [`analyse_worklist`], but solved by the PR-1 *rescanning* worklist
 /// engine (full contribution re-join per round).  Same fixpoint; kept as
 /// the differential-testing oracle and the E9 benchmark baseline.
@@ -289,6 +322,30 @@ pub fn analyse_kcfa_shared_worklist<const K: usize>(
 /// the baseline the E9 experiment measures the incremental engine against.
 pub fn analyse_kcfa_shared_rescan<const K: usize>(program: &CExp) -> (KCfaShared<K>, EngineStats) {
     analyse_worklist_rescan::<KCallCtx<K>, KStore, _>(program)
+}
+
+/// [`analyse_kcfa_shared`] solved by the PR-2 structural-key incremental
+/// engine — the baseline the E10 experiment measures the id-indexed engine
+/// against.
+pub fn analyse_kcfa_shared_structural<const K: usize>(
+    program: &CExp,
+) -> (KCfaShared<K>, EngineStats) {
+    analyse_worklist_structural::<KCallCtx<K>, KStore, _>(program)
+}
+
+/// How many distinct environments the states of a shared-store fixpoint
+/// carry, measured with an [`EnvId`](mai_core::intern::EnvId) interner —
+/// the language-boundary half of the engine's intern statistics
+/// ([`EngineStats::distinct_envs`]).  With copy-on-write environments this
+/// is also (a lower bound on) how many environment allocations the whole
+/// run needed.
+pub fn distinct_env_count<A, G, S>(result: &SharedStoreDomain<PState<A>, G, S>) -> usize
+where
+    A: mai_core::addr::Address + std::hash::Hash,
+    G: Ord + Clone,
+    S: Lattice,
+{
+    mai_core::intern::distinct_count(result.states().iter().map(|(ps, _)| ps.env.clone()))
 }
 
 /// [`analyse_kcfa_with_count`] solved by the worklist engine (shared
@@ -481,7 +538,7 @@ mod tests {
         let flows = flow_map_of_store(result.store());
         let x_flows = &flows[&Name::from("x")];
         assert_eq!(x_flows.len(), 1);
-        assert_eq!(x_flows.iter().next().unwrap().params[0], Name::from("y"));
+        assert_eq!(x_flows.iter().next().unwrap().params()[0], Name::from("y"));
     }
 
     #[test]

@@ -258,7 +258,7 @@ mod tests {
         let out = interpret(&p);
         let r_addr = out.state().env.get(&Name::from("r")).cloned().unwrap();
         let bound = out.heap().read(&r_addr).unwrap();
-        assert_eq!(bound.lambda().params[0], Name::from("y"));
+        assert_eq!(bound.lambda().params()[0], Name::from("y"));
     }
 
     #[test]

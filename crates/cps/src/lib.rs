@@ -43,12 +43,14 @@ pub mod syntax;
 
 pub use analysis::{
     analyse, analyse_concrete_collecting, analyse_gc, analyse_gc_worklist,
-    analyse_gc_worklist_rescan, analyse_kcfa, analyse_kcfa_count_cloned,
-    analyse_kcfa_count_cloned_worklist, analyse_kcfa_gc, analyse_kcfa_gc_worklist,
-    analyse_kcfa_shared, analyse_kcfa_shared_gc, analyse_kcfa_shared_gc_worklist,
-    analyse_kcfa_shared_rescan, analyse_kcfa_shared_worklist, analyse_kcfa_with_count,
-    analyse_kcfa_with_count_worklist, analyse_kcfa_worklist, analyse_mono, analyse_mono_worklist,
-    analyse_worklist, analyse_worklist_rescan, flow_map_of_store, AnalysisMetrics, CpsGc, FlowMap,
+    analyse_gc_worklist_rescan, analyse_gc_worklist_structural, analyse_kcfa,
+    analyse_kcfa_count_cloned, analyse_kcfa_count_cloned_worklist, analyse_kcfa_gc,
+    analyse_kcfa_gc_worklist, analyse_kcfa_shared, analyse_kcfa_shared_gc,
+    analyse_kcfa_shared_gc_worklist, analyse_kcfa_shared_rescan, analyse_kcfa_shared_structural,
+    analyse_kcfa_shared_worklist, analyse_kcfa_with_count, analyse_kcfa_with_count_worklist,
+    analyse_kcfa_worklist, analyse_mono, analyse_mono_worklist, analyse_worklist,
+    analyse_worklist_rescan, analyse_worklist_structural, distinct_env_count, flow_map_of_store,
+    AnalysisMetrics, CpsGc, FlowMap,
 };
 pub use concrete::{interpret, interpret_with_limit, Heap, HeapAddr, Outcome};
 pub use convert::cps_convert;

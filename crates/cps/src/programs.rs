@@ -112,6 +112,20 @@ pub fn id_chain(n: usize) -> CExp {
 /// every enclosing level.  Heap-cloning analyses explore exponentially many
 /// store variants as `n` grows; a shared-store analysis stays polynomial.
 pub fn kcfa_worst_case(n: usize) -> CExp {
+    kcfa_worst_case_scaled(n, 1)
+}
+
+/// The k-CFA worst case with a *scale knob*: `width` chooser rounds per
+/// level instead of one, so the state count, the call-site count and the
+/// environment depth all grow as `n × width` while the shape of the
+/// workload (one shared two-continuation function whose every level can
+/// observe the bindings of every enclosing level) stays the paradox's.
+///
+/// `kcfa_worst_case_scaled(n, 1)` is byte-for-byte [`kcfa_worst_case`]`(n)`;
+/// larger widths make the wall-clock of the fixpoint engines visible at the
+/// depths (n = 3..6) the E10 experiment sweeps, without changing what the
+/// benchmark measures.
+pub fn kcfa_worst_case_scaled(n: usize, width: usize) -> CExp {
     let mut b = ProgramBuilder::new();
     // The shared function: takes a value and a continuation, calls the
     // continuation with *both* of two locally-created functions, creating
@@ -119,25 +133,30 @@ pub fn kcfa_worst_case(n: usize) -> CExp {
     //
     //   chooser = λ (p k). (k p)
     //
-    // and each level i does:
+    // and each level i (at each width step j) does:
     //   (chooser f_i  (λ (c_i) (chooser g_i (λ (d_i) <next level>))))
     // where f_i / g_i are distinct lambdas closing over earlier c/d's.
     let mut body = b.exit();
     for i in (0..n).rev() {
-        let c = format!("c{i}");
-        let d = format!("d{i}");
-        // g_i closes over c_i to keep earlier bindings live.
-        let g_body = {
-            let call = b.call(b.var(c.as_str()), vec![b.var("w")]);
-            call
-        };
-        let g = b.lam(&["w"], g_body);
-        let inner_cont = b.lam(&[d.as_str()], body);
-        let inner_call = b.call(b.var("chooser"), vec![g, inner_cont]);
-        let f_inner = b.exit();
-        let f = b.lam(&["z"], f_inner);
-        let outer_cont = b.lam(&[c.as_str()], inner_call);
-        body = b.call(b.var("chooser"), vec![f, outer_cont]);
+        for j in (0..width).rev() {
+            // Width 1 reproduces the classic generator's variable names (and
+            // therefore its exact program text); wider programs tag the
+            // width step into the name.
+            let (c, d) = if width == 1 {
+                (format!("c{i}"), format!("d{i}"))
+            } else {
+                (format!("c{i}w{j}"), format!("d{i}w{j}"))
+            };
+            // g closes over c to keep earlier bindings live.
+            let g_body = b.call(b.var(c.as_str()), vec![b.var("w")]);
+            let g = b.lam(&["w"], g_body);
+            let inner_cont = b.lam(&[d.as_str()], body);
+            let inner_call = b.call(b.var("chooser"), vec![g, inner_cont]);
+            let f_inner = b.exit();
+            let f = b.lam(&["z"], f_inner);
+            let outer_cont = b.lam(&[c.as_str()], inner_call);
+            body = b.call(b.var("chooser"), vec![f, outer_cont]);
+        }
     }
     let kp = b.call(b.var("k"), vec![b.var("p")]);
     let chooser = b.lam(&["p", "k"], kp);
@@ -219,6 +238,28 @@ mod tests {
             assert!(garbage_chain(n).is_closed());
             assert!(fan_out(n).is_closed());
         }
+    }
+
+    #[test]
+    fn scaled_worst_case_at_width_one_is_the_classic_generator() {
+        for n in 0..5 {
+            assert_eq!(
+                kcfa_worst_case_scaled(n, 1).to_string(),
+                kcfa_worst_case(n).to_string()
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_worst_case_grows_with_the_width_knob() {
+        assert!(kcfa_worst_case_scaled(3, 4).is_closed());
+        assert!(
+            kcfa_worst_case_scaled(3, 4).call_site_count()
+                > kcfa_worst_case_scaled(3, 1).call_site_count()
+        );
+        let wide = crate::analysis::analyse_kcfa_shared::<1>(&kcfa_worst_case_scaled(2, 3));
+        let narrow = crate::analysis::analyse_kcfa_shared::<1>(&kcfa_worst_case_scaled(2, 1));
+        assert!(wide.len() > narrow.len());
     }
 
     #[test]

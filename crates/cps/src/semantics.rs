@@ -9,11 +9,12 @@
 //! different monad and interface implementation in
 //! [`crate::analysis`] / [`crate::concrete`].
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::fmt;
 
 use mai_core::addr::Address;
 use mai_core::engine::StateRoots;
+use mai_core::env::CowMap;
 use mai_core::gc::Touches;
 use mai_core::monad::{map_m, sequence_m, MonadFamily};
 use mai_core::name::Label;
@@ -21,8 +22,10 @@ use mai_core::name::Label;
 use crate::syntax::{AExp, CExp, Lambda, Var};
 
 /// An environment: a finite map from variables to addresses
-/// (`Env a = Var ⇀ a`).
-pub type Env<A> = BTreeMap<Var, A>;
+/// (`Env a = Var ⇀ a`), shared copy-on-write — cloning an environment into
+/// a closure or successor state is a reference-count bump, and the map is
+/// copied only when a shared handle is extended.
+pub type Env<A> = CowMap<Var, A>;
 
 /// A denotable value.  CPS is so small that closures are the only kind of
 /// value (`Val a = Clo (Lambda, Env a)`).
@@ -73,7 +76,7 @@ impl<A: Address> Touches<A> for Val<A> {
     fn touches(&self) -> BTreeSet<A> {
         let Val::Clo { lambda, env } = self;
         lambda
-            .free_vars()
+            .free_vars_ref()
             .iter()
             .filter_map(|v| env.get(v).cloned())
             .collect()
@@ -213,8 +216,8 @@ where
                 M::bind(M::tick(&proc, &state), move |()| {
                     let env = env.clone();
                     let args = args.clone();
-                    let params = lambda.params.clone();
-                    let body = lambda.body.clone();
+                    let params = lambda.params().to_vec();
+                    let body = lambda.body().clone();
                     let captured_env = captured_env.clone();
                     M::bind(
                         map_m::<M, Var, A, _>(|v| M::alloc(&v), params.clone()),

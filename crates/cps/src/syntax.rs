@@ -14,12 +14,61 @@ use mai_core::name::{Label, Name};
 pub type Var = Name;
 
 /// A λ-abstraction `(λ (v₁ … vₙ) call)`.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+///
+/// The fields are private (read through [`Lambda::params`] /
+/// [`Lambda::body`]): the cached free-variable set and the label-based
+/// `Hash` are only sound while an abstraction is immutable after
+/// construction, so no mutation is exposed.
+#[derive(Clone)]
 pub struct Lambda {
     /// The formal parameters.
-    pub params: Vec<Var>,
+    params: Vec<Var>,
     /// The body — always a call site in CPS.
-    pub body: Rc<CExp>,
+    body: Rc<CExp>,
+    /// The lazily computed free variables, shared by every clone of this
+    /// abstraction.  Free-variable sets drive the `Touches` instances (and
+    /// through them abstract GC and the engines' read-dependency sets), so
+    /// every transition used to recompute this subtree walk many times
+    /// over.  Not part of the value: equality, ordering and hashing ignore
+    /// it.
+    free: std::sync::Arc<std::sync::OnceLock<std::collections::BTreeSet<Var>>>,
+}
+
+impl PartialEq for Lambda {
+    fn eq(&self, other: &Self) -> bool {
+        self.params == other.params && self.body == other.body
+    }
+}
+
+impl Eq for Lambda {}
+
+impl PartialOrd for Lambda {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Lambda {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.params
+            .cmp(&other.params)
+            .then_with(|| self.body.cmp(&other.body))
+    }
+}
+
+/// Hashing a λ-abstraction must not walk its whole body: abstract machine
+/// states embed program fragments, and the hash-consing engine layer hashes
+/// states constantly.  The head label of the body identifies the call site
+/// (labels are unique within a program), so `params + head label` is a
+/// cheap digest that is consistent with the structural `Eq` — equal lambdas
+/// have equal parameter lists and equal (hence equally-labelled) bodies.
+/// Distinct lambdas from *different* programs may collide; hash users
+/// resolve that with their equality checks, as they must anyway.
+impl std::hash::Hash for Lambda {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.params.hash(state);
+        self.body.label().hash(state);
+    }
 }
 
 impl Lambda {
@@ -28,16 +77,35 @@ impl Lambda {
         Lambda {
             params,
             body: Rc::new(body),
+            free: std::sync::Arc::new(std::sync::OnceLock::new()),
         }
+    }
+
+    /// The formal parameters.
+    pub fn params(&self) -> &[Var] {
+        &self.params
+    }
+
+    /// The body — always a call site in CPS.
+    pub fn body(&self) -> &Rc<CExp> {
+        &self.body
     }
 
     /// The free variables of this λ-abstraction.
     pub fn free_vars(&self) -> std::collections::BTreeSet<Var> {
-        let mut free = self.body.free_vars();
-        for p in &self.params {
-            free.remove(p);
-        }
-        free
+        self.free_vars_ref().clone()
+    }
+
+    /// The free variables, borrowed from the per-abstraction cache (the
+    /// subtree walk happens once per abstraction, not once per query).
+    pub fn free_vars_ref(&self) -> &std::collections::BTreeSet<Var> {
+        self.free.get_or_init(|| {
+            let mut free = self.body.free_vars();
+            for p in &self.params {
+                free.remove(p);
+            }
+            free
+        })
     }
 }
 
@@ -110,7 +178,7 @@ impl fmt::Display for AExp {
 ///
 /// Every call site carries a [`Label`] identifying it as a program point;
 /// the k-CFA context machinery records sequences of these labels.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub enum CExp {
     /// `(f æ₁ … æₙ)` — apply `f` to the arguments.
     Call {
@@ -123,6 +191,17 @@ pub enum CExp {
     },
     /// The final state of the machine.
     Exit,
+}
+
+/// Call expressions hash by their label alone (see [`Lambda`]'s `Hash` for
+/// the rationale): within one program the label determines the call site,
+/// so the digest is consistent with the structural `Eq` at O(1) cost
+/// instead of a full-subtree walk per machine-state hash.
+impl std::hash::Hash for CExp {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        std::mem::discriminant(self).hash(state);
+        self.label().hash(state);
+    }
 }
 
 impl CExp {

@@ -13,7 +13,8 @@ use std::collections::{BTreeMap, BTreeSet};
 use mai_core::addr::{Context, NamedAddress};
 use mai_core::collect::{run_analysis, with_gc, Collecting, PerStateDomain, SharedStoreDomain};
 use mai_core::engine::{
-    explore_worklist_rescan_stats, explore_worklist_stats, EngineStats, FrontierCollecting,
+    explore_worklist_rescan_stats, explore_worklist_stats, explore_worklist_structural_stats,
+    EngineStats, FrontierCollecting,
 };
 use mai_core::gc::{reachable, GcStrategy, Touches};
 use mai_core::monad::{
@@ -192,6 +193,40 @@ where
     )
 }
 
+/// Like [`analyse_worklist`], but solved by the PR-2 *structural-key*
+/// incremental engine (states as `BTreeMap` keys instead of interned ids) —
+/// a differential-testing oracle and the E10 benchmark baseline.
+pub fn analyse_worklist_structural<C, S, Fp>(program: &Program) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: FrontierCollecting<StorePassing<C, S>, PState<C::Addr>>,
+{
+    let table = program.table.clone();
+    explore_worklist_structural_stats::<StorePassing<C, S>, _, Fp, _>(
+        move |ps| mnext::<StorePassing<C, S>, C::Addr>(&table, ps),
+        PState::inject(program.main.clone()),
+    )
+}
+
+/// Like [`analyse_with_gc_worklist`], but solved by the structural-key
+/// engine.
+pub fn analyse_with_gc_worklist_structural<C, S, Fp>(program: &Program) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: FrontierCollecting<StorePassing<C, S>, PState<C::Addr>>,
+{
+    let table = program.table.clone();
+    explore_worklist_structural_stats::<StorePassing<C, S>, _, Fp, _>(
+        with_gc::<StorePassing<C, S>, PState<C::Addr>, _, _>(
+            move |ps| mnext::<StorePassing<C, S>, C::Addr>(&table, ps),
+            FjGc,
+        ),
+        PState::inject(program.main.clone()),
+    )
+}
+
 /// Like [`analyse_worklist`], but solved by the PR-1 *rescanning* worklist
 /// engine (full contribution re-join per round) — the differential-testing
 /// oracle and E9 benchmark baseline.
@@ -280,6 +315,26 @@ pub fn analyse_kcfa_shared_rescan<const K: usize>(
     program: &Program,
 ) -> (KFjShared<K>, EngineStats) {
     analyse_worklist_rescan::<KCallCtx<K>, KFjStore, _>(program)
+}
+
+/// [`analyse_kcfa_shared`] solved by the PR-2 structural-key incremental
+/// engine — the E10 benchmark baseline.
+pub fn analyse_kcfa_shared_structural<const K: usize>(
+    program: &Program,
+) -> (KFjShared<K>, EngineStats) {
+    analyse_worklist_structural::<KCallCtx<K>, KFjStore, _>(program)
+}
+
+/// How many distinct environments the states of a shared-store FJ fixpoint
+/// carry, measured with an [`EnvId`](mai_core::intern::EnvId) interner —
+/// the language-boundary half of [`EngineStats::distinct_envs`].
+pub fn distinct_env_count<A, G, S>(result: &SharedStoreDomain<PState<A>, G, S>) -> usize
+where
+    A: mai_core::addr::Address + std::hash::Hash,
+    G: Ord + Clone,
+    S: mai_core::lattice::Lattice,
+{
+    mai_core::intern::distinct_count(result.states().iter().map(|(ps, _)| ps.env.clone()))
 }
 
 /// [`analyse_kcfa`] solved by the worklist engine (per-state stores).

@@ -40,11 +40,12 @@ pub mod typecheck;
 
 pub use analysis::{
     analyse, analyse_kcfa, analyse_kcfa_shared, analyse_kcfa_shared_gc,
-    analyse_kcfa_shared_gc_worklist, analyse_kcfa_shared_rescan, analyse_kcfa_shared_worklist,
-    analyse_kcfa_with_count, analyse_kcfa_with_count_worklist, analyse_kcfa_worklist, analyse_mono,
-    analyse_mono_worklist, analyse_with_gc, analyse_with_gc_worklist,
-    analyse_with_gc_worklist_rescan, analyse_worklist, analyse_worklist_rescan, class_flow_map,
-    result_classes, FjAnalyser, FjGc,
+    analyse_kcfa_shared_gc_worklist, analyse_kcfa_shared_rescan, analyse_kcfa_shared_structural,
+    analyse_kcfa_shared_worklist, analyse_kcfa_with_count, analyse_kcfa_with_count_worklist,
+    analyse_kcfa_worklist, analyse_mono, analyse_mono_worklist, analyse_with_gc,
+    analyse_with_gc_worklist, analyse_with_gc_worklist_rescan, analyse_with_gc_worklist_structural,
+    analyse_worklist, analyse_worklist_rescan, analyse_worklist_structural, class_flow_map,
+    distinct_env_count, result_classes, FjAnalyser, FjGc,
 };
 pub use concrete::{run, run_with_limit, Outcome};
 pub use machine::{mnext, Control, Env, FjInterface, Kont, KontKind, Obj, PState, Storable};

@@ -7,20 +7,23 @@
 //! semantic interface [`FjInterface`] so that the monad (and with it every
 //! analysis parameter) stays exchangeable.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::fmt;
 use std::rc::Rc;
 
 use mai_core::addr::Address;
 use mai_core::engine::StateRoots;
+use mai_core::env::CowMap;
 use mai_core::gc::Touches;
 use mai_core::monad::{map_m, MonadFamily};
 use mai_core::name::{Label, Name};
 
 use crate::syntax::{this_var, ClassName, ClassTable, Expr, FieldName, MethodName, VarName};
 
-/// An environment: variable → address.
-pub type Env<A> = BTreeMap<VarName, A>;
+/// An environment: variable → address, shared copy-on-write — cloning an
+/// environment into a frame or successor state is a reference-count bump,
+/// and the map is copied only when a shared handle is extended.
+pub type Env<A> = CowMap<VarName, A>;
 
 /// A reference to a continuation; `None` is the halt continuation.
 pub type KontRef<A> = Option<A>;
@@ -379,7 +382,10 @@ impl KontKind {
 /// The synthetic name under which continuations of a given kind created at
 /// a site are allocated.
 pub fn kont_name(site: Label, kind: KontKind) -> Name {
-    Name::from(format!("$kont-{}{}", kind.tag(), site.index()))
+    // Minted once per transition at every allocation site: served from the
+    // global synthetic-name cache, so the format and pool lookup happen
+    // only on first sight of a (kind, site) pair.
+    Name::synthetic("$kont-", kind.tag(), site.index())
 }
 
 /// The synthetic name under which the field `field` of a `new class(…)`

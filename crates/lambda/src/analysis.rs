@@ -11,7 +11,8 @@ use std::collections::BTreeSet;
 use mai_core::addr::{Context, NamedAddress};
 use mai_core::collect::{run_analysis, with_gc, Collecting, PerStateDomain, SharedStoreDomain};
 use mai_core::engine::{
-    explore_worklist_rescan_stats, explore_worklist_stats, EngineStats, FrontierCollecting,
+    explore_worklist_rescan_stats, explore_worklist_stats, explore_worklist_structural_stats,
+    EngineStats, FrontierCollecting,
 };
 use mai_core::gc::Touches;
 use mai_core::gc::{reachable, GcStrategy};
@@ -177,6 +178,38 @@ where
     )
 }
 
+/// Like [`analyse_worklist`], but solved by the PR-2 *structural-key*
+/// incremental engine (states as `BTreeMap` keys instead of interned ids) —
+/// a differential-testing oracle and the E10 benchmark baseline.
+pub fn analyse_worklist_structural<C, S, Fp>(term: &Term) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: FrontierCollecting<StorePassing<C, S>, PState<C::Addr>>,
+{
+    explore_worklist_structural_stats::<StorePassing<C, S>, _, Fp, _>(
+        mnext::<StorePassing<C, S>, C::Addr>,
+        PState::inject(term.clone()),
+    )
+}
+
+/// Like [`analyse_with_gc_worklist`], but solved by the structural-key
+/// engine.
+pub fn analyse_with_gc_worklist_structural<C, S, Fp>(term: &Term) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: FrontierCollecting<StorePassing<C, S>, PState<C::Addr>>,
+{
+    explore_worklist_structural_stats::<StorePassing<C, S>, _, Fp, _>(
+        with_gc::<StorePassing<C, S>, PState<C::Addr>, _, _>(
+            mnext::<StorePassing<C, S>, C::Addr>,
+            CeskGc,
+        ),
+        PState::inject(term.clone()),
+    )
+}
+
 /// Like [`analyse_worklist`], but solved by the PR-1 *rescanning* worklist
 /// engine (full contribution re-join per round) — the differential-testing
 /// oracle and E9 benchmark baseline.
@@ -283,6 +316,28 @@ pub fn analyse_kcfa_shared_gc_worklist<const K: usize>(
 /// [`analyse_kcfa_shared`] solved by the PR-1 rescanning worklist engine.
 pub fn analyse_kcfa_shared_rescan<const K: usize>(term: &Term) -> (KCeskShared<K>, EngineStats) {
     analyse_worklist_rescan::<KCallCtx<K>, KCeskStore, _>(term)
+}
+
+/// [`analyse_kcfa_shared`] solved by the PR-2 structural-key incremental
+/// engine — the E10 benchmark baseline.
+pub fn analyse_kcfa_shared_structural<const K: usize>(
+    term: &Term,
+) -> (KCeskShared<K>, EngineStats) {
+    analyse_worklist_structural::<KCallCtx<K>, KCeskStore, _>(term)
+}
+
+/// How many distinct environments the states of a shared-store CESK
+/// fixpoint carry (top-level state environments; closures and frames share
+/// them through the copy-on-write representation), measured with an
+/// [`EnvId`](mai_core::intern::EnvId) interner — the language-boundary half
+/// of [`EngineStats::distinct_envs`].
+pub fn distinct_env_count<A, G, S>(result: &SharedStoreDomain<PState<A>, G, S>) -> usize
+where
+    A: mai_core::addr::Address + std::hash::Hash,
+    G: Ord + Clone,
+    S: mai_core::lattice::Lattice,
+{
+    mai_core::intern::distinct_count(result.states().iter().map(|(ps, _)| ps.env.clone()))
 }
 
 /// [`analyse_mono`] solved by the worklist engine.

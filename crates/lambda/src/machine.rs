@@ -8,20 +8,24 @@
 //! `CPSInterface` plays for CPS; the transition function [`mnext`] is again
 //! written once and reused by the concrete interpreter and every analysis.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::fmt;
 use std::rc::Rc;
 
 use mai_core::addr::Address;
 use mai_core::engine::StateRoots;
+use mai_core::env::CowMap;
 use mai_core::gc::Touches;
 use mai_core::monad::MonadFamily;
 use mai_core::name::{Label, Name};
 
 use crate::syntax::{Term, Var};
 
-/// An environment: a finite map from variables to addresses.
-pub type Env<A> = BTreeMap<Var, A>;
+/// An environment: a finite map from variables to addresses, shared
+/// copy-on-write — cloning an environment into a closure, frame or
+/// successor state is a reference-count bump, and the map is copied only
+/// when a shared handle is extended.
+pub type Env<A> = CowMap<Var, A>;
 
 /// A reference to a continuation: `None` is the halt continuation, `Some`
 /// points at a store-allocated continuation.
@@ -330,7 +334,10 @@ impl KontKind {
 /// The synthetic variable name under which continuations of a given kind
 /// allocated at a given program point are stored.
 pub fn kont_name(site: Label, kind: KontKind) -> Name {
-    Name::from(format!("$kont-{}{}", kind.tag(), site.index()))
+    // Minted once per transition at every allocation site: served from the
+    // global synthetic-name cache, so the format and pool lookup happen
+    // only on first sight of a (kind, site) pair.
+    Name::synthetic("$kont-", kind.tag(), site.index())
 }
 
 /// The monadic transition function of the CESK machine — the analogue of

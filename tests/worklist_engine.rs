@@ -1,17 +1,18 @@
 //! The worklist engines are observationally equivalent to Kleene iteration.
 //!
-//! The incremental accumulator engine (`mai_core::engine`, the default
-//! behind `analyse_*_worklist`) and the retained PR-1 rescanning engine
-//! (`analyse_*_rescan`) both promise to compute *exactly* the fixpoint
-//! `explore_fp` computes, for every combination of the paper's degrees of
-//! freedom: context sensitivity (mono / 0CFA / 1CFA), store representation
-//! (basic / counting) and abstract GC (on / off), with per-state or shared
-//! stores, across all three language substrates.  These tests assert `==`
-//! on the analysis domains over the benchmark corpus, that the engines do
-//! strictly less work than Kleene iteration on the k-CFA worst-case
-//! family, and that the incremental engine folds O(|frontier|)
-//! contributions per round where the rescanning engine re-joins
-//! O(|states|).
+//! The id-indexed (interned) incremental engine (`mai_core::engine`, the
+//! default behind `analyse_*_worklist`), the retained PR-2 structural-key
+//! incremental engine (`analyse_*_structural`) and the retained PR-1
+//! rescanning engine (`analyse_*_rescan`) all promise to compute *exactly*
+//! the fixpoint `explore_fp` computes, for every combination of the
+//! paper's degrees of freedom: context sensitivity (mono / 0CFA / 1CFA),
+//! store representation (basic / counting) and abstract GC (on / off),
+//! with per-state or shared stores, across all three language substrates.
+//! These tests assert `==` on the analysis domains over the benchmark
+//! corpus, that the engines do strictly less work than Kleene iteration on
+//! the k-CFA worst-case family, and that the incremental engines fold
+//! O(|frontier|) contributions per round where the rescanning engine
+//! re-joins O(|states|).
 
 use std::cell::Cell;
 use std::rc::Rc;
@@ -43,6 +44,36 @@ macro_rules! check_cps_shared {
             $name, $label
         );
         assert!(stats.states_stepped > 0);
+        // The id-indexed default engine interned every configuration.
+        assert_eq!(
+            stats.distinct_states,
+            worklist.len(),
+            "{}/{}",
+            $name,
+            $label
+        );
+        assert_eq!(stats.intern_misses, worklist.len(), "{}/{}", $name, $label);
+        let (structural, structural_stats): (Domain, _) =
+            cps::analyse_worklist_structural::<$ctx, $store, _>(program);
+        assert_eq!(
+            structural, kleene,
+            "{}/{}: structural engine differs from Kleene (no gc)",
+            $name, $label
+        );
+        // Same frontier strategy with tighter read sets: the id-indexed
+        // engine never does more logical work than the structural one.
+        assert!(
+            stats.states_stepped <= structural_stats.states_stepped,
+            "{}/{}",
+            $name,
+            $label
+        );
+        assert!(
+            stats.store_joins <= structural_stats.store_joins,
+            "{}/{}",
+            $name,
+            $label
+        );
         let (rescan, rescan_stats): (Domain, _) =
             cps::analyse_worklist_rescan::<$ctx, $store, _>(program);
         assert_eq!(
@@ -72,6 +103,13 @@ macro_rules! check_cps_shared {
         assert_eq!(
             worklist_gc, kleene_gc,
             "{}/{}: worklist differs from Kleene (gc)",
+            $name, $label
+        );
+        let (structural_gc, _): (Domain, _) =
+            cps::analyse_gc_worklist_structural::<$ctx, $store, _>(program);
+        assert_eq!(
+            structural_gc, kleene_gc,
+            "{}/{}: structural engine differs from Kleene (gc)",
             $name, $label
         );
         let (rescan_gc, _): (Domain, _) =
@@ -257,6 +295,8 @@ fn cesk_worklist_agrees_with_kleene() {
         let one = lambda::analyse_kcfa_shared::<1>(&term);
         let (one_wl, _) = lambda::analyse_kcfa_shared_worklist::<1>(&term);
         assert_eq!(one_wl, one, "{name}: CESK 1CFA differs");
+        let (one_structural, _) = lambda::analyse_kcfa_shared_structural::<1>(&term);
+        assert_eq!(one_structural, one, "{name}: CESK 1CFA structural differs");
         let (one_rescan, _) = lambda::analyse_kcfa_shared_rescan::<1>(&term);
         assert_eq!(one_rescan, one, "{name}: CESK 1CFA rescan differs");
 
@@ -287,6 +327,8 @@ fn fj_worklist_agrees_with_kleene() {
         let one = fj::analyse_kcfa_shared::<1>(&program);
         let (one_wl, _) = fj::analyse_kcfa_shared_worklist::<1>(&program);
         assert_eq!(one_wl, one, "{name}: FJ 1CFA differs");
+        let (one_structural, _) = fj::analyse_kcfa_shared_structural::<1>(&program);
+        assert_eq!(one_structural, one, "{name}: FJ 1CFA structural differs");
         let (one_rescan, _) = fj::analyse_kcfa_shared_rescan::<1>(&program);
         assert_eq!(one_rescan, one, "{name}: FJ 1CFA rescan differs");
 
