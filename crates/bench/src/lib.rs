@@ -16,9 +16,9 @@ use mai_core::collect::explore_fp;
 use mai_core::engine::EngineStats;
 use mai_core::{KCallAddr, KCallCtx, StorePassing};
 use mai_cps::analysis::{
-    analyse_kcfa, analyse_kcfa_shared, analyse_kcfa_shared_gc, analyse_kcfa_shared_rescan,
-    analyse_kcfa_shared_structural, analyse_kcfa_shared_worklist, analyse_mono, distinct_env_count,
-    AnalysisMetrics, KCfaShared, KStore,
+    analyse_kcfa, analyse_kcfa_shared, analyse_kcfa_shared_direct, analyse_kcfa_shared_gc,
+    analyse_kcfa_shared_rescan, analyse_kcfa_shared_structural, analyse_kcfa_shared_worklist,
+    analyse_mono, distinct_env_count, AnalysisMetrics, KCfaShared, KStore,
 };
 use mai_cps::syntax::CExp;
 use mai_cps::{mnext, PState};
@@ -390,6 +390,107 @@ pub fn interned_row(name: impl Into<String>, program: &CExp, repeats: usize) -> 
     }
 }
 
+/// One row of the E11 comparison: the same 1CFA shared-store analysis on
+/// the persistent (pmap) store spine, solved by the PR-3 interned engine on
+/// the `Rc`-closure carrier and by the same engine on the direct-style
+/// carrier (`mnext_direct`, no `Rc<dyn Fn>` per bind).
+#[derive(Debug, Clone)]
+pub struct DirectRow {
+    /// The workload name.
+    pub program: String,
+    /// `(state, guts)` pairs in the fixpoint (identical for both carriers).
+    pub configurations: usize,
+    /// Work statistics of the `Rc`-carrier (PR-3 interned) solve.
+    pub rc: EngineStats,
+    /// Wall-clock time of the `Rc`-carrier solve.
+    pub rc_time: Duration,
+    /// Work statistics of the direct-carrier solve.  The *work* counters
+    /// (steps, joins, spine clones) are identical to the `Rc` side by
+    /// construction — the solver code is shared — which is itself asserted;
+    /// only wall-clock differs.
+    pub direct: EngineStats,
+    /// Wall-clock time of the direct-carrier solve.
+    pub direct_time: Duration,
+    /// Whether the two fixpoints were identical (they always must be).
+    pub equal: bool,
+}
+
+impl DirectRow {
+    /// Wall-clock speedup of the direct carrier over the `Rc` carrier
+    /// (>1 means eliminating the per-bind `Rc` allocations won).
+    pub fn speedup(&self) -> f64 {
+        let direct = self.direct_time.as_secs_f64();
+        if direct > 0.0 {
+            self.rc_time.as_secs_f64() / direct
+        } else {
+            f64::NAN
+        }
+    }
+
+    /// Renders the row in the fixed-width format used by the report binary.
+    /// The headline column is the wall-clock speedup; the spine counters
+    /// show the structural sharing both carriers now enjoy.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<18} states={:<6} clones={:<6} shared-bytes={:<8} \
+             rc={:<10.2?} direct={:<10.2?} speedup={:<5.2} equal={}",
+            self.program,
+            self.direct.distinct_states,
+            self.direct.spine_clones,
+            self.direct.store_bytes_shared,
+            self.rc_time,
+            self.direct_time,
+            self.speedup(),
+            self.equal,
+        )
+    }
+
+    /// The JSON rendering of the row for `BENCH_report.json`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("program", Json::Str(self.program.clone())),
+            ("configurations", Json::Int(self.configurations as u64)),
+            ("rc", engine_stats_json(&self.rc)),
+            ("rc_ms", Json::Num(self.rc_time.as_secs_f64() * 1e3)),
+            ("direct", engine_stats_json(&self.direct)),
+            ("direct_ms", Json::Num(self.direct_time.as_secs_f64() * 1e3)),
+            ("speedup", Json::Num(self.speedup())),
+            ("equal", Json::Bool(self.equal)),
+        ])
+    }
+}
+
+/// Runs the E11 comparison for one program: 1CFA with a shared store,
+/// solved by the PR-3 interned engine on both carriers.  Both solves are
+/// repeated `repeats` times (minimum taken).
+pub fn direct_row(name: impl Into<String>, program: &CExp, repeats: usize) -> DirectRow {
+    let repeats = repeats.max(1);
+    let mut rc_time = Duration::MAX;
+    let mut direct_time = Duration::MAX;
+    let mut measured: Option<(KCfaShared<1>, EngineStats, KCfaShared<1>, EngineStats)> = None;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        let (rc, rc_stats) = analyse_kcfa_shared_worklist::<1>(program);
+        rc_time = rc_time.min(start.elapsed());
+
+        let start = Instant::now();
+        let (direct, direct_stats) = analyse_kcfa_shared_direct::<1>(program);
+        direct_time = direct_time.min(start.elapsed());
+        measured = Some((rc, rc_stats, direct, direct_stats));
+    }
+    let (rc, rc_stats, direct, direct_stats) = measured.expect("at least one repeat");
+
+    DirectRow {
+        program: name.into(),
+        configurations: direct.len(),
+        rc: rc_stats,
+        rc_time,
+        direct: direct_stats,
+        direct_time,
+        equal: rc == direct,
+    }
+}
+
 /// Runs the E9 comparison for one program: 1CFA with a shared store, solved
 /// by the incremental accumulator and by the PR-1 rescanning engine.
 pub fn incremental_row(name: &'static str, program: &CExp) -> IncrementalRow {
@@ -483,6 +584,26 @@ mod tests {
         assert_eq!(row.structural.intern_misses, 0);
         let json = row.to_json().render();
         assert!(json.contains("\"intern_hit_rate\""));
+        assert!(json.contains("\"speedup\""));
+    }
+
+    #[test]
+    fn direct_rows_agree_and_do_identical_work() {
+        let program = mai_cps::programs::kcfa_worst_case_scaled(2, 3);
+        let row = direct_row("kcfa-worst-2w3", &program, 2);
+        assert!(row.equal, "direct and Rc-carrier fixpoints differ");
+        // The solver is shared between the carriers, so every work counter
+        // must agree bit-for-bit; only wall-clock may differ.
+        assert_eq!(row.rc.states_stepped, row.direct.states_stepped);
+        assert_eq!(row.rc.store_joins, row.direct.store_joins);
+        assert_eq!(row.rc.spine_clones, row.direct.spine_clones);
+        assert_eq!(row.rc.store_widenings, row.direct.store_widenings);
+        // The persistent spine actually shares structure with the caches.
+        assert!(row.direct.spine_clones > 0);
+        assert!(row.direct.store_bytes_shared > 0);
+        let json = row.to_json().render();
+        assert!(json.contains("\"spine_clones\""));
+        assert!(json.contains("\"store_bytes_shared\""));
         assert!(json.contains("\"speedup\""));
     }
 

@@ -16,8 +16,8 @@ use std::time::Instant;
 
 use mai_bench::report::Json;
 use mai_bench::{
-    cloning_vs_shared, cps_corpus, gc_rows, incremental_row, interned_row, polyvariance_rows,
-    worklist_row, E10_SCALE_WIDTH,
+    cloning_vs_shared, cps_corpus, direct_row, gc_rows, incremental_row, interned_row,
+    polyvariance_rows, worklist_row, E10_SCALE_WIDTH,
 };
 use mai_core::store::StoreLike;
 use mai_cps::analysis::{analyse_kcfa_shared, analyse_mono};
@@ -225,9 +225,34 @@ fn experiment_interned() -> Vec<Json> {
     rows
 }
 
+/// E11 — the direct-style carrier on the persistent store spine vs. the
+/// PR-3 interned engine on the `Rc`-closure carrier: identical fixpoints
+/// and identical work counters, no `Rc<dyn Fn>` allocation per bind.
+fn experiment_persistent() -> Vec<Json> {
+    heading(
+        "E11  direct-style carrier (persistent spine) vs. Rc-closure interned engine \
+         (1CFA, shared store)",
+    );
+    let mut rows = Vec::new();
+    for (name, program, repeats) in e10_workloads() {
+        let row = direct_row(name, &program, repeats);
+        println!("{}", row.render());
+        rows.push(row.to_json());
+    }
+    rows
+}
+
 /// One deterministic counter of one engine row: `(section, program,
-/// counter-path, fresh value)`.
+/// counter-path, fresh value)`.  `higher_is_better` selects the regression
+/// direction: most counters measure *work* (growth regresses), the
+/// structural-sharing byte counter measures *savings* (shrinkage
+/// regresses).
 type CounterSample = (&'static str, String, &'static str, u64);
+
+/// Whether a larger fresh value is the good direction for this counter.
+fn higher_is_better(counter: &str) -> bool {
+    counter.ends_with("store_bytes_shared")
+}
 
 /// Reads `row.engine.states_stepped`-style nested counters out of a parsed
 /// report row.
@@ -301,6 +326,50 @@ fn fresh_counters() -> Vec<CounterSample> {
             row.rescan.store_joins as u64,
         ));
     }
+    // E11: direct-carrier counters (work + structural sharing).  The work
+    // counters must also *match* the Rc carrier's — the solver is shared —
+    // which pins the carriers to each other, not just to the baseline.
+    for (name, program, _) in e10_workloads() {
+        let row = direct_row(name.clone(), &program, 1);
+        assert!(row.equal, "{name}: direct fixpoint differs from Rc carrier");
+        assert_eq!(
+            (
+                row.rc.states_stepped,
+                row.rc.store_joins,
+                row.rc.spine_clones
+            ),
+            (
+                row.direct.states_stepped,
+                row.direct.store_joins,
+                row.direct.spine_clones
+            ),
+            "{name}: carriers disagree on work counters"
+        );
+        samples.push((
+            "e11_persistent_vs_interned",
+            name.clone(),
+            "direct.states_stepped",
+            row.direct.states_stepped as u64,
+        ));
+        samples.push((
+            "e11_persistent_vs_interned",
+            name.clone(),
+            "direct.store_joins",
+            row.direct.store_joins as u64,
+        ));
+        samples.push((
+            "e11_persistent_vs_interned",
+            name.clone(),
+            "direct.spine_clones",
+            row.direct.spine_clones as u64,
+        ));
+        samples.push((
+            "e11_persistent_vs_interned",
+            name,
+            "direct.store_bytes_shared",
+            row.direct.store_bytes_shared as u64,
+        ));
+    }
     // E10: id-indexed vs. structural counters.
     for (name, program, _) in e10_workloads() {
         let row = interned_row(name.clone(), &program, 1);
@@ -371,17 +440,25 @@ fn check_regress() -> std::process::ExitCode {
             })
             .and_then(|row| committed_counter(row, counter));
         match baseline {
-            Some(committed_value) if fresh > committed_value => {
-                regressions += 1;
-                println!(
-                    "REGRESSION  {section}/{program} {counter}: {fresh} > committed {committed_value}"
-                );
-            }
-            Some(committed_value) if fresh < committed_value => {
-                improvements += 1;
-                println!(
-                    "improved    {section}/{program} {counter}: {fresh} < committed {committed_value}"
-                );
+            Some(committed_value) if fresh != committed_value => {
+                // `store_bytes_shared` regresses when sharing *shrinks*;
+                // every work counter regresses when it *grows*.
+                let regressed = if higher_is_better(counter) {
+                    fresh < committed_value
+                } else {
+                    fresh > committed_value
+                };
+                if regressed {
+                    regressions += 1;
+                    println!(
+                        "REGRESSION  {section}/{program} {counter}: {fresh} vs committed {committed_value}"
+                    );
+                } else {
+                    improvements += 1;
+                    println!(
+                        "improved    {section}/{program} {counter}: {fresh} vs committed {committed_value}"
+                    );
+                }
             }
             Some(_) => {}
             None => {
@@ -424,9 +501,10 @@ fn main() -> std::process::ExitCode {
     let worklist = experiment_worklist();
     let incremental = experiment_incremental();
     let interned = experiment_interned();
+    let persistent = experiment_persistent();
 
     let report = Json::obj([
-        ("schema_version", Json::Int(2)),
+        ("schema_version", Json::Int(3)),
         (
             "report_wall_clock_ms",
             Json::Num(started.elapsed().as_secs_f64() * 1e3),
@@ -435,6 +513,7 @@ fn main() -> std::process::ExitCode {
         ("e8_worklist_vs_kleene", Json::Arr(worklist)),
         ("e9_incremental_vs_rescan", Json::Arr(incremental)),
         ("e10_interned_vs_structural", Json::Arr(interned)),
+        ("e11_persistent_vs_interned", Json::Arr(persistent)),
     ]);
     let path = "BENCH_report.json";
     match std::fs::write(path, report.render() + "\n") {

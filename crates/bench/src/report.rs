@@ -93,7 +93,7 @@ impl Json {
 
 impl Json {
     /// Parses a JSON document (the subset this module renders: objects,
-    /// arrays, strings with the escapes [`escape`] emits, numbers,
+    /// arrays, strings with the escapes the renderer emits, numbers,
     /// booleans and `null` — `null` parses as `Num(NAN)`, matching how
     /// non-finite floats render).  Used by the `--check-regress` mode to
     /// read the committed `BENCH_report.json` back in.
@@ -378,6 +378,11 @@ pub fn engine_stats_json(stats: &EngineStats) -> Json {
         ("intern_hit_rate", Json::Num(stats.intern_hit_rate())),
         ("distinct_states", Json::Int(stats.distinct_states as u64)),
         ("distinct_envs", Json::Int(stats.distinct_envs as u64)),
+        ("spine_clones", Json::Int(stats.spine_clones as u64)),
+        (
+            "store_bytes_shared",
+            Json::Int(stats.store_bytes_shared as u64),
+        ),
     ])
 }
 

@@ -52,10 +52,12 @@ use crate::name::{Label, Name};
 ///
 /// This is a "trait alias" for the constraints every address representation
 /// needs: cloneable, totally ordered (so that it can key stores and appear
-/// inside power-set lattices) and printable.
-pub trait Address: Clone + Ord + Debug + 'static {}
+/// inside power-set lattices), hashable (so that it can be placed in the
+/// persistent [`PMap`](crate::pmap) store spine and in the id-indexed
+/// engines' dependency indices) and printable.
+pub trait Address: Clone + Ord + std::hash::Hash + Debug + 'static {}
 
-impl<T: Clone + Ord + Debug + 'static> Address for T {}
+impl<T: Clone + Ord + std::hash::Hash + Debug + 'static> Address for T {}
 
 /// Types with a distinguished initial value (the paper's `HasInitial`
 /// class, §5.3.3).  Used to seed the "guts" component when a state is

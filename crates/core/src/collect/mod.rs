@@ -21,7 +21,7 @@
 //!   §5.3.3,
 //! * [`SharedStoreDomain`] — the widened domain `(P((PΣ, g)), s)` of §6.5,
 //!   related to the former by an explicit Galois connection,
-//! * [`with_gc`] — weaving a [`GcStrategy`](crate::gc::GcStrategy) into a
+//! * [`with_gc`] — weaving a [`GcStrategy`] into a
 //!   step function (§6.4).
 
 mod per_state;

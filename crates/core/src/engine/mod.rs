@@ -28,7 +28,7 @@
 //!   **incremental accumulator**: it maintains one running domain, steps
 //!   only the frontier (new pairs, plus pairs invalidated through a reverse
 //!   dependency index over the addresses their transition may read — the
-//!   [`reachable`](crate::gc::reachable) closure of their [`StateRoots`],
+//!   [`reachable`] closure of their [`StateRoots`],
 //!   the same root set abstract GC uses), and folds only those re-stepped
 //!   contributions back in with the change-tracking in-place joins of the
 //!   lattice layer.  Per-address store deltas fall out of the fold
@@ -54,7 +54,7 @@
 //! the states Kleene iteration re-steps.  Use
 //! [`explore_fp`](crate::collect::explore_fp) when you want the paper's
 //! literal algorithm, a second opinion in a differential test, or a domain
-//! that implements only [`Collecting`](crate::collect::Collecting).
+//! that implements only [`Collecting`].
 
 mod per_state;
 mod shared;
@@ -64,7 +64,9 @@ use std::fmt;
 
 use crate::addr::Address;
 use crate::collect::Collecting;
+use crate::gc::{reachable, Touches};
 use crate::monad::{MonadFamily, Value};
+use crate::store::StoreLike;
 
 /// Instrumentation gathered by a worklist run (for the experiment harness
 /// and for asserting that the engine does strictly less work than Kleene
@@ -120,6 +122,24 @@ pub struct EngineStats {
     /// language crates, used by the E10 experiment rows); 0 when nothing
     /// filled it.
     pub distinct_envs: usize,
+    /// Whole-store spine clones the solver performed: one per step (the
+    /// pre-store handed to the transition function) plus one per cached
+    /// contribution folded into the accumulator.  With the persistent
+    /// [`PMap`](crate::pmap) spine each clone is an `Arc` bump, but the
+    /// *count* is a deterministic work measure — a growing count means the
+    /// engine started re-stepping or re-folding work it had stopped doing,
+    /// so `mai-bench --check-regress` gates on it like on steps and joins.
+    pub spine_clones: usize,
+    /// The peak, over solver rounds, of the approximate bytes of the
+    /// accumulated store's spine shared (`Arc` strong count > 1) with the
+    /// solver's cached deltas — sampled after each round's fold phase via
+    /// [`StoreLike::shared_spine_bytes`](crate::store::StoreLike), while
+    /// the adoptions that fold performed are still live.  0 for stores
+    /// without a persistent spine and for the per-state engine (which has
+    /// no single accumulated store).  Deterministic for a deterministic
+    /// run; `--check-regress` treats a *drop* as a structural-sharing
+    /// regression.
+    pub store_bytes_shared: usize,
 }
 
 impl EngineStats {
@@ -153,7 +173,7 @@ impl fmt::Display for EngineStats {
         write!(
             f,
             "iters={} stepped={} hits={} reenq={} widenings={} joins={} rebuilds={} peak={} \
-             intern={}/{} distinct={}",
+             intern={}/{} distinct={} clones={} shared-bytes={}",
             self.iterations,
             self.states_stepped,
             self.cache_hits,
@@ -164,7 +184,9 @@ impl fmt::Display for EngineStats {
             self.peak_frontier,
             self.intern_hits,
             self.intern_misses,
-            self.distinct_states
+            self.distinct_states,
+            self.spine_clones,
+            self.store_bytes_shared
         )
     }
 }
@@ -173,7 +195,7 @@ impl fmt::Display for EngineStats {
 /// as a set of *roots* to be closed over the store.
 ///
 /// This is the engine-facing view of the language crates'
-/// [`Touches`](crate::gc::Touches) instances: the address type becomes an
+/// [`Touches`] instances: the address type becomes an
 /// associated type so that the shared-store engine can name it without an
 /// unconstrained type parameter.  The contract is the one abstract garbage
 /// collection (§6.4) already relies on: a transition from `self` may only
@@ -184,6 +206,90 @@ pub trait StateRoots {
 
     /// The root addresses of the state (typically its `touches()` set).
     fn state_roots(&self) -> BTreeSet<Self::Addr>;
+}
+
+/// The engines' carrier-neutral view of a transition function: the
+/// desugared `g -> s -> [((state, g), s)]` shape of the `StorePassing`
+/// monad (paper §5.3.1), as a plain function.
+///
+/// Two producers exist:
+///
+/// * `run_store_passing ∘ mnext` — the **`Rc`-closure oracle carrier**
+///   (every `Fn(Ps, G, S) -> Vec<((Ps, G), S)>` closure implements this
+///   trait, so wrapping a monadic step is one line);
+/// * the language crates' `mnext_direct` — the **direct-style carrier**
+///   ([`crate::monad::direct`]), which evaluates the same semantics with
+///   `bind` as plain function composition and no `Rc<dyn Fn>` allocation
+///   per bind.
+///
+/// The solvers are written once against this trait and therefore compute
+/// identical fixpoints (and identical work counters) on either carrier;
+/// only the per-step constant factor differs.
+pub trait StepFn<Ps, G, S> {
+    /// Steps one `(state, guts, store)` configuration to its successor
+    /// branches.
+    fn step(&self, ps: Ps, guts: G, store: S) -> Vec<((Ps, G), S)>;
+}
+
+impl<F, Ps, G, S> StepFn<Ps, G, S> for F
+where
+    F: Fn(Ps, G, S) -> Vec<((Ps, G), S)>,
+{
+    fn step(&self, ps: Ps, guts: G, store: S) -> Vec<((Ps, G), S)> {
+        self(ps, guts, store)
+    }
+}
+
+/// Wraps a direct-style step function so that every produced branch is
+/// followed by abstract garbage collection: the branch's store is
+/// restricted to the addresses reachable from the successor state's roots
+/// (the paper's `STEP-GC` rule of §6.4, on the direct carrier).
+///
+/// This is the direct-style counterpart of
+/// [`with_gc`](crate::collect::with_gc) specialised to the one strategy
+/// every language crate uses — restrict-to-reachable from the stepped
+/// state's [`StateRoots`] — so the languages' `analyse_*_gc_direct` entry
+/// points need no per-language GC plumbing.
+pub fn with_state_gc<Ps, G, S, F>(step: F) -> impl Fn(Ps, G, S) -> Vec<((Ps, G), S)>
+where
+    Ps: StateRoots,
+    S: StoreLike<Ps::Addr>,
+    S::D: Touches<Ps::Addr>,
+    F: StepFn<Ps, G, S>,
+{
+    move |ps: Ps, guts: G, store: S| {
+        step.step(ps, guts, store)
+            .into_iter()
+            .map(|((ps2, g2), s2)| {
+                let live = reachable(ps2.state_roots(), &s2);
+                let s2 = s2.filter_store(|a| live.contains(a));
+                ((ps2, g2), s2)
+            })
+            .collect()
+    }
+}
+
+/// Analysis domains solvable directly from a desugared [`StepFn`] — the
+/// carrier-selecting face of the engines.  [`FrontierCollecting`] methods
+/// wrap their `Rc`-closure step into a [`StepFn`] and delegate here, so
+/// both carriers run byte-identical solver code.
+pub trait DirectCollecting<Ps, G, S>: Sized {
+    /// Solves `lfp (λX. inject(initial) ⊔ applyStep(step, X))` with the
+    /// default frontier-driven engine, from a direct-style step function.
+    fn explore_frontier_direct<F>(step: &F, initial: Ps) -> (Self, EngineStats)
+    where
+        F: StepFn<Ps, G, S>;
+}
+
+/// Computes the collecting semantics with the worklist engine from a
+/// direct-style step function — the carrier-selected counterpart of
+/// [`explore_worklist_stats`].
+pub fn explore_worklist_direct_stats<Ps, G, S, Fp, F>(step: F, initial: Ps) -> (Fp, EngineStats)
+where
+    Fp: DirectCollecting<Ps, G, S>,
+    F: StepFn<Ps, G, S>,
+{
+    Fp::explore_frontier_direct(&step, initial)
 }
 
 /// Analysis domains that can be solved by a frontier-driven worklist engine

@@ -27,7 +27,7 @@ use crate::intern::{InternKey, Interner, StateId};
 use crate::lattice::Lattice;
 use crate::monad::{run_store_passing, MonadFamily, StorePassing, Value};
 
-use super::{EngineStats, FrontierCollecting};
+use super::{DirectCollecting, EngineStats, FrontierCollecting, StepFn};
 
 impl<Ps, G, S> FrontierCollecting<StorePassing<G, S>, Ps> for PerStateDomain<Ps, G, S>
 where
@@ -38,6 +38,22 @@ where
     fn explore_frontier<F>(step: &F, initial: Ps) -> (Self, EngineStats)
     where
         F: Fn(Ps) -> <StorePassing<G, S> as MonadFamily>::M<Ps>,
+    {
+        // Run the Rc-closure carrier through the carrier-neutral solver.
+        let direct = |ps: Ps, g: G, s: S| run_store_passing(step(ps), g, s);
+        <Self as DirectCollecting<Ps, G, S>>::explore_frontier_direct(&direct, initial)
+    }
+}
+
+impl<Ps, G, S> DirectCollecting<Ps, G, S> for PerStateDomain<Ps, G, S>
+where
+    Ps: Value + Ord + Hash,
+    G: Value + Ord + Hash + HasInitial,
+    S: Value + Ord + Hash + Lattice,
+{
+    fn explore_frontier_direct<F>(step: &F, initial: Ps) -> (Self, EngineStats)
+    where
+        F: StepFn<Ps, G, S>,
     {
         let mut stats = EngineStats::default();
         // The interner is the seen-set: a triple's first intern is its
@@ -53,8 +69,11 @@ where
         while let Some(id) = frontier.pop_front() {
             stats.iterations += 1;
             stats.states_stepped += 1;
+            // The triple clone out of the interner is the step's store
+            // clone (an Arc bump on the persistent spine).
+            stats.spine_clones += 1;
             let ((ps, guts), store) = interner.resolve(id).clone();
-            for successor in run_store_passing(step(ps), guts, store) {
+            for successor in step.step(ps, guts, store) {
                 let known = interner.len();
                 let succ_id = interner.intern(successor);
                 if succ_id.index() >= known {

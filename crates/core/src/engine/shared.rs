@@ -90,7 +90,7 @@ use crate::lattice::Lattice;
 use crate::monad::{run_store_passing, MonadFamily, StorePassing, Value};
 use crate::store::{StoreDelta, StoreLike};
 
-use super::{EngineStats, FrontierCollecting, StateRoots};
+use super::{DirectCollecting, EngineStats, FrontierCollecting, StateRoots, StepFn};
 
 /// The memoised outcome of stepping one `(state, guts)` pair, in the
 /// structural (PR-1/PR-2) engines.
@@ -168,9 +168,10 @@ where
     G: Value + Ord,
     S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + Value,
     S::D: Touches<Ps::Addr>,
-    F: Fn(Ps) -> <StorePassing<G, S> as MonadFamily>::M<Ps>,
+    F: StepFn<Ps, G, S>,
 {
     stats.states_stepped += 1;
+    stats.spine_clones += 1;
     let entry = step_pair(step, key, store);
     let mut shrank = false;
     if let Some(old) = cache.get(key) {
@@ -197,13 +198,13 @@ where
     G: Value + Ord,
     S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + Value,
     S::D: Touches<Ps::Addr>,
-    F: Fn(Ps) -> <StorePassing<G, S> as MonadFamily>::M<Ps>,
+    F: StepFn<Ps, G, S>,
 {
     let (ps, guts) = key;
     let mut successors = BTreeSet::new();
     let mut out_store = S::bottom();
     let mut deps = reachable(ps.state_roots(), store);
-    for ((ps2, g2), s2) in run_store_passing(step(ps.clone()), guts.clone(), store.clone()) {
+    for ((ps2, g2), s2) in step.step(ps.clone(), guts.clone(), store.clone()) {
         deps.extend(reachable(ps2.state_roots(), &s2));
         // Write targets are read dependencies (see the CacheEntry docs);
         // keep only the addresses the result still binds — an address a
@@ -240,13 +241,13 @@ where
     G: Value + Ord + Hash,
     S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + Value,
     S::D: Touches<Ps::Addr>,
-    F: Fn(Ps) -> <StorePassing<G, S> as MonadFamily>::M<Ps>,
+    F: StepFn<Ps, G, S>,
 {
     let (ps, guts) = interner.resolve(id).clone();
     let mut deps = reachable(ps.state_roots(), store);
     let mut successors: Vec<StateId> = Vec::new();
     let mut delta = S::bottom();
-    for ((ps2, g2), s2) in run_store_passing(step(ps), guts, store.clone()) {
+    for ((ps2, g2), s2) in step.step(ps, guts, store.clone()) {
         // Same write-targets-are-reads rule as `step_pair`, probing the
         // handful of changed addresses directly instead of materialising
         // the full address set of the result store.  While probing, watch
@@ -275,8 +276,10 @@ where
         successors.push(interner.intern((ps2, g2)));
         // Keep only what the branch changed: every other binding of `s2`
         // was copied out of the pre-store and is already below the
-        // accumulated store the entry will be folded into.
-        delta.join_in_place(s2.filter_store(|a| changed.contains(a)));
+        // accumulated store the entry will be folded into.  `restrict_to`
+        // extracts the handful of changed bindings by descent instead of
+        // walking the whole spine.
+        delta.join_in_place(s2.restrict_to(&changed));
     }
     successors.sort_unstable();
     successors.dedup();
@@ -322,9 +325,10 @@ where
     G: Value + Ord + Hash,
     S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + Value,
     S::D: Touches<Ps::Addr>,
-    F: Fn(Ps) -> <StorePassing<G, S> as MonadFamily>::M<Ps>,
+    F: StepFn<Ps, G, S>,
 {
     stats.states_stepped += 1;
+    stats.spine_clones += 1;
     let entry = step_interned(step, id, store, interner);
     // Interning the successors may have minted fresh ids; keep the flat
     // cache as long as the id space.
@@ -368,6 +372,41 @@ where
     fn explore_frontier<F>(step: &F, initial: Ps) -> (Self, EngineStats)
     where
         F: Fn(Ps) -> <StorePassing<G, S> as MonadFamily>::M<Ps>,
+    {
+        // Run the Rc-closure carrier through the carrier-neutral solver:
+        // desugar each monadic step with `run_store_passing`.
+        let direct = |ps: Ps, g: G, s: S| run_store_passing(step(ps), g, s);
+        <Self as DirectCollecting<Ps, G, S>>::explore_frontier_direct(&direct, initial)
+    }
+
+    fn explore_frontier_structural<F>(step: &F, initial: Ps) -> (Self, EngineStats)
+    where
+        F: Fn(Ps) -> <StorePassing<G, S> as MonadFamily>::M<Ps>,
+    {
+        let direct = |ps: Ps, g: G, s: S| run_store_passing(step(ps), g, s);
+        explore_structural(&direct, initial)
+    }
+
+    fn explore_frontier_rescan<F>(step: &F, initial: Ps) -> (Self, EngineStats)
+    where
+        F: Fn(Ps) -> <StorePassing<G, S> as MonadFamily>::M<Ps>,
+    {
+        let direct = |ps: Ps, g: G, s: S| run_store_passing(step(ps), g, s);
+        explore_rescan(&direct, initial)
+    }
+}
+
+impl<Ps, G, S> DirectCollecting<Ps, G, S> for SharedStoreDomain<Ps, G, S>
+where
+    Ps: Value + Ord + Hash + StateRoots,
+    Ps::Addr: Hash,
+    G: Value + Ord + Hash + HasInitial,
+    S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + Value,
+    S::D: Touches<Ps::Addr>,
+{
+    fn explore_frontier_direct<F>(step: &F, initial: Ps) -> (Self, EngineStats)
+    where
+        F: StepFn<Ps, G, S>,
     {
         let mut stats = EngineStats::default();
         // The hash-consing table: every distinct (state, guts) pair gets a
@@ -448,9 +487,13 @@ where
             for &id in &fold_ids {
                 let entry = cache[id.index()].as_ref().expect("fold of an unstepped id");
                 stats.store_joins += 1;
+                stats.spine_clones += 1;
                 changed_addrs.extend(store.join_in_place_delta(entry.delta.clone()));
             }
             stats.store_widenings += changed_addrs.len();
+            // Sample spine sharing while this round's delta adoptions are
+            // still live in the cache (peak over rounds).
+            stats.store_bytes_shared = stats.store_bytes_shared.max(store.shared_spine_bytes());
 
             // Next frontier: freshly discovered pairs (ids minted during
             // this round have no cached outcome yet) plus every cached
@@ -473,31 +516,67 @@ where
         let states: BTreeSet<(Ps, G)> = interner.values().iter().cloned().collect();
         (SharedStoreDomain::from_parts(states, store), stats)
     }
+}
 
-    fn explore_frontier_structural<F>(step: &F, initial: Ps) -> (Self, EngineStats)
-    where
-        F: Fn(Ps) -> <StorePassing<G, S> as MonadFamily>::M<Ps>,
-    {
-        let mut stats = EngineStats::default();
-        let mut cache: StepCache<Ps, G, S, Ps::Addr> = BTreeMap::new();
-        // The reverse dependency index: for every address, the cached pairs
-        // whose outcome may depend on it.  Maintained alongside the cache so
-        // a store delta invalidates exactly its dependents — no per-round
-        // scan of all states.
-        let mut dependents: BTreeMap<Ps::Addr, BTreeSet<(Ps, G)>> = BTreeMap::new();
-        // The running accumulated domain (starts as inject(initial)).
-        let mut current: Self = Collecting::<StorePassing<G, S>, Ps>::inject(initial);
-        let mut frontier: BTreeSet<(Ps, G)> = current.states().clone();
+/// The PR-2 *structural-key* incremental accumulator over the
+/// carrier-neutral step shape (see
+/// [`FrontierCollecting::explore_frontier_structural`]).
+fn explore_structural<Ps, G, S, F>(
+    step: &F,
+    initial: Ps,
+) -> (SharedStoreDomain<Ps, G, S>, EngineStats)
+where
+    Ps: Value + Ord + StateRoots,
+    G: Value + Ord + HasInitial,
+    S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + Value,
+    S::D: Touches<Ps::Addr>,
+    F: StepFn<Ps, G, S>,
+{
+    let mut stats = EngineStats::default();
+    let mut cache: StepCache<Ps, G, S, Ps::Addr> = BTreeMap::new();
+    // The reverse dependency index: for every address, the cached pairs
+    // whose outcome may depend on it.  Maintained alongside the cache so
+    // a store delta invalidates exactly its dependents — no per-round
+    // scan of all states.
+    let mut dependents: BTreeMap<Ps::Addr, BTreeSet<(Ps, G)>> = BTreeMap::new();
+    // The running accumulated domain (starts as inject(initial)).
+    let mut current: SharedStoreDomain<Ps, G, S> =
+        Collecting::<StorePassing<G, S>, Ps>::inject(initial);
+    let mut frontier: BTreeSet<(Ps, G)> = current.states().clone();
 
-        while !frontier.is_empty() {
-            stats.iterations += 1;
+    while !frontier.is_empty() {
+        stats.iterations += 1;
 
-            // Step phase: every frontier pair against the same pre-store
-            // (the folds below land only after the whole frontier was
-            // stepped, so the round sees one consistent iterate).
-            let mut shrank = false;
-            for key in &frontier {
-                shrank |= step_and_cache(
+        // Step phase: every frontier pair against the same pre-store
+        // (the folds below land only after the whole frontier was
+        // stepped, so the round sees one consistent iterate).
+        let mut shrank = false;
+        for key in &frontier {
+            shrank |= step_and_cache(
+                step,
+                key,
+                current.store(),
+                &mut cache,
+                &mut dependents,
+                &mut stats,
+            );
+        }
+
+        // Rebuild round: see `explore_frontier` — identical defence,
+        // structural keys.
+        let fold_keys: Vec<(Ps, G)> = if shrank {
+            stats.rebuild_rounds += 1;
+            stats.peak_frontier = stats.peak_frontier.max(current.len());
+            let rest: Vec<(Ps, G)> = current
+                .states()
+                .iter()
+                .filter(|key| !frontier.contains(*key))
+                .cloned()
+                .collect();
+            for key in &rest {
+                // Further shrinkage is immaterial: the whole round is
+                // already being recomputed from scratch.
+                step_and_cache(
                     step,
                     key,
                     current.store(),
@@ -506,130 +585,121 @@ where
                     &mut stats,
                 );
             }
-
-            // Rebuild round: see `explore_frontier` — identical defence,
-            // structural keys.
-            let fold_keys: Vec<(Ps, G)> = if shrank {
-                stats.rebuild_rounds += 1;
-                stats.peak_frontier = stats.peak_frontier.max(current.len());
-                let rest: Vec<(Ps, G)> = current
-                    .states()
-                    .iter()
-                    .filter(|key| !frontier.contains(*key))
-                    .cloned()
-                    .collect();
-                for key in &rest {
-                    // Further shrinkage is immaterial: the whole round is
-                    // already being recomputed from scratch.
-                    step_and_cache(
-                        step,
-                        key,
-                        current.store(),
-                        &mut cache,
-                        &mut dependents,
-                        &mut stats,
-                    );
-                }
-                current.states().iter().cloned().collect()
-            } else {
-                stats.peak_frontier = stats.peak_frontier.max(frontier.len());
-                // Everything off the frontier is served from the
-                // accumulated domain without being visited at all.
-                stats.cache_hits += current.len() - frontier.len();
-                frontier.iter().cloned().collect()
-            };
-            let mut changed_addrs: BTreeSet<Ps::Addr> = BTreeSet::new();
-            let mut discovered: Vec<(Ps, G)> = Vec::new();
-            for key in &fold_keys {
-                let entry = &cache[key];
-                stats.store_joins += 1;
-                for succ in &entry.successors {
-                    if current.insert_state(succ.clone()) {
-                        discovered.push(succ.clone());
-                    }
-                }
-                changed_addrs.extend(current.store_mut().join_in_place_delta(entry.store.clone()));
-            }
-            stats.store_widenings += changed_addrs.len();
-
-            // Next frontier: freshly discovered pairs (no cached outcome
-            // yet) plus every cached dependent of an address that grew.
-            let mut next: BTreeSet<(Ps, G)> = discovered.into_iter().collect();
-            for a in &changed_addrs {
-                if let Some(keys) = dependents.get(a) {
-                    next.extend(keys.iter().cloned());
+            current.states().iter().cloned().collect()
+        } else {
+            stats.peak_frontier = stats.peak_frontier.max(frontier.len());
+            // Everything off the frontier is served from the
+            // accumulated domain without being visited at all.
+            stats.cache_hits += current.len() - frontier.len();
+            frontier.iter().cloned().collect()
+        };
+        let mut changed_addrs: BTreeSet<Ps::Addr> = BTreeSet::new();
+        let mut discovered: Vec<(Ps, G)> = Vec::new();
+        for key in &fold_keys {
+            let entry = &cache[key];
+            stats.store_joins += 1;
+            stats.spine_clones += 1;
+            for succ in &entry.successors {
+                if current.insert_state(succ.clone()) {
+                    discovered.push(succ.clone());
                 }
             }
-            frontier = next;
+            changed_addrs.extend(current.store_mut().join_in_place_delta(entry.store.clone()));
         }
+        stats.store_widenings += changed_addrs.len();
+        stats.store_bytes_shared = stats
+            .store_bytes_shared
+            .max(current.store().shared_spine_bytes());
 
-        (current, stats)
+        // Next frontier: freshly discovered pairs (no cached outcome
+        // yet) plus every cached dependent of an address that grew.
+        let mut next: BTreeSet<(Ps, G)> = discovered.into_iter().collect();
+        for a in &changed_addrs {
+            if let Some(keys) = dependents.get(a) {
+                next.extend(keys.iter().cloned());
+            }
+        }
+        frontier = next;
     }
 
-    fn explore_frontier_rescan<F>(step: &F, initial: Ps) -> (Self, EngineStats)
-    where
-        F: Fn(Ps) -> <StorePassing<G, S> as MonadFamily>::M<Ps>,
-    {
-        let mut stats = EngineStats::default();
-        let mut cache: StepCache<Ps, G, S, Ps::Addr> = BTreeMap::new();
-        // For every address: the last store version at which its binding
-        // changed.  Addresses never seen changing are absent.
-        let mut last_changed: BTreeMap<Ps::Addr, usize> = BTreeMap::new();
-        let mut versions: BTreeMap<(Ps, G), usize> = BTreeMap::new();
-        let mut version = 0usize;
-        let mut current: Self = Lattice::bottom();
+    (current, stats)
+}
 
-        loop {
-            stats.iterations += 1;
-            // One Kleene iterate: next = inject(initial) ⊔ applyStep(current),
-            // with applyStep evaluated through the memo cache.
-            let mut next: Self = Collecting::<StorePassing<G, S>, Ps>::inject(initial.clone());
-            let mut fresh_this_round = 0usize;
+/// The PR-1 *rescanning* solver over the carrier-neutral step shape (see
+/// [`FrontierCollecting::explore_frontier_rescan`]).
+fn explore_rescan<Ps, G, S, F>(step: &F, initial: Ps) -> (SharedStoreDomain<Ps, G, S>, EngineStats)
+where
+    Ps: Value + Ord + StateRoots,
+    G: Value + Ord + HasInitial,
+    S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + Value,
+    S::D: Touches<Ps::Addr>,
+    F: StepFn<Ps, G, S>,
+{
+    let mut stats = EngineStats::default();
+    let mut cache: StepCache<Ps, G, S, Ps::Addr> = BTreeMap::new();
+    // For every address: the last store version at which its binding
+    // changed.  Addresses never seen changing are absent.
+    let mut last_changed: BTreeMap<Ps::Addr, usize> = BTreeMap::new();
+    let mut versions: BTreeMap<(Ps, G), usize> = BTreeMap::new();
+    let mut version = 0usize;
+    let mut current: SharedStoreDomain<Ps, G, S> = Lattice::bottom();
 
-            for key in current.states().iter() {
-                // One lookup decides both the cache verdict and whether an
-                // invalidation is a re-enqueue of a previously-stepped pair.
-                let valid = match cache.get(key) {
-                    Some(entry)
-                        if entry
-                            .deps
-                            .iter()
-                            .all(|a| last_changed.get(a).is_none_or(|&c| c <= versions[key])) =>
-                    {
-                        stats.cache_hits += 1;
-                        true
-                    }
-                    Some(_) => {
-                        stats.reenqueued += 1;
-                        false
-                    }
-                    None => false,
-                };
-                if !valid {
-                    fresh_this_round += 1;
-                    stats.states_stepped += 1;
-                    cache.insert(key.clone(), step_pair(step, key, current.store()));
-                    versions.insert(key.clone(), version);
+    loop {
+        stats.iterations += 1;
+        // One Kleene iterate: next = inject(initial) ⊔ applyStep(current),
+        // with applyStep evaluated through the memo cache.
+        let mut next: SharedStoreDomain<Ps, G, S> =
+            Collecting::<StorePassing<G, S>, Ps>::inject(initial.clone());
+        let mut fresh_this_round = 0usize;
+
+        for key in current.states().iter() {
+            // One lookup decides both the cache verdict and whether an
+            // invalidation is a re-enqueue of a previously-stepped pair.
+            let valid = match cache.get(key) {
+                Some(entry)
+                    if entry
+                        .deps
+                        .iter()
+                        .all(|a| last_changed.get(a).is_none_or(|&c| c <= versions[key])) =>
+                {
+                    stats.cache_hits += 1;
+                    true
                 }
-                let entry = &cache[key];
-                stats.store_joins += 1;
-                next.join_in_place(SharedStoreDomain::from_parts(
-                    entry.successors.clone(),
-                    entry.store.clone(),
-                ));
+                Some(_) => {
+                    stats.reenqueued += 1;
+                    false
+                }
+                None => false,
+            };
+            if !valid {
+                fresh_this_round += 1;
+                stats.states_stepped += 1;
+                stats.spine_clones += 1;
+                cache.insert(key.clone(), step_pair(step, key, current.store()));
+                versions.insert(key.clone(), version);
             }
+            let entry = &cache[key];
+            stats.store_joins += 1;
+            stats.spine_clones += 1;
+            next.join_in_place(SharedStoreDomain::from_parts(
+                entry.successors.clone(),
+                entry.store.clone(),
+            ));
+        }
 
-            stats.peak_frontier = stats.peak_frontier.max(fresh_this_round);
+        stats.peak_frontier = stats.peak_frontier.max(fresh_this_round);
 
-            let changed = next.store().changed_addresses(current.store());
-            if !current.join_in_place(next) {
-                return (current, stats);
-            }
-            stats.store_widenings += changed.len();
-            version += 1;
-            for addr in changed {
-                last_changed.insert(addr, version);
-            }
+        let changed = next.store().changed_addresses(current.store());
+        if !current.join_in_place(next) {
+            return (current, stats);
+        }
+        stats.store_bytes_shared = stats
+            .store_bytes_shared
+            .max(current.store().shared_spine_bytes());
+        stats.store_widenings += changed.len();
+        version += 1;
+        for addr in changed {
+            last_changed.insert(addr, version);
         }
     }
 }

@@ -35,8 +35,8 @@
 //! * [`intern`] — hash-consed state/environment interning: dense `u32` ids
 //!   with precomputed hashes, the identity currency of the id-indexed
 //!   engines (with [`hash`] supplying the fast deterministic hasher).
-//! * [`env`] — shared copy-on-write environment maps, so state construction
-//!   stops deep-cloning environments per transition.
+//! * [`mod@env`] — shared copy-on-write environment maps, so state
+//!   construction stops deep-cloning environments per transition.
 //! * [`name`] — globally pooled identifiers and program-point labels shared
 //!   by all language substrates.
 //! * [`sexp`] — a small s-expression reader used by the CPS and
@@ -72,6 +72,7 @@ pub mod intern;
 pub mod lattice;
 pub mod monad;
 pub mod name;
+pub mod pmap;
 pub mod sexp;
 pub mod store;
 
@@ -81,8 +82,9 @@ pub use addr::{
 };
 pub use collect::{explore_fp, run_analysis, Collecting, PerStateDomain, SharedStoreDomain};
 pub use engine::{
-    explore_worklist, explore_worklist_rescan_stats, explore_worklist_stats,
-    explore_worklist_structural_stats, EngineStats, FrontierCollecting, StateRoots,
+    explore_worklist, explore_worklist_direct_stats, explore_worklist_rescan_stats,
+    explore_worklist_stats, explore_worklist_structural_stats, with_state_gc, DirectCollecting,
+    EngineStats, FrontierCollecting, StateRoots, StepFn,
 };
 pub use env::{CowMap, CowSet};
 pub use gc::{reachable, GcStrategy, NoGc, Touches};
@@ -91,4 +93,5 @@ pub use intern::{EnvId, InternKey, Interner, StateId};
 pub use lattice::{kleene_it, AbsNat, Lattice};
 pub use monad::{MonadFamily, MonadPlus, MonadState, MonadTrans, StorePassing, Value};
 pub use name::{Label, Name};
+pub use pmap::PMap;
 pub use store::{BasicStore, Counter, CountingStore, StoreDelta, StoreLike};

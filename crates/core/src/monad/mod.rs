@@ -24,7 +24,7 @@
 //!   assembled [`StorePassing`] stack.
 //! * [`combinators`] — `map_m`, `sequence_m`, `gets_nd_set` and friends.
 //!
-//! ### Design notes (faithfulness vs. Rust)
+//! ### Design notes (faithfulness vs. Rust) — two carriers
 //!
 //! Monadic values built from [`StateT`] are reference-counted closures
 //! (`Rc<dyn Fn(S) -> …>`), so they can be run several times — which is
@@ -33,6 +33,23 @@
 //! a monad must implement [`Value`] (`Clone + 'static`); this corresponds to
 //! the ubiquitous `(Ord a, Eq a)`-style constraints of the Haskell original
 //! and is harmless for the finite machine states the framework manipulates.
+//!
+//! The closure encoding is the **oracle carrier**: maximally faithful, and
+//! what `analyse_*`/`analyse_*_worklist` run.  Its cost is one `Rc`
+//! allocation per `bind` plus the capture clones those binds force — which,
+//! once store clones are `Arc` bumps ([`crate::pmap`]), dominates every
+//! transition.  The [`direct`] module therefore provides a second,
+//! **direct-style carrier** ([`direct::MonadStep`]/[`direct::DirectStep`]):
+//! a computation is its eagerly evaluated `(value, guts, store)` branch
+//! vector and `bind` is a monomorphized loop — plain function composition
+//! over an explicit mutable context, no `Rc<dyn Fn>` anywhere.  The
+//! language crates express `mnext` against both carriers; the engines
+//! select one per entry point (`analyse_*_direct` is the fast path) and the
+//! two are differentially tested against each other over observable
+//! `(result, guts, store)` triples.  See the README's engine table for
+//! when each carrier wins.
+
+pub mod direct;
 
 mod identity;
 mod nondet;
@@ -42,6 +59,7 @@ mod state_t;
 pub mod combinators;
 
 pub use combinators::{foldr_m, gets_nd_set, join_m, map_m, msum, sequence_m, when_m};
+pub use direct::{DirectStep, MonadStep, StepM};
 pub use identity::IdM;
 pub use nondet::VecM;
 pub use state::{eval_state, exec_state, run_state, StateM};

@@ -1,11 +1,12 @@
 //! The plain power-set store.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::fmt;
 
 use crate::addr::Address;
 use crate::env::CowSet;
-use crate::lattice::{Lattice, PointwiseExt};
+use crate::lattice::Lattice;
+use crate::pmap::PMap;
 
 use super::StoreLike;
 
@@ -18,27 +19,30 @@ use super::StoreLike;
 /// ordered value (so it can participate in power-set analysis domains) and
 /// printable.
 ///
-/// Internally each value set is a shared copy-on-write [`CowSet`]: cloning
-/// a store — which the store-passing monad does once per transition —
-/// shares every per-address set instead of deep-copying it, a write copies
-/// only the one set it touches, and diffing or joining two stores
-/// short-circuits on pointer identity for every set that was merely
+/// Internally the binding *spine* is a persistent [`PMap`] — an Arc-shared
+/// hash trie keyed by the addresses' Fx hashes — and each value set is a
+/// shared copy-on-write [`CowSet`].  Cloning a store — which the
+/// store-passing monad does once per transition — is therefore an `Arc`
+/// bump; a write copies only the O(log n) trie path plus the one value set
+/// it touches; and diffing or joining two stores short-circuits on pointer
+/// identity for every *subtree* (not just every set) that was merely
 /// carried along.  The [`StoreLike`] co-domain stays the structural
 /// `BTreeSet<V>`.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct BasicStore<A: Ord, V: Ord> {
-    bindings: BTreeMap<A, CowSet<V>>,
+    bindings: PMap<A, CowSet<V>>,
 }
 
-impl<A: Ord + Clone, V: Ord + Clone> BasicStore<A, V> {
+impl<A: Address, V: Ord + Clone> BasicStore<A, V> {
     /// Creates an empty store.
     pub fn new() -> Self {
         BasicStore {
-            bindings: BTreeMap::new(),
+            bindings: PMap::new(),
         }
     }
 
-    /// Iterates over the bindings of the store.
+    /// Iterates over the bindings of the store, in the spine's
+    /// deterministic (hash) order.
     pub fn iter(&self) -> impl Iterator<Item = (&A, &BTreeSet<V>)> {
         self.bindings.iter().map(|(a, vs)| (a, vs.as_set()))
     }
@@ -54,35 +58,39 @@ impl<A: Ord + Clone, V: Ord + Clone> BasicStore<A, V> {
     pub fn singleton_count(&self) -> usize {
         self.bindings.values().filter(|vs| vs.len() == 1).count()
     }
+
+    /// How many trie nodes the binding spine uses.
+    pub fn spine_nodes(&self) -> usize {
+        self.bindings.spine_nodes()
+    }
 }
 
-impl<A: Ord + Clone + fmt::Debug, V: Ord + Clone + fmt::Debug> fmt::Debug for BasicStore<A, V> {
+impl<A: Address + fmt::Debug, V: Ord + Clone + fmt::Debug> fmt::Debug for BasicStore<A, V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_map().entries(self.bindings.iter()).finish()
     }
 }
 
-impl<A: Ord + Clone, V: Ord + Clone> Lattice for BasicStore<A, V> {
+impl<A: Address, V: Ord + Clone> Lattice for BasicStore<A, V> {
     fn bottom() -> Self {
         BasicStore::new()
     }
 
-    fn join(self, other: Self) -> Self {
-        BasicStore {
-            bindings: self.bindings.join(other.bindings),
-        }
+    fn join(mut self, other: Self) -> Self {
+        self.bindings.join_map_in_place(other.bindings);
+        self
     }
 
     fn leq(&self, other: &Self) -> bool {
-        self.bindings.leq(&other.bindings)
+        self.bindings.leq_map(&other.bindings)
     }
 
     fn join_in_place(&mut self, other: Self) -> bool {
-        self.bindings.join_in_place(other.bindings)
+        self.bindings.join_map_in_place(other.bindings)
     }
 
     fn is_bottom(&self) -> bool {
-        self.bindings.is_bottom()
+        self.bindings.is_bottom_map()
     }
 }
 
@@ -124,12 +132,25 @@ where
     where
         F: Fn(&A) -> bool,
     {
-        self.bindings.retain(|a, _| keep(a));
+        self.bindings.retain(keep);
+        self
+    }
+
+    fn restrict_to(mut self, addrs: &BTreeSet<A>) -> Self {
+        self.bindings = self.bindings.restricted_to(addrs);
         self
     }
 
     fn addresses(&self) -> BTreeSet<A> {
         self.bindings.keys().cloned().collect()
+    }
+
+    fn binding_count(&self) -> usize {
+        self.bindings.len()
+    }
+
+    fn shared_spine_bytes(&self) -> usize {
+        self.bindings.shared_spine_bytes()
     }
 }
 
@@ -139,15 +160,15 @@ where
     V: Ord + Clone + fmt::Debug + 'static,
 {
     fn changed_addresses(&self, other: &Self) -> BTreeSet<A> {
-        super::map_changed_addresses(&self.bindings, &other.bindings)
+        self.bindings.changed_keys(&other.bindings)
     }
 
     fn join_in_place_delta(&mut self, other: Self) -> BTreeSet<A> {
-        super::map_join_in_place_delta(&mut self.bindings, other.bindings)
+        self.bindings.join_in_place_delta(other.bindings)
     }
 }
 
-impl<A: Ord + Clone, V: Ord + Clone> FromIterator<(A, BTreeSet<V>)> for BasicStore<A, V> {
+impl<A: Address, V: Ord + Clone> FromIterator<(A, BTreeSet<V>)> for BasicStore<A, V> {
     fn from_iter<T: IntoIterator<Item = (A, BTreeSet<V>)>>(iter: T) -> Self {
         let mut store = BasicStore::new();
         for (a, d) in iter {
@@ -205,6 +226,20 @@ mod tests {
     fn from_iterator_joins_duplicate_addresses() {
         let s: S = vec![(1u8, set(&[1])), (1, set(&[2]))].into_iter().collect();
         assert_eq!(s.fetch(&1), set(&[1, 2]));
+    }
+
+    #[test]
+    fn store_clone_shares_the_spine() {
+        let s = S::new().bind(1, set(&[1])).bind(2, set(&[2]));
+        let snapshot = s.clone();
+        // The clone shares the whole spine, so shared bytes are visible
+        // from either handle.
+        assert!(snapshot.shared_spine_bytes() > 0);
+        assert!(s.spine_nodes() > 0);
+        // Growing one handle leaves the other untouched.
+        let grown = s.clone().bind(3, set(&[3]));
+        assert!(!snapshot.contains(&3));
+        assert!(grown.contains(&3));
     }
 
     proptest! {

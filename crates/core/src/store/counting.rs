@@ -1,10 +1,12 @@
 //! The counting store: abstract counting layered on the store (paper §6.3).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::fmt;
 
 use crate::addr::Address;
+use crate::env::CowSet;
 use crate::lattice::{AbsNat, Lattice};
+use crate::pmap::PMap;
 
 use super::StoreLike;
 
@@ -20,22 +22,31 @@ use super::StoreLike;
 /// be plugged into the `StorePassing` monad wherever a
 /// [`BasicStore`](super::BasicStore) was used, implicitly extending the
 /// abstract state-space with the `Ĉount` component of §6.3.
+///
+/// Like [`BasicStore`](super::BasicStore), the binding spine is a
+/// persistent [`PMap`] (clone = `Arc` bump, writes copy one trie path,
+/// diffs/joins skip shared subtrees) and the per-address value sets are
+/// copy-on-write [`CowSet`]s; each entry is the pair lattice
+/// `(value set, count)`.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct CountingStore<A: Ord, V: Ord> {
-    bindings: BTreeMap<A, (BTreeSet<V>, AbsNat)>,
+    bindings: PMap<A, (CowSet<V>, AbsNat)>,
 }
 
-impl<A: Ord + Clone, V: Ord + Clone> CountingStore<A, V> {
+impl<A: Address, V: Ord + Clone> CountingStore<A, V> {
     /// Creates an empty counting store.
     pub fn new() -> Self {
         CountingStore {
-            bindings: BTreeMap::new(),
+            bindings: PMap::new(),
         }
     }
 
-    /// Iterates over `(address, values, count)` triples.
+    /// Iterates over `(address, values, count)` triples, in the spine's
+    /// deterministic (hash) order.
     pub fn iter(&self) -> impl Iterator<Item = (&A, &BTreeSet<V>, AbsNat)> {
-        self.bindings.iter().map(|(a, (vs, n))| (a, vs, *n))
+        self.bindings
+            .iter()
+            .map(|(a, (vs, n))| (a, vs.as_set(), *n))
     }
 
     /// The number of addresses whose abstract count is exactly one — the
@@ -53,7 +64,7 @@ impl<A: Ord + Clone, V: Ord + Clone> CountingStore<A, V> {
     }
 }
 
-impl<A: Ord + Clone + fmt::Debug, V: Ord + Clone + fmt::Debug> fmt::Debug for CountingStore<A, V> {
+impl<A: Address + fmt::Debug, V: Ord + Clone + fmt::Debug> fmt::Debug for CountingStore<A, V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_map()
             .entries(self.bindings.iter().map(|(a, (vs, n))| (a, (vs, n))))
@@ -61,7 +72,7 @@ impl<A: Ord + Clone + fmt::Debug, V: Ord + Clone + fmt::Debug> fmt::Debug for Co
     }
 }
 
-impl<A: Ord + Clone, V: Ord + Clone> Lattice for CountingStore<A, V> {
+impl<A: Address, V: Ord + Clone> Lattice for CountingStore<A, V> {
     fn bottom() -> Self {
         CountingStore::new()
     }
@@ -72,22 +83,17 @@ impl<A: Ord + Clone, V: Ord + Clone> Lattice for CountingStore<A, V> {
     }
 
     fn leq(&self, other: &Self) -> bool {
-        self.bindings
-            .iter()
-            .all(|(a, (vs, n))| match other.bindings.get(a) {
-                Some((vs2, n2)) => vs.leq(vs2) && n.leq(n2),
-                None => vs.is_empty() && *n == AbsNat::Zero,
-            })
+        // The `(value set, count)` entries are pair lattices; missing keys
+        // read as ⊥ on either side.
+        self.bindings.leq_map(&other.bindings)
     }
 
     fn join_in_place(&mut self, other: Self) -> bool {
-        // The `(value set, count)` bindings are pair lattices, so the
-        // point-wise map instance provides the join and its change flag.
-        self.bindings.join_in_place(other.bindings)
+        self.bindings.join_map_in_place(other.bindings)
     }
 
     fn is_bottom(&self) -> bool {
-        self.bindings.is_bottom()
+        self.bindings.is_bottom_map()
     }
 }
 
@@ -99,59 +105,72 @@ where
     type D = BTreeSet<V>;
 
     fn bind_in_place(&mut self, a: A, d: Self::D) -> bool {
-        // σ ⊔ [â ↦ d],  μ ⊕ [â ↦ 1]
-        match self.bindings.entry(a) {
-            std::collections::btree_map::Entry::Occupied(mut e) => {
-                let (vs, n) = e.get_mut();
-                let grew = vs.join_in_place(d);
+        // σ ⊔ [â ↦ d],  μ ⊕ [â ↦ 1] — installed through the spine's
+        // sharing-preserving upsert, so a saturated no-op bind (count
+        // already ∞, values already present) copies nothing.
+        self.bindings.upsert_with(a, |entry| match entry {
+            Some((vs, n)) => {
+                let mut joined = vs.clone();
+                let grew = joined.join_in_place(d.into_iter().collect());
                 let bumped = *n + AbsNat::One;
                 let count_changed = bumped != *n;
-                *n = bumped;
-                grew || count_changed
+                if grew || count_changed {
+                    Some((joined, bumped))
+                } else {
+                    None
+                }
             }
-            std::collections::btree_map::Entry::Vacant(e) => {
-                e.insert((d, AbsNat::One));
-                // The count went 0 → 1, so the binding always changed.
-                true
-            }
-        }
+            // The count went 0 → 1, so the binding always changed.
+            None => Some((d.into_iter().collect(), AbsNat::One)),
+        })
     }
 
     fn replace(mut self, a: A, d: Self::D) -> Self {
         // Strong update of the value; the count is unchanged (the address
         // still corresponds to however many concrete allocations it did).
-        match self.bindings.remove(&a) {
-            Some((_, n)) => {
-                self.bindings.insert(a, (d, n));
-            }
-            None => {
-                self.bindings.insert(a, (d, AbsNat::Zero));
-            }
-        }
+        let count = self
+            .bindings
+            .get(&a)
+            .map(|(_, n)| *n)
+            .unwrap_or(AbsNat::Zero);
+        self.bindings.insert(a, (d.into_iter().collect(), count));
         self
     }
 
     fn fetch(&self, a: &A) -> Self::D {
         self.bindings
             .get(a)
-            .map(|(vs, _)| vs.clone())
+            .map(|(vs, _)| vs.as_set().clone())
             .unwrap_or_default()
     }
 
     fn fetch_ref(&self, a: &A) -> Option<&Self::D> {
-        self.bindings.get(a).map(|(vs, _)| vs)
+        self.bindings.get(a).map(|(vs, _)| vs.as_set())
     }
 
     fn filter_store<F>(mut self, keep: F) -> Self
     where
         F: Fn(&A) -> bool,
     {
-        self.bindings.retain(|a, _| keep(a));
+        self.bindings.retain(keep);
+        self
+    }
+
+    fn restrict_to(mut self, addrs: &BTreeSet<A>) -> Self {
+        self.bindings = self.bindings.restricted_to(addrs);
         self
     }
 
     fn addresses(&self) -> BTreeSet<A> {
         self.bindings.keys().cloned().collect()
+    }
+
+    fn binding_count(&self) -> usize {
+        self.bindings.len()
+    }
+
+    fn shared_spine_bytes(&self) -> usize {
+        self.bindings.shared_spine_bytes()
     }
 }
 
@@ -164,13 +183,13 @@ where
         // Counts are part of the observable binding: an address whose value
         // set is unchanged but whose count was bumped still counts as
         // changed.
-        super::map_changed_addresses(&self.bindings, &other.bindings)
+        self.bindings.changed_keys(&other.bindings)
     }
 
     fn join_in_place_delta(&mut self, other: Self) -> BTreeSet<A> {
-        // The `(value set, count)` entries are pair lattices, so the shared
-        // map fold reports count-only growth too.
-        super::map_join_in_place_delta(&mut self.bindings, other.bindings)
+        // The `(value set, count)` entries are pair lattices, so the spine
+        // merge reports count-only growth too.
+        self.bindings.join_in_place_delta(other.bindings)
     }
 }
 
@@ -215,6 +234,7 @@ where
 mod tests {
     use super::*;
     use proptest::prelude::*;
+    use std::collections::BTreeMap;
 
     type S = CountingStore<u8, u8>;
 
@@ -279,6 +299,17 @@ mod tests {
         let s = s.filter_store(|a| *a == 1);
         assert_eq!(s.count(&2), AbsNat::Zero);
         assert_eq!(s.addresses(), [1u8].into_iter().collect());
+    }
+
+    #[test]
+    fn saturated_binds_copy_nothing() {
+        // Drive address 1 to (count = ∞, values ⊇ {5}); a further identical
+        // bind is a no-op and must keep the spine allocation intact.
+        let mut s = S::new().bind(1, set(&[5])).bind(1, set(&[5]));
+        let snapshot = s.clone();
+        assert!(!s.bind_in_place(1, set(&[5])));
+        assert_eq!(s, snapshot);
+        assert!(snapshot.shared_spine_bytes() > 0);
     }
 
     proptest! {

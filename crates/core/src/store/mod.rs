@@ -9,7 +9,7 @@
 //! paper's experiments:
 //!
 //! * [`BasicStore`] — a point-wise map from addresses to sets of values;
-//! * [`CountingStore`] — the same map additionally tracking an [`AbsNat`]
+//! * [`CountingStore`] — the same map additionally tracking an [`AbsNat`](crate::lattice::AbsNat)
 //!   allocation count per address (the `Ĉount` component of §6.3), with
 //!   [`Counter`] exposing the counts and sound strong updates.
 
@@ -97,6 +97,17 @@ pub trait StoreLike<A: Address>: Lattice + Ord + Debug + 'static {
     where
         F: Fn(&A) -> bool;
 
+    /// The store restricted to exactly the given addresses — semantically
+    /// `filter_store(|a| addrs.contains(a))`, but representations with a
+    /// persistent spine extract the k requested bindings by descent
+    /// (O(k · log n)) instead of walking the whole spine.  The engines use
+    /// this to cache a step's contribution restricted to its changed
+    /// addresses.
+    #[must_use]
+    fn restrict_to(self, addrs: &BTreeSet<A>) -> Self {
+        self.filter_store(|a| addrs.contains(a))
+    }
+
     /// The set of addresses currently bound.  Used by the garbage
     /// collector's reachability sweep and by precision metrics.
     fn addresses(&self) -> BTreeSet<A>;
@@ -109,6 +120,42 @@ pub trait StoreLike<A: Address>: Lattice + Ord + Debug + 'static {
     /// The number of bound addresses.
     fn binding_count(&self) -> usize {
         self.addresses().len()
+    }
+
+    /// Approximate bytes of store structure this snapshot shares with
+    /// *other live snapshots* (`Arc`-shared spine nodes with a reference
+    /// count above one).  Stores without a persistent spine report 0.  The
+    /// fixpoint engines sample this at the end of a run
+    /// ([`EngineStats::store_bytes_shared`](crate::engine::EngineStats)) so
+    /// that structural-sharing regressions are as observable as step/join
+    /// regressions.
+    fn shared_spine_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// Materialises the elements bound at `a` through a projection, borrowing
+/// the binding when the store can lend it and falling back to
+/// [`StoreLike::fetch`] otherwise — `fetch_ref`'s `None` does **not** mean
+/// "unbound" for an arbitrary store, it may also mean "cannot lend", so
+/// every caller of `fetch_ref` needs this exact fallback.  Shared here so
+/// the languages' direct-style transition functions cannot drift from the
+/// lending contract.
+pub fn fetch_filtered<A, S, X, T, P>(store: &S, a: &A, project: P) -> Vec<T>
+where
+    A: Address,
+    S: StoreLike<A, D = BTreeSet<X>>,
+    X: Ord + Clone + Debug + 'static,
+    P: Fn(&X) -> Option<&T>,
+    T: Clone,
+{
+    match store.fetch_ref(a) {
+        Some(set) => set.iter().filter_map(|x| project(x).cloned()).collect(),
+        None => store
+            .fetch(a)
+            .iter()
+            .filter_map(|x| project(x).cloned())
+            .collect(),
     }
 }
 
@@ -140,65 +187,6 @@ pub trait StoreDelta<A: Address>: StoreLike<A> {
     /// growth (a join can only grow), and the flag-free join law holds:
     /// the set is empty iff `other ⊑ old_self`.
     fn join_in_place_delta(&mut self, other: Self) -> BTreeSet<A>;
-}
-
-/// The symmetric key-wise diff of two binding maps: every key bound on one
-/// side but not the other, or bound to different contents.  Shared by the
-/// [`StoreDelta`] implementations of [`BasicStore`] and [`CountingStore`]
-/// so their invalidation semantics cannot drift apart.
-pub(crate) fn map_changed_addresses<A, T>(
-    left: &std::collections::BTreeMap<A, T>,
-    right: &std::collections::BTreeMap<A, T>,
-) -> BTreeSet<A>
-where
-    A: Ord + Clone,
-    T: PartialEq,
-{
-    let mut changed = BTreeSet::new();
-    for (a, binding) in left {
-        if right.get(a) != Some(binding) {
-            changed.insert(a.clone());
-        }
-    }
-    for a in right.keys() {
-        if !left.contains_key(a) {
-            changed.insert(a.clone());
-        }
-    }
-    changed
-}
-
-/// The key-wise in-place join of two binding maps, reporting every key whose
-/// binding grew.  Shared by the [`StoreDelta::join_in_place_delta`]
-/// implementations of [`BasicStore`] and [`CountingStore`] (whose entries —
-/// a value set, or a value set paired with a count — are both lattices), so
-/// their change-report semantics cannot drift apart.
-pub(crate) fn map_join_in_place_delta<A, T>(
-    left: &mut std::collections::BTreeMap<A, T>,
-    right: std::collections::BTreeMap<A, T>,
-) -> BTreeSet<A>
-where
-    A: Ord + Clone,
-    T: Lattice,
-{
-    let mut changed = BTreeSet::new();
-    for (a, entry) in right {
-        match left.entry(a) {
-            std::collections::btree_map::Entry::Occupied(mut e) => {
-                if e.get_mut().join_in_place(entry) {
-                    changed.insert(e.key().clone());
-                }
-            }
-            std::collections::btree_map::Entry::Vacant(e) => {
-                // A fresh explicit ⊥ binding is no observable growth.
-                if !entry.is_bottom() {
-                    changed.insert(e.key().clone());
-                }
-                e.insert(entry);
-            }
-        }
-    }
-    changed
 }
 
 #[cfg(test)]

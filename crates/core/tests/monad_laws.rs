@@ -1,0 +1,304 @@
+//! The monad-law property suite — both carriers, observable behaviour.
+//!
+//! The monad laws (left identity, right identity, associativity) are
+//! checked for the plain state monad [`StateM`], the non-determinism
+//! carrier [`VecM`], the assembled `StorePassing` stack and the
+//! direct-style carrier [`DirectStep`], all over **observable `(result,
+//! guts, store)` runs** — `Rc`-closure computations cannot be compared as
+//! values, only by running them.  On top of the per-carrier laws, a
+//! randomized program AST is interpreted into *both* the `Rc` and the
+//! direct encodings and the two are asserted equal run-for-run, which is
+//! what licenses the engines to select either carrier per entry point.
+
+use std::collections::BTreeSet;
+
+use mai_core::monad::direct::{into_runs, DirectStep, MonadStep, StepM};
+use mai_core::monad::{
+    run_state, run_store_passing, MonadFamily, MonadPlus, MonadState, MonadTrans, StateM, StateT,
+    StorePassing, VecM,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// StateM
+// ---------------------------------------------------------------------------
+
+/// A small family of continuations `u64 -> StateM<u64>::M<u64>`, indexed so
+/// the property can draw them randomly.
+fn state_k(select: u8) -> impl Fn(u64) -> <StateM<u64> as MonadFamily>::M<u64> {
+    type C = StateM<u64>;
+    move |x: u64| match select % 4 {
+        0 => C::pure(x.wrapping_mul(3)),
+        1 => <C as MonadState<u64>>::gets(move |s| s.wrapping_add(x)),
+        2 => C::then(
+            <C as MonadState<u64>>::modify(move |s| s.wrapping_add(x)),
+            C::pure(x),
+        ),
+        _ => C::bind(<C as MonadState<u64>>::get(), move |s| {
+            C::then(
+                <C as MonadState<u64>>::put(s ^ x),
+                C::pure(s.wrapping_sub(x)),
+            )
+        }),
+    }
+}
+
+proptest! {
+    #[test]
+    fn prop_state_monad_laws(a in any::<u64>(), s0 in any::<u64>(), ka in 0u8..4, kb in 0u8..4) {
+        type C = StateM<u64>;
+        let k = state_k(ka);
+        let h = state_k(kb);
+
+        // Left identity: bind(pure(a), k) == k(a).
+        prop_assert_eq!(
+            run_state(C::bind(C::pure(a), state_k(ka)), s0),
+            run_state(k(a), s0)
+        );
+        // Right identity: bind(m, pure) == m.
+        let m = k(a);
+        prop_assert_eq!(run_state(C::bind(m.clone(), C::pure), s0), run_state(m.clone(), s0));
+        // Associativity.
+        let lhs = C::bind(C::bind(m.clone(), state_k(kb)), state_k(ka));
+        let rhs = C::bind(m, move |x| C::bind(h(x), state_k(ka)));
+        prop_assert_eq!(run_state(lhs, s0), run_state(rhs, s0));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// VecM (the non-determinism carrier)
+// ---------------------------------------------------------------------------
+
+fn vec_k(select: u8) -> impl Fn(u8) -> Vec<u8> {
+    move |x: u8| match select % 4 {
+        0 => VecM::pure(x.wrapping_mul(2)),
+        1 => VecM::mzero(),
+        2 => VecM::mplus(VecM::pure(x), VecM::pure(x.wrapping_add(1))),
+        _ => vec![x, x, x.wrapping_add(7)],
+    }
+}
+
+proptest! {
+    #[test]
+    fn prop_nondet_monad_laws(
+        a in any::<u8>(),
+        m in proptest::collection::vec(any::<u8>(), 0..5),
+        ka in 0u8..4,
+        kb in 0u8..4,
+    ) {
+        let k = vec_k(ka);
+        let h = vec_k(kb);
+
+        // Left identity.
+        prop_assert_eq!(VecM::bind(VecM::pure(a), vec_k(ka)), k(a));
+        // Right identity.
+        prop_assert_eq!(VecM::bind(m.clone(), VecM::pure), m.clone());
+        // Associativity.
+        let lhs = VecM::bind(VecM::bind(m.clone(), vec_k(ka)), vec_k(kb));
+        let rhs = VecM::bind(m.clone(), move |x| VecM::bind(k(x), vec_k(kb)));
+        prop_assert_eq!(lhs, rhs);
+        // mzero is the unit of mplus and annihilates bind.
+        let _ = &h;
+        prop_assert_eq!(VecM::mplus(VecM::mzero(), m.clone()), m.clone());
+        prop_assert_eq!(VecM::mplus(m.clone(), VecM::mzero()), m);
+        prop_assert_eq!(VecM::bind(VecM::mzero::<u8>(), vec_k(kb)), Vec::<u8>::new());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// StorePassing (Rc carrier) vs DirectStep — one program AST, two carriers
+// ---------------------------------------------------------------------------
+
+type G = u64;
+type S = BTreeSet<u8>;
+type Rc = StorePassing<G, S>;
+type D = DirectStep<G, S>;
+
+/// A small monadic program over guts `u64` and store `BTreeSet<u8>`,
+/// generated randomly and interpreted into both carriers.
+#[derive(Debug, Clone)]
+enum Prog {
+    /// `pure v`
+    Pure(u8),
+    /// Advance the guts deterministically, yield the tick tag.
+    Tick(u8),
+    /// Weak-update the store with a value, yield it.
+    Write(u8),
+    /// Read the store: one branch per element at most `cap` (bounded
+    /// non-determinism straight out of the state, like `gets_nd_set`).
+    ReadBranch(u8),
+    /// Non-deterministic choice.
+    Plus(Box<Prog>, Box<Prog>),
+    /// Sequencing: run the left, feed its result into the right via an
+    /// offset (exercises bind's context threading).
+    Seq(Box<Prog>, Box<Prog>),
+}
+
+fn prog_strategy() -> BoxedStrategy<Prog> {
+    let leaf = prop_oneof![
+        (0u8..16).prop_map(Prog::Pure),
+        (0u8..16).prop_map(Prog::Tick),
+        (0u8..16).prop_map(Prog::Write),
+        (0u8..6).prop_map(Prog::ReadBranch),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Prog::Plus(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Prog::Seq(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+/// Interprets the program on the `Rc`-closure carrier.
+fn interp_rc(p: &Prog) -> <Rc as MonadFamily>::M<u8> {
+    match p {
+        Prog::Pure(v) => Rc::pure(*v),
+        Prog::Tick(v) => {
+            let v = *v;
+            Rc::bind(
+                <Rc as MonadState<G>>::modify(move |g| g.wrapping_mul(31).wrapping_add(v as u64)),
+                move |_| Rc::pure(v),
+            )
+        }
+        Prog::Write(v) => {
+            let v = *v;
+            Rc::bind(
+                <Rc as MonadTrans>::lift(<StateT<S, VecM> as MonadState<S>>::modify(
+                    move |mut s: S| {
+                        s.insert(v);
+                        s
+                    },
+                )),
+                move |_| Rc::pure(v),
+            )
+        }
+        Prog::ReadBranch(cap) => {
+            let cap = *cap;
+            <Rc as MonadTrans>::lift(mai_core::monad::gets_nd_set::<StateT<S, VecM>, S, u8, _>(
+                move |s| s.iter().copied().filter(|v| *v < cap).collect(),
+            ))
+        }
+        Prog::Plus(a, b) => Rc::mplus(interp_rc(a), interp_rc(b)),
+        Prog::Seq(a, b) => {
+            let b = (**b).clone();
+            Rc::bind(interp_rc(a), move |x| {
+                Rc::bind(interp_rc(&b), move |y| Rc::pure(x.wrapping_add(y)))
+            })
+        }
+    }
+}
+
+/// Interprets the program on the direct-style carrier.
+fn interp_direct(p: &Prog, guts: G, store: S) -> StepM<u8, G, S> {
+    match p {
+        Prog::Pure(v) => D::pure(*v, guts, store),
+        Prog::Tick(v) => D::pure(*v, guts.wrapping_mul(31).wrapping_add(*v as u64), store),
+        Prog::Write(v) => {
+            let mut store = store;
+            store.insert(*v);
+            D::pure(*v, guts, store)
+        }
+        Prog::ReadBranch(cap) => {
+            let cap = *cap;
+            store
+                .iter()
+                .copied()
+                .filter(|v| *v < cap)
+                .collect::<Vec<u8>>()
+                .into_iter()
+                .map(|v| (v, guts, store.clone()))
+                .collect()
+        }
+        Prog::Plus(a, b) => D::mplus(
+            interp_direct(a, guts, store.clone()),
+            interp_direct(b, guts, store),
+        ),
+        Prog::Seq(a, b) => D::bind(interp_direct(a, guts, store), |x, g, s| {
+            D::fmap(interp_direct(b, g, s), move |y| x.wrapping_add(y))
+        }),
+    }
+}
+
+proptest! {
+    /// The two carriers are observationally identical on every generated
+    /// program: same branches, same values, same guts, same stores, same
+    /// order.
+    #[test]
+    fn prop_direct_carrier_equals_rc_carrier(
+        p in prog_strategy(),
+        guts in any::<u64>(),
+        seed in proptest::collection::btree_set(0u8..8, 0..4),
+    ) {
+        let rc: Vec<((u8, G), S)> = run_store_passing(interp_rc(&p), guts, seed.clone());
+        let direct = into_runs(interp_direct(&p, guts, seed));
+        prop_assert_eq!(rc, direct);
+    }
+
+    /// The direct carrier satisfies the monad laws over observable branch
+    /// vectors, with continuations drawn from the same program family.
+    #[test]
+    fn prop_direct_monad_laws(
+        a in 0u8..16,
+        p in prog_strategy(),
+        q in prog_strategy(),
+        guts in any::<u64>(),
+        seed in proptest::collection::btree_set(0u8..8, 0..4),
+    ) {
+        let k = |x: u8, g: G, s: S| {
+            D::fmap(interp_direct(&p, g, s), move |y| y.wrapping_add(x))
+        };
+        let h = |x: u8, g: G, s: S| {
+            D::fmap(interp_direct(&q, g, s), move |y| y ^ x)
+        };
+
+        // Left identity.
+        prop_assert_eq!(
+            D::bind(D::pure(a, guts, seed.clone()), k),
+            k(a, guts, seed.clone())
+        );
+        // Right identity.
+        let m = interp_direct(&p, guts, seed.clone());
+        prop_assert_eq!(D::bind(m.clone(), D::pure), m.clone());
+        // Associativity.
+        let lhs = D::bind(D::bind(m.clone(), k), h);
+        let rhs = D::bind(m, |x, g, s| D::bind(k(x, g, s), h));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// The Rc `StorePassing` stack satisfies the monad laws over observable
+    /// runs, with continuations drawn from the program family.
+    #[test]
+    fn prop_store_passing_monad_laws(
+        a in 0u8..16,
+        p in prog_strategy(),
+        q in prog_strategy(),
+        guts in any::<u64>(),
+        seed in proptest::collection::btree_set(0u8..8, 0..4),
+    ) {
+        let pk = p.clone();
+        let k = move |x: u8| {
+            Rc::fmap(interp_rc(&pk), move |y: u8| y.wrapping_add(x))
+        };
+        let qk = q.clone();
+        let h = move |x: u8| Rc::fmap(interp_rc(&qk), move |y: u8| y ^ x);
+
+        // Left identity.
+        prop_assert_eq!(
+            run_store_passing(Rc::bind(Rc::pure(a), k.clone()), guts, seed.clone()),
+            run_store_passing(k(a), guts, seed.clone())
+        );
+        // Right identity.
+        let m = interp_rc(&p);
+        prop_assert_eq!(
+            run_store_passing(Rc::bind(m.clone(), Rc::pure), guts, seed.clone()),
+            run_store_passing(m.clone(), guts, seed.clone())
+        );
+        // Associativity.
+        let lhs = Rc::bind(Rc::bind(m.clone(), k.clone()), h.clone());
+        let rhs = Rc::bind(m, move |x| Rc::bind(k(x), h.clone()));
+        prop_assert_eq!(
+            run_store_passing(lhs, guts, seed.clone()),
+            run_store_passing(rhs, guts, seed)
+        );
+    }
+}

@@ -16,8 +16,9 @@ use mai_core::collect::{
     explore_fp_bounded, run_analysis, with_gc, Collecting, PerStateDomain, SharedStoreDomain,
 };
 use mai_core::engine::{
-    explore_worklist_rescan_stats, explore_worklist_stats, explore_worklist_structural_stats,
-    EngineStats, FrontierCollecting,
+    explore_worklist_direct_stats, explore_worklist_rescan_stats, explore_worklist_stats,
+    explore_worklist_structural_stats, with_state_gc, DirectCollecting, EngineStats,
+    FrontierCollecting,
 };
 use mai_core::gc::{reachable, GcStrategy, Touches};
 use mai_core::lattice::{KleeneOutcome, Lattice};
@@ -165,6 +166,40 @@ where
             mnext::<StorePassing<C, S>, C::Addr>,
             CpsGc,
         ),
+        PState::inject(program.clone()),
+    )
+}
+
+/// Like [`analyse_worklist`], but evaluated on the **direct-style step
+/// carrier**: the engine runs [`crate::direct::mnext_direct`] — the same
+/// Figure-2 semantics with `bind` as plain function composition on an
+/// explicit `(context, store)` context — instead of desugaring the
+/// `Rc`-closure monad per step.  Identical fixpoint and identical work
+/// counters (the solver code is shared); only the per-step constant factor
+/// differs.  The `Rc` carrier remains the differential-testing oracle.
+pub fn analyse_worklist_direct<C, S, Fp>(program: &CExp) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Val<C::Addr>>> + Value,
+    Fp: DirectCollecting<PState<C::Addr>, C, S>,
+{
+    explore_worklist_direct_stats(
+        crate::direct::mnext_direct::<C, S>,
+        PState::inject(program.clone()),
+    )
+}
+
+/// Like [`analyse_gc_worklist`], but on the direct-style carrier: abstract
+/// GC runs as a per-branch store restriction ([`with_state_gc`]) after
+/// each direct transition.
+pub fn analyse_gc_worklist_direct<C, S, Fp>(program: &CExp) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Val<C::Addr>>> + Value,
+    Fp: DirectCollecting<PState<C::Addr>, C, S>,
+{
+    explore_worklist_direct_stats(
+        with_state_gc(crate::direct::mnext_direct::<C, S>),
         PState::inject(program.clone()),
     )
 }
@@ -331,6 +366,38 @@ pub fn analyse_kcfa_shared_structural<const K: usize>(
     program: &CExp,
 ) -> (KCfaShared<K>, EngineStats) {
     analyse_worklist_structural::<KCallCtx<K>, KStore, _>(program)
+}
+
+/// [`analyse_kcfa_shared_worklist`] on the direct-style carrier — the E11
+/// fast path (no `Rc<dyn Fn>` per bind, persistent-spine store clones).
+pub fn analyse_kcfa_shared_direct<const K: usize>(program: &CExp) -> (KCfaShared<K>, EngineStats) {
+    analyse_worklist_direct::<KCallCtx<K>, KStore, _>(program)
+}
+
+/// [`analyse_kcfa_shared_gc_worklist`] on the direct-style carrier.
+pub fn analyse_kcfa_shared_gc_direct<const K: usize>(
+    program: &CExp,
+) -> (KCfaShared<K>, EngineStats) {
+    analyse_gc_worklist_direct::<KCallCtx<K>, KStore, _>(program)
+}
+
+/// [`analyse_kcfa_worklist`] (per-state stores) on the direct-style
+/// carrier.
+pub fn analyse_kcfa_direct<const K: usize>(program: &CExp) -> (KCfaPerState<K>, EngineStats) {
+    analyse_worklist_direct::<KCallCtx<K>, KStore, _>(program)
+}
+
+/// [`analyse_kcfa_with_count_worklist`] (shared counting store) on the
+/// direct-style carrier.
+pub fn analyse_kcfa_with_count_direct<const K: usize>(
+    program: &CExp,
+) -> (KCfaCounting<K>, EngineStats) {
+    analyse_worklist_direct::<KCallCtx<K>, KCountingStore, _>(program)
+}
+
+/// [`analyse_mono_worklist`] on the direct-style carrier.
+pub fn analyse_mono_direct(program: &CExp) -> (MonoShared, EngineStats) {
+    analyse_worklist_direct::<MonoCtx, BasicStore<MonoAddr, Val<MonoAddr>>, _>(program)
 }
 
 /// How many distinct environments the states of a shared-store fixpoint

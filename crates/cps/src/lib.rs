@@ -36,6 +36,7 @@
 pub mod analysis;
 pub mod concrete;
 pub mod convert;
+pub mod direct;
 pub mod parser;
 pub mod programs;
 pub mod semantics;
@@ -52,8 +53,14 @@ pub use analysis::{
     analyse_worklist_rescan, analyse_worklist_structural, distinct_env_count, flow_map_of_store,
     AnalysisMetrics, CpsGc, FlowMap,
 };
+pub use analysis::{
+    analyse_gc_worklist_direct, analyse_kcfa_direct, analyse_kcfa_shared_direct,
+    analyse_kcfa_shared_gc_direct, analyse_kcfa_with_count_direct, analyse_mono_direct,
+    analyse_worklist_direct,
+};
 pub use concrete::{interpret, interpret_with_limit, Heap, HeapAddr, Outcome};
 pub use convert::cps_convert;
+pub use direct::mnext_direct;
 pub use parser::{parse_program, ParseCpsError};
 pub use semantics::{mnext, CpsInterface, Env, PState, Val};
 pub use syntax::{AExp, CExp, Lambda, Var};

@@ -9,8 +9,9 @@
 //!        | (λ (x …) call)     abstraction  (`lambda` is accepted for `λ`)
 //! ```
 //!
-//! Every call site receives a fresh [`Label`] in parse order, so two parses
-//! of the same text produce structurally equal programs.
+//! Every call site receives a fresh [`Label`](mai_core::name::Label) in
+//! parse order, so two parses of the same text produce structurally equal
+//! programs.
 
 use std::error::Error;
 use std::fmt;

@@ -13,8 +13,9 @@ use std::collections::{BTreeMap, BTreeSet};
 use mai_core::addr::{Context, NamedAddress};
 use mai_core::collect::{run_analysis, with_gc, Collecting, PerStateDomain, SharedStoreDomain};
 use mai_core::engine::{
-    explore_worklist_rescan_stats, explore_worklist_stats, explore_worklist_structural_stats,
-    EngineStats, FrontierCollecting,
+    explore_worklist_direct_stats, explore_worklist_rescan_stats, explore_worklist_stats,
+    explore_worklist_structural_stats, with_state_gc, DirectCollecting, EngineStats,
+    FrontierCollecting,
 };
 use mai_core::gc::{reachable, GcStrategy, Touches};
 use mai_core::monad::{
@@ -193,6 +194,41 @@ where
     )
 }
 
+/// Like [`analyse_worklist`], but evaluated on the **direct-style step
+/// carrier** ([`crate::direct::mnext_direct`]): the same FJ machine
+/// semantics with `bind` as plain function composition — no `Rc<dyn Fn>`
+/// per bind.  Identical fixpoint; the `Rc` carrier remains the oracle.
+pub fn analyse_worklist_direct<C, S, Fp>(program: &Program) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: DirectCollecting<PState<C::Addr>, C, S>,
+{
+    let table = program.table.clone();
+    explore_worklist_direct_stats(
+        move |ps, ctx, store| crate::direct::mnext_direct::<C, S>(&table, ps, ctx, store),
+        PState::inject(program.main.clone()),
+    )
+}
+
+/// Like [`analyse_with_gc_worklist`], but on the direct-style carrier
+/// (per-branch store restriction via
+/// [`with_state_gc`]).
+pub fn analyse_with_gc_worklist_direct<C, S, Fp>(program: &Program) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: DirectCollecting<PState<C::Addr>, C, S>,
+{
+    let table = program.table.clone();
+    explore_worklist_direct_stats(
+        with_state_gc(move |ps, ctx, store| {
+            crate::direct::mnext_direct::<C, S>(&table, ps, ctx, store)
+        }),
+        PState::inject(program.main.clone()),
+    )
+}
+
 /// Like [`analyse_worklist`], but solved by the PR-2 *structural-key*
 /// incremental engine (states as `BTreeMap` keys instead of interned ids) —
 /// a differential-testing oracle and the E10 benchmark baseline.
@@ -357,6 +393,35 @@ pub fn analyse_kcfa_shared_gc_worklist<const K: usize>(
     program: &Program,
 ) -> (KFjShared<K>, EngineStats) {
     analyse_with_gc_worklist::<KCallCtx<K>, KFjStore, _>(program)
+}
+
+/// [`analyse_kcfa_shared_worklist`] on the direct-style carrier.
+pub fn analyse_kcfa_shared_direct<const K: usize>(
+    program: &Program,
+) -> (KFjShared<K>, EngineStats) {
+    analyse_worklist_direct::<KCallCtx<K>, KFjStore, _>(program)
+}
+
+/// [`analyse_kcfa_shared_gc_worklist`] on the direct-style carrier.
+pub fn analyse_kcfa_shared_gc_direct<const K: usize>(
+    program: &Program,
+) -> (KFjShared<K>, EngineStats) {
+    analyse_with_gc_worklist_direct::<KCallCtx<K>, KFjStore, _>(program)
+}
+
+/// [`analyse_kcfa_with_count_worklist`] on the direct-style carrier.
+pub fn analyse_kcfa_with_count_direct<const K: usize>(
+    program: &Program,
+) -> (
+    SharedStoreDomain<PState<KCallAddr>, KCallCtx<K>, KFjCountingStore>,
+    EngineStats,
+) {
+    analyse_worklist_direct::<KCallCtx<K>, KFjCountingStore, _>(program)
+}
+
+/// [`analyse_mono_worklist`] on the direct-style carrier.
+pub fn analyse_mono_direct(program: &Program) -> (MonoFjShared, EngineStats) {
+    analyse_worklist_direct::<MonoCtx, BasicStore<MonoAddr, Storable<MonoAddr>>, _>(program)
 }
 
 /// [`analyse_mono`] solved by the worklist engine.

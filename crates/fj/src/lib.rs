@@ -33,6 +33,7 @@
 
 pub mod analysis;
 pub mod concrete;
+pub mod direct;
 pub mod machine;
 pub mod programs;
 pub mod syntax;
@@ -47,7 +48,12 @@ pub use analysis::{
     analyse_worklist, analyse_worklist_rescan, analyse_worklist_structural, class_flow_map,
     distinct_env_count, result_classes, FjAnalyser, FjGc,
 };
+pub use analysis::{
+    analyse_kcfa_shared_direct, analyse_kcfa_shared_gc_direct, analyse_kcfa_with_count_direct,
+    analyse_mono_direct, analyse_with_gc_worklist_direct, analyse_worklist_direct,
+};
 pub use concrete::{run, run_with_limit, Outcome};
+pub use direct::mnext_direct;
 pub use machine::{mnext, Control, Env, FjInterface, Kont, KontKind, Obj, PState, Storable};
 pub use syntax::{ClassDecl, ClassTable, Expr, ExprBuilder, MethodDecl, Program};
 pub use typecheck::{check_program, type_of, TypeEnv, TypeError};

@@ -11,8 +11,9 @@ use std::collections::BTreeSet;
 use mai_core::addr::{Context, NamedAddress};
 use mai_core::collect::{run_analysis, with_gc, Collecting, PerStateDomain, SharedStoreDomain};
 use mai_core::engine::{
-    explore_worklist_rescan_stats, explore_worklist_stats, explore_worklist_structural_stats,
-    EngineStats, FrontierCollecting,
+    explore_worklist_direct_stats, explore_worklist_rescan_stats, explore_worklist_stats,
+    explore_worklist_structural_stats, with_state_gc, DirectCollecting, EngineStats,
+    FrontierCollecting,
 };
 use mai_core::gc::Touches;
 use mai_core::gc::{reachable, GcStrategy};
@@ -174,6 +175,37 @@ where
             mnext::<StorePassing<C, S>, C::Addr>,
             CeskGc,
         ),
+        PState::inject(term.clone()),
+    )
+}
+
+/// Like [`analyse_worklist`], but evaluated on the **direct-style step
+/// carrier** ([`crate::direct::mnext_direct`]): the same CESK semantics
+/// with `bind` as plain function composition — no `Rc<dyn Fn>` per bind.
+/// Identical fixpoint; the `Rc` carrier remains the oracle.
+pub fn analyse_worklist_direct<C, S, Fp>(term: &Term) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: DirectCollecting<PState<C::Addr>, C, S>,
+{
+    explore_worklist_direct_stats(
+        crate::direct::mnext_direct::<C, S>,
+        PState::inject(term.clone()),
+    )
+}
+
+/// Like [`analyse_with_gc_worklist`], but on the direct-style carrier
+/// (per-branch store restriction via
+/// [`with_state_gc`]).
+pub fn analyse_with_gc_worklist_direct<C, S, Fp>(term: &Term) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: DirectCollecting<PState<C::Addr>, C, S>,
+{
+    explore_worklist_direct_stats(
+        with_state_gc(crate::direct::mnext_direct::<C, S>),
         PState::inject(term.clone()),
     )
 }
@@ -343,6 +375,31 @@ where
 /// [`analyse_mono`] solved by the worklist engine.
 pub fn analyse_mono_worklist(term: &Term) -> (MonoCeskShared, EngineStats) {
     analyse_worklist::<MonoCtx, BasicStore<MonoAddr, Storable<MonoAddr>>, _>(term)
+}
+
+/// [`analyse_kcfa_shared_worklist`] on the direct-style carrier.
+pub fn analyse_kcfa_shared_direct<const K: usize>(term: &Term) -> (KCeskShared<K>, EngineStats) {
+    analyse_worklist_direct::<KCallCtx<K>, KCeskStore, _>(term)
+}
+
+/// [`analyse_kcfa_shared_gc_worklist`] on the direct-style carrier.
+pub fn analyse_kcfa_shared_gc_direct<const K: usize>(term: &Term) -> (KCeskShared<K>, EngineStats) {
+    analyse_with_gc_worklist_direct::<KCallCtx<K>, KCeskStore, _>(term)
+}
+
+/// [`analyse_mono_worklist`] on the direct-style carrier.
+pub fn analyse_mono_direct(term: &Term) -> (MonoCeskShared, EngineStats) {
+    analyse_worklist_direct::<MonoCtx, BasicStore<MonoAddr, Storable<MonoAddr>>, _>(term)
+}
+
+/// [`analyse_kcfa_with_count_worklist`] on the direct-style carrier.
+pub fn analyse_kcfa_with_count_direct<const K: usize>(
+    term: &Term,
+) -> (
+    SharedStoreDomain<PState<KCallAddr>, KCallCtx<K>, KCeskCountingStore>,
+    EngineStats,
+) {
+    analyse_worklist_direct::<KCallCtx<K>, KCeskCountingStore, _>(term)
 }
 
 /// Which λ-abstraction parameters each variable may be bound to, extracted

@@ -33,6 +33,7 @@
 
 pub mod analysis;
 pub mod concrete;
+pub mod direct;
 pub mod machine;
 pub mod parser;
 pub mod programs;
@@ -47,7 +48,12 @@ pub use analysis::{
     analyse_worklist, analyse_worklist_rescan, analyse_worklist_structural, distinct_env_count,
     flow_map_of_store, CeskGc,
 };
+pub use analysis::{
+    analyse_kcfa_shared_direct, analyse_kcfa_shared_gc_direct, analyse_kcfa_with_count_direct,
+    analyse_mono_direct, analyse_with_gc_worklist_direct, analyse_worklist_direct,
+};
 pub use concrete::{decode_church_numeral, evaluate, evaluate_with_limit, Outcome};
+pub use direct::mnext_direct;
 pub use machine::{mnext, CeskInterface, Closure, Control, Env, Kont, KontKind, PState, Storable};
 pub use parser::{parse_term, ParseTermError};
 pub use syntax::{church_numeral, Term, TermBuilder, Var};

@@ -66,9 +66,21 @@ pub mod test_runner {
         fn default() -> Self {
             TestRunner {
                 rng: Rng::new(0x9E37_79B9_7F4A_7C15),
-                cases: 64,
+                cases: default_cases(),
             }
         }
+    }
+
+    /// The per-test case budget: the `PROPTEST_CASES` environment variable
+    /// when set (mirroring real proptest's knob — CI pins it so property
+    /// jobs stay within budget), 64 otherwise.  The generator seed is fixed
+    /// either way, so any budget reproduces a prefix of the same sequence.
+    pub fn default_cases() -> usize {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|n| *n > 0)
+            .unwrap_or(64)
     }
 }
 
