@@ -17,8 +17,9 @@ use mai_core::engine::EngineStats;
 use mai_core::{KCallAddr, KCallCtx, StorePassing};
 use mai_cps::analysis::{
     analyse_kcfa, analyse_kcfa_shared, analyse_kcfa_shared_direct, analyse_kcfa_shared_gc,
-    analyse_kcfa_shared_rescan, analyse_kcfa_shared_structural, analyse_kcfa_shared_worklist,
-    analyse_mono, distinct_env_count, AnalysisMetrics, KCfaShared, KStore,
+    analyse_kcfa_shared_parallel, analyse_kcfa_shared_rescan, analyse_kcfa_shared_structural,
+    analyse_kcfa_shared_worklist, analyse_mono, distinct_env_count, AnalysisMetrics, KCfaShared,
+    KStore,
 };
 use mai_cps::syntax::CExp;
 use mai_cps::{mnext, PState};
@@ -491,6 +492,144 @@ pub fn direct_row(name: impl Into<String>, program: &CExp, repeats: usize) -> Di
     }
 }
 
+/// One row of the E12 comparison: the same 1CFA shared-store analysis
+/// solved by the sequential direct engine and by the sharded parallel
+/// driver at one thread count.
+#[derive(Debug, Clone)]
+pub struct ParallelRow {
+    /// The workload name.
+    pub program: String,
+    /// The worker thread count of the parallel solve.
+    pub threads: usize,
+    /// `(state, guts)` pairs in the fixpoint (identical for both drivers).
+    pub configurations: usize,
+    /// Work statistics of the sequential direct solve (the determinism
+    /// oracle).
+    pub direct: EngineStats,
+    /// Wall-clock time of the sequential direct solve.
+    pub direct_time: Duration,
+    /// Work statistics of the parallel solve.  The deterministic work
+    /// counters (steps, joins, rounds, widenings, intern traffic) are
+    /// identical to the direct side by construction — asserted by
+    /// [`parallel_row`] — and `sync_rounds`/`steal_events`/
+    /// `shard_imbalance` describe the sharding itself.
+    pub parallel: EngineStats,
+    /// Wall-clock time of the parallel solve.
+    pub parallel_time: Duration,
+    /// Whether the two fixpoints were identical (they always must be).
+    pub equal: bool,
+}
+
+impl ParallelRow {
+    /// Wall-clock speedup of the parallel driver over the sequential
+    /// direct engine (>1 means sharding won).
+    pub fn speedup(&self) -> f64 {
+        let parallel = self.parallel_time.as_secs_f64();
+        if parallel > 0.0 {
+            self.direct_time.as_secs_f64() / parallel
+        } else {
+            f64::NAN
+        }
+    }
+
+    /// Renders the row in the fixed-width format used by the report
+    /// binary.  The headline column is the wall-clock speedup; the sync/
+    /// steal/imbalance counters describe how the sharding behaved.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<18} threads={:<2} states={:<6} syncs={:<4} steals={:<5} imbalance={:<5} \
+             direct={:<10.2?} parallel={:<10.2?} speedup={:<5.2} equal={}",
+            self.program,
+            self.threads,
+            self.parallel.distinct_states,
+            self.parallel.sync_rounds,
+            self.parallel.steal_events,
+            self.parallel.shard_imbalance,
+            self.direct_time,
+            self.parallel_time,
+            self.speedup(),
+            self.equal,
+        )
+    }
+
+    /// The JSON rendering of the row for `BENCH_report.json` (thread count
+    /// recorded so rows at different counts stay distinct baselines).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("program", Json::Str(self.program.clone())),
+            ("threads", Json::Int(self.threads as u64)),
+            ("configurations", Json::Int(self.configurations as u64)),
+            ("direct", engine_stats_json(&self.direct)),
+            ("direct_ms", Json::Num(self.direct_time.as_secs_f64() * 1e3)),
+            ("parallel", engine_stats_json(&self.parallel)),
+            (
+                "parallel_ms",
+                Json::Num(self.parallel_time.as_secs_f64() * 1e3),
+            ),
+            ("speedup", Json::Num(self.speedup())),
+            ("equal", Json::Bool(self.equal)),
+        ])
+    }
+}
+
+/// Runs the E12 comparison for one program at one thread count: 1CFA with
+/// a shared store, solved by the sequential direct engine and by the
+/// sharded parallel driver.  Both solves are repeated `repeats` times
+/// (minimum taken), and the deterministic work counters are asserted to
+/// agree between the drivers — the parallel engine must do the *same*
+/// work, just spread across shards.
+pub fn parallel_row(
+    name: impl Into<String>,
+    program: &CExp,
+    threads: usize,
+    repeats: usize,
+) -> ParallelRow {
+    let name = name.into();
+    let repeats = repeats.max(1);
+    let mut direct_time = Duration::MAX;
+    let mut parallel_time = Duration::MAX;
+    let mut measured: Option<(KCfaShared<1>, EngineStats, KCfaShared<1>, EngineStats)> = None;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        let (direct, direct_stats) = analyse_kcfa_shared_direct::<1>(program);
+        direct_time = direct_time.min(start.elapsed());
+
+        let start = Instant::now();
+        let (parallel, parallel_stats) = analyse_kcfa_shared_parallel::<1>(program, threads);
+        parallel_time = parallel_time.min(start.elapsed());
+        measured = Some((direct, direct_stats, parallel, parallel_stats));
+    }
+    let (direct, direct_stats, parallel, parallel_stats) = measured.expect("at least one repeat");
+    assert_eq!(
+        (
+            direct_stats.iterations,
+            direct_stats.states_stepped,
+            direct_stats.store_joins,
+            direct_stats.store_widenings,
+            direct_stats.spine_clones,
+        ),
+        (
+            parallel_stats.iterations,
+            parallel_stats.states_stepped,
+            parallel_stats.store_joins,
+            parallel_stats.store_widenings,
+            parallel_stats.spine_clones,
+        ),
+        "{name}: parallel driver diverged from the direct engine's work counters"
+    );
+
+    ParallelRow {
+        program: name,
+        threads,
+        configurations: parallel.len(),
+        direct: direct_stats,
+        direct_time,
+        parallel: parallel_stats,
+        parallel_time,
+        equal: direct == parallel,
+    }
+}
+
 /// Runs the E9 comparison for one program: 1CFA with a shared store, solved
 /// by the incremental accumulator and by the PR-1 rescanning engine.
 pub fn incremental_row(name: &'static str, program: &CExp) -> IncrementalRow {
@@ -605,6 +744,30 @@ mod tests {
         assert!(json.contains("\"spine_clones\""));
         assert!(json.contains("\"store_bytes_shared\""));
         assert!(json.contains("\"speedup\""));
+    }
+
+    #[test]
+    fn parallel_rows_agree_and_record_threads() {
+        let program = mai_cps::programs::kcfa_worst_case_scaled(2, 3);
+        for threads in [1usize, 2] {
+            let row = parallel_row("kcfa-worst-2w3", &program, threads, 2);
+            assert!(row.equal, "parallel and direct fixpoints differ");
+            assert_eq!(row.threads, threads);
+            // Deterministic work counters must match the direct oracle
+            // (parallel_row itself asserts the core set; spot-check more).
+            assert_eq!(row.parallel.cache_hits, row.direct.cache_hits);
+            assert_eq!(row.parallel.reenqueued, row.direct.reenqueued);
+            assert_eq!(row.parallel.intern_misses, row.direct.intern_misses);
+            // The parallel driver syncs once per round; the sequential
+            // engine never syncs.
+            assert_eq!(row.parallel.sync_rounds, row.parallel.iterations);
+            assert_eq!(row.direct.sync_rounds, 0);
+            let json = row.to_json().render();
+            assert!(json.contains("\"threads\""));
+            assert!(json.contains("\"sync_rounds\""));
+            assert!(json.contains("\"steal_events\""));
+            assert!(json.contains("\"speedup\""));
+        }
     }
 
     #[test]

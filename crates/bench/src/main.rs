@@ -17,7 +17,7 @@ use std::time::Instant;
 use mai_bench::report::Json;
 use mai_bench::{
     cloning_vs_shared, cps_corpus, direct_row, gc_rows, incremental_row, interned_row,
-    polyvariance_rows, worklist_row, E10_SCALE_WIDTH,
+    parallel_row, polyvariance_rows, worklist_row, E10_SCALE_WIDTH,
 };
 use mai_core::store::StoreLike;
 use mai_cps::analysis::{analyse_kcfa_shared, analyse_mono};
@@ -225,6 +225,83 @@ fn experiment_interned() -> Vec<Json> {
     rows
 }
 
+/// The value of a `--flag N` style argument, if present.
+fn numeric_arg(flag: &str) -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// The E12 thread sweep: 1 and 2 workers plus the `--threads` top count
+/// (default 4), deduplicated and sorted.
+fn e12_thread_counts() -> Vec<usize> {
+    let top = numeric_arg("--threads").unwrap_or(4).max(1);
+    let mut counts = vec![1usize, 2, top];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+/// The E12 workload list: the scaled k-CFA worst-case lanes family at the
+/// acceptance depths.  Shared by the report and by `--check-regress`.
+fn e12_workloads() -> Vec<(String, mai_cps::syntax::CExp)> {
+    (3..=6)
+        .map(|n| {
+            (
+                format!("kcfa-worst-{n}w{E10_SCALE_WIDTH}"),
+                kcfa_worst_case_scaled(n, E10_SCALE_WIDTH),
+            )
+        })
+        .collect()
+}
+
+/// E12 — the sharded parallel driver vs. the sequential direct engine:
+/// identical fixpoints and identical deterministic work counters at every
+/// thread count; wall-clock speedup when (and only when) the host has the
+/// cores — the section records `host_cpus` so a 1-CPU container's ≈1×
+/// rows are not mistaken for a scaling regression.
+fn experiment_parallel() -> Json {
+    heading("E12  sharded parallel driver vs. sequential direct engine (1CFA, shared store)");
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("host cpus: {host_cpus}");
+    let mut rows = Vec::new();
+    for (name, program) in e12_workloads() {
+        for threads in e12_thread_counts() {
+            let row = parallel_row(name.clone(), &program, threads, 3);
+            println!("{}", row.render());
+            rows.push(row.to_json());
+        }
+    }
+    Json::obj([
+        ("host_cpus", Json::Int(host_cpus as u64)),
+        ("rows", Json::Arr(rows)),
+    ])
+}
+
+/// The `--parallel-smoke` mode: one quick parallel-vs-direct row at the
+/// `--threads` worker count; non-zero exit unless the fixpoints (and the
+/// asserted work counters inside `parallel_row`) agree.
+fn parallel_smoke() -> std::process::ExitCode {
+    let threads = numeric_arg("--threads").unwrap_or(2).max(1);
+    println!("Monadic Abstract Interpreters — parallel smoke ({threads} threads)");
+    let program = kcfa_worst_case_scaled(3, E10_SCALE_WIDTH);
+    let row = parallel_row(
+        format!("kcfa-worst-3w{E10_SCALE_WIDTH}"),
+        &program,
+        threads,
+        1,
+    );
+    println!("{}", row.render());
+    if row.equal {
+        std::process::ExitCode::SUCCESS
+    } else {
+        eprintln!("parallel fixpoint diverged from the sequential direct engine");
+        std::process::ExitCode::FAILURE
+    }
+}
+
 /// E11 — the direct-style carrier on the persistent store spine vs. the
 /// PR-3 interned engine on the `Rc`-closure carrier: identical fixpoints
 /// and identical work counters, no `Rc<dyn Fn>` allocation per bind.
@@ -370,6 +447,40 @@ fn fresh_counters() -> Vec<CounterSample> {
             row.direct.store_bytes_shared as u64,
         ));
     }
+    // E12: parallel-driver deterministic counters.  `parallel_row` itself
+    // asserts the work counters match the sequential direct engine; the
+    // gate additionally pins them (and the round structure) to the
+    // committed baseline.  The timing gauges (steal_events,
+    // shard_imbalance) are *not* sampled — they are legitimately
+    // nondeterministic.
+    for (name, program) in e12_workloads() {
+        for threads in e12_thread_counts() {
+            let row = parallel_row(name.clone(), &program, threads, 1);
+            assert!(
+                row.equal,
+                "{name}@t{threads}: parallel fixpoint differs from direct"
+            );
+            let key = format!("{name}@t{threads}");
+            samples.push((
+                "e12_parallel_vs_direct",
+                key.clone(),
+                "parallel.states_stepped",
+                row.parallel.states_stepped as u64,
+            ));
+            samples.push((
+                "e12_parallel_vs_direct",
+                key.clone(),
+                "parallel.store_joins",
+                row.parallel.store_joins as u64,
+            ));
+            samples.push((
+                "e12_parallel_vs_direct",
+                key,
+                "parallel.sync_rounds",
+                row.parallel.sync_rounds as u64,
+            ));
+        }
+    }
     // E10: id-indexed vs. structural counters.
     for (name, program, _) in e10_workloads() {
         let row = interned_row(name.clone(), &program, 1);
@@ -431,12 +542,24 @@ fn check_regress() -> std::process::ExitCode {
     let mut improvements = 0usize;
     let mut missing = 0usize;
     for (section, program, counter, fresh) in fresh_counters() {
+        // E12 rows are keyed by program *and* thread count (the sample key
+        // is "program@tN"); its rows live under the section's "rows" field
+        // next to the host_cpus record.
+        let (program_name, threads) = match program.split_once("@t") {
+            Some((p, t)) => (p.to_string(), t.parse::<u64>().ok()),
+            None => (program.clone(), None),
+        };
         let baseline = committed
             .get(section)
+            .map(|section_json| section_json.get("rows").unwrap_or(section_json))
             .and_then(|rows| {
-                rows.items()
-                    .iter()
-                    .find(|row| row.get("program").and_then(Json::as_str) == Some(&program))
+                rows.items().iter().find(|row| {
+                    row.get("program").and_then(Json::as_str) == Some(&program_name)
+                        && match threads {
+                            Some(t) => row.get("threads").and_then(Json::as_u64) == Some(t),
+                            None => true,
+                        }
+                })
             })
             .and_then(|row| committed_counter(row, counter));
         match baseline {
@@ -489,6 +612,9 @@ fn main() -> std::process::ExitCode {
     if std::env::args().any(|arg| arg == "--check-regress") {
         return check_regress();
     }
+    if std::env::args().any(|arg| arg == "--parallel-smoke") {
+        return parallel_smoke();
+    }
     let started = Instant::now();
     println!("Monadic Abstract Interpreters — experiment report");
     experiment_adequacy();
@@ -502,9 +628,10 @@ fn main() -> std::process::ExitCode {
     let incremental = experiment_incremental();
     let interned = experiment_interned();
     let persistent = experiment_persistent();
+    let parallel = experiment_parallel();
 
     let report = Json::obj([
-        ("schema_version", Json::Int(3)),
+        ("schema_version", Json::Int(4)),
         (
             "report_wall_clock_ms",
             Json::Num(started.elapsed().as_secs_f64() * 1e3),
@@ -514,6 +641,7 @@ fn main() -> std::process::ExitCode {
         ("e9_incremental_vs_rescan", Json::Arr(incremental)),
         ("e10_interned_vs_structural", Json::Arr(interned)),
         ("e11_persistent_vs_interned", Json::Arr(persistent)),
+        ("e12_parallel_vs_direct", parallel),
     ]);
     let path = "BENCH_report.json";
     match std::fs::write(path, report.render() + "\n") {

@@ -383,6 +383,9 @@ pub fn engine_stats_json(stats: &EngineStats) -> Json {
             "store_bytes_shared",
             Json::Int(stats.store_bytes_shared as u64),
         ),
+        ("sync_rounds", Json::Int(stats.sync_rounds as u64)),
+        ("steal_events", Json::Int(stats.steal_events as u64)),
+        ("shard_imbalance", Json::Int(stats.shard_imbalance as u64)),
     ])
 }
 

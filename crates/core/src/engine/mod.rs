@@ -56,6 +56,7 @@
 //! literal algorithm, a second opinion in a differential test, or a domain
 //! that implements only [`Collecting`].
 
+pub mod parallel;
 mod per_state;
 mod shared;
 
@@ -140,9 +141,56 @@ pub struct EngineStats {
     /// run; `--check-regress` treats a *drop* as a structural-sharing
     /// regression.
     pub store_bytes_shared: usize,
+    /// Join-on-sync barriers the sharded parallel engine crossed: one per
+    /// solver round (the step phase of a round ends at the barrier where
+    /// per-shard deltas are joined into the global accumulator).  Equals
+    /// [`EngineStats::iterations`] for a parallel run and 0 for every
+    /// sequential engine; deterministic, so `mai-bench --check-regress`
+    /// gates on it like on the other work counters.
+    pub sync_rounds: usize,
+    /// Frontier chunks a parallel worker claimed from *another* worker's
+    /// shard after draining its own.  A load-balance observability gauge:
+    /// genuinely timing-dependent (two runs of the same workload may steal
+    /// differently), so it is reported but **not** gated by
+    /// `--check-regress`.
+    pub steal_events: usize,
+    /// The peak, over sync rounds, of the spread (max − min) of states
+    /// actually processed per worker within one round — how unbalanced the
+    /// shards were *after* stealing.  Timing-dependent like
+    /// [`EngineStats::steal_events`]; reported, not gated.
+    pub shard_imbalance: usize,
 }
 
 impl EngineStats {
+    /// Joins two stat records: additive *work* counters (steps, joins,
+    /// hits, re-enqueues, widenings, spine clones, intern traffic, rounds,
+    /// steal events) are summed; *gauge* counters (peaks: frontier, shared
+    /// bytes, shard imbalance; totals: distinct states/envs) take the
+    /// maximum.  This is how the parallel engine folds per-shard stats into
+    /// the run's record at each sync barrier — worker records carry only
+    /// per-shard work, the coordinator's record carries the round
+    /// structure, and `merge` is associative and commutative on that
+    /// split, so the merged result is independent of worker order.
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.iterations += other.iterations;
+        self.states_stepped += other.states_stepped;
+        self.cache_hits += other.cache_hits;
+        self.reenqueued += other.reenqueued;
+        self.store_widenings += other.store_widenings;
+        self.store_joins += other.store_joins;
+        self.rebuild_rounds += other.rebuild_rounds;
+        self.peak_frontier = self.peak_frontier.max(other.peak_frontier);
+        self.intern_hits += other.intern_hits;
+        self.intern_misses += other.intern_misses;
+        self.distinct_states = self.distinct_states.max(other.distinct_states);
+        self.distinct_envs = self.distinct_envs.max(other.distinct_envs);
+        self.spine_clones += other.spine_clones;
+        self.store_bytes_shared = self.store_bytes_shared.max(other.store_bytes_shared);
+        self.sync_rounds += other.sync_rounds;
+        self.steal_events += other.steal_events;
+        self.shard_imbalance = self.shard_imbalance.max(other.shard_imbalance);
+    }
+
     /// Average contribution joins per solver round — the E9 headline metric
     /// (O(|frontier|) for the incremental engine, O(|states|) for the
     /// rescanning engine and naive Kleene iteration).
@@ -173,7 +221,7 @@ impl fmt::Display for EngineStats {
         write!(
             f,
             "iters={} stepped={} hits={} reenq={} widenings={} joins={} rebuilds={} peak={} \
-             intern={}/{} distinct={} clones={} shared-bytes={}",
+             intern={}/{} distinct={} clones={} shared-bytes={} syncs={} steals={} imbalance={}",
             self.iterations,
             self.states_stepped,
             self.cache_hits,
@@ -186,7 +234,10 @@ impl fmt::Display for EngineStats {
             self.intern_misses,
             self.distinct_states,
             self.spine_clones,
-            self.store_bytes_shared
+            self.store_bytes_shared,
+            self.sync_rounds,
+            self.steal_events,
+            self.shard_imbalance
         )
     }
 }
@@ -225,7 +276,13 @@ pub trait StateRoots {
 /// The solvers are written once against this trait and therefore compute
 /// identical fixpoints (and identical work counters) on either carrier;
 /// only the per-step constant factor differs.
-pub trait StepFn<Ps, G, S> {
+///
+/// Step functions are `Sync`: the sharded parallel engine
+/// ([`parallel`]) shares one step function across all of its workers, and
+/// every producer in the tree (plain `fn`s, the `with_state_gc` wrapper,
+/// the `run_store_passing` desugaring closure) is stateless, so the bound
+/// costs nothing and keeps the solver carrier- *and* strategy-neutral.
+pub trait StepFn<Ps, G, S>: Sync {
     /// Steps one `(state, guts, store)` configuration to its successor
     /// branches.
     fn step(&self, ps: Ps, guts: G, store: S) -> Vec<((Ps, G), S)>;
@@ -233,7 +290,7 @@ pub trait StepFn<Ps, G, S> {
 
 impl<F, Ps, G, S> StepFn<Ps, G, S> for F
 where
-    F: Fn(Ps, G, S) -> Vec<((Ps, G), S)>,
+    F: Fn(Ps, G, S) -> Vec<((Ps, G), S)> + Sync,
 {
     fn step(&self, ps: Ps, guts: G, store: S) -> Vec<((Ps, G), S)> {
         self(ps, guts, store)
@@ -292,6 +349,40 @@ where
     Fp::explore_frontier_direct(&step, initial)
 }
 
+/// Analysis domains solvable by the **sharded parallel** driver
+/// ([`parallel`]): the same direct-style [`StepFn`] shape as
+/// [`DirectCollecting`], with the frontier split across worker threads and
+/// per-shard store deltas joined at a sync barrier each round.
+///
+/// Implementations must compute the same fixpoint
+/// [`DirectCollecting::explore_frontier_direct`] computes for the same
+/// step function, at every thread count — the sequential direct engine is
+/// the determinism oracle the differential suite pins this to.
+pub trait ParallelCollecting<Ps, G, S>: Sized {
+    /// Solves `lfp (λX. inject(initial) ⊔ applyStep(step, X))` with the
+    /// work-stealing sharded driver on `threads` worker threads
+    /// (`threads = 1` degenerates to a sequential run of the same
+    /// protocol, useful as a sanity baseline).
+    fn explore_frontier_parallel<F>(step: &F, initial: Ps, threads: usize) -> (Self, EngineStats)
+    where
+        F: StepFn<Ps, G, S>;
+}
+
+/// Computes the collecting semantics with the sharded parallel engine from
+/// a direct-style step function — the thread-count-selecting counterpart
+/// of [`explore_worklist_direct_stats`].
+pub fn explore_worklist_parallel_stats<Ps, G, S, Fp, F>(
+    step: F,
+    initial: Ps,
+    threads: usize,
+) -> (Fp, EngineStats)
+where
+    Fp: ParallelCollecting<Ps, G, S>,
+    F: StepFn<Ps, G, S>,
+{
+    Fp::explore_frontier_parallel(&step, initial, threads)
+}
+
 /// Analysis domains that can be solved by a frontier-driven worklist engine
 /// instead of naive Kleene iteration.
 ///
@@ -312,7 +403,7 @@ pub trait FrontierCollecting<M: MonadFamily, A: Value>: Collecting<M, A> {
     /// O(|states| × store-join) the rescanning engine pays.
     fn explore_frontier<F>(step: &F, initial: A) -> (Self, EngineStats)
     where
-        F: Fn(A) -> M::M<A>;
+        F: Fn(A) -> M::M<A> + Sync;
 
     /// The PR-1 *rescanning* solver: memoises step outcomes the same way,
     /// but rebuilds the iterate by re-joining **every** cached contribution
@@ -323,7 +414,7 @@ pub trait FrontierCollecting<M: MonadFamily, A: Value>: Collecting<M, A> {
     /// (the per-state domain) use it unchanged.
     fn explore_frontier_rescan<F>(step: &F, initial: A) -> (Self, EngineStats)
     where
-        F: Fn(A) -> M::M<A>,
+        F: Fn(A) -> M::M<A> + Sync,
     {
         Self::explore_frontier(step, initial)
     }
@@ -339,7 +430,7 @@ pub trait FrontierCollecting<M: MonadFamily, A: Value>: Collecting<M, A> {
     /// (the per-state domain) use it unchanged.
     fn explore_frontier_structural<F>(step: &F, initial: A) -> (Self, EngineStats)
     where
-        F: Fn(A) -> M::M<A>,
+        F: Fn(A) -> M::M<A> + Sync,
     {
         Self::explore_frontier(step, initial)
     }
@@ -352,7 +443,7 @@ where
     M: MonadFamily,
     A: Value,
     Fp: FrontierCollecting<M, A>,
-    F: Fn(A) -> M::M<A>,
+    F: Fn(A) -> M::M<A> + Sync,
 {
     Fp::explore_frontier(&step, initial).0
 }
@@ -364,7 +455,7 @@ where
     M: MonadFamily,
     A: Value,
     Fp: FrontierCollecting<M, A>,
-    F: Fn(A) -> M::M<A>,
+    F: Fn(A) -> M::M<A> + Sync,
 {
     Fp::explore_frontier(&step, initial)
 }
@@ -378,7 +469,7 @@ where
     M: MonadFamily,
     A: Value,
     Fp: FrontierCollecting<M, A>,
-    F: Fn(A) -> M::M<A>,
+    F: Fn(A) -> M::M<A> + Sync,
 {
     Fp::explore_frontier_rescan(&step, initial)
 }
@@ -394,7 +485,7 @@ where
     M: MonadFamily,
     A: Value,
     Fp: FrontierCollecting<M, A>,
-    F: Fn(A) -> M::M<A>,
+    F: Fn(A) -> M::M<A> + Sync,
 {
     Fp::explore_frontier_structural(&step, initial)
 }

@@ -1,0 +1,786 @@
+//! The work-stealing sharded parallel driver for the shared-store engine.
+//!
+//! The store-passing monad makes the global store the single serialization
+//! point of the analysis; once PR 4 removed the last `Rc` from the fast
+//! path (direct branch-vector carrier, `Arc`-shared [`PMap`](crate::pmap)
+//! spine), nothing about a *round* of the id-indexed incremental engine
+//! ([`DirectCollecting::explore_frontier_direct`](super::DirectCollecting))
+//! is inherently sequential: every frontier pair is stepped against the
+//! **same** pre-round store, and the per-pair contributions only meet in
+//! the fold.  This module parallelises exactly that structure.
+//!
+//! ## The join-on-sync protocol
+//!
+//! The driver owns a **persistent pool** of worker threads (spawned once
+//! per solve, coordinated by two spin-then-park barriers — no thread is
+//! spawned per round).  A solver round is a bulk-synchronous step/sync
+//! pair:
+//!
+//! 1. **Shard** — the round's frontier (a sorted `Vec` of [`StateId`]s) is
+//!    split into one contiguous range per worker.  Each worker drains its
+//!    shard through an atomic cursor; when its range is empty it
+//!    **steals** a chunk of `StateId`s from the most-loaded remaining
+//!    shard ([`EngineStats::steal_events`] counts these, and
+//!    [`EngineStats::shard_imbalance`] records how uneven the final
+//!    per-worker loads were).
+//! 2. **Step** — each worker steps its claimed pairs against a snapshot of
+//!    the global accumulated store (an `Arc` bump per step, exactly like
+//!    the sequential engine), resolving and interning states through the
+//!    lock-striped [`ShardedInterner`] and accumulating a private list of
+//!    `(id, entry)` results, where each entry's store contribution is the
+//!    *delta* restricted to the addresses the step changed.  Workers share
+//!    the step function, the store snapshot, the interner and a read-only
+//!    view of the memo cache — nothing else, so the only synchronisation
+//!    inside a round is the interner's stripe locks.
+//! 3. **Join on sync** — at the barrier the coordinator installs the fresh
+//!    entries in the flat cache and the reverse dependency index, then
+//!    folds every re-stepped contribution into the global accumulator with
+//!    [`StoreDelta::join_in_place_delta`] in ascending id order (structural
+//!    sharing preserved: one-sided delta subtrees are adopted by
+//!    reference, exactly as in the sequential fold).  The per-address
+//!    growth report falls out of the fold, and the next frontier is
+//!    **re-seeded through the PR-3 reverse dependency index**: freshly
+//!    interned ids plus every cached dependent of an address that grew.
+//!
+//! ## Why the fixpoint (and the work counters) match the sequential engine
+//!
+//! The sequential engine's exactness argument (see the `shared` sibling
+//! module's docs) only needs each round to step
+//! its whole frontier against one consistent iterate and to fold the
+//! resulting deltas afterwards — it never relies on the *order* in which
+//! the frontier is stepped.  The parallel driver preserves the round
+//! structure bit-for-bit:
+//!
+//! * which pairs are stepped each round (the frontier) is a deterministic
+//!   set — it depends only on the previous round's per-address growth and
+//!   the dependency index, both of which are order-independent;
+//! * store joins are commutative/associative, and the [`PMap`](crate::pmap)
+//!   spine is canonical, so folding the same set of deltas in any order
+//!   yields a byte-identical accumulator;
+//! * `StateId`s minted by the sharded interner differ run-to-run in their
+//!   numeric assignment, but the *set* of interned states is again
+//!   deterministic, and ids never escape the engine (the domain is
+//!   un-interned at the boundary).
+//!
+//! Monotonicity gives the rest: every contribution folded at a sync
+//! barrier was computed against a store below the post-sync accumulator,
+//! so re-running it later could only reproduce or grow it — the same §6.4
+//! argument the sequential engine makes, which is also why the
+//! non-monotone *rebuild* defence carries over unchanged (a shrinking
+//! re-step triggers a full re-step of every cached pair against the same
+//! pre-store, again sharded across the pool).
+//!
+//! Consequently `analyse_*_parallel` produces **byte-identical fixpoints
+//! and identical deterministic work counters** (steps, joins, rounds,
+//! widenings, re-enqueues, intern traffic) to `analyse_*_direct` at every
+//! thread count — asserted across the committed differential matrix at
+//! 1, 2 and 4 threads.  Only the timing-dependent gauges
+//! (`steal_events`, `shard_imbalance`) and the physical-sharing sample
+//! (`store_bytes_shared`, which depends on fold adoption order) may vary.
+
+use std::collections::BTreeSet;
+use std::hash::Hash;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError, RwLock};
+
+use crate::addr::HasInitial;
+use crate::collect::SharedStoreDomain;
+use crate::gc::Touches;
+use crate::hash::FxHashMap;
+use crate::intern::{InternKey, ShardedInterner, StateId};
+use crate::monad::Value;
+use crate::store::{StoreDelta, StoreLike};
+
+use super::shared::{sorted_subset, step_entry, IdDependents, InternedCache, InternedEntry};
+use super::{EngineStats, ParallelCollecting, StateRoots, StepFn};
+
+/// A sense-reversing **hybrid** (spin-then-park) barrier for the round
+/// protocol.
+///
+/// `std::sync::Barrier` parks every waiter on a condvar; waking `threads`
+/// parked workers costs tens of microseconds each, which is the same
+/// order as an entire solver round on the target workloads — measured, a
+/// condvar-only pool left the first-awake worker draining whole frontiers
+/// alone (`shard_imbalance ≈ frontier`).  Pure spinning is just as wrong
+/// in the other direction: on a machine with fewer cores than parties
+/// (including the single-CPU CI container) spinners burn the core the
+/// working thread needs.  So waiters spin for a short bounded burst —
+/// only when the host actually has more than one CPU — and then park on a
+/// condvar with a timeout as a missed-wakeup backstop.
+struct SpinBarrier {
+    /// Parties that have arrived in the current generation.
+    arrived: AtomicUsize,
+    /// The generation counter; bumping it releases the waiters.
+    generation: AtomicUsize,
+    /// Total parties (workers + coordinator).
+    parties: usize,
+    /// How long to spin before parking (0 on single-CPU hosts).
+    spins: u32,
+    /// The parking lot for waiters that out-spun their budget.
+    lock: Mutex<()>,
+    condvar: std::sync::Condvar,
+}
+
+impl SpinBarrier {
+    fn new(parties: usize) -> Self {
+        let multicore = std::thread::available_parallelism()
+            .map(|n| n.get() > 1)
+            .unwrap_or(false);
+        SpinBarrier {
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            parties,
+            spins: if multicore { 1 << 12 } else { 0 },
+            lock: Mutex::new(()),
+            condvar: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks until all parties have arrived.
+    fn wait(&self) {
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
+            // Last arrival: reset the count, release the generation, wake
+            // any parked waiters (under the lock, so a waiter cannot check
+            // the generation and park between the store and the notify).
+            self.arrived.store(0, Ordering::Release);
+            let _guard = self.lock.lock().expect("barrier lock poisoned");
+            self.generation.store(generation + 1, Ordering::Release);
+            self.condvar.notify_all();
+        } else {
+            for _ in 0..self.spins {
+                if self.generation.load(Ordering::Acquire) != generation {
+                    return;
+                }
+                std::hint::spin_loop();
+            }
+            let mut guard = self.lock.lock().expect("barrier lock poisoned");
+            while self.generation.load(Ordering::Acquire) == generation {
+                // The timeout is a backstop only; the release path holds
+                // the lock while bumping the generation, so wakeups are
+                // not missable.
+                let (g, _timeout) = self
+                    .condvar
+                    .wait_timeout(guard, std::time::Duration::from_millis(1))
+                    .expect("barrier lock poisoned");
+                guard = g;
+            }
+        }
+    }
+}
+
+/// One step phase, as published to the worker pool: the ids to step (the
+/// frontier, or the rebuild rest), a snapshot of the pre-round store, and
+/// the shard claim state.
+struct Phase<S> {
+    /// The ids to step, sorted ascending.
+    ids: Vec<StateId>,
+    /// The pre-round store snapshot every step runs against.
+    store: S,
+    /// Per-shard claim cursors (monotone; a claim past the shard end is
+    /// discarded, so concurrent owner/thief claims are race-free).
+    cursors: Vec<AtomicUsize>,
+    /// Per-shard exclusive end indices into `ids`.
+    ends: Vec<usize>,
+    /// How many consecutive ids one claim takes.
+    chunk: usize,
+}
+
+/// One worker's output for a phase: the entries it computed, its per-shard
+/// work stats, whether any re-step shrank, and how many pairs it processed
+/// (own shard plus stolen chunks).
+struct ShardOutcome<S, A> {
+    entries: Vec<(StateId, InternedEntry<S, A>)>,
+    stats: EngineStats,
+    shrank: bool,
+    processed: usize,
+}
+
+/// The body of one worker for one phase: claim chunks (own shard first,
+/// then steal from the most-loaded shard), step each claimed pair against
+/// the phase's store snapshot, and check re-steps for shrinkage against
+/// the read-only cache view.
+fn run_worker_phase<Ps, G, S, F>(
+    me: usize,
+    step: &F,
+    phase: &Phase<S>,
+    interner: &ShardedInterner<(Ps, G), StateId>,
+    cache: &InternedCache<S, Ps::Addr>,
+) -> ShardOutcome<S, Ps::Addr>
+where
+    Ps: Value + Ord + Hash + StateRoots + Send + Sync,
+    Ps::Addr: Hash,
+    G: Value + Ord + Hash + Send + Sync,
+    S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + Value,
+    S::D: Touches<Ps::Addr>,
+    F: StepFn<Ps, G, S>,
+{
+    let mut outcome = ShardOutcome {
+        entries: Vec::new(),
+        stats: EngineStats::default(),
+        shrank: false,
+        processed: 0,
+    };
+    let Phase {
+        ids,
+        store,
+        cursors,
+        ends,
+        chunk,
+    } = phase;
+    // Once our own shard is drained we stop touching its cursor: the
+    // extra fetch_add per steal attempt would be pure cache-line traffic.
+    let mut own_drained = false;
+    loop {
+        // Claim from our own shard first; once drained, steal a chunk
+        // from the most-loaded other shard.
+        let mut claimed: Option<(usize, usize)> = None;
+        if !own_drained {
+            let own_start = cursors[me].fetch_add(*chunk, Ordering::Relaxed);
+            if own_start < ends[me] {
+                claimed = Some((own_start, ends[me]));
+            } else {
+                own_drained = true;
+            }
+        }
+        if claimed.is_none() {
+            loop {
+                let victim = (0..cursors.len())
+                    .filter(|&v| v != me)
+                    .max_by_key(|&v| ends[v].saturating_sub(cursors[v].load(Ordering::Relaxed)));
+                let Some(victim) = victim else { break };
+                if ends[victim].saturating_sub(cursors[victim].load(Ordering::Relaxed)) == 0 {
+                    break;
+                }
+                let start = cursors[victim].fetch_add(*chunk, Ordering::Relaxed);
+                if start < ends[victim] {
+                    outcome.stats.steal_events += 1;
+                    claimed = Some((start, ends[victim]));
+                    break;
+                }
+            }
+            if claimed.is_none() {
+                break;
+            }
+        }
+        let Some((start, end)) = claimed else { break };
+        for &id in &ids[start..(start + chunk).min(end)] {
+            outcome.stats.states_stepped += 1;
+            outcome.stats.spine_clones += 1;
+            outcome.processed += 1;
+            let (ps, guts) = interner.resolve_cloned(id);
+            let entry = step_entry(step, ps, guts, store, |k| interner.intern(k));
+            if let Some(old) = cache.get(id.index()).and_then(Option::as_ref) {
+                outcome.stats.reenqueued += 1;
+                // The same shrink detector as the sequential engine: a
+                // re-step that loses a successor abandons the fast path.
+                outcome.shrank |= !sorted_subset(&old.successors, &entry.successors);
+            }
+            outcome.entries.push((id, entry));
+        }
+    }
+    outcome
+}
+
+/// Installs a phase's freshly computed entries into the flat cache and the
+/// reverse dependency index (replacing any previous entry), exactly as the
+/// sequential `step_and_cache_interned` does — just after the barrier
+/// instead of during the step.
+fn install_entries<S, A>(
+    results: Vec<(StateId, InternedEntry<S, A>)>,
+    id_bound: usize,
+    cache: &mut InternedCache<S, A>,
+    dependents: &mut IdDependents<A>,
+) where
+    A: Clone + Eq + Hash,
+{
+    if cache.len() < id_bound {
+        cache.resize_with(id_bound, || None);
+    }
+    for (id, entry) in results {
+        let slot = &mut cache[id.index()];
+        if let Some(old) = slot.take() {
+            for a in &old.deps {
+                if let Some(ids) = dependents.get_mut(a) {
+                    ids.remove(&id);
+                }
+            }
+        }
+        for a in &entry.deps {
+            dependents.entry(a.clone()).or_default().insert(id);
+        }
+        *slot = Some(entry);
+    }
+}
+
+impl<Ps, G, S> ParallelCollecting<Ps, G, S> for SharedStoreDomain<Ps, G, S>
+where
+    Ps: Value + Ord + Hash + StateRoots + Send + Sync,
+    Ps::Addr: Hash,
+    G: Value + Ord + Hash + HasInitial + Send + Sync,
+    S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + Value,
+    S::D: Touches<Ps::Addr>,
+{
+    fn explore_frontier_parallel<F>(step: &F, initial: Ps, threads: usize) -> (Self, EngineStats)
+    where
+        F: StepFn<Ps, G, S>,
+    {
+        let threads = threads.max(1);
+        let mut stats = EngineStats::default();
+        // The lock-striped hash-consing table, shared by all workers.
+        let interner: ShardedInterner<(Ps, G), StateId> = ShardedInterner::new();
+        // The flat memo cache, behind a RwLock: workers hold read locks
+        // during a phase (for the shrink check), the coordinator write-locks
+        // between barriers to install entries.  Never contended — the
+        // barriers separate the two access modes in time.
+        let cache_lock: RwLock<InternedCache<S, Ps::Addr>> = RwLock::new(Vec::new());
+        // Coordinator-only state: the reverse dependency index, the global
+        // accumulated store, and the sorted list of every id minted before
+        // the current round (the "known" set the rebuild defence re-steps).
+        let mut dependents: IdDependents<Ps::Addr> = FxHashMap::default();
+        let mut store: S = S::bottom();
+        let mut known_ids: Vec<StateId> = Vec::new();
+
+        // The pool protocol: the coordinator publishes a `Phase` (or `None`
+        // to shut down) and releases the start barrier; workers run the
+        // phase, deposit their outcomes, and meet it at the done barrier.
+        let phase_slot: RwLock<Option<Phase<S>>> = RwLock::new(None);
+        let outcomes: Mutex<Vec<ShardOutcome<S, Ps::Addr>>> = Mutex::new(Vec::new());
+        // Panic payloads from workers: a worker that panics (a panicking
+        // user step function, say) must still arrive at the done barrier,
+        // or the coordinator would wait on it forever — so the panic is
+        // caught, parked here, and *resumed on the coordinator* right
+        // after the barrier.  Lock accesses on this path tolerate
+        // poisoning (a poisoned mutex here must not turn into a second,
+        // barrier-skipping panic).
+        let worker_panics: Mutex<Vec<Box<dyn std::any::Any + Send>>> = Mutex::new(Vec::new());
+        let start_barrier = SpinBarrier::new(threads + 1);
+        let done_barrier = SpinBarrier::new(threads + 1);
+
+        let initial_id = interner.intern((initial, G::initial()));
+        known_ids.push(initial_id);
+
+        std::thread::scope(|scope| {
+            for me in 0..threads {
+                let interner = &interner;
+                let cache_lock = &cache_lock;
+                let phase_slot = &phase_slot;
+                let outcomes = &outcomes;
+                let start_barrier = &start_barrier;
+                let done_barrier = &done_barrier;
+                let worker_panics = &worker_panics;
+                scope.spawn(move || loop {
+                    start_barrier.wait();
+                    let keep_going = catch_unwind(AssertUnwindSafe(|| {
+                        let guard = phase_slot.read().unwrap_or_else(PoisonError::into_inner);
+                        let Some(phase) = guard.as_ref() else {
+                            return false;
+                        };
+                        let cache = cache_lock.read().unwrap_or_else(PoisonError::into_inner);
+                        let outcome = run_worker_phase(me, step, phase, interner, &cache);
+                        drop(cache);
+                        outcomes
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .push(outcome);
+                        true
+                    }));
+                    match keep_going {
+                        Ok(true) => done_barrier.wait(),
+                        Ok(false) => return,
+                        Err(payload) => {
+                            worker_panics
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .push(payload);
+                            done_barrier.wait();
+                        }
+                    }
+                });
+            }
+
+            // Publishes one step phase to the pool and collects the merged
+            // outcomes (entries + per-shard stats + shrink flag).
+            let run_phase = |ids: Vec<StateId>,
+                             store: &S,
+                             stats: &mut EngineStats,
+                             results: &mut Vec<(StateId, InternedEntry<S, Ps::Addr>)>|
+             -> bool {
+                // A singleton (or empty) phase has no parallelism by
+                // definition: step it inline on the coordinator and spare
+                // the pool a wake/park cycle.  Deterministic counters are
+                // unaffected — the work is identical, there is just no
+                // sync traffic for it.
+                if ids.len() <= 1 {
+                    let phase = Phase {
+                        ends: vec![ids.len()],
+                        ids,
+                        store: store.clone(),
+                        cursors: vec![AtomicUsize::new(0)],
+                        chunk: 1,
+                    };
+                    let cache = cache_lock.read().expect("cache lock poisoned");
+                    let outcome = run_worker_phase(0, step, &phase, &interner, &cache);
+                    drop(cache);
+                    stats.merge(&outcome.stats);
+                    results.extend(outcome.entries);
+                    return outcome.shrank;
+                }
+                let ends: Vec<usize> = (1..=threads).map(|t| t * ids.len() / threads).collect();
+                let cursors: Vec<AtomicUsize> = (0..threads)
+                    .map(|t| AtomicUsize::new(t * ids.len() / threads))
+                    .collect();
+                let chunk = (ids.len() / (threads * 8)).max(1);
+                *phase_slot.write().unwrap_or_else(PoisonError::into_inner) = Some(Phase {
+                    ids,
+                    store: store.clone(),
+                    cursors,
+                    ends,
+                    chunk,
+                });
+                start_barrier.wait();
+                done_barrier.wait();
+                // Drop the store snapshot promptly (it holds spine refs).
+                *phase_slot.write().unwrap_or_else(PoisonError::into_inner) = None;
+                // A worker panicked mid-phase: every worker still reached
+                // the barrier (panics are caught and parked), so the pool
+                // is quiescent — re-raise on the coordinator, whose own
+                // catch-and-shutdown path below unwinds the solve.
+                if let Some(payload) = worker_panics
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .pop()
+                {
+                    resume_unwind(payload);
+                }
+                let mut shrank = false;
+                let (mut max_processed, mut min_processed) = (0usize, usize::MAX);
+                for outcome in
+                    std::mem::take(&mut *outcomes.lock().unwrap_or_else(PoisonError::into_inner))
+                {
+                    shrank |= outcome.shrank;
+                    max_processed = max_processed.max(outcome.processed);
+                    min_processed = min_processed.min(outcome.processed);
+                    stats.merge(&outcome.stats);
+                    results.extend(outcome.entries);
+                }
+                stats.shard_imbalance = stats
+                    .shard_imbalance
+                    .max(max_processed - min_processed.min(max_processed));
+                shrank
+            };
+
+            let solve = catch_unwind(AssertUnwindSafe(|| {
+                let mut frontier: BTreeSet<StateId> = [initial_id].into_iter().collect();
+                while !frontier.is_empty() {
+                    stats.iterations += 1;
+                    stats.sync_rounds += 1;
+                    let known = known_ids.len();
+                    let marks = interner.watermarks();
+
+                    // Step phase: the whole frontier against the same pre-store.
+                    let frontier_vec: Vec<StateId> = frontier.iter().copied().collect();
+                    let mut results: Vec<(StateId, InternedEntry<S, Ps::Addr>)> = Vec::new();
+                    let shrank = run_phase(frontier_vec.clone(), &store, &mut stats, &mut results);
+
+                    // Rebuild round (same defence as the sequential engine): a
+                    // contribution shrank, so re-step *every* known pair
+                    // against the same pre-store — again sharded — and fold
+                    // all of them.
+                    let fold_ids: Vec<StateId> = if shrank {
+                        stats.rebuild_rounds += 1;
+                        stats.peak_frontier = stats.peak_frontier.max(known);
+                        let rest: Vec<StateId> = known_ids
+                            .iter()
+                            .copied()
+                            .filter(|id| !frontier.contains(id))
+                            .collect();
+                        // Further shrinkage is immaterial: the whole round is
+                        // already being recomputed from scratch.
+                        run_phase(rest, &store, &mut stats, &mut results);
+                        known_ids.clone()
+                    } else {
+                        stats.peak_frontier = stats.peak_frontier.max(frontier.len());
+                        // Everything off the frontier is served from the
+                        // accumulated domain without being visited at all.
+                        stats.cache_hits += known - frontier.len();
+                        frontier_vec
+                    };
+
+                    // Join on sync: install the entries, then fold only the
+                    // re-stepped contributions — and only their store *deltas*
+                    // — in ascending id order, with the per-address growth
+                    // report falling straight out of the in-place join.
+                    let mut cache = cache_lock.write().expect("cache lock poisoned");
+                    install_entries(results, interner.id_bound(), &mut cache, &mut dependents);
+                    let mut changed_addrs: BTreeSet<Ps::Addr> = BTreeSet::new();
+                    for &id in &fold_ids {
+                        let entry = cache[id.index()].as_ref().expect("fold of an unstepped id");
+                        stats.store_joins += 1;
+                        stats.spine_clones += 1;
+                        changed_addrs.extend(store.join_in_place_delta(entry.delta.clone()));
+                    }
+                    drop(cache);
+                    stats.store_widenings += changed_addrs.len();
+                    stats.store_bytes_shared =
+                        stats.store_bytes_shared.max(store.shared_spine_bytes());
+
+                    // Next frontier: freshly discovered pairs (ids minted
+                    // during this round have no cached outcome yet) plus every
+                    // cached dependent of an address that grew — the reverse
+                    // dependency index re-seeding.
+                    let fresh = interner.fresh_since(&marks);
+                    known_ids.extend(fresh.iter().copied());
+                    let mut next: BTreeSet<StateId> = fresh.into_iter().collect();
+                    for a in &changed_addrs {
+                        if let Some(ids) = dependents.get(a) {
+                            next.extend(ids.iter().copied());
+                        }
+                    }
+                    frontier = next;
+                }
+            }));
+
+            // Shut the pool down: a `None` phase is the stop signal.
+            // This runs on the panic path too — otherwise the scope's
+            // implicit join would wait forever on workers parked at the
+            // start barrier — and only *then* is a panicked solve resumed.
+            *phase_slot.write().unwrap_or_else(PoisonError::into_inner) = None;
+            start_barrier.wait();
+            if let Err(payload) = solve {
+                resume_unwind(payload);
+            }
+        });
+
+        stats.intern_hits = interner.hits();
+        stats.intern_misses = interner.misses();
+        stats.distinct_states = interner.len();
+        // Un-intern only here, at the boundary: the structural domain is
+        // assembled once, from the interner's value table.
+        let states: BTreeSet<(Ps, G)> = interner
+            .entries_cloned()
+            .into_iter()
+            .map(|(_, value)| value)
+            .collect();
+        (SharedStoreDomain::from_parts(states, store), stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{DirectCollecting, FrontierCollecting};
+    use super::*;
+    use crate::monad::{
+        gets_nd_set, run_store_passing, MonadFamily, MonadPlus, MonadState, MonadTrans, StateT,
+        StorePassing, VecM,
+    };
+    use crate::store::BasicStore;
+
+    /// A heap value that is itself an address (a one-cell pointer).
+    #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+    struct Ptr(u8);
+
+    impl Touches<u8> for Ptr {
+        fn touches(&self) -> BTreeSet<u8> {
+            [self.0].into_iter().collect()
+        }
+    }
+
+    /// The same read/write toy chain as the sequential engine's tests:
+    /// state 1 reads cell 0, state 4 writes it.
+    #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+    struct St(u32);
+
+    impl StateRoots for St {
+        type Addr = u8;
+
+        fn state_roots(&self) -> BTreeSet<u8> {
+            if self.0 == 1 {
+                [0u8].into_iter().collect()
+            } else {
+                BTreeSet::new()
+            }
+        }
+    }
+
+    type G = u64;
+    type S = BasicStore<u8, Ptr>;
+    type M = StorePassing<G, S>;
+    type Dom = SharedStoreDomain<St, G, S>;
+
+    fn step(st: St) -> <M as MonadFamily>::M<St> {
+        let n = st.0;
+        match n {
+            1 => {
+                let fetched = <M as MonadTrans>::lift(gets_nd_set::<StateT<S, VecM>, S, Ptr, _>(
+                    move |store| store.fetch(&0u8),
+                ));
+                let via_heap = M::bind(fetched, move |ptr| M::pure(St(ptr.0 as u32 + 1)));
+                M::mplus(M::pure(St(2)), via_heap)
+            }
+            4 => {
+                let write = <M as MonadTrans>::lift(<StateT<S, VecM> as MonadState<S>>::modify(
+                    move |store: S| store.bind(0u8, [Ptr(9)].into_iter().collect()),
+                ));
+                M::bind(write, move |_| M::pure(St(5)))
+            }
+            n if n >= 6 => M::pure(st),
+            _ => M::pure(St(n + 1)),
+        }
+    }
+
+    fn direct_step(ps: St, g: G, s: S) -> Vec<((St, G), S)> {
+        run_store_passing(step(ps), g, s)
+    }
+
+    #[test]
+    fn parallel_matches_sequential_fixpoint_and_work_counters() {
+        let (sequential, seq_stats) =
+            <Dom as DirectCollecting<St, G, S>>::explore_frontier_direct(&direct_step, St(0));
+        for threads in [1usize, 2, 4] {
+            let (parallel, par_stats) =
+                <Dom as ParallelCollecting<St, G, S>>::explore_frontier_parallel(
+                    &direct_step,
+                    St(0),
+                    threads,
+                );
+            assert_eq!(
+                parallel, sequential,
+                "fixpoint diverged at {threads} threads"
+            );
+            // Every deterministic work counter must agree with the
+            // sequential direct engine; only the timing gauges and the
+            // fold-order-dependent sharing sample may differ.
+            assert_eq!(par_stats.iterations, seq_stats.iterations);
+            assert_eq!(par_stats.states_stepped, seq_stats.states_stepped);
+            assert_eq!(par_stats.cache_hits, seq_stats.cache_hits);
+            assert_eq!(par_stats.reenqueued, seq_stats.reenqueued);
+            assert_eq!(par_stats.store_widenings, seq_stats.store_widenings);
+            assert_eq!(par_stats.store_joins, seq_stats.store_joins);
+            assert_eq!(par_stats.rebuild_rounds, seq_stats.rebuild_rounds);
+            assert_eq!(par_stats.peak_frontier, seq_stats.peak_frontier);
+            assert_eq!(par_stats.intern_hits, seq_stats.intern_hits);
+            assert_eq!(par_stats.intern_misses, seq_stats.intern_misses);
+            assert_eq!(par_stats.distinct_states, seq_stats.distinct_states);
+            assert_eq!(par_stats.spine_clones, seq_stats.spine_clones);
+            // The parallel driver reports its sync barriers; the
+            // sequential engine has none.
+            assert_eq!(par_stats.sync_rounds, par_stats.iterations);
+            assert_eq!(seq_stats.sync_rounds, 0);
+        }
+    }
+
+    /// A panicking step function must *propagate* out of the solve (like
+    /// the sequential engines), not deadlock the pool: the worker's panic
+    /// is caught, carried over the done barrier, re-raised on the
+    /// coordinator, and the pool is shut down before the scope joins.
+    #[test]
+    fn worker_panic_propagates_instead_of_deadlocking() {
+        let poisoned_step = |ps: St, g: G, s: S| {
+            if ps.0 == 3 {
+                panic!("boom at state 3");
+            }
+            direct_step(ps, g, s)
+        };
+        for threads in [1usize, 2, 4] {
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                <Dom as ParallelCollecting<St, G, S>>::explore_frontier_parallel(
+                    &poisoned_step,
+                    St(0),
+                    threads,
+                )
+            }));
+            let payload = caught.expect_err("the step panic must propagate");
+            let message = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .unwrap_or("<non-str payload>");
+            assert!(message.contains("boom"), "unexpected payload: {message}");
+        }
+    }
+
+    /// The non-monotone machine of the sequential tests: the rebuild
+    /// defence must fire — and still agree with Kleene — in parallel.
+    #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+    struct NmSt(u32);
+
+    impl StateRoots for NmSt {
+        type Addr = u8;
+
+        fn state_roots(&self) -> BTreeSet<u8> {
+            if self.0 == 0 {
+                [9u8].into_iter().collect()
+            } else {
+                BTreeSet::new()
+            }
+        }
+    }
+
+    fn nonmonotone_step(st: NmSt) -> <StorePassing<G, S> as MonadFamily>::M<NmSt> {
+        type M = StorePassing<G, S>;
+        match st.0 {
+            0 => {
+                let peeked = <M as MonadTrans>::lift(gets_nd_set::<StateT<S, VecM>, S, Ptr, _>(
+                    move |store| {
+                        if store.fetch(&9u8).is_empty() {
+                            [Ptr(7)].into_iter().collect()
+                        } else {
+                            BTreeSet::new()
+                        }
+                    },
+                ));
+                let extra = M::bind(peeked, move |ptr| M::pure(NmSt(ptr.0 as u32 + 1)));
+                M::mplus(M::pure(NmSt(1)), extra)
+            }
+            1 => M::pure(NmSt(2)),
+            2 => {
+                let write = <M as MonadTrans>::lift(<StateT<S, VecM> as MonadState<S>>::modify(
+                    move |store: S| store.bind(9u8, [Ptr(3)].into_iter().collect()),
+                ));
+                M::bind(write, move |_| M::pure(NmSt(3)))
+            }
+            _ => M::pure(st),
+        }
+    }
+
+    #[test]
+    fn parallel_rebuild_round_matches_sequential() {
+        type NmDom = SharedStoreDomain<NmSt, G, S>;
+        let nm_direct = |ps: NmSt, g: G, s: S| run_store_passing(nonmonotone_step(ps), g, s);
+        let (sequential, seq_stats) =
+            <NmDom as DirectCollecting<NmSt, G, S>>::explore_frontier_direct(&nm_direct, NmSt(0));
+        assert!(seq_stats.rebuild_rounds > 0, "oracle must rebuild");
+        for threads in [1usize, 3] {
+            let (parallel, par_stats) =
+                <NmDom as ParallelCollecting<NmSt, G, S>>::explore_frontier_parallel(
+                    &nm_direct,
+                    NmSt(0),
+                    threads,
+                );
+            assert_eq!(parallel, sequential);
+            assert_eq!(par_stats.rebuild_rounds, seq_stats.rebuild_rounds);
+            assert_eq!(par_stats.states_stepped, seq_stats.states_stepped);
+            assert_eq!(par_stats.store_joins, seq_stats.store_joins);
+        }
+        // And both agree with the Rc-carrier oracle engine.
+        let (oracle, _) = <NmDom as FrontierCollecting<StorePassing<G, S>, NmSt>>::explore_frontier(
+            &nonmonotone_step,
+            NmSt(0),
+        );
+        assert_eq!(oracle, sequential);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let (domain, stats) = <Dom as ParallelCollecting<St, G, S>>::explore_frontier_parallel(
+            &direct_step,
+            St(0),
+            0,
+        );
+        let (sequential, _) =
+            <Dom as DirectCollecting<St, G, S>>::explore_frontier_direct(&direct_step, St(0));
+        assert_eq!(domain, sequential);
+        assert_eq!(stats.steal_events, 0, "one worker has nobody to steal from");
+    }
+}

@@ -37,7 +37,7 @@ where
 {
     fn explore_frontier<F>(step: &F, initial: Ps) -> (Self, EngineStats)
     where
-        F: Fn(Ps) -> <StorePassing<G, S> as MonadFamily>::M<Ps>,
+        F: Fn(Ps) -> <StorePassing<G, S> as MonadFamily>::M<Ps> + Sync,
     {
         // Run the Rc-closure carrier through the carrier-neutral solver.
         let direct = |ps: Ps, g: G, s: S| run_store_passing(step(ps), g, s);

@@ -133,22 +133,22 @@ type Dependents<Ps, G, A> = BTreeMap<A, BTreeSet<(Ps, G)>>;
 /// already below it, folding only the bindings the step *changed* relative
 /// to its pre-store joins to the identical result; the delta is typically a
 /// handful of addresses.
-struct InternedEntry<S, A> {
+pub(super) struct InternedEntry<S, A> {
     /// The successor ids the step produced (sorted, deduplicated).
-    successors: Vec<StateId>,
+    pub(super) successors: Vec<StateId>,
     /// The join of the per-branch result stores, restricted to the
     /// addresses the step changed relative to its pre-store.
-    delta: S,
+    pub(super) delta: S,
     /// Every address the transition may have read (see [`CacheEntry::deps`];
     /// sorted, deduplicated).
-    deps: Vec<A>,
+    pub(super) deps: Vec<A>,
 }
 
 /// The flat memo table of the id-indexed engine (`None` = not yet stepped).
-type InternedCache<S, A> = Vec<Option<InternedEntry<S, A>>>;
+pub(super) type InternedCache<S, A> = Vec<Option<InternedEntry<S, A>>>;
 
 /// The reverse dependency index of the id-indexed engine.
-type IdDependents<A> = FxHashMap<A, FxHashSet<StateId>>;
+pub(super) type IdDependents<A> = FxHashMap<A, FxHashSet<StateId>>;
 
 /// Steps `key`, installs the outcome in the cache and the reverse
 /// dependency index (replacing any previous entry), updates the step/
@@ -227,14 +227,18 @@ where
     }
 }
 
-/// Executes one monadic step of the interned pair `id` against `store`,
-/// interning every successor on the spot (successor discovery *is* the
-/// intern miss) and packaging the id-level cache entry.
-fn step_interned<Ps, G, S, F>(
+/// Executes one monadic step of an already-resolved `(state, guts)` pair
+/// against `store`, interning every successor through the supplied closure
+/// (successor discovery *is* the intern miss) and packaging the id-level
+/// cache entry.  The intern sink is abstract so the same stepping core
+/// serves the sequential engine (a `&mut` [`Interner`]) and the parallel
+/// engine (a shared [`ShardedInterner`](crate::intern::ShardedInterner)).
+pub(super) fn step_entry<Ps, G, S, F, IN>(
     step: &F,
-    id: StateId,
+    ps: Ps,
+    guts: G,
     store: &S,
-    interner: &mut Interner<(Ps, G), StateId>,
+    mut intern: IN,
 ) -> InternedEntry<S, Ps::Addr>
 where
     Ps: Value + Ord + Hash + StateRoots,
@@ -242,8 +246,8 @@ where
     S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + Value,
     S::D: Touches<Ps::Addr>,
     F: StepFn<Ps, G, S>,
+    IN: FnMut((Ps, G)) -> StateId,
 {
-    let (ps, guts) = interner.resolve(id).clone();
     let mut deps = reachable(ps.state_roots(), store);
     let mut successors: Vec<StateId> = Vec::new();
     let mut delta = S::bottom();
@@ -273,7 +277,7 @@ where
         if dropped {
             deps.extend(reachable(ps2.state_roots(), &s2));
         }
-        successors.push(interner.intern((ps2, g2)));
+        successors.push(intern((ps2, g2)));
         // Keep only what the branch changed: every other binding of `s2`
         // was copied out of the pre-store and is already below the
         // accumulated store the entry will be folded into.  `restrict_to`
@@ -292,7 +296,7 @@ where
 
 /// Whether the sorted id slice `old` is a subset of the sorted id slice
 /// `new` (the successor half of the monotonicity check, on ids).
-fn sorted_subset(old: &[StateId], new: &[StateId]) -> bool {
+pub(super) fn sorted_subset(old: &[StateId], new: &[StateId]) -> bool {
     let mut it = new.iter();
     'outer: for o in old {
         for n in it.by_ref() {
@@ -329,7 +333,8 @@ where
 {
     stats.states_stepped += 1;
     stats.spine_clones += 1;
-    let entry = step_interned(step, id, store, interner);
+    let (ps, guts) = interner.resolve(id).clone();
+    let entry = step_entry(step, ps, guts, store, |k| interner.intern(k));
     // Interning the successors may have minted fresh ids; keep the flat
     // cache as long as the id space.
     if cache.len() < interner.len() {
@@ -371,7 +376,7 @@ where
 {
     fn explore_frontier<F>(step: &F, initial: Ps) -> (Self, EngineStats)
     where
-        F: Fn(Ps) -> <StorePassing<G, S> as MonadFamily>::M<Ps>,
+        F: Fn(Ps) -> <StorePassing<G, S> as MonadFamily>::M<Ps> + Sync,
     {
         // Run the Rc-closure carrier through the carrier-neutral solver:
         // desugar each monadic step with `run_store_passing`.
@@ -381,7 +386,7 @@ where
 
     fn explore_frontier_structural<F>(step: &F, initial: Ps) -> (Self, EngineStats)
     where
-        F: Fn(Ps) -> <StorePassing<G, S> as MonadFamily>::M<Ps>,
+        F: Fn(Ps) -> <StorePassing<G, S> as MonadFamily>::M<Ps> + Sync,
     {
         let direct = |ps: Ps, g: G, s: S| run_store_passing(step(ps), g, s);
         explore_structural(&direct, initial)
@@ -389,7 +394,7 @@ where
 
     fn explore_frontier_rescan<F>(step: &F, initial: Ps) -> (Self, EngineStats)
     where
-        F: Fn(Ps) -> <StorePassing<G, S> as MonadFamily>::M<Ps>,
+        F: Fn(Ps) -> <StorePassing<G, S> as MonadFamily>::M<Ps> + Sync,
     {
         let direct = |ps: Ps, g: G, s: S| run_store_passing(step(ps), g, s);
         explore_rescan(&direct, initial)

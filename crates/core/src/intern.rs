@@ -20,8 +20,24 @@
 //! Interning is *per run*: an id is meaningful only relative to the
 //! interner that produced it, and the engines un-intern (resolve) back to
 //! structural values only at the language boundary.
+//!
+//! Two interners are provided.  [`Interner`] is the single-threaded table
+//! the sequential engines use.  [`ShardedInterner`] is its thread-safe
+//! counterpart for the sharded parallel engine
+//! ([`crate::engine::parallel`]): the table is split into
+//! [`STRIPES`] lock stripes selected by the value's precomputed Fx hash,
+//! so workers interning unrelated states almost never contend, and the
+//! hit/miss accounting lives in atomics.  Ids are minted *per stripe*
+//! (`id = local_index · STRIPES + stripe`), which keeps allocation
+//! lock-free across stripes while still yielding a dense-enough id space
+//! for flat `Vec` engine tables — and, crucially, makes the *set* of ids
+//! minted for a given set of distinct values deterministic (each value's
+//! stripe is a pure function of its hash), even though the id⇄value
+//! assignment within a stripe depends on thread interleaving.
 
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use crate::hash::{fx_hash_of, FxHashMap};
 
@@ -185,6 +201,212 @@ impl<T: std::hash::Hash + Eq, I: InternKey> Interner<T, I> {
     }
 }
 
+/// How many lock stripes a [`ShardedInterner`] uses (a power of two, so
+/// stripe selection is a mask).  16 stripes keep contention negligible at
+/// the 4–8 worker threads the parallel engine targets while bounding the
+/// id-space slack of per-stripe minting.
+pub const STRIPES: usize = 16;
+
+/// One lock stripe of a [`ShardedInterner`]: a miniature [`Interner`] over
+/// the values whose hash lands on this stripe, minting *local* indices.
+struct Stripe<T, I> {
+    /// Precomputed hash → candidate ids (almost always a single candidate).
+    buckets: FxHashMap<u64, Vec<I>>,
+    /// The interned values, indexed by **local** index (insertion order
+    /// within this stripe).
+    values: Vec<T>,
+}
+
+impl<T, I> Default for Stripe<T, I> {
+    fn default() -> Self {
+        Stripe {
+            buckets: FxHashMap::default(),
+            values: Vec::new(),
+        }
+    }
+}
+
+/// The thread-safe, lock-striped hash-consing table of the parallel engine.
+///
+/// Functionally equivalent to [`Interner`] — every distinct value gets one
+/// id, ids agree with structural equality — but safely shareable across
+/// worker threads: interning takes one stripe mutex (selected by the
+/// value's Fx hash, so distinct states spread across [`STRIPES`] locks) and
+/// the hit/miss counters are relaxed atomics.
+///
+/// The id encoding is `local_index * STRIPES + stripe`: dense within each
+/// stripe, globally unique, and bounded by [`ShardedInterner::id_bound`]
+/// (at most `STRIPES - 1` unused slots per occupied local level), so flat
+/// `Vec` engine tables indexed by [`InternKey::index`] stay practical.
+///
+/// ```rust
+/// use mai_core::intern::{ShardedInterner, StateId};
+///
+/// let interner: ShardedInterner<String, StateId> = ShardedInterner::new();
+/// let a = interner.intern("state".to_string());
+/// let b = interner.intern("state".to_string());
+/// let c = interner.intern("other".to_string());
+/// assert_eq!(a, b);           // ids agree with structural equality
+/// assert_ne!(a, c);
+/// assert_eq!(interner.resolve_cloned(a), "state");
+/// assert_eq!(interner.len(), 2);
+/// assert_eq!((interner.hits(), interner.misses()), (1, 2));
+/// ```
+pub struct ShardedInterner<T, I: InternKey = StateId> {
+    stripes: Vec<Mutex<Stripe<T, I>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl<T, I: InternKey> Default for ShardedInterner<T, I> {
+    fn default() -> Self {
+        ShardedInterner {
+            stripes: (0..STRIPES)
+                .map(|_| Mutex::new(Stripe::default()))
+                .collect(),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl<T: std::hash::Hash + Eq, I: InternKey> ShardedInterner<T, I> {
+    /// Creates an empty sharded interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The stripe a hash selects (the Fx-hash striping of the lock table).
+    #[inline]
+    fn stripe_of(hash: u64) -> usize {
+        (hash as usize) & (STRIPES - 1)
+    }
+
+    /// Interns a value, returning its dense id: the existing id if a
+    /// structurally-equal value was interned before (by any thread), a
+    /// fresh one otherwise.  Takes exactly one stripe lock.
+    pub fn intern(&self, value: T) -> I {
+        let hash = fx_hash_of(&value);
+        let stripe_index = Self::stripe_of(hash);
+        let mut stripe = self.stripes[stripe_index].lock().expect("stripe poisoned");
+        let Stripe { buckets, values } = &mut *stripe;
+        let candidates = buckets.entry(hash).or_default();
+        for &id in candidates.iter() {
+            if values[id.index() / STRIPES] == value {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return id;
+            }
+        }
+        let id = I::from_index(values.len() * STRIPES + stripe_index);
+        candidates.push(id);
+        values.push(value);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        id
+    }
+
+    /// Un-interns an id back to (a clone of) the value it stands for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve_cloned(&self, id: I) -> T
+    where
+        T: Clone,
+    {
+        let stripe = self.stripes[id.index() % STRIPES]
+            .lock()
+            .expect("stripe poisoned");
+        stripe.values[id.index() / STRIPES].clone()
+    }
+
+    /// How many distinct values have been interned (across all stripes).
+    pub fn len(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().expect("stripe poisoned").values.len())
+            .sum()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// An exclusive upper bound on every id handed out so far — the size a
+    /// flat `Vec` table indexed by [`InternKey::index`] must have.  At most
+    /// `STRIPES - 1` of the covered slots are unoccupied per level of
+    /// stripe imbalance.
+    pub fn id_bound(&self) -> usize {
+        self.stripes
+            .iter()
+            .enumerate()
+            .map(|(stripe_index, s)| {
+                let len = s.lock().expect("stripe poisoned").values.len();
+                if len == 0 {
+                    0
+                } else {
+                    (len - 1) * STRIPES + stripe_index + 1
+                }
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The per-stripe value counts — a *watermark* the parallel engine
+    /// snapshots at the start of a round; ids minted later are exactly
+    /// those reported by [`ShardedInterner::fresh_since`] for it.
+    pub fn watermarks(&self) -> Vec<usize> {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().expect("stripe poisoned").values.len())
+            .collect()
+    }
+
+    /// Every id minted since the watermark was taken, in ascending id
+    /// order.  The *set* is deterministic for a deterministic round (which
+    /// values exist is a pure function of the round's steps), even though
+    /// which thread minted each id is not.
+    pub fn fresh_since(&self, watermarks: &[usize]) -> Vec<I> {
+        let mut fresh: Vec<I> = Vec::new();
+        for (stripe_index, s) in self.stripes.iter().enumerate() {
+            let len = s.lock().expect("stripe poisoned").values.len();
+            for local in watermarks[stripe_index]..len {
+                fresh.push(I::from_index(local * STRIPES + stripe_index));
+            }
+        }
+        fresh.sort_unstable();
+        fresh
+    }
+
+    /// Every `(id, value)` interned so far, cloned out in ascending id
+    /// order — the language-boundary un-intern of the parallel engine.
+    pub fn entries_cloned(&self) -> Vec<(I, T)>
+    where
+        T: Clone,
+    {
+        let mut out: Vec<(I, T)> = Vec::new();
+        for (stripe_index, s) in self.stripes.iter().enumerate() {
+            let stripe = s.lock().expect("stripe poisoned");
+            for (local, value) in stripe.values.iter().enumerate() {
+                out.push((I::from_index(local * STRIPES + stripe_index), value.clone()));
+            }
+        }
+        out.sort_unstable_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// How many [`ShardedInterner::intern`] calls found an existing id.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// How many [`ShardedInterner::intern`] calls allocated a fresh id —
+    /// one per distinct value, so this equals [`ShardedInterner::len`].
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
 /// Counts the distinct values of an iterator by interning them — the shared
 /// implementation behind the language crates' `distinct_env_count` helpers
 /// (the language-boundary half of the engine's intern statistics).
@@ -229,6 +451,92 @@ mod tests {
     fn state_and_env_ids_display_distinctly() {
         assert_eq!(StateId::from_index(3).to_string(), "σ3");
         assert_eq!(EnvId::from_index(3).to_string(), "ρ3");
+    }
+
+    #[test]
+    fn sharded_interner_agrees_with_sequential_semantics() {
+        let sharded: ShardedInterner<(u16, u16), StateId> = ShardedInterner::new();
+        let values: Vec<(u16, u16)> = (0..200).map(|n| (n % 40, n % 7)).collect();
+        let ids: Vec<StateId> = values.iter().map(|v| sharded.intern(*v)).collect();
+        // Ids agree with structural equality and resolution round-trips.
+        for (a, ia) in values.iter().zip(ids.iter()) {
+            for (b, ib) in values.iter().zip(ids.iter()) {
+                assert_eq!(a == b, ia == ib);
+            }
+            assert_eq!(sharded.resolve_cloned(*ia), *a);
+        }
+        // Accounting: one miss per distinct value, the rest hits.
+        let distinct: std::collections::BTreeSet<_> = values.iter().collect();
+        assert_eq!(sharded.len(), distinct.len());
+        assert_eq!(sharded.misses(), distinct.len());
+        assert_eq!(sharded.hits() + sharded.misses(), values.len());
+        // Every id is inside the declared bound and the bound is tight
+        // enough for flat tables (≤ STRIPES - 1 slack per stripe level).
+        let bound = sharded.id_bound();
+        for id in &ids {
+            assert!(id.index() < bound);
+        }
+        assert!(bound <= sharded.len() * STRIPES);
+        // entries_cloned un-interns everything, in ascending id order.
+        let entries = sharded.entries_cloned();
+        assert_eq!(entries.len(), distinct.len());
+        assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn sharded_interner_watermarks_report_fresh_ids() {
+        let sharded: ShardedInterner<u32, StateId> = ShardedInterner::new();
+        let a = sharded.intern(1);
+        let b = sharded.intern(2);
+        let marks = sharded.watermarks();
+        assert!(sharded.fresh_since(&marks).is_empty());
+        let c = sharded.intern(3);
+        let _again = sharded.intern(1); // hit: not fresh
+        let fresh = sharded.fresh_since(&marks);
+        assert_eq!(fresh, vec![c]);
+        assert!(!fresh.contains(&a) && !fresh.contains(&b));
+    }
+
+    /// The loom-free lock-striping agreement test: several threads intern
+    /// overlapping value ranges concurrently; afterwards the table must be
+    /// indistinguishable from a sequential build — ids agree with
+    /// structural equality, every value resolves, and misses equal the
+    /// distinct count (no value was ever interned twice).
+    #[test]
+    fn sharded_interner_threads_agree_on_ids() {
+        let sharded: ShardedInterner<(u8, u8), StateId> = ShardedInterner::new();
+        let threads = 4;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let sharded = &sharded;
+                scope.spawn(move || {
+                    // Overlapping ranges: every value is interned by at
+                    // least two threads, racing on the same stripes.
+                    for round in 0..3u8 {
+                        for n in 0..128u8 {
+                            let value = ((n + t) % 128, round % 2);
+                            let id = sharded.intern(value);
+                            assert_eq!(sharded.resolve_cloned(id), value);
+                            // A second intern from this thread must agree.
+                            assert_eq!(sharded.intern(value), id);
+                        }
+                    }
+                });
+            }
+        });
+        // 128 × 2 distinct values, interned exactly once each.
+        assert_eq!(sharded.len(), 256);
+        assert_eq!(sharded.misses(), 256);
+        assert_eq!(
+            sharded.hits() + sharded.misses(),
+            threads as usize * 3 * 128 * 2
+        );
+        // Post-hoc sequential interning returns the established ids.
+        let mut seen = std::collections::BTreeSet::new();
+        for (id, value) in sharded.entries_cloned() {
+            assert_eq!(sharded.intern(value), id);
+            assert!(seen.insert(id), "duplicate id {id:?}");
+        }
     }
 
     proptest! {

@@ -82,14 +82,15 @@ pub use addr::{
 };
 pub use collect::{explore_fp, run_analysis, Collecting, PerStateDomain, SharedStoreDomain};
 pub use engine::{
-    explore_worklist, explore_worklist_direct_stats, explore_worklist_rescan_stats,
-    explore_worklist_stats, explore_worklist_structural_stats, with_state_gc, DirectCollecting,
-    EngineStats, FrontierCollecting, StateRoots, StepFn,
+    explore_worklist, explore_worklist_direct_stats, explore_worklist_parallel_stats,
+    explore_worklist_rescan_stats, explore_worklist_stats, explore_worklist_structural_stats,
+    with_state_gc, DirectCollecting, EngineStats, FrontierCollecting, ParallelCollecting,
+    StateRoots, StepFn,
 };
 pub use env::{CowMap, CowSet};
 pub use gc::{reachable, GcStrategy, NoGc, Touches};
 pub use hash::{fx_hash_of, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use intern::{EnvId, InternKey, Interner, StateId};
+pub use intern::{EnvId, InternKey, Interner, ShardedInterner, StateId};
 pub use lattice::{kleene_it, AbsNat, Lattice};
 pub use monad::{MonadFamily, MonadPlus, MonadState, MonadTrans, StorePassing, Value};
 pub use name::{Label, Name};

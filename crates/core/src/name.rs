@@ -10,7 +10,14 @@
 use std::fmt;
 use std::sync::{Arc, Mutex, OnceLock};
 
-use crate::hash::FxHashSet;
+use crate::hash::{fx_hash_of, FxHashSet};
+
+/// How many lock stripes the global name pool (and the synthetic-name
+/// cache) uses — the same Fx-hash striping discipline as the parallel
+/// engine's [`ShardedInterner`](crate::intern::ShardedInterner), so the
+/// workers of a parallel analysis minting continuation names concurrently
+/// contend only when their names hash to the same stripe.
+const NAME_STRIPES: usize = 16;
 
 /// The global name pool: every [`Name`] ever created, deduplicated by
 /// content.  Hot paths (parsers, allocators, synthetic continuation names)
@@ -22,11 +29,17 @@ use crate::hash::FxHashSet;
 /// Deliberate trade-offs: entries are never evicted (identifier sets are
 /// tiny and shared across the analyses of one process; a long-lived server
 /// embedding many unrelated programs would retain their identifier
-/// strings), and construction takes an uncontended mutex (the analyses are
-/// single-threaded; a parallel front end would want a sharded pool).
-fn name_pool() -> &'static Mutex<FxHashSet<Arc<str>>> {
-    static POOL: OnceLock<Mutex<FxHashSet<Arc<str>>>> = OnceLock::new();
-    POOL.get_or_init(|| Mutex::new(FxHashSet::default()))
+/// strings).  The pool is **lock-striped** by the content's Fx hash: the
+/// sharded parallel engine's workers allocate names concurrently, and one
+/// global mutex would serialise every transition that mints a
+/// continuation name.
+fn name_pool() -> &'static [Mutex<FxHashSet<Arc<str>>>] {
+    static POOL: OnceLock<Vec<Mutex<FxHashSet<Arc<str>>>>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        (0..NAME_STRIPES)
+            .map(|_| Mutex::new(FxHashSet::default()))
+            .collect()
+    })
 }
 
 /// An identifier: a variable, field, method or class name.
@@ -84,7 +97,8 @@ impl Name {
     /// allocation.
     pub fn new(s: impl AsRef<str>) -> Self {
         let s = s.as_ref();
-        let mut pool = name_pool().lock().expect("name pool poisoned");
+        let stripe = (fx_hash_of(s) as usize) % NAME_STRIPES;
+        let mut pool = name_pool()[stripe].lock().expect("name pool poisoned");
         if let Some(existing) = pool.get(s) {
             return Name(Arc::clone(existing));
         }
@@ -116,11 +130,22 @@ impl Name {
     pub fn synthetic(prefix: &'static str, tag: &'static str, index: u32) -> Self {
         type Key = (&'static str, &'static str, u32);
         type Cache = std::collections::HashMap<Key, Name>;
-        static CACHE: OnceLock<Mutex<Cache>> = OnceLock::new();
-        let cache = CACHE.get_or_init(|| Mutex::new(Cache::new()));
-        let mut cache = cache.lock().expect("synthetic name cache poisoned");
+        // Striped like the name pool itself: parallel workers mint the
+        // same per-site synthetic names on every transition, and stripe
+        // selection by the key's Fx hash keeps them off one global lock.
+        static CACHE: OnceLock<Vec<Mutex<Cache>>> = OnceLock::new();
+        let stripes = CACHE.get_or_init(|| {
+            (0..NAME_STRIPES)
+                .map(|_| Mutex::new(Cache::new()))
+                .collect()
+        });
+        let key: Key = (prefix, tag, index);
+        let stripe = (fx_hash_of(&key) as usize) % NAME_STRIPES;
+        let mut cache = stripes[stripe]
+            .lock()
+            .expect("synthetic name cache poisoned");
         cache
-            .entry((prefix, tag, index))
+            .entry(key)
             .or_insert_with(|| Name::new(format!("{prefix}{tag}{index}")))
             .clone()
     }

@@ -21,7 +21,19 @@
 //! * **[`PMap::join_in_place`] preserves sharing** — subtrees present on
 //!   only one side are adopted by reference, and subtrees equal by pointer
 //!   are skipped entirely, so folding a k-address delta into an n-address
-//!   accumulator costs O(k · log n), not O(n).
+//!   accumulator costs O(k · log n), not O(n);
+//! * **[`PMap::join_at_in_place`] and [`PMap::upsert_with`] are
+//!   single-descent** — the join/update decision is carried down one
+//!   copy-on-write descent (the way the internal `join_entry` always
+//!   worked), with the replacement path built on the unwind only where the
+//!   binding actually changed, instead of a read pre-check descent followed
+//!   by a second write descent;
+//! * **every node caches a content digest** — hashing a whole map is one
+//!   `OnceLock` read per already-digested subtree (mirroring
+//!   [`CowMap`](crate::env::CowMap)'s cached hashes), so the per-state
+//!   engine's whole-store interning hash is O(1) amortised: a write
+//!   invalidates only the O(log n) freshly-built path, and the next hash
+//!   recomputes exactly those nodes.
 //!
 //! The trie shape is *canonical*: it is a pure function of the key/value
 //! content (collision leaves keep their entries sorted by key, a branch
@@ -34,14 +46,18 @@
 //! and [`CountingStore`](crate::store::CountingStore) are rebased on this
 //! spine, which is what makes the whole-store clone in the step monad an
 //! `Arc` bump and the engines' delta folds proportional to the delta.
+//! Because every node is `Arc`-shared (never `Rc`), the spine is `Send +
+//! Sync` whenever its keys and values are — the property the sharded
+//! parallel engine ([`crate::engine::parallel`]) relies on to hand store
+//! snapshots to its workers and join per-shard deltas at the sync barrier.
 
 use std::cmp::Ordering;
 use std::collections::BTreeSet;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-use crate::hash::fx_hash_of;
+use crate::hash::{fx_hash_of, FxHasher};
 use crate::lattice::Lattice;
 
 /// Bits of the key hash consumed per trie level.
@@ -56,7 +72,21 @@ fn fragment(hash: u64, level: u32) -> u32 {
     ((hash >> (level * BITS)) % FANOUT) as u32
 }
 
-/// One node of the trie.
+/// One node of the trie: the structural content plus a lazily computed,
+/// per-subtree content digest (see [`node_digest`]).
+struct Node<K, V> {
+    /// The cached Fx content digest of this subtree, computed on first
+    /// hash and carried by clones (a clone has identical content).  Every
+    /// in-place mutation through `Arc::make_mut` resets it; nodes rebuilt
+    /// on a copy-on-write path start empty, so after a k-deep write only
+    /// the k fresh path nodes need re-digesting — untouched subtrees keep
+    /// their digests, which is what makes whole-map hashing O(1) amortised.
+    digest: OnceLock<u64>,
+    /// The structural content.
+    kind: NodeKind<K, V>,
+}
+
+/// The structural content of a [`Node`].
 ///
 /// Invariants (canonical form — the shape is a pure function of content):
 ///
@@ -65,7 +95,7 @@ fn fragment(hash: u64, level: u32) -> u32 {
 /// * a `Branch` holds at least one child, its `bitmap` has exactly one set
 ///   bit per child (children sorted by fragment), and it never holds a
 ///   *single* child that is a `Leaf` (such a branch collapses to the leaf).
-enum Node<K, V> {
+enum NodeKind<K, V> {
     Leaf {
         /// The shared Fx hash of every key in this leaf.
         hash: u64,
@@ -85,29 +115,61 @@ enum Node<K, V> {
 
 impl<K: Clone, V: Clone> Clone for Node<K, V> {
     fn clone(&self) -> Self {
-        match self {
-            Node::Leaf { hash, entries } => Node::Leaf {
-                hash: *hash,
-                entries: entries.clone(),
-            },
-            Node::Branch {
-                bitmap,
-                children,
-                len,
-            } => Node::Branch {
-                bitmap: *bitmap,
-                children: children.clone(),
-                len: *len,
+        Node {
+            // The clone has identical content, so the cached digest (if
+            // any) remains valid; in-place mutators reset it explicitly
+            // after `Arc::make_mut`.
+            digest: self.digest.clone(),
+            kind: match &self.kind {
+                NodeKind::Leaf { hash, entries } => NodeKind::Leaf {
+                    hash: *hash,
+                    entries: entries.clone(),
+                },
+                NodeKind::Branch {
+                    bitmap,
+                    children,
+                    len,
+                } => NodeKind::Branch {
+                    bitmap: *bitmap,
+                    children: children.clone(),
+                    len: *len,
+                },
             },
         }
     }
 }
 
 impl<K, V> Node<K, V> {
+    /// A fresh leaf node (digest not yet computed).
+    fn leaf(hash: u64, entries: Vec<(K, V)>) -> Self {
+        Node {
+            digest: OnceLock::new(),
+            kind: NodeKind::Leaf { hash, entries },
+        }
+    }
+
+    /// A fresh branch node (digest not yet computed).
+    fn branch(bitmap: u32, children: Vec<Arc<Node<K, V>>>, len: usize) -> Self {
+        Node {
+            digest: OnceLock::new(),
+            kind: NodeKind::Branch {
+                bitmap,
+                children,
+                len,
+            },
+        }
+    }
+
+    /// Resets the cached digest; must be called by every in-place mutation
+    /// (after `Arc::make_mut`, before the content changes).
+    fn reset_digest(&mut self) {
+        self.digest = OnceLock::new();
+    }
+
     fn len(&self) -> usize {
-        match self {
-            Node::Leaf { entries, .. } => entries.len(),
-            Node::Branch { len, .. } => *len,
+        match &self.kind {
+            NodeKind::Leaf { entries, .. } => entries.len(),
+            NodeKind::Branch { len, .. } => *len,
         }
     }
 
@@ -121,6 +183,37 @@ impl<K, V> Node<K, V> {
             Err(below)
         }
     }
+}
+
+/// The content digest of a subtree: leaves digest their entries, branches
+/// fold their children's digests — so the digest of an untouched subtree is
+/// one `OnceLock` read, and re-digesting after a write costs only the
+/// freshly built path.  A pure function of the canonical content, hence
+/// consistent with structural equality.
+fn node_digest<K: Hash, V: Hash>(node: &Node<K, V>) -> u64 {
+    *node.digest.get_or_init(|| {
+        let mut hasher = FxHasher::default();
+        match &node.kind {
+            NodeKind::Leaf { hash, entries } => {
+                hasher.write_u8(0);
+                hasher.write_u64(*hash);
+                for (k, v) in entries {
+                    k.hash(&mut hasher);
+                    v.hash(&mut hasher);
+                }
+            }
+            NodeKind::Branch {
+                bitmap, children, ..
+            } => {
+                hasher.write_u8(1);
+                hasher.write_u32(*bitmap);
+                for child in children {
+                    hasher.write_u64(node_digest(child));
+                }
+            }
+        }
+        hasher.finish()
+    })
 }
 
 /// A persistent hash-trie map with `Arc`-shared structure.  See the
@@ -207,9 +300,9 @@ impl<K, V> PMap<K, V> {
     /// How many trie nodes the spine currently uses.
     pub fn spine_nodes(&self) -> usize {
         fn walk<K, V>(node: &Arc<Node<K, V>>) -> usize {
-            match node.as_ref() {
-                Node::Leaf { .. } => 1,
-                Node::Branch { children, .. } => 1 + children.iter().map(walk).sum::<usize>(),
+            match &node.as_ref().kind {
+                NodeKind::Leaf { .. } => 1,
+                NodeKind::Branch { children, .. } => 1 + children.iter().map(walk).sum::<usize>(),
             }
         }
         self.root.as_ref().map_or(0, walk)
@@ -236,9 +329,9 @@ impl<K, V> PMap<K, V> {
         /// Nominal bytes per branch child pointer.
         const CHILD: usize = 8;
         fn node_bytes<K, V>(node: &Node<K, V>) -> usize {
-            NODE + match node {
-                Node::Leaf { entries, .. } => entries.len() * ENTRY,
-                Node::Branch { children, .. } => children.len() * CHILD,
+            NODE + match &node.kind {
+                NodeKind::Leaf { entries, .. } => entries.len() * ENTRY,
+                NodeKind::Branch { children, .. } => children.len() * CHILD,
             }
         }
         fn walk<K, V>(node: &Arc<Node<K, V>>) -> usize {
@@ -247,9 +340,9 @@ impl<K, V> PMap<K, V> {
             } else {
                 0
             };
-            own + match node.as_ref() {
-                Node::Leaf { .. } => 0,
-                Node::Branch { children, .. } => children.iter().map(walk).sum(),
+            own + match &node.as_ref().kind {
+                NodeKind::Leaf { .. } => 0,
+                NodeKind::Branch { children, .. } => children.iter().map(walk).sum(),
             }
         }
         self.root.as_ref().map_or(0, walk)
@@ -284,22 +377,14 @@ fn split<K, V>(
     let len = a.len() + b.len();
     if fa == fb {
         let child = split(a, a_hash, b, b_hash, level + 1);
-        Arc::new(Node::Branch {
-            bitmap: 1 << fa,
-            children: vec![child],
-            len,
-        })
+        Arc::new(Node::branch(1 << fa, vec![child], len))
     } else {
         let (children, bitmap) = if fa < fb {
             (vec![a, b], (1u32 << fa) | (1u32 << fb))
         } else {
             (vec![b, a], (1u32 << fa) | (1u32 << fb))
         };
-        Arc::new(Node::Branch {
-            bitmap,
-            children,
-            len,
-        })
+        Arc::new(Node::branch(bitmap, children, len))
     }
 }
 
@@ -311,10 +396,7 @@ impl<K: Hash + Eq + Ord + Clone, V: Clone> PMap<K, V> {
         let hash = fx_hash_of(&key);
         match &mut self.root {
             None => {
-                self.root = Some(Arc::new(Node::Leaf {
-                    hash,
-                    entries: vec![(key, value)],
-                }));
+                self.root = Some(Arc::new(Node::leaf(hash, vec![(key, value)])));
                 None
             }
             Some(root) => insert_node(root, 0, hash, key, value),
@@ -326,16 +408,32 @@ impl<K: Hash + Eq + Ord + Clone, V: Clone> PMap<K, V> {
     /// any) and returns the replacement, or `None` to leave the map — and
     /// every shared subtree — untouched.  Returns whether a replacement was
     /// installed.
+    ///
+    /// The decision is carried down **one** descent: `decide` runs at the
+    /// key's position in the trie, and the copy-on-write replacement path is
+    /// built on the unwind only when it returned `Some` — there is no
+    /// separate `get` pre-check descent.
     pub fn upsert_with<F>(&mut self, key: K, decide: F) -> bool
     where
         F: FnOnce(Option<&V>) -> Option<V>,
     {
-        let replacement = match decide(self.get(&key)) {
-            Some(v) => v,
-            None => return false,
-        };
-        self.insert(key, replacement);
-        true
+        let hash = fx_hash_of(&key);
+        match &mut self.root {
+            None => match decide(None) {
+                Some(value) => {
+                    self.root = Some(Arc::new(Node::leaf(hash, vec![(key, value)])));
+                    true
+                }
+                None => false,
+            },
+            Some(root) => match upsert_node(root, 0, hash, &key, decide) {
+                Some(replacement) => {
+                    *root = replacement;
+                    true
+                }
+                None => false,
+            },
+        }
     }
 
     /// The restriction of the map to the given keys, built by direct
@@ -368,8 +466,8 @@ impl<K: Hash + Eq + Ord + Clone, V: Clone> PMap<K, V> {
             node: &Arc<Node<K, V>>,
             keep: &impl Fn(&K) -> bool,
         ) -> Option<Arc<Node<K, V>>> {
-            match node.as_ref() {
-                Node::Leaf { hash, entries } => {
+            match &node.as_ref().kind {
+                NodeKind::Leaf { hash, entries } => {
                     let kept: Vec<(K, V)> =
                         entries.iter().filter(|(k, _)| keep(k)).cloned().collect();
                     if kept.len() == entries.len() {
@@ -377,13 +475,10 @@ impl<K: Hash + Eq + Ord + Clone, V: Clone> PMap<K, V> {
                     } else if kept.is_empty() {
                         None
                     } else {
-                        Some(Arc::new(Node::Leaf {
-                            hash: *hash,
-                            entries: kept,
-                        }))
+                        Some(Arc::new(Node::leaf(*hash, kept)))
                     }
                 }
-                Node::Branch {
+                NodeKind::Branch {
                     bitmap, children, ..
                 } => {
                     let mut new_children: Vec<Arc<Node<K, V>>> = Vec::new();
@@ -406,18 +501,14 @@ impl<K: Hash + Eq + Ord + Clone, V: Clone> PMap<K, V> {
                     }
                     match new_children.len() {
                         0 => None,
-                        1 if matches!(new_children[0].as_ref(), Node::Leaf { .. }) => {
+                        1 if matches!(new_children[0].as_ref().kind, NodeKind::Leaf { .. }) => {
                             // Canonical collapse: a lone leaf child replaces
                             // the branch (and cascades upward).
                             Some(new_children.pop().expect("one child"))
                         }
                         _ => {
                             let len = new_children.iter().map(|c| c.len()).sum();
-                            Some(Arc::new(Node::Branch {
-                                bitmap: new_bitmap,
-                                children: new_children,
-                                len,
-                            }))
+                            Some(Arc::new(Node::branch(new_bitmap, new_children, len)))
                         }
                     }
                 }
@@ -425,6 +516,74 @@ impl<K: Hash + Eq + Ord + Clone, V: Clone> PMap<K, V> {
         }
         if let Some(root) = &self.root {
             self.root = walk(root, &keep);
+        }
+    }
+}
+
+/// The single-descent upsert behind [`PMap::upsert_with`]: locates the key,
+/// runs `decide` at its position, and builds the replacement path on the
+/// unwind — or returns `None` having touched (and copied) nothing.
+fn upsert_node<K: Hash + Eq + Ord + Clone, V: Clone, F>(
+    node: &Arc<Node<K, V>>,
+    level: u32,
+    hash: u64,
+    key: &K,
+    decide: F,
+) -> Option<Arc<Node<K, V>>>
+where
+    F: FnOnce(Option<&V>) -> Option<V>,
+{
+    match &node.as_ref().kind {
+        NodeKind::Leaf {
+            hash: leaf_hash,
+            entries,
+        } => {
+            if *leaf_hash != hash {
+                // Vacant (off this leaf's hash): a `Some` decision splits.
+                let value = decide(None)?;
+                let fresh = Arc::new(Node::leaf(hash, vec![(key.clone(), value)]));
+                return Some(split(Arc::clone(node), *leaf_hash, fresh, hash, level));
+            }
+            match entries.binary_search_by(|(k, _)| k.cmp(key)) {
+                Ok(i) => {
+                    let value = decide(Some(&entries[i].1))?;
+                    let mut entries = entries.clone();
+                    entries[i].1 = value;
+                    Some(Arc::new(Node::leaf(hash, entries)))
+                }
+                Err(i) => {
+                    let value = decide(None)?;
+                    let mut entries = entries.clone();
+                    entries.insert(i, (key.clone(), value));
+                    Some(Arc::new(Node::leaf(hash, entries)))
+                }
+            }
+        }
+        NodeKind::Branch {
+            bitmap,
+            children,
+            len,
+        } => {
+            let frag = fragment(hash, level);
+            match Node::<K, V>::child_index(*bitmap, frag) {
+                Ok(i) => {
+                    let replacement = upsert_node(&children[i], level + 1, hash, key, decide)?;
+                    let grown = replacement.len() - children[i].len();
+                    let mut children = children.clone();
+                    children[i] = replacement;
+                    Some(Arc::new(Node::branch(*bitmap, children, len + grown)))
+                }
+                Err(i) => {
+                    let value = decide(None)?;
+                    let mut children = children.clone();
+                    children.insert(i, Arc::new(Node::leaf(hash, vec![(key.clone(), value)])));
+                    Some(Arc::new(Node::branch(
+                        bitmap | (1 << frag),
+                        children,
+                        len + 1,
+                    )))
+                }
+            }
         }
     }
 }
@@ -439,29 +598,28 @@ fn insert_node<K: Hash + Eq + Ord + Clone, V: Clone>(
 ) -> Option<V> {
     // A same-hash leaf or a branch is mutated in place (copy-on-write);
     // a different-hash leaf splits into a branch chain.
-    if let Node::Leaf {
+    if let NodeKind::Leaf {
         hash: leaf_hash, ..
-    } = node.as_ref()
+    } = &node.as_ref().kind
     {
         if *leaf_hash != hash {
-            let fresh = Arc::new(Node::Leaf {
-                hash,
-                entries: vec![(key, value)],
-            });
+            let fresh = Arc::new(Node::leaf(hash, vec![(key, value)]));
             let old_hash = *leaf_hash;
             *node = split(Arc::clone(node), old_hash, fresh, hash, level);
             return None;
         }
     }
-    match Arc::make_mut(node) {
-        Node::Leaf { entries, .. } => match entries.binary_search_by(|(k, _)| k.cmp(&key)) {
+    let inner = Arc::make_mut(node);
+    inner.reset_digest();
+    match &mut inner.kind {
+        NodeKind::Leaf { entries, .. } => match entries.binary_search_by(|(k, _)| k.cmp(&key)) {
             Ok(i) => Some(std::mem::replace(&mut entries[i].1, value)),
             Err(i) => {
                 entries.insert(i, (key, value));
                 None
             }
         },
-        Node::Branch {
+        NodeKind::Branch {
             bitmap,
             children,
             len,
@@ -476,13 +634,7 @@ fn insert_node<K: Hash + Eq + Ord + Clone, V: Clone>(
                     old
                 }
                 Err(i) => {
-                    children.insert(
-                        i,
-                        Arc::new(Node::Leaf {
-                            hash,
-                            entries: vec![(key, value)],
-                        }),
-                    );
+                    children.insert(i, Arc::new(Node::leaf(hash, vec![(key, value)])));
                     *bitmap |= 1 << frag;
                     *len += 1;
                     None
@@ -497,30 +649,31 @@ impl<K: Hash + Eq + Clone, V: Lattice> PMap<K, V> {
     /// `σ ⊔ [k ↦ v]`), reporting whether the binding grew.  When nothing
     /// grows, the spine — including every shared subtree — is left
     /// untouched, so repeated no-op binds at a fixpoint never copy.
+    ///
+    /// The join is carried down **one** descent (`join_at_node`): the
+    /// growth decision happens at the key's leaf and the copy-on-write
+    /// replacement path is built on the unwind — the growing-bind path no
+    /// longer pays a read pre-check descent followed by a write descent.
     pub fn join_at_in_place(&mut self, key: K, value: V) -> bool
     where
         K: Ord,
     {
-        let present = match self.get(&key) {
-            Some(old) => {
-                if value.leq(old) {
-                    return false;
-                }
-                true
+        let hash = fx_hash_of(&key);
+        match &mut self.root {
+            None => {
+                // Structural join semantics: an explicit ⊥ binding is
+                // inserted but is no semantic growth.
+                let grew = !value.is_bottom();
+                self.root = Some(Arc::new(Node::leaf(hash, vec![(key, value)])));
+                grew
             }
-            None => false,
-        };
-        if present {
-            let hash = fx_hash_of(&key);
-            let root = self.root.as_mut().expect("get found the key");
-            join_known_key(root, 0, hash, &key, value);
-            true
-        } else {
-            // Structural join semantics: an explicit ⊥ binding is
-            // inserted but is no semantic growth.
-            let grew = !value.is_bottom();
-            self.insert(key, value);
-            grew
+            Some(root) => {
+                let (replacement, grew) = join_at_node(root, 0, hash, key, value);
+                if let Some(replacement) = replacement {
+                    *root = replacement;
+                }
+                grew
+            }
         }
     }
 
@@ -591,6 +744,93 @@ impl<K: Hash + Eq + Clone, V: Lattice> PMap<K, V> {
     }
 }
 
+/// The single-descent join behind [`PMap::join_at_in_place`]: carries the
+/// value down to the key's position, decides growth there, and builds the
+/// replacement path on the unwind.  Returns the replacement node (or `None`
+/// when nothing changed structurally — in which case nothing was copied)
+/// together with whether the binding *semantically* grew (an explicit `⊥`
+/// insert changes the structure without growing).
+fn join_at_node<K: Hash + Eq + Ord + Clone, V: Lattice>(
+    node: &Arc<Node<K, V>>,
+    level: u32,
+    hash: u64,
+    key: K,
+    value: V,
+) -> (Option<Arc<Node<K, V>>>, bool) {
+    match &node.as_ref().kind {
+        NodeKind::Leaf {
+            hash: leaf_hash,
+            entries,
+        } => {
+            if *leaf_hash != hash {
+                // Vacant (off this leaf's hash): structural insert, growth
+                // iff the value is not ⊥.
+                let grew = !value.is_bottom();
+                let fresh = Arc::new(Node::leaf(hash, vec![(key, value)]));
+                return (
+                    Some(split(Arc::clone(node), *leaf_hash, fresh, hash, level)),
+                    grew,
+                );
+            }
+            match entries.binary_search_by(|(k, _)| k.cmp(&key)) {
+                Ok(i) => {
+                    if value.leq(&entries[i].1) {
+                        // No growth: the descent read, copied nothing.
+                        return (None, false);
+                    }
+                    let mut entries = entries.clone();
+                    entries[i].1.join_in_place(value);
+                    (Some(Arc::new(Node::leaf(hash, entries))), true)
+                }
+                Err(i) => {
+                    let grew = !value.is_bottom();
+                    let mut entries = entries.clone();
+                    entries.insert(i, (key, value));
+                    (Some(Arc::new(Node::leaf(hash, entries))), grew)
+                }
+            }
+        }
+        NodeKind::Branch {
+            bitmap,
+            children,
+            len,
+        } => {
+            let frag = fragment(hash, level);
+            match Node::<K, V>::child_index(*bitmap, frag) {
+                Ok(i) => {
+                    let (replacement, grew) =
+                        join_at_node(&children[i], level + 1, hash, key, value);
+                    match replacement {
+                        None => (None, grew),
+                        Some(replacement) => {
+                            let grown = replacement.len() - children[i].len();
+                            let mut children = children.clone();
+                            children[i] = replacement;
+                            (
+                                Some(Arc::new(Node::branch(*bitmap, children, len + grown))),
+                                grew,
+                            )
+                        }
+                    }
+                }
+                Err(i) => {
+                    let grew = !value.is_bottom();
+                    let mut children = children.clone();
+                    children.insert(i, Arc::new(Node::leaf(hash, vec![(key, value)])));
+                    (
+                        Some(Arc::new(Node::branch(
+                            bitmap | (1 << frag),
+                            children,
+                            len + 1,
+                        ))),
+                        grew,
+                    )
+                }
+            }
+        }
+    }
+}
+
 impl<K: Hash + Eq + Clone + Ord, V: PartialEq + Clone> PMap<K, V> {
     /// The symmetric key-wise diff: every key bound on one side but not the
     /// other, or bound to different values.  Shared subtrees contribute
@@ -605,15 +845,15 @@ impl<K: Hash + Eq + Clone + Ord, V: PartialEq + Clone> PMap<K, V> {
 /// Reports every non-`⊥` key of a subtree (used when a whole subtree is
 /// adopted from the other side of a join).
 fn report_subtree<K, V: Lattice>(node: &Arc<Node<K, V>>, on_grew: &mut dyn FnMut(&K)) {
-    match node.as_ref() {
-        Node::Leaf { entries, .. } => {
+    match &node.as_ref().kind {
+        NodeKind::Leaf { entries, .. } => {
             for (k, v) in entries {
                 if !v.is_bottom() {
                     on_grew(k);
                 }
             }
         }
-        Node::Branch { children, .. } => {
+        NodeKind::Branch { children, .. } => {
             for child in children {
                 report_subtree(child, on_grew);
             }
@@ -623,9 +863,9 @@ fn report_subtree<K, V: Lattice>(node: &Arc<Node<K, V>>, on_grew: &mut dyn FnMut
 
 /// Whether every entry of a subtree is `⊥`.
 fn node_all_bottom<K, V: Lattice>(node: &Arc<Node<K, V>>) -> bool {
-    match node.as_ref() {
-        Node::Leaf { entries, .. } => entries.iter().all(|(_, v)| v.is_bottom()),
-        Node::Branch { children, .. } => children.iter().all(node_all_bottom),
+    match &node.as_ref().kind {
+        NodeKind::Leaf { entries, .. } => entries.iter().all(|(_, v)| v.is_bottom()),
+        NodeKind::Branch { children, .. } => children.iter().all(node_all_bottom),
     }
 }
 
@@ -638,8 +878,8 @@ fn lookup_node<'a, K: Eq, V>(
 ) -> Option<&'a V> {
     let mut node = node;
     loop {
-        match node.as_ref() {
-            Node::Leaf {
+        match &node.as_ref().kind {
+            NodeKind::Leaf {
                 hash: leaf_hash,
                 entries,
             } => {
@@ -648,7 +888,7 @@ fn lookup_node<'a, K: Eq, V>(
                 }
                 return entries.iter().find(|(k, _)| k == key).map(|(_, v)| v);
             }
-            Node::Branch {
+            NodeKind::Branch {
                 bitmap, children, ..
             } => match Node::<K, V>::child_index(*bitmap, fragment(hash, level)) {
                 Ok(i) => {
@@ -670,8 +910,8 @@ fn node_leq<K: Hash + Eq, V: Lattice>(
     if Arc::ptr_eq(a, b) {
         return true;
     }
-    match (a.as_ref(), b.as_ref()) {
-        (Node::Leaf { hash, entries }, _) => {
+    match (&a.as_ref().kind, &b.as_ref().kind) {
+        (NodeKind::Leaf { hash, entries }, _) => {
             entries
                 .iter()
                 .all(|(k, v)| match lookup_node(b, *hash, k, level) {
@@ -679,18 +919,18 @@ fn node_leq<K: Hash + Eq, V: Lattice>(
                     None => v.is_bottom(),
                 })
         }
-        (Node::Branch { children, .. }, Node::Leaf { .. }) => {
+        (NodeKind::Branch { children, .. }, NodeKind::Leaf { .. }) => {
             // `b` covers a single hash: any `a` entry off that hash must be
             // ⊥; entries on it are probed individually.
             children.iter().all(|child| node_leq(child, b, level + 1))
         }
         (
-            Node::Branch {
+            NodeKind::Branch {
                 bitmap: ba,
                 children: ca,
                 ..
             },
-            Node::Branch {
+            NodeKind::Branch {
                 bitmap: bb,
                 children: cb,
                 ..
@@ -713,24 +953,24 @@ fn node_eq<K: Eq, V: PartialEq>(a: &Arc<Node<K, V>>, b: &Arc<Node<K, V>>) -> boo
     if Arc::ptr_eq(a, b) {
         return true;
     }
-    match (a.as_ref(), b.as_ref()) {
+    match (&a.as_ref().kind, &b.as_ref().kind) {
         (
-            Node::Leaf {
+            NodeKind::Leaf {
                 hash: ha,
                 entries: ea,
             },
-            Node::Leaf {
+            NodeKind::Leaf {
                 hash: hb,
                 entries: eb,
             },
         ) => ha == hb && ea == eb,
         (
-            Node::Branch {
+            NodeKind::Branch {
                 bitmap: ba,
                 children: ca,
                 ..
             },
-            Node::Branch {
+            NodeKind::Branch {
                 bitmap: bb,
                 children: cb,
                 ..
@@ -742,9 +982,9 @@ fn node_eq<K: Eq, V: PartialEq>(a: &Arc<Node<K, V>>, b: &Arc<Node<K, V>>) -> boo
 
 /// Collects every key of a subtree into `out`.
 fn collect_keys<K: Clone + Ord, V>(node: &Arc<Node<K, V>>, out: &mut BTreeSet<K>) {
-    match node.as_ref() {
-        Node::Leaf { entries, .. } => out.extend(entries.iter().map(|(k, _)| k.clone())),
-        Node::Branch { children, .. } => {
+    match &node.as_ref().kind {
+        NodeKind::Leaf { entries, .. } => out.extend(entries.iter().map(|(k, _)| k.clone())),
+        NodeKind::Branch { children, .. } => {
             for child in children {
                 collect_keys(child, out);
             }
@@ -766,14 +1006,14 @@ fn diff_nodes<K: Hash + Eq + Clone + Ord, V: PartialEq>(
             if Arc::ptr_eq(a, b) {
                 return;
             }
-            match (a.as_ref(), b.as_ref()) {
+            match (&a.as_ref().kind, &b.as_ref().kind) {
                 (
-                    Node::Branch {
+                    NodeKind::Branch {
                         bitmap: ba,
                         children: ca,
                         ..
                     },
-                    Node::Branch {
+                    NodeKind::Branch {
                         bitmap: bb,
                         children: cb,
                         ..
@@ -789,7 +1029,7 @@ fn diff_nodes<K: Hash + Eq + Clone + Ord, V: PartialEq>(
                 }
                 // At least one side is a leaf: probe entry-by-entry in both
                 // directions.
-                (Node::Leaf { hash, entries }, _) => {
+                (NodeKind::Leaf { hash, entries }, _) => {
                     for (k, v) in entries {
                         if lookup_node(b, *hash, k, level) != Some(v) {
                             out.insert(k.clone());
@@ -797,7 +1037,7 @@ fn diff_nodes<K: Hash + Eq + Clone + Ord, V: PartialEq>(
                     }
                     diff_missing_from(b, a, level, out);
                 }
-                (_, Node::Leaf { hash, entries }) => {
+                (_, NodeKind::Leaf { hash, entries }) => {
                     for (k, v) in entries {
                         if lookup_node(a, *hash, k, level) != Some(v) {
                             out.insert(k.clone());
@@ -818,15 +1058,15 @@ fn diff_missing_from<K: Hash + Eq + Clone + Ord, V: PartialEq>(
     level: u32,
     out: &mut BTreeSet<K>,
 ) {
-    match walk.as_ref() {
-        Node::Leaf { hash, entries } => {
+    match &walk.as_ref().kind {
+        NodeKind::Leaf { hash, entries } => {
             for (k, _) in entries {
                 if lookup_node(other, *hash, k, level).is_none() {
                     out.insert(k.clone());
                 }
             }
         }
-        Node::Branch { children, .. } => {
+        NodeKind::Branch { children, .. } => {
             for child in children {
                 diff_missing_from(child, other, level + 1, out);
             }
@@ -847,13 +1087,13 @@ fn merge_nodes<K: Hash + Eq + Clone + Ord, V: Lattice>(
     if Arc::ptr_eq(a, b) {
         return None;
     }
-    match (a.as_ref(), b.as_ref()) {
+    match (&a.as_ref().kind, &b.as_ref().kind) {
         (
-            Node::Leaf {
+            NodeKind::Leaf {
                 hash: ha,
                 entries: ea,
             },
-            Node::Leaf {
+            NodeKind::Leaf {
                 hash: hb,
                 entries: eb,
             },
@@ -897,7 +1137,7 @@ fn merge_nodes<K: Hash + Eq + Clone + Ord, V: Lattice>(
                         }
                     }
                 }
-                merged.map(|entries| Arc::new(Node::Leaf { hash: *ha, entries }))
+                merged.map(|entries| Arc::new(Node::leaf(*ha, entries)))
             } else {
                 // Disjoint hashes: every `b` entry is an addition.
                 report_subtree(b, on_grew);
@@ -905,12 +1145,12 @@ fn merge_nodes<K: Hash + Eq + Clone + Ord, V: Lattice>(
             }
         }
         (
-            Node::Branch {
+            NodeKind::Branch {
                 bitmap: ba,
                 children: ca,
                 ..
             },
-            Node::Branch {
+            NodeKind::Branch {
                 bitmap: bb,
                 children: cb,
                 ..
@@ -953,13 +1193,9 @@ fn merge_nodes<K: Hash + Eq + Clone + Ord, V: Lattice>(
                 return None;
             }
             let len = new_children.iter().map(|c| c.len()).sum();
-            Some(Arc::new(Node::Branch {
-                bitmap: ba | bb,
-                children: new_children,
-                len,
-            }))
+            Some(Arc::new(Node::branch(ba | bb, new_children, len)))
         }
-        (Node::Branch { .. }, Node::Leaf { hash, entries }) => {
+        (NodeKind::Branch { .. }, NodeKind::Leaf { hash, entries }) => {
             // The common fold shape: a small (usually single-entry) delta
             // leaf joining a large accumulator branch.  When every `b` key
             // is vacant in `a` the whole leaf is *adopted by reference* —
@@ -997,7 +1233,7 @@ fn merge_nodes<K: Hash + Eq + Clone + Ord, V: Lattice>(
             }
             result
         }
-        (Node::Leaf { hash, entries }, Node::Branch { .. }) => {
+        (NodeKind::Leaf { hash, entries }, NodeKind::Branch { .. }) => {
             // The union lives in `b`'s (larger) shape: start from `b`,
             // join `a`'s entries in, and report `b`'s own contributions —
             // everything `b` binds beyond what `a` already had.
@@ -1019,9 +1255,9 @@ fn adopt_leaf<K: Hash + Eq + Clone + Ord, V: Lattice>(
     hash: u64,
     b: &Arc<Node<K, V>>,
 ) {
-    if let Node::Leaf {
+    if let NodeKind::Leaf {
         hash: leaf_hash, ..
-    } = node.as_ref()
+    } = &node.as_ref().kind
     {
         let old_hash = *leaf_hash;
         if old_hash != hash {
@@ -1031,11 +1267,13 @@ fn adopt_leaf<K: Hash + Eq + Clone + Ord, V: Lattice>(
         } else {
             // Same-hash collision bucket with disjoint keys: the entries
             // must merge into one canonical leaf.
-            let Node::Leaf { entries: eb, .. } = b.as_ref() else {
+            let NodeKind::Leaf { entries: eb, .. } = &b.as_ref().kind else {
                 unreachable!("adopt_leaf is only called with a leaf");
             };
             let eb = eb.clone();
-            let Node::Leaf { entries, .. } = Arc::make_mut(node) else {
+            let inner = Arc::make_mut(node);
+            inner.reset_digest();
+            let NodeKind::Leaf { entries, .. } = &mut inner.kind else {
                 unreachable!("checked to be a leaf above");
             };
             entries.extend(eb);
@@ -1043,9 +1281,11 @@ fn adopt_leaf<K: Hash + Eq + Clone + Ord, V: Lattice>(
         }
         return;
     }
-    match Arc::make_mut(node) {
-        Node::Leaf { .. } => unreachable!("handled above"),
-        Node::Branch {
+    let inner = Arc::make_mut(node);
+    inner.reset_digest();
+    match &mut inner.kind {
+        NodeKind::Leaf { .. } => unreachable!("handled above"),
+        NodeKind::Branch {
             bitmap,
             children,
             len,
@@ -1076,8 +1316,8 @@ fn report_beyond<K: Hash + Eq + Clone, V: Lattice>(
     a_level: u32,
     on_grew: &mut dyn FnMut(&K),
 ) {
-    match b.as_ref() {
-        Node::Leaf { hash, entries } => {
+    match &b.as_ref().kind {
+        NodeKind::Leaf { hash, entries } => {
             for (k, vb) in entries {
                 let grew = match lookup_node(a, *hash, k, a_level) {
                     Some(va) => !vb.leq(va),
@@ -1088,7 +1328,7 @@ fn report_beyond<K: Hash + Eq + Clone, V: Lattice>(
                 }
             }
         }
-        Node::Branch { children, .. } => {
+        NodeKind::Branch { children, .. } => {
             for child in children {
                 report_beyond(child, a, a_level, on_grew);
             }
@@ -1106,28 +1346,27 @@ fn join_entry<K: Hash + Eq + Clone + Ord, V: Lattice>(
     key: &K,
     value: &V,
 ) {
-    if let Node::Leaf {
+    if let NodeKind::Leaf {
         hash: leaf_hash, ..
-    } = node.as_ref()
+    } = &node.as_ref().kind
     {
         if *leaf_hash != hash {
-            let fresh = Arc::new(Node::Leaf {
-                hash,
-                entries: vec![(key.clone(), value.clone())],
-            });
+            let fresh = Arc::new(Node::leaf(hash, vec![(key.clone(), value.clone())]));
             let old_hash = *leaf_hash;
             *node = split(Arc::clone(node), old_hash, fresh, hash, level);
             return;
         }
     }
-    match Arc::make_mut(node) {
-        Node::Leaf { entries, .. } => match entries.binary_search_by(|(k, _)| k.cmp(key)) {
+    let inner = Arc::make_mut(node);
+    inner.reset_digest();
+    match &mut inner.kind {
+        NodeKind::Leaf { entries, .. } => match entries.binary_search_by(|(k, _)| k.cmp(key)) {
             Ok(i) => {
                 entries[i].1.join_in_place(value.clone());
             }
             Err(i) => entries.insert(i, (key.clone(), value.clone())),
         },
-        Node::Branch {
+        NodeKind::Branch {
             bitmap,
             children,
             len,
@@ -1142,41 +1381,12 @@ fn join_entry<K: Hash + Eq + Clone + Ord, V: Lattice>(
                 Err(i) => {
                     children.insert(
                         i,
-                        Arc::new(Node::Leaf {
-                            hash,
-                            entries: vec![(key.clone(), value.clone())],
-                        }),
+                        Arc::new(Node::leaf(hash, vec![(key.clone(), value.clone())])),
                     );
                     *bitmap |= 1 << frag;
                     *len += 1;
                 }
             }
-        }
-    }
-}
-
-/// The (deterministic, known-last-key) variant of [`join_entry`] used by
-/// [`PMap::join_at_in_place`] once the pre-check has proven growth.
-fn join_known_key<K: Hash + Eq + Clone + Ord, V: Lattice>(
-    node: &mut Arc<Node<K, V>>,
-    level: u32,
-    hash: u64,
-    key: &K,
-    value: V,
-) {
-    match Arc::make_mut(node) {
-        Node::Leaf { entries, .. } => {
-            let i = entries
-                .binary_search_by(|(k, _)| k.cmp(key))
-                .expect("caller proved the key present");
-            entries[i].1.join_in_place(value);
-        }
-        Node::Branch {
-            bitmap, children, ..
-        } => {
-            let i = Node::<K, V>::child_index(*bitmap, fragment(hash, level))
-                .expect("caller proved the key present");
-            join_known_key(&mut children[i], level + 1, hash, key, value);
         }
     }
 }
@@ -1201,8 +1411,8 @@ impl<'a, K, V> Iterator for Iter<'a, K, V> {
     fn next(&mut self) -> Option<Self::Item> {
         loop {
             let frame = self.stack.last_mut()?;
-            match frame.node {
-                Node::Leaf { entries, .. } => {
+            match &frame.node.kind {
+                NodeKind::Leaf { entries, .. } => {
                     if frame.next < entries.len() {
                         let (k, v) = &entries[frame.next];
                         frame.next += 1;
@@ -1210,7 +1420,7 @@ impl<'a, K, V> Iterator for Iter<'a, K, V> {
                     }
                     self.stack.pop();
                 }
-                Node::Branch { children, .. } => {
+                NodeKind::Branch { children, .. } => {
                     if frame.next < children.len() {
                         let child = children[frame.next].as_ref();
                         frame.next += 1;
@@ -1287,12 +1497,15 @@ impl<K: Ord, V: Ord> Ord for PMap<K, V> {
 
 impl<K: Hash, V: Hash> Hash for PMap<K, V> {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        // Trie order is content-determined, so hashing the entry sequence
-        // is consistent with structural equality.
+        // Feed the cached per-subtree digest to the caller's hasher: the
+        // digest is a pure function of the canonical content, so this stays
+        // consistent with the structural `PartialEq` — and costs one
+        // `OnceLock` read per already-digested subtree instead of a full
+        // entry walk.  This is what makes the per-state engine's
+        // whole-store interning hash O(1) amortised.
         state.write_usize(self.len());
-        for (k, v) in self.iter() {
-            k.hash(state);
-            v.hash(state);
+        if let Some(root) = &self.root {
+            state.write_u64(node_digest(root));
         }
     }
 }
@@ -1405,6 +1618,88 @@ mod tests {
         assert!(!m.join_at_in_place(9, BTreeSet::new()));
         assert!(m.contains_key(&9));
         assert!(!PMap::<u16, BTreeSet<u8>>::new().join_at_in_place(7, BTreeSet::new()));
+    }
+
+    #[test]
+    fn upsert_with_is_single_descent_and_preserves_sharing() {
+        let mut m = from_pairs(&[(1, 1), (2, 2), (3, 3)]);
+        let snapshot = m.clone();
+        // A `None` decision touches nothing — same allocation.
+        assert!(!m.upsert_with(2, |v| {
+            assert_eq!(v, Some(&set(&[2])));
+            None
+        }));
+        assert!(m.ptr_eq(&snapshot));
+        // A `None` decision on a vacant key also touches nothing.
+        assert!(!m.upsert_with(99, |v| {
+            assert_eq!(v, None);
+            None
+        }));
+        assert!(m.ptr_eq(&snapshot));
+        // A replacement installs and leaves the snapshot at the old value.
+        assert!(m.upsert_with(2, |v| v.map(|s| {
+            let mut s = s.clone();
+            s.insert(9);
+            s
+        })));
+        assert_eq!(m.get(&2), Some(&set(&[2, 9])));
+        assert_eq!(snapshot.get(&2), Some(&set(&[2])));
+        // A vacant-key insert through the decision closure.
+        assert!(m.upsert_with(42, |v| {
+            assert_eq!(v, None);
+            Some(set(&[7]))
+        }));
+        assert_eq!(m.get(&42), Some(&set(&[7])));
+        assert_eq!(m.len(), 4);
+        // Upsert into the empty map.
+        let mut empty: M = PMap::new();
+        assert!(!empty.upsert_with(1, |_| None));
+        assert!(empty.is_empty());
+        assert!(empty.upsert_with(1, |_| Some(set(&[1]))));
+        assert_eq!(empty.get(&1), Some(&set(&[1])));
+    }
+
+    #[test]
+    fn cached_digests_survive_clones_and_track_mutation() {
+        let pairs: Vec<(u16, u8)> = (0..64).map(|i| (i as u16, (i % 5) as u8)).collect();
+        let mut m = from_pairs(&pairs);
+        let h1 = fx_hash_of(&m);
+        // A clone replays the cached digest.
+        let snapshot = m.clone();
+        assert_eq!(fx_hash_of(&snapshot), h1);
+        // Hashing twice is stable.
+        assert_eq!(fx_hash_of(&m), h1);
+        // Every mutation path refreshes the digest: insert…
+        m.insert(1000, set(&[1]));
+        let h2 = fx_hash_of(&m);
+        assert_ne!(h1, h2);
+        // …join_at_in_place…
+        assert!(m.join_at_in_place(3, set(&[9])));
+        let h3 = fx_hash_of(&m);
+        assert_ne!(h2, h3);
+        // …upsert_with…
+        assert!(m.upsert_with(3, |v| v.map(|s| {
+            let mut s = s.clone();
+            s.insert(10);
+            s
+        })));
+        let h4 = fx_hash_of(&m);
+        assert_ne!(h3, h4);
+        // …join_map_in_place…
+        assert!(m.join_map_in_place(from_pairs(&[(2000, 2)])));
+        let h5 = fx_hash_of(&m);
+        assert_ne!(h4, h5);
+        // …and retain.
+        m.retain(|k| *k < 500);
+        let h6 = fx_hash_of(&m);
+        assert_ne!(h5, h6);
+        // Throughout, the digest stays a pure content function: a map
+        // rebuilt from scratch with the same content hashes identically.
+        let rebuilt: M = m.iter().map(|(k, v)| (*k, v.clone())).collect();
+        assert_eq!(m, rebuilt);
+        assert_eq!(fx_hash_of(&m), fx_hash_of(&rebuilt));
+        // The untouched snapshot still hashes as before.
+        assert_eq!(fx_hash_of(&snapshot), h1);
     }
 
     #[test]
@@ -1626,6 +1921,31 @@ mod tests {
                 let expected = a.get(&k) != b.get(&k);
                 prop_assert_eq!(changed.contains(&k), expected, "key {}", k);
             }
+        }
+
+        #[test]
+        fn prop_join_at_agrees_with_insert_reference_and_caches_digests(
+            xs in proptest::collection::vec((0u16..48, 0u8..6), 0..30),
+            key in 0u16..48,
+            v in 0u8..6,
+        ) {
+            let m = from_pairs(&xs);
+            // join_at_in_place against the BTreeMap reference.
+            let mut joined = m.clone();
+            let grew = joined.join_at_in_place(key, set(&[v]));
+            let mut reference = as_btree(&m);
+            let slot = reference.entry(key).or_default();
+            let expected_grew = !slot.contains(&v);
+            slot.insert(v);
+            prop_assert_eq!(grew, expected_grew);
+            prop_assert_eq!(as_btree(&joined), reference);
+            // No-growth re-bind copies nothing.
+            let snapshot = joined.clone();
+            prop_assert!(!joined.join_at_in_place(key, set(&[v])));
+            prop_assert!(joined.ptr_eq(&snapshot));
+            // Digest equality across structurally equal maps.
+            let rebuilt: M = joined.iter().map(|(k, s)| (*k, s.clone())).collect();
+            prop_assert_eq!(fx_hash_of(&joined), fx_hash_of(&rebuilt));
         }
 
         #[test]

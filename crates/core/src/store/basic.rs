@@ -97,7 +97,7 @@ impl<A: Address, V: Ord + Clone> Lattice for BasicStore<A, V> {
 impl<A, V> StoreLike<A> for BasicStore<A, V>
 where
     A: Address,
-    V: Ord + Clone + fmt::Debug + 'static,
+    V: Ord + Clone + fmt::Debug + Send + Sync + 'static,
 {
     type D = BTreeSet<V>;
 
@@ -157,7 +157,7 @@ where
 impl<A, V> super::StoreDelta<A> for BasicStore<A, V>
 where
     A: Address,
-    V: Ord + Clone + fmt::Debug + 'static,
+    V: Ord + Clone + fmt::Debug + Send + Sync + 'static,
 {
     fn changed_addresses(&self, other: &Self) -> BTreeSet<A> {
         self.bindings.changed_keys(&other.bindings)

@@ -100,7 +100,7 @@ impl<A: Address, V: Ord + Clone> Lattice for CountingStore<A, V> {
 impl<A, V> StoreLike<A> for CountingStore<A, V>
 where
     A: Address,
-    V: Ord + Clone + fmt::Debug + 'static,
+    V: Ord + Clone + fmt::Debug + Send + Sync + 'static,
 {
     type D = BTreeSet<V>;
 
@@ -177,7 +177,7 @@ where
 impl<A, V> super::StoreDelta<A> for CountingStore<A, V>
 where
     A: Address,
-    V: Ord + Clone + fmt::Debug + 'static,
+    V: Ord + Clone + fmt::Debug + Send + Sync + 'static,
 {
     fn changed_addresses(&self, other: &Self) -> BTreeSet<A> {
         // Counts are part of the observable binding: an address whose value
@@ -220,7 +220,7 @@ pub trait Counter<A: Address>: StoreLike<A> {
 impl<A, V> Counter<A> for CountingStore<A, V>
 where
     A: Address,
-    V: Ord + Clone + fmt::Debug + 'static,
+    V: Ord + Clone + fmt::Debug + Send + Sync + 'static,
 {
     fn count(&self, a: &A) -> AbsNat {
         self.bindings

@@ -16,9 +16,9 @@ use mai_core::collect::{
     explore_fp_bounded, run_analysis, with_gc, Collecting, PerStateDomain, SharedStoreDomain,
 };
 use mai_core::engine::{
-    explore_worklist_direct_stats, explore_worklist_rescan_stats, explore_worklist_stats,
-    explore_worklist_structural_stats, with_state_gc, DirectCollecting, EngineStats,
-    FrontierCollecting,
+    explore_worklist_direct_stats, explore_worklist_parallel_stats, explore_worklist_rescan_stats,
+    explore_worklist_stats, explore_worklist_structural_stats, with_state_gc, DirectCollecting,
+    EngineStats, FrontierCollecting, ParallelCollecting,
 };
 use mai_core::gc::{reachable, GcStrategy, Touches};
 use mai_core::lattice::{KleeneOutcome, Lattice};
@@ -201,6 +201,43 @@ where
     explore_worklist_direct_stats(
         with_state_gc(crate::direct::mnext_direct::<C, S>),
         PState::inject(program.clone()),
+    )
+}
+
+/// Like [`analyse_worklist_direct`], but solved by the **sharded parallel
+/// driver** ([`mai_core::engine::parallel`]) on `threads` worker threads:
+/// the frontier is sharded across workers (work-stealing by `StateId`
+/// ranges), each worker steps against a snapshot of the global store, and
+/// per-shard deltas are joined at a sync barrier each round.  Byte-identical
+/// fixpoint — and identical deterministic work counters — to
+/// [`analyse_worklist_direct`] at every thread count; the sequential direct
+/// engine remains the determinism oracle.
+pub fn analyse_worklist_parallel<C, S, Fp>(program: &CExp, threads: usize) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Val<C::Addr>>> + Value,
+    Fp: ParallelCollecting<PState<C::Addr>, C, S>,
+{
+    explore_worklist_parallel_stats(
+        crate::direct::mnext_direct::<C, S>,
+        PState::inject(program.clone()),
+        threads,
+    )
+}
+
+/// Like [`analyse_gc_worklist_direct`], but solved by the sharded parallel
+/// driver (abstract GC as the per-branch [`with_state_gc`] store
+/// restriction, inside each worker).
+pub fn analyse_gc_worklist_parallel<C, S, Fp>(program: &CExp, threads: usize) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Val<C::Addr>>> + Value,
+    Fp: ParallelCollecting<PState<C::Addr>, C, S>,
+{
+    explore_worklist_parallel_stats(
+        with_state_gc(crate::direct::mnext_direct::<C, S>),
+        PState::inject(program.clone()),
+        threads,
     )
 }
 
@@ -398,6 +435,37 @@ pub fn analyse_kcfa_with_count_direct<const K: usize>(
 /// [`analyse_mono_worklist`] on the direct-style carrier.
 pub fn analyse_mono_direct(program: &CExp) -> (MonoShared, EngineStats) {
     analyse_worklist_direct::<MonoCtx, BasicStore<MonoAddr, Val<MonoAddr>>, _>(program)
+}
+
+/// [`analyse_kcfa_shared_direct`] solved by the sharded parallel driver —
+/// the E12 measurement subject.
+pub fn analyse_kcfa_shared_parallel<const K: usize>(
+    program: &CExp,
+    threads: usize,
+) -> (KCfaShared<K>, EngineStats) {
+    analyse_worklist_parallel::<KCallCtx<K>, KStore, _>(program, threads)
+}
+
+/// [`analyse_kcfa_shared_gc_direct`] solved by the sharded parallel driver.
+pub fn analyse_kcfa_shared_gc_parallel<const K: usize>(
+    program: &CExp,
+    threads: usize,
+) -> (KCfaShared<K>, EngineStats) {
+    analyse_gc_worklist_parallel::<KCallCtx<K>, KStore, _>(program, threads)
+}
+
+/// [`analyse_mono_direct`] solved by the sharded parallel driver.
+pub fn analyse_mono_parallel(program: &CExp, threads: usize) -> (MonoShared, EngineStats) {
+    analyse_worklist_parallel::<MonoCtx, BasicStore<MonoAddr, Val<MonoAddr>>, _>(program, threads)
+}
+
+/// [`analyse_kcfa_with_count_direct`] solved by the sharded parallel
+/// driver.
+pub fn analyse_kcfa_with_count_parallel<const K: usize>(
+    program: &CExp,
+    threads: usize,
+) -> (KCfaCounting<K>, EngineStats) {
+    analyse_worklist_parallel::<KCallCtx<K>, KCountingStore, _>(program, threads)
 }
 
 /// How many distinct environments the states of a shared-store fixpoint

@@ -115,16 +115,32 @@ pub fn kcfa_worst_case(n: usize) -> CExp {
     kcfa_worst_case_scaled(n, 1)
 }
 
-/// The k-CFA worst case with a *scale knob*: `width` chooser rounds per
-/// level instead of one, so the state count, the call-site count and the
-/// environment depth all grow as `n × width` while the shape of the
-/// workload (one shared two-continuation function whose every level can
-/// observe the bindings of every enclosing level) stays the paradox's.
+/// The k-CFA worst case with a *scale knob*: `width` independent **lanes**
+/// of the depth-`n` paradox, all abstractly live at the same time.
 ///
-/// `kcfa_worst_case_scaled(n, 1)` is byte-for-byte [`kcfa_worst_case`]`(n)`;
-/// larger widths make the wall-clock of the fixpoint engines visible at the
-/// depths (n = 3..6) the E10 experiment sweeps, without changing what the
-/// benchmark measures.
+/// Each lane is a full copy of the classic cascade (with lane-local
+/// variable names and fresh labels), wrapped as `λ (chᵢ) ⟨cascade over
+/// chᵢ⟩`.  The lanes are then merged into **one** abstract address by a
+/// two-stage relay —
+///
+/// ```text
+/// merge = λ (x k). (k x)          ; entered from exactly one call site…
+/// pump  = λ (y j). (merge y j)    ; …this one, whatever fed the pump
+/// ```
+///
+/// — so after the `width` seeding calls `(pump laneᵢ …)` the single 1-CFA
+/// address of `x` holds *every* lane, and the final dispatch `(r chooser)`
+/// fans out to all of them at once.  From that round on, all `width`
+/// cascades advance simultaneously and independently (lane-local names and
+/// labels keep their stores disjoint), so the abstract transition graph is
+/// `width` lanes wide instead of `width` times longer: total state count
+/// and call-site count still grow as `n × width`, but the *frontier* of
+/// the fixpoint engines now carries `≈ width` states per round.  This is
+/// what makes the family both the E10/E11 wall-clock workload and the E12
+/// parallel-scaling workload — a sharded driver has `width`-way work every
+/// round, while a chain-shaped scale knob would leave nothing to shard.
+///
+/// `kcfa_worst_case_scaled(n, 1)` is byte-for-byte [`kcfa_worst_case`]`(n)`.
 pub fn kcfa_worst_case_scaled(n: usize, width: usize) -> CExp {
     let mut b = ProgramBuilder::new();
     // The shared function: takes a value and a continuation, calls the
@@ -133,20 +149,15 @@ pub fn kcfa_worst_case_scaled(n: usize, width: usize) -> CExp {
     //
     //   chooser = λ (p k). (k p)
     //
-    // and each level i (at each width step j) does:
-    //   (chooser f_i  (λ (c_i) (chooser g_i (λ (d_i) <next level>))))
+    // and each level i of a lane does:
+    //   (ch f_i  (λ (c_i) (ch g_i (λ (d_i) <next level>))))
     // where f_i / g_i are distinct lambdas closing over earlier c/d's.
-    let mut body = b.exit();
-    for i in (0..n).rev() {
-        for j in (0..width).rev() {
-            // Width 1 reproduces the classic generator's variable names (and
-            // therefore its exact program text); wider programs tag the
-            // width step into the name.
-            let (c, d) = if width == 1 {
-                (format!("c{i}"), format!("d{i}"))
-            } else {
-                (format!("c{i}w{j}"), format!("d{i}w{j}"))
-            };
+    if width <= 1 {
+        // The classic single-lane paradox, byte-for-byte.
+        let mut body = b.exit();
+        for i in (0..n).rev() {
+            let c = format!("c{i}");
+            let d = format!("d{i}");
             // g closes over c to keep earlier bindings live.
             let g_body = b.call(b.var(c.as_str()), vec![b.var("w")]);
             let g = b.lam(&["w"], g_body);
@@ -157,11 +168,64 @@ pub fn kcfa_worst_case_scaled(n: usize, width: usize) -> CExp {
             let outer_cont = b.lam(&[c.as_str()], inner_call);
             body = b.call(b.var("chooser"), vec![f, outer_cont]);
         }
+        let kp = b.call(b.var("k"), vec![b.var("p")]);
+        let chooser = b.lam(&["p", "k"], kp);
+        let top = b.lam(&["chooser"], body);
+        return b.call(top, vec![chooser]);
     }
+
+    // One classic cascade per lane, over lane-local names (`l3c0`, `l3d0`,
+    // …) so the lanes' store footprints are disjoint under every context.
+    let lanes: Vec<AExp> = (0..width)
+        .map(|l| {
+            let ch = format!("ch{l}");
+            let mut body = b.exit();
+            for i in (0..n).rev() {
+                let c = format!("l{l}c{i}");
+                let d = format!("l{l}d{i}");
+                let w = format!("l{l}w{i}");
+                let z = format!("l{l}z{i}");
+                let g_body = b.call(b.var(c.as_str()), vec![b.var(w.as_str())]);
+                let g = b.lam(&[w.as_str()], g_body);
+                let inner_cont = b.lam(&[d.as_str()], body);
+                let inner_call = b.call(b.var(ch.as_str()), vec![g, inner_cont]);
+                let f_inner = b.exit();
+                let f = b.lam(&[z.as_str()], f_inner);
+                let outer_cont = b.lam(&[c.as_str()], inner_call);
+                body = b.call(b.var(ch.as_str()), vec![f, outer_cont]);
+            }
+            b.lam(&[ch.as_str()], body)
+        })
+        .collect();
+
+    // Seeding, inside out: the last pumped continuation dispatches the
+    // merged lane set; every earlier one pumps the next lane.
+    //
+    //   (pump lane₀ (λ (r0) (pump lane₁ (λ (r1) … (λ (r_last) (r_last
+    //   chooser))))))
+    let r_last = format!("r{}", width - 1);
+    let dispatch = b.call(b.var(r_last.as_str()), vec![b.var("chooser")]);
+    let mut cont = b.lam(&[r_last.as_str()], dispatch);
+    let mut seed = b.call(b.var("pump"), vec![lanes[width - 1].clone(), cont]);
+    for l in (0..width - 1).rev() {
+        let r = format!("r{l}");
+        cont = b.lam(&[r.as_str()], seed);
+        seed = b.call(b.var("pump"), vec![lanes[l].clone(), cont]);
+    }
+
+    // merge is entered from exactly one call site (inside pump), so under
+    // 1-CFA — and any coarser context — `x` is a single address that
+    // accumulates every pumped lane.
+    let kx = b.call(b.var("k"), vec![b.var("x")]);
+    let merge = b.lam(&["x", "k"], kx);
+    let merge_call = b.call(b.var("merge"), vec![b.var("y"), b.var("j")]);
+    let pump = b.lam(&["y", "j"], merge_call);
     let kp = b.call(b.var("k"), vec![b.var("p")]);
     let chooser = b.lam(&["p", "k"], kp);
-    let top = b.lam(&["chooser"], body);
-    b.call(top, vec![chooser])
+
+    let with_pump = b.call(b.lam(&["pump"], seed), vec![pump]);
+    let with_merge = b.call(b.lam(&["merge"], with_pump), vec![merge]);
+    b.call(b.lam(&["chooser"], with_merge), vec![chooser])
 }
 
 /// A program that creates a long chain of bindings of which only the most

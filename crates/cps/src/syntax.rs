@@ -6,7 +6,7 @@
 //! function to atomic arguments), plus a distinguished `exit` call.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use mai_core::name::{Label, Name};
 
@@ -24,7 +24,7 @@ pub struct Lambda {
     /// The formal parameters.
     params: Vec<Var>,
     /// The body — always a call site in CPS.
-    body: Rc<CExp>,
+    body: Arc<CExp>,
     /// The lazily computed free variables, shared by every clone of this
     /// abstraction.  Free-variable sets drive the `Touches` instances (and
     /// through them abstract GC and the engines' read-dependency sets), so
@@ -76,7 +76,7 @@ impl Lambda {
     pub fn new(params: Vec<Var>, body: CExp) -> Self {
         Lambda {
             params,
-            body: Rc::new(body),
+            body: Arc::new(body),
             free: std::sync::Arc::new(std::sync::OnceLock::new()),
         }
     }
@@ -87,7 +87,7 @@ impl Lambda {
     }
 
     /// The body — always a call site in CPS.
-    pub fn body(&self) -> &Rc<CExp> {
+    pub fn body(&self) -> &Arc<CExp> {
         &self.body
     }
 

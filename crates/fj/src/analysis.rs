@@ -13,9 +13,9 @@ use std::collections::{BTreeMap, BTreeSet};
 use mai_core::addr::{Context, NamedAddress};
 use mai_core::collect::{run_analysis, with_gc, Collecting, PerStateDomain, SharedStoreDomain};
 use mai_core::engine::{
-    explore_worklist_direct_stats, explore_worklist_rescan_stats, explore_worklist_stats,
-    explore_worklist_structural_stats, with_state_gc, DirectCollecting, EngineStats,
-    FrontierCollecting,
+    explore_worklist_direct_stats, explore_worklist_parallel_stats, explore_worklist_rescan_stats,
+    explore_worklist_stats, explore_worklist_structural_stats, with_state_gc, DirectCollecting,
+    EngineStats, FrontierCollecting, ParallelCollecting,
 };
 use mai_core::gc::{reachable, GcStrategy, Touches};
 use mai_core::monad::{
@@ -229,6 +229,48 @@ where
     )
 }
 
+/// Like [`analyse_worklist_direct`], but solved by the **sharded parallel
+/// driver** ([`mai_core::engine::parallel`]) on `threads` worker threads:
+/// the frontier is sharded across workers (work-stealing by `StateId`
+/// ranges), each worker steps against a snapshot of the global store —
+/// sharing one class table — and per-shard deltas are joined at a sync
+/// barrier each round.  Byte-identical fixpoint — and identical
+/// deterministic work counters — to [`analyse_worklist_direct`] at every
+/// thread count; the sequential direct engine remains the determinism
+/// oracle.
+pub fn analyse_worklist_parallel<C, S, Fp>(program: &Program, threads: usize) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: ParallelCollecting<PState<C::Addr>, C, S>,
+{
+    let table = program.table.clone();
+    explore_worklist_parallel_stats(
+        move |ps, ctx, store| crate::direct::mnext_direct::<C, S>(&table, ps, ctx, store),
+        PState::inject(program.main.clone()),
+        threads,
+    )
+}
+
+/// Like [`analyse_with_gc_worklist_direct`], but solved by the sharded
+/// parallel driver (abstract GC as the per-branch [`with_state_gc`] store
+/// restriction, inside each worker).
+pub fn analyse_with_gc_parallel<C, S, Fp>(program: &Program, threads: usize) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: ParallelCollecting<PState<C::Addr>, C, S>,
+{
+    let table = program.table.clone();
+    explore_worklist_parallel_stats(
+        with_state_gc(move |ps, ctx, store| {
+            crate::direct::mnext_direct::<C, S>(&table, ps, ctx, store)
+        }),
+        PState::inject(program.main.clone()),
+        threads,
+    )
+}
+
 /// Like [`analyse_worklist`], but solved by the PR-2 *structural-key*
 /// incremental engine (states as `BTreeMap` keys instead of interned ids) —
 /// a differential-testing oracle and the E10 benchmark baseline.
@@ -422,6 +464,21 @@ pub fn analyse_kcfa_with_count_direct<const K: usize>(
 /// [`analyse_mono_worklist`] on the direct-style carrier.
 pub fn analyse_mono_direct(program: &Program) -> (MonoFjShared, EngineStats) {
     analyse_worklist_direct::<MonoCtx, BasicStore<MonoAddr, Storable<MonoAddr>>, _>(program)
+}
+
+/// [`analyse_kcfa_shared_direct`] solved by the sharded parallel driver.
+pub fn analyse_kcfa_shared_parallel<const K: usize>(
+    program: &Program,
+    threads: usize,
+) -> (KFjShared<K>, EngineStats) {
+    analyse_worklist_parallel::<KCallCtx<K>, KFjStore, _>(program, threads)
+}
+
+/// [`analyse_mono_direct`] solved by the sharded parallel driver.
+pub fn analyse_mono_parallel(program: &Program, threads: usize) -> (MonoFjShared, EngineStats) {
+    analyse_worklist_parallel::<MonoCtx, BasicStore<MonoAddr, Storable<MonoAddr>>, _>(
+        program, threads,
+    )
 }
 
 /// [`analyse_mono`] solved by the worklist engine.

@@ -9,7 +9,7 @@
 //! the differential-testing oracle.
 
 use std::collections::BTreeSet;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use mai_core::addr::{Address, Context};
 use mai_core::name::Label;
@@ -56,7 +56,7 @@ fn push_frame<C, S>(
     site: Label,
     kind: KontKind,
     frame: Kont<C::Addr>,
-    next_control: Rc<Expr>,
+    next_control: Arc<Expr>,
     env: Env<C::Addr>,
     ctx: C,
     mut store: S,
@@ -181,7 +181,7 @@ where
         env.insert(name, addr.clone());
         store.bind_in_place(addr, [Storable::Val(value)].into_iter().collect());
     }
-    let body = Rc::new(decl.body.clone());
+    let body = Arc::new(decl.body.clone());
     (
         (
             PState {
@@ -289,7 +289,7 @@ where
                                 env: env.clone(),
                                 next: kont,
                             },
-                            Rc::new(first.clone()),
+                            Arc::new(first.clone()),
                             env,
                             ctx,
                             store,
@@ -396,7 +396,7 @@ where
                                     env: env.clone(),
                                     next,
                                 },
-                                Rc::new(first.clone()),
+                                Arc::new(first.clone()),
                                 env,
                                 ctx.clone(),
                                 store.clone(),
@@ -435,7 +435,7 @@ where
                                         env: env.clone(),
                                         next,
                                     },
-                                    Rc::new(first.clone()),
+                                    Arc::new(first.clone()),
                                     env,
                                     ctx.clone(),
                                     store.clone(),
@@ -472,7 +472,7 @@ where
                                         env: env.clone(),
                                         next,
                                     },
-                                    Rc::new(first.clone()),
+                                    Arc::new(first.clone()),
                                     env,
                                     ctx.clone(),
                                     store.clone(),

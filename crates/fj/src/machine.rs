@@ -9,7 +9,7 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use mai_core::addr::Address;
 use mai_core::engine::StateRoots;
@@ -223,7 +223,7 @@ impl<A: Address> Touches<A> for Storable<A> {
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Control<A> {
     /// Evaluating an expression.
-    Eval(Rc<Expr>),
+    Eval(Arc<Expr>),
     /// Returning an object to the continuation.
     Value(Obj<A>),
     /// The machine has halted with this object.
@@ -259,7 +259,7 @@ impl<A> PState<A> {
     /// The initial state of a program's `main` expression.
     pub fn inject(main: Expr) -> Self {
         PState {
-            control: Control::Eval(Rc::new(main)),
+            control: Control::Eval(Arc::new(main)),
             env: Env::new(),
             kont: None,
         }
@@ -421,7 +421,7 @@ fn push_frame_and_eval<M, A>(
     site: Label,
     kind: KontKind,
     frame: Kont<A>,
-    next_control: Rc<Expr>,
+    next_control: Arc<Expr>,
     env: Env<A>,
 ) -> M::M<PState<A>>
 where
@@ -443,7 +443,7 @@ where
     })
 }
 
-fn step_eval<M, A>(table: &ClassTable, expr: Rc<Expr>, ps: PState<A>) -> M::M<PState<A>>
+fn step_eval<M, A>(table: &ClassTable, expr: Arc<Expr>, ps: PState<A>) -> M::M<PState<A>>
 where
     M: FjInterface<A>,
     A: Address,
@@ -508,7 +508,7 @@ where
                         env: env.clone(),
                         next: kont,
                     },
-                    Rc::new(first.clone()),
+                    Arc::new(first.clone()),
                     env,
                 ),
             }
@@ -614,7 +614,7 @@ where
     let param_names: Vec<Name> = std::iter::once(this_var())
         .chain(decl.params.iter().map(|(_, n)| n.clone()))
         .collect();
-    let body = Rc::new(decl.body.clone());
+    let body = Arc::new(decl.body.clone());
     M::bind(M::tick(site), move |_| {
         let param_names = param_names.clone();
         let body = body.clone();
@@ -708,7 +708,7 @@ where
                                 env: env.clone(),
                                 next,
                             },
-                            Rc::new(first.clone()),
+                            Arc::new(first.clone()),
                             env,
                         ),
                     },
@@ -736,7 +736,7 @@ where
                                     env: env.clone(),
                                     next,
                                 },
-                                Rc::new(first.clone()),
+                                Arc::new(first.clone()),
                                 env,
                             ),
                         }
@@ -763,7 +763,7 @@ where
                                     env: env.clone(),
                                     next,
                                 },
-                                Rc::new(first.clone()),
+                                Arc::new(first.clone()),
                                 env,
                             ),
                         }

@@ -10,7 +10,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use mai_core::name::{Label, LabelSupply, Name};
 
@@ -46,7 +46,7 @@ pub enum Expr {
         /// The program-point label.
         label: Label,
         /// The receiver expression.
-        object: Rc<Expr>,
+        object: Arc<Expr>,
         /// The accessed field.
         field: FieldName,
     },
@@ -55,7 +55,7 @@ pub enum Expr {
         /// The program-point label.
         label: Label,
         /// The receiver expression.
-        object: Rc<Expr>,
+        object: Arc<Expr>,
         /// The invoked method.
         method: MethodName,
         /// The argument expressions.
@@ -78,7 +78,7 @@ pub enum Expr {
         /// The target class.
         class: ClassName,
         /// The cast expression.
-        object: Rc<Expr>,
+        object: Arc<Expr>,
     },
 }
 
@@ -406,7 +406,7 @@ impl ExprBuilder {
     pub fn field(&mut self, object: Expr, field: &str) -> Expr {
         Expr::FieldAccess {
             label: self.labels.fresh(),
-            object: Rc::new(object),
+            object: Arc::new(object),
             field: Name::from(field),
         }
     }
@@ -415,7 +415,7 @@ impl ExprBuilder {
     pub fn call(&mut self, object: Expr, method: &str, args: Vec<Expr>) -> Expr {
         Expr::MethodCall {
             label: self.labels.fresh(),
-            object: Rc::new(object),
+            object: Arc::new(object),
             method: Name::from(method),
             args,
         }
@@ -435,7 +435,7 @@ impl ExprBuilder {
         Expr::Cast {
             label: self.labels.fresh(),
             class: Name::from(class),
-            object: Rc::new(object),
+            object: Arc::new(object),
         }
     }
 }

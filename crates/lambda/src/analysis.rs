@@ -11,9 +11,9 @@ use std::collections::BTreeSet;
 use mai_core::addr::{Context, NamedAddress};
 use mai_core::collect::{run_analysis, with_gc, Collecting, PerStateDomain, SharedStoreDomain};
 use mai_core::engine::{
-    explore_worklist_direct_stats, explore_worklist_rescan_stats, explore_worklist_stats,
-    explore_worklist_structural_stats, with_state_gc, DirectCollecting, EngineStats,
-    FrontierCollecting,
+    explore_worklist_direct_stats, explore_worklist_parallel_stats, explore_worklist_rescan_stats,
+    explore_worklist_stats, explore_worklist_structural_stats, with_state_gc, DirectCollecting,
+    EngineStats, FrontierCollecting, ParallelCollecting,
 };
 use mai_core::gc::Touches;
 use mai_core::gc::{reachable, GcStrategy};
@@ -210,6 +210,43 @@ where
     )
 }
 
+/// Like [`analyse_worklist_direct`], but solved by the **sharded parallel
+/// driver** ([`mai_core::engine::parallel`]) on `threads` worker threads:
+/// the frontier is sharded across workers (work-stealing by `StateId`
+/// ranges), each worker steps against a snapshot of the global store, and
+/// per-shard deltas are joined at a sync barrier each round.  Byte-identical
+/// fixpoint — and identical deterministic work counters — to
+/// [`analyse_worklist_direct`] at every thread count; the sequential direct
+/// engine remains the determinism oracle.
+pub fn analyse_worklist_parallel<C, S, Fp>(term: &Term, threads: usize) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: ParallelCollecting<PState<C::Addr>, C, S>,
+{
+    explore_worklist_parallel_stats(
+        crate::direct::mnext_direct::<C, S>,
+        PState::inject(term.clone()),
+        threads,
+    )
+}
+
+/// Like [`analyse_with_gc_worklist_direct`], but solved by the sharded
+/// parallel driver (abstract GC as the per-branch [`with_state_gc`] store
+/// restriction, inside each worker).
+pub fn analyse_with_gc_parallel<C, S, Fp>(term: &Term, threads: usize) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: ParallelCollecting<PState<C::Addr>, C, S>,
+{
+    explore_worklist_parallel_stats(
+        with_state_gc(crate::direct::mnext_direct::<C, S>),
+        PState::inject(term.clone()),
+        threads,
+    )
+}
+
 /// Like [`analyse_worklist`], but solved by the PR-2 *structural-key*
 /// incremental engine (states as `BTreeMap` keys instead of interned ids) —
 /// a differential-testing oracle and the E10 benchmark baseline.
@@ -400,6 +437,39 @@ pub fn analyse_kcfa_with_count_direct<const K: usize>(
     EngineStats,
 ) {
     analyse_worklist_direct::<KCallCtx<K>, KCeskCountingStore, _>(term)
+}
+
+/// [`analyse_kcfa_shared_direct`] solved by the sharded parallel driver.
+pub fn analyse_kcfa_shared_parallel<const K: usize>(
+    term: &Term,
+    threads: usize,
+) -> (KCeskShared<K>, EngineStats) {
+    analyse_worklist_parallel::<KCallCtx<K>, KCeskStore, _>(term, threads)
+}
+
+/// [`analyse_kcfa_shared_gc_direct`] solved by the sharded parallel driver.
+pub fn analyse_kcfa_shared_gc_parallel<const K: usize>(
+    term: &Term,
+    threads: usize,
+) -> (KCeskShared<K>, EngineStats) {
+    analyse_with_gc_parallel::<KCallCtx<K>, KCeskStore, _>(term, threads)
+}
+
+/// [`analyse_mono_direct`] solved by the sharded parallel driver.
+pub fn analyse_mono_parallel(term: &Term, threads: usize) -> (MonoCeskShared, EngineStats) {
+    analyse_worklist_parallel::<MonoCtx, BasicStore<MonoAddr, Storable<MonoAddr>>, _>(term, threads)
+}
+
+/// [`analyse_kcfa_with_count_direct`] solved by the sharded parallel
+/// driver.
+pub fn analyse_kcfa_with_count_parallel<const K: usize>(
+    term: &Term,
+    threads: usize,
+) -> (
+    SharedStoreDomain<PState<KCallAddr>, KCallCtx<K>, KCeskCountingStore>,
+    EngineStats,
+) {
+    analyse_worklist_parallel::<KCallCtx<K>, KCeskCountingStore, _>(term, threads)
 }
 
 /// Which λ-abstraction parameters each variable may be bound to, extracted

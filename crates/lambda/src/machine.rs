@@ -10,7 +10,7 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use mai_core::addr::Address;
 use mai_core::engine::StateRoots;
@@ -37,7 +37,7 @@ pub struct Closure<A> {
     /// The formal parameter.
     pub param: Var,
     /// The body.
-    pub body: Rc<Term>,
+    pub body: Arc<Term>,
     /// The captured environment.
     pub env: Env<A>,
 }
@@ -66,7 +66,7 @@ pub enum Kont<A> {
         /// The label of the application this frame belongs to.
         site: Label,
         /// The argument term still to be evaluated.
-        arg: Rc<Term>,
+        arg: Arc<Term>,
         /// The environment in which to evaluate it.
         env: Env<A>,
         /// The rest of the continuation.
@@ -88,7 +88,7 @@ pub enum Kont<A> {
         /// The bound variable.
         name: Var,
         /// The body of the `let`.
-        body: Rc<Term>,
+        body: Arc<Term>,
         /// The environment of the `let`.
         env: Env<A>,
         /// The rest of the continuation.
@@ -190,7 +190,7 @@ impl<A: Address> Touches<A> for Storable<A> {
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Control<A> {
     /// Evaluating a term.
-    Eval(Rc<Term>),
+    Eval(Arc<Term>),
     /// Returning a value to the continuation.
     Value(Closure<A>),
     /// The machine has halted with this value.
@@ -225,7 +225,7 @@ impl<A> PState<A> {
     /// with the halt continuation.
     pub fn inject(term: Term) -> Self {
         PState {
-            control: Control::Eval(Rc::new(term)),
+            control: Control::Eval(Arc::new(term)),
             env: Env::new(),
             kont: None,
         }
@@ -356,7 +356,7 @@ where
     }
 }
 
-fn step_eval<M, A>(term: Rc<Term>, ps: PState<A>) -> M::M<PState<A>>
+fn step_eval<M, A>(term: Arc<Term>, ps: PState<A>) -> M::M<PState<A>>
 where
     M: CeskInterface<A>,
     A: Address,
@@ -549,7 +549,7 @@ mod tests {
         let body = Term::app(Label::new(1), Term::var("f"), Term::var("x"));
         let clo: Closure<u32> = Closure {
             param: Name::from("x"),
-            body: Rc::new(body),
+            body: Arc::new(body),
             env: [(Name::from("f"), 7u32), (Name::from("x"), 8)]
                 .into_iter()
                 .collect(),
@@ -561,7 +561,7 @@ mod tests {
     fn kont_touches_include_the_rest_of_the_stack() {
         let clo: Closure<u32> = Closure {
             param: Name::from("x"),
-            body: Rc::new(Term::var("x")),
+            body: Arc::new(Term::var("x")),
             env: Env::new(),
         };
         let k: Kont<u32> = Kont::Fn {
@@ -575,7 +575,7 @@ mod tests {
     #[test]
     fn state_touches_include_the_continuation_pointer() {
         let ps: PState<u32> = PState {
-            control: Control::Eval(Rc::new(Term::var("y"))),
+            control: Control::Eval(Arc::new(Term::var("y"))),
             env: [(Name::from("y"), 3u32)].into_iter().collect(),
             kont: Some(9),
         };
@@ -586,7 +586,7 @@ mod tests {
     fn storable_projections_are_exclusive() {
         let clo: Closure<u32> = Closure {
             param: Name::from("x"),
-            body: Rc::new(Term::var("x")),
+            body: Arc::new(Term::var("x")),
             env: Env::new(),
         };
         let v = Storable::Val(clo.clone());

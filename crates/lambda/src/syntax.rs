@@ -7,7 +7,7 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use mai_core::name::{Label, LabelSupply, Name};
 
@@ -24,16 +24,16 @@ pub enum Term {
         /// The formal parameter.
         param: Var,
         /// The body.
-        body: Rc<Term>,
+        body: Arc<Term>,
     },
     /// An application `(e₀ e₁)`, labelled as a program point.
     App {
         /// The program-point label of this application.
         label: Label,
         /// The operator.
-        func: Rc<Term>,
+        func: Arc<Term>,
         /// The operand.
-        arg: Rc<Term>,
+        arg: Arc<Term>,
     },
     /// A `let`-binding `(let (x e₁) e₂)`, labelled as a program point.
     ///
@@ -46,9 +46,9 @@ pub enum Term {
         /// The bound variable.
         name: Var,
         /// The bound term.
-        rhs: Rc<Term>,
+        rhs: Arc<Term>,
         /// The body.
-        body: Rc<Term>,
+        body: Arc<Term>,
     },
 }
 
@@ -62,7 +62,7 @@ impl Term {
     pub fn lam(param: impl Into<Name>, body: Term) -> Self {
         Term::Lam {
             param: param.into(),
-            body: Rc::new(body),
+            body: Arc::new(body),
         }
     }
 
@@ -75,8 +75,8 @@ impl Term {
     pub fn app(label: Label, func: Term, arg: Term) -> Self {
         Term::App {
             label,
-            func: Rc::new(func),
-            arg: Rc::new(arg),
+            func: Arc::new(func),
+            arg: Arc::new(arg),
         }
     }
 
@@ -85,8 +85,8 @@ impl Term {
         Term::Let {
             label,
             name: name.into(),
-            rhs: Rc::new(rhs),
-            body: Rc::new(body),
+            rhs: Arc::new(rhs),
+            body: Arc::new(body),
         }
     }
 

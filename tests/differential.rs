@@ -14,9 +14,16 @@
 //! * the PR-3 id-indexed engine on the `Rc`-closure carrier
 //!   (`analyse_*_worklist`),
 //! * the id-indexed engine on the direct-style carrier
-//!   (`analyse_*_direct`, this PR).
+//!   (`analyse_*_direct`),
+//! * the sharded parallel driver (`analyse_*_parallel`, this PR), run at
+//!   1, 2 and 4 worker threads.
 //!
-//! All five must produce bit-identical fixpoints.  Two drivers run the
+//! All five sequential solvers must produce bit-identical fixpoints, and
+//! the parallel driver must additionally reproduce the sequential direct
+//! engine's *deterministic work counters* (steps, joins, rounds,
+//! widenings, re-enqueues, intern traffic) at every thread count — only
+//! its timing gauges (`steal_events`, `shard_imbalance`) and the
+//! fold-order-dependent `store_bytes_shared` sample may vary.  Two drivers run the
 //! suite: a `proptest!` block (deterministic fixed-seed stub; case count
 //! pinned in CI via `PROPTEST_CASES`) covering the 1CFA shared-store
 //! configuration on every case, and an explicit list of **committed
@@ -26,6 +33,7 @@
 
 use std::collections::BTreeSet;
 
+use mai_core::engine::EngineStats;
 use mai_core::store::{BasicStore, CountingStore};
 use mai_core::{KCallAddr, KCallCtx, MonoAddr, MonoCtx};
 use mai_lambda::syntax::TermBuilder;
@@ -122,6 +130,43 @@ fn term_from_seed(seed: u64) -> Term {
 // The per-configuration engine pentagon
 // ---------------------------------------------------------------------------
 
+/// The thread counts every parallel differential run is replayed at.
+const PARALLEL_THREADS: [usize; 3] = [1, 2, 4];
+
+/// Asserts that a parallel run reproduced the sequential direct engine's
+/// deterministic work counters (the timing gauges `steal_events` /
+/// `shard_imbalance` and the fold-order-dependent `store_bytes_shared`
+/// sample are exempt by design; `sync_rounds` must equal the parallel
+/// run's own round count).
+fn assert_parallel_counters(label: &str, threads: usize, seq: &EngineStats, par: &EngineStats) {
+    let ctx = format!("{label} at {threads} threads");
+    assert_eq!(par.iterations, seq.iterations, "{ctx}: iterations");
+    assert_eq!(
+        par.states_stepped, seq.states_stepped,
+        "{ctx}: states_stepped"
+    );
+    assert_eq!(par.cache_hits, seq.cache_hits, "{ctx}: cache_hits");
+    assert_eq!(par.reenqueued, seq.reenqueued, "{ctx}: reenqueued");
+    assert_eq!(
+        par.store_widenings, seq.store_widenings,
+        "{ctx}: store_widenings"
+    );
+    assert_eq!(par.store_joins, seq.store_joins, "{ctx}: store_joins");
+    assert_eq!(
+        par.rebuild_rounds, seq.rebuild_rounds,
+        "{ctx}: rebuild_rounds"
+    );
+    assert_eq!(par.peak_frontier, seq.peak_frontier, "{ctx}: peak_frontier");
+    assert_eq!(par.intern_hits, seq.intern_hits, "{ctx}: intern_hits");
+    assert_eq!(par.intern_misses, seq.intern_misses, "{ctx}: intern_misses");
+    assert_eq!(
+        par.distinct_states, seq.distinct_states,
+        "{ctx}: distinct_states"
+    );
+    assert_eq!(par.spine_clones, seq.spine_clones, "{ctx}: spine_clones");
+    assert_eq!(par.sync_rounds, par.iterations, "{ctx}: sync_rounds");
+}
+
 /// Solves one CESK configuration with all five engine/carrier combinations
 /// (plus the GC'd variants of each) and asserts them identical.
 fn cesk_pentagon<C, S>(term: &Term)
@@ -139,22 +184,41 @@ where
     let (interned, _): (Dom<C, S>, _) = la::analyse_worklist::<C, S, _>(term);
     let (structural, _): (Dom<C, S>, _) = la::analyse_worklist_structural::<C, S, _>(term);
     let (rescan, _): (Dom<C, S>, _) = la::analyse_worklist_rescan::<C, S, _>(term);
-    let (direct, _): (Dom<C, S>, _) = la::analyse_worklist_direct::<C, S, _>(term);
+    let (direct, direct_stats): (Dom<C, S>, _) = la::analyse_worklist_direct::<C, S, _>(term);
     assert_eq!(interned, kleene, "CESK interned != Kleene");
     assert_eq!(structural, kleene, "CESK structural != Kleene");
     assert_eq!(rescan, kleene, "CESK rescan != Kleene");
     assert_eq!(direct, kleene, "CESK direct != Kleene");
+    for threads in PARALLEL_THREADS {
+        let (parallel, par_stats): (Dom<C, S>, _) =
+            la::analyse_worklist_parallel::<C, S, _>(term, threads);
+        assert_eq!(
+            parallel, kleene,
+            "CESK parallel != Kleene at {threads} threads"
+        );
+        assert_parallel_counters("CESK", threads, &direct_stats, &par_stats);
+    }
 
     let gc_kleene: Dom<C, S> = la::analyse_with_gc::<C, S, _>(term);
     let (gc_interned, _): (Dom<C, S>, _) = la::analyse_with_gc_worklist::<C, S, _>(term);
     let (gc_structural, _): (Dom<C, S>, _) =
         la::analyse_with_gc_worklist_structural::<C, S, _>(term);
     let (gc_rescan, _): (Dom<C, S>, _) = la::analyse_with_gc_worklist_rescan::<C, S, _>(term);
-    let (gc_direct, _): (Dom<C, S>, _) = la::analyse_with_gc_worklist_direct::<C, S, _>(term);
+    let (gc_direct, gc_direct_stats): (Dom<C, S>, _) =
+        la::analyse_with_gc_worklist_direct::<C, S, _>(term);
     assert_eq!(gc_interned, gc_kleene, "CESK gc interned != Kleene");
     assert_eq!(gc_structural, gc_kleene, "CESK gc structural != Kleene");
     assert_eq!(gc_rescan, gc_kleene, "CESK gc rescan != Kleene");
     assert_eq!(gc_direct, gc_kleene, "CESK gc direct != Kleene");
+    for threads in PARALLEL_THREADS {
+        let (gc_parallel, gc_par_stats): (Dom<C, S>, _) =
+            la::analyse_with_gc_parallel::<C, S, _>(term, threads);
+        assert_eq!(
+            gc_parallel, gc_kleene,
+            "CESK gc parallel != Kleene at {threads} threads"
+        );
+        assert_parallel_counters("CESK gc", threads, &gc_direct_stats, &gc_par_stats);
+    }
 }
 
 /// Solves one CPS configuration with all five engine/carrier combinations
@@ -174,21 +238,40 @@ where
     let (interned, _): (Dom<C, S>, _) = ca::analyse_worklist::<C, S, _>(program);
     let (structural, _): (Dom<C, S>, _) = ca::analyse_worklist_structural::<C, S, _>(program);
     let (rescan, _): (Dom<C, S>, _) = ca::analyse_worklist_rescan::<C, S, _>(program);
-    let (direct, _): (Dom<C, S>, _) = ca::analyse_worklist_direct::<C, S, _>(program);
+    let (direct, direct_stats): (Dom<C, S>, _) = ca::analyse_worklist_direct::<C, S, _>(program);
     assert_eq!(interned, kleene, "CPS interned != Kleene");
     assert_eq!(structural, kleene, "CPS structural != Kleene");
     assert_eq!(rescan, kleene, "CPS rescan != Kleene");
     assert_eq!(direct, kleene, "CPS direct != Kleene");
+    for threads in PARALLEL_THREADS {
+        let (parallel, par_stats): (Dom<C, S>, _) =
+            ca::analyse_worklist_parallel::<C, S, _>(program, threads);
+        assert_eq!(
+            parallel, kleene,
+            "CPS parallel != Kleene at {threads} threads"
+        );
+        assert_parallel_counters("CPS", threads, &direct_stats, &par_stats);
+    }
 
     let gc_kleene: Dom<C, S> = ca::analyse_gc::<C, S, _>(program);
     let (gc_interned, _): (Dom<C, S>, _) = ca::analyse_gc_worklist::<C, S, _>(program);
     let (gc_structural, _): (Dom<C, S>, _) = ca::analyse_gc_worklist_structural::<C, S, _>(program);
     let (gc_rescan, _): (Dom<C, S>, _) = ca::analyse_gc_worklist_rescan::<C, S, _>(program);
-    let (gc_direct, _): (Dom<C, S>, _) = ca::analyse_gc_worklist_direct::<C, S, _>(program);
+    let (gc_direct, gc_direct_stats): (Dom<C, S>, _) =
+        ca::analyse_gc_worklist_direct::<C, S, _>(program);
     assert_eq!(gc_interned, gc_kleene, "CPS gc interned != Kleene");
     assert_eq!(gc_structural, gc_kleene, "CPS gc structural != Kleene");
     assert_eq!(gc_rescan, gc_kleene, "CPS gc rescan != Kleene");
     assert_eq!(gc_direct, gc_kleene, "CPS gc direct != Kleene");
+    for threads in PARALLEL_THREADS {
+        let (gc_parallel, gc_par_stats): (Dom<C, S>, _) =
+            ca::analyse_gc_worklist_parallel::<C, S, _>(program, threads);
+        assert_eq!(
+            gc_parallel, gc_kleene,
+            "CPS gc parallel != Kleene at {threads} threads"
+        );
+        assert_parallel_counters("CPS gc", threads, &gc_direct_stats, &gc_par_stats);
+    }
 }
 
 /// The full configuration matrix for one generated term, both languages:
