@@ -14,16 +14,38 @@ use std::time::{Duration, Instant};
 
 use mai_core::collect::explore_fp;
 use mai_core::engine::EngineStats;
+use mai_core::telemetry::TraceBuffer;
 use mai_core::{KCallAddr, KCallCtx, StorePassing};
 use mai_cps::analysis::{
     analyse_kcfa, analyse_kcfa_shared, analyse_kcfa_shared_direct, analyse_kcfa_shared_gc,
-    analyse_kcfa_shared_parallel, analyse_kcfa_shared_rescan, analyse_kcfa_shared_structural,
-    analyse_kcfa_shared_worklist, analyse_mono, distinct_env_count, AnalysisMetrics, KCfaShared,
-    KStore,
+    analyse_kcfa_shared_parallel, analyse_kcfa_shared_parallel_traced, analyse_kcfa_shared_rescan,
+    analyse_kcfa_shared_structural, analyse_kcfa_shared_worklist, analyse_mono, distinct_env_count,
+    AnalysisMetrics, KCfaShared, KStore,
 };
 use mai_cps::syntax::CExp;
 use mai_cps::{mnext, PState};
-use report::{engine_stats_json, Json};
+use report::{engine_stats_json, engine_trace_json, Json};
+
+/// The number of logical CPUs on the reporting host.  Recorded (never
+/// gated) on every report row alongside `wall_ms`, so a wall-clock number
+/// is always read in the context of the machine that produced it.
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The `top_k` of the hot-spot attribution embedded in report rows and
+/// printed by `mai-bench --profile`.
+pub const PROFILE_TOP_K: usize = 8;
+
+/// The two reported-not-gated timing fields every report row carries: the
+/// row's total wall-clock and [`host_cpus`].  `--check-regress` samples
+/// neither — timing is context, not a deterministic baseline.
+fn timing_fields(wall: Duration) -> [(&'static str, Json); 2] {
+    [
+        ("wall_ms", Json::Num(wall.as_secs_f64() * 1e3)),
+        ("host_cpus", Json::Int(host_cpus() as u64)),
+    ]
+}
 
 /// One row of a polyvariance / precision table for a CPS program.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,6 +56,24 @@ pub struct PrecisionRow {
     pub configuration: String,
     /// The measured metrics.
     pub metrics: AnalysisMetrics,
+    /// Wall-clock time of the analysis (reported, never gated).
+    pub wall: Duration,
+}
+
+/// Times one precision configuration for [`polyvariance_rows`] / [`gc_rows`].
+fn timed_precision_row(
+    program: &'static str,
+    configuration: &str,
+    analyse: impl FnOnce() -> AnalysisMetrics,
+) -> PrecisionRow {
+    let start = Instant::now();
+    let metrics = analyse();
+    PrecisionRow {
+        program,
+        configuration: configuration.to_string(),
+        metrics,
+        wall: start.elapsed(),
+    }
 }
 
 impl PrecisionRow {
@@ -55,21 +95,15 @@ impl PrecisionRow {
 /// and 2CFA with a shared store.
 pub fn polyvariance_rows(name: &'static str, program: &CExp) -> Vec<PrecisionRow> {
     vec![
-        PrecisionRow {
-            program: name,
-            configuration: "0CFA".to_string(),
-            metrics: AnalysisMetrics::of_shared(&analyse_mono(program)),
-        },
-        PrecisionRow {
-            program: name,
-            configuration: "1CFA".to_string(),
-            metrics: AnalysisMetrics::of_shared(&analyse_kcfa_shared::<1>(program)),
-        },
-        PrecisionRow {
-            program: name,
-            configuration: "2CFA".to_string(),
-            metrics: AnalysisMetrics::of_shared(&analyse_kcfa_shared::<2>(program)),
-        },
+        timed_precision_row(name, "0CFA", || {
+            AnalysisMetrics::of_shared(&analyse_mono(program))
+        }),
+        timed_precision_row(name, "1CFA", || {
+            AnalysisMetrics::of_shared(&analyse_kcfa_shared::<1>(program))
+        }),
+        timed_precision_row(name, "2CFA", || {
+            AnalysisMetrics::of_shared(&analyse_kcfa_shared::<2>(program))
+        }),
     ]
 }
 
@@ -77,16 +111,12 @@ pub fn polyvariance_rows(name: &'static str, program: &CExp) -> Vec<PrecisionRow
 /// abstract garbage collection.
 pub fn gc_rows(name: &'static str, program: &CExp) -> Vec<PrecisionRow> {
     vec![
-        PrecisionRow {
-            program: name,
-            configuration: "1CFA".to_string(),
-            metrics: AnalysisMetrics::of_shared(&analyse_kcfa_shared::<1>(program)),
-        },
-        PrecisionRow {
-            program: name,
-            configuration: "1CFA+GC".to_string(),
-            metrics: AnalysisMetrics::of_shared(&analyse_kcfa_shared_gc::<1>(program)),
-        },
+        timed_precision_row(name, "1CFA", || {
+            AnalysisMetrics::of_shared(&analyse_kcfa_shared::<1>(program))
+        }),
+        timed_precision_row(name, "1CFA+GC", || {
+            AnalysisMetrics::of_shared(&analyse_kcfa_shared_gc::<1>(program))
+        }),
     ]
 }
 
@@ -183,40 +213,48 @@ pub fn worklist_row(name: &'static str, program: &CExp) -> WorklistRow {
 impl PrecisionRow {
     /// The JSON rendering of the row for `BENCH_report.json`.
     pub fn to_json(&self) -> Json {
-        Json::obj([
-            ("program", Json::Str(self.program.to_string())),
-            ("configuration", Json::Str(self.configuration.clone())),
-            (
-                "distinct_states",
-                Json::Int(self.metrics.distinct_states as u64),
-            ),
-            (
-                "store_bindings",
-                Json::Int(self.metrics.store_bindings as u64),
-            ),
-            ("store_facts", Json::Int(self.metrics.store_facts as u64)),
-            (
-                "singleton_flows",
-                Json::Int(self.metrics.singleton_flows as u64),
-            ),
-        ])
+        Json::obj(
+            [
+                ("program", Json::Str(self.program.to_string())),
+                ("configuration", Json::Str(self.configuration.clone())),
+                (
+                    "distinct_states",
+                    Json::Int(self.metrics.distinct_states as u64),
+                ),
+                (
+                    "store_bindings",
+                    Json::Int(self.metrics.store_bindings as u64),
+                ),
+                ("store_facts", Json::Int(self.metrics.store_facts as u64)),
+                (
+                    "singleton_flows",
+                    Json::Int(self.metrics.singleton_flows as u64),
+                ),
+            ]
+            .into_iter()
+            .chain(timing_fields(self.wall)),
+        )
     }
 }
 
 impl WorklistRow {
     /// The JSON rendering of the row for `BENCH_report.json`.
     pub fn to_json(&self) -> Json {
-        Json::obj([
-            ("program", Json::Str(self.program.to_string())),
-            ("kleene_steps", Json::Int(self.kleene_steps as u64)),
-            ("kleene_ms", Json::Num(self.kleene_time.as_secs_f64() * 1e3)),
-            ("engine", engine_stats_json(&self.stats)),
-            (
-                "worklist_ms",
-                Json::Num(self.worklist_time.as_secs_f64() * 1e3),
-            ),
-            ("equal", Json::Bool(self.equal)),
-        ])
+        Json::obj(
+            [
+                ("program", Json::Str(self.program.to_string())),
+                ("kleene_steps", Json::Int(self.kleene_steps as u64)),
+                ("kleene_ms", Json::Num(self.kleene_time.as_secs_f64() * 1e3)),
+                ("engine", engine_stats_json(&self.stats)),
+                (
+                    "worklist_ms",
+                    Json::Num(self.worklist_time.as_secs_f64() * 1e3),
+                ),
+                ("equal", Json::Bool(self.equal)),
+            ]
+            .into_iter()
+            .chain(timing_fields(self.kleene_time + self.worklist_time)),
+        )
     }
 }
 
@@ -261,18 +299,22 @@ impl IncrementalRow {
 
     /// The JSON rendering of the row for `BENCH_report.json`.
     pub fn to_json(&self) -> Json {
-        Json::obj([
-            ("program", Json::Str(self.program.to_string())),
-            ("configurations", Json::Int(self.configurations as u64)),
-            ("incremental", engine_stats_json(&self.incremental)),
-            (
-                "incremental_ms",
-                Json::Num(self.incremental_time.as_secs_f64() * 1e3),
-            ),
-            ("rescan", engine_stats_json(&self.rescan)),
-            ("rescan_ms", Json::Num(self.rescan_time.as_secs_f64() * 1e3)),
-            ("equal", Json::Bool(self.equal)),
-        ])
+        Json::obj(
+            [
+                ("program", Json::Str(self.program.to_string())),
+                ("configurations", Json::Int(self.configurations as u64)),
+                ("incremental", engine_stats_json(&self.incremental)),
+                (
+                    "incremental_ms",
+                    Json::Num(self.incremental_time.as_secs_f64() * 1e3),
+                ),
+                ("rescan", engine_stats_json(&self.rescan)),
+                ("rescan_ms", Json::Num(self.rescan_time.as_secs_f64() * 1e3)),
+                ("equal", Json::Bool(self.equal)),
+            ]
+            .into_iter()
+            .chain(timing_fields(self.incremental_time + self.rescan_time)),
+        )
     }
 }
 
@@ -338,22 +380,26 @@ impl InternedRow {
 
     /// The JSON rendering of the row for `BENCH_report.json`.
     pub fn to_json(&self) -> Json {
-        Json::obj([
-            ("program", Json::Str(self.program.clone())),
-            ("configurations", Json::Int(self.configurations as u64)),
-            ("interned", engine_stats_json(&self.interned)),
-            (
-                "interned_ms",
-                Json::Num(self.interned_time.as_secs_f64() * 1e3),
-            ),
-            ("structural", engine_stats_json(&self.structural)),
-            (
-                "structural_ms",
-                Json::Num(self.structural_time.as_secs_f64() * 1e3),
-            ),
-            ("speedup", Json::Num(self.speedup())),
-            ("equal", Json::Bool(self.equal)),
-        ])
+        Json::obj(
+            [
+                ("program", Json::Str(self.program.clone())),
+                ("configurations", Json::Int(self.configurations as u64)),
+                ("interned", engine_stats_json(&self.interned)),
+                (
+                    "interned_ms",
+                    Json::Num(self.interned_time.as_secs_f64() * 1e3),
+                ),
+                ("structural", engine_stats_json(&self.structural)),
+                (
+                    "structural_ms",
+                    Json::Num(self.structural_time.as_secs_f64() * 1e3),
+                ),
+                ("speedup", Json::Num(self.speedup())),
+                ("equal", Json::Bool(self.equal)),
+            ]
+            .into_iter()
+            .chain(timing_fields(self.interned_time + self.structural_time)),
+        )
     }
 }
 
@@ -448,16 +494,20 @@ impl DirectRow {
 
     /// The JSON rendering of the row for `BENCH_report.json`.
     pub fn to_json(&self) -> Json {
-        Json::obj([
-            ("program", Json::Str(self.program.clone())),
-            ("configurations", Json::Int(self.configurations as u64)),
-            ("rc", engine_stats_json(&self.rc)),
-            ("rc_ms", Json::Num(self.rc_time.as_secs_f64() * 1e3)),
-            ("direct", engine_stats_json(&self.direct)),
-            ("direct_ms", Json::Num(self.direct_time.as_secs_f64() * 1e3)),
-            ("speedup", Json::Num(self.speedup())),
-            ("equal", Json::Bool(self.equal)),
-        ])
+        Json::obj(
+            [
+                ("program", Json::Str(self.program.clone())),
+                ("configurations", Json::Int(self.configurations as u64)),
+                ("rc", engine_stats_json(&self.rc)),
+                ("rc_ms", Json::Num(self.rc_time.as_secs_f64() * 1e3)),
+                ("direct", engine_stats_json(&self.direct)),
+                ("direct_ms", Json::Num(self.direct_time.as_secs_f64() * 1e3)),
+                ("speedup", Json::Num(self.speedup())),
+                ("equal", Json::Bool(self.equal)),
+            ]
+            .into_iter()
+            .chain(timing_fields(self.rc_time + self.direct_time)),
+        )
     }
 }
 
@@ -555,20 +605,24 @@ impl ParallelRow {
     /// The JSON rendering of the row for `BENCH_report.json` (thread count
     /// recorded so rows at different counts stay distinct baselines).
     pub fn to_json(&self) -> Json {
-        Json::obj([
-            ("program", Json::Str(self.program.clone())),
-            ("threads", Json::Int(self.threads as u64)),
-            ("configurations", Json::Int(self.configurations as u64)),
-            ("direct", engine_stats_json(&self.direct)),
-            ("direct_ms", Json::Num(self.direct_time.as_secs_f64() * 1e3)),
-            ("parallel", engine_stats_json(&self.parallel)),
-            (
-                "parallel_ms",
-                Json::Num(self.parallel_time.as_secs_f64() * 1e3),
-            ),
-            ("speedup", Json::Num(self.speedup())),
-            ("equal", Json::Bool(self.equal)),
-        ])
+        Json::obj(
+            [
+                ("program", Json::Str(self.program.clone())),
+                ("threads", Json::Int(self.threads as u64)),
+                ("configurations", Json::Int(self.configurations as u64)),
+                ("direct", engine_stats_json(&self.direct)),
+                ("direct_ms", Json::Num(self.direct_time.as_secs_f64() * 1e3)),
+                ("parallel", engine_stats_json(&self.parallel)),
+                (
+                    "parallel_ms",
+                    Json::Num(self.parallel_time.as_secs_f64() * 1e3),
+                ),
+                ("speedup", Json::Num(self.speedup())),
+                ("equal", Json::Bool(self.equal)),
+            ]
+            .into_iter()
+            .chain(timing_fields(self.direct_time + self.parallel_time)),
+        )
     }
 }
 
@@ -649,6 +703,120 @@ pub fn incremental_row(name: &'static str, program: &CExp) -> IncrementalRow {
         rescan: rescan_stats,
         rescan_time,
         equal: incremental == rescan,
+    }
+}
+
+/// One row of the E13 telemetry profile: the sharded parallel driver
+/// solved once untraced and once with the [`TraceBuffer`] sink attached,
+/// at the same thread count.  Tracing is pure observation — the traced
+/// solve must reproduce the untraced fixpoint and the *full*
+/// [`EngineStats`] bit-for-bit, which [`telemetry_row`] asserts — and the
+/// trace decomposes the wall-clock into per-round step/join/sync phases
+/// and per-worker busy/barrier-wait spans.
+#[derive(Debug)]
+pub struct TelemetryRow {
+    /// The workload name.
+    pub program: String,
+    /// The worker thread count of both solves.
+    pub threads: usize,
+    /// `(state, guts)` pairs in the fixpoint.
+    pub configurations: usize,
+    /// Work statistics (identical for the traced and untraced solves).
+    pub stats: EngineStats,
+    /// Wall-clock time of the untraced solve.
+    pub untraced_time: Duration,
+    /// Wall-clock time of the traced solve (the difference to
+    /// `untraced_time` is the observation overhead).
+    pub traced_time: Duration,
+    /// The recorded trace.
+    pub trace: TraceBuffer,
+    /// Whether the traced and untraced fixpoints were identical (they
+    /// always must be).
+    pub equal: bool,
+}
+
+impl TelemetryRow {
+    /// Renders the row in the fixed-width format used by the report
+    /// binary: the wall-clock split into the three phases, plus the
+    /// steal traffic the trace attributes.
+    pub fn render(&self) -> String {
+        let totals = self.trace.phase_totals();
+        let ms = |ns: u64| ns as f64 / 1e6;
+        format!(
+            "{:<18} threads={:<2} rounds={:<4} step={:<8.3}ms join={:<8.3}ms sync={:<8.3}ms \
+             steals={:<4} untraced={:<10.2?} traced={:<10.2?} equal={}",
+            self.program,
+            self.threads,
+            self.trace.rounds.len(),
+            ms(totals.step_ns),
+            ms(totals.join_ns),
+            ms(totals.sync_ns),
+            self.trace.steals.len(),
+            self.untraced_time,
+            self.traced_time,
+            self.equal,
+        )
+    }
+
+    /// The JSON rendering of the row for `BENCH_report.json`.  Every
+    /// trace field is reported-only: `--check-regress` gates none of it.
+    pub fn to_json(&self) -> Json {
+        Json::obj(
+            [
+                ("program", Json::Str(self.program.clone())),
+                ("threads", Json::Int(self.threads as u64)),
+                ("configurations", Json::Int(self.configurations as u64)),
+                ("engine", engine_stats_json(&self.stats)),
+                (
+                    "untraced_ms",
+                    Json::Num(self.untraced_time.as_secs_f64() * 1e3),
+                ),
+                ("traced_ms", Json::Num(self.traced_time.as_secs_f64() * 1e3)),
+                ("trace", engine_trace_json(&self.trace, PROFILE_TOP_K)),
+                ("equal", Json::Bool(self.equal)),
+            ]
+            .into_iter()
+            .chain(timing_fields(self.untraced_time + self.traced_time)),
+        )
+    }
+}
+
+/// Runs the E13 profile for one program at one thread count: 1CFA with a
+/// shared store on the sharded parallel driver, untraced and traced.
+/// Panics if tracing perturbs any deterministic work counter — the
+/// telemetry layer's central guarantee.
+pub fn telemetry_row(name: impl Into<String>, program: &CExp, threads: usize) -> TelemetryRow {
+    let name = name.into();
+    let start = Instant::now();
+    let (untraced, untraced_stats) = analyse_kcfa_shared_parallel::<1>(program, threads);
+    let untraced_time = start.elapsed();
+
+    let mut trace = TraceBuffer::new();
+    let start = Instant::now();
+    let (traced, traced_stats) =
+        analyse_kcfa_shared_parallel_traced::<1, _>(program, threads, &mut trace);
+    let traced_time = start.elapsed();
+
+    // `steal_events` is a scheduling gauge, legitimately different between
+    // any two runs (traced or not); every deterministic counter must agree.
+    let normalise = |mut s: EngineStats| {
+        s.steal_events = 0;
+        s
+    };
+    assert_eq!(
+        normalise(untraced_stats),
+        normalise(traced_stats),
+        "{name}@t{threads}: tracing perturbed the engine's work counters"
+    );
+    TelemetryRow {
+        program: name,
+        threads,
+        configurations: traced.len(),
+        stats: traced_stats,
+        untraced_time,
+        traced_time,
+        trace,
+        equal: untraced == traced,
     }
 }
 
@@ -767,6 +935,66 @@ mod tests {
             assert!(json.contains("\"sync_rounds\""));
             assert!(json.contains("\"steal_events\""));
             assert!(json.contains("\"speedup\""));
+        }
+    }
+
+    #[test]
+    fn every_row_kind_reports_wall_ms_and_host_cpus() {
+        let program = mai_cps::programs::kcfa_worst_case_scaled(2, 3);
+        let jsons = vec![
+            polyvariance_rows("kcfa-worst-2w3", &program)[0].to_json(),
+            worklist_row("kcfa-worst-2w3", &program).to_json(),
+            incremental_row("kcfa-worst-2w3", &program).to_json(),
+            interned_row("kcfa-worst-2w3", &program, 1).to_json(),
+            direct_row("kcfa-worst-2w3", &program, 1).to_json(),
+            parallel_row("kcfa-worst-2w3", &program, 2, 1).to_json(),
+            telemetry_row("kcfa-worst-2w3", &program, 2).to_json(),
+        ];
+        for json in jsons {
+            assert!(
+                json.get("wall_ms").and_then(Json::as_f64).is_some(),
+                "row misses wall_ms: {}",
+                json.render()
+            );
+            assert_eq!(
+                json.get("host_cpus").and_then(Json::as_u64),
+                Some(host_cpus() as u64),
+                "row misses host_cpus: {}",
+                json.render()
+            );
+        }
+    }
+
+    #[test]
+    fn telemetry_rows_trace_without_perturbing_the_solve() {
+        let program = mai_cps::programs::kcfa_worst_case_scaled(2, 3);
+        // telemetry_row itself asserts EngineStats equality between the
+        // traced and untraced solves; `equal` covers the fixpoint.
+        let row = telemetry_row("kcfa-worst-2w3", &program, 2);
+        assert!(row.equal, "traced fixpoint differs from untraced");
+        assert_eq!(row.trace.rounds.len(), row.stats.iterations);
+        // Every round stepped something and the worker spans cover every
+        // round (two workers joined per sync round).
+        assert!(row.trace.rounds.iter().all(|r| r.stepped > 0));
+        assert!(!row.trace.workers.is_empty());
+        let processed: usize = row.trace.workers.iter().map(|s| s.processed).sum();
+        assert_eq!(processed, row.stats.states_stepped);
+        // The trace attributes step cost and join traffic to real labels.
+        assert!(!row.trace.top_states(4).is_empty());
+        assert!(!row.trace.top_addresses(4).is_empty());
+        let json = row.to_json().render();
+        assert!(json.contains("\"phase_totals\""));
+        assert!(json.contains("\"hot_states\""));
+        // The Chrome export parses and carries all three phase categories.
+        let chrome = Json::parse(&row.trace.chrome_trace_json()).expect("chrome trace parses");
+        let events = chrome.get("traceEvents").expect("traceEvents").items();
+        for cat in ["step", "join", "worker"] {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.get("cat").and_then(Json::as_str) == Some(cat)),
+                "no {cat} slice in the Chrome export"
+            );
         }
     }
 

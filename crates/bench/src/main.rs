@@ -1,5 +1,5 @@
 //! The experiment report binary: regenerates the qualitative tables listed
-//! in `EXPERIMENTS.md` (E1–E10), prints them to stdout and writes the
+//! in `EXPERIMENTS.md` (E1–E13), prints them to stdout and writes the
 //! machine-readable `BENCH_report.json` next to the current directory so
 //! the performance trajectory is tracked across PRs.
 //!
@@ -10,14 +10,22 @@
 //! and contribution joins per engine and workload), compares them against
 //! the committed `BENCH_report.json`, and exits non-zero if any counter
 //! regressed — the CI gate that keeps the engines from quietly re-doing
-//! work they had stopped doing.
+//! work they had stopped doing.  Timing fields (`wall_ms`, `host_cpus`,
+//! `*_ms`) are recorded on every row but never gated.
+//!
+//! With `--trace-out <path>`, the binary instead solves one parallel kCFA
+//! workload with the tracing sink attached (worker count from `--threads`,
+//! default 2), writes the Chrome trace-event JSON to `<path>` (load it in
+//! Perfetto or `chrome://tracing`), and self-validates the export.  With
+//! `--profile`, it prints the human-readable phase/hot-spot profile of the
+//! same solve.
 
 use std::time::Instant;
 
 use mai_bench::report::Json;
 use mai_bench::{
-    cloning_vs_shared, cps_corpus, direct_row, gc_rows, incremental_row, interned_row,
-    parallel_row, polyvariance_rows, worklist_row, E10_SCALE_WIDTH,
+    cloning_vs_shared, cps_corpus, direct_row, gc_rows, host_cpus, incremental_row, interned_row,
+    parallel_row, polyvariance_rows, telemetry_row, worklist_row, E10_SCALE_WIDTH, PROFILE_TOP_K,
 };
 use mai_core::store::StoreLike;
 use mai_cps::analysis::{analyse_kcfa_shared, analyse_mono};
@@ -225,13 +233,18 @@ fn experiment_interned() -> Vec<Json> {
     rows
 }
 
-/// The value of a `--flag N` style argument, if present.
-fn numeric_arg(flag: &str) -> Option<usize> {
+/// The value of a `--flag value` style argument, if present.
+fn string_arg(flag: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
     args.iter()
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
+        .cloned()
+}
+
+/// The value of a `--flag N` style argument, if present.
+fn numeric_arg(flag: &str) -> Option<usize> {
+    string_arg(flag).and_then(|v| v.parse().ok())
 }
 
 /// The E12 thread sweep: 1 and 2 workers plus the `--threads` top count
@@ -264,8 +277,7 @@ fn e12_workloads() -> Vec<(String, mai_cps::syntax::CExp)> {
 /// rows are not mistaken for a scaling regression.
 fn experiment_parallel() -> Json {
     heading("E12  sharded parallel driver vs. sequential direct engine (1CFA, shared store)");
-    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
-    println!("host cpus: {host_cpus}");
+    println!("host cpus: {}", host_cpus());
     let mut rows = Vec::new();
     for (name, program) in e12_workloads() {
         for threads in e12_thread_counts() {
@@ -275,7 +287,7 @@ fn experiment_parallel() -> Json {
         }
     }
     Json::obj([
-        ("host_cpus", Json::Int(host_cpus as u64)),
+        ("host_cpus", Json::Int(host_cpus() as u64)),
         ("rows", Json::Arr(rows)),
     ])
 }
@@ -298,6 +310,113 @@ fn parallel_smoke() -> std::process::ExitCode {
         std::process::ExitCode::SUCCESS
     } else {
         eprintln!("parallel fixpoint diverged from the sequential direct engine");
+        std::process::ExitCode::FAILURE
+    }
+}
+
+/// The E13 thread sweep: the acceptance thread counts, fixed so the
+/// committed per-round profiles always decompose the same three ladder
+/// rungs (sequential-in-driver, two-way, four-way).
+const E13_THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// E13 — engine telemetry: the sharded parallel driver solved with the
+/// tracing sink attached, on the kCFA lanes family at 1/2/4 workers.
+/// Tracing is pure observation — each row asserts the traced solve
+/// reproduces the untraced fixpoint and work counters bit-for-bit — and
+/// the committed per-round profiles decompose every round's wall-clock
+/// into step, join and sync (barrier/coordination) time, with per-worker
+/// busy/wait spans and the hot-spot attribution.  All of it is
+/// reported-only: `--check-regress` gates nothing in this section.
+fn experiment_telemetry() -> Json {
+    heading("E13  engine telemetry (traced parallel driver, 1CFA, shared store)");
+    println!("host cpus: {}", host_cpus());
+    let mut rows = Vec::new();
+    for (name, program) in e12_workloads() {
+        for threads in E13_THREAD_COUNTS {
+            let row = telemetry_row(name.clone(), &program, threads);
+            println!("{}", row.render());
+            rows.push(row.to_json());
+        }
+    }
+    Json::obj([
+        ("host_cpus", Json::Int(host_cpus() as u64)),
+        ("rows", Json::Arr(rows)),
+    ])
+}
+
+/// The traced workload behind `--trace-out` and `--profile`: one solve of
+/// the E13 acceptance program on the parallel driver at the `--threads`
+/// worker count (default 2 so worker spans and sync phases exist).
+fn traced_acceptance_solve() -> (mai_bench::TelemetryRow, usize) {
+    let threads = numeric_arg("--threads").unwrap_or(2).max(1);
+    let program = kcfa_worst_case_scaled(4, E10_SCALE_WIDTH);
+    (
+        telemetry_row(format!("kcfa-worst-4w{E10_SCALE_WIDTH}"), &program, threads),
+        threads,
+    )
+}
+
+/// The `--trace-out <path>` mode: writes the Chrome trace-event JSON of
+/// one traced parallel solve to `path`, then self-validates the export —
+/// it must parse back and contain at least one slice for each phase
+/// category (`step`, `join`, `sync`) and at least one `worker` span.
+/// Non-zero exit otherwise, so CI can smoke the whole telemetry path.
+fn trace_out(path: &str) -> std::process::ExitCode {
+    let (row, threads) = traced_acceptance_solve();
+    println!("Monadic Abstract Interpreters — Chrome trace export ({threads} threads)");
+    println!("{}", row.render());
+    if !row.equal {
+        eprintln!("traced fixpoint diverged from the untraced parallel solve");
+        return std::process::ExitCode::FAILURE;
+    }
+    let chrome = row.trace.chrome_trace_json();
+    if let Err(err) = std::fs::write(path, &chrome) {
+        eprintln!("failed to write {path}: {err}");
+        return std::process::ExitCode::FAILURE;
+    }
+    let parsed = match Json::parse(&chrome) {
+        Ok(json) => json,
+        Err(err) => {
+            eprintln!("exported trace is not valid JSON: {err}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    let events = parsed.get("traceEvents").map(Json::items).unwrap_or(&[]);
+    let count = |cat: &str| {
+        events
+            .iter()
+            .filter(|e| e.get("cat").and_then(Json::as_str) == Some(cat))
+            .count()
+    };
+    println!(
+        "wrote {path}: {} events (step={} join={} sync={} worker={} steal={})",
+        events.len(),
+        count("step"),
+        count("join"),
+        count("sync"),
+        count("worker"),
+        count("steal"),
+    );
+    for cat in ["step", "join", "sync", "worker"] {
+        if count(cat) == 0 {
+            eprintln!("exported trace has no '{cat}' events");
+            return std::process::ExitCode::FAILURE;
+        }
+    }
+    std::process::ExitCode::SUCCESS
+}
+
+/// The `--profile` mode: prints the human-readable phase split, per-worker
+/// totals and hot-spot attribution of one traced parallel solve.
+fn profile() -> std::process::ExitCode {
+    let (row, threads) = traced_acceptance_solve();
+    println!("Monadic Abstract Interpreters — engine profile ({threads} threads)");
+    println!("{}", row.render());
+    print!("{}", row.trace.profile_summary(PROFILE_TOP_K));
+    if row.equal {
+        std::process::ExitCode::SUCCESS
+    } else {
+        eprintln!("traced fixpoint diverged from the untraced parallel solve");
         std::process::ExitCode::FAILURE
     }
 }
@@ -326,6 +445,78 @@ fn experiment_persistent() -> Vec<Json> {
 /// regresses).
 type CounterSample = (&'static str, String, &'static str, u64);
 
+/// Every deterministic counter path the regression gate samples, by
+/// report section.  Reported-only fields — `wall_ms`, `host_cpus`, the
+/// `*_ms` timings and the whole `e13_engine_telemetry` section — are
+/// deliberately absent: the gate pins *work*, never wall-clock, and a
+/// unit test keeps timing fields from creeping in.
+const GATED_COUNTER_PATHS: &[(&str, &[&str])] = &[
+    (
+        "e8_worklist_vs_kleene",
+        &[
+            "kleene_steps",
+            "engine.states_stepped",
+            "engine.store_joins",
+        ],
+    ),
+    (
+        "e9_incremental_vs_rescan",
+        &[
+            "incremental.states_stepped",
+            "incremental.store_joins",
+            "rescan.states_stepped",
+            "rescan.store_joins",
+        ],
+    ),
+    (
+        "e10_interned_vs_structural",
+        &[
+            "interned.states_stepped",
+            "interned.store_joins",
+            "structural.states_stepped",
+            "structural.store_joins",
+        ],
+    ),
+    (
+        "e11_persistent_vs_interned",
+        &[
+            "direct.states_stepped",
+            "direct.store_joins",
+            "direct.spine_clones",
+            "direct.store_bytes_shared",
+        ],
+    ),
+    (
+        "e12_parallel_vs_direct",
+        &[
+            "parallel.states_stepped",
+            "parallel.store_joins",
+            "parallel.sync_rounds",
+        ],
+    ),
+];
+
+/// The gated counter paths of one section.
+fn section_paths(section: &str) -> &'static [&'static str] {
+    GATED_COUNTER_PATHS
+        .iter()
+        .find(|(s, _)| *s == section)
+        .map(|(_, paths)| *paths)
+        .unwrap_or_else(|| panic!("section {section} has no gated counters"))
+}
+
+/// Samples every gated counter of one freshly measured row, reading the
+/// values out of the row's own JSON rendering — the same representation
+/// `--check-regress` walks in the committed report, so the fresh and
+/// committed sides cannot drift apart.
+fn sample_row(samples: &mut Vec<CounterSample>, section: &'static str, key: String, row: &Json) {
+    for path in section_paths(section) {
+        let value = committed_counter(row, path)
+            .unwrap_or_else(|| panic!("{section}/{key}: fresh row misses gated counter {path}"));
+        samples.push((section, key.clone(), path, value));
+    }
+}
+
 /// Whether a larger fresh value is the good direction for this counter.
 fn higher_is_better(counter: &str) -> bool {
     counter.ends_with("store_bytes_shared")
@@ -352,24 +543,12 @@ fn fresh_counters() -> Vec<CounterSample> {
     for (name, program) in &corpus {
         let row = worklist_row(name, program);
         assert!(row.equal, "{name}: worklist fixpoint differs from Kleene");
-        samples.push((
+        sample_row(
+            &mut samples,
             "e8_worklist_vs_kleene",
             name.to_string(),
-            "kleene_steps",
-            row.kleene_steps as u64,
-        ));
-        samples.push((
-            "e8_worklist_vs_kleene",
-            name.to_string(),
-            "engine.states_stepped",
-            row.stats.states_stepped as u64,
-        ));
-        samples.push((
-            "e8_worklist_vs_kleene",
-            name.to_string(),
-            "engine.store_joins",
-            row.stats.store_joins as u64,
-        ));
+            &row.to_json(),
+        );
     }
     // E9: incremental vs. rescanning counters.
     for (name, program) in &corpus {
@@ -378,30 +557,12 @@ fn fresh_counters() -> Vec<CounterSample> {
             row.equal,
             "{name}: incremental fixpoint differs from rescan"
         );
-        samples.push((
+        sample_row(
+            &mut samples,
             "e9_incremental_vs_rescan",
             name.to_string(),
-            "incremental.states_stepped",
-            row.incremental.states_stepped as u64,
-        ));
-        samples.push((
-            "e9_incremental_vs_rescan",
-            name.to_string(),
-            "incremental.store_joins",
-            row.incremental.store_joins as u64,
-        ));
-        samples.push((
-            "e9_incremental_vs_rescan",
-            name.to_string(),
-            "rescan.states_stepped",
-            row.rescan.states_stepped as u64,
-        ));
-        samples.push((
-            "e9_incremental_vs_rescan",
-            name.to_string(),
-            "rescan.store_joins",
-            row.rescan.store_joins as u64,
-        ));
+            &row.to_json(),
+        );
     }
     // E11: direct-carrier counters (work + structural sharing).  The work
     // counters must also *match* the Rc carrier's — the solver is shared —
@@ -422,30 +583,12 @@ fn fresh_counters() -> Vec<CounterSample> {
             ),
             "{name}: carriers disagree on work counters"
         );
-        samples.push((
-            "e11_persistent_vs_interned",
-            name.clone(),
-            "direct.states_stepped",
-            row.direct.states_stepped as u64,
-        ));
-        samples.push((
-            "e11_persistent_vs_interned",
-            name.clone(),
-            "direct.store_joins",
-            row.direct.store_joins as u64,
-        ));
-        samples.push((
-            "e11_persistent_vs_interned",
-            name.clone(),
-            "direct.spine_clones",
-            row.direct.spine_clones as u64,
-        ));
-        samples.push((
+        sample_row(
+            &mut samples,
             "e11_persistent_vs_interned",
             name,
-            "direct.store_bytes_shared",
-            row.direct.store_bytes_shared as u64,
-        ));
+            &row.to_json(),
+        );
     }
     // E12: parallel-driver deterministic counters.  `parallel_row` itself
     // asserts the work counters match the sequential direct engine; the
@@ -460,25 +603,12 @@ fn fresh_counters() -> Vec<CounterSample> {
                 row.equal,
                 "{name}@t{threads}: parallel fixpoint differs from direct"
             );
-            let key = format!("{name}@t{threads}");
-            samples.push((
+            sample_row(
+                &mut samples,
                 "e12_parallel_vs_direct",
-                key.clone(),
-                "parallel.states_stepped",
-                row.parallel.states_stepped as u64,
-            ));
-            samples.push((
-                "e12_parallel_vs_direct",
-                key.clone(),
-                "parallel.store_joins",
-                row.parallel.store_joins as u64,
-            ));
-            samples.push((
-                "e12_parallel_vs_direct",
-                key,
-                "parallel.sync_rounds",
-                row.parallel.sync_rounds as u64,
-            ));
+                format!("{name}@t{threads}"),
+                &row.to_json(),
+            );
         }
     }
     // E10: id-indexed vs. structural counters.
@@ -488,30 +618,12 @@ fn fresh_counters() -> Vec<CounterSample> {
             row.equal,
             "{name}: interned fixpoint differs from structural"
         );
-        samples.push((
-            "e10_interned_vs_structural",
-            name.clone(),
-            "interned.states_stepped",
-            row.interned.states_stepped as u64,
-        ));
-        samples.push((
-            "e10_interned_vs_structural",
-            name.clone(),
-            "interned.store_joins",
-            row.interned.store_joins as u64,
-        ));
-        samples.push((
-            "e10_interned_vs_structural",
-            name.clone(),
-            "structural.states_stepped",
-            row.structural.states_stepped as u64,
-        ));
-        samples.push((
+        sample_row(
+            &mut samples,
             "e10_interned_vs_structural",
             name,
-            "structural.store_joins",
-            row.structural.store_joins as u64,
-        ));
+            &row.to_json(),
+        );
     }
     samples
 }
@@ -615,6 +727,12 @@ fn main() -> std::process::ExitCode {
     if std::env::args().any(|arg| arg == "--parallel-smoke") {
         return parallel_smoke();
     }
+    if let Some(path) = string_arg("--trace-out") {
+        return trace_out(&path);
+    }
+    if std::env::args().any(|arg| arg == "--profile") {
+        return profile();
+    }
     let started = Instant::now();
     println!("Monadic Abstract Interpreters — experiment report");
     experiment_adequacy();
@@ -629,9 +747,10 @@ fn main() -> std::process::ExitCode {
     let interned = experiment_interned();
     let persistent = experiment_persistent();
     let parallel = experiment_parallel();
+    let telemetry = experiment_telemetry();
 
     let report = Json::obj([
-        ("schema_version", Json::Int(4)),
+        ("schema_version", Json::Int(5)),
         (
             "report_wall_clock_ms",
             Json::Num(started.elapsed().as_secs_f64() * 1e3),
@@ -642,6 +761,7 @@ fn main() -> std::process::ExitCode {
         ("e10_interned_vs_structural", Json::Arr(interned)),
         ("e11_persistent_vs_interned", Json::Arr(persistent)),
         ("e12_parallel_vs_direct", parallel),
+        ("e13_engine_telemetry", telemetry),
     ]);
     let path = "BENCH_report.json";
     match std::fs::write(path, report.render() + "\n") {
@@ -650,4 +770,69 @@ fn main() -> std::process::ExitCode {
     }
     println!("done.");
     std::process::ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The satellite guarantee behind `wall_ms`/`host_cpus`: the
+    /// regression gate samples *work* counters only.  No gated path may
+    /// name a timing or host field, and the telemetry section is never
+    /// gated at all.
+    #[test]
+    fn regress_gate_never_samples_timing_fields() {
+        for (section, paths) in GATED_COUNTER_PATHS {
+            assert_ne!(
+                *section, "e13_engine_telemetry",
+                "the telemetry section is reported-only"
+            );
+            for path in *paths {
+                for part in path.split('.') {
+                    assert!(
+                        part != "wall_ms" && part != "host_cpus" && !part.ends_with("_ms"),
+                        "{section}: gated counter path {path} samples a timing field"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Every gated path resolves inside the JSON rendering its section's
+    /// row type produces — a path typo would otherwise only surface as a
+    /// panic in the (slow) `--check-regress` mode.
+    #[test]
+    fn gated_paths_resolve_in_fresh_rows() {
+        let program = mai_cps::programs::kcfa_worst_case_scaled(2, 3);
+        let rows: Vec<(&str, Json)> = vec![
+            (
+                "e8_worklist_vs_kleene",
+                worklist_row("w", &program).to_json(),
+            ),
+            (
+                "e9_incremental_vs_rescan",
+                incremental_row("w", &program).to_json(),
+            ),
+            (
+                "e10_interned_vs_structural",
+                interned_row("w", &program, 1).to_json(),
+            ),
+            (
+                "e11_persistent_vs_interned",
+                direct_row("w", &program, 1).to_json(),
+            ),
+            (
+                "e12_parallel_vs_direct",
+                parallel_row("w", &program, 2, 1).to_json(),
+            ),
+        ];
+        for (section, row) in rows {
+            for path in section_paths(section) {
+                assert!(
+                    committed_counter(&row, path).is_some(),
+                    "{section}: gated path {path} does not resolve"
+                );
+            }
+        }
+    }
 }

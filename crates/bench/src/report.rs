@@ -10,6 +10,7 @@
 use std::fmt::Write as _;
 
 use mai_core::engine::EngineStats;
+use mai_core::telemetry::TraceBuffer;
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -389,6 +390,82 @@ pub fn engine_stats_json(stats: &EngineStats) -> Json {
     ])
 }
 
+/// The JSON rendering of a [`TraceBuffer`]: per-round phase rows, per-worker
+/// totals, steal traffic and the top-`k` hot-spot attribution.  Shared by the
+/// `--profile` mode and the E13 report section so field names cannot drift.
+pub fn engine_trace_json(trace: &TraceBuffer, top_k: usize) -> Json {
+    let us = |ns: u64| Json::Num(ns as f64 / 1000.0);
+    let totals = trace.phase_totals();
+    let rounds: Vec<Json> = trace
+        .rounds
+        .iter()
+        .map(|r| {
+            Json::obj([
+                ("round", Json::Int(r.round as u64)),
+                ("frontier", Json::Int(r.frontier as u64)),
+                ("stepped", Json::Int(r.stepped as u64)),
+                ("joins", Json::Int(r.joins as u64)),
+                ("delta_width", Json::Int(r.delta_width as u64)),
+                ("rebuild", Json::Bool(r.rebuild)),
+                ("step_us", us(r.step_ns)),
+                ("join_us", us(r.join_ns)),
+                ("sync_us", us(r.sync_ns)),
+            ])
+        })
+        .collect();
+    let workers: Vec<Json> = trace
+        .worker_totals()
+        .into_iter()
+        .map(|(worker, processed, steals, busy_ns, wait_ns)| {
+            Json::obj([
+                ("worker", Json::Int(worker as u64)),
+                ("processed", Json::Int(processed as u64)),
+                ("steals", Json::Int(steals as u64)),
+                ("busy_us", us(busy_ns)),
+                ("wait_us", us(wait_ns)),
+            ])
+        })
+        .collect();
+    let hot_states: Vec<Json> = trace
+        .top_states(top_k)
+        .into_iter()
+        .map(|h| {
+            Json::obj([
+                ("state", Json::Str(h.label)),
+                ("steps", Json::Int(h.steps as u64)),
+                ("step_us", us(h.total_ns)),
+            ])
+        })
+        .collect();
+    let hot_addresses: Vec<Json> = trace
+        .top_addresses(top_k)
+        .into_iter()
+        .map(|h| {
+            Json::obj([
+                ("address", Json::Str(h.label)),
+                ("joins", Json::Int(h.joins as u64)),
+                ("widenings", Json::Int(h.widenings as u64)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        (
+            "phase_totals",
+            Json::obj([
+                ("step_us", us(totals.step_ns)),
+                ("join_us", us(totals.join_ns)),
+                ("sync_us", us(totals.sync_ns)),
+                ("wall_us", us(totals.wall_ns())),
+            ]),
+        ),
+        ("steal_events", Json::Int(trace.steals.len() as u64)),
+        ("rounds", Json::Arr(rounds)),
+        ("workers", Json::Arr(workers)),
+        ("hot_states", Json::Arr(hot_states)),
+        ("hot_addresses", Json::Arr(hot_addresses)),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -466,5 +543,88 @@ mod tests {
         let rendered = engine_stats_json(&stats).render();
         assert!(rendered.contains("\"states_stepped\": 5"));
         assert!(rendered.contains("\"joins_per_round\": 3.000"));
+    }
+
+    /// Field-by-field audit: every field of [`EngineStats`] (recovered from
+    /// its derived `Debug` output, so the list tracks the struct definition
+    /// itself) must appear as a key in [`engine_stats_json`].  Adding a
+    /// counter to the struct without serialising it fails here.
+    #[test]
+    fn engine_stats_json_covers_every_struct_field() {
+        let debug = format!("{:?}", EngineStats::default());
+        let body = debug
+            .trim_start_matches("EngineStats")
+            .trim()
+            .trim_start_matches('{')
+            .trim_end_matches('}');
+        let fields: Vec<&str> = body
+            .split(',')
+            .filter_map(|pair| pair.split(':').next())
+            .map(str::trim)
+            .filter(|name| !name.is_empty())
+            .collect();
+        // Guard against the Debug format changing shape under us: the struct
+        // currently has 17 counters, and the parse must find all of them.
+        assert!(
+            fields.len() >= 17,
+            "Debug parse found only {} fields: {fields:?}",
+            fields.len()
+        );
+        let json = engine_stats_json(&EngineStats::default());
+        for field in fields {
+            assert!(
+                json.get(field).is_some(),
+                "EngineStats field `{field}` is missing from engine_stats_json"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_trace_json_serialises_rounds_workers_and_hot_spots() {
+        use mai_core::telemetry::{RoundTrace, StealTrace, TraceSink, WorkerSpan};
+
+        let mut trace = TraceBuffer::new();
+        trace.round(RoundTrace {
+            round: 0,
+            frontier: 4,
+            stepped: 4,
+            joins: 3,
+            delta_width: 2,
+            rebuild: false,
+            step_ns: 5_000,
+            join_ns: 2_000,
+            sync_ns: 1_000,
+        });
+        trace.worker(WorkerSpan {
+            round: 0,
+            worker: 1,
+            processed: 4,
+            steals: 1,
+            busy_ns: 4_000,
+            wait_ns: 1_000,
+        });
+        trace.steal(StealTrace {
+            round: 0,
+            thief: 1,
+            victim: 0,
+        });
+        trace.state_cost("(f x)", 3_000);
+        trace.join_traffic("x", true);
+        let json = engine_trace_json(&trace, 8);
+        let reparsed = Json::parse(&json.render()).expect("trace json parses");
+        assert_eq!(reparsed.get("steal_events").and_then(Json::as_u64), Some(1));
+        let rounds = reparsed.get("rounds").expect("rounds").items();
+        assert_eq!(rounds.len(), 1);
+        assert_eq!(rounds[0].get("frontier").and_then(Json::as_u64), Some(4));
+        assert_eq!(rounds[0].get("step_us").and_then(Json::as_f64), Some(5.0));
+        let workers = reparsed.get("workers").expect("workers").items();
+        assert_eq!(workers[0].get("worker").and_then(Json::as_u64), Some(1));
+        assert_eq!(workers[0].get("wait_us").and_then(Json::as_f64), Some(1.0));
+        let hot = reparsed.get("hot_states").expect("hot states").items();
+        assert_eq!(hot[0].get("state").and_then(Json::as_str), Some("(f x)"));
+        let addrs = reparsed.get("hot_addresses").expect("hot addrs").items();
+        assert_eq!(addrs[0].get("widenings").and_then(Json::as_u64), Some(1));
+        let totals = reparsed.get("phase_totals").expect("totals");
+        assert_eq!(totals.get("wall_us").and_then(Json::as_f64), Some(8.0));
     }
 }

@@ -33,6 +33,7 @@ pub use shared::SharedStoreDomain;
 use crate::gc::GcStrategy;
 use crate::lattice::{kleene_it, kleene_it_bounded, KleeneOutcome, Lattice};
 use crate::monad::{MonadFamily, Value};
+use crate::telemetry::{RoundTrace, Stopwatch, TraceSink};
 
 /// The paper's `Collecting` class: an analysis domain `Self` (`fp`) that
 /// knows how to inject an initial program state and how to push every state
@@ -60,6 +61,55 @@ where
     F: Fn(A) -> M::M<A>,
 {
     kleene_it(|fp: &Fp| Fp::inject(initial.clone()).join(Fp::apply_step(&step, fp)))
+}
+
+/// [`explore_fp`] with a [`TraceSink`]: the same Kleene iteration, with
+/// one [`RoundTrace`] per pass recording how many states the pass
+/// re-stepped (for Kleene iteration the frontier *is* every accumulated
+/// state) and the pass's wall-clock split into the `applyStep` evaluation
+/// (`step_ns`) and the iterate join (`join_ns`).
+///
+/// Computes exactly the fixpoint [`explore_fp`] computes; the step
+/// counter is a `Cell` bump per transition, only present on this traced
+/// entry point, so the untraced driver is untouched.
+pub fn explore_fp_traced<M, A, Fp, F, T>(step: F, initial: A, sink: &mut T) -> Fp
+where
+    M: MonadFamily,
+    A: Value,
+    Fp: Collecting<M, A>,
+    F: Fn(A) -> M::M<A>,
+    T: TraceSink,
+{
+    let stepped = std::cell::Cell::new(0usize);
+    let counted = |a: A| {
+        stepped.set(stepped.get() + 1);
+        step(a)
+    };
+    let armed = sink.enabled();
+    let mut current = Fp::bottom();
+    let mut round = 0usize;
+    loop {
+        round += 1;
+        stepped.set(0);
+        let mut watch = Stopwatch::start(armed);
+        let next = Fp::inject(initial.clone()).join(Fp::apply_step(&counted, &current));
+        let step_ns = watch.lap_ns();
+        let grew = current.join_in_place(next);
+        sink.round(RoundTrace {
+            round,
+            frontier: stepped.get(),
+            stepped: stepped.get(),
+            joins: 1,
+            delta_width: 0,
+            rebuild: false,
+            step_ns,
+            join_ns: watch.lap_ns(),
+            sync_ns: 0,
+        });
+        if !grew {
+            return current;
+        }
+    }
 }
 
 /// Like [`explore_fp`], but gives up after `max_iterations` Kleene steps.

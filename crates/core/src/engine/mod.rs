@@ -68,6 +68,7 @@ use crate::collect::Collecting;
 use crate::gc::{reachable, Touches};
 use crate::monad::{MonadFamily, Value};
 use crate::store::StoreLike;
+use crate::telemetry::{NoopSink, TraceSink};
 
 /// Instrumentation gathered by a worklist run (for the experiment harness
 /// and for asserting that the engine does strictly less work than Kleene
@@ -335,7 +336,27 @@ pub trait DirectCollecting<Ps, G, S>: Sized {
     /// default frontier-driven engine, from a direct-style step function.
     fn explore_frontier_direct<F>(step: &F, initial: Ps) -> (Self, EngineStats)
     where
-        F: StepFn<Ps, G, S>;
+        F: StepFn<Ps, G, S>,
+        Ps: fmt::Debug,
+    {
+        Self::explore_frontier_direct_traced(step, initial, &mut NoopSink)
+    }
+
+    /// [`Self::explore_frontier_direct`] with a
+    /// [`TraceSink`] observing the solve:
+    /// one [`RoundTrace`](crate::telemetry::RoundTrace) per round plus
+    /// per-state step-cost and per-address join-traffic attribution.
+    /// Identical fixpoint and identical [`EngineStats`] at every sink —
+    /// tracing never feeds back into the solve.
+    fn explore_frontier_direct_traced<F, T>(
+        step: &F,
+        initial: Ps,
+        sink: &mut T,
+    ) -> (Self, EngineStats)
+    where
+        F: StepFn<Ps, G, S>,
+        T: TraceSink,
+        Ps: fmt::Debug;
 }
 
 /// Computes the collecting semantics with the worklist engine from a
@@ -343,10 +364,27 @@ pub trait DirectCollecting<Ps, G, S>: Sized {
 /// [`explore_worklist_stats`].
 pub fn explore_worklist_direct_stats<Ps, G, S, Fp, F>(step: F, initial: Ps) -> (Fp, EngineStats)
 where
+    Ps: fmt::Debug,
     Fp: DirectCollecting<Ps, G, S>,
     F: StepFn<Ps, G, S>,
 {
     Fp::explore_frontier_direct(&step, initial)
+}
+
+/// [`explore_worklist_direct_stats`] with a
+/// [`TraceSink`] observing the solve.
+pub fn explore_worklist_direct_traced_stats<Ps, G, S, Fp, F, T>(
+    step: F,
+    initial: Ps,
+    sink: &mut T,
+) -> (Fp, EngineStats)
+where
+    Ps: fmt::Debug,
+    Fp: DirectCollecting<Ps, G, S>,
+    F: StepFn<Ps, G, S>,
+    T: TraceSink,
+{
+    Fp::explore_frontier_direct_traced(&step, initial, sink)
 }
 
 /// Analysis domains solvable by the **sharded parallel** driver
@@ -365,7 +403,31 @@ pub trait ParallelCollecting<Ps, G, S>: Sized {
     /// protocol, useful as a sanity baseline).
     fn explore_frontier_parallel<F>(step: &F, initial: Ps, threads: usize) -> (Self, EngineStats)
     where
-        F: StepFn<Ps, G, S>;
+        F: StepFn<Ps, G, S>,
+        Ps: fmt::Debug,
+    {
+        Self::explore_frontier_parallel_traced(step, initial, threads, &mut NoopSink)
+    }
+
+    /// [`Self::explore_frontier_parallel`] with a
+    /// [`TraceSink`] observing the solve:
+    /// per-round phase timings plus one
+    /// [`WorkerSpan`](crate::telemetry::WorkerSpan) per worker per round
+    /// and one [`StealTrace`](crate::telemetry::StealTrace) per stolen
+    /// chunk.  Workers record into private lock-free buffers drained by
+    /// the coordinator at the sync barrier, so tracing adds no
+    /// synchronisation to the step phase; fixpoints and deterministic
+    /// counters are identical at every sink.
+    fn explore_frontier_parallel_traced<F, T>(
+        step: &F,
+        initial: Ps,
+        threads: usize,
+        sink: &mut T,
+    ) -> (Self, EngineStats)
+    where
+        F: StepFn<Ps, G, S>,
+        T: TraceSink,
+        Ps: fmt::Debug;
 }
 
 /// Computes the collecting semantics with the sharded parallel engine from
@@ -377,10 +439,28 @@ pub fn explore_worklist_parallel_stats<Ps, G, S, Fp, F>(
     threads: usize,
 ) -> (Fp, EngineStats)
 where
+    Ps: fmt::Debug,
     Fp: ParallelCollecting<Ps, G, S>,
     F: StepFn<Ps, G, S>,
 {
     Fp::explore_frontier_parallel(&step, initial, threads)
+}
+
+/// [`explore_worklist_parallel_stats`] with a
+/// [`TraceSink`] observing the solve.
+pub fn explore_worklist_parallel_traced_stats<Ps, G, S, Fp, F, T>(
+    step: F,
+    initial: Ps,
+    threads: usize,
+    sink: &mut T,
+) -> (Fp, EngineStats)
+where
+    Ps: fmt::Debug,
+    Fp: ParallelCollecting<Ps, G, S>,
+    F: StepFn<Ps, G, S>,
+    T: TraceSink,
+{
+    Fp::explore_frontier_parallel_traced(&step, initial, threads, sink)
 }
 
 /// Analysis domains that can be solved by a frontier-driven worklist engine
@@ -403,7 +483,20 @@ pub trait FrontierCollecting<M: MonadFamily, A: Value>: Collecting<M, A> {
     /// O(|states| × store-join) the rescanning engine pays.
     fn explore_frontier<F>(step: &F, initial: A) -> (Self, EngineStats)
     where
-        F: Fn(A) -> M::M<A> + Sync;
+        F: Fn(A) -> M::M<A> + Sync,
+        A: fmt::Debug,
+    {
+        Self::explore_frontier_traced(step, initial, &mut NoopSink)
+    }
+
+    /// [`Self::explore_frontier`] with a
+    /// [`TraceSink`] observing the solve.
+    /// Identical fixpoint and identical [`EngineStats`] at every sink.
+    fn explore_frontier_traced<F, T>(step: &F, initial: A, sink: &mut T) -> (Self, EngineStats)
+    where
+        F: Fn(A) -> M::M<A> + Sync,
+        T: TraceSink,
+        A: fmt::Debug;
 
     /// The PR-1 *rescanning* solver: memoises step outcomes the same way,
     /// but rebuilds the iterate by re-joining **every** cached contribution
@@ -415,8 +508,24 @@ pub trait FrontierCollecting<M: MonadFamily, A: Value>: Collecting<M, A> {
     fn explore_frontier_rescan<F>(step: &F, initial: A) -> (Self, EngineStats)
     where
         F: Fn(A) -> M::M<A> + Sync,
+        A: fmt::Debug,
     {
-        Self::explore_frontier(step, initial)
+        Self::explore_frontier_rescan_traced(step, initial, &mut NoopSink)
+    }
+
+    /// [`Self::explore_frontier_rescan`] with a
+    /// [`TraceSink`] observing the solve.
+    fn explore_frontier_rescan_traced<F, T>(
+        step: &F,
+        initial: A,
+        sink: &mut T,
+    ) -> (Self, EngineStats)
+    where
+        F: Fn(A) -> M::M<A> + Sync,
+        T: TraceSink,
+        A: fmt::Debug,
+    {
+        Self::explore_frontier_traced(step, initial, sink)
     }
 
     /// The PR-2 *structural-key* incremental accumulator: the same
@@ -431,8 +540,24 @@ pub trait FrontierCollecting<M: MonadFamily, A: Value>: Collecting<M, A> {
     fn explore_frontier_structural<F>(step: &F, initial: A) -> (Self, EngineStats)
     where
         F: Fn(A) -> M::M<A> + Sync,
+        A: fmt::Debug,
     {
-        Self::explore_frontier(step, initial)
+        Self::explore_frontier_structural_traced(step, initial, &mut NoopSink)
+    }
+
+    /// [`Self::explore_frontier_structural`] with a
+    /// [`TraceSink`] observing the solve.
+    fn explore_frontier_structural_traced<F, T>(
+        step: &F,
+        initial: A,
+        sink: &mut T,
+    ) -> (Self, EngineStats)
+    where
+        F: Fn(A) -> M::M<A> + Sync,
+        T: TraceSink,
+        A: fmt::Debug,
+    {
+        Self::explore_frontier_traced(step, initial, sink)
     }
 }
 
@@ -441,7 +566,7 @@ pub trait FrontierCollecting<M: MonadFamily, A: Value>: Collecting<M, A> {
 pub fn explore_worklist<M, A, Fp, F>(step: F, initial: A) -> Fp
 where
     M: MonadFamily,
-    A: Value,
+    A: Value + fmt::Debug,
     Fp: FrontierCollecting<M, A>,
     F: Fn(A) -> M::M<A> + Sync,
 {
@@ -453,11 +578,28 @@ where
 pub fn explore_worklist_stats<M, A, Fp, F>(step: F, initial: A) -> (Fp, EngineStats)
 where
     M: MonadFamily,
-    A: Value,
+    A: Value + fmt::Debug,
     Fp: FrontierCollecting<M, A>,
     F: Fn(A) -> M::M<A> + Sync,
 {
     Fp::explore_frontier(&step, initial)
+}
+
+/// [`explore_worklist_stats`] with a
+/// [`TraceSink`] observing the solve.
+pub fn explore_worklist_traced_stats<M, A, Fp, F, T>(
+    step: F,
+    initial: A,
+    sink: &mut T,
+) -> (Fp, EngineStats)
+where
+    M: MonadFamily,
+    A: Value + fmt::Debug,
+    Fp: FrontierCollecting<M, A>,
+    F: Fn(A) -> M::M<A> + Sync,
+    T: TraceSink,
+{
+    Fp::explore_frontier_traced(&step, initial, sink)
 }
 
 /// Solves with the PR-1 *rescanning* worklist engine
@@ -467,11 +609,28 @@ where
 pub fn explore_worklist_rescan_stats<M, A, Fp, F>(step: F, initial: A) -> (Fp, EngineStats)
 where
     M: MonadFamily,
-    A: Value,
+    A: Value + fmt::Debug,
     Fp: FrontierCollecting<M, A>,
     F: Fn(A) -> M::M<A> + Sync,
 {
     Fp::explore_frontier_rescan(&step, initial)
+}
+
+/// [`explore_worklist_rescan_stats`] with a
+/// [`TraceSink`] observing the solve.
+pub fn explore_worklist_rescan_traced_stats<M, A, Fp, F, T>(
+    step: F,
+    initial: A,
+    sink: &mut T,
+) -> (Fp, EngineStats)
+where
+    M: MonadFamily,
+    A: Value + fmt::Debug,
+    Fp: FrontierCollecting<M, A>,
+    F: Fn(A) -> M::M<A> + Sync,
+    T: TraceSink,
+{
+    Fp::explore_frontier_rescan_traced(&step, initial, sink)
 }
 
 /// Solves with the PR-2 *structural-key* incremental engine
@@ -483,11 +642,28 @@ where
 pub fn explore_worklist_structural_stats<M, A, Fp, F>(step: F, initial: A) -> (Fp, EngineStats)
 where
     M: MonadFamily,
-    A: Value,
+    A: Value + fmt::Debug,
     Fp: FrontierCollecting<M, A>,
     F: Fn(A) -> M::M<A> + Sync,
 {
     Fp::explore_frontier_structural(&step, initial)
+}
+
+/// [`explore_worklist_structural_stats`] with a
+/// [`TraceSink`] observing the solve.
+pub fn explore_worklist_structural_traced_stats<M, A, Fp, F, T>(
+    step: F,
+    initial: A,
+    sink: &mut T,
+) -> (Fp, EngineStats)
+where
+    M: MonadFamily,
+    A: Value + fmt::Debug,
+    Fp: FrontierCollecting<M, A>,
+    F: Fn(A) -> M::M<A> + Sync,
+    T: TraceSink,
+{
+    Fp::explore_frontier_structural_traced(&step, initial, sink)
 }
 
 #[cfg(test)]

@@ -91,8 +91,12 @@ use crate::hash::FxHashMap;
 use crate::intern::{InternKey, ShardedInterner, StateId};
 use crate::monad::Value;
 use crate::store::{StoreDelta, StoreLike};
+use crate::telemetry::{label_of, RoundTrace, Stopwatch, TraceSink, WorkerBuffer};
 
-use super::shared::{sorted_subset, step_entry, IdDependents, InternedCache, InternedEntry};
+use super::shared::{
+    sorted_subset, step_entry, IdDependents, InternedCache, InternedEntry, ADDR_LABEL_MAX,
+    STATE_LABEL_MAX,
+};
 use super::{EngineStats, ParallelCollecting, StateRoots, StepFn};
 
 /// A sense-reversing **hybrid** (spin-then-park) barrier for the round
@@ -185,16 +189,23 @@ struct Phase<S> {
     ends: Vec<usize>,
     /// How many consecutive ids one claim takes.
     chunk: usize,
+    /// Whether workers should record into their trace buffers.  Purely an
+    /// observability flag: no counter and no scheduling decision reads it.
+    trace: bool,
 }
 
 /// One worker's output for a phase: the entries it computed, its per-shard
-/// work stats, whether any re-step shrank, and how many pairs it processed
-/// (own shard plus stolen chunks).
+/// work stats, whether any re-step shrank, how many pairs it processed
+/// (own shard plus stolen chunks), and — when the phase is traced — its
+/// private lock-free [`WorkerBuffer`] for the coordinator to drain at the
+/// barrier.
 struct ShardOutcome<S, A> {
+    worker: usize,
     entries: Vec<(StateId, InternedEntry<S, A>)>,
     stats: EngineStats,
     shrank: bool,
     processed: usize,
+    trace: WorkerBuffer,
 }
 
 /// The body of one worker for one phase: claim chunks (own shard first,
@@ -217,10 +228,12 @@ where
     F: StepFn<Ps, G, S>,
 {
     let mut outcome = ShardOutcome {
+        worker: me,
         entries: Vec::new(),
         stats: EngineStats::default(),
         shrank: false,
         processed: 0,
+        trace: WorkerBuffer::default(),
     };
     let Phase {
         ids,
@@ -228,7 +241,9 @@ where
         cursors,
         ends,
         chunk,
+        trace,
     } = phase;
+    let mut busy_watch = Stopwatch::start(*trace);
     // Once our own shard is drained we stop touching its cursor: the
     // extra fetch_add per steal attempt would be pure cache-line traffic.
     let mut own_drained = false;
@@ -256,6 +271,9 @@ where
                 let start = cursors[victim].fetch_add(*chunk, Ordering::Relaxed);
                 if start < ends[victim] {
                     outcome.stats.steal_events += 1;
+                    if *trace {
+                        outcome.trace.victims.push(victim);
+                    }
                     claimed = Some((start, ends[victim]));
                     break;
                 }
@@ -269,8 +287,14 @@ where
             outcome.stats.states_stepped += 1;
             outcome.stats.spine_clones += 1;
             outcome.processed += 1;
+            let mut step_watch = Stopwatch::start(*trace);
             let (ps, guts) = interner.resolve_cloned(id);
             let entry = step_entry(step, ps, guts, store, |k| interner.intern(k));
+            if *trace {
+                // Raw `(id, ns)` only — labels are resolved by the
+                // coordinator at the barrier, never on the hot path.
+                outcome.trace.costs.push((id, step_watch.lap_ns()));
+            }
             if let Some(old) = cache.get(id.index()).and_then(Option::as_ref) {
                 outcome.stats.reenqueued += 1;
                 // The same shrink detector as the sequential engine: a
@@ -280,6 +304,7 @@ where
             outcome.entries.push((id, entry));
         }
     }
+    outcome.trace.busy_ns = busy_watch.lap_ns();
     outcome
 }
 
@@ -322,11 +347,19 @@ where
     S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + Value,
     S::D: Touches<Ps::Addr>,
 {
-    fn explore_frontier_parallel<F>(step: &F, initial: Ps, threads: usize) -> (Self, EngineStats)
+    fn explore_frontier_parallel_traced<F, T>(
+        step: &F,
+        initial: Ps,
+        threads: usize,
+        sink: &mut T,
+    ) -> (Self, EngineStats)
     where
         F: StepFn<Ps, G, S>,
+        T: TraceSink,
+        Ps: std::fmt::Debug,
     {
         let threads = threads.max(1);
+        let armed = sink.enabled();
         let mut stats = EngineStats::default();
         // The lock-striped hash-consing table, shared by all workers.
         let interner: ShardedInterner<(Ps, G), StateId> = ShardedInterner::new();
@@ -401,12 +434,19 @@ where
             }
 
             // Publishes one step phase to the pool and collects the merged
-            // outcomes (entries + per-shard stats + shrink flag).
+            // outcomes (entries + per-shard stats + shrink flag), draining
+            // each worker's trace buffer into the sink at the barrier.
+            // Returns `(shrank, wall_ns, max_busy_ns)`: the coordinator-
+            // observed phase wall and the slowest worker's busy time, the
+            // raw material of the step/sync decomposition (both 0 when the
+            // sink is disarmed).
             let run_phase = |ids: Vec<StateId>,
                              store: &S,
                              stats: &mut EngineStats,
-                             results: &mut Vec<(StateId, InternedEntry<S, Ps::Addr>)>|
-             -> bool {
+                             results: &mut Vec<(StateId, InternedEntry<S, Ps::Addr>)>,
+                             round: usize,
+                             sink: &mut T|
+             -> (bool, u64, u64) {
                 // A singleton (or empty) phase has no parallelism by
                 // definition: step it inline on the coordinator and spare
                 // the pool a wake/park cycle.  Deterministic counters are
@@ -419,13 +459,27 @@ where
                         store: store.clone(),
                         cursors: vec![AtomicUsize::new(0)],
                         chunk: 1,
+                        trace: armed,
                     };
                     let cache = cache_lock.read().expect("cache lock poisoned");
                     let outcome = run_worker_phase(0, step, &phase, &interner, &cache);
                     drop(cache);
                     stats.merge(&outcome.stats);
+                    let busy = outcome.trace.busy_ns;
+                    if armed {
+                        // The inline path *is* worker 0 for this phase; its
+                        // wall is its busy time (no barrier to wait on).
+                        outcome.trace.drain_into(
+                            round,
+                            outcome.worker,
+                            outcome.processed,
+                            busy,
+                            sink,
+                            |id| label_of(&interner.resolve_cloned(id).0, STATE_LABEL_MAX),
+                        );
+                    }
                     results.extend(outcome.entries);
-                    return outcome.shrank;
+                    return (outcome.shrank, busy, busy);
                 }
                 let ends: Vec<usize> = (1..=threads).map(|t| t * ids.len() / threads).collect();
                 let cursors: Vec<AtomicUsize> = (0..threads)
@@ -438,9 +492,12 @@ where
                     cursors,
                     ends,
                     chunk,
+                    trace: armed,
                 });
+                let mut wall_watch = Stopwatch::start(armed);
                 start_barrier.wait();
                 done_barrier.wait();
+                let wall_ns = wall_watch.lap_ns();
                 // Drop the store snapshot promptly (it holds spine refs).
                 *phase_slot.write().unwrap_or_else(PoisonError::into_inner) = None;
                 // A worker panicked mid-phase: every worker still reached
@@ -455,6 +512,7 @@ where
                     resume_unwind(payload);
                 }
                 let mut shrank = false;
+                let mut max_busy_ns = 0u64;
                 let (mut max_processed, mut min_processed) = (0usize, usize::MAX);
                 for outcome in
                     std::mem::take(&mut *outcomes.lock().unwrap_or_else(PoisonError::into_inner))
@@ -462,13 +520,24 @@ where
                     shrank |= outcome.shrank;
                     max_processed = max_processed.max(outcome.processed);
                     min_processed = min_processed.min(outcome.processed);
+                    max_busy_ns = max_busy_ns.max(outcome.trace.busy_ns);
                     stats.merge(&outcome.stats);
+                    if armed {
+                        outcome.trace.drain_into(
+                            round,
+                            outcome.worker,
+                            outcome.processed,
+                            wall_ns,
+                            sink,
+                            |id| label_of(&interner.resolve_cloned(id).0, STATE_LABEL_MAX),
+                        );
+                    }
                     results.extend(outcome.entries);
                 }
                 stats.shard_imbalance = stats
                     .shard_imbalance
                     .max(max_processed - min_processed.min(max_processed));
-                shrank
+                (shrank, wall_ns, max_busy_ns)
             };
 
             let solve = catch_unwind(AssertUnwindSafe(|| {
@@ -481,8 +550,18 @@ where
 
                     // Step phase: the whole frontier against the same pre-store.
                     let frontier_vec: Vec<StateId> = frontier.iter().copied().collect();
+                    let frontier_len = frontier_vec.len();
+                    let mut stepped_this_round = frontier_len;
                     let mut results: Vec<(StateId, InternedEntry<S, Ps::Addr>)> = Vec::new();
-                    let shrank = run_phase(frontier_vec.clone(), &store, &mut stats, &mut results);
+                    let round = stats.iterations;
+                    let (shrank, mut wall_ns, mut busy_ns) = run_phase(
+                        frontier_vec.clone(),
+                        &store,
+                        &mut stats,
+                        &mut results,
+                        round,
+                        sink,
+                    );
 
                     // Rebuild round (same defence as the sequential engine): a
                     // contribution shrank, so re-step *every* known pair
@@ -496,9 +575,13 @@ where
                             .copied()
                             .filter(|id| !frontier.contains(id))
                             .collect();
+                        stepped_this_round += rest.len();
                         // Further shrinkage is immaterial: the whole round is
                         // already being recomputed from scratch.
-                        run_phase(rest, &store, &mut stats, &mut results);
+                        let (_, rebuild_wall, rebuild_busy) =
+                            run_phase(rest, &store, &mut stats, &mut results, round, sink);
+                        wall_ns += rebuild_wall;
+                        busy_ns += rebuild_busy;
                         known_ids.clone()
                     } else {
                         stats.peak_frontier = stats.peak_frontier.max(frontier.len());
@@ -512,6 +595,7 @@ where
                     // re-stepped contributions — and only their store *deltas*
                     // — in ascending id order, with the per-address growth
                     // report falling straight out of the in-place join.
+                    let mut join_watch = Stopwatch::start(armed);
                     let mut cache = cache_lock.write().expect("cache lock poisoned");
                     install_entries(results, interner.id_bound(), &mut cache, &mut dependents);
                     let mut changed_addrs: BTreeSet<Ps::Addr> = BTreeSet::new();
@@ -519,12 +603,42 @@ where
                         let entry = cache[id.index()].as_ref().expect("fold of an unstepped id");
                         stats.store_joins += 1;
                         stats.spine_clones += 1;
-                        changed_addrs.extend(store.join_in_place_delta(entry.delta.clone()));
+                        if armed {
+                            // Attribute join traffic per address: every
+                            // address the delta binds is one join record,
+                            // widened when the fold reports it grew.
+                            let bound = entry.delta.addresses();
+                            let changed = store.join_in_place_delta(entry.delta.clone());
+                            for a in &bound {
+                                sink.join_traffic(
+                                    &label_of(a, ADDR_LABEL_MAX),
+                                    changed.contains(a),
+                                );
+                            }
+                            changed_addrs.extend(changed);
+                        } else {
+                            changed_addrs.extend(store.join_in_place_delta(entry.delta.clone()));
+                        }
                     }
                     drop(cache);
                     stats.store_widenings += changed_addrs.len();
                     stats.store_bytes_shared =
                         stats.store_bytes_shared.max(store.shared_spine_bytes());
+                    // The round's phase split: the slowest worker's busy
+                    // time is the step share, the coordinator's fold is the
+                    // join share, and whatever remains of the phase walls is
+                    // barrier/coordination overhead — the sync share.
+                    sink.round(RoundTrace {
+                        round: stats.iterations,
+                        frontier: frontier_len,
+                        stepped: stepped_this_round,
+                        joins: fold_ids.len(),
+                        delta_width: changed_addrs.len(),
+                        rebuild: shrank,
+                        step_ns: busy_ns,
+                        join_ns: join_watch.lap_ns(),
+                        sync_ns: wall_ns.saturating_sub(busy_ns),
+                    });
 
                     // Next frontier: freshly discovered pairs (ids minted
                     // during this round have no cached outcome yet) plus every

@@ -26,7 +26,9 @@ use crate::collect::PerStateDomain;
 use crate::intern::{InternKey, Interner, StateId};
 use crate::lattice::Lattice;
 use crate::monad::{run_store_passing, MonadFamily, StorePassing, Value};
+use crate::telemetry::{label_of, RoundTrace, Stopwatch, TraceSink};
 
+use super::shared::STATE_LABEL_MAX;
 use super::{DirectCollecting, EngineStats, FrontierCollecting, StepFn};
 
 impl<Ps, G, S> FrontierCollecting<StorePassing<G, S>, Ps> for PerStateDomain<Ps, G, S>
@@ -35,13 +37,15 @@ where
     G: Value + Ord + Hash + HasInitial,
     S: Value + Ord + Hash + Lattice,
 {
-    fn explore_frontier<F>(step: &F, initial: Ps) -> (Self, EngineStats)
+    fn explore_frontier_traced<F, T>(step: &F, initial: Ps, sink: &mut T) -> (Self, EngineStats)
     where
         F: Fn(Ps) -> <StorePassing<G, S> as MonadFamily>::M<Ps> + Sync,
+        T: TraceSink,
+        Ps: std::fmt::Debug,
     {
         // Run the Rc-closure carrier through the carrier-neutral solver.
         let direct = |ps: Ps, g: G, s: S| run_store_passing(step(ps), g, s);
-        <Self as DirectCollecting<Ps, G, S>>::explore_frontier_direct(&direct, initial)
+        <Self as DirectCollecting<Ps, G, S>>::explore_frontier_direct_traced(&direct, initial, sink)
     }
 }
 
@@ -51,10 +55,17 @@ where
     G: Value + Ord + Hash + HasInitial,
     S: Value + Ord + Hash + Lattice,
 {
-    fn explore_frontier_direct<F>(step: &F, initial: Ps) -> (Self, EngineStats)
+    fn explore_frontier_direct_traced<F, T>(
+        step: &F,
+        initial: Ps,
+        sink: &mut T,
+    ) -> (Self, EngineStats)
     where
         F: StepFn<Ps, G, S>,
+        T: TraceSink,
+        Ps: std::fmt::Debug,
     {
+        let armed = sink.enabled();
         let mut stats = EngineStats::default();
         // The interner is the seen-set: a triple's first intern is its
         // discovery, and the id doubles as the worklist entry.
@@ -66,6 +77,16 @@ where
         stats.store_joins += 1;
         stats.peak_frontier = 1;
 
+        // The FIFO has no round structure of its own, so the trace groups
+        // pops into BFS *generations*: the initial triple is generation 1,
+        // everything it discovers is generation 2, and so on — the
+        // per-state analogue of a frontier round.
+        let mut round = 0usize;
+        let mut generation_size = 1usize;
+        let mut generation_left = 1usize;
+        let mut generation_joins = 0usize;
+        let mut generation_watch = Stopwatch::start(armed);
+
         while let Some(id) = frontier.pop_front() {
             stats.iterations += 1;
             stats.states_stepped += 1;
@@ -73,15 +94,39 @@ where
             // clone (an Arc bump on the persistent spine).
             stats.spine_clones += 1;
             let ((ps, guts), store) = interner.resolve(id).clone();
+            let label = armed.then(|| label_of(&ps, STATE_LABEL_MAX));
+            let mut step_watch = Stopwatch::start(armed);
             for successor in step.step(ps, guts, store) {
                 let known = interner.len();
                 let succ_id = interner.intern(successor);
                 if succ_id.index() >= known {
                     stats.store_joins += 1;
+                    generation_joins += 1;
                     frontier.push_back(succ_id);
                 }
             }
+            if let Some(label) = label {
+                sink.state_cost(&label, step_watch.lap_ns());
+            }
             stats.peak_frontier = stats.peak_frontier.max(frontier.len());
+            generation_left -= 1;
+            if generation_left == 0 {
+                round += 1;
+                sink.round(RoundTrace {
+                    round,
+                    frontier: generation_size,
+                    stepped: generation_size,
+                    joins: generation_joins,
+                    delta_width: 0,
+                    rebuild: false,
+                    step_ns: generation_watch.lap_ns(),
+                    join_ns: 0,
+                    sync_ns: 0,
+                });
+                generation_size = frontier.len();
+                generation_left = generation_size;
+                generation_joins = 0;
+            }
         }
 
         stats.intern_hits = interner.hits();

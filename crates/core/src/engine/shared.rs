@@ -89,8 +89,17 @@ use crate::intern::{InternKey, Interner, StateId};
 use crate::lattice::Lattice;
 use crate::monad::{run_store_passing, MonadFamily, StorePassing, Value};
 use crate::store::{StoreDelta, StoreLike};
+use crate::telemetry::{label_of, RoundTrace, Stopwatch, TraceSink};
 
 use super::{DirectCollecting, EngineStats, FrontierCollecting, StateRoots, StepFn};
+
+/// How many characters of a state's `Debug` rendering become its hot-spot
+/// attribution label.
+pub(super) const STATE_LABEL_MAX: usize = 96;
+
+/// How many characters of an address's `Debug` rendering become its
+/// join-traffic attribution label.
+pub(super) const ADDR_LABEL_MAX: usize = 64;
 
 /// The memoised outcome of stepping one `(state, guts)` pair, in the
 /// structural (PR-1/PR-2) engines.
@@ -374,30 +383,44 @@ where
     S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + Value,
     S::D: Touches<Ps::Addr>,
 {
-    fn explore_frontier<F>(step: &F, initial: Ps) -> (Self, EngineStats)
+    fn explore_frontier_traced<F, T>(step: &F, initial: Ps, sink: &mut T) -> (Self, EngineStats)
     where
         F: Fn(Ps) -> <StorePassing<G, S> as MonadFamily>::M<Ps> + Sync,
+        T: TraceSink,
+        Ps: std::fmt::Debug,
     {
         // Run the Rc-closure carrier through the carrier-neutral solver:
         // desugar each monadic step with `run_store_passing`.
         let direct = |ps: Ps, g: G, s: S| run_store_passing(step(ps), g, s);
-        <Self as DirectCollecting<Ps, G, S>>::explore_frontier_direct(&direct, initial)
+        <Self as DirectCollecting<Ps, G, S>>::explore_frontier_direct_traced(&direct, initial, sink)
     }
 
-    fn explore_frontier_structural<F>(step: &F, initial: Ps) -> (Self, EngineStats)
+    fn explore_frontier_structural_traced<F, T>(
+        step: &F,
+        initial: Ps,
+        sink: &mut T,
+    ) -> (Self, EngineStats)
     where
         F: Fn(Ps) -> <StorePassing<G, S> as MonadFamily>::M<Ps> + Sync,
+        T: TraceSink,
+        Ps: std::fmt::Debug,
     {
         let direct = |ps: Ps, g: G, s: S| run_store_passing(step(ps), g, s);
-        explore_structural(&direct, initial)
+        explore_structural(&direct, initial, sink)
     }
 
-    fn explore_frontier_rescan<F>(step: &F, initial: Ps) -> (Self, EngineStats)
+    fn explore_frontier_rescan_traced<F, T>(
+        step: &F,
+        initial: Ps,
+        sink: &mut T,
+    ) -> (Self, EngineStats)
     where
         F: Fn(Ps) -> <StorePassing<G, S> as MonadFamily>::M<Ps> + Sync,
+        T: TraceSink,
+        Ps: std::fmt::Debug,
     {
         let direct = |ps: Ps, g: G, s: S| run_store_passing(step(ps), g, s);
-        explore_rescan(&direct, initial)
+        explore_rescan(&direct, initial, sink)
     }
 }
 
@@ -409,10 +432,21 @@ where
     S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + Value,
     S::D: Touches<Ps::Addr>,
 {
-    fn explore_frontier_direct<F>(step: &F, initial: Ps) -> (Self, EngineStats)
+    fn explore_frontier_direct_traced<F, T>(
+        step: &F,
+        initial: Ps,
+        sink: &mut T,
+    ) -> (Self, EngineStats)
     where
         F: StepFn<Ps, G, S>,
+        T: TraceSink,
+        Ps: std::fmt::Debug,
     {
+        // One flag gates every telemetry side channel: clock samples and
+        // label formatting happen only when a real sink listens, and no
+        // counter below ever consults it — tracing cannot perturb the
+        // solve.
+        let armed = sink.enabled();
         let mut stats = EngineStats::default();
         // The hash-consing table: every distinct (state, guts) pair gets a
         // dense StateId on first sight.  The interner doubles as the
@@ -432,12 +466,16 @@ where
             // Ids below this watermark were known when the round began;
             // everything interned during the round is a fresh discovery.
             let known = interner.len();
+            let frontier_len = frontier.len();
+            let mut stepped_this_round = frontier_len;
+            let mut phase_watch = Stopwatch::start(armed);
 
             // Step phase: every frontier pair against the same pre-store
             // (the folds below land only after the whole frontier was
             // stepped, so the round sees one consistent iterate).
             let mut shrank = false;
             for &id in &frontier {
+                let mut step_watch = Stopwatch::start(armed);
                 shrank |= step_and_cache_interned(
                     step,
                     id,
@@ -447,6 +485,11 @@ where
                     &mut dependents,
                     &mut stats,
                 );
+                if armed {
+                    let ns = step_watch.lap_ns();
+                    let label = label_of(&interner.resolve(id).0, STATE_LABEL_MAX);
+                    sink.state_cost(&label, ns);
+                }
             }
 
             // Rebuild round: a contribution shrank, so the step function is
@@ -463,6 +506,7 @@ where
                     .map(StateId::from_index)
                     .filter(|id| !frontier.contains(id))
                     .collect();
+                stepped_this_round += rest.len();
                 for &id in &rest {
                     // Further shrinkage is immaterial: the whole round is
                     // already being recomputed from scratch.
@@ -485,6 +529,8 @@ where
                 frontier.iter().copied().collect()
             };
 
+            let step_ns = phase_watch.lap_ns();
+
             // Fold phase: only the re-stepped contributions — and only
             // their store *deltas* — with the per-address growth report
             // falling straight out of the in-place join.
@@ -493,12 +539,34 @@ where
                 let entry = cache[id.index()].as_ref().expect("fold of an unstepped id");
                 stats.store_joins += 1;
                 stats.spine_clones += 1;
-                changed_addrs.extend(store.join_in_place_delta(entry.delta.clone()));
+                if armed {
+                    // Join-traffic attribution: which addresses this
+                    // contribution bound, and which of them actually grew.
+                    let bound = entry.delta.addresses();
+                    let changed = store.join_in_place_delta(entry.delta.clone());
+                    for a in &bound {
+                        sink.join_traffic(&label_of(a, ADDR_LABEL_MAX), changed.contains(a));
+                    }
+                    changed_addrs.extend(changed);
+                } else {
+                    changed_addrs.extend(store.join_in_place_delta(entry.delta.clone()));
+                }
             }
             stats.store_widenings += changed_addrs.len();
             // Sample spine sharing while this round's delta adoptions are
             // still live in the cache (peak over rounds).
             stats.store_bytes_shared = stats.store_bytes_shared.max(store.shared_spine_bytes());
+            sink.round(RoundTrace {
+                round: stats.iterations,
+                frontier: frontier_len,
+                stepped: stepped_this_round,
+                joins: fold_ids.len(),
+                delta_width: changed_addrs.len(),
+                rebuild: shrank,
+                step_ns,
+                join_ns: phase_watch.lap_ns(),
+                sync_ns: 0,
+            });
 
             // Next frontier: freshly discovered pairs (ids minted during
             // this round have no cached outcome yet) plus every cached
@@ -526,9 +594,10 @@ where
 /// The PR-2 *structural-key* incremental accumulator over the
 /// carrier-neutral step shape (see
 /// [`FrontierCollecting::explore_frontier_structural`]).
-fn explore_structural<Ps, G, S, F>(
+fn explore_structural<Ps, G, S, F, T>(
     step: &F,
     initial: Ps,
+    sink: &mut T,
 ) -> (SharedStoreDomain<Ps, G, S>, EngineStats)
 where
     Ps: Value + Ord + StateRoots,
@@ -536,7 +605,9 @@ where
     S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + Value,
     S::D: Touches<Ps::Addr>,
     F: StepFn<Ps, G, S>,
+    T: TraceSink,
 {
+    let armed = sink.enabled();
     let mut stats = EngineStats::default();
     let mut cache: StepCache<Ps, G, S, Ps::Addr> = BTreeMap::new();
     // The reverse dependency index: for every address, the cached pairs
@@ -551,6 +622,9 @@ where
 
     while !frontier.is_empty() {
         stats.iterations += 1;
+        let frontier_len = frontier.len();
+        let mut stepped_this_round = frontier_len;
+        let mut phase_watch = Stopwatch::start(armed);
 
         // Step phase: every frontier pair against the same pre-store
         // (the folds below land only after the whole frontier was
@@ -578,6 +652,7 @@ where
                 .filter(|key| !frontier.contains(*key))
                 .cloned()
                 .collect();
+            stepped_this_round += rest.len();
             for key in &rest {
                 // Further shrinkage is immaterial: the whole round is
                 // already being recomputed from scratch.
@@ -598,6 +673,7 @@ where
             stats.cache_hits += current.len() - frontier.len();
             frontier.iter().cloned().collect()
         };
+        let step_ns = phase_watch.lap_ns();
         let mut changed_addrs: BTreeSet<Ps::Addr> = BTreeSet::new();
         let mut discovered: Vec<(Ps, G)> = Vec::new();
         for key in &fold_keys {
@@ -615,6 +691,17 @@ where
         stats.store_bytes_shared = stats
             .store_bytes_shared
             .max(current.store().shared_spine_bytes());
+        sink.round(RoundTrace {
+            round: stats.iterations,
+            frontier: frontier_len,
+            stepped: stepped_this_round,
+            joins: fold_keys.len(),
+            delta_width: changed_addrs.len(),
+            rebuild: shrank,
+            step_ns,
+            join_ns: phase_watch.lap_ns(),
+            sync_ns: 0,
+        });
 
         // Next frontier: freshly discovered pairs (no cached outcome
         // yet) plus every cached dependent of an address that grew.
@@ -632,14 +719,20 @@ where
 
 /// The PR-1 *rescanning* solver over the carrier-neutral step shape (see
 /// [`FrontierCollecting::explore_frontier_rescan`]).
-fn explore_rescan<Ps, G, S, F>(step: &F, initial: Ps) -> (SharedStoreDomain<Ps, G, S>, EngineStats)
+fn explore_rescan<Ps, G, S, F, T>(
+    step: &F,
+    initial: Ps,
+    sink: &mut T,
+) -> (SharedStoreDomain<Ps, G, S>, EngineStats)
 where
     Ps: Value + Ord + StateRoots,
     G: Value + Ord + HasInitial,
     S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + Value,
     S::D: Touches<Ps::Addr>,
     F: StepFn<Ps, G, S>,
+    T: TraceSink,
 {
+    let armed = sink.enabled();
     let mut stats = EngineStats::default();
     let mut cache: StepCache<Ps, G, S, Ps::Addr> = BTreeMap::new();
     // For every address: the last store version at which its binding
@@ -651,6 +744,7 @@ where
 
     loop {
         stats.iterations += 1;
+        let mut phase_watch = Stopwatch::start(armed);
         // One Kleene iterate: next = inject(initial) ⊔ applyStep(current),
         // with applyStep evaluated through the memo cache.
         let mut next: SharedStoreDomain<Ps, G, S> =
@@ -694,8 +788,22 @@ where
 
         stats.peak_frontier = stats.peak_frontier.max(fresh_this_round);
 
+        let step_ns = phase_watch.lap_ns();
         let changed = next.store().changed_addresses(current.store());
-        if !current.join_in_place(next) {
+        let scanned = current.len();
+        let grew = current.join_in_place(next);
+        sink.round(RoundTrace {
+            round: stats.iterations,
+            frontier: fresh_this_round,
+            stepped: fresh_this_round,
+            joins: scanned,
+            delta_width: changed.len(),
+            rebuild: false,
+            step_ns,
+            join_ns: phase_watch.lap_ns(),
+            sync_ns: 0,
+        });
+        if !grew {
             return (current, stats);
         }
         stats.store_bytes_shared = stats

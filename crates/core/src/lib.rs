@@ -35,6 +35,9 @@
 //! * [`intern`] — hash-consed state/environment interning: dense `u32` ids
 //!   with precomputed hashes, the identity currency of the id-indexed
 //!   engines (with [`hash`] supplying the fast deterministic hasher).
+//! * [`telemetry`] — zero-cost-when-off structured tracing for the
+//!   engines: per-round phase timings, per-worker spans, hot-spot
+//!   attribution and Chrome-trace/CSV exporters.
 //! * [`mod@env`] — shared copy-on-write environment maps, so state
 //!   construction stops deep-cloning environments per transition.
 //! * [`name`] — globally pooled identifiers and program-point labels shared
@@ -75,17 +78,22 @@ pub mod name;
 pub mod pmap;
 pub mod sexp;
 pub mod store;
+pub mod telemetry;
 
 pub use addr::{
     Address, BoundedAddr, BoundedCtx, ConcreteAddr, ConcreteCtx, Context, HasInitial, KCallAddr,
     KCallCtx, MonoAddr, MonoCtx, NamedAddress,
 };
-pub use collect::{explore_fp, run_analysis, Collecting, PerStateDomain, SharedStoreDomain};
+pub use collect::{
+    explore_fp, explore_fp_traced, run_analysis, Collecting, PerStateDomain, SharedStoreDomain,
+};
 pub use engine::{
-    explore_worklist, explore_worklist_direct_stats, explore_worklist_parallel_stats,
-    explore_worklist_rescan_stats, explore_worklist_stats, explore_worklist_structural_stats,
-    with_state_gc, DirectCollecting, EngineStats, FrontierCollecting, ParallelCollecting,
-    StateRoots, StepFn,
+    explore_worklist, explore_worklist_direct_stats, explore_worklist_direct_traced_stats,
+    explore_worklist_parallel_stats, explore_worklist_parallel_traced_stats,
+    explore_worklist_rescan_stats, explore_worklist_rescan_traced_stats, explore_worklist_stats,
+    explore_worklist_structural_stats, explore_worklist_structural_traced_stats,
+    explore_worklist_traced_stats, with_state_gc, DirectCollecting, EngineStats,
+    FrontierCollecting, ParallelCollecting, StateRoots, StepFn,
 };
 pub use env::{CowMap, CowSet};
 pub use gc::{reachable, GcStrategy, NoGc, Touches};
@@ -96,3 +104,7 @@ pub use monad::{MonadFamily, MonadPlus, MonadState, MonadTrans, StorePassing, Va
 pub use name::{Label, Name};
 pub use pmap::PMap;
 pub use store::{BasicStore, Counter, CountingStore, StoreDelta, StoreLike};
+pub use telemetry::{
+    HotAddr, HotState, NoopSink, PhaseTotals, RoundTrace, StealTrace, TraceBuffer, TraceSink,
+    WorkerSpan,
+};

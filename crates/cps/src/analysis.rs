@@ -16,9 +16,10 @@ use mai_core::collect::{
     explore_fp_bounded, run_analysis, with_gc, Collecting, PerStateDomain, SharedStoreDomain,
 };
 use mai_core::engine::{
-    explore_worklist_direct_stats, explore_worklist_parallel_stats, explore_worklist_rescan_stats,
-    explore_worklist_stats, explore_worklist_structural_stats, with_state_gc, DirectCollecting,
-    EngineStats, FrontierCollecting, ParallelCollecting,
+    explore_worklist_direct_stats, explore_worklist_direct_traced_stats,
+    explore_worklist_parallel_stats, explore_worklist_parallel_traced_stats,
+    explore_worklist_rescan_stats, explore_worklist_stats, explore_worklist_structural_stats,
+    with_state_gc, DirectCollecting, EngineStats, FrontierCollecting, ParallelCollecting,
 };
 use mai_core::gc::{reachable, GcStrategy, Touches};
 use mai_core::lattice::{KleeneOutcome, Lattice};
@@ -225,6 +226,29 @@ where
     )
 }
 
+/// [`analyse_worklist_direct`] with a [`TraceSink`](mai_core::telemetry::TraceSink)
+/// observing the solve: per-round phase timings, store-join traffic and
+/// hot-state attribution.  Identical fixpoint and identical deterministic
+/// work counters at every sink — with
+/// [`NoopSink`](mai_core::telemetry::NoopSink) this *is*
+/// [`analyse_worklist_direct`], monomorphized back to the untraced code.
+pub fn analyse_worklist_direct_traced<C, S, Fp, T>(
+    program: &CExp,
+    sink: &mut T,
+) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Val<C::Addr>>> + Value,
+    Fp: DirectCollecting<PState<C::Addr>, C, S>,
+    T: mai_core::telemetry::TraceSink,
+{
+    explore_worklist_direct_traced_stats(
+        crate::direct::mnext_direct::<C, S>,
+        PState::inject(program.clone()),
+        sink,
+    )
+}
+
 /// Like [`analyse_gc_worklist_direct`], but solved by the sharded parallel
 /// driver (abstract GC as the per-branch [`with_state_gc`] store
 /// restriction, inside each worker).
@@ -238,6 +262,31 @@ where
         with_state_gc(crate::direct::mnext_direct::<C, S>),
         PState::inject(program.clone()),
         threads,
+    )
+}
+
+/// [`analyse_worklist_parallel`] with a
+/// [`TraceSink`](mai_core::telemetry::TraceSink) observing the solve:
+/// per-round phase timings **plus one
+/// [`WorkerSpan`](mai_core::telemetry::WorkerSpan) per worker per round**
+/// and a [`StealTrace`](mai_core::telemetry::StealTrace) per stolen chunk —
+/// the decomposition of E12's sync overhead.
+pub fn analyse_worklist_parallel_traced<C, S, Fp, T>(
+    program: &CExp,
+    threads: usize,
+    sink: &mut T,
+) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Val<C::Addr>>> + Value,
+    Fp: ParallelCollecting<PState<C::Addr>, C, S>,
+    T: mai_core::telemetry::TraceSink,
+{
+    explore_worklist_parallel_traced_stats(
+        crate::direct::mnext_direct::<C, S>,
+        PState::inject(program.clone()),
+        threads,
+        sink,
     )
 }
 
@@ -411,6 +460,18 @@ pub fn analyse_kcfa_shared_direct<const K: usize>(program: &CExp) -> (KCfaShared
     analyse_worklist_direct::<KCallCtx<K>, KStore, _>(program)
 }
 
+/// [`analyse_kcfa_shared_direct`] with a
+/// [`TraceSink`](mai_core::telemetry::TraceSink) observing the solve.
+pub fn analyse_kcfa_shared_direct_traced<const K: usize, T>(
+    program: &CExp,
+    sink: &mut T,
+) -> (KCfaShared<K>, EngineStats)
+where
+    T: mai_core::telemetry::TraceSink,
+{
+    analyse_worklist_direct_traced::<KCallCtx<K>, KStore, _, T>(program, sink)
+}
+
 /// [`analyse_kcfa_shared_gc_worklist`] on the direct-style carrier.
 pub fn analyse_kcfa_shared_gc_direct<const K: usize>(
     program: &CExp,
@@ -444,6 +505,20 @@ pub fn analyse_kcfa_shared_parallel<const K: usize>(
     threads: usize,
 ) -> (KCfaShared<K>, EngineStats) {
     analyse_worklist_parallel::<KCallCtx<K>, KStore, _>(program, threads)
+}
+
+/// [`analyse_kcfa_shared_parallel`] with a
+/// [`TraceSink`](mai_core::telemetry::TraceSink) observing the solve —
+/// the E13 measurement subject (per-round, per-worker profiles).
+pub fn analyse_kcfa_shared_parallel_traced<const K: usize, T>(
+    program: &CExp,
+    threads: usize,
+    sink: &mut T,
+) -> (KCfaShared<K>, EngineStats)
+where
+    T: mai_core::telemetry::TraceSink,
+{
+    analyse_worklist_parallel_traced::<KCallCtx<K>, KStore, _, T>(program, threads, sink)
 }
 
 /// [`analyse_kcfa_shared_gc_direct`] solved by the sharded parallel driver.

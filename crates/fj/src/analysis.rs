@@ -13,9 +13,10 @@ use std::collections::{BTreeMap, BTreeSet};
 use mai_core::addr::{Context, NamedAddress};
 use mai_core::collect::{run_analysis, with_gc, Collecting, PerStateDomain, SharedStoreDomain};
 use mai_core::engine::{
-    explore_worklist_direct_stats, explore_worklist_parallel_stats, explore_worklist_rescan_stats,
-    explore_worklist_stats, explore_worklist_structural_stats, with_state_gc, DirectCollecting,
-    EngineStats, FrontierCollecting, ParallelCollecting,
+    explore_worklist_direct_stats, explore_worklist_direct_traced_stats,
+    explore_worklist_parallel_stats, explore_worklist_parallel_traced_stats,
+    explore_worklist_rescan_stats, explore_worklist_stats, explore_worklist_structural_stats,
+    with_state_gc, DirectCollecting, EngineStats, FrontierCollecting, ParallelCollecting,
 };
 use mai_core::gc::{reachable, GcStrategy, Touches};
 use mai_core::monad::{
@@ -211,6 +212,29 @@ where
     )
 }
 
+/// [`analyse_worklist_direct`] with a
+/// [`TraceSink`](mai_core::telemetry::TraceSink) observing the solve:
+/// per-round phase timings, store-join traffic and hot-state attribution.
+/// Identical fixpoint and identical deterministic work counters at every
+/// sink.
+pub fn analyse_worklist_direct_traced<C, S, Fp, T>(
+    program: &Program,
+    sink: &mut T,
+) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: DirectCollecting<PState<C::Addr>, C, S>,
+    T: mai_core::telemetry::TraceSink,
+{
+    let table = program.table.clone();
+    explore_worklist_direct_traced_stats(
+        move |ps, ctx, store| crate::direct::mnext_direct::<C, S>(&table, ps, ctx, store),
+        PState::inject(program.main.clone()),
+        sink,
+    )
+}
+
 /// Like [`analyse_with_gc_worklist`], but on the direct-style carrier
 /// (per-branch store restriction via
 /// [`with_state_gc`]).
@@ -249,6 +273,31 @@ where
         move |ps, ctx, store| crate::direct::mnext_direct::<C, S>(&table, ps, ctx, store),
         PState::inject(program.main.clone()),
         threads,
+    )
+}
+
+/// [`analyse_worklist_parallel`] with a
+/// [`TraceSink`](mai_core::telemetry::TraceSink) observing the solve:
+/// per-round phase timings plus one
+/// [`WorkerSpan`](mai_core::telemetry::WorkerSpan) per worker per round
+/// and a [`StealTrace`](mai_core::telemetry::StealTrace) per stolen chunk.
+pub fn analyse_worklist_parallel_traced<C, S, Fp, T>(
+    program: &Program,
+    threads: usize,
+    sink: &mut T,
+) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: ParallelCollecting<PState<C::Addr>, C, S>,
+    T: mai_core::telemetry::TraceSink,
+{
+    let table = program.table.clone();
+    explore_worklist_parallel_traced_stats(
+        move |ps, ctx, store| crate::direct::mnext_direct::<C, S>(&table, ps, ctx, store),
+        PState::inject(program.main.clone()),
+        threads,
+        sink,
     )
 }
 
@@ -444,6 +493,18 @@ pub fn analyse_kcfa_shared_direct<const K: usize>(
     analyse_worklist_direct::<KCallCtx<K>, KFjStore, _>(program)
 }
 
+/// [`analyse_kcfa_shared_direct`] with a
+/// [`TraceSink`](mai_core::telemetry::TraceSink) observing the solve.
+pub fn analyse_kcfa_shared_direct_traced<const K: usize, T>(
+    program: &Program,
+    sink: &mut T,
+) -> (KFjShared<K>, EngineStats)
+where
+    T: mai_core::telemetry::TraceSink,
+{
+    analyse_worklist_direct_traced::<KCallCtx<K>, KFjStore, _, T>(program, sink)
+}
+
 /// [`analyse_kcfa_shared_gc_worklist`] on the direct-style carrier.
 pub fn analyse_kcfa_shared_gc_direct<const K: usize>(
     program: &Program,
@@ -472,6 +533,20 @@ pub fn analyse_kcfa_shared_parallel<const K: usize>(
     threads: usize,
 ) -> (KFjShared<K>, EngineStats) {
     analyse_worklist_parallel::<KCallCtx<K>, KFjStore, _>(program, threads)
+}
+
+/// [`analyse_kcfa_shared_parallel`] with a
+/// [`TraceSink`](mai_core::telemetry::TraceSink) observing the solve
+/// (per-round, per-worker profiles).
+pub fn analyse_kcfa_shared_parallel_traced<const K: usize, T>(
+    program: &Program,
+    threads: usize,
+    sink: &mut T,
+) -> (KFjShared<K>, EngineStats)
+where
+    T: mai_core::telemetry::TraceSink,
+{
+    analyse_worklist_parallel_traced::<KCallCtx<K>, KFjStore, _, T>(program, threads, sink)
 }
 
 /// [`analyse_mono_direct`] solved by the sharded parallel driver.

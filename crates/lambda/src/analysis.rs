@@ -11,9 +11,10 @@ use std::collections::BTreeSet;
 use mai_core::addr::{Context, NamedAddress};
 use mai_core::collect::{run_analysis, with_gc, Collecting, PerStateDomain, SharedStoreDomain};
 use mai_core::engine::{
-    explore_worklist_direct_stats, explore_worklist_parallel_stats, explore_worklist_rescan_stats,
-    explore_worklist_stats, explore_worklist_structural_stats, with_state_gc, DirectCollecting,
-    EngineStats, FrontierCollecting, ParallelCollecting,
+    explore_worklist_direct_stats, explore_worklist_direct_traced_stats,
+    explore_worklist_parallel_stats, explore_worklist_parallel_traced_stats,
+    explore_worklist_rescan_stats, explore_worklist_stats, explore_worklist_structural_stats,
+    with_state_gc, DirectCollecting, EngineStats, FrontierCollecting, ParallelCollecting,
 };
 use mai_core::gc::Touches;
 use mai_core::gc::{reachable, GcStrategy};
@@ -195,6 +196,25 @@ where
     )
 }
 
+/// [`analyse_worklist_direct`] with a
+/// [`TraceSink`](mai_core::telemetry::TraceSink) observing the solve:
+/// per-round phase timings, store-join traffic and hot-state attribution.
+/// Identical fixpoint and identical deterministic work counters at every
+/// sink.
+pub fn analyse_worklist_direct_traced<C, S, Fp, T>(term: &Term, sink: &mut T) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: DirectCollecting<PState<C::Addr>, C, S>,
+    T: mai_core::telemetry::TraceSink,
+{
+    explore_worklist_direct_traced_stats(
+        crate::direct::mnext_direct::<C, S>,
+        PState::inject(term.clone()),
+        sink,
+    )
+}
+
 /// Like [`analyse_with_gc_worklist`], but on the direct-style carrier
 /// (per-branch store restriction via
 /// [`with_state_gc`]).
@@ -228,6 +248,30 @@ where
         crate::direct::mnext_direct::<C, S>,
         PState::inject(term.clone()),
         threads,
+    )
+}
+
+/// [`analyse_worklist_parallel`] with a
+/// [`TraceSink`](mai_core::telemetry::TraceSink) observing the solve:
+/// per-round phase timings plus one
+/// [`WorkerSpan`](mai_core::telemetry::WorkerSpan) per worker per round
+/// and a [`StealTrace`](mai_core::telemetry::StealTrace) per stolen chunk.
+pub fn analyse_worklist_parallel_traced<C, S, Fp, T>(
+    term: &Term,
+    threads: usize,
+    sink: &mut T,
+) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: ParallelCollecting<PState<C::Addr>, C, S>,
+    T: mai_core::telemetry::TraceSink,
+{
+    explore_worklist_parallel_traced_stats(
+        crate::direct::mnext_direct::<C, S>,
+        PState::inject(term.clone()),
+        threads,
+        sink,
     )
 }
 
@@ -419,6 +463,18 @@ pub fn analyse_kcfa_shared_direct<const K: usize>(term: &Term) -> (KCeskShared<K
     analyse_worklist_direct::<KCallCtx<K>, KCeskStore, _>(term)
 }
 
+/// [`analyse_kcfa_shared_direct`] with a
+/// [`TraceSink`](mai_core::telemetry::TraceSink) observing the solve.
+pub fn analyse_kcfa_shared_direct_traced<const K: usize, T>(
+    term: &Term,
+    sink: &mut T,
+) -> (KCeskShared<K>, EngineStats)
+where
+    T: mai_core::telemetry::TraceSink,
+{
+    analyse_worklist_direct_traced::<KCallCtx<K>, KCeskStore, _, T>(term, sink)
+}
+
 /// [`analyse_kcfa_shared_gc_worklist`] on the direct-style carrier.
 pub fn analyse_kcfa_shared_gc_direct<const K: usize>(term: &Term) -> (KCeskShared<K>, EngineStats) {
     analyse_with_gc_worklist_direct::<KCallCtx<K>, KCeskStore, _>(term)
@@ -445,6 +501,20 @@ pub fn analyse_kcfa_shared_parallel<const K: usize>(
     threads: usize,
 ) -> (KCeskShared<K>, EngineStats) {
     analyse_worklist_parallel::<KCallCtx<K>, KCeskStore, _>(term, threads)
+}
+
+/// [`analyse_kcfa_shared_parallel`] with a
+/// [`TraceSink`](mai_core::telemetry::TraceSink) observing the solve
+/// (per-round, per-worker profiles).
+pub fn analyse_kcfa_shared_parallel_traced<const K: usize, T>(
+    term: &Term,
+    threads: usize,
+    sink: &mut T,
+) -> (KCeskShared<K>, EngineStats)
+where
+    T: mai_core::telemetry::TraceSink,
+{
+    analyse_worklist_parallel_traced::<KCallCtx<K>, KCeskStore, _, T>(term, threads, sink)
 }
 
 /// [`analyse_kcfa_shared_gc_direct`] solved by the sharded parallel driver.
