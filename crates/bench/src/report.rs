@@ -387,6 +387,24 @@ pub fn engine_stats_json(stats: &EngineStats) -> Json {
         ("sync_rounds", Json::Int(stats.sync_rounds as u64)),
         ("steal_events", Json::Int(stats.steal_events as u64)),
         ("shard_imbalance", Json::Int(stats.shard_imbalance as u64)),
+        ("epochs_run", Json::Int(stats.epochs_run as u64)),
+        ("stale_merges", Json::Int(stats.stale_merges as u64)),
+        (
+            "worker_cache_hits",
+            Json::Int(stats.worker_cache_hits as u64),
+        ),
+        (
+            "worker_cache_misses",
+            Json::Int(stats.worker_cache_misses as u64),
+        ),
+        (
+            "worker_cache_hit_rate",
+            Json::Num(stats.worker_cache_hit_rate()),
+        ),
+        (
+            "stripe_acquisitions",
+            Json::Int(stats.stripe_acquisitions as u64),
+        ),
     ])
 }
 

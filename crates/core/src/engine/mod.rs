@@ -60,6 +60,8 @@ pub mod parallel;
 mod per_state;
 mod shared;
 
+pub use parallel::ParallelConfig;
+
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -160,6 +162,31 @@ pub struct EngineStats {
     /// shards were *after* stealing.  Timing-dependent like
     /// [`EngineStats::steal_events`]; reported, not gated.
     pub shard_imbalance: usize,
+    /// Worker-epochs the **elastic** parallel engine ran: each worker
+    /// counts one per epoch it started between two barriers (so a barrier
+    /// run reports 0 and an elastic run reports ≥ its stepped-shard
+    /// count).  Timing-dependent (workers cut epochs short when another
+    /// shard requests a merge); reported, never gated.
+    pub epochs_run: usize,
+    /// Merges the elastic engine forced because a step read an address
+    /// whose owning shard had published a newer epoch — the *staleness*
+    /// detections of the lazy-merge protocol.  Timing-dependent; reported,
+    /// never gated.
+    pub stale_merges: usize,
+    /// Lookups (either direction) served by a worker-private
+    /// [`WorkerInternCache`](crate::intern::WorkerInternCache) without
+    /// touching the shared interner.  Timing-dependent in elastic runs;
+    /// reported, never gated.
+    pub worker_cache_hits: usize,
+    /// Worker-cache lookups that fell through to the shared
+    /// [`ShardedInterner`](crate::intern::ShardedInterner).
+    /// Timing-dependent; reported, never gated.
+    pub worker_cache_misses: usize,
+    /// Hot-path stripe-mutex acquisitions on the shared interner
+    /// ([`ShardedInterner::stripe_acquisitions`](crate::intern::ShardedInterner::stripe_acquisitions))
+    /// — the contention gauge the worker cache drives down.  0 for sequential
+    /// engines; reported, never gated (traced runs resolve extra labels).
+    pub stripe_acquisitions: usize,
 }
 
 impl EngineStats {
@@ -190,6 +217,11 @@ impl EngineStats {
         self.sync_rounds += other.sync_rounds;
         self.steal_events += other.steal_events;
         self.shard_imbalance = self.shard_imbalance.max(other.shard_imbalance);
+        self.epochs_run += other.epochs_run;
+        self.stale_merges += other.stale_merges;
+        self.worker_cache_hits += other.worker_cache_hits;
+        self.worker_cache_misses += other.worker_cache_misses;
+        self.stripe_acquisitions += other.stripe_acquisitions;
     }
 
     /// Average contribution joins per solver round — the E9 headline metric
@@ -215,6 +247,18 @@ impl EngineStats {
             self.intern_hits as f64 / total as f64
         }
     }
+
+    /// Fraction of worker-cache lookups served without a stripe lock —
+    /// the E14 headline metric for the per-worker intern memo.  0 when no
+    /// worker cache ran (sequential and barrier engines).
+    pub fn worker_cache_hit_rate(&self) -> f64 {
+        let total = self.worker_cache_hits + self.worker_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.worker_cache_hits as f64 / total as f64
+        }
+    }
 }
 
 impl fmt::Display for EngineStats {
@@ -222,7 +266,8 @@ impl fmt::Display for EngineStats {
         write!(
             f,
             "iters={} stepped={} hits={} reenq={} widenings={} joins={} rebuilds={} peak={} \
-             intern={}/{} distinct={} clones={} shared-bytes={} syncs={} steals={} imbalance={}",
+             intern={}/{} distinct={} clones={} shared-bytes={} syncs={} steals={} imbalance={} \
+             epochs={} stale={} memo={}/{} stripe-locks={}",
             self.iterations,
             self.states_stepped,
             self.cache_hits,
@@ -238,7 +283,12 @@ impl fmt::Display for EngineStats {
             self.store_bytes_shared,
             self.sync_rounds,
             self.steal_events,
-            self.shard_imbalance
+            self.shard_imbalance,
+            self.epochs_run,
+            self.stale_merges,
+            self.worker_cache_hits,
+            self.worker_cache_misses,
+            self.stripe_acquisitions
         )
     }
 }
@@ -428,6 +478,41 @@ pub trait ParallelCollecting<Ps, G, S>: Sized {
         F: StepFn<Ps, G, S>,
         T: TraceSink,
         Ps: fmt::Debug;
+
+    /// Solves the same fixpoint with the **barrier-elastic** driver
+    /// ([`parallel::elastic`]): workers advance independent sub-frontiers
+    /// for up to [`ParallelConfig::epochs`] epochs between barriers,
+    /// merging per-shard deltas lazily.  `epochs = 1` is exactly the
+    /// barrier engine.  The fixpoint is byte-identical to the direct
+    /// engine's at every configuration; the *work counters* of an elastic
+    /// run (steps, epochs, memo traffic) are timing-dependent and must
+    /// not be gated — only the fixpoint is deterministic.
+    fn explore_frontier_elastic<F>(
+        step: &F,
+        initial: Ps,
+        config: ParallelConfig,
+    ) -> (Self, EngineStats)
+    where
+        F: StepFn<Ps, G, S>,
+        Ps: fmt::Debug,
+    {
+        Self::explore_frontier_elastic_traced(step, initial, config, &mut NoopSink)
+    }
+
+    /// [`Self::explore_frontier_elastic`] with a [`TraceSink`] observing
+    /// the solve: the barrier-engine records plus one
+    /// [`EpochTrace`](crate::telemetry::EpochTrace) per worker epoch and
+    /// one [`MergeTrace`](crate::telemetry::MergeTrace) per lazy merge.
+    fn explore_frontier_elastic_traced<F, T>(
+        step: &F,
+        initial: Ps,
+        config: ParallelConfig,
+        sink: &mut T,
+    ) -> (Self, EngineStats)
+    where
+        F: StepFn<Ps, G, S>,
+        T: TraceSink,
+        Ps: fmt::Debug;
 }
 
 /// Computes the collecting semantics with the sharded parallel engine from
@@ -461,6 +546,39 @@ where
     T: TraceSink,
 {
     Fp::explore_frontier_parallel_traced(&step, initial, threads, sink)
+}
+
+/// Computes the collecting semantics with the barrier-elastic engine from
+/// a direct-style step function — the [`ParallelConfig`]-selecting
+/// counterpart of [`explore_worklist_parallel_stats`].
+pub fn explore_worklist_elastic_stats<Ps, G, S, Fp, F>(
+    step: F,
+    initial: Ps,
+    config: ParallelConfig,
+) -> (Fp, EngineStats)
+where
+    Ps: fmt::Debug,
+    Fp: ParallelCollecting<Ps, G, S>,
+    F: StepFn<Ps, G, S>,
+{
+    Fp::explore_frontier_elastic(&step, initial, config)
+}
+
+/// [`explore_worklist_elastic_stats`] with a
+/// [`TraceSink`] observing the solve.
+pub fn explore_worklist_elastic_traced_stats<Ps, G, S, Fp, F, T>(
+    step: F,
+    initial: Ps,
+    config: ParallelConfig,
+    sink: &mut T,
+) -> (Fp, EngineStats)
+where
+    Ps: fmt::Debug,
+    Fp: ParallelCollecting<Ps, G, S>,
+    F: StepFn<Ps, G, S>,
+    T: TraceSink,
+{
+    Fp::explore_frontier_elastic_traced(&step, initial, config, sink)
 }
 
 /// Analysis domains that can be solved by a frontier-driven worklist engine

@@ -78,6 +78,8 @@
 //! (`steal_events`, `shard_imbalance`) and the physical-sharing sample
 //! (`store_bytes_shared`, which depends on fold adoption order) may vary.
 
+pub mod elastic;
+
 use std::collections::BTreeSet;
 use std::hash::Hash;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -98,6 +100,38 @@ use super::shared::{
     STATE_LABEL_MAX,
 };
 use super::{EngineStats, ParallelCollecting, StateRoots, StepFn};
+
+/// The knob set of the parallel drivers: how many workers, and how many
+/// *epochs* each worker may advance its private sub-frontier between two
+/// sync barriers.
+///
+/// `epochs = 1` selects exactly the PR-5 **barrier** engine (every round
+/// ends in a join-on-sync barrier; work counters deterministic at every
+/// thread count).  `epochs > 1` selects the **elastic** engine
+/// ([`elastic`]): workers run up to `epochs` epochs on self-discovered
+/// work before the lazy merge, trading counter determinism (epoch/steal
+/// timing varies run to run) for less barrier time — the fixpoint itself
+/// stays byte-identical to the sequential direct engine either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker threads (clamped to ≥ 1 by the drivers).
+    pub threads: usize,
+    /// Maximum epochs between barriers (clamped to ≥ 1; 1 = barrier
+    /// engine).
+    pub epochs: usize,
+}
+
+impl ParallelConfig {
+    /// The PR-5 barrier engine: one epoch per round.
+    pub fn barrier(threads: usize) -> Self {
+        ParallelConfig { threads, epochs: 1 }
+    }
+
+    /// The elastic engine with the given epoch budget.
+    pub fn elastic(threads: usize, epochs: usize) -> Self {
+        ParallelConfig { threads, epochs }
+    }
+}
 
 /// A sense-reversing **hybrid** (spin-then-park) barrier for the round
 /// protocol.
@@ -670,6 +704,7 @@ where
         stats.intern_hits = interner.hits();
         stats.intern_misses = interner.misses();
         stats.distinct_states = interner.len();
+        stats.stripe_acquisitions = interner.stripe_acquisitions();
         // Un-intern only here, at the boundary: the structural domain is
         // assembled once, from the interner's value table.
         let states: BTreeSet<(Ps, G)> = interner
@@ -679,10 +714,24 @@ where
             .collect();
         (SharedStoreDomain::from_parts(states, store), stats)
     }
+
+    fn explore_frontier_elastic_traced<F, T>(
+        step: &F,
+        initial: Ps,
+        config: ParallelConfig,
+        sink: &mut T,
+    ) -> (Self, EngineStats)
+    where
+        F: StepFn<Ps, G, S>,
+        T: TraceSink,
+        Ps: std::fmt::Debug,
+    {
+        elastic::explore_elastic_traced(step, initial, config, sink)
+    }
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::super::{DirectCollecting, FrontierCollecting};
     use super::*;
     use crate::monad::{
@@ -693,7 +742,7 @@ mod tests {
 
     /// A heap value that is itself an address (a one-cell pointer).
     #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-    struct Ptr(u8);
+    pub(crate) struct Ptr(pub(crate) u8);
 
     impl Touches<u8> for Ptr {
         fn touches(&self) -> BTreeSet<u8> {
@@ -704,7 +753,7 @@ mod tests {
     /// The same read/write toy chain as the sequential engine's tests:
     /// state 1 reads cell 0, state 4 writes it.
     #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-    struct St(u32);
+    pub(crate) struct St(pub(crate) u32);
 
     impl StateRoots for St {
         type Addr = u8;
@@ -718,10 +767,10 @@ mod tests {
         }
     }
 
-    type G = u64;
-    type S = BasicStore<u8, Ptr>;
+    pub(crate) type G = u64;
+    pub(crate) type S = BasicStore<u8, Ptr>;
     type M = StorePassing<G, S>;
-    type Dom = SharedStoreDomain<St, G, S>;
+    pub(crate) type Dom = SharedStoreDomain<St, G, S>;
 
     fn step(st: St) -> <M as MonadFamily>::M<St> {
         let n = st.0;
@@ -744,7 +793,7 @@ mod tests {
         }
     }
 
-    fn direct_step(ps: St, g: G, s: S) -> Vec<((St, G), S)> {
+    pub(crate) fn direct_step(ps: St, g: G, s: S) -> Vec<((St, G), S)> {
         run_store_passing(step(ps), g, s)
     }
 
@@ -817,7 +866,7 @@ mod tests {
     /// The non-monotone machine of the sequential tests: the rebuild
     /// defence must fire — and still agree with Kleene — in parallel.
     #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-    struct NmSt(u32);
+    pub(crate) struct NmSt(pub(crate) u32);
 
     impl StateRoots for NmSt {
         type Addr = u8;
@@ -831,7 +880,7 @@ mod tests {
         }
     }
 
-    fn nonmonotone_step(st: NmSt) -> <StorePassing<G, S> as MonadFamily>::M<NmSt> {
+    pub(crate) fn nonmonotone_step(st: NmSt) -> <StorePassing<G, S> as MonadFamily>::M<NmSt> {
         type M = StorePassing<G, S>;
         match st.0 {
             0 => {

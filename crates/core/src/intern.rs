@@ -256,6 +256,12 @@ pub struct ShardedInterner<T, I: InternKey = StateId> {
     stripes: Vec<Mutex<Stripe<T, I>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    /// How many *hot-path* stripe locks ([`ShardedInterner::intern`] /
+    /// [`ShardedInterner::resolve_cloned`]) have been taken — the
+    /// contention gauge a per-worker memo is meant to drive down.
+    /// Coordinator-side bulk scans (`watermarks`, `fresh_since`, …) run
+    /// once per round and are deliberately not counted.
+    acquisitions: AtomicUsize,
 }
 
 impl<T, I: InternKey> Default for ShardedInterner<T, I> {
@@ -266,6 +272,7 @@ impl<T, I: InternKey> Default for ShardedInterner<T, I> {
                 .collect(),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            acquisitions: AtomicUsize::new(0),
         }
     }
 }
@@ -286,22 +293,32 @@ impl<T: std::hash::Hash + Eq, I: InternKey> ShardedInterner<T, I> {
     /// structurally-equal value was interned before (by any thread), a
     /// fresh one otherwise.  Takes exactly one stripe lock.
     pub fn intern(&self, value: T) -> I {
+        self.intern_fresh(value).0
+    }
+
+    /// Like [`ShardedInterner::intern`], but also reports whether *this
+    /// call* minted the id (`true` exactly once per distinct value, for
+    /// whichever thread won the race).  The elastic parallel engine uses
+    /// the flag to route freshly-discovered states into the minting
+    /// worker's own sub-frontier without a global fresh-scan per epoch.
+    pub fn intern_fresh(&self, value: T) -> (I, bool) {
         let hash = fx_hash_of(&value);
         let stripe_index = Self::stripe_of(hash);
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
         let mut stripe = self.stripes[stripe_index].lock().expect("stripe poisoned");
         let Stripe { buckets, values } = &mut *stripe;
         let candidates = buckets.entry(hash).or_default();
         for &id in candidates.iter() {
             if values[id.index() / STRIPES] == value {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return id;
+                return (id, false);
             }
         }
         let id = I::from_index(values.len() * STRIPES + stripe_index);
         candidates.push(id);
         values.push(value);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        id
+        (id, true)
     }
 
     /// Un-interns an id back to (a clone of) the value it stands for.
@@ -313,6 +330,7 @@ impl<T: std::hash::Hash + Eq, I: InternKey> ShardedInterner<T, I> {
     where
         T: Clone,
     {
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
         let stripe = self.stripes[id.index() % STRIPES]
             .lock()
             .expect("stripe poisoned");
@@ -404,6 +422,123 @@ impl<T: std::hash::Hash + Eq, I: InternKey> ShardedInterner<T, I> {
     /// one per distinct value, so this equals [`ShardedInterner::len`].
     pub fn misses(&self) -> usize {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// How many hot-path stripe locks have been taken so far (one per
+    /// [`ShardedInterner::intern`] / [`ShardedInterner::resolve_cloned`]
+    /// call) — the contention gauge [`WorkerInternCache`] exists to
+    /// reduce.
+    pub fn stripe_acquisitions(&self) -> usize {
+        self.acquisitions.load(Ordering::Relaxed)
+    }
+}
+
+/// A small per-worker id⇄value memo fronting a shared [`ShardedInterner`].
+///
+/// The parallel engines resolve and re-intern the same hot states round
+/// after round, and every such call takes a stripe mutex on the shared
+/// table.  A worker-private memo answers re-touched values without any
+/// lock: one bounded Fx-hash table caches `id → value` (serving
+/// [`WorkerInternCache::resolve_cloned`] directly and providing the deep
+/// comparison for [`WorkerInternCache::intern_fresh`] candidates), and a
+/// companion `hash → candidate ids` index makes the value→id direction a
+/// hash probe.  On overflow the memo is simply cleared — it is a cache,
+/// never the source of truth, so eviction cannot affect results.
+///
+/// Hits and misses are counted locally and merged into
+/// [`EngineStats`](crate::engine::EngineStats) as
+/// `worker_cache_hits`/`worker_cache_misses` by the elastic driver.
+#[derive(Debug)]
+pub struct WorkerInternCache<T, I: InternKey = StateId> {
+    /// Precomputed hash → candidate ids (mirrors the interner's buckets).
+    by_hash: FxHashMap<u64, Vec<I>>,
+    /// id index → cached value (the single value store of the memo).
+    by_id: FxHashMap<usize, T>,
+    /// Clear-on-full bound on `by_id` (entries, not bytes).
+    capacity: usize,
+    hits: usize,
+    misses: usize,
+}
+
+/// The default [`WorkerInternCache`] bound: generously above the hot-set
+/// size of the committed workloads while keeping the worst-case memo
+/// footprint (states can be large) moderate.
+pub const WORKER_CACHE_CAPACITY: usize = 1 << 14;
+
+impl<T: std::hash::Hash + Eq + Clone, I: InternKey> WorkerInternCache<T, I> {
+    /// Creates an empty memo bounded at `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        WorkerInternCache {
+            by_hash: FxHashMap::default(),
+            by_id: FxHashMap::default(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Memoised [`ShardedInterner::intern`]: lock-free on a memo hit.
+    pub fn intern(&mut self, interner: &ShardedInterner<T, I>, value: T) -> I {
+        self.intern_fresh(interner, value).0
+    }
+
+    /// Memoised [`ShardedInterner::intern_fresh`]: lock-free on a memo
+    /// hit (a memoised value is never fresh).
+    pub fn intern_fresh(&mut self, interner: &ShardedInterner<T, I>, value: T) -> (I, bool) {
+        let hash = fx_hash_of(&value);
+        if let Some(candidates) = self.by_hash.get(&hash) {
+            for &id in candidates {
+                if self.by_id.get(&id.index()) == Some(&value) {
+                    self.hits += 1;
+                    return (id, false);
+                }
+            }
+        }
+        self.misses += 1;
+        let (id, minted) = interner.intern_fresh(value.clone());
+        self.insert(hash, id, value);
+        (id, minted)
+    }
+
+    /// Memoised [`ShardedInterner::resolve_cloned`]: lock-free on a memo
+    /// hit.
+    pub fn resolve_cloned(&mut self, interner: &ShardedInterner<T, I>, id: I) -> T {
+        if let Some(value) = self.by_id.get(&id.index()) {
+            self.hits += 1;
+            return value.clone();
+        }
+        self.misses += 1;
+        let value = interner.resolve_cloned(id);
+        self.insert(fx_hash_of(&value), id, value.clone());
+        value
+    }
+
+    fn insert(&mut self, hash: u64, id: I, value: T) {
+        if self.by_id.len() >= self.capacity {
+            self.by_id.clear();
+            self.by_hash.clear();
+        }
+        self.by_hash.entry(hash).or_default().push(id);
+        self.by_id.insert(id.index(), value);
+    }
+
+    /// How many memo lookups (either direction) were answered locally.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// How many memo lookups fell through to the shared interner.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Drains the hit/miss counters (for per-phase stats merging),
+    /// leaving the memo contents intact.
+    pub fn take_counters(&mut self) -> (usize, usize) {
+        (
+            std::mem::take(&mut self.hits),
+            std::mem::take(&mut self.misses),
+        )
     }
 }
 
@@ -536,6 +671,67 @@ mod tests {
         for (id, value) in sharded.entries_cloned() {
             assert_eq!(sharded.intern(value), id);
             assert!(seen.insert(id), "duplicate id {id:?}");
+        }
+    }
+
+    #[test]
+    fn intern_fresh_reports_minting_exactly_once() {
+        let sharded: ShardedInterner<u32, StateId> = ShardedInterner::new();
+        let (a, minted_a) = sharded.intern_fresh(7);
+        let (b, minted_b) = sharded.intern_fresh(7);
+        assert_eq!(a, b);
+        assert!(minted_a);
+        assert!(!minted_b);
+        // The hot-path gauge counts both intern calls and resolves.
+        let before = sharded.stripe_acquisitions();
+        let _ = sharded.resolve_cloned(a);
+        let _ = sharded.intern(7);
+        assert_eq!(sharded.stripe_acquisitions(), before + 2);
+    }
+
+    #[test]
+    fn worker_cache_agrees_with_interner_and_skips_stripe_locks() {
+        let sharded: ShardedInterner<(u8, u8), StateId> = ShardedInterner::new();
+        let mut memo: WorkerInternCache<(u8, u8), StateId> = WorkerInternCache::new(64);
+        // 30 distinct pairs (lcm(30, 6) = 30), comfortably under the
+        // 64-entry capacity so the memo never clears mid-test.
+        let values: Vec<(u8, u8)> = (0..120u16)
+            .map(|n| ((n % 30) as u8, (n % 6) as u8))
+            .collect();
+        let direct: Vec<StateId> = values.iter().map(|v| sharded.intern(*v)).collect();
+        let locks_before = sharded.stripe_acquisitions();
+        let memoed: Vec<StateId> = values.iter().map(|v| memo.intern(&sharded, *v)).collect();
+        assert_eq!(direct, memoed);
+        // Only the first sight of each distinct value fell through.
+        let distinct: std::collections::BTreeSet<_> = values.iter().collect();
+        assert_eq!(memo.misses(), distinct.len());
+        assert_eq!(memo.hits(), values.len() - distinct.len());
+        assert_eq!(sharded.stripe_acquisitions(), locks_before + distinct.len());
+        // Resolution is served from the memo once cached.
+        let locks_before = sharded.stripe_acquisitions();
+        for (v, id) in values.iter().zip(direct.iter()) {
+            assert_eq!(memo.resolve_cloned(&sharded, *id), *v);
+        }
+        assert_eq!(sharded.stripe_acquisitions(), locks_before);
+        // take_counters drains without touching the cached contents.
+        let (h, m) = memo.take_counters();
+        assert!(h > 0 && m > 0);
+        assert_eq!((memo.hits(), memo.misses()), (0, 0));
+        assert_eq!(memo.intern(&sharded, values[0]), direct[0]);
+        assert_eq!((memo.hits(), memo.misses()), (1, 0));
+    }
+
+    #[test]
+    fn worker_cache_overflow_clears_but_stays_correct() {
+        let sharded: ShardedInterner<u32, StateId> = ShardedInterner::new();
+        let mut memo: WorkerInternCache<u32, StateId> = WorkerInternCache::new(8);
+        for round in 0..3u32 {
+            for n in 0..100u32 {
+                let id = memo.intern(&sharded, n);
+                assert_eq!(sharded.intern(n), id);
+                assert_eq!(memo.resolve_cloned(&sharded, id), n);
+            }
+            assert_eq!(sharded.len(), 100, "round {round}");
         }
     }
 

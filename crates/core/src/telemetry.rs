@@ -122,6 +122,47 @@ pub struct StealTrace {
     pub victim: usize,
 }
 
+/// One worker epoch of the **elastic** parallel driver: between two
+/// barriers a worker advances its private sub-frontier for up to `E`
+/// epochs, and each one is reported as a span nested inside the worker's
+/// busy window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochTrace {
+    /// The solver (super-)round the epoch belongs to.
+    pub round: usize,
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// 1-based epoch number within the round.
+    pub epoch: usize,
+    /// States stepped during this epoch.
+    pub stepped: usize,
+    /// Fresh states this epoch minted into the worker's next sub-frontier.
+    pub fresh: usize,
+    /// Whether the epoch detected a stale read (another shard published a
+    /// newer epoch for an address this worker read) and forced the merge.
+    pub stale_exit: bool,
+    /// Nanoseconds spent inside the epoch body.
+    pub busy_ns: u64,
+}
+
+/// One lazy merge of the elastic driver: the barrier at which per-shard
+/// deltas accumulated over the round's epochs are folded into the global
+/// store and the dependency index is re-seeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeTrace {
+    /// The solver (super-)round the merge ended.
+    pub round: usize,
+    /// Entries installed at this merge (one per state stepped this round).
+    pub entries: usize,
+    /// Addresses whose accumulated binding grew at this merge.
+    pub changed: usize,
+    /// Whether any worker forced this merge through a stale read (as
+    /// opposed to frontier drain or epoch-budget exhaustion).
+    pub stale: bool,
+    /// Nanoseconds the coordinator spent folding the deltas.
+    pub merge_ns: u64,
+}
+
 /// A structured trace consumer, threaded through the engines' `_traced`
 /// entry points.
 ///
@@ -145,6 +186,12 @@ pub trait TraceSink {
 
     /// One work-stealing event.
     fn steal(&mut self, _event: StealTrace) {}
+
+    /// One worker epoch of the elastic driver.
+    fn epoch(&mut self, _event: EpochTrace) {}
+
+    /// One lazy merge of the elastic driver.
+    fn merge(&mut self, _event: MergeTrace) {}
 
     /// `ns` nanoseconds were spent stepping the state labelled `label`
     /// (cumulative attribution: called once per step of that state).
@@ -201,6 +248,10 @@ pub struct WorkerBuffer {
     pub victims: Vec<usize>,
     /// Per-step cost records `(state id, ns)`.
     pub costs: Vec<(StateId, u64)>,
+    /// Elastic-driver epochs this worker ran within the phase
+    /// (`(epoch, stepped, fresh, stale_exit, busy_ns)`); empty for the
+    /// barrier driver.
+    pub epochs: Vec<(usize, usize, usize, bool, u64)>,
 }
 
 impl WorkerBuffer {
@@ -231,6 +282,17 @@ impl WorkerBuffer {
                 round,
                 thief: worker,
                 victim,
+            });
+        }
+        for (epoch, stepped, fresh, stale_exit, busy_ns) in self.epochs {
+            sink.epoch(EpochTrace {
+                round,
+                worker,
+                epoch,
+                stepped,
+                fresh,
+                stale_exit,
+                busy_ns,
             });
         }
         for (id, ns) in self.costs {
@@ -301,6 +363,10 @@ pub struct TraceBuffer {
     pub workers: Vec<WorkerSpan>,
     /// Every recorded steal event, in arrival order.
     pub steals: Vec<StealTrace>,
+    /// Every recorded elastic worker epoch, in arrival order.
+    pub epochs: Vec<EpochTrace>,
+    /// Every recorded elastic merge, in arrival order.
+    pub merges: Vec<MergeTrace>,
     state_costs: FxHashMap<String, (usize, u64)>,
     join_counts: FxHashMap<String, (usize, usize)>,
 }
@@ -320,6 +386,14 @@ impl TraceSink for TraceBuffer {
 
     fn steal(&mut self, event: StealTrace) {
         self.steals.push(event);
+    }
+
+    fn epoch(&mut self, event: EpochTrace) {
+        self.epochs.push(event);
+    }
+
+    fn merge(&mut self, event: MergeTrace) {
+        self.merges.push(event);
     }
 
     fn state_cost(&mut self, label: &str, ns: u64) {
@@ -503,6 +577,31 @@ impl TraceBuffer {
                         ),
                     );
                 }
+                // Elastic epochs nest inside the worker's busy slice,
+                // stacked in epoch order.
+                let mut epoch_cursor = step_start;
+                for e in self
+                    .epochs
+                    .iter()
+                    .filter(|e| e.round == r.round && e.worker == span.worker)
+                {
+                    push(
+                        &mut out,
+                        format!(
+                            "{{\"name\":\"epoch {}\",\"cat\":\"epoch\",\"ph\":\"X\",\
+                             \"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\"args\":{{\
+                             \"stepped\":{},\"fresh\":{},\"stale_exit\":{}}}}}",
+                            e.epoch,
+                            us(epoch_cursor),
+                            us(e.busy_ns),
+                            e.worker + 1,
+                            e.stepped,
+                            e.fresh,
+                            e.stale_exit
+                        ),
+                    );
+                    epoch_cursor += e.busy_ns;
+                }
             }
             for steal in self.steals.iter().filter(|s| s.round == r.round) {
                 push(
@@ -530,6 +629,23 @@ impl TraceBuffer {
                     r.delta_width
                 ),
             );
+            // Elastic lazy merges nest inside the round's join slice.
+            for m in self.merges.iter().filter(|m| m.round == r.round) {
+                push(
+                    &mut out,
+                    format!(
+                        "{{\"name\":\"round {} merge\",\"cat\":\"merge\",\"ph\":\"X\",\
+                         \"ts\":{},\"dur\":{},\"pid\":0,\"tid\":0,\"args\":{{\
+                         \"entries\":{},\"changed\":{},\"stale\":{}}}}}",
+                        m.round,
+                        us(cursor_ns),
+                        us(m.merge_ns),
+                        m.entries,
+                        m.changed,
+                        m.stale
+                    ),
+                );
+            }
             cursor_ns += r.join_ns;
             if r.sync_ns > 0 {
                 push(
@@ -626,6 +742,16 @@ impl TraceBuffer {
                     ms(wait),
                 );
             }
+        }
+        if !self.epochs.is_empty() {
+            let stale = self.epochs.iter().filter(|e| e.stale_exit).count();
+            let max_epoch = self.epochs.iter().map(|e| e.epoch).max().unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "elastic: {} worker-epochs (deepest {max_epoch}, {stale} stale exits) over {} merges",
+                self.epochs.len(),
+                self.merges.len(),
+            );
         }
         let hot_states = self.top_states(k);
         if !hot_states.is_empty() {
@@ -811,6 +937,7 @@ mod tests {
             busy_ns: 800,
             victims: vec![2],
             costs: vec![(StateId::from_index(0), 500)],
+            epochs: Vec::new(),
         };
         let mut sink = TraceBuffer::new();
         buffer.drain_into(3, 1, 5, 1_000, &mut sink, |id| format!("id{}", id.index()));
@@ -834,5 +961,45 @@ mod tests {
             }]
         );
         assert_eq!(sink.top_states(1)[0].label, "id0");
+    }
+
+    #[test]
+    fn elastic_epochs_and_merges_flow_through_buffer_and_exports() {
+        let mut buf = sample_buffer();
+        let worker_buf = WorkerBuffer {
+            busy_ns: 900,
+            victims: vec![],
+            costs: vec![],
+            epochs: vec![(1, 3, 2, false, 600), (2, 2, 0, true, 300)],
+        };
+        worker_buf.drain_into(1, 0, 5, 1_000, &mut buf, |_| String::new());
+        buf.merge(MergeTrace {
+            round: 1,
+            entries: 5,
+            changed: 2,
+            stale: true,
+            merge_ns: 400,
+        });
+        assert_eq!(buf.epochs.len(), 2);
+        assert_eq!(
+            buf.epochs[1],
+            EpochTrace {
+                round: 1,
+                worker: 0,
+                epoch: 2,
+                stepped: 2,
+                fresh: 0,
+                stale_exit: true,
+                busy_ns: 300,
+            }
+        );
+        let json = buf.chrome_trace_json();
+        assert!(json.contains("\"cat\":\"epoch\""));
+        assert!(json.contains("\"cat\":\"merge\""));
+        assert!(json.contains("\"stale_exit\":true"));
+        let summary = buf.profile_summary(5);
+        assert!(
+            summary.contains("elastic: 2 worker-epochs (deepest 2, 1 stale exits) over 1 merges")
+        );
     }
 }

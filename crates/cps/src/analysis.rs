@@ -17,9 +17,11 @@ use mai_core::collect::{
 };
 use mai_core::engine::{
     explore_worklist_direct_stats, explore_worklist_direct_traced_stats,
+    explore_worklist_elastic_stats, explore_worklist_elastic_traced_stats,
     explore_worklist_parallel_stats, explore_worklist_parallel_traced_stats,
     explore_worklist_rescan_stats, explore_worklist_stats, explore_worklist_structural_stats,
     with_state_gc, DirectCollecting, EngineStats, FrontierCollecting, ParallelCollecting,
+    ParallelConfig,
 };
 use mai_core::gc::{reachable, GcStrategy, Touches};
 use mai_core::lattice::{KleeneOutcome, Lattice};
@@ -262,6 +264,69 @@ where
         with_state_gc(crate::direct::mnext_direct::<C, S>),
         PState::inject(program.clone()),
         threads,
+    )
+}
+
+/// Like [`analyse_worklist_parallel`], but solved by the **barrier-elastic
+/// driver** ([`mai_core::engine::parallel::elastic`]): workers advance
+/// private sub-frontiers for up to [`ParallelConfig::epochs`] epochs
+/// between barriers, merging per-shard store deltas lazily.  The fixpoint
+/// stays byte-identical to [`analyse_worklist_direct`]; the *work
+/// counters* become timing-dependent (`epochs = 1` delegates to the
+/// barrier engine, deterministic counters and all).
+pub fn analyse_worklist_elastic<C, S, Fp>(
+    program: &CExp,
+    config: ParallelConfig,
+) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Val<C::Addr>>> + Value,
+    Fp: ParallelCollecting<PState<C::Addr>, C, S>,
+{
+    explore_worklist_elastic_stats(
+        crate::direct::mnext_direct::<C, S>,
+        PState::inject(program.clone()),
+        config,
+    )
+}
+
+/// [`analyse_worklist_elastic`] with a
+/// [`TraceSink`](mai_core::telemetry::TraceSink) observing the solve
+/// (per-round, per-worker, per-epoch and per-merge profiles).
+pub fn analyse_worklist_elastic_traced<C, S, Fp, T>(
+    program: &CExp,
+    config: ParallelConfig,
+    sink: &mut T,
+) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Val<C::Addr>>> + Value,
+    Fp: ParallelCollecting<PState<C::Addr>, C, S>,
+    T: mai_core::telemetry::TraceSink,
+{
+    explore_worklist_elastic_traced_stats(
+        crate::direct::mnext_direct::<C, S>,
+        PState::inject(program.clone()),
+        config,
+        sink,
+    )
+}
+
+/// Like [`analyse_gc_worklist_parallel`], but on the barrier-elastic
+/// driver.
+pub fn analyse_gc_worklist_elastic<C, S, Fp>(
+    program: &CExp,
+    config: ParallelConfig,
+) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Val<C::Addr>>> + Value,
+    Fp: ParallelCollecting<PState<C::Addr>, C, S>,
+{
+    explore_worklist_elastic_stats(
+        with_state_gc(crate::direct::mnext_direct::<C, S>),
+        PState::inject(program.clone()),
+        config,
     )
 }
 
@@ -541,6 +606,52 @@ pub fn analyse_kcfa_with_count_parallel<const K: usize>(
     threads: usize,
 ) -> (KCfaCounting<K>, EngineStats) {
     analyse_worklist_parallel::<KCallCtx<K>, KCountingStore, _>(program, threads)
+}
+
+/// [`analyse_kcfa_shared_direct`] solved by the barrier-elastic driver —
+/// the E14 measurement subject.
+pub fn analyse_kcfa_shared_elastic<const K: usize>(
+    program: &CExp,
+    config: ParallelConfig,
+) -> (KCfaShared<K>, EngineStats) {
+    analyse_worklist_elastic::<KCallCtx<K>, KStore, _>(program, config)
+}
+
+/// [`analyse_kcfa_shared_elastic`] with a
+/// [`TraceSink`](mai_core::telemetry::TraceSink) observing the solve
+/// (per-round, per-worker, per-epoch and per-merge profiles).
+pub fn analyse_kcfa_shared_elastic_traced<const K: usize, T>(
+    program: &CExp,
+    config: ParallelConfig,
+    sink: &mut T,
+) -> (KCfaShared<K>, EngineStats)
+where
+    T: mai_core::telemetry::TraceSink,
+{
+    analyse_worklist_elastic_traced::<KCallCtx<K>, KStore, _, T>(program, config, sink)
+}
+
+/// [`analyse_kcfa_shared_gc_direct`] solved by the barrier-elastic driver.
+pub fn analyse_kcfa_shared_gc_elastic<const K: usize>(
+    program: &CExp,
+    config: ParallelConfig,
+) -> (KCfaShared<K>, EngineStats) {
+    analyse_gc_worklist_elastic::<KCallCtx<K>, KStore, _>(program, config)
+}
+
+/// [`analyse_mono_direct`] solved by the barrier-elastic driver.
+pub fn analyse_mono_elastic(program: &CExp, config: ParallelConfig) -> (MonoShared, EngineStats) {
+    analyse_worklist_elastic::<MonoCtx, BasicStore<MonoAddr, Val<MonoAddr>>, _>(program, config)
+}
+
+/// [`analyse_kcfa_with_count_direct`] solved by the barrier-elastic
+/// driver (abstract counting commutes with lazy merging: the counting
+/// store's join is the analysis join).
+pub fn analyse_kcfa_with_count_elastic<const K: usize>(
+    program: &CExp,
+    config: ParallelConfig,
+) -> (KCfaCounting<K>, EngineStats) {
+    analyse_worklist_elastic::<KCallCtx<K>, KCountingStore, _>(program, config)
 }
 
 /// How many distinct environments the states of a shared-store fixpoint

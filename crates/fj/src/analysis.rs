@@ -14,9 +14,11 @@ use mai_core::addr::{Context, NamedAddress};
 use mai_core::collect::{run_analysis, with_gc, Collecting, PerStateDomain, SharedStoreDomain};
 use mai_core::engine::{
     explore_worklist_direct_stats, explore_worklist_direct_traced_stats,
+    explore_worklist_elastic_stats, explore_worklist_elastic_traced_stats,
     explore_worklist_parallel_stats, explore_worklist_parallel_traced_stats,
     explore_worklist_rescan_stats, explore_worklist_stats, explore_worklist_structural_stats,
     with_state_gc, DirectCollecting, EngineStats, FrontierCollecting, ParallelCollecting,
+    ParallelConfig,
 };
 use mai_core::gc::{reachable, GcStrategy, Touches};
 use mai_core::monad::{
@@ -320,6 +322,73 @@ where
     )
 }
 
+/// Like [`analyse_worklist_parallel`], but solved by the **barrier-elastic
+/// driver** ([`mai_core::engine::parallel::elastic`]): workers advance
+/// private sub-frontiers for up to [`ParallelConfig::epochs`] epochs
+/// between barriers, merging per-shard store deltas lazily.  The fixpoint
+/// stays byte-identical to [`analyse_worklist_direct`]; the *work
+/// counters* become timing-dependent (`epochs = 1` delegates to the
+/// barrier engine, deterministic counters and all).
+pub fn analyse_worklist_elastic<C, S, Fp>(
+    program: &Program,
+    config: ParallelConfig,
+) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: ParallelCollecting<PState<C::Addr>, C, S>,
+{
+    let table = program.table.clone();
+    explore_worklist_elastic_stats(
+        move |ps, ctx, store| crate::direct::mnext_direct::<C, S>(&table, ps, ctx, store),
+        PState::inject(program.main.clone()),
+        config,
+    )
+}
+
+/// [`analyse_worklist_elastic`] with a
+/// [`TraceSink`](mai_core::telemetry::TraceSink) observing the solve
+/// (per-round, per-worker, per-epoch and per-merge profiles).
+pub fn analyse_worklist_elastic_traced<C, S, Fp, T>(
+    program: &Program,
+    config: ParallelConfig,
+    sink: &mut T,
+) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: ParallelCollecting<PState<C::Addr>, C, S>,
+    T: mai_core::telemetry::TraceSink,
+{
+    let table = program.table.clone();
+    explore_worklist_elastic_traced_stats(
+        move |ps, ctx, store| crate::direct::mnext_direct::<C, S>(&table, ps, ctx, store),
+        PState::inject(program.main.clone()),
+        config,
+        sink,
+    )
+}
+
+/// Like [`analyse_with_gc_parallel`], but on the barrier-elastic driver.
+pub fn analyse_with_gc_elastic<C, S, Fp>(
+    program: &Program,
+    config: ParallelConfig,
+) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: ParallelCollecting<PState<C::Addr>, C, S>,
+{
+    let table = program.table.clone();
+    explore_worklist_elastic_stats(
+        with_state_gc(move |ps, ctx, store| {
+            crate::direct::mnext_direct::<C, S>(&table, ps, ctx, store)
+        }),
+        PState::inject(program.main.clone()),
+        config,
+    )
+}
+
 /// Like [`analyse_worklist`], but solved by the PR-2 *structural-key*
 /// incremental engine (states as `BTreeMap` keys instead of interned ids) —
 /// a differential-testing oracle and the E10 benchmark baseline.
@@ -553,6 +622,45 @@ where
 pub fn analyse_mono_parallel(program: &Program, threads: usize) -> (MonoFjShared, EngineStats) {
     analyse_worklist_parallel::<MonoCtx, BasicStore<MonoAddr, Storable<MonoAddr>>, _>(
         program, threads,
+    )
+}
+
+/// [`analyse_kcfa_shared_direct`] solved by the barrier-elastic driver.
+pub fn analyse_kcfa_shared_elastic<const K: usize>(
+    program: &Program,
+    config: ParallelConfig,
+) -> (KFjShared<K>, EngineStats) {
+    analyse_worklist_elastic::<KCallCtx<K>, KFjStore, _>(program, config)
+}
+
+/// [`analyse_kcfa_shared_elastic`] with a
+/// [`TraceSink`](mai_core::telemetry::TraceSink) observing the solve.
+pub fn analyse_kcfa_shared_elastic_traced<const K: usize, T>(
+    program: &Program,
+    config: ParallelConfig,
+    sink: &mut T,
+) -> (KFjShared<K>, EngineStats)
+where
+    T: mai_core::telemetry::TraceSink,
+{
+    analyse_worklist_elastic_traced::<KCallCtx<K>, KFjStore, _, T>(program, config, sink)
+}
+
+/// [`analyse_kcfa_shared_gc_direct`] solved by the barrier-elastic driver.
+pub fn analyse_kcfa_shared_gc_elastic<const K: usize>(
+    program: &Program,
+    config: ParallelConfig,
+) -> (KFjShared<K>, EngineStats) {
+    analyse_with_gc_elastic::<KCallCtx<K>, KFjStore, _>(program, config)
+}
+
+/// [`analyse_mono_direct`] solved by the barrier-elastic driver.
+pub fn analyse_mono_elastic(
+    program: &Program,
+    config: ParallelConfig,
+) -> (MonoFjShared, EngineStats) {
+    analyse_worklist_elastic::<MonoCtx, BasicStore<MonoAddr, Storable<MonoAddr>>, _>(
+        program, config,
     )
 }
 

@@ -12,9 +12,11 @@ use mai_core::addr::{Context, NamedAddress};
 use mai_core::collect::{run_analysis, with_gc, Collecting, PerStateDomain, SharedStoreDomain};
 use mai_core::engine::{
     explore_worklist_direct_stats, explore_worklist_direct_traced_stats,
+    explore_worklist_elastic_stats, explore_worklist_elastic_traced_stats,
     explore_worklist_parallel_stats, explore_worklist_parallel_traced_stats,
     explore_worklist_rescan_stats, explore_worklist_stats, explore_worklist_structural_stats,
     with_state_gc, DirectCollecting, EngineStats, FrontierCollecting, ParallelCollecting,
+    ParallelConfig,
 };
 use mai_core::gc::Touches;
 use mai_core::gc::{reachable, GcStrategy};
@@ -291,6 +293,62 @@ where
     )
 }
 
+/// Like [`analyse_worklist_parallel`], but solved by the **barrier-elastic
+/// driver** ([`mai_core::engine::parallel::elastic`]): workers advance
+/// private sub-frontiers for up to [`ParallelConfig::epochs`] epochs
+/// between barriers, merging per-shard store deltas lazily.  The fixpoint
+/// stays byte-identical to [`analyse_worklist_direct`]; the *work
+/// counters* become timing-dependent (`epochs = 1` delegates to the
+/// barrier engine, deterministic counters and all).
+pub fn analyse_worklist_elastic<C, S, Fp>(term: &Term, config: ParallelConfig) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: ParallelCollecting<PState<C::Addr>, C, S>,
+{
+    explore_worklist_elastic_stats(
+        crate::direct::mnext_direct::<C, S>,
+        PState::inject(term.clone()),
+        config,
+    )
+}
+
+/// [`analyse_worklist_elastic`] with a
+/// [`TraceSink`](mai_core::telemetry::TraceSink) observing the solve
+/// (per-round, per-worker, per-epoch and per-merge profiles).
+pub fn analyse_worklist_elastic_traced<C, S, Fp, T>(
+    term: &Term,
+    config: ParallelConfig,
+    sink: &mut T,
+) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: ParallelCollecting<PState<C::Addr>, C, S>,
+    T: mai_core::telemetry::TraceSink,
+{
+    explore_worklist_elastic_traced_stats(
+        crate::direct::mnext_direct::<C, S>,
+        PState::inject(term.clone()),
+        config,
+        sink,
+    )
+}
+
+/// Like [`analyse_with_gc_parallel`], but on the barrier-elastic driver.
+pub fn analyse_with_gc_elastic<C, S, Fp>(term: &Term, config: ParallelConfig) -> (Fp, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: ParallelCollecting<PState<C::Addr>, C, S>,
+{
+    explore_worklist_elastic_stats(
+        with_state_gc(crate::direct::mnext_direct::<C, S>),
+        PState::inject(term.clone()),
+        config,
+    )
+}
+
 /// Like [`analyse_worklist`], but solved by the PR-2 *structural-key*
 /// incremental engine (states as `BTreeMap` keys instead of interned ids) —
 /// a differential-testing oracle and the E10 benchmark baseline.
@@ -540,6 +598,40 @@ pub fn analyse_kcfa_with_count_parallel<const K: usize>(
     EngineStats,
 ) {
     analyse_worklist_parallel::<KCallCtx<K>, KCeskCountingStore, _>(term, threads)
+}
+
+/// [`analyse_kcfa_shared_direct`] solved by the barrier-elastic driver.
+pub fn analyse_kcfa_shared_elastic<const K: usize>(
+    term: &Term,
+    config: ParallelConfig,
+) -> (KCeskShared<K>, EngineStats) {
+    analyse_worklist_elastic::<KCallCtx<K>, KCeskStore, _>(term, config)
+}
+
+/// [`analyse_kcfa_shared_elastic`] with a
+/// [`TraceSink`](mai_core::telemetry::TraceSink) observing the solve.
+pub fn analyse_kcfa_shared_elastic_traced<const K: usize, T>(
+    term: &Term,
+    config: ParallelConfig,
+    sink: &mut T,
+) -> (KCeskShared<K>, EngineStats)
+where
+    T: mai_core::telemetry::TraceSink,
+{
+    analyse_worklist_elastic_traced::<KCallCtx<K>, KCeskStore, _, T>(term, config, sink)
+}
+
+/// [`analyse_kcfa_shared_gc_direct`] solved by the barrier-elastic driver.
+pub fn analyse_kcfa_shared_gc_elastic<const K: usize>(
+    term: &Term,
+    config: ParallelConfig,
+) -> (KCeskShared<K>, EngineStats) {
+    analyse_with_gc_elastic::<KCallCtx<K>, KCeskStore, _>(term, config)
+}
+
+/// [`analyse_mono_direct`] solved by the barrier-elastic driver.
+pub fn analyse_mono_elastic(term: &Term, config: ParallelConfig) -> (MonoCeskShared, EngineStats) {
+    analyse_worklist_elastic::<MonoCtx, BasicStore<MonoAddr, Storable<MonoAddr>>, _>(term, config)
 }
 
 /// Which λ-abstraction parameters each variable may be bound to, extracted

@@ -49,10 +49,12 @@ pub use analysis::{
     flow_map_of_store, CeskGc,
 };
 pub use analysis::{
-    analyse_kcfa_shared_direct, analyse_kcfa_shared_direct_traced, analyse_kcfa_shared_gc_direct,
-    analyse_kcfa_shared_parallel_traced, analyse_kcfa_with_count_direct, analyse_mono_direct,
+    analyse_kcfa_shared_direct, analyse_kcfa_shared_direct_traced, analyse_kcfa_shared_elastic,
+    analyse_kcfa_shared_elastic_traced, analyse_kcfa_shared_gc_direct,
+    analyse_kcfa_shared_gc_elastic, analyse_kcfa_shared_parallel_traced,
+    analyse_kcfa_with_count_direct, analyse_mono_direct, analyse_mono_elastic,
     analyse_with_gc_worklist_direct, analyse_worklist_direct, analyse_worklist_direct_traced,
-    analyse_worklist_parallel_traced,
+    analyse_worklist_elastic_traced, analyse_worklist_parallel_traced,
 };
 pub use concrete::{decode_church_numeral, evaluate, evaluate_with_limit, Outcome};
 pub use direct::mnext_direct;

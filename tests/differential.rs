@@ -307,6 +307,155 @@ fn committed_seeds_replay_the_full_matrix() {
     }
 }
 
+/// The epoch budgets every elastic differential run is replayed at:
+/// the barrier-delegation point, the smallest genuinely-elastic budget,
+/// and a deep budget that lets sub-frontiers run well ahead of the merge.
+const ELASTIC_EPOCHS: [usize; 3] = [1, 2, 8];
+
+/// The barrier-elastic driver against the sequential direct oracle over
+/// the committed corpus: λ and CPS, plain and GC'd, 1CFA shared store, at
+/// every `threads × epochs` point of the committed grid.  Only **fixpoint
+/// equality** is asserted — elastic work counters are timing-dependent by
+/// design (a worker may legitimately re-step a state it saw stale), so
+/// unlike [`assert_parallel_counters`] no step/join parity is demanded.
+#[test]
+fn elastic_matches_direct_across_committed_seeds() {
+    use mai_core::engine::ParallelConfig;
+    use mai_cps::analysis as ca;
+    use mai_lambda::analysis as la;
+    type Ctx = KCallCtx<1>;
+    type LStore = BasicStore<KCallAddr, mai_lambda::Storable<KCallAddr>>;
+    type CStore = BasicStore<KCallAddr, mai_cps::Val<KCallAddr>>;
+    type LDom = mai_core::SharedStoreDomain<mai_lambda::PState<KCallAddr>, Ctx, LStore>;
+    type CDom = mai_core::SharedStoreDomain<mai_cps::PState<KCallAddr>, Ctx, CStore>;
+
+    for seed in COMMITTED_SEEDS {
+        let term = term_from_seed(seed);
+        let program = mai_cps::cps_convert(&term);
+        let (l_direct, _): (LDom, _) = la::analyse_worklist_direct::<Ctx, LStore, _>(&term);
+        let (l_gc_direct, _): (LDom, _) =
+            la::analyse_with_gc_worklist_direct::<Ctx, LStore, _>(&term);
+        let (c_direct, _): (CDom, _) = ca::analyse_worklist_direct::<Ctx, CStore, _>(&program);
+        let (c_gc_direct, _): (CDom, _) =
+            ca::analyse_gc_worklist_direct::<Ctx, CStore, _>(&program);
+        for threads in PARALLEL_THREADS {
+            for epochs in ELASTIC_EPOCHS {
+                let config = ParallelConfig { threads, epochs };
+                let ctx = format!("seed {seed:#x} at {threads} threads, {epochs} epochs");
+                let (l, _): (LDom, _) =
+                    la::analyse_worklist_elastic::<Ctx, LStore, _>(&term, config);
+                assert_eq!(l, l_direct, "CESK elastic != direct for {ctx}");
+                let (lg, _): (LDom, _) =
+                    la::analyse_with_gc_elastic::<Ctx, LStore, _>(&term, config);
+                assert_eq!(lg, l_gc_direct, "CESK gc elastic != direct for {ctx}");
+                let (c, _): (CDom, _) =
+                    ca::analyse_worklist_elastic::<Ctx, CStore, _>(&program, config);
+                assert_eq!(c, c_direct, "CPS elastic != direct for {ctx}");
+                let (cg, _): (CDom, _) =
+                    ca::analyse_gc_worklist_elastic::<Ctx, CStore, _>(&program, config);
+                assert_eq!(cg, c_gc_direct, "CPS gc elastic != direct for {ctx}");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The crafted two-shard staleness workload
+// ---------------------------------------------------------------------------
+
+/// A heap value for the staleness machine: a tag the reader's branching
+/// depends on.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+struct Cell(u8);
+
+impl mai_core::gc::Touches<u8> for Cell {
+    fn touches(&self) -> BTreeSet<u8> {
+        BTreeSet::new()
+    }
+}
+
+/// A state of the two-shard staleness machine (see [`staleness_step`]).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+struct TwoShard(u32);
+
+impl mai_core::StateRoots for TwoShard {
+    type Addr = u8;
+
+    fn state_roots(&self) -> BTreeSet<u8> {
+        if self.0 == 11 {
+            [0u8].into_iter().collect()
+        } else {
+            BTreeSet::new()
+        }
+    }
+}
+
+type StaleStore = BasicStore<u8, Cell>;
+
+/// The two-shard staleness workload: the initial state forks a **writer
+/// chain** (`1 → 2 → 3 ⟨binds addr 0 := Cell(9)⟩ → 4`) and a **reader
+/// chain** (`10 → 11 ⟨reads addr 0⟩ → …`).  Under the elastic driver with
+/// `epochs ≥ 2` and ≥ 2 workers the chains advance in separate
+/// sub-frontiers, so the reader's epoch-2 step of state 11 can run before
+/// the writer's shard has published its delta — the read is **stale** and
+/// the value-dependent successor `20 + 9` is missed.  The merge then
+/// reports address 0 as changed, the reverse dependency index re-seeds
+/// state 11 into the next frontier, and the re-step against the merged
+/// store produces exactly the successors the direct engine saw — which is
+/// the staleness argument this test pins: the fixpoint is identical no
+/// matter how late any shard's delta was published.
+fn staleness_step(ps: TwoShard, g: u64, s: StaleStore) -> Vec<((TwoShard, u64), StaleStore)> {
+    use mai_core::store::StoreLike;
+    match ps.0 {
+        0 => vec![((TwoShard(1), g), s.clone()), ((TwoShard(10), g), s)],
+        3 => {
+            let bound = s.bind(0u8, [Cell(9)].into_iter().collect());
+            vec![((TwoShard(4), g), bound)]
+        }
+        11 => {
+            let mut branches = vec![((TwoShard(12), g), s.clone())];
+            for Cell(v) in s.fetch(&0u8) {
+                branches.push(((TwoShard(20 + v as u32), g), s.clone()));
+            }
+            branches
+        }
+        n if n == 4 || n == 12 || n >= 20 => vec![((ps, g), s)],
+        n => vec![((TwoShard(n + 1), g), s)],
+    }
+}
+
+#[test]
+fn stale_shard_delta_reconverges_through_the_dependency_index() {
+    use mai_core::engine::{DirectCollecting, ParallelCollecting, ParallelConfig};
+    type Dom = mai_core::SharedStoreDomain<TwoShard, u64, StaleStore>;
+
+    let (direct, _) = <Dom as DirectCollecting<TwoShard, u64, StaleStore>>::explore_frontier_direct(
+        &staleness_step,
+        TwoShard(0),
+    );
+    // The reader really does consume the writer's delta: the
+    // value-dependent successor is in the oracle fixpoint.
+    assert!(
+        direct.states().iter().any(|(ps, _)| *ps == TwoShard(29)),
+        "oracle never saw the heap-dependent successor — workload is vacuous"
+    );
+    for threads in PARALLEL_THREADS {
+        for epochs in ELASTIC_EPOCHS {
+            let (elastic, stats) =
+                <Dom as ParallelCollecting<TwoShard, u64, StaleStore>>::explore_frontier_elastic(
+                    &staleness_step,
+                    TwoShard(0),
+                    ParallelConfig { threads, epochs },
+                );
+            assert_eq!(
+                elastic, direct,
+                "stale delta not re-converged at {threads} threads, {epochs} epochs"
+            );
+            assert_eq!(stats.sync_rounds, stats.iterations);
+        }
+    }
+}
+
 #[test]
 fn committed_seeds_derive_a_stable_corpus() {
     // The corpus is part of the reviewable surface: if the generator or a

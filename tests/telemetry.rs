@@ -175,10 +175,13 @@ fn parallel_driver_traced_matches_untraced() {
             "t{threads}: parallel fixpoint changed under tracing"
         );
         // `steal_events` is a scheduling gauge (how often a worker ran dry
-        // and claimed a chunk), legitimately different between any two
-        // runs; every deterministic counter must agree exactly.
+        // and claimed a chunk), and `stripe_acquisitions` counts interner
+        // lock traffic (the traced run resolves extra labels) — both
+        // legitimately different between any two runs; every deterministic
+        // counter must agree exactly.
         let normalise = |mut s: EngineStats| {
             s.steal_events = 0;
+            s.stripe_acquisitions = 0;
             s
         };
         assert_eq!(
