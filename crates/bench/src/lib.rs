@@ -13,13 +13,14 @@ use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 use mai_core::collect::explore_fp;
-use mai_core::engine::{EngineStats, ParallelConfig};
+use mai_core::engine::{Budget, CancelToken, EngineStats, ExhaustReason, Outcome, ParallelConfig};
 use mai_core::telemetry::TraceBuffer;
 use mai_core::{KCallAddr, KCallCtx, StorePassing};
 use mai_cps::analysis::{
     analyse_kcfa, analyse_kcfa_shared, analyse_kcfa_shared_direct, analyse_kcfa_shared_elastic,
-    analyse_kcfa_shared_elastic_traced, analyse_kcfa_shared_gc, analyse_kcfa_shared_parallel,
-    analyse_kcfa_shared_parallel_traced, analyse_kcfa_shared_rescan,
+    analyse_kcfa_shared_elastic_governed, analyse_kcfa_shared_elastic_traced,
+    analyse_kcfa_shared_gc, analyse_kcfa_shared_governed, analyse_kcfa_shared_parallel,
+    analyse_kcfa_shared_parallel_traced, analyse_kcfa_shared_rescan, analyse_kcfa_shared_resume,
     analyse_kcfa_shared_structural, analyse_kcfa_shared_worklist, analyse_mono, distinct_env_count,
     AnalysisMetrics, KCfaShared, KStore,
 };
@@ -1041,9 +1042,332 @@ pub fn elastic_row(
     }
 }
 
+/// The defensive bound on E15 resume chains (each resumed link performs at
+/// least one round of a finite abstract solve, so the chain terminates;
+/// the bound only catches a seed-dropping regression).
+const MAX_RESUME_LINKS: usize = 10_000;
+
+/// One row of the E15 comparison: the same 1CFA shared-store analysis
+/// solved classically, governed with an unlimited budget (parity must be
+/// byte-identical), and governed with a step budget that is resumed to
+/// completion.
+#[derive(Debug, Clone)]
+pub struct GovernedRow {
+    /// The workload name.
+    pub program: String,
+    /// `(state, guts)` pairs in the fixpoint.
+    pub configurations: usize,
+    /// Work statistics of the classic direct solve (the oracle).
+    pub direct: EngineStats,
+    /// Work statistics of the governed solve under `Budget::unlimited()`.
+    /// Must equal `direct` field-for-field: the governed solver *is* the
+    /// implementation, and unlimited governance is free.
+    pub governed: EngineStats,
+    /// Whether the governed-off fixpoint *and* work counters were
+    /// byte-identical to the classic solve.
+    pub parity: bool,
+    /// The step budget of the exhaustion/resume exercise.
+    pub max_steps: usize,
+    /// Why the first budgeted link stopped (`None`: it completed within
+    /// the budget and no resume was needed).
+    pub exhaust_reason: Option<ExhaustReason>,
+    /// How many `Exhausted` partials were resumed before completion.
+    pub resume_links: usize,
+    /// Whether the resumed fixpoint equals the one-shot fixpoint.
+    pub resumed_equal: bool,
+    /// Wall-clock time of the whole row (reported, never gated).
+    pub wall: Duration,
+}
+
+impl GovernedRow {
+    /// Renders the row in the fixed-width format used by the report binary.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<18} states={:<6} parity={:<5} max_steps={:<5} reason={:<9} resumes={:<4} \
+             resumed_equal={}",
+            self.program,
+            self.configurations,
+            self.parity,
+            self.max_steps,
+            self.exhaust_reason.map_or("none", ExhaustReason::as_str),
+            self.resume_links,
+            self.resumed_equal,
+        )
+    }
+
+    /// The JSON rendering of the row for `BENCH_report.json`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(
+            [
+                ("program", Json::Str(self.program.clone())),
+                ("configurations", Json::Int(self.configurations as u64)),
+                ("direct", engine_stats_json(&self.direct)),
+                ("governed", engine_stats_json(&self.governed)),
+                ("parity", Json::Bool(self.parity)),
+                ("max_steps", Json::Int(self.max_steps as u64)),
+                (
+                    "exhaust_reason",
+                    Json::Str(
+                        self.exhaust_reason
+                            .map_or("none", ExhaustReason::as_str)
+                            .to_string(),
+                    ),
+                ),
+                ("resume_links", Json::Int(self.resume_links as u64)),
+                ("resumed_equal", Json::Bool(self.resumed_equal)),
+            ]
+            .into_iter()
+            .chain(timing_fields(self.wall)),
+        )
+    }
+}
+
+/// Runs the E15 exercise for one program: classic vs. governed-unlimited
+/// parity, then a `max_steps`-budgeted solve resumed link by link onto the
+/// one-shot fixpoint.  Everything measured here is deterministic (the
+/// sequential governed engine has no timing-dependent counters), so the
+/// row's `governed` counters and `resume_links` are regression-gated.
+pub fn governed_row(name: impl Into<String>, program: &CExp, max_steps: usize) -> GovernedRow {
+    let name = name.into();
+    let start = Instant::now();
+    let (direct, direct_stats) = analyse_kcfa_shared_direct::<1>(program);
+    let (unlimited, governed_stats) =
+        analyse_kcfa_shared_governed::<1>(program, &Budget::unlimited());
+    let parity =
+        unlimited.is_complete() && *unlimited.value() == direct && governed_stats == direct_stats;
+
+    let budget = Budget::unlimited().with_max_steps(max_steps);
+    let (mut outcome, _) = analyse_kcfa_shared_governed::<1>(program, &budget);
+    let exhaust_reason = outcome.exhaust_reason();
+    let mut resume_links = 0usize;
+    while let Outcome::Exhausted { resume_seed, .. } = outcome {
+        resume_links += 1;
+        assert!(
+            resume_links <= MAX_RESUME_LINKS,
+            "{name}: resume chain failed to converge"
+        );
+        outcome = analyse_kcfa_shared_resume::<1>(*resume_seed, &budget).0;
+    }
+    let resumed_equal = outcome.into_complete() == direct;
+
+    GovernedRow {
+        program: name,
+        configurations: direct.len(),
+        direct: direct_stats,
+        governed: governed_stats,
+        parity,
+        max_steps,
+        exhaust_reason,
+        resume_links,
+        resumed_equal,
+        wall: start.elapsed(),
+    }
+}
+
+/// One row of the `--parallel-smoke` cancellation exercise: a governed
+/// elastic solve with a token cancelled from a watchdog thread after
+/// `cancel_after`.
+#[derive(Debug, Clone)]
+pub struct CancelLatencyRow {
+    /// The workload name.
+    pub program: String,
+    /// Worker threads of the elastic solve.
+    pub threads: usize,
+    /// Epoch budget of the elastic solve.
+    pub epochs: usize,
+    /// How long the watchdog waited before cancelling.
+    pub cancel_after: Duration,
+    /// Total wall-clock until the solve returned.
+    pub wall: Duration,
+    /// Whether the solve returned `Exhausted(Cancelled)`.
+    pub cancelled: bool,
+    /// Whether the solve completed before the watchdog fired (a fast
+    /// workload outrunning the timer is fine, not a failure).
+    pub completed: bool,
+    /// Rounds the solve ran before stopping.
+    pub rounds: usize,
+}
+
+impl CancelLatencyRow {
+    /// Whether the row describes a healthy governed solve: it either
+    /// finished first or stopped *because* of the cancellation — anything
+    /// else means the token was ignored.
+    pub fn ok(&self) -> bool {
+        self.completed || self.cancelled
+    }
+
+    /// The observed cancel latency: wall-clock past the watchdog's fire
+    /// point (zero when the solve completed first).
+    pub fn latency(&self) -> Duration {
+        if self.completed {
+            Duration::ZERO
+        } else {
+            self.wall.saturating_sub(self.cancel_after)
+        }
+    }
+
+    /// Renders the row in the fixed-width format used by the report binary.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<18} threads={:<2} epochs={:<3} cancel_after={:<8.2?} wall={:<8.2?} \
+             latency={:<8.2?} rounds={:<4} cancelled={} completed={}",
+            self.program,
+            self.threads,
+            self.epochs,
+            self.cancel_after,
+            self.wall,
+            self.latency(),
+            self.rounds,
+            self.cancelled,
+            self.completed,
+        )
+    }
+}
+
+/// Runs one governed elastic solve with a watchdog thread cancelling the
+/// budget's token after `cancel_after`.  The solve must either complete
+/// first or stop with `Exhausted(Cancelled)` — the row's [`CancelLatencyRow::ok`]
+/// is the `--parallel-smoke` gate.
+pub fn cancel_latency_row(
+    name: impl Into<String>,
+    program: &CExp,
+    threads: usize,
+    epochs: usize,
+    cancel_after: Duration,
+) -> CancelLatencyRow {
+    let token = CancelToken::new();
+    let budget = Budget::unlimited().with_cancel(token.clone());
+    let watchdog = std::thread::spawn(move || {
+        std::thread::sleep(cancel_after);
+        token.cancel();
+    });
+    let start = Instant::now();
+    let (outcome, stats) = analyse_kcfa_shared_elastic_governed::<1>(
+        program,
+        ParallelConfig { threads, epochs },
+        &budget,
+    )
+    .expect("no worker fault without an installed fault plan");
+    let wall = start.elapsed();
+    let _ = watchdog.join();
+    CancelLatencyRow {
+        program: name.into(),
+        threads,
+        epochs,
+        cancel_after,
+        wall,
+        cancelled: outcome.exhaust_reason() == Some(ExhaustReason::Cancelled),
+        completed: outcome.is_complete(),
+        rounds: stats.iterations,
+    }
+}
+
+/// One row of the `--parallel-smoke` fault-ladder exercise (only built
+/// under the `fault-inject` feature): both parallel rungs are forced to
+/// panic and the ladder must still return the sequential oracle's
+/// byte-identical fixpoint.
+#[cfg(feature = "fault-inject")]
+#[derive(Debug, Clone)]
+pub struct FaultLadderRow {
+    /// The workload name.
+    pub program: String,
+    /// Worker threads of the faulted parallel rungs.
+    pub threads: usize,
+    /// The rung that produced the result (stable identifier).
+    pub rung: &'static str,
+    /// How many rungs faulted on the way down.
+    pub faults: usize,
+    /// Whether the ladder's fixpoint equals the sequential oracle's.
+    pub equal: bool,
+    /// Wall-clock time of the whole descent.
+    pub wall: Duration,
+}
+
+#[cfg(feature = "fault-inject")]
+impl FaultLadderRow {
+    /// Renders the row in the fixed-width format used by the report binary.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<18} threads={:<2} rung={:<17} faults={:<2} wall={:<8.2?} equal={}",
+            self.program, self.threads, self.rung, self.faults, self.wall, self.equal,
+        )
+    }
+}
+
+/// Forces the full fault cascade — worker 0 panics on its first elastic
+/// step and again on its first barrier step — and runs the degradation
+/// ladder.  Worker 0's fault counter persists across rungs within the one
+/// installed plan, so both parallel rungs fault deterministically and the
+/// sequential rung (which never consults the plan) answers.
+#[cfg(feature = "fault-inject")]
+pub fn fault_ladder_row(name: impl Into<String>, program: &CExp, threads: usize) -> FaultLadderRow {
+    use mai_core::engine::FaultPlan;
+
+    let start = Instant::now();
+    let (oracle, _) = analyse_kcfa_shared_direct::<1>(program);
+    let guard = FaultPlan::new().panic_at(0, 0).panic_at(0, 1).install();
+    // The injected panics are caught by the ladder; mute the default hook
+    // while they fire so the smoke output stays one row, not backtraces.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let (outcome, _, report) = mai_cps::analysis::analyse_kcfa_shared_ladder::<1>(
+        program,
+        ParallelConfig { threads, epochs: 2 },
+        &Budget::unlimited(),
+    );
+    std::panic::set_hook(default_hook);
+    drop(guard);
+    FaultLadderRow {
+        program: name.into(),
+        threads,
+        rung: report.rung.as_str(),
+        faults: report.faults.len(),
+        equal: outcome.into_complete() == oracle,
+        wall: start.elapsed(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn governed_rows_hold_parity_and_resume_onto_the_fixpoint() {
+        let program = mai_cps::programs::kcfa_worst_case(2);
+        let row = governed_row("kcfa-worst-2", &program, 8);
+        assert!(row.parity, "governed-off parity broke: {}", row.render());
+        assert!(row.resumed_equal, "resume diverged: {}", row.render());
+        // A budget of 8 steps genuinely bites on this workload.
+        assert_eq!(row.exhaust_reason, Some(ExhaustReason::StepBudget));
+        assert!(row.resume_links > 0);
+        let json = row.to_json().render();
+        assert!(json.contains("\"resume_links\""));
+        assert!(json.contains("\"parity\""));
+        // A generous budget completes in one link.
+        let easy = governed_row("kcfa-worst-2", &program, usize::MAX);
+        assert_eq!(easy.exhaust_reason, None);
+        assert_eq!(easy.resume_links, 0);
+    }
+
+    #[test]
+    fn cancel_rows_report_a_cancelled_or_completed_solve() {
+        let program = mai_cps::programs::kcfa_worst_case_scaled(2, 3);
+        // Zero delay: the token is cancelled effectively immediately, so
+        // the solve is cut short (or, degenerately, wins the race).
+        let row = cancel_latency_row("kcfa-worst-2w3", &program, 2, 4, Duration::ZERO);
+        assert!(row.ok(), "cancel token ignored: {}", row.render());
+        assert!(!row.render().is_empty());
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn fault_ladder_rows_descend_to_the_sequential_rung() {
+        let program = mai_cps::programs::kcfa_worst_case(2);
+        let row = fault_ladder_row("kcfa-worst-2", &program, 2);
+        assert!(row.equal, "ladder fixpoint diverged: {}", row.render());
+        assert_eq!(row.rung, "sequential-direct");
+        assert_eq!(row.faults, 2);
+    }
 
     #[test]
     fn elastic_rows_agree_and_record_epochs() {

@@ -1,5 +1,5 @@
 //! The experiment report binary: regenerates the qualitative tables listed
-//! in `EXPERIMENTS.md` (E1–E14), prints them to stdout and writes the
+//! in `EXPERIMENTS.md` (E1–E15), prints them to stdout and writes the
 //! machine-readable `BENCH_report.json` next to the current directory so
 //! the performance trajectory is tracked across PRs.
 //!
@@ -26,14 +26,24 @@
 //! repeated row reports the minimum (`*_ms`) and, for E14, the median
 //! (`*_median_ms`) wall-clock; `--check-regress` still samples counters
 //! only.
+//!
+//! Governance knobs (E15 and `--parallel-smoke`): `--max-steps N` sets the
+//! step budget of the E15 exhaustion/resume exercise (default 32);
+//! `--deadline-ms N` additionally prints a deadline-bounded solve of the
+//! largest workload (reported-only, never committed — wall-clock bound
+//! outcomes are host-dependent); `--cancel-after-ms N` sets the watchdog
+//! delay of the `--parallel-smoke` cancellation row (default 2).  Building
+//! with `--features fault-inject` adds a fault-ladder row to
+//! `--parallel-smoke`: both parallel rungs are forced to panic and the
+//! ladder must still answer with the sequential oracle's fixpoint.
 
 use std::time::Instant;
 
 use mai_bench::report::Json;
 use mai_bench::{
-    cloning_vs_shared, cps_corpus, direct_row, elastic_row, gc_rows, host_cpus, incremental_row,
-    interned_row, parallel_row, polyvariance_rows, telemetry_row, worklist_row, E10_SCALE_WIDTH,
-    PROFILE_TOP_K,
+    cancel_latency_row, cloning_vs_shared, cps_corpus, direct_row, elastic_row, gc_rows,
+    governed_row, host_cpus, incremental_row, interned_row, parallel_row, polyvariance_rows,
+    telemetry_row, worklist_row, E10_SCALE_WIDTH, PROFILE_TOP_K,
 };
 use mai_core::store::StoreLike;
 use mai_cps::analysis::{analyse_kcfa_shared, analyse_mono};
@@ -278,6 +288,18 @@ fn epoch_budget() -> usize {
     numeric_arg("--epochs").unwrap_or(4).max(1)
 }
 
+/// The `--max-steps` knob: the step budget of the E15 exhaustion/resume
+/// exercise (default 32 — small enough to bite on every corpus workload).
+fn max_steps_budget() -> usize {
+    numeric_arg("--max-steps").unwrap_or(32).max(1)
+}
+
+/// The `--cancel-after-ms` knob: the watchdog delay of the
+/// `--parallel-smoke` cancellation row (default 2ms).
+fn cancel_after() -> std::time::Duration {
+    std::time::Duration::from_millis(numeric_arg("--cancel-after-ms").unwrap_or(2) as u64)
+}
+
 /// The E12 workload list: the scaled k-CFA worst-case lanes family at the
 /// acceptance depths.  Shared by the report and by `--check-regress`.
 fn e12_workloads() -> Vec<(String, mai_cps::syntax::CExp)> {
@@ -331,12 +353,29 @@ fn parallel_smoke() -> std::process::ExitCode {
     let name = format!("kcfa-worst-3w{E10_SCALE_WIDTH}");
     let row = parallel_row(name.clone(), &program, threads, 1);
     println!("{}", row.render());
-    let elastic = elastic_row(name, &program, threads, epochs, 1);
+    let elastic = elastic_row(name.clone(), &program, threads, epochs, 1);
     println!("{}", elastic.render());
-    if row.equal && elastic.equal {
+    // Governance smoke: a watchdog thread cancels the elastic solve after
+    // `--cancel-after-ms` (default 2ms).  Either outcome — cancelled
+    // partial or completed fixpoint (on a fast host the solve can win the
+    // race) — passes; a hang or a mangled outcome fails.
+    let cancel = cancel_latency_row(name.clone(), &program, threads, epochs, cancel_after());
+    println!("{}", cancel.render());
+    #[cfg(feature = "fault-inject")]
+    let ladder_ok = {
+        let ladder = mai_bench::fault_ladder_row(name, &program, threads);
+        println!("{}", ladder.render());
+        ladder.equal
+    };
+    #[cfg(not(feature = "fault-inject"))]
+    let ladder_ok = {
+        println!("fault ladder       skipped (build with --features fault-inject to exercise it)");
+        true
+    };
+    if row.equal && elastic.equal && cancel.ok() && ladder_ok {
         std::process::ExitCode::SUCCESS
     } else {
-        eprintln!("a parallel fixpoint diverged from the sequential direct engine");
+        eprintln!("a parallel smoke row failed (divergence, hung cancel, or ladder mismatch)");
         std::process::ExitCode::FAILURE
     }
 }
@@ -399,6 +438,62 @@ fn experiment_elastic() -> Json {
         ("epoch_budget", Json::Int(epochs as u64)),
         ("rows", Json::Arr(rows)),
     ])
+}
+
+/// The E15 workload list: the benchmark corpus plus the two largest k-CFA
+/// worst cases, where the default 32-step budget genuinely exhausts and
+/// the resume chain runs several links long.  Shared by the report and by
+/// `--check-regress`.
+fn e15_workloads() -> Vec<(String, mai_cps::syntax::CExp)> {
+    let mut workloads: Vec<(String, mai_cps::syntax::CExp)> = cps_corpus()
+        .into_iter()
+        .map(|(name, program)| (name.to_string(), program))
+        .collect();
+    workloads.push(("kcfa-worst-4".to_string(), kcfa_worst_case(4)));
+    workloads.push((
+        format!("kcfa-worst-4w{E10_SCALE_WIDTH}"),
+        kcfa_worst_case_scaled(4, E10_SCALE_WIDTH),
+    ));
+    workloads
+}
+
+/// E15 — governed engines: governed-off parity (unlimited budgets are
+/// byte-identical to the classic engines, counters included — asserted,
+/// and the `governed` counters plus the deterministic `resume_links` are
+/// regression-gated), and step-budgeted solves resumed link by link onto
+/// the one-shot fixpoint.  With `--deadline-ms N`, additionally prints a
+/// deadline-bounded solve of the largest workload; that row is
+/// reported-only and never committed, because wall-clock-bound outcomes
+/// depend on the host.
+fn experiment_governed() -> Vec<Json> {
+    let max_steps = max_steps_budget();
+    heading("E15  governed engines: budgets, resume, parity (1CFA, shared store)");
+    let mut rows = Vec::new();
+    for (name, program) in e15_workloads() {
+        let row = governed_row(name.clone(), &program, max_steps);
+        assert!(row.parity, "{name}: governed-off parity broke");
+        assert!(row.resumed_equal, "{name}: resume diverged from one-shot");
+        println!("{}", row.render());
+        rows.push(row.to_json());
+    }
+    if let Some(ms) = numeric_arg("--deadline-ms") {
+        use mai_core::engine::Budget;
+        let program = kcfa_worst_case_scaled(4, E10_SCALE_WIDTH);
+        let budget = Budget::unlimited().with_timeout(std::time::Duration::from_millis(ms as u64));
+        let start = Instant::now();
+        let (outcome, stats) =
+            mai_cps::analysis::analyse_kcfa_shared_governed::<1>(&program, &budget);
+        println!(
+            "deadline demo      kcfa-worst-4w{E10_SCALE_WIDTH} deadline={ms}ms wall={:<8.2?} \
+             rounds={:<4} outcome={} (reported-only)",
+            start.elapsed(),
+            stats.iterations,
+            outcome
+                .exhaust_reason()
+                .map_or("complete", mai_core::engine::ExhaustReason::as_str),
+        );
+    }
+    rows
 }
 
 /// The traced workload behind `--trace-out` and `--profile`: one solve of
@@ -551,6 +646,14 @@ const GATED_COUNTER_PATHS: &[(&str, &[&str])] = &[
             "parallel.sync_rounds",
         ],
     ),
+    (
+        "e15_governed",
+        &[
+            "governed.states_stepped",
+            "governed.store_joins",
+            "resume_links",
+        ],
+    ),
 ];
 
 /// The gated counter paths of one section.
@@ -682,6 +785,17 @@ fn fresh_counters() -> Vec<CounterSample> {
             &row.to_json(),
         );
     }
+    // E15: governed-engine counters.  `governed_row` runs the unlimited
+    // budget (parity with the classic engines — counters included) and the
+    // step-budgeted resume chain; both invariants are asserted here, and
+    // the governed work counters plus the deterministic resume-link count
+    // are pinned to the committed baseline.
+    for (name, program) in e15_workloads() {
+        let row = governed_row(name.clone(), &program, max_steps_budget());
+        assert!(row.parity, "{name}: governed-off parity broke");
+        assert!(row.resumed_equal, "{name}: resume diverged from one-shot");
+        sample_row(&mut samples, "e15_governed", name, &row.to_json());
+    }
     samples
 }
 
@@ -806,9 +920,10 @@ fn main() -> std::process::ExitCode {
     let parallel = experiment_parallel();
     let telemetry = experiment_telemetry();
     let elastic = experiment_elastic();
+    let governed = experiment_governed();
 
     let report = Json::obj([
-        ("schema_version", Json::Int(6)),
+        ("schema_version", Json::Int(7)),
         (
             "report_wall_clock_ms",
             Json::Num(started.elapsed().as_secs_f64() * 1e3),
@@ -821,6 +936,7 @@ fn main() -> std::process::ExitCode {
         ("e12_parallel_vs_direct", parallel),
         ("e13_engine_telemetry", telemetry),
         ("e14_elastic_vs_barrier", elastic),
+        ("e15_governed", Json::Arr(governed)),
     ]);
     let path = "BENCH_report.json";
     match std::fs::write(path, report.render() + "\n") {
@@ -888,6 +1004,7 @@ mod tests {
                 "e12_parallel_vs_direct",
                 parallel_row("w", &program, 2, 1).to_json(),
             ),
+            ("e15_governed", governed_row("w", &program, 8).to_json()),
         ];
         for (section, row) in rows {
             for path in section_paths(section) {

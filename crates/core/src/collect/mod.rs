@@ -30,6 +30,7 @@ mod shared;
 pub use per_state::PerStateDomain;
 pub use shared::SharedStoreDomain;
 
+use crate::engine::governor::{Budget, Outcome};
 use crate::gc::GcStrategy;
 use crate::lattice::{kleene_it, kleene_it_bounded, KleeneOutcome, Lattice};
 use crate::monad::{MonadFamily, Value};
@@ -109,6 +110,70 @@ where
         if !grew {
             return current;
         }
+    }
+}
+
+/// Governed [`explore_fp`]: the same Kleene iteration, consulting
+/// `budget` before every pass.  Rounds are Kleene passes; steps are
+/// individual state transitions (counted through the step function, the
+/// same `Cell` bump [`explore_fp_traced`] uses).  Returns the outcome
+/// and the number of passes performed.
+///
+/// An `Exhausted` outcome's resume seed is the accumulated iterate;
+/// [`explore_fp_resume`] continues the ascent from it and reaches the
+/// identical least fixed point a one-shot run reaches.
+pub fn explore_fp_governed<M, A, Fp, F>(
+    step: F,
+    initial: A,
+    budget: &Budget,
+) -> (Outcome<Fp, Fp>, usize)
+where
+    M: MonadFamily,
+    A: Value,
+    Fp: Collecting<M, A>,
+    F: Fn(A) -> M::M<A>,
+{
+    explore_fp_resume(step, initial, Fp::bottom(), budget)
+}
+
+/// Continues a governed exploration from a previously-returned resume
+/// seed (or any sound under-approximation of the fixpoint).
+pub fn explore_fp_resume<M, A, Fp, F>(
+    step: F,
+    initial: A,
+    seed: Fp,
+    budget: &Budget,
+) -> (Outcome<Fp, Fp>, usize)
+where
+    M: MonadFamily,
+    A: Value,
+    Fp: Collecting<M, A>,
+    F: Fn(A) -> M::M<A>,
+{
+    let steps = std::cell::Cell::new(0usize);
+    let counted = |a: A| {
+        steps.set(steps.get() + 1);
+        step(a)
+    };
+    let mut current = seed;
+    let mut rounds = 0usize;
+    loop {
+        if let Some(reason) = budget.exhausted(rounds, steps.get()) {
+            let resume_seed = Box::new(current.clone());
+            return (
+                Outcome::Exhausted {
+                    partial: current,
+                    reason,
+                    resume_seed,
+                },
+                rounds,
+            );
+        }
+        let next = Fp::inject(initial.clone()).join(Fp::apply_step(&counted, &current));
+        if !current.join_in_place(next) {
+            return (Outcome::Complete(current), rounds);
+        }
+        rounds += 1;
     }
 }
 
@@ -254,6 +319,44 @@ mod tests {
         let unbounded = |n: u32| VecM::pure(n + 1);
         let out = explore_fp_bounded::<VecM, u32, Reached, _>(unbounded, 0, 10);
         assert!(!out.converged());
+    }
+
+    #[test]
+    fn governed_unlimited_matches_explore_fp() {
+        let one_shot: Reached = explore_fp::<VecM, u32, Reached, _>(collatz_ish, 0);
+        let (outcome, _) =
+            explore_fp_governed::<VecM, u32, Reached, _>(collatz_ish, 0, &Budget::unlimited());
+        assert_eq!(outcome.into_complete(), one_shot);
+    }
+
+    #[test]
+    fn governed_exploration_resumes_to_one_shot_fixpoint() {
+        let one_shot: Reached = explore_fp::<VecM, u32, Reached, _>(collatz_ish, 0);
+        let budget = Budget::unlimited().with_max_rounds(2);
+        let (outcome, rounds) =
+            explore_fp_governed::<VecM, u32, Reached, _>(collatz_ish, 0, &budget);
+        assert_eq!(rounds, 2);
+        let Outcome::Exhausted { resume_seed, .. } = outcome else {
+            panic!("two rounds cannot close the collatz-ish domain");
+        };
+        let (resumed, _) = explore_fp_resume::<VecM, u32, Reached, _>(
+            collatz_ish,
+            0,
+            *resume_seed,
+            &Budget::unlimited(),
+        );
+        assert_eq!(resumed.into_complete(), one_shot);
+    }
+
+    #[test]
+    fn governed_step_budget_fires() {
+        let unbounded = |n: u32| VecM::pure(n + 1);
+        let budget = Budget::unlimited().with_max_steps(25);
+        let (outcome, _) = explore_fp_governed::<VecM, u32, Reached, _>(unbounded, 0, &budget);
+        assert_eq!(
+            outcome.exhaust_reason(),
+            Some(crate::engine::governor::ExhaustReason::StepBudget)
+        );
     }
 
     #[test]

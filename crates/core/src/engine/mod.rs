@@ -56,11 +56,21 @@
 //! literal algorithm, a second opinion in a differential test, or a domain
 //! that implements only [`Collecting`].
 
+pub mod governor;
 pub mod parallel;
 mod per_state;
 mod shared;
 
-pub use parallel::ParallelConfig;
+#[cfg(feature = "fault-inject")]
+pub use governor::FaultGuard;
+pub use governor::{
+    Budget, CancelToken, EngineError, ExhaustReason, FaultAction, FaultPlan, FaultSpec,
+    LadderReport, LadderRung, Outcome, ResumeSeed, SolveFrom,
+};
+pub use parallel::{explore_frontier_ladder, explore_frontier_ladder_traced, ParallelConfig};
+pub use shared::{
+    explore_rescan_governed_stats, explore_structural_governed_stats, SharedResumeSeed,
+};
 
 use std::collections::BTreeSet;
 use std::fmt;
@@ -381,7 +391,44 @@ where
 /// carrier-selecting face of the engines.  [`FrontierCollecting`] methods
 /// wrap their `Rc`-closure step into a [`StepFn`] and delegate here, so
 /// both carriers run byte-identical solver code.
+///
+/// The *governed* solver is the one implementation: the classic
+/// `explore_frontier_direct*` entry points are default wrappers passing
+/// [`Budget::unlimited`] and unwrapping the guaranteed-`Complete`
+/// outcome, so governed-off runs are byte-identical (fixpoint *and*
+/// work counters) to the pre-governor engines by construction.
 pub trait DirectCollecting<Ps, G, S>: Sized {
+    /// What an `Exhausted` partial carries to continue the solve — see
+    /// [`ResumeSeed`].
+    type Seed;
+
+    /// The governed frontier-driven solve: starts fresh or from a resume
+    /// seed, consults `budget` at every round boundary, and reports
+    /// either the fixpoint or a resumable partial.
+    fn explore_frontier_governed_traced<F, T>(
+        step: &F,
+        from: SolveFrom<Ps, Self::Seed>,
+        budget: &Budget,
+        sink: &mut T,
+    ) -> (Outcome<Self, Self::Seed>, EngineStats)
+    where
+        F: StepFn<Ps, G, S>,
+        T: TraceSink,
+        Ps: fmt::Debug;
+
+    /// [`Self::explore_frontier_governed_traced`] without a sink.
+    fn explore_frontier_governed<F>(
+        step: &F,
+        from: SolveFrom<Ps, Self::Seed>,
+        budget: &Budget,
+    ) -> (Outcome<Self, Self::Seed>, EngineStats)
+    where
+        F: StepFn<Ps, G, S>,
+        Ps: fmt::Debug,
+    {
+        Self::explore_frontier_governed_traced(step, from, budget, &mut NoopSink)
+    }
+
     /// Solves `lfp (λX. inject(initial) ⊔ applyStep(step, X))` with the
     /// default frontier-driven engine, from a direct-style step function.
     fn explore_frontier_direct<F>(step: &F, initial: Ps) -> (Self, EngineStats)
@@ -406,7 +453,16 @@ pub trait DirectCollecting<Ps, G, S>: Sized {
     where
         F: StepFn<Ps, G, S>,
         T: TraceSink,
-        Ps: fmt::Debug;
+        Ps: fmt::Debug,
+    {
+        let (outcome, stats) = Self::explore_frontier_governed_traced(
+            step,
+            SolveFrom::Fresh(initial),
+            &Budget::unlimited(),
+            sink,
+        );
+        (outcome.into_complete(), stats)
+    }
 }
 
 /// Computes the collecting semantics with the worklist engine from a
@@ -447,6 +503,70 @@ where
 /// step function, at every thread count — the sequential direct engine is
 /// the determinism oracle the differential suite pins this to.
 pub trait ParallelCollecting<Ps, G, S>: Sized {
+    /// What an `Exhausted` partial carries to continue the solve — see
+    /// [`ResumeSeed`].
+    type Seed;
+
+    /// The governed barrier-parallel solve: budget checked at every sync
+    /// barrier, workers polling the budget's [`CancelToken`] between
+    /// claims, and worker panics surfaced as a clean
+    /// [`EngineError::WorkerPanicked`] (the pool is drained and shut
+    /// down; nothing deadlocks).
+    fn explore_frontier_parallel_governed_traced<F, T>(
+        step: &F,
+        from: SolveFrom<Ps, Self::Seed>,
+        threads: usize,
+        budget: &Budget,
+        sink: &mut T,
+    ) -> Result<(Outcome<Self, Self::Seed>, EngineStats), EngineError>
+    where
+        F: StepFn<Ps, G, S>,
+        T: TraceSink,
+        Ps: fmt::Debug;
+
+    /// [`Self::explore_frontier_parallel_governed_traced`] without a sink.
+    fn explore_frontier_parallel_governed<F>(
+        step: &F,
+        from: SolveFrom<Ps, Self::Seed>,
+        threads: usize,
+        budget: &Budget,
+    ) -> Result<(Outcome<Self, Self::Seed>, EngineStats), EngineError>
+    where
+        F: StepFn<Ps, G, S>,
+        Ps: fmt::Debug,
+    {
+        Self::explore_frontier_parallel_governed_traced(step, from, threads, budget, &mut NoopSink)
+    }
+
+    /// The governed barrier-elastic solve: budget checked at every
+    /// barrier, workers additionally polling the [`CancelToken`] inside
+    /// interruptible epochs so cancel latency is bounded by one epoch.
+    fn explore_frontier_elastic_governed_traced<F, T>(
+        step: &F,
+        from: SolveFrom<Ps, Self::Seed>,
+        config: ParallelConfig,
+        budget: &Budget,
+        sink: &mut T,
+    ) -> Result<(Outcome<Self, Self::Seed>, EngineStats), EngineError>
+    where
+        F: StepFn<Ps, G, S>,
+        T: TraceSink,
+        Ps: fmt::Debug;
+
+    /// [`Self::explore_frontier_elastic_governed_traced`] without a sink.
+    fn explore_frontier_elastic_governed<F>(
+        step: &F,
+        from: SolveFrom<Ps, Self::Seed>,
+        config: ParallelConfig,
+        budget: &Budget,
+    ) -> Result<(Outcome<Self, Self::Seed>, EngineStats), EngineError>
+    where
+        F: StepFn<Ps, G, S>,
+        Ps: fmt::Debug,
+    {
+        Self::explore_frontier_elastic_governed_traced(step, from, config, budget, &mut NoopSink)
+    }
+
     /// Solves `lfp (λX. inject(initial) ⊔ applyStep(step, X))` with the
     /// work-stealing sharded driver on `threads` worker threads
     /// (`threads = 1` degenerates to a sequential run of the same

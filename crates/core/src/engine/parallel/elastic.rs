@@ -77,6 +77,7 @@
 //! `EngineStats::worker_cache_hits/misses` and the remaining stripe
 //! traffic as [`EngineStats::stripe_acquisitions`].
 
+use std::any::Any;
 use std::collections::BTreeSet;
 use std::hash::Hash;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -92,14 +93,20 @@ use crate::intern::{
 };
 use crate::monad::Value;
 use crate::store::{StoreDelta, StoreLike};
-use crate::telemetry::{label_of, MergeTrace, RoundTrace, Stopwatch, TraceSink, WorkerBuffer};
-
-use super::super::shared::{
-    sorted_subset, step_entry, IdDependents, InternedCache, InternedEntry, ADDR_LABEL_MAX,
-    STATE_LABEL_MAX,
+use crate::telemetry::{
+    label_of, GovernorTrace, GovernorTraceKind, MergeTrace, RoundTrace, Stopwatch, TraceSink,
+    WorkerBuffer,
 };
-use super::super::{EngineStats, ParallelCollecting, StateRoots, StepFn};
-use super::{install_entries, ParallelConfig, SpinBarrier};
+
+use super::super::governor::{fault_point, Budget, CancelToken, ExhaustReason, Outcome, SolveFrom};
+use super::super::shared::{
+    sorted_subset, step_entry, IdDependents, InternedCache, InternedEntry, SharedGovernedSolve,
+    SharedResumeSeed, ADDR_LABEL_MAX, STATE_LABEL_MAX,
+};
+#[cfg(test)]
+use super::super::ParallelCollecting;
+use super::super::{EngineStats, StateRoots, StepFn};
+use super::{install_entries, solve_parallel_governed, ParallelConfig, SpinBarrier};
 
 /// The shard that *owns* an address: the publisher of its epoch counter.
 /// A pure function of the address, so every worker agrees without
@@ -122,6 +129,10 @@ struct ElasticPhase<S> {
     epochs: usize,
     /// Whether workers should record into their trace buffers.
     trace: bool,
+    /// The governing budget's cancellation flag: polled inside
+    /// interruptible epochs (epoch 1 always completes — that is the
+    /// progress guarantee), so cancel latency is bounded by one epoch.
+    cancel: CancelToken,
 }
 
 /// One worker's output for an elastic phase.  `unstepped` carries the
@@ -203,10 +214,13 @@ where
         let interruptible = epoch > 1;
         let mut cut = frontier.len();
         for (i, &id) in frontier.iter().enumerate() {
-            if interruptible && (stale || merge_requested.load(Ordering::Relaxed)) {
+            if interruptible
+                && (stale || merge_requested.load(Ordering::Relaxed) || phase.cancel.is_cancelled())
+            {
                 cut = i;
                 break;
             }
+            fault_point(me);
             outcome.stats.states_stepped += 1;
             outcome.stats.spine_clones += 1;
             outcome.processed += 1;
@@ -291,7 +305,10 @@ where
             }
             break;
         }
-        if epoch == phase.epochs || merge_requested.load(Ordering::Acquire) {
+        if epoch == phase.epochs
+            || merge_requested.load(Ordering::Acquire)
+            || phase.cancel.is_cancelled()
+        {
             outcome.unstepped.extend(fresh);
             break;
         }
@@ -301,14 +318,19 @@ where
     outcome
 }
 
-/// The elastic solve: the [`ParallelCollecting::explore_frontier_elastic_traced`]
-/// implementation for [`SharedStoreDomain`].
-pub(super) fn explore_elastic_traced<Ps, G, S, F, T>(
+/// The governed elastic solve: the one implementation behind both the
+/// classic and the governed elastic entry points (see
+/// [`ParallelCollecting::explore_frontier_elastic_traced`]).
+///
+/// Returns `Err` with the original panic payload when a worker panicked;
+/// the pool is always drained and shut down first.
+pub(super) fn solve_elastic_governed<Ps, G, S, F, T>(
     step: &F,
-    initial: Ps,
+    from: SolveFrom<Ps, SharedResumeSeed<Ps, G, S>>,
     config: ParallelConfig,
+    budget: &Budget,
     sink: &mut T,
-) -> (SharedStoreDomain<Ps, G, S>, EngineStats)
+) -> Result<SharedGovernedSolve<Ps, G, S>, Box<dyn Any + Send>>
 where
     Ps: Value + Ord + Hash + StateRoots + Send + Sync + std::fmt::Debug,
     Ps::Addr: Hash,
@@ -323,15 +345,31 @@ where
     if epochs == 1 {
         // One epoch per round *is* the barrier protocol — delegate so the
         // knob is exactly equivalent (work counters included).
-        return SharedStoreDomain::explore_frontier_parallel_traced(step, initial, threads, sink);
+        return solve_parallel_governed(step, from, threads, budget, sink);
     }
     let armed = sink.enabled();
     let mut stats = EngineStats::default();
     let interner: ShardedInterner<(Ps, G), StateId> = ShardedInterner::new();
     let cache_lock: RwLock<InternedCache<S, Ps::Addr>> = RwLock::new(Vec::new());
     let mut dependents: IdDependents<Ps::Addr> = FxHashMap::default();
-    let mut store: S = S::bottom();
     let mut known_ids: Vec<StateId> = Vec::new();
+
+    // Fresh solves inject the initial pair; resumed solves re-intern the
+    // carried pairs (the whole set forms the first frontier) and start
+    // from the carried store — see the barrier engine for the argument.
+    let (mut store, initial_frontier): (S, BTreeSet<StateId>) = match from {
+        SolveFrom::Fresh(initial) => {
+            let initial_id = interner.intern((initial, G::initial()));
+            known_ids.push(initial_id);
+            (S::bottom(), [initial_id].into_iter().collect())
+        }
+        SolveFrom::Resume(seed) => {
+            for pair in seed.states {
+                known_ids.push(interner.intern(pair));
+            }
+            (seed.store, known_ids.iter().copied().collect())
+        }
+    };
 
     // Per-shard published epoch counters and the cooperative merge flag —
     // the only coordination the elastic step phase has.
@@ -344,13 +382,11 @@ where
     let start_barrier = SpinBarrier::new(threads + 1);
     let done_barrier = SpinBarrier::new(threads + 1);
 
-    let initial_id = interner.intern((initial, G::initial()));
-    known_ids.push(initial_id);
     // The coordinator's own memo, for the inline singleton-phase path.
     let mut inline_memo: WorkerInternCache<(Ps, G), StateId> =
         WorkerInternCache::new(WORKER_CACHE_CAPACITY);
 
-    std::thread::scope(|scope| {
+    let solve = std::thread::scope(|scope| {
         for me in 0..threads {
             let interner = &interner;
             let cache_lock = &cache_lock;
@@ -435,8 +471,9 @@ where
                     store: store.clone(),
                     epochs: phase_epochs,
                     trace: armed,
+                    cancel: budget.cancel.clone(),
                 };
-                let cache = cache_lock.read().expect("cache lock poisoned");
+                let cache = cache_lock.read().unwrap_or_else(PoisonError::into_inner);
                 let mut outcome = run_elastic_worker_phase(
                     0,
                     step,
@@ -476,6 +513,7 @@ where
                 store: store.clone(),
                 epochs: phase_epochs,
                 trace: armed,
+                cancel: budget.cancel.clone(),
             });
             let mut wall_watch = Stopwatch::start(armed);
             start_barrier.wait();
@@ -520,8 +558,20 @@ where
         };
 
         let solve = catch_unwind(AssertUnwindSafe(|| {
-            let mut frontier: BTreeSet<StateId> = [initial_id].into_iter().collect();
+            let mut frontier: BTreeSet<StateId> = initial_frontier;
+            let mut exhausted: Option<ExhaustReason> = None;
             while !frontier.is_empty() {
+                // Budget boundary: once per merge round, on the
+                // coordinator; mid-round, only the cancel token is polled
+                // (by the workers, inside interruptible epochs).
+                if let Some(reason) = budget.exhausted(stats.iterations, stats.states_stepped) {
+                    sink.governor(GovernorTrace {
+                        round: stats.iterations,
+                        kind: GovernorTraceKind::Exhausted(reason),
+                    });
+                    exhausted = Some(reason);
+                    break;
+                }
                 stats.iterations += 1;
                 stats.sync_rounds += 1;
                 let known = known_ids.len();
@@ -581,7 +631,7 @@ where
                 fold_ids.sort_unstable();
                 fold_ids.dedup();
                 let mut join_watch = Stopwatch::start(armed);
-                let mut cache = cache_lock.write().expect("cache lock poisoned");
+                let mut cache = cache_lock.write().unwrap_or_else(PoisonError::into_inner);
                 install_entries(results, interner.id_bound(), &mut cache, &mut dependents);
                 let mut changed_addrs: BTreeSet<Ps::Addr> = BTreeSet::new();
                 for &id in &fold_ids {
@@ -641,14 +691,17 @@ where
                 }
                 frontier = next;
             }
+            exhausted
         }));
 
         *phase_slot.write().unwrap_or_else(PoisonError::into_inner) = None;
         start_barrier.wait();
-        if let Err(payload) = solve {
-            resume_unwind(payload);
-        }
+        solve
     });
+
+    // A worker panicked: the pool is drained and joined — hand the
+    // payload back for the caller to re-raise or convert.
+    let exhausted = solve?;
 
     stats.intern_hits = interner.hits();
     stats.intern_misses = interner.misses();
@@ -659,7 +712,21 @@ where
         .into_iter()
         .map(|(_, value)| value)
         .collect();
-    (SharedStoreDomain::from_parts(states, store), stats)
+    let outcome = match exhausted {
+        None => Outcome::Complete(SharedStoreDomain::from_parts(states, store)),
+        Some(reason) => {
+            let resume_seed = Box::new(SharedResumeSeed {
+                states: states.iter().cloned().collect(),
+                store: store.clone(),
+            });
+            Outcome::Exhausted {
+                partial: SharedStoreDomain::from_parts(states, store),
+                reason,
+                resume_seed,
+            }
+        }
+    };
+    Ok((outcome, stats))
 }
 
 #[cfg(test)]

@@ -80,6 +80,7 @@
 
 pub mod elastic;
 
+use std::any::Any;
 use std::collections::BTreeSet;
 use std::hash::Hash;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -93,13 +94,20 @@ use crate::hash::FxHashMap;
 use crate::intern::{InternKey, ShardedInterner, StateId};
 use crate::monad::Value;
 use crate::store::{StoreDelta, StoreLike};
-use crate::telemetry::{label_of, RoundTrace, Stopwatch, TraceSink, WorkerBuffer};
-
-use super::shared::{
-    sorted_subset, step_entry, IdDependents, InternedCache, InternedEntry, ADDR_LABEL_MAX,
-    STATE_LABEL_MAX,
+use crate::telemetry::{
+    label_of, GovernorTrace, GovernorTraceKind, NoopSink, RoundTrace, Stopwatch, TraceSink,
+    WorkerBuffer,
 };
-use super::{EngineStats, ParallelCollecting, StateRoots, StepFn};
+
+use super::governor::{
+    fault_point, Budget, CancelToken, EngineError, ExhaustReason, LadderReport, LadderRung,
+    Outcome, SolveFrom,
+};
+use super::shared::{
+    sorted_subset, step_entry, IdDependents, InternedCache, InternedEntry, SharedGovernedSolve,
+    SharedResumeSeed, ADDR_LABEL_MAX, STATE_LABEL_MAX,
+};
+use super::{DirectCollecting, EngineStats, ParallelCollecting, StateRoots, StepFn};
 
 /// The knob set of the parallel drivers: how many workers, and how many
 /// *epochs* each worker may advance its private sub-frontier between two
@@ -183,7 +191,11 @@ impl SpinBarrier {
             // any parked waiters (under the lock, so a waiter cannot check
             // the generation and park between the store and the notify).
             self.arrived.store(0, Ordering::Release);
-            let _guard = self.lock.lock().expect("barrier lock poisoned");
+            // Barrier locks tolerate poisoning: a worker that panicked
+            // while holding (or racing for) the lock must not cascade into
+            // a coordinator panic — the round protocol drains the pool and
+            // surfaces the original payload instead.
+            let _guard = self.lock.lock().unwrap_or_else(PoisonError::into_inner);
             self.generation.store(generation + 1, Ordering::Release);
             self.condvar.notify_all();
         } else {
@@ -193,7 +205,7 @@ impl SpinBarrier {
                 }
                 std::hint::spin_loop();
             }
-            let mut guard = self.lock.lock().expect("barrier lock poisoned");
+            let mut guard = self.lock.lock().unwrap_or_else(PoisonError::into_inner);
             while self.generation.load(Ordering::Acquire) == generation {
                 // The timeout is a backstop only; the release path holds
                 // the lock while bumping the generation, so wakeups are
@@ -201,7 +213,7 @@ impl SpinBarrier {
                 let (g, _timeout) = self
                     .condvar
                     .wait_timeout(guard, std::time::Duration::from_millis(1))
-                    .expect("barrier lock poisoned");
+                    .unwrap_or_else(PoisonError::into_inner);
                 guard = g;
             }
         }
@@ -226,6 +238,10 @@ struct Phase<S> {
     /// Whether workers should record into their trace buffers.  Purely an
     /// observability flag: no counter and no scheduling decision reads it.
     trace: bool,
+    /// The governing budget's cancellation flag: workers poll it before
+    /// each chunk claim and stop claiming once it is set, so cancel
+    /// latency is bounded by one chunk of one phase.
+    cancel: CancelToken,
 }
 
 /// One worker's output for a phase: the entries it computed, its per-shard
@@ -276,12 +292,19 @@ where
         ends,
         chunk,
         trace,
+        cancel,
     } = phase;
     let mut busy_watch = Stopwatch::start(*trace);
     // Once our own shard is drained we stop touching its cursor: the
     // extra fetch_add per steal attempt would be pure cache-line traffic.
     let mut own_drained = false;
     loop {
+        // Cooperative cancellation: stop claiming as soon as the token is
+        // set.  Already-claimed chunks finish (their contributions are
+        // sound and folded); unclaimed ids stay in the resume seed.
+        if cancel.is_cancelled() {
+            break;
+        }
         // Claim from our own shard first; once drained, steal a chunk
         // from the most-loaded other shard.
         let mut claimed: Option<(usize, usize)> = None;
@@ -318,6 +341,7 @@ where
         }
         let Some((start, end)) = claimed else { break };
         for &id in &ids[start..(start + chunk).min(end)] {
+            fault_point(me);
             outcome.stats.states_stepped += 1;
             outcome.stats.spine_clones += 1;
             outcome.processed += 1;
@@ -373,6 +397,403 @@ fn install_entries<S, A>(
     }
 }
 
+/// The governed barrier-parallel solver — the one implementation behind
+/// both the classic and the governed entry points.
+///
+/// Returns `Err` with the *original* panic payload when a worker (or the
+/// coordinator's inline singleton path) panicked: the pool is always
+/// drained and shut down first, so the caller decides whether to re-raise
+/// it (classic entry points) or convert it to a clean
+/// [`EngineError::WorkerPanicked`] (governed entry points).
+pub(crate) fn solve_parallel_governed<Ps, G, S, F, T>(
+    step: &F,
+    from: SolveFrom<Ps, SharedResumeSeed<Ps, G, S>>,
+    threads: usize,
+    budget: &Budget,
+    sink: &mut T,
+) -> Result<SharedGovernedSolve<Ps, G, S>, Box<dyn Any + Send>>
+where
+    Ps: Value + Ord + Hash + StateRoots + Send + Sync + std::fmt::Debug,
+    Ps::Addr: Hash,
+    G: Value + Ord + Hash + HasInitial + Send + Sync,
+    S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + Value,
+    S::D: Touches<Ps::Addr>,
+    F: StepFn<Ps, G, S>,
+    T: TraceSink,
+{
+    let threads = threads.max(1);
+    let armed = sink.enabled();
+    let mut stats = EngineStats::default();
+    // The lock-striped hash-consing table, shared by all workers.
+    let interner: ShardedInterner<(Ps, G), StateId> = ShardedInterner::new();
+    // The flat memo cache, behind a RwLock: workers hold read locks
+    // during a phase (for the shrink check), the coordinator write-locks
+    // between barriers to install entries.  Never contended — the
+    // barriers separate the two access modes in time.
+    let cache_lock: RwLock<InternedCache<S, Ps::Addr>> = RwLock::new(Vec::new());
+    // Coordinator-only state: the reverse dependency index, the global
+    // accumulated store, and the sorted list of every id minted before
+    // the current round (the "known" set the rebuild defence re-steps).
+    let mut dependents: IdDependents<Ps::Addr> = FxHashMap::default();
+    let mut known_ids: Vec<StateId> = Vec::new();
+
+    // Fresh solves start from the injected initial pair and a bottom
+    // store; resumed solves re-intern every carried pair (all of them
+    // form the first frontier, re-stepped once to rebuild the memo
+    // cache and dependency index the partial run discarded) and start
+    // from the carried store.
+    let (mut store, initial_frontier): (S, BTreeSet<StateId>) = match from {
+        SolveFrom::Fresh(initial) => {
+            let initial_id = interner.intern((initial, G::initial()));
+            known_ids.push(initial_id);
+            (S::bottom(), [initial_id].into_iter().collect())
+        }
+        SolveFrom::Resume(seed) => {
+            for pair in seed.states {
+                known_ids.push(interner.intern(pair));
+            }
+            (seed.store, known_ids.iter().copied().collect())
+        }
+    };
+
+    // The pool protocol: the coordinator publishes a `Phase` (or `None`
+    // to shut down) and releases the start barrier; workers run the
+    // phase, deposit their outcomes, and meet it at the done barrier.
+    let phase_slot: RwLock<Option<Phase<S>>> = RwLock::new(None);
+    let outcomes: Mutex<Vec<ShardOutcome<S, Ps::Addr>>> = Mutex::new(Vec::new());
+    // Panic payloads from workers: a worker that panics (a panicking
+    // user step function, say) must still arrive at the done barrier,
+    // or the coordinator would wait on it forever — so the panic is
+    // caught, parked here, and surfaced to the coordinator right
+    // after the barrier.  Lock accesses on this path tolerate
+    // poisoning (a poisoned mutex here must not turn into a second,
+    // barrier-skipping panic).
+    let worker_panics: Mutex<Vec<Box<dyn std::any::Any + Send>>> = Mutex::new(Vec::new());
+    let start_barrier = SpinBarrier::new(threads + 1);
+    let done_barrier = SpinBarrier::new(threads + 1);
+
+    let solve = std::thread::scope(|scope| {
+        for me in 0..threads {
+            let interner = &interner;
+            let cache_lock = &cache_lock;
+            let phase_slot = &phase_slot;
+            let outcomes = &outcomes;
+            let start_barrier = &start_barrier;
+            let done_barrier = &done_barrier;
+            let worker_panics = &worker_panics;
+            scope.spawn(move || loop {
+                start_barrier.wait();
+                let keep_going = catch_unwind(AssertUnwindSafe(|| {
+                    let guard = phase_slot.read().unwrap_or_else(PoisonError::into_inner);
+                    let Some(phase) = guard.as_ref() else {
+                        return false;
+                    };
+                    let cache = cache_lock.read().unwrap_or_else(PoisonError::into_inner);
+                    let outcome = run_worker_phase(me, step, phase, interner, &cache);
+                    drop(cache);
+                    outcomes
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push(outcome);
+                    true
+                }));
+                match keep_going {
+                    Ok(true) => done_barrier.wait(),
+                    Ok(false) => return,
+                    Err(payload) => {
+                        worker_panics
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .push(payload);
+                        done_barrier.wait();
+                    }
+                }
+            });
+        }
+
+        // Publishes one step phase to the pool and collects the merged
+        // outcomes (entries + per-shard stats + shrink flag), draining
+        // each worker's trace buffer into the sink at the barrier.
+        // Returns `(shrank, wall_ns, max_busy_ns)`: the coordinator-
+        // observed phase wall and the slowest worker's busy time, the
+        // raw material of the step/sync decomposition (both 0 when the
+        // sink is disarmed).
+        let run_phase = |ids: Vec<StateId>,
+                         store: &S,
+                         stats: &mut EngineStats,
+                         results: &mut Vec<(StateId, InternedEntry<S, Ps::Addr>)>,
+                         round: usize,
+                         sink: &mut T|
+         -> (bool, u64, u64) {
+            // A singleton (or empty) phase has no parallelism by
+            // definition: step it inline on the coordinator and spare
+            // the pool a wake/park cycle.  Deterministic counters are
+            // unaffected — the work is identical, there is just no
+            // sync traffic for it.
+            if ids.len() <= 1 {
+                let phase = Phase {
+                    ends: vec![ids.len()],
+                    ids,
+                    store: store.clone(),
+                    cursors: vec![AtomicUsize::new(0)],
+                    chunk: 1,
+                    trace: armed,
+                    cancel: budget.cancel.clone(),
+                };
+                let cache = cache_lock.read().unwrap_or_else(PoisonError::into_inner);
+                let outcome = run_worker_phase(0, step, &phase, &interner, &cache);
+                drop(cache);
+                stats.merge(&outcome.stats);
+                let busy = outcome.trace.busy_ns;
+                if armed {
+                    // The inline path *is* worker 0 for this phase; its
+                    // wall is its busy time (no barrier to wait on).
+                    outcome.trace.drain_into(
+                        round,
+                        outcome.worker,
+                        outcome.processed,
+                        busy,
+                        sink,
+                        |id| label_of(&interner.resolve_cloned(id).0, STATE_LABEL_MAX),
+                    );
+                }
+                results.extend(outcome.entries);
+                return (outcome.shrank, busy, busy);
+            }
+            let ends: Vec<usize> = (1..=threads).map(|t| t * ids.len() / threads).collect();
+            let cursors: Vec<AtomicUsize> = (0..threads)
+                .map(|t| AtomicUsize::new(t * ids.len() / threads))
+                .collect();
+            let chunk = (ids.len() / (threads * 8)).max(1);
+            *phase_slot.write().unwrap_or_else(PoisonError::into_inner) = Some(Phase {
+                ids,
+                store: store.clone(),
+                cursors,
+                ends,
+                chunk,
+                trace: armed,
+                cancel: budget.cancel.clone(),
+            });
+            let mut wall_watch = Stopwatch::start(armed);
+            start_barrier.wait();
+            done_barrier.wait();
+            let wall_ns = wall_watch.lap_ns();
+            // Drop the store snapshot promptly (it holds spine refs).
+            *phase_slot.write().unwrap_or_else(PoisonError::into_inner) = None;
+            // A worker panicked mid-phase: every worker still reached
+            // the barrier (panics are caught and parked), so the pool
+            // is quiescent — re-raise on the coordinator, whose own
+            // catch-and-shutdown path below unwinds the solve.
+            if let Some(payload) = worker_panics
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop()
+            {
+                resume_unwind(payload);
+            }
+            let mut shrank = false;
+            let mut max_busy_ns = 0u64;
+            let (mut max_processed, mut min_processed) = (0usize, usize::MAX);
+            for outcome in
+                std::mem::take(&mut *outcomes.lock().unwrap_or_else(PoisonError::into_inner))
+            {
+                shrank |= outcome.shrank;
+                max_processed = max_processed.max(outcome.processed);
+                min_processed = min_processed.min(outcome.processed);
+                max_busy_ns = max_busy_ns.max(outcome.trace.busy_ns);
+                stats.merge(&outcome.stats);
+                if armed {
+                    outcome.trace.drain_into(
+                        round,
+                        outcome.worker,
+                        outcome.processed,
+                        wall_ns,
+                        sink,
+                        |id| label_of(&interner.resolve_cloned(id).0, STATE_LABEL_MAX),
+                    );
+                }
+                results.extend(outcome.entries);
+            }
+            stats.shard_imbalance = stats
+                .shard_imbalance
+                .max(max_processed - min_processed.min(max_processed));
+            (shrank, wall_ns, max_busy_ns)
+        };
+
+        let solve = catch_unwind(AssertUnwindSafe(|| {
+            let mut frontier: BTreeSet<StateId> = initial_frontier;
+            let mut exhausted: Option<ExhaustReason> = None;
+            while !frontier.is_empty() {
+                // The budget is consulted once per sync round, on the
+                // coordinator; mid-phase, only the cancel token is
+                // polled (by the workers, between chunk claims).
+                if let Some(reason) = budget.exhausted(stats.iterations, stats.states_stepped) {
+                    sink.governor(GovernorTrace {
+                        round: stats.iterations,
+                        kind: GovernorTraceKind::Exhausted(reason),
+                    });
+                    exhausted = Some(reason);
+                    break;
+                }
+                stats.iterations += 1;
+                stats.sync_rounds += 1;
+                let known = known_ids.len();
+                let marks = interner.watermarks();
+
+                // Step phase: the whole frontier against the same pre-store.
+                let frontier_vec: Vec<StateId> = frontier.iter().copied().collect();
+                let frontier_len = frontier_vec.len();
+                let mut stepped_this_round = frontier_len;
+                let mut results: Vec<(StateId, InternedEntry<S, Ps::Addr>)> = Vec::new();
+                let round = stats.iterations;
+                let (shrank, mut wall_ns, mut busy_ns) = run_phase(
+                    frontier_vec.clone(),
+                    &store,
+                    &mut stats,
+                    &mut results,
+                    round,
+                    sink,
+                );
+
+                // Rebuild round (same defence as the sequential engine): a
+                // contribution shrank, so re-step *every* known pair
+                // against the same pre-store — again sharded — and fold
+                // all of them.
+                let fold_ids: Vec<StateId> = if shrank {
+                    stats.rebuild_rounds += 1;
+                    stats.peak_frontier = stats.peak_frontier.max(known);
+                    let rest: Vec<StateId> = known_ids
+                        .iter()
+                        .copied()
+                        .filter(|id| !frontier.contains(id))
+                        .collect();
+                    stepped_this_round += rest.len();
+                    // Further shrinkage is immaterial: the whole round is
+                    // already being recomputed from scratch.
+                    let (_, rebuild_wall, rebuild_busy) =
+                        run_phase(rest, &store, &mut stats, &mut results, round, sink);
+                    wall_ns += rebuild_wall;
+                    busy_ns += rebuild_busy;
+                    known_ids.clone()
+                } else {
+                    stats.peak_frontier = stats.peak_frontier.max(frontier.len());
+                    // Everything off the frontier is served from the
+                    // accumulated domain without being visited at all.
+                    stats.cache_hits += known - frontier.len();
+                    frontier_vec
+                };
+
+                // Join on sync: install the entries, then fold only the
+                // re-stepped contributions — and only their store *deltas*
+                // — in ascending id order, with the per-address growth
+                // report falling straight out of the in-place join.
+                let mut join_watch = Stopwatch::start(armed);
+                let mut cache = cache_lock.write().unwrap_or_else(PoisonError::into_inner);
+                install_entries(results, interner.id_bound(), &mut cache, &mut dependents);
+                let mut changed_addrs: BTreeSet<Ps::Addr> = BTreeSet::new();
+                for &id in &fold_ids {
+                    // A missing entry is only possible when cancellation
+                    // stopped the workers mid-phase: the unstepped pair
+                    // stays in the resume seed and is re-stepped on
+                    // resume, so skipping its fold loses nothing.
+                    let Some(entry) = cache[id.index()].as_ref() else {
+                        debug_assert!(budget.cancel.is_cancelled());
+                        continue;
+                    };
+                    stats.store_joins += 1;
+                    stats.spine_clones += 1;
+                    if armed {
+                        // Attribute join traffic per address: every
+                        // address the delta binds is one join record,
+                        // widened when the fold reports it grew.
+                        let bound = entry.delta.addresses();
+                        let changed = store.join_in_place_delta(entry.delta.clone());
+                        for a in &bound {
+                            sink.join_traffic(&label_of(a, ADDR_LABEL_MAX), changed.contains(a));
+                        }
+                        changed_addrs.extend(changed);
+                    } else {
+                        changed_addrs.extend(store.join_in_place_delta(entry.delta.clone()));
+                    }
+                }
+                drop(cache);
+                stats.store_widenings += changed_addrs.len();
+                stats.store_bytes_shared = stats.store_bytes_shared.max(store.shared_spine_bytes());
+                // The round's phase split: the slowest worker's busy
+                // time is the step share, the coordinator's fold is the
+                // join share, and whatever remains of the phase walls is
+                // barrier/coordination overhead — the sync share.
+                sink.round(RoundTrace {
+                    round: stats.iterations,
+                    frontier: frontier_len,
+                    stepped: stepped_this_round,
+                    joins: fold_ids.len(),
+                    delta_width: changed_addrs.len(),
+                    rebuild: shrank,
+                    step_ns: busy_ns,
+                    join_ns: join_watch.lap_ns(),
+                    sync_ns: wall_ns.saturating_sub(busy_ns),
+                });
+
+                // Next frontier: freshly discovered pairs (ids minted
+                // during this round have no cached outcome yet) plus every
+                // cached dependent of an address that grew — the reverse
+                // dependency index re-seeding.
+                let fresh = interner.fresh_since(&marks);
+                known_ids.extend(fresh.iter().copied());
+                let mut next: BTreeSet<StateId> = fresh.into_iter().collect();
+                for a in &changed_addrs {
+                    if let Some(ids) = dependents.get(a) {
+                        next.extend(ids.iter().copied());
+                    }
+                }
+                frontier = next;
+            }
+            exhausted
+        }));
+
+        // Shut the pool down: a `None` phase is the stop signal.
+        // This runs on the panic path too — otherwise the scope's
+        // implicit join would wait forever on workers parked at the
+        // start barrier — and only *then* is the panic surfaced.
+        *phase_slot.write().unwrap_or_else(PoisonError::into_inner) = None;
+        start_barrier.wait();
+        solve
+    });
+
+    // A worker (or the coordinator's inline path) panicked: the pool
+    // is already drained and joined, so hand the payload back for the
+    // caller to re-raise or convert.
+    let exhausted = solve?;
+
+    stats.intern_hits = interner.hits();
+    stats.intern_misses = interner.misses();
+    stats.distinct_states = interner.len();
+    stats.stripe_acquisitions = interner.stripe_acquisitions();
+    // Un-intern only here, at the boundary: the structural domain is
+    // assembled once, from the interner's value table.
+    let states: BTreeSet<(Ps, G)> = interner
+        .entries_cloned()
+        .into_iter()
+        .map(|(_, value)| value)
+        .collect();
+    let outcome = match exhausted {
+        None => Outcome::Complete(SharedStoreDomain::from_parts(states, store)),
+        Some(reason) => {
+            let resume_seed = Box::new(SharedResumeSeed {
+                states: states.iter().cloned().collect(),
+                store: store.clone(),
+            });
+            Outcome::Exhausted {
+                partial: SharedStoreDomain::from_parts(states, store),
+                reason,
+                resume_seed,
+            }
+        }
+    };
+    Ok((outcome, stats))
+}
+
 impl<Ps, G, S> ParallelCollecting<Ps, G, S> for SharedStoreDomain<Ps, G, S>
 where
     Ps: Value + Ord + Hash + StateRoots + Send + Sync,
@@ -381,6 +802,40 @@ where
     S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + Value,
     S::D: Touches<Ps::Addr>,
 {
+    type Seed = SharedResumeSeed<Ps, G, S>;
+
+    fn explore_frontier_parallel_governed_traced<F, T>(
+        step: &F,
+        from: SolveFrom<Ps, Self::Seed>,
+        threads: usize,
+        budget: &Budget,
+        sink: &mut T,
+    ) -> Result<(Outcome<Self, Self::Seed>, EngineStats), EngineError>
+    where
+        F: StepFn<Ps, G, S>,
+        T: TraceSink,
+        Ps: std::fmt::Debug,
+    {
+        solve_parallel_governed(step, from, threads, budget, sink)
+            .map_err(|payload| EngineError::worker_panicked(payload.as_ref()))
+    }
+
+    fn explore_frontier_elastic_governed_traced<F, T>(
+        step: &F,
+        from: SolveFrom<Ps, Self::Seed>,
+        config: ParallelConfig,
+        budget: &Budget,
+        sink: &mut T,
+    ) -> Result<(Outcome<Self, Self::Seed>, EngineStats), EngineError>
+    where
+        F: StepFn<Ps, G, S>,
+        T: TraceSink,
+        Ps: std::fmt::Debug,
+    {
+        elastic::solve_elastic_governed(step, from, config, budget, sink)
+            .map_err(|payload| EngineError::worker_panicked(payload.as_ref()))
+    }
+
     fn explore_frontier_parallel_traced<F, T>(
         step: &F,
         initial: Ps,
@@ -392,327 +847,19 @@ where
         T: TraceSink,
         Ps: std::fmt::Debug,
     {
-        let threads = threads.max(1);
-        let armed = sink.enabled();
-        let mut stats = EngineStats::default();
-        // The lock-striped hash-consing table, shared by all workers.
-        let interner: ShardedInterner<(Ps, G), StateId> = ShardedInterner::new();
-        // The flat memo cache, behind a RwLock: workers hold read locks
-        // during a phase (for the shrink check), the coordinator write-locks
-        // between barriers to install entries.  Never contended — the
-        // barriers separate the two access modes in time.
-        let cache_lock: RwLock<InternedCache<S, Ps::Addr>> = RwLock::new(Vec::new());
-        // Coordinator-only state: the reverse dependency index, the global
-        // accumulated store, and the sorted list of every id minted before
-        // the current round (the "known" set the rebuild defence re-steps).
-        let mut dependents: IdDependents<Ps::Addr> = FxHashMap::default();
-        let mut store: S = S::bottom();
-        let mut known_ids: Vec<StateId> = Vec::new();
-
-        // The pool protocol: the coordinator publishes a `Phase` (or `None`
-        // to shut down) and releases the start barrier; workers run the
-        // phase, deposit their outcomes, and meet it at the done barrier.
-        let phase_slot: RwLock<Option<Phase<S>>> = RwLock::new(None);
-        let outcomes: Mutex<Vec<ShardOutcome<S, Ps::Addr>>> = Mutex::new(Vec::new());
-        // Panic payloads from workers: a worker that panics (a panicking
-        // user step function, say) must still arrive at the done barrier,
-        // or the coordinator would wait on it forever — so the panic is
-        // caught, parked here, and *resumed on the coordinator* right
-        // after the barrier.  Lock accesses on this path tolerate
-        // poisoning (a poisoned mutex here must not turn into a second,
-        // barrier-skipping panic).
-        let worker_panics: Mutex<Vec<Box<dyn std::any::Any + Send>>> = Mutex::new(Vec::new());
-        let start_barrier = SpinBarrier::new(threads + 1);
-        let done_barrier = SpinBarrier::new(threads + 1);
-
-        let initial_id = interner.intern((initial, G::initial()));
-        known_ids.push(initial_id);
-
-        std::thread::scope(|scope| {
-            for me in 0..threads {
-                let interner = &interner;
-                let cache_lock = &cache_lock;
-                let phase_slot = &phase_slot;
-                let outcomes = &outcomes;
-                let start_barrier = &start_barrier;
-                let done_barrier = &done_barrier;
-                let worker_panics = &worker_panics;
-                scope.spawn(move || loop {
-                    start_barrier.wait();
-                    let keep_going = catch_unwind(AssertUnwindSafe(|| {
-                        let guard = phase_slot.read().unwrap_or_else(PoisonError::into_inner);
-                        let Some(phase) = guard.as_ref() else {
-                            return false;
-                        };
-                        let cache = cache_lock.read().unwrap_or_else(PoisonError::into_inner);
-                        let outcome = run_worker_phase(me, step, phase, interner, &cache);
-                        drop(cache);
-                        outcomes
-                            .lock()
-                            .unwrap_or_else(PoisonError::into_inner)
-                            .push(outcome);
-                        true
-                    }));
-                    match keep_going {
-                        Ok(true) => done_barrier.wait(),
-                        Ok(false) => return,
-                        Err(payload) => {
-                            worker_panics
-                                .lock()
-                                .unwrap_or_else(PoisonError::into_inner)
-                                .push(payload);
-                            done_barrier.wait();
-                        }
-                    }
-                });
-            }
-
-            // Publishes one step phase to the pool and collects the merged
-            // outcomes (entries + per-shard stats + shrink flag), draining
-            // each worker's trace buffer into the sink at the barrier.
-            // Returns `(shrank, wall_ns, max_busy_ns)`: the coordinator-
-            // observed phase wall and the slowest worker's busy time, the
-            // raw material of the step/sync decomposition (both 0 when the
-            // sink is disarmed).
-            let run_phase = |ids: Vec<StateId>,
-                             store: &S,
-                             stats: &mut EngineStats,
-                             results: &mut Vec<(StateId, InternedEntry<S, Ps::Addr>)>,
-                             round: usize,
-                             sink: &mut T|
-             -> (bool, u64, u64) {
-                // A singleton (or empty) phase has no parallelism by
-                // definition: step it inline on the coordinator and spare
-                // the pool a wake/park cycle.  Deterministic counters are
-                // unaffected — the work is identical, there is just no
-                // sync traffic for it.
-                if ids.len() <= 1 {
-                    let phase = Phase {
-                        ends: vec![ids.len()],
-                        ids,
-                        store: store.clone(),
-                        cursors: vec![AtomicUsize::new(0)],
-                        chunk: 1,
-                        trace: armed,
-                    };
-                    let cache = cache_lock.read().expect("cache lock poisoned");
-                    let outcome = run_worker_phase(0, step, &phase, &interner, &cache);
-                    drop(cache);
-                    stats.merge(&outcome.stats);
-                    let busy = outcome.trace.busy_ns;
-                    if armed {
-                        // The inline path *is* worker 0 for this phase; its
-                        // wall is its busy time (no barrier to wait on).
-                        outcome.trace.drain_into(
-                            round,
-                            outcome.worker,
-                            outcome.processed,
-                            busy,
-                            sink,
-                            |id| label_of(&interner.resolve_cloned(id).0, STATE_LABEL_MAX),
-                        );
-                    }
-                    results.extend(outcome.entries);
-                    return (outcome.shrank, busy, busy);
-                }
-                let ends: Vec<usize> = (1..=threads).map(|t| t * ids.len() / threads).collect();
-                let cursors: Vec<AtomicUsize> = (0..threads)
-                    .map(|t| AtomicUsize::new(t * ids.len() / threads))
-                    .collect();
-                let chunk = (ids.len() / (threads * 8)).max(1);
-                *phase_slot.write().unwrap_or_else(PoisonError::into_inner) = Some(Phase {
-                    ids,
-                    store: store.clone(),
-                    cursors,
-                    ends,
-                    chunk,
-                    trace: armed,
-                });
-                let mut wall_watch = Stopwatch::start(armed);
-                start_barrier.wait();
-                done_barrier.wait();
-                let wall_ns = wall_watch.lap_ns();
-                // Drop the store snapshot promptly (it holds spine refs).
-                *phase_slot.write().unwrap_or_else(PoisonError::into_inner) = None;
-                // A worker panicked mid-phase: every worker still reached
-                // the barrier (panics are caught and parked), so the pool
-                // is quiescent — re-raise on the coordinator, whose own
-                // catch-and-shutdown path below unwinds the solve.
-                if let Some(payload) = worker_panics
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .pop()
-                {
-                    resume_unwind(payload);
-                }
-                let mut shrank = false;
-                let mut max_busy_ns = 0u64;
-                let (mut max_processed, mut min_processed) = (0usize, usize::MAX);
-                for outcome in
-                    std::mem::take(&mut *outcomes.lock().unwrap_or_else(PoisonError::into_inner))
-                {
-                    shrank |= outcome.shrank;
-                    max_processed = max_processed.max(outcome.processed);
-                    min_processed = min_processed.min(outcome.processed);
-                    max_busy_ns = max_busy_ns.max(outcome.trace.busy_ns);
-                    stats.merge(&outcome.stats);
-                    if armed {
-                        outcome.trace.drain_into(
-                            round,
-                            outcome.worker,
-                            outcome.processed,
-                            wall_ns,
-                            sink,
-                            |id| label_of(&interner.resolve_cloned(id).0, STATE_LABEL_MAX),
-                        );
-                    }
-                    results.extend(outcome.entries);
-                }
-                stats.shard_imbalance = stats
-                    .shard_imbalance
-                    .max(max_processed - min_processed.min(max_processed));
-                (shrank, wall_ns, max_busy_ns)
-            };
-
-            let solve = catch_unwind(AssertUnwindSafe(|| {
-                let mut frontier: BTreeSet<StateId> = [initial_id].into_iter().collect();
-                while !frontier.is_empty() {
-                    stats.iterations += 1;
-                    stats.sync_rounds += 1;
-                    let known = known_ids.len();
-                    let marks = interner.watermarks();
-
-                    // Step phase: the whole frontier against the same pre-store.
-                    let frontier_vec: Vec<StateId> = frontier.iter().copied().collect();
-                    let frontier_len = frontier_vec.len();
-                    let mut stepped_this_round = frontier_len;
-                    let mut results: Vec<(StateId, InternedEntry<S, Ps::Addr>)> = Vec::new();
-                    let round = stats.iterations;
-                    let (shrank, mut wall_ns, mut busy_ns) = run_phase(
-                        frontier_vec.clone(),
-                        &store,
-                        &mut stats,
-                        &mut results,
-                        round,
-                        sink,
-                    );
-
-                    // Rebuild round (same defence as the sequential engine): a
-                    // contribution shrank, so re-step *every* known pair
-                    // against the same pre-store — again sharded — and fold
-                    // all of them.
-                    let fold_ids: Vec<StateId> = if shrank {
-                        stats.rebuild_rounds += 1;
-                        stats.peak_frontier = stats.peak_frontier.max(known);
-                        let rest: Vec<StateId> = known_ids
-                            .iter()
-                            .copied()
-                            .filter(|id| !frontier.contains(id))
-                            .collect();
-                        stepped_this_round += rest.len();
-                        // Further shrinkage is immaterial: the whole round is
-                        // already being recomputed from scratch.
-                        let (_, rebuild_wall, rebuild_busy) =
-                            run_phase(rest, &store, &mut stats, &mut results, round, sink);
-                        wall_ns += rebuild_wall;
-                        busy_ns += rebuild_busy;
-                        known_ids.clone()
-                    } else {
-                        stats.peak_frontier = stats.peak_frontier.max(frontier.len());
-                        // Everything off the frontier is served from the
-                        // accumulated domain without being visited at all.
-                        stats.cache_hits += known - frontier.len();
-                        frontier_vec
-                    };
-
-                    // Join on sync: install the entries, then fold only the
-                    // re-stepped contributions — and only their store *deltas*
-                    // — in ascending id order, with the per-address growth
-                    // report falling straight out of the in-place join.
-                    let mut join_watch = Stopwatch::start(armed);
-                    let mut cache = cache_lock.write().expect("cache lock poisoned");
-                    install_entries(results, interner.id_bound(), &mut cache, &mut dependents);
-                    let mut changed_addrs: BTreeSet<Ps::Addr> = BTreeSet::new();
-                    for &id in &fold_ids {
-                        let entry = cache[id.index()].as_ref().expect("fold of an unstepped id");
-                        stats.store_joins += 1;
-                        stats.spine_clones += 1;
-                        if armed {
-                            // Attribute join traffic per address: every
-                            // address the delta binds is one join record,
-                            // widened when the fold reports it grew.
-                            let bound = entry.delta.addresses();
-                            let changed = store.join_in_place_delta(entry.delta.clone());
-                            for a in &bound {
-                                sink.join_traffic(
-                                    &label_of(a, ADDR_LABEL_MAX),
-                                    changed.contains(a),
-                                );
-                            }
-                            changed_addrs.extend(changed);
-                        } else {
-                            changed_addrs.extend(store.join_in_place_delta(entry.delta.clone()));
-                        }
-                    }
-                    drop(cache);
-                    stats.store_widenings += changed_addrs.len();
-                    stats.store_bytes_shared =
-                        stats.store_bytes_shared.max(store.shared_spine_bytes());
-                    // The round's phase split: the slowest worker's busy
-                    // time is the step share, the coordinator's fold is the
-                    // join share, and whatever remains of the phase walls is
-                    // barrier/coordination overhead — the sync share.
-                    sink.round(RoundTrace {
-                        round: stats.iterations,
-                        frontier: frontier_len,
-                        stepped: stepped_this_round,
-                        joins: fold_ids.len(),
-                        delta_width: changed_addrs.len(),
-                        rebuild: shrank,
-                        step_ns: busy_ns,
-                        join_ns: join_watch.lap_ns(),
-                        sync_ns: wall_ns.saturating_sub(busy_ns),
-                    });
-
-                    // Next frontier: freshly discovered pairs (ids minted
-                    // during this round have no cached outcome yet) plus every
-                    // cached dependent of an address that grew — the reverse
-                    // dependency index re-seeding.
-                    let fresh = interner.fresh_since(&marks);
-                    known_ids.extend(fresh.iter().copied());
-                    let mut next: BTreeSet<StateId> = fresh.into_iter().collect();
-                    for a in &changed_addrs {
-                        if let Some(ids) = dependents.get(a) {
-                            next.extend(ids.iter().copied());
-                        }
-                    }
-                    frontier = next;
-                }
-            }));
-
-            // Shut the pool down: a `None` phase is the stop signal.
-            // This runs on the panic path too — otherwise the scope's
-            // implicit join would wait forever on workers parked at the
-            // start barrier — and only *then* is a panicked solve resumed.
-            *phase_slot.write().unwrap_or_else(PoisonError::into_inner) = None;
-            start_barrier.wait();
-            if let Err(payload) = solve {
-                resume_unwind(payload);
-            }
-        });
-
-        stats.intern_hits = interner.hits();
-        stats.intern_misses = interner.misses();
-        stats.distinct_states = interner.len();
-        stats.stripe_acquisitions = interner.stripe_acquisitions();
-        // Un-intern only here, at the boundary: the structural domain is
-        // assembled once, from the interner's value table.
-        let states: BTreeSet<(Ps, G)> = interner
-            .entries_cloned()
-            .into_iter()
-            .map(|(_, value)| value)
-            .collect();
-        (SharedStoreDomain::from_parts(states, store), stats)
+        // The classic entry point re-raises the original panic payload, so
+        // a panicking user step function propagates exactly as it would
+        // out of the sequential engines.
+        match solve_parallel_governed(
+            step,
+            SolveFrom::Fresh(initial),
+            threads,
+            &Budget::unlimited(),
+            sink,
+        ) {
+            Ok((outcome, stats)) => (outcome.into_complete(), stats),
+            Err(payload) => resume_unwind(payload),
+        }
     }
 
     fn explore_frontier_elastic_traced<F, T>(
@@ -726,8 +873,133 @@ where
         T: TraceSink,
         Ps: std::fmt::Debug,
     {
-        elastic::explore_elastic_traced(step, initial, config, sink)
+        match elastic::solve_elastic_governed(
+            step,
+            SolveFrom::Fresh(initial),
+            config,
+            &Budget::unlimited(),
+            sink,
+        ) {
+            Ok((outcome, stats)) => (outcome.into_complete(), stats),
+            Err(payload) => resume_unwind(payload),
+        }
     }
+}
+
+/// The `(outcome, stats, report)` triple the degradation ladder returns.
+pub type LadderSolve<Ps, G, S> = (
+    Outcome<SharedStoreDomain<Ps, G, S>, SharedResumeSeed<Ps, G, S>>,
+    EngineStats,
+    LadderReport,
+);
+
+/// [`explore_frontier_ladder_traced`] without a sink.
+pub fn explore_frontier_ladder<Ps, G, S, F>(
+    step: &F,
+    initial: Ps,
+    config: ParallelConfig,
+    budget: &Budget,
+) -> LadderSolve<Ps, G, S>
+where
+    Ps: Value + Ord + Hash + StateRoots + Send + Sync + std::fmt::Debug,
+    Ps::Addr: Hash,
+    G: Value + Ord + Hash + HasInitial + Send + Sync,
+    S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + Value,
+    S::D: Touches<Ps::Addr>,
+    F: StepFn<Ps, G, S>,
+{
+    explore_frontier_ladder_traced(step, initial, config, budget, &mut NoopSink)
+}
+
+/// The degradation ladder: elastic → barrier → sequential-direct.
+///
+/// Tries the requested parallel driver first (elastic when
+/// `config.epochs > 1`, otherwise straight to barrier); when a rung fails
+/// with [`EngineError::WorkerPanicked`] the fault is recorded, a
+/// [`GovernorTraceKind::RungFaulted`] event is emitted, and the next rung
+/// runs the *same* solve from scratch.  The last rung is the sequential
+/// direct engine, which shares no pool and never consults the fault plan,
+/// so a faulted parallel solve still returns the byte-identical fixpoint
+/// (every rung computes the same least fixpoint by the engine-equivalence
+/// ladder).  The returned [`LadderReport`] says which rung answered and
+/// what the faulted rungs reported.
+pub fn explore_frontier_ladder_traced<Ps, G, S, F, T>(
+    step: &F,
+    initial: Ps,
+    config: ParallelConfig,
+    budget: &Budget,
+    sink: &mut T,
+) -> LadderSolve<Ps, G, S>
+where
+    Ps: Value + Ord + Hash + StateRoots + Send + Sync + std::fmt::Debug,
+    Ps::Addr: Hash,
+    G: Value + Ord + Hash + HasInitial + Send + Sync,
+    S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + Value,
+    S::D: Touches<Ps::Addr>,
+    F: StepFn<Ps, G, S>,
+    T: TraceSink,
+{
+    let mut faults: Vec<(LadderRung, EngineError)> = Vec::new();
+    if config.epochs > 1 {
+        match SharedStoreDomain::explore_frontier_elastic_governed_traced(
+            step,
+            SolveFrom::Fresh(initial.clone()),
+            config,
+            budget,
+            sink,
+        ) {
+            Ok((outcome, stats)) => {
+                let report = LadderReport {
+                    rung: LadderRung::Elastic,
+                    faults,
+                };
+                return (outcome, stats, report);
+            }
+            Err(error) => {
+                sink.governor(GovernorTrace {
+                    round: 0,
+                    kind: GovernorTraceKind::RungFaulted(LadderRung::Elastic),
+                });
+                faults.push((LadderRung::Elastic, error));
+            }
+        }
+    }
+    match SharedStoreDomain::explore_frontier_parallel_governed_traced(
+        step,
+        SolveFrom::Fresh(initial.clone()),
+        config.threads,
+        budget,
+        sink,
+    ) {
+        Ok((outcome, stats)) => {
+            let report = LadderReport {
+                rung: LadderRung::Barrier,
+                faults,
+            };
+            return (outcome, stats, report);
+        }
+        Err(error) => {
+            sink.governor(GovernorTrace {
+                round: 0,
+                kind: GovernorTraceKind::RungFaulted(LadderRung::Barrier),
+            });
+            faults.push((LadderRung::Barrier, error));
+        }
+    }
+    // The last rung cannot fault: the sequential direct engine runs no
+    // pool and never consults the fault plan.
+    let (outcome, stats) =
+        <SharedStoreDomain<Ps, G, S> as DirectCollecting<Ps, G, S>>::explore_frontier_governed_traced(
+            step,
+            SolveFrom::Fresh(initial),
+            budget,
+            sink,
+        );
+    let report = LadderReport {
+        rung: LadderRung::SequentialDirect,
+        faults,
+    };
+    (outcome, stats, report)
 }
 
 #[cfg(test)]

@@ -28,8 +28,10 @@ use crate::lattice::Lattice;
 use crate::monad::{run_store_passing, MonadFamily, StorePassing, Value};
 use crate::telemetry::{label_of, RoundTrace, Stopwatch, TraceSink};
 
+use super::governor::{Budget, Outcome, ResumeSeed, SolveFrom};
 use super::shared::STATE_LABEL_MAX;
 use super::{DirectCollecting, EngineStats, FrontierCollecting, StepFn};
+use crate::telemetry::{GovernorTrace, GovernorTraceKind};
 
 impl<Ps, G, S> FrontierCollecting<StorePassing<G, S>, Ps> for PerStateDomain<Ps, G, S>
 where
@@ -55,11 +57,14 @@ where
     G: Value + Ord + Hash + HasInitial,
     S: Value + Ord + Hash + Lattice,
 {
-    fn explore_frontier_direct_traced<F, T>(
+    type Seed = ResumeSeed<((Ps, G), S), ()>;
+
+    fn explore_frontier_governed_traced<F, T>(
         step: &F,
-        initial: Ps,
+        from: SolveFrom<Ps, Self::Seed>,
+        budget: &Budget,
         sink: &mut T,
-    ) -> (Self, EngineStats)
+    ) -> (Outcome<Self, Self::Seed>, EngineStats)
     where
         F: StepFn<Ps, G, S>,
         T: TraceSink,
@@ -72,22 +77,47 @@ where
         let mut interner: Interner<((Ps, G), S), StateId> = Interner::new();
         let mut frontier: VecDeque<StateId> = VecDeque::new();
 
-        let injected = ((initial, G::initial()), S::bottom());
-        frontier.push_back(interner.intern(injected));
-        stats.store_joins += 1;
-        stats.peak_frontier = 1;
+        match from {
+            SolveFrom::Fresh(initial) => {
+                let injected = ((initial, G::initial()), S::bottom());
+                frontier.push_back(interner.intern(injected));
+                stats.store_joins += 1;
+            }
+            SolveFrom::Resume(seed) => {
+                // Re-seed with every carried triple: the closed units need
+                // no dependency rebuild, just one re-step each to recover
+                // the successors the partial run had not yet enqueued.
+                for triple in seed.states {
+                    let id = interner.intern(triple);
+                    frontier.push_back(id);
+                    stats.store_joins += 1;
+                }
+            }
+        }
+        stats.peak_frontier = frontier.len();
 
         // The FIFO has no round structure of its own, so the trace groups
         // pops into BFS *generations*: the initial triple is generation 1,
         // everything it discovers is generation 2, and so on — the
-        // per-state analogue of a frontier round.
+        // per-state analogue of a frontier round.  The budget is checked
+        // at generation boundaries.
         let mut round = 0usize;
-        let mut generation_size = 1usize;
-        let mut generation_left = 1usize;
+        let mut generation_size = frontier.len();
+        let mut generation_left = generation_size;
         let mut generation_joins = 0usize;
         let mut generation_watch = Stopwatch::start(armed);
 
-        while let Some(id) = frontier.pop_front() {
+        let mut exhausted = budget.exhausted(0, 0);
+        if let Some(reason) = exhausted {
+            sink.governor(GovernorTrace {
+                round: 0,
+                kind: GovernorTraceKind::Exhausted(reason),
+            });
+        }
+        while exhausted.is_none() {
+            let Some(id) = frontier.pop_front() else {
+                break;
+            };
             stats.iterations += 1;
             stats.states_stepped += 1;
             // The triple clone out of the interner is the step's store
@@ -126,6 +156,13 @@ where
                 generation_size = frontier.len();
                 generation_left = generation_size;
                 generation_joins = 0;
+                if let Some(reason) = budget.exhausted(round, stats.states_stepped) {
+                    sink.governor(GovernorTrace {
+                        round,
+                        kind: GovernorTraceKind::Exhausted(reason),
+                    });
+                    exhausted = Some(reason);
+                }
             }
         }
 
@@ -133,7 +170,23 @@ where
         stats.intern_misses = interner.misses();
         stats.distinct_states = interner.len();
         let domain = PerStateDomain::from_elements(interner.values().iter().cloned());
-        (domain, stats)
+        match exhausted {
+            None => (Outcome::Complete(domain), stats),
+            Some(reason) => {
+                let resume_seed = Box::new(ResumeSeed {
+                    states: interner.values().to_vec(),
+                    store: (),
+                });
+                (
+                    Outcome::Exhausted {
+                        partial: domain,
+                        reason,
+                        resume_seed,
+                    },
+                    stats,
+                )
+            }
+        }
     }
 }
 

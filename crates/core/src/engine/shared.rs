@@ -91,7 +91,19 @@ use crate::monad::{run_store_passing, MonadFamily, StorePassing, Value};
 use crate::store::{StoreDelta, StoreLike};
 use crate::telemetry::{label_of, RoundTrace, Stopwatch, TraceSink};
 
+use super::governor::{Budget, Outcome, ResumeSeed, SolveFrom};
 use super::{DirectCollecting, EngineStats, FrontierCollecting, StateRoots, StepFn};
+use crate::telemetry::{GovernorTrace, GovernorTraceKind};
+
+/// The resume seed of every shared-store engine: the `(state, guts)`
+/// pairs discovered so far plus the accumulated store.
+pub type SharedResumeSeed<Ps, G, S> = ResumeSeed<(Ps, G), S>;
+
+/// The `(outcome, stats)` pair every governed shared-store solve returns.
+pub type SharedGovernedSolve<Ps, G, S> = (
+    Outcome<SharedStoreDomain<Ps, G, S>, SharedResumeSeed<Ps, G, S>>,
+    EngineStats,
+);
 
 /// How many characters of a state's `Debug` rendering become its hot-spot
 /// attribution label.
@@ -406,7 +418,13 @@ where
         Ps: std::fmt::Debug,
     {
         let direct = |ps: Ps, g: G, s: S| run_store_passing(step(ps), g, s);
-        explore_structural(&direct, initial, sink)
+        let (outcome, stats) = explore_structural_governed_stats(
+            &direct,
+            SolveFrom::Fresh(initial),
+            &Budget::unlimited(),
+            sink,
+        );
+        (outcome.into_complete(), stats)
     }
 
     fn explore_frontier_rescan_traced<F, T>(
@@ -420,7 +438,13 @@ where
         Ps: std::fmt::Debug,
     {
         let direct = |ps: Ps, g: G, s: S| run_store_passing(step(ps), g, s);
-        explore_rescan(&direct, initial, sink)
+        let (outcome, stats) = explore_rescan_governed_stats(
+            &direct,
+            SolveFrom::Fresh(initial),
+            &Budget::unlimited(),
+            sink,
+        );
+        (outcome.into_complete(), stats)
     }
 }
 
@@ -432,11 +456,14 @@ where
     S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + Value,
     S::D: Touches<Ps::Addr>,
 {
-    fn explore_frontier_direct_traced<F, T>(
+    type Seed = SharedResumeSeed<Ps, G, S>;
+
+    fn explore_frontier_governed_traced<F, T>(
         step: &F,
-        initial: Ps,
+        from: SolveFrom<Ps, Self::Seed>,
+        budget: &Budget,
         sink: &mut T,
-    ) -> (Self, EngineStats)
+    ) -> (Outcome<Self, Self::Seed>, EngineStats)
     where
         F: StepFn<Ps, G, S>,
         T: TraceSink,
@@ -456,12 +483,39 @@ where
         let mut cache: InternedCache<S, Ps::Addr> = Vec::new();
         let mut dependents: IdDependents<Ps::Addr> = FxHashMap::default();
         // The running accumulated store (the states half of the running
-        // domain is the interner itself).
-        let mut store: S = S::bottom();
-        let initial_id = interner.intern((initial, G::initial()));
-        let mut frontier: BTreeSet<StateId> = [initial_id].into_iter().collect();
+        // domain is the interner itself).  A resumed solve re-steps every
+        // carried state once — rebuilding the dependency index the
+        // partial run discarded — and then converges normally.
+        let mut store: S;
+        let mut frontier: BTreeSet<StateId>;
+        match from {
+            SolveFrom::Fresh(initial) => {
+                store = S::bottom();
+                let initial_id = interner.intern((initial, G::initial()));
+                frontier = [initial_id].into_iter().collect();
+            }
+            SolveFrom::Resume(seed) => {
+                store = seed.store;
+                frontier = seed
+                    .states
+                    .into_iter()
+                    .map(|key| interner.intern(key))
+                    .collect();
+            }
+        }
 
+        let mut exhausted = None;
         while !frontier.is_empty() {
+            // The round-boundary governance check: one branch and one
+            // relaxed atomic load for an unlimited budget, no clock.
+            if let Some(reason) = budget.exhausted(stats.iterations, stats.states_stepped) {
+                sink.governor(GovernorTrace {
+                    round: stats.iterations,
+                    kind: GovernorTraceKind::Exhausted(reason),
+                });
+                exhausted = Some(reason);
+                break;
+            }
             stats.iterations += 1;
             // Ids below this watermark were known when the round began;
             // everything interned during the round is a fresh discovery.
@@ -587,18 +641,41 @@ where
         // Un-intern only here, at the boundary: the structural domain is
         // assembled once, from the interner's value table.
         let states: BTreeSet<(Ps, G)> = interner.values().iter().cloned().collect();
-        (SharedStoreDomain::from_parts(states, store), stats)
+        match exhausted {
+            None => (
+                Outcome::Complete(SharedStoreDomain::from_parts(states, store)),
+                stats,
+            ),
+            Some(reason) => {
+                let resume_seed = Box::new(ResumeSeed {
+                    states: interner.values().to_vec(),
+                    store: store.clone(),
+                });
+                (
+                    Outcome::Exhausted {
+                        partial: SharedStoreDomain::from_parts(states, store),
+                        reason,
+                        resume_seed,
+                    },
+                    stats,
+                )
+            }
+        }
     }
 }
 
 /// The PR-2 *structural-key* incremental accumulator over the
 /// carrier-neutral step shape (see
-/// [`FrontierCollecting::explore_frontier_structural`]).
-fn explore_structural<Ps, G, S, F, T>(
+/// [`FrontierCollecting::explore_frontier_structural`]), in governed
+/// form: the [`Budget`] is consulted at every round boundary, and an
+/// `Exhausted` outcome carries a [`SharedResumeSeed`] any shared-store
+/// engine can continue from.
+pub fn explore_structural_governed_stats<Ps, G, S, F, T>(
     step: &F,
-    initial: Ps,
+    from: SolveFrom<Ps, SharedResumeSeed<Ps, G, S>>,
+    budget: &Budget,
     sink: &mut T,
-) -> (SharedStoreDomain<Ps, G, S>, EngineStats)
+) -> SharedGovernedSolve<Ps, G, S>
 where
     Ps: Value + Ord + StateRoots,
     G: Value + Ord + HasInitial,
@@ -615,12 +692,27 @@ where
     // a store delta invalidates exactly its dependents — no per-round
     // scan of all states.
     let mut dependents: BTreeMap<Ps::Addr, BTreeSet<(Ps, G)>> = BTreeMap::new();
-    // The running accumulated domain (starts as inject(initial)).
-    let mut current: SharedStoreDomain<Ps, G, S> =
-        Collecting::<StorePassing<G, S>, Ps>::inject(initial);
+    // The running accumulated domain: inject(initial) for a fresh solve,
+    // the carried partial for a resumed one (every carried state goes
+    // back on the frontier to rebuild the dependency index).
+    let mut current: SharedStoreDomain<Ps, G, S> = match from {
+        SolveFrom::Fresh(initial) => Collecting::<StorePassing<G, S>, Ps>::inject(initial),
+        SolveFrom::Resume(seed) => {
+            SharedStoreDomain::from_parts(seed.states.into_iter().collect(), seed.store)
+        }
+    };
     let mut frontier: BTreeSet<(Ps, G)> = current.states().clone();
 
+    let mut exhausted = None;
     while !frontier.is_empty() {
+        if let Some(reason) = budget.exhausted(stats.iterations, stats.states_stepped) {
+            sink.governor(GovernorTrace {
+                round: stats.iterations,
+                kind: GovernorTraceKind::Exhausted(reason),
+            });
+            exhausted = Some(reason);
+            break;
+        }
         stats.iterations += 1;
         let frontier_len = frontier.len();
         let mut stepped_this_round = frontier_len;
@@ -714,16 +806,47 @@ where
         frontier = next;
     }
 
-    (current, stats)
+    let outcome = governed_outcome(current, exhausted);
+    (outcome, stats)
+}
+
+/// Packages a shared-store solve's result: `Complete` when the frontier
+/// drained, `Exhausted` (with the partial's states and store as the
+/// resume seed) when the budget fired first.
+fn governed_outcome<Ps, G, S>(
+    domain: SharedStoreDomain<Ps, G, S>,
+    exhausted: Option<super::governor::ExhaustReason>,
+) -> Outcome<SharedStoreDomain<Ps, G, S>, SharedResumeSeed<Ps, G, S>>
+where
+    Ps: Value + Ord,
+    G: Value + Ord,
+    S: Value + Lattice,
+{
+    match exhausted {
+        None => Outcome::Complete(domain),
+        Some(reason) => {
+            let resume_seed = Box::new(ResumeSeed {
+                states: domain.states().iter().cloned().collect(),
+                store: domain.store().clone(),
+            });
+            Outcome::Exhausted {
+                partial: domain,
+                reason,
+                resume_seed,
+            }
+        }
+    }
 }
 
 /// The PR-1 *rescanning* solver over the carrier-neutral step shape (see
-/// [`FrontierCollecting::explore_frontier_rescan`]).
-fn explore_rescan<Ps, G, S, F, T>(
+/// [`FrontierCollecting::explore_frontier_rescan`]), in governed form:
+/// the [`Budget`] is consulted before every Kleene pass.
+pub fn explore_rescan_governed_stats<Ps, G, S, F, T>(
     step: &F,
-    initial: Ps,
+    from: SolveFrom<Ps, SharedResumeSeed<Ps, G, S>>,
+    budget: &Budget,
     sink: &mut T,
-) -> (SharedStoreDomain<Ps, G, S>, EngineStats)
+) -> SharedGovernedSolve<Ps, G, S>
 where
     Ps: Value + Ord + StateRoots,
     G: Value + Ord + HasInitial,
@@ -740,15 +863,34 @@ where
     let mut last_changed: BTreeMap<Ps::Addr, usize> = BTreeMap::new();
     let mut versions: BTreeMap<(Ps, G), usize> = BTreeMap::new();
     let mut version = 0usize;
-    let mut current: SharedStoreDomain<Ps, G, S> = Lattice::bottom();
+    // A resumed solve's iterate starts at the carried partial (which
+    // already contains the injected initial state), so the per-pass
+    // inject is only needed on the fresh path.
+    let (mut current, inject): (SharedStoreDomain<Ps, G, S>, Option<Ps>) = match from {
+        SolveFrom::Fresh(initial) => (Lattice::bottom(), Some(initial)),
+        SolveFrom::Resume(seed) => (
+            SharedStoreDomain::from_parts(seed.states.into_iter().collect(), seed.store),
+            None,
+        ),
+    };
 
     loop {
+        if let Some(reason) = budget.exhausted(stats.iterations, stats.states_stepped) {
+            sink.governor(GovernorTrace {
+                round: stats.iterations,
+                kind: GovernorTraceKind::Exhausted(reason),
+            });
+            let outcome = governed_outcome(current, Some(reason));
+            return (outcome, stats);
+        }
         stats.iterations += 1;
         let mut phase_watch = Stopwatch::start(armed);
         // One Kleene iterate: next = inject(initial) ⊔ applyStep(current),
         // with applyStep evaluated through the memo cache.
-        let mut next: SharedStoreDomain<Ps, G, S> =
-            Collecting::<StorePassing<G, S>, Ps>::inject(initial.clone());
+        let mut next: SharedStoreDomain<Ps, G, S> = match &inject {
+            Some(initial) => Collecting::<StorePassing<G, S>, Ps>::inject(initial.clone()),
+            None => Lattice::bottom(),
+        };
         let mut fresh_this_round = 0usize;
 
         for key in current.states().iter() {
@@ -804,7 +946,7 @@ where
             sync_ns: 0,
         });
         if !grew {
-            return (current, stats);
+            return (Outcome::Complete(current), stats);
         }
         stats.store_bytes_shared = stats
             .store_bytes_shared

@@ -37,7 +37,7 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use crate::hash::{fx_hash_of, FxHashMap};
 
@@ -305,7 +305,13 @@ impl<T: std::hash::Hash + Eq, I: InternKey> ShardedInterner<T, I> {
         let hash = fx_hash_of(&value);
         let stripe_index = Self::stripe_of(hash);
         self.acquisitions.fetch_add(1, Ordering::Relaxed);
-        let mut stripe = self.stripes[stripe_index].lock().expect("stripe poisoned");
+        // A panicked worker poisons its stripe mid-`intern_fresh` only
+        // between infallible Vec pushes, so the table stays consistent:
+        // recover the guard instead of cascading the panic into every
+        // other worker that shares the stripe.
+        let mut stripe = self.stripes[stripe_index]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let Stripe { buckets, values } = &mut *stripe;
         let candidates = buckets.entry(hash).or_default();
         for &id in candidates.iter() {
@@ -333,7 +339,7 @@ impl<T: std::hash::Hash + Eq, I: InternKey> ShardedInterner<T, I> {
         self.acquisitions.fetch_add(1, Ordering::Relaxed);
         let stripe = self.stripes[id.index() % STRIPES]
             .lock()
-            .expect("stripe poisoned");
+            .unwrap_or_else(PoisonError::into_inner);
         stripe.values[id.index() / STRIPES].clone()
     }
 
@@ -341,7 +347,12 @@ impl<T: std::hash::Hash + Eq, I: InternKey> ShardedInterner<T, I> {
     pub fn len(&self) -> usize {
         self.stripes
             .iter()
-            .map(|s| s.lock().expect("stripe poisoned").values.len())
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .values
+                    .len()
+            })
             .sum()
     }
 
@@ -359,7 +370,11 @@ impl<T: std::hash::Hash + Eq, I: InternKey> ShardedInterner<T, I> {
             .iter()
             .enumerate()
             .map(|(stripe_index, s)| {
-                let len = s.lock().expect("stripe poisoned").values.len();
+                let len = s
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .values
+                    .len();
                 if len == 0 {
                     0
                 } else {
@@ -376,7 +391,12 @@ impl<T: std::hash::Hash + Eq, I: InternKey> ShardedInterner<T, I> {
     pub fn watermarks(&self) -> Vec<usize> {
         self.stripes
             .iter()
-            .map(|s| s.lock().expect("stripe poisoned").values.len())
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .values
+                    .len()
+            })
             .collect()
     }
 
@@ -387,7 +407,11 @@ impl<T: std::hash::Hash + Eq, I: InternKey> ShardedInterner<T, I> {
     pub fn fresh_since(&self, watermarks: &[usize]) -> Vec<I> {
         let mut fresh: Vec<I> = Vec::new();
         for (stripe_index, s) in self.stripes.iter().enumerate() {
-            let len = s.lock().expect("stripe poisoned").values.len();
+            let len = s
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .values
+                .len();
             for local in watermarks[stripe_index]..len {
                 fresh.push(I::from_index(local * STRIPES + stripe_index));
             }
@@ -404,7 +428,7 @@ impl<T: std::hash::Hash + Eq, I: InternKey> ShardedInterner<T, I> {
     {
         let mut out: Vec<(I, T)> = Vec::new();
         for (stripe_index, s) in self.stripes.iter().enumerate() {
-            let stripe = s.lock().expect("stripe poisoned");
+            let stripe = s.lock().unwrap_or_else(PoisonError::into_inner);
             for (local, value) in stripe.values.iter().enumerate() {
                 out.push((I::from_index(local * STRIPES + stripe_index), value.clone()));
             }

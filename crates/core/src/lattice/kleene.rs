@@ -2,6 +2,7 @@
 //! from `⊥` (paper §5.2, equation (1)).
 
 use super::Lattice;
+use crate::engine::governor::{Budget, Outcome};
 
 /// Computes the least fixed point of a monotone function by Kleene
 /// iteration, as the paper's `kleeneIt`:
@@ -98,30 +99,71 @@ impl<L> KleeneOutcome<L> {
     }
 }
 
+/// Governed Kleene iteration from an explicit starting iterate: one
+/// application of the functional is one *round* (and one *step* — at the
+/// whole-lattice level the two coincide), and the [`Budget`] is consulted
+/// before each application.  Returns the outcome together with the number
+/// of applications performed.
+///
+/// An `Exhausted` outcome's resume seed is the accumulated iterate
+/// itself: passing it back as `start` continues the ascent and reaches
+/// the same least fixed point a one-shot run would (the Kleene sequence
+/// from any sound under-approximation of the lfp still converges to it).
+pub fn kleene_it_governed_from<L, F>(start: L, f: F, budget: &Budget) -> (Outcome<L, L>, usize)
+where
+    L: Lattice,
+    F: Fn(&L) -> L,
+{
+    let mut current = start;
+    let mut rounds = 0usize;
+    loop {
+        if let Some(reason) = budget.exhausted(rounds, rounds) {
+            let resume_seed = Box::new(current.clone());
+            return (
+                Outcome::Exhausted {
+                    partial: current,
+                    reason,
+                    resume_seed,
+                },
+                rounds,
+            );
+        }
+        let next = f(&current);
+        if !current.join_in_place(next) {
+            return (Outcome::Complete(current), rounds);
+        }
+        rounds += 1;
+    }
+}
+
+/// Governed Kleene iteration from `⊥` — see [`kleene_it_governed_from`].
+pub fn kleene_it_governed<L, F>(f: F, budget: &Budget) -> (Outcome<L, L>, usize)
+where
+    L: Lattice,
+    F: Fn(&L) -> L,
+{
+    kleene_it_governed_from(L::bottom(), f, budget)
+}
+
 /// Kleene iteration with an explicit bound on the number of steps, reporting
 /// whether the iteration converged.
 ///
 /// Useful for analyses whose guts are allowed to grow without bound (e.g.
 /// the simple integer-time collecting semantics of §5.3, which the paper
-/// itself notes "may not terminate").
+/// itself notes "may not terminate").  A compatibility shim over
+/// [`kleene_it_governed`] with a round budget of `max_iterations`.
 pub fn kleene_it_bounded<L, F>(f: F, max_iterations: usize) -> KleeneOutcome<L>
 where
     L: Lattice,
     F: Fn(&L) -> L,
 {
-    let mut current = L::bottom();
-    for i in 0..max_iterations {
-        let next = f(&current);
-        if !current.join_in_place(next) {
-            return KleeneOutcome::Converged {
-                value: current,
-                iterations: i,
-            };
-        }
-    }
-    KleeneOutcome::Exhausted {
-        value: current,
-        max_iterations,
+    let budget = Budget::unlimited().with_max_rounds(max_iterations);
+    match kleene_it_governed(f, &budget) {
+        (Outcome::Complete(value), iterations) => KleeneOutcome::Converged { value, iterations },
+        (Outcome::Exhausted { partial, .. }, _) => KleeneOutcome::Exhausted {
+            value: partial,
+            max_iterations,
+        },
     }
 }
 
@@ -164,6 +206,32 @@ mod tests {
         if let KleeneOutcome::Converged { iterations, .. } = out {
             assert!(iterations <= 2);
         }
+    }
+
+    #[test]
+    fn governed_exhaustion_resumes_to_the_one_shot_fixpoint() {
+        let f = |s: &BTreeSet<u32>| {
+            let mut next = s.clone();
+            next.insert(1);
+            next.extend(s.iter().filter(|&&x| x < 64).map(|&x| x * 2));
+            next
+        };
+        let one_shot: BTreeSet<u32> = kleene_it(f);
+        let budget = Budget::unlimited().with_max_rounds(2);
+        let (outcome, rounds) = kleene_it_governed(f, &budget);
+        assert_eq!(rounds, 2);
+        let Outcome::Exhausted {
+            partial,
+            reason,
+            resume_seed,
+        } = outcome
+        else {
+            panic!("two rounds cannot reach the seven-round fixpoint");
+        };
+        assert_eq!(reason, crate::engine::governor::ExhaustReason::RoundBudget);
+        assert!(partial.len() < one_shot.len());
+        let (resumed, _) = kleene_it_governed_from(*resume_seed, f, &Budget::unlimited());
+        assert_eq!(resumed.into_complete(), one_shot);
     }
 
     #[test]

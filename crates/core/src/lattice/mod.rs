@@ -34,7 +34,9 @@ mod kleene;
 pub use absnat::AbsNat;
 pub use galois::GaloisConnection;
 pub use instances::{Flat, PointwiseExt};
-pub use kleene::{kleene_it, kleene_it_bounded, KleeneOutcome};
+pub use kleene::{
+    kleene_it, kleene_it_bounded, kleene_it_governed, kleene_it_governed_from, KleeneOutcome,
+};
 
 /// A join semi-lattice with a least element.
 ///

@@ -53,6 +53,7 @@ use std::fmt::Debug;
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use crate::engine::governor::{ExhaustReason, LadderRung};
 use crate::hash::FxHashMap;
 use crate::intern::StateId;
 
@@ -163,6 +164,34 @@ pub struct MergeTrace {
     pub merge_ns: u64,
 }
 
+/// A governance event of a governed solve: the budget fired, or a
+/// degradation-ladder rung faulted.
+///
+/// The cancel-latency tests are built on these records: the `round`
+/// of an [`GovernorTraceKind::Exhausted`] event is the number of
+/// *completed* rounds when the budget was observed, so the distance
+/// between the cancel request and the event bounds the observation
+/// latency in rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GovernorTrace {
+    /// Rounds completed when the event was observed (sequential and
+    /// barrier engines observe at round boundaries; for ladder events,
+    /// the rung's rounds completed before it faulted is unknown, so 0).
+    pub round: usize,
+    /// What was observed.
+    pub kind: GovernorTraceKind,
+}
+
+/// What a [`GovernorTrace`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GovernorTraceKind {
+    /// The budget fired with this reason; the solve returned a partial.
+    Exhausted(ExhaustReason),
+    /// This degradation-ladder rung faulted (a worker panicked) and the
+    /// solve fell to the next rung.
+    RungFaulted(LadderRung),
+}
+
 /// A structured trace consumer, threaded through the engines' `_traced`
 /// entry points.
 ///
@@ -192,6 +221,10 @@ pub trait TraceSink {
 
     /// One lazy merge of the elastic driver.
     fn merge(&mut self, _event: MergeTrace) {}
+
+    /// One governance event: budget exhaustion observed, or a ladder
+    /// rung faulted.
+    fn governor(&mut self, _event: GovernorTrace) {}
 
     /// `ns` nanoseconds were spent stepping the state labelled `label`
     /// (cumulative attribution: called once per step of that state).
@@ -367,6 +400,8 @@ pub struct TraceBuffer {
     pub epochs: Vec<EpochTrace>,
     /// Every recorded elastic merge, in arrival order.
     pub merges: Vec<MergeTrace>,
+    /// Every recorded governance event, in arrival order.
+    pub governor_events: Vec<GovernorTrace>,
     state_costs: FxHashMap<String, (usize, u64)>,
     join_counts: FxHashMap<String, (usize, usize)>,
 }
@@ -394,6 +429,10 @@ impl TraceSink for TraceBuffer {
 
     fn merge(&mut self, event: MergeTrace) {
         self.merges.push(event);
+    }
+
+    fn governor(&mut self, event: GovernorTrace) {
+        self.governor_events.push(event);
     }
 
     fn state_cost(&mut self, label: &str, ns: u64) {
@@ -661,6 +700,23 @@ impl TraceBuffer {
                 cursor_ns += r.sync_ns;
             }
         }
+        // Governance events land as global instants at the end of the
+        // reconstructed timeline (their round is in the args).
+        for g in &self.governor_events {
+            let (name, detail) = match g.kind {
+                GovernorTraceKind::Exhausted(reason) => ("budget exhausted", reason.as_str()),
+                GovernorTraceKind::RungFaulted(rung) => ("ladder fallback", rung.as_str()),
+            };
+            push(
+                &mut out,
+                format!(
+                    "{{\"name\":\"{name}\",\"cat\":\"governor\",\"ph\":\"i\",\"s\":\"g\",\
+                     \"ts\":{},\"pid\":0,\"tid\":0,\"args\":{{\"round\":{},\"detail\":\"{detail}\"}}}}",
+                    us(cursor_ns),
+                    g.round,
+                ),
+            );
+        }
         out.push_str("]}");
         out
     }
@@ -752,6 +808,20 @@ impl TraceBuffer {
                 self.epochs.len(),
                 self.merges.len(),
             );
+        }
+        if !self.governor_events.is_empty() {
+            let _ = writeln!(out, "governance:");
+            for g in &self.governor_events {
+                let what = match g.kind {
+                    GovernorTraceKind::Exhausted(reason) => {
+                        format!("budget exhausted ({reason})")
+                    }
+                    GovernorTraceKind::RungFaulted(rung) => {
+                        format!("ladder rung faulted ({rung})")
+                    }
+                };
+                let _ = writeln!(out, "  after round {}: {what}", g.round);
+            }
         }
         let hot_states = self.top_states(k);
         if !hot_states.is_empty() {

@@ -11,6 +11,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use mai_core::engine::Budget;
 use mai_core::monad::{run_state, MonadFamily, MonadState, StateM};
 use mai_core::name::Name;
 
@@ -173,25 +174,35 @@ impl Outcome {
 /// Panics if the program gets stuck (reads an unbound variable), which
 /// cannot happen for closed programs produced by [`crate::parser`].
 pub fn interpret_with_limit(program: &CExp, max_steps: usize) -> Outcome {
+    interpret_governed(program, &Budget::unlimited().with_max_steps(max_steps))
+}
+
+/// Runs a CPS program under a [`Budget`]: the governor is consulted before
+/// every machine transition, so step limits, deadlines and cancellation
+/// all land within one transition.  A concrete run has no rounds, so the
+/// budget's round count advances in lockstep with its step count.
+///
+/// # Panics
+///
+/// Panics if the program gets stuck (reads an unbound variable), which
+/// cannot happen for closed programs produced by [`crate::parser`].
+pub fn interpret_governed(program: &CExp, budget: &Budget) -> Outcome {
     let mut state = PState::inject(program.clone());
     let mut heap = Heap::new();
-    for steps in 0..max_steps {
+    let mut steps = 0usize;
+    loop {
         if state.is_final() {
             return Outcome::Halted { state, heap, steps };
+        }
+        if budget.exhausted(steps, steps).is_some() {
+            return Outcome::OutOfFuel { state, heap };
         }
         let computation = mnext::<StateM<Heap>, HeapAddr>(state);
         let (next_state, next_heap) = run_state(computation, heap);
         state = next_state;
         heap = next_heap;
+        steps += 1;
     }
-    if state.is_final() {
-        return Outcome::Halted {
-            state,
-            heap,
-            steps: max_steps,
-        };
-    }
-    Outcome::OutOfFuel { state, heap }
 }
 
 /// Runs a CPS program to completion with a generous default step budget.

@@ -13,12 +13,12 @@ use std::collections::{BTreeMap, BTreeSet};
 use mai_core::addr::{Context, NamedAddress};
 use mai_core::collect::{run_analysis, with_gc, Collecting, PerStateDomain, SharedStoreDomain};
 use mai_core::engine::{
-    explore_worklist_direct_stats, explore_worklist_direct_traced_stats,
+    explore_frontier_ladder, explore_worklist_direct_stats, explore_worklist_direct_traced_stats,
     explore_worklist_elastic_stats, explore_worklist_elastic_traced_stats,
     explore_worklist_parallel_stats, explore_worklist_parallel_traced_stats,
     explore_worklist_rescan_stats, explore_worklist_stats, explore_worklist_structural_stats,
-    with_state_gc, DirectCollecting, EngineStats, FrontierCollecting, ParallelCollecting,
-    ParallelConfig,
+    with_state_gc, Budget, DirectCollecting, EngineError, EngineStats, FrontierCollecting,
+    LadderReport, Outcome, ParallelCollecting, ParallelConfig, SharedResumeSeed, SolveFrom,
 };
 use mai_core::gc::{reachable, GcStrategy, Touches};
 use mai_core::monad::{
@@ -252,6 +252,126 @@ where
             crate::direct::mnext_direct::<C, S>(&table, ps, ctx, store)
         }),
         PState::inject(program.main.clone()),
+    )
+}
+
+/// Like [`analyse_worklist_direct`], but *governed*: the solve consults
+/// `budget` at every round boundary and returns an [`Outcome`] — either
+/// the complete fixpoint or an `Exhausted` partial whose resume seed
+/// reaches the identical fixpoint when handed back to
+/// [`analyse_resume_governed`].  With `Budget::unlimited()` the result and
+/// every deterministic work counter are byte-identical to
+/// [`analyse_worklist_direct`] (the ungoverned entry point *is* this one,
+/// applied to the unlimited budget).
+pub fn analyse_worklist_governed<C, S, Fp>(
+    program: &Program,
+    budget: &Budget,
+) -> (Outcome<Fp, Fp::Seed>, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: DirectCollecting<PState<C::Addr>, C, S>,
+{
+    let table = program.table.clone();
+    Fp::explore_frontier_governed(
+        &move |ps, ctx, store| crate::direct::mnext_direct::<C, S>(&table, ps, ctx, store),
+        SolveFrom::Fresh(PState::inject(program.main.clone())),
+        budget,
+    )
+}
+
+/// Resumes an exhausted governed solve from its carried seed (the class
+/// table must be the one the original solve ran against).  Monotone
+/// accumulation guarantees the resumed solve reaches exactly the fixpoint
+/// the one-shot solve would have.
+pub fn analyse_resume_governed<C, S, Fp>(
+    table: &ClassTable,
+    seed: Fp::Seed,
+    budget: &Budget,
+) -> (Outcome<Fp, Fp::Seed>, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: DirectCollecting<PState<C::Addr>, C, S>,
+{
+    let table = table.clone();
+    Fp::explore_frontier_governed(
+        &move |ps, ctx, store| crate::direct::mnext_direct::<C, S>(&table, ps, ctx, store),
+        SolveFrom::Resume(seed),
+        budget,
+    )
+}
+
+/// [`analyse_worklist_parallel`], governed: budget and cancellation are
+/// checked at every barrier, and a panicked worker surfaces as a clean
+/// [`EngineError`] instead of deadlocking the pool.
+pub fn analyse_worklist_parallel_governed<C, S, Fp>(
+    program: &Program,
+    threads: usize,
+    budget: &Budget,
+) -> Result<(Outcome<Fp, Fp::Seed>, EngineStats), EngineError>
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: ParallelCollecting<PState<C::Addr>, C, S>,
+{
+    let table = program.table.clone();
+    Fp::explore_frontier_parallel_governed(
+        &move |ps, ctx, store| crate::direct::mnext_direct::<C, S>(&table, ps, ctx, store),
+        SolveFrom::Fresh(PState::inject(program.main.clone())),
+        threads,
+        budget,
+    )
+}
+
+/// [`analyse_worklist_elastic`], governed: budget and cancellation are
+/// checked at every epoch boundary (cancel latency is at most one epoch).
+pub fn analyse_worklist_elastic_governed<C, S, Fp>(
+    program: &Program,
+    config: ParallelConfig,
+    budget: &Budget,
+) -> Result<(Outcome<Fp, Fp::Seed>, EngineStats), EngineError>
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: ParallelCollecting<PState<C::Addr>, C, S>,
+{
+    let table = program.table.clone();
+    Fp::explore_frontier_elastic_governed(
+        &move |ps, ctx, store| crate::direct::mnext_direct::<C, S>(&table, ps, ctx, store),
+        SolveFrom::Fresh(PState::inject(program.main.clone())),
+        config,
+        budget,
+    )
+}
+
+/// The outcome type of a ladder solve over the shared-store FJ domain.
+pub type LadderOutcome<C, S> = Outcome<
+    SharedStoreDomain<PState<<C as Context>::Addr>, C, S>,
+    SharedResumeSeed<PState<<C as Context>::Addr>, C, S>,
+>;
+
+/// [`analyse_worklist_elastic`] behind the full degradation ladder:
+/// elastic → barrier → sequential direct.  A faulted parallel rung is
+/// reported in the [`LadderReport`]; the returned fixpoint is byte-identical
+/// to [`analyse_worklist_direct`] no matter which rung completed.
+pub fn analyse_worklist_ladder<C, S>(
+    program: &Program,
+    config: ParallelConfig,
+    budget: &Budget,
+) -> (LadderOutcome<C, S>, EngineStats, LadderReport)
+where
+    C: Context + std::hash::Hash,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>>
+        + mai_core::store::StoreDelta<C::Addr>
+        + Value,
+{
+    let table = program.table.clone();
+    explore_frontier_ladder(
+        &move |ps, ctx, store| crate::direct::mnext_direct::<C, S>(&table, ps, ctx, store),
+        PState::inject(program.main.clone()),
+        config,
+        budget,
     )
 }
 
@@ -667,6 +787,54 @@ pub fn analyse_mono_elastic(
 /// [`analyse_mono`] solved by the worklist engine.
 pub fn analyse_mono_worklist(program: &Program) -> (MonoFjShared, EngineStats) {
     analyse_worklist::<MonoCtx, BasicStore<MonoAddr, Storable<MonoAddr>>, _>(program)
+}
+
+/// The resume seed of a governed shared-store k-CFA solve.
+pub type KFjSeed<const K: usize> = SharedResumeSeed<PState<KCallAddr>, KCallCtx<K>, KFjStore>;
+
+/// [`analyse_kcfa_shared_direct`], governed by a [`Budget`].
+pub fn analyse_kcfa_shared_governed<const K: usize>(
+    program: &Program,
+    budget: &Budget,
+) -> (Outcome<KFjShared<K>, KFjSeed<K>>, EngineStats) {
+    analyse_worklist_governed::<KCallCtx<K>, KFjStore, _>(program, budget)
+}
+
+/// Resumes an exhausted [`analyse_kcfa_shared_governed`] solve.
+pub fn analyse_kcfa_shared_resume<const K: usize>(
+    table: &ClassTable,
+    seed: KFjSeed<K>,
+    budget: &Budget,
+) -> (Outcome<KFjShared<K>, KFjSeed<K>>, EngineStats) {
+    analyse_resume_governed::<KCallCtx<K>, KFjStore, _>(table, seed, budget)
+}
+
+/// [`analyse_kcfa_shared_parallel`], governed by a [`Budget`].
+pub fn analyse_kcfa_shared_parallel_governed<const K: usize>(
+    program: &Program,
+    threads: usize,
+    budget: &Budget,
+) -> Result<(Outcome<KFjShared<K>, KFjSeed<K>>, EngineStats), EngineError> {
+    analyse_worklist_parallel_governed::<KCallCtx<K>, KFjStore, _>(program, threads, budget)
+}
+
+/// [`analyse_kcfa_shared_elastic`], governed by a [`Budget`].
+pub fn analyse_kcfa_shared_elastic_governed<const K: usize>(
+    program: &Program,
+    config: ParallelConfig,
+    budget: &Budget,
+) -> Result<(Outcome<KFjShared<K>, KFjSeed<K>>, EngineStats), EngineError> {
+    analyse_worklist_elastic_governed::<KCallCtx<K>, KFjStore, _>(program, config, budget)
+}
+
+/// [`analyse_kcfa_shared_elastic`] behind the degradation ladder
+/// (elastic → barrier → sequential direct).
+pub fn analyse_kcfa_shared_ladder<const K: usize>(
+    program: &Program,
+    config: ParallelConfig,
+    budget: &Budget,
+) -> (Outcome<KFjShared<K>, KFjSeed<K>>, EngineStats, LadderReport) {
+    analyse_worklist_ladder::<KCallCtx<K>, KFjStore>(program, config, budget)
 }
 
 /// Which classes may flow to each variable or field cell, extracted from an

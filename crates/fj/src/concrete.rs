@@ -4,6 +4,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use mai_core::engine::Budget;
 use mai_core::monad::{run_state, MonadFamily, MonadState, StateM};
 use mai_core::name::{Label, Name};
 
@@ -168,9 +169,24 @@ impl Outcome {
 /// Panics if the program references unbound variables (which
 /// [`crate::typecheck::check_program`] rules out).
 pub fn run_with_limit(program: &Program, max_steps: usize) -> Outcome {
+    run_governed(program, &Budget::unlimited().with_max_steps(max_steps))
+}
+
+/// Runs a Featherweight Java program under a [`Budget`]: the governor is
+/// consulted before every machine transition, so step limits, deadlines
+/// and cancellation all land within one transition.  A concrete run has no
+/// rounds, so the budget's round count advances in lockstep with its step
+/// count.
+///
+/// # Panics
+///
+/// Panics if the program references unbound variables (which
+/// [`crate::typecheck::check_program`] rules out).
+pub fn run_governed(program: &Program, budget: &Budget) -> Outcome {
     let mut state = PState::inject(program.main.clone());
     let mut heap = Heap::new();
-    for steps in 0..max_steps {
+    let mut steps = 0usize;
+    loop {
         if let Some(value) = state.result() {
             return Outcome::Halted {
                 value: value.clone(),
@@ -183,18 +199,14 @@ pub fn run_with_limit(program: &Program, max_steps: usize) -> Outcome {
                 reason: reason.clone(),
             };
         }
+        if budget.exhausted(steps, steps).is_some() {
+            return Outcome::OutOfFuel { state };
+        }
         let (next_state, next_heap) =
             run_state(mnext::<StateM<Heap>, HeapAddr>(&program.table, state), heap);
         state = next_state;
         heap = next_heap;
-    }
-    match state.result() {
-        Some(value) => Outcome::Halted {
-            value: value.clone(),
-            heap,
-            steps: max_steps,
-        },
-        None => Outcome::OutOfFuel { state },
+        steps += 1;
     }
 }
 

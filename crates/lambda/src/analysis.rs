@@ -11,12 +11,12 @@ use std::collections::BTreeSet;
 use mai_core::addr::{Context, NamedAddress};
 use mai_core::collect::{run_analysis, with_gc, Collecting, PerStateDomain, SharedStoreDomain};
 use mai_core::engine::{
-    explore_worklist_direct_stats, explore_worklist_direct_traced_stats,
+    explore_frontier_ladder, explore_worklist_direct_stats, explore_worklist_direct_traced_stats,
     explore_worklist_elastic_stats, explore_worklist_elastic_traced_stats,
     explore_worklist_parallel_stats, explore_worklist_parallel_traced_stats,
     explore_worklist_rescan_stats, explore_worklist_stats, explore_worklist_structural_stats,
-    with_state_gc, DirectCollecting, EngineStats, FrontierCollecting, ParallelCollecting,
-    ParallelConfig,
+    with_state_gc, Budget, DirectCollecting, EngineError, EngineStats, FrontierCollecting,
+    LadderReport, Outcome, ParallelCollecting, ParallelConfig, SharedResumeSeed, SolveFrom,
 };
 use mai_core::gc::Touches;
 use mai_core::gc::{reachable, GcStrategy};
@@ -349,6 +349,119 @@ where
     )
 }
 
+/// Like [`analyse_worklist_direct`], but *governed*: the solve consults
+/// `budget` at every round boundary and returns an [`Outcome`] — either the
+/// complete fixpoint or an `Exhausted` partial whose resume seed reaches
+/// the identical fixpoint when handed back to
+/// [`analyse_resume_governed`].  With `Budget::unlimited()` the result and
+/// every deterministic work counter are byte-identical to
+/// [`analyse_worklist_direct`] (the ungoverned entry point *is* this one,
+/// applied to the unlimited budget).
+pub fn analyse_worklist_governed<C, S, Fp>(
+    term: &Term,
+    budget: &Budget,
+) -> (Outcome<Fp, Fp::Seed>, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: DirectCollecting<PState<C::Addr>, C, S>,
+{
+    Fp::explore_frontier_governed(
+        &crate::direct::mnext_direct::<C, S>,
+        SolveFrom::Fresh(PState::inject(term.clone())),
+        budget,
+    )
+}
+
+/// Resumes an exhausted governed solve from its carried seed.  Monotone
+/// accumulation guarantees the resumed solve reaches exactly the fixpoint
+/// the one-shot solve would have.
+pub fn analyse_resume_governed<C, S, Fp>(
+    seed: Fp::Seed,
+    budget: &Budget,
+) -> (Outcome<Fp, Fp::Seed>, EngineStats)
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: DirectCollecting<PState<C::Addr>, C, S>,
+{
+    Fp::explore_frontier_governed(
+        &crate::direct::mnext_direct::<C, S>,
+        SolveFrom::Resume(seed),
+        budget,
+    )
+}
+
+/// [`analyse_worklist_parallel`], governed: budget and cancellation are
+/// checked at every barrier, and a panicked worker surfaces as a clean
+/// [`EngineError`] instead of deadlocking the pool.
+pub fn analyse_worklist_parallel_governed<C, S, Fp>(
+    term: &Term,
+    threads: usize,
+    budget: &Budget,
+) -> Result<(Outcome<Fp, Fp::Seed>, EngineStats), EngineError>
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: ParallelCollecting<PState<C::Addr>, C, S>,
+{
+    Fp::explore_frontier_parallel_governed(
+        &crate::direct::mnext_direct::<C, S>,
+        SolveFrom::Fresh(PState::inject(term.clone())),
+        threads,
+        budget,
+    )
+}
+
+/// [`analyse_worklist_elastic`], governed: budget and cancellation are
+/// checked at every epoch boundary (cancel latency is at most one epoch).
+pub fn analyse_worklist_elastic_governed<C, S, Fp>(
+    term: &Term,
+    config: ParallelConfig,
+    budget: &Budget,
+) -> Result<(Outcome<Fp, Fp::Seed>, EngineStats), EngineError>
+where
+    C: Context,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>> + Value,
+    Fp: ParallelCollecting<PState<C::Addr>, C, S>,
+{
+    Fp::explore_frontier_elastic_governed(
+        &crate::direct::mnext_direct::<C, S>,
+        SolveFrom::Fresh(PState::inject(term.clone())),
+        config,
+        budget,
+    )
+}
+
+/// [`analyse_worklist_elastic`] behind the full degradation ladder:
+/// elastic → barrier → sequential direct.  A faulted parallel rung is
+/// reported in the [`LadderReport`]; the returned fixpoint is byte-identical
+/// to [`analyse_worklist_direct`] no matter which rung completed.
+pub fn analyse_worklist_ladder<C, S>(
+    term: &Term,
+    config: ParallelConfig,
+    budget: &Budget,
+) -> (LadderOutcome<C, S>, EngineStats, LadderReport)
+where
+    C: Context + std::hash::Hash,
+    S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>>
+        + mai_core::store::StoreDelta<C::Addr>
+        + Value,
+{
+    explore_frontier_ladder(
+        &crate::direct::mnext_direct::<C, S>,
+        PState::inject(term.clone()),
+        config,
+        budget,
+    )
+}
+
+/// The outcome type of a ladder solve over the shared-store CESK domain.
+pub type LadderOutcome<C, S> = Outcome<
+    SharedStoreDomain<PState<<C as Context>::Addr>, C, S>,
+    SharedResumeSeed<PState<<C as Context>::Addr>, C, S>,
+>;
+
 /// Like [`analyse_worklist`], but solved by the PR-2 *structural-key*
 /// incremental engine (states as `BTreeMap` keys instead of interned ids) —
 /// a differential-testing oracle and the E10 benchmark baseline.
@@ -632,6 +745,57 @@ pub fn analyse_kcfa_shared_gc_elastic<const K: usize>(
 /// [`analyse_mono_direct`] solved by the barrier-elastic driver.
 pub fn analyse_mono_elastic(term: &Term, config: ParallelConfig) -> (MonoCeskShared, EngineStats) {
     analyse_worklist_elastic::<MonoCtx, BasicStore<MonoAddr, Storable<MonoAddr>>, _>(term, config)
+}
+
+/// The resume seed of a governed shared-store k-CFA solve.
+pub type KCeskSeed<const K: usize> = SharedResumeSeed<PState<KCallAddr>, KCallCtx<K>, KCeskStore>;
+
+/// [`analyse_kcfa_shared_direct`], governed by a [`Budget`].
+pub fn analyse_kcfa_shared_governed<const K: usize>(
+    term: &Term,
+    budget: &Budget,
+) -> (Outcome<KCeskShared<K>, KCeskSeed<K>>, EngineStats) {
+    analyse_worklist_governed::<KCallCtx<K>, KCeskStore, _>(term, budget)
+}
+
+/// Resumes an exhausted [`analyse_kcfa_shared_governed`] solve.
+pub fn analyse_kcfa_shared_resume<const K: usize>(
+    seed: KCeskSeed<K>,
+    budget: &Budget,
+) -> (Outcome<KCeskShared<K>, KCeskSeed<K>>, EngineStats) {
+    analyse_resume_governed::<KCallCtx<K>, KCeskStore, _>(seed, budget)
+}
+
+/// [`analyse_kcfa_shared_parallel`], governed by a [`Budget`].
+pub fn analyse_kcfa_shared_parallel_governed<const K: usize>(
+    term: &Term,
+    threads: usize,
+    budget: &Budget,
+) -> Result<(Outcome<KCeskShared<K>, KCeskSeed<K>>, EngineStats), EngineError> {
+    analyse_worklist_parallel_governed::<KCallCtx<K>, KCeskStore, _>(term, threads, budget)
+}
+
+/// [`analyse_kcfa_shared_elastic`], governed by a [`Budget`].
+pub fn analyse_kcfa_shared_elastic_governed<const K: usize>(
+    term: &Term,
+    config: ParallelConfig,
+    budget: &Budget,
+) -> Result<(Outcome<KCeskShared<K>, KCeskSeed<K>>, EngineStats), EngineError> {
+    analyse_worklist_elastic_governed::<KCallCtx<K>, KCeskStore, _>(term, config, budget)
+}
+
+/// [`analyse_kcfa_shared_elastic`] behind the degradation ladder
+/// (elastic → barrier → sequential direct).
+pub fn analyse_kcfa_shared_ladder<const K: usize>(
+    term: &Term,
+    config: ParallelConfig,
+    budget: &Budget,
+) -> (
+    Outcome<KCeskShared<K>, KCeskSeed<K>>,
+    EngineStats,
+    LadderReport,
+) {
+    analyse_worklist_ladder::<KCallCtx<K>, KCeskStore>(term, config, budget)
 }
 
 /// Which λ-abstraction parameters each variable may be bound to, extracted

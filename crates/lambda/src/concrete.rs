@@ -5,6 +5,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use mai_core::engine::Budget;
 use mai_core::monad::{run_state, MonadFamily, MonadState, StateM};
 use mai_core::name::{Label, Name};
 
@@ -168,9 +169,23 @@ impl Outcome {
 ///
 /// Panics if the term gets stuck (references an unbound variable).
 pub fn evaluate_with_limit(term: &Term, max_steps: usize) -> Outcome {
+    evaluate_governed(term, &Budget::unlimited().with_max_steps(max_steps))
+}
+
+/// Evaluates a closed term under a [`Budget`]: the governor is consulted
+/// before every machine transition, so step limits, deadlines and
+/// cancellation all land within one transition.  A concrete run has no
+/// rounds, so the budget's round count advances in lockstep with its step
+/// count.
+///
+/// # Panics
+///
+/// Panics if the term gets stuck (references an unbound variable).
+pub fn evaluate_governed(term: &Term, budget: &Budget) -> Outcome {
     let mut state = PState::inject(term.clone());
     let mut heap = Heap::new();
-    for steps in 0..max_steps {
+    let mut steps = 0usize;
+    loop {
         if let Some(value) = state.result() {
             return Outcome::Halted {
                 value: value.clone(),
@@ -178,17 +193,13 @@ pub fn evaluate_with_limit(term: &Term, max_steps: usize) -> Outcome {
                 steps,
             };
         }
+        if budget.exhausted(steps, steps).is_some() {
+            return Outcome::OutOfFuel { state, heap };
+        }
         let (next_state, next_heap) = run_state(mnext::<StateM<Heap>, HeapAddr>(state), heap);
         state = next_state;
         heap = next_heap;
-    }
-    match state.result() {
-        Some(value) => Outcome::Halted {
-            value: value.clone(),
-            heap,
-            steps: max_steps,
-        },
-        None => Outcome::OutOfFuel { state, heap },
+        steps += 1;
     }
 }
 
