@@ -681,14 +681,16 @@ pub fn parallel_row(
             direct_stats.iterations,
             direct_stats.states_stepped,
             direct_stats.store_joins,
-            direct_stats.store_widenings,
+            direct_stats.store_joins_applied,
+            direct_stats.widen_applied,
             direct_stats.spine_clones,
         ),
         (
             parallel_stats.iterations,
             parallel_stats.states_stepped,
             parallel_stats.store_joins,
-            parallel_stats.store_widenings,
+            parallel_stats.store_joins_applied,
+            parallel_stats.widen_applied,
             parallel_stats.spine_clones,
         ),
         "{name}: parallel driver diverged from the direct engine's work counters"
@@ -1224,6 +1226,304 @@ impl CancelLatencyRow {
     }
 }
 
+/// A program point of the E16 interval counting loop: `0` initialises the
+/// counter cell, `1` is the loop head (exit or guarded increment), `2` is
+/// the exit.  The loop head is the only reader of the cell, so it is the
+/// only state the engines' widening-point selection can pick.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CountState(pub u8);
+
+impl mai_core::StateRoots for CountState {
+    type Addr = u8;
+
+    fn state_roots(&self) -> std::collections::BTreeSet<u8> {
+        if self.0 == 1 {
+            [0u8].into_iter().collect()
+        } else {
+            std::collections::BTreeSet::new()
+        }
+    }
+}
+
+/// The shared-store domain of the E16 workload: power-set of program
+/// points over one interval store.
+pub type WideningDomain =
+    mai_core::SharedStoreDomain<CountState, u64, mai_core::store::IntervalStore<u8>>;
+
+/// One non-deterministic branch of the E16 step: successor configuration
+/// plus its result store.
+pub type CountBranch = ((CountState, u64), mai_core::store::IntervalStore<u8>);
+
+/// The E16 counting-loop step over the infinite-height interval domain:
+/// `x := 0; while (cap: x < cap) { x := x + 1 }`.  Under plain join the
+/// loop-head cell grows by one each round — `cap = None` is the latent
+/// non-termination the governed engines' widening machinery repairs, and
+/// `cap = Some(c)` is the chain-depth workload where join-only iteration
+/// needs `Θ(c)` rounds while widening converges in `Θ(threshold)`.
+pub fn counting_step(
+    cap: Option<i64>,
+) -> impl Fn(CountState, u64, mai_core::store::IntervalStore<u8>) -> Vec<CountBranch> + Sync {
+    use mai_core::lattice::{Interval, Lattice, MeetLattice};
+    use mai_core::store::StoreLike;
+    move |ps, g, s| match ps.0 {
+        0 => vec![((CountState(1), g), s.bind(0u8, Interval::singleton(0)))],
+        1 => {
+            let x = s.fetch(&0u8);
+            let body = match cap {
+                Some(c) => x.meet(Interval::at_most(c - 1)),
+                None => x,
+            };
+            let mut branches = vec![((CountState(2), g), s.clone())];
+            if !body.is_bottom() {
+                let incremented = body + Interval::singleton(1);
+                branches.push(((CountState(1), g), s.replace(0u8, incremented)));
+            }
+            branches
+        }
+        _ => vec![((ps, g), s)],
+    }
+}
+
+/// The same loop on the `Rc`-closure carrier, desugared by
+/// [`mai_core::monad::run_store_passing`] exactly as the language crates'
+/// `mnext` is — the carrier-parity half of the E16 row.
+fn m_counting_step(
+    cap: Option<i64>,
+) -> impl Fn(
+    CountState,
+) -> <StorePassing<u64, mai_core::store::IntervalStore<u8>> as mai_core::monad::MonadFamily>::M<
+    CountState,
+>{
+    use mai_core::lattice::{Interval, Lattice, MeetLattice};
+    use mai_core::monad::{MonadFamily, MonadPlus, MonadState, MonadTrans, StateT, VecM};
+    use mai_core::store::StoreLike;
+    type IS = mai_core::store::IntervalStore<u8>;
+    type M = StorePassing<u64, IS>;
+    move |ps| match ps.0 {
+        0 => {
+            let write = <M as MonadTrans>::lift(<StateT<IS, VecM> as MonadState<IS>>::modify(
+                move |s: IS| s.bind(0u8, Interval::singleton(0)),
+            ));
+            M::bind(write, |_| M::pure(CountState(1)))
+        }
+        1 => {
+            let fetched =
+                <M as MonadTrans>::lift(<StateT<IS, VecM> as MonadState<IS>>::gets(|s: &IS| {
+                    s.fetch(&0u8)
+                }));
+            M::bind(fetched, move |x: Interval| {
+                let body = match cap {
+                    Some(c) => x.meet(Interval::at_most(c - 1)),
+                    None => x,
+                };
+                let exit = M::pure(CountState(2));
+                if body.is_bottom() {
+                    exit
+                } else {
+                    let incremented = body + Interval::singleton(1);
+                    let write =
+                        <M as MonadTrans>::lift(<StateT<IS, VecM> as MonadState<IS>>::modify(
+                            move |s: IS| s.replace(0u8, incremented),
+                        ));
+                    M::mplus(exit, M::bind(write, |_| M::pure(CountState(1))))
+                }
+            })
+        }
+        _ => M::pure(ps),
+    }
+}
+
+/// One row of the E16 comparison: the interval counting loop solved
+/// join-only under a step budget (the unbounded variant must starve it),
+/// then with engine widening points and the narrowing post-pass, on both
+/// carriers plus the parallel and elastic drivers.
+#[derive(Debug, Clone)]
+pub struct WideningRow {
+    /// The workload name.
+    pub program: String,
+    /// The loop guard (`None`: the counter is unbounded).
+    pub cap: Option<i64>,
+    /// `(state, guts)` pairs in the widened fixpoint.
+    pub configurations: usize,
+    /// Why the join-only budgeted solve stopped (`None`: the chain was
+    /// shallow enough to complete within the budget).
+    pub join_only_reason: Option<ExhaustReason>,
+    /// Work statistics of the widened sequential governed solve.  Fully
+    /// deterministic, so `states_stepped`, `store_joins_applied` and
+    /// `widen_applied` are regression-gated.
+    pub widened: EngineStats,
+    /// The final loop-head counter bound (display form, e.g. `[0, +∞)`).
+    pub bound: String,
+    /// Addresses whose widened-then-narrowed image kept a finite bound —
+    /// the precision the narrowing pass recovered (reported, not gated:
+    /// more finite bounds is *better*).
+    pub finite_bounds: usize,
+    /// Whether the `Rc`-closure carrier produced the byte-identical
+    /// outcome and work counters.
+    pub carrier_parity: bool,
+    /// Whether the barrier-parallel driver reproduced the fixpoint and
+    /// every deterministic counter at `threads` workers.
+    pub parallel_parity: bool,
+    /// Whether the elastic driver reproduced the fixpoint (its widening
+    /// counters are timing-dependent and deliberately unchecked).
+    pub elastic_parity: bool,
+    /// Worker threads of the parallel/elastic parity solves.
+    pub threads: usize,
+    /// Wall-clock time of the whole row (reported, never gated).
+    pub wall: Duration,
+}
+
+impl WideningRow {
+    /// Renders the row in the fixed-width format used by the report binary.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<18} cap={:<6} join_only={:<11} widens={:<3} bound={:<9} carrier={:<5} \
+             parallel={:<5} elastic={}",
+            self.program,
+            self.cap.map_or("none".to_string(), |c| c.to_string()),
+            self.join_only_reason
+                .map_or("complete", ExhaustReason::as_str),
+            self.widened.widen_applied,
+            self.bound,
+            self.carrier_parity,
+            self.parallel_parity,
+            self.elastic_parity,
+        )
+    }
+
+    /// The JSON rendering of the row for `BENCH_report.json`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(
+            [
+                ("program", Json::Str(self.program.clone())),
+                (
+                    "cap",
+                    self.cap
+                        .map_or(Json::Str("none".to_string()), |c| Json::Int(c as u64)),
+                ),
+                ("configurations", Json::Int(self.configurations as u64)),
+                (
+                    "join_only_reason",
+                    Json::Str(
+                        self.join_only_reason
+                            .map_or("complete", ExhaustReason::as_str)
+                            .to_string(),
+                    ),
+                ),
+                ("widened", engine_stats_json(&self.widened)),
+                ("bound", Json::Str(self.bound.clone())),
+                ("finite_bounds", Json::Int(self.finite_bounds as u64)),
+                ("carrier_parity", Json::Bool(self.carrier_parity)),
+                ("parallel_parity", Json::Bool(self.parallel_parity)),
+                ("elastic_parity", Json::Bool(self.elastic_parity)),
+                ("threads", Json::Int(self.threads as u64)),
+            ]
+            .into_iter()
+            .chain(timing_fields(self.wall)),
+        )
+    }
+}
+
+/// Runs the E16 exercise for one counting-loop variant: a join-only solve
+/// under `step_budget` (recording whether it starved), then the widened
+/// solve (`WidenPolicy::after_growths(3)`, two narrowing passes) on the
+/// direct carrier, the `Rc` carrier, the barrier-parallel driver and the
+/// elastic driver.  Everything except the parity solves' wall-clock is
+/// deterministic.
+pub fn widening_row(
+    name: impl Into<String>,
+    cap: Option<i64>,
+    step_budget: usize,
+    threads: usize,
+) -> WideningRow {
+    use mai_core::engine::WidenPolicy;
+    use mai_core::monad::run_store_passing;
+    use mai_core::store::StoreLike;
+    use mai_core::{DirectCollecting, ParallelCollecting, SolveFrom};
+    type IS = mai_core::store::IntervalStore<u8>;
+    let name = name.into();
+    let start = Instant::now();
+    let step = counting_step(cap);
+
+    let fuel = Budget::unlimited().with_max_steps(step_budget);
+    let (join_only, _) =
+        <WideningDomain as DirectCollecting<CountState, u64, IS>>::explore_frontier_governed(
+            &step,
+            SolveFrom::Fresh(CountState(0)),
+            &fuel,
+        );
+    let join_only_reason = join_only.exhaust_reason();
+
+    let widened_budget = Budget::unlimited().with_widening(WidenPolicy::after_growths(3));
+    let (outcome, widened_stats) =
+        <WideningDomain as DirectCollecting<CountState, u64, IS>>::explore_frontier_governed(
+            &step,
+            SolveFrom::Fresh(CountState(0)),
+            &widened_budget,
+        );
+    let fixpoint = outcome.into_complete();
+    let bound = fixpoint.store().fetch(&0u8).to_string();
+    let finite_bounds = fixpoint.store().finite_bound_count();
+
+    let m_step = m_counting_step(cap);
+    let rc_step = move |ps: CountState, g: u64, s: IS| run_store_passing(m_step(ps), g, s);
+    let (rc_outcome, rc_stats) =
+        <WideningDomain as DirectCollecting<CountState, u64, IS>>::explore_frontier_governed(
+            &rc_step,
+            SolveFrom::Fresh(CountState(0)),
+            &widened_budget,
+        );
+    let carrier_parity =
+        rc_outcome.is_complete() && *rc_outcome.value() == fixpoint && rc_stats == widened_stats;
+
+    let parallel_parity = <WideningDomain as ParallelCollecting<CountState, u64, IS>>::
+        explore_frontier_parallel_governed(
+            &step,
+            SolveFrom::Fresh(CountState(0)),
+            threads,
+            &widened_budget,
+        )
+        .map(|(outcome, stats)| {
+            outcome.is_complete()
+                && *outcome.value() == fixpoint
+                && (
+                    stats.states_stepped,
+                    stats.store_joins_applied,
+                    stats.widen_applied,
+                ) == (
+                    widened_stats.states_stepped,
+                    widened_stats.store_joins_applied,
+                    widened_stats.widen_applied,
+                )
+        })
+        .unwrap_or(false);
+
+    let elastic_parity = <WideningDomain as ParallelCollecting<CountState, u64, IS>>::
+        explore_frontier_elastic_governed(
+            &step,
+            SolveFrom::Fresh(CountState(0)),
+            ParallelConfig { threads, epochs: 2 },
+            &widened_budget,
+        )
+        .map(|(outcome, _)| outcome.is_complete() && *outcome.value() == fixpoint)
+        .unwrap_or(false);
+
+    WideningRow {
+        program: name,
+        cap,
+        configurations: fixpoint.len(),
+        join_only_reason,
+        widened: widened_stats,
+        bound,
+        finite_bounds,
+        carrier_parity,
+        parallel_parity,
+        elastic_parity,
+        threads,
+        wall: start.elapsed(),
+    }
+}
+
 /// Runs one governed elastic solve with a watchdog thread cancelling the
 /// budget's token after `cancel_after`.  The solve must either complete
 /// first or stop with `Exhausted(Cancelled)` — the row's [`CancelLatencyRow::ok`]
@@ -1486,7 +1786,8 @@ mod tests {
         assert_eq!(row.rc.states_stepped, row.direct.states_stepped);
         assert_eq!(row.rc.store_joins, row.direct.store_joins);
         assert_eq!(row.rc.spine_clones, row.direct.spine_clones);
-        assert_eq!(row.rc.store_widenings, row.direct.store_widenings);
+        assert_eq!(row.rc.store_joins_applied, row.direct.store_joins_applied);
+        assert_eq!(row.rc.widen_applied, row.direct.widen_applied);
         // The persistent spine actually shares structure with the caches.
         assert!(row.direct.spine_clones > 0);
         assert!(row.direct.store_bytes_shared > 0);

@@ -43,7 +43,7 @@ use mai_bench::report::Json;
 use mai_bench::{
     cancel_latency_row, cloning_vs_shared, cps_corpus, direct_row, elastic_row, gc_rows,
     governed_row, host_cpus, incremental_row, interned_row, parallel_row, polyvariance_rows,
-    telemetry_row, worklist_row, E10_SCALE_WIDTH, PROFILE_TOP_K,
+    telemetry_row, widening_row, worklist_row, E10_SCALE_WIDTH, PROFILE_TOP_K,
 };
 use mai_core::store::StoreLike;
 use mai_cps::analysis::{analyse_kcfa_shared, analyse_mono};
@@ -496,6 +496,108 @@ fn experiment_governed() -> Vec<Json> {
     rows
 }
 
+/// The E16 step budget of the join-only solve: deep enough that the
+/// shallow capped chain completes under plain join, shallow enough that
+/// the unbounded and deep-capped chains visibly starve it.
+const E16_STEP_BUDGET: usize = 64;
+
+/// The E16 workload list: the unbounded counting loop (latent
+/// non-termination — join-only iteration must starve the step budget), a
+/// shallow capped chain (join-only completes; pins the precision the
+/// narrowing pass must recover) and a deep capped chain (finite height,
+/// but join-only needs `Θ(cap)` rounds where widening needs `Θ(1)`).
+/// Shared by the report and by `--check-regress`.
+fn e16_workloads() -> Vec<(String, Option<i64>)> {
+    vec![
+        ("count-unbounded".to_string(), None),
+        ("count-cap-12".to_string(), Some(12)),
+        ("count-cap-4096".to_string(), Some(4096)),
+    ]
+}
+
+/// E16 — widening on the infinite-height interval domain: join-only
+/// budget starvation vs. widened convergence with narrowing, carrier
+/// parity, and parallel/elastic driver parity.  The sequential widened
+/// counters are regression-gated; the elastic driver contributes only a
+/// fixpoint-parity bool (its widening counters are timing-dependent).
+fn experiment_widening() -> Vec<Json> {
+    heading("E16  widening: interval counting loops, chain depth vs. widening points");
+    let threads = numeric_arg("--threads").unwrap_or(2).max(1);
+    let mut rows = Vec::new();
+    for (name, cap) in e16_workloads() {
+        let row = widening_row(name.clone(), cap, E16_STEP_BUDGET, threads);
+        assert!(row.carrier_parity, "{name}: Rc carrier diverged");
+        assert!(row.parallel_parity, "{name}: parallel driver diverged");
+        assert!(row.elastic_parity, "{name}: elastic driver diverged");
+        println!("{}", row.render());
+        rows.push(row.to_json());
+    }
+    rows
+}
+
+/// The `--widening-canary` mode: the CI non-termination canary.  Solves
+/// the unbounded counting loop join-only under a step budget — it must
+/// stop with a *clean* `StepBudget` exhaustion, never hang — and then
+/// with engine widening points, where the same loop must complete.  Both
+/// legs run under the workflow's `timeout-minutes` backstop, so a
+/// regression in either the budget plumbing or the widening-point
+/// selection turns into a red build, not a stalled runner.
+fn widening_canary() -> std::process::ExitCode {
+    use mai_core::engine::{Budget, WidenPolicy};
+    use mai_core::{DirectCollecting, SolveFrom};
+    type IS = mai_core::store::IntervalStore<u8>;
+    println!("Monadic Abstract Interpreters — widening canary (unbounded interval loop)");
+    let step = mai_bench::counting_step(None);
+
+    let fuel = Budget::unlimited().with_max_steps(E16_STEP_BUDGET);
+    let (join_only, stats) = <mai_bench::WideningDomain as DirectCollecting<
+        mai_bench::CountState,
+        u64,
+        IS,
+    >>::explore_frontier_governed(
+        &step, SolveFrom::Fresh(mai_bench::CountState(0)), &fuel
+    );
+    println!(
+        "join-only   budget={E16_STEP_BUDGET} steps={} outcome={}",
+        stats.states_stepped,
+        join_only
+            .exhaust_reason()
+            .map_or("complete", mai_core::engine::ExhaustReason::as_str),
+    );
+    if join_only.exhaust_reason() != Some(mai_core::engine::ExhaustReason::StepBudget) {
+        eprintln!("canary failed: join-only iteration did not starve the step budget cleanly");
+        return std::process::ExitCode::FAILURE;
+    }
+
+    let widened = Budget::unlimited().with_widening(WidenPolicy::after_growths(3));
+    let (outcome, stats) = <mai_bench::WideningDomain as DirectCollecting<
+        mai_bench::CountState,
+        u64,
+        IS,
+    >>::explore_frontier_governed(
+        &step, SolveFrom::Fresh(mai_bench::CountState(0)), &widened
+    );
+    println!(
+        "widened     widens={} steps={} outcome={}",
+        stats.widen_applied,
+        stats.states_stepped,
+        outcome
+            .exhaust_reason()
+            .map_or("complete", mai_core::engine::ExhaustReason::as_str),
+    );
+    if !outcome.is_complete() {
+        eprintln!("canary failed: widening points did not force convergence");
+        return std::process::ExitCode::FAILURE;
+    }
+    let bound = outcome.into_complete().store().fetch(&0u8);
+    println!("loop-head counter bound: {bound}");
+    if bound != mai_core::lattice::Interval::at_least(0) {
+        eprintln!("canary failed: widened bound is not [0, +∞)");
+        return std::process::ExitCode::FAILURE;
+    }
+    std::process::ExitCode::SUCCESS
+}
+
 /// The traced workload behind `--trace-out` and `--profile`: one solve of
 /// the E13 acceptance program on the parallel driver at the `--threads`
 /// worker count (default 2 so worker spans and sync phases exist).
@@ -654,6 +756,17 @@ const GATED_COUNTER_PATHS: &[(&str, &[&str])] = &[
             "resume_links",
         ],
     ),
+    // E16's elastic solve is only a parity bool in the row — its widening
+    // counters are timing-dependent and deliberately exempt; the gated
+    // paths below all come from the sequential widened solve.
+    (
+        "e16_widening",
+        &[
+            "widened.states_stepped",
+            "widened.store_joins_applied",
+            "widened.widen_applied",
+        ],
+    ),
 ];
 
 /// The gated counter paths of one section.
@@ -796,6 +909,16 @@ fn fresh_counters() -> Vec<CounterSample> {
         assert!(row.resumed_equal, "{name}: resume diverged from one-shot");
         sample_row(&mut samples, "e15_governed", name, &row.to_json());
     }
+    // E16: widened-solve counters.  Widening points make the governed
+    // sequential engine's work deterministic, so the gate pins it; the
+    // three parity invariants are asserted here just as in the report.
+    for (name, cap) in e16_workloads() {
+        let row = widening_row(name.clone(), cap, E16_STEP_BUDGET, 2);
+        assert!(row.carrier_parity, "{name}: Rc carrier diverged");
+        assert!(row.parallel_parity, "{name}: parallel driver diverged");
+        assert!(row.elastic_parity, "{name}: elastic driver diverged");
+        sample_row(&mut samples, "e16_widening", name, &row.to_json());
+    }
     samples
 }
 
@@ -898,6 +1021,9 @@ fn main() -> std::process::ExitCode {
     if std::env::args().any(|arg| arg == "--parallel-smoke") {
         return parallel_smoke();
     }
+    if std::env::args().any(|arg| arg == "--widening-canary") {
+        return widening_canary();
+    }
     if let Some(path) = string_arg("--trace-out") {
         return trace_out(&path);
     }
@@ -921,9 +1047,10 @@ fn main() -> std::process::ExitCode {
     let telemetry = experiment_telemetry();
     let elastic = experiment_elastic();
     let governed = experiment_governed();
+    let widening = experiment_widening();
 
     let report = Json::obj([
-        ("schema_version", Json::Int(7)),
+        ("schema_version", Json::Int(8)),
         (
             "report_wall_clock_ms",
             Json::Num(started.elapsed().as_secs_f64() * 1e3),
@@ -937,6 +1064,7 @@ fn main() -> std::process::ExitCode {
         ("e13_engine_telemetry", telemetry),
         ("e14_elastic_vs_barrier", elastic),
         ("e15_governed", Json::Arr(governed)),
+        ("e16_widening", Json::Arr(widening)),
     ]);
     let path = "BENCH_report.json";
     match std::fs::write(path, report.render() + "\n") {
@@ -1005,6 +1133,7 @@ mod tests {
                 parallel_row("w", &program, 2, 1).to_json(),
             ),
             ("e15_governed", governed_row("w", &program, 8).to_json()),
+            ("e16_widening", widening_row("w", Some(12), 64, 2).to_json()),
         ];
         for (section, row) in rows {
             for path in section_paths(section) {

@@ -369,7 +369,11 @@ pub fn engine_stats_json(stats: &EngineStats) -> Json {
         ("states_stepped", Json::Int(stats.states_stepped as u64)),
         ("cache_hits", Json::Int(stats.cache_hits as u64)),
         ("reenqueued", Json::Int(stats.reenqueued as u64)),
-        ("store_widenings", Json::Int(stats.store_widenings as u64)),
+        (
+            "store_joins_applied",
+            Json::Int(stats.store_joins_applied as u64),
+        ),
+        ("widen_applied", Json::Int(stats.widen_applied as u64)),
         ("store_joins", Json::Int(stats.store_joins as u64)),
         ("joins_per_round", Json::Num(stats.joins_per_round())),
         ("rebuild_rounds", Json::Int(stats.rebuild_rounds as u64)),

@@ -32,7 +32,10 @@ pub use shared::SharedStoreDomain;
 
 use crate::engine::governor::{Budget, Outcome};
 use crate::gc::GcStrategy;
-use crate::lattice::{kleene_it, kleene_it_bounded, KleeneOutcome, Lattice};
+use crate::lattice::{
+    kleene_it, kleene_it_bounded, kleene_it_widened, narrow_it, KleeneOutcome, Lattice,
+    WidenLattice,
+};
 use crate::monad::{MonadFamily, Value};
 use crate::telemetry::{RoundTrace, Stopwatch, TraceSink};
 
@@ -197,6 +200,37 @@ where
         |fp: &Fp| Fp::inject(initial.clone()).join(Fp::apply_step(&step, fp)),
         max_iterations,
     )
+}
+
+/// Widened [`explore_fp`]: the naive Kleene oracle for analysis domains of
+/// **infinite height**, such as [`SharedStoreDomain`] over an
+/// [`IntervalStore`](crate::store::IntervalStore) co-domain.
+///
+/// Ascends by plain join for `delay` rounds, then switches the
+/// accumulation point to [`WidenLattice::widen_in_place`]
+/// ([`kleene_it_widened`]) so the chain provably stabilises, and finally
+/// walks precision back with up to `narrow_passes` descending rounds
+/// ([`narrow_it`]).  This whole-domain widening is *coarser* than the
+/// engines' per-address widening points — it widens every address from
+/// round `delay` on — so its result is an upper bound of theirs, not a
+/// byte-identity oracle; it is the reference for *termination* and
+/// soundness, the differential role [`explore_fp`] plays on finite-height
+/// domains.
+pub fn explore_fp_widened<M, A, Fp, F>(
+    step: F,
+    initial: A,
+    delay: usize,
+    narrow_passes: usize,
+) -> Fp
+where
+    M: MonadFamily,
+    A: Value,
+    Fp: Collecting<M, A> + WidenLattice,
+    F: Fn(A) -> M::M<A>,
+{
+    let functional = |fp: &Fp| Fp::inject(initial.clone()).join(Fp::apply_step(&step, fp));
+    let post = kleene_it_widened(functional, delay);
+    narrow_it(post, functional, narrow_passes)
 }
 
 /// The paper's `runAnalysis`, generalised over the injected state: runs the

@@ -141,6 +141,27 @@ where
     }
 }
 
+/// Widening lifts component-wise: the state set is a finite-height
+/// power-set over any fixed program (join suffices), the store widens.
+/// This is what lets the naive Kleene oracle
+/// ([`explore_fp_widened`](crate::collect::explore_fp_widened)) terminate
+/// on infinite-height co-domains and stay a differential reference for
+/// the widened engines.
+impl<Ps, G, S> crate::lattice::WidenLattice for SharedStoreDomain<Ps, G, S>
+where
+    Ps: Ord + Clone,
+    G: Ord + Clone,
+    S: crate::lattice::WidenLattice,
+{
+    fn widen_in_place(&mut self, other: Self) -> bool {
+        self.states.join_in_place(other.states) | self.store.widen_in_place(other.store)
+    }
+
+    fn narrow_in_place(&mut self, other: Self) -> bool {
+        self.store.narrow_in_place(other.store)
+    }
+}
+
 /// The Galois connection of equation (3): `alpha` merges per-state stores,
 /// `gamma` spreads the shared store over every state.
 impl<Ps, G, S> GaloisConnection<PerStateDomain<Ps, G, S>> for SharedStoreDomain<Ps, G, S>

@@ -101,6 +101,71 @@ impl fmt::Display for ExhaustReason {
     }
 }
 
+/// The widening policy of a governed solve: when (if ever) an engine
+/// switches an address's store accumulation from join `⊔` to widening
+/// `▽`, and how many narrowing passes follow stabilisation.
+///
+/// Widening lives on the [`Budget`] because both answer the same
+/// question — "how do we keep this solve finite?" — but they stay
+/// *distinguishable* in the outcome: a budget that runs out yields
+/// [`Outcome::Exhausted`] with an [`ExhaustReason`] (a truncated
+/// under-approximation), while widening-forced convergence yields
+/// [`Outcome::Complete`] (a sound over-approximation, with
+/// [`EngineStats::widen_applied`](crate::engine::EngineStats::widen_applied)
+/// recording that widening fired).
+///
+/// The default is [`WidenPolicy::off`]: every engine behaves
+/// byte-identically to its pre-widening self.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WidenPolicy {
+    /// Whether widening is enabled at all.
+    pub enabled: bool,
+    /// How many times an address's binding may *grow* under plain join
+    /// before the address becomes a widening point (the classic
+    /// "widening delay": small values terminate faster, larger values
+    /// keep more precision on chains that would have stabilised anyway).
+    pub growth_threshold: usize,
+    /// How many descending (narrowing) passes to run after the widened
+    /// ascent stabilises.  Narrowing is an engine-independent post-pass
+    /// over the final accumulator, so it cannot break cross-engine
+    /// byte-identity.
+    pub narrow_passes: usize,
+}
+
+impl WidenPolicy {
+    /// No widening: infinite-height domains may diverge (pair with a
+    /// step/round budget to get a clean [`ExhaustReason`] instead).
+    pub fn off() -> Self {
+        WidenPolicy {
+            enabled: false,
+            growth_threshold: 0,
+            narrow_passes: 0,
+        }
+    }
+
+    /// Widen an address once its binding has grown `growth_threshold`
+    /// times, with two narrowing passes after stabilisation.
+    pub fn after_growths(growth_threshold: usize) -> Self {
+        WidenPolicy {
+            enabled: true,
+            growth_threshold,
+            narrow_passes: 2,
+        }
+    }
+
+    /// Overrides the number of post-stabilisation narrowing passes.
+    pub fn with_narrow_passes(mut self, narrow_passes: usize) -> Self {
+        self.narrow_passes = narrow_passes;
+        self
+    }
+}
+
+impl Default for WidenPolicy {
+    fn default() -> Self {
+        WidenPolicy::off()
+    }
+}
+
 /// Resource bounds for a governed solve.
 ///
 /// All limits default to *unlimited*; [`Budget::exhausted`] is the one
@@ -120,6 +185,8 @@ pub struct Budget {
     pub deadline: Option<Instant>,
     /// Cooperative cancellation flag.
     pub cancel: CancelToken,
+    /// Widening policy for infinite-height store co-domains.
+    pub widen: WidenPolicy,
 }
 
 impl Budget {
@@ -155,6 +222,12 @@ impl Budget {
     /// Attaches a cancellation token (keep a clone to cancel with).
     pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
         self.cancel = cancel;
+        self
+    }
+
+    /// Sets the widening policy.
+    pub fn with_widening(mut self, widen: WidenPolicy) -> Self {
+        self.widen = widen;
         self
     }
 

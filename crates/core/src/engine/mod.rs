@@ -65,19 +65,20 @@ mod shared;
 pub use governor::FaultGuard;
 pub use governor::{
     Budget, CancelToken, EngineError, ExhaustReason, FaultAction, FaultPlan, FaultSpec,
-    LadderReport, LadderRung, Outcome, ResumeSeed, SolveFrom,
+    LadderReport, LadderRung, Outcome, ResumeSeed, SolveFrom, WidenPolicy,
 };
 pub use parallel::{explore_frontier_ladder, explore_frontier_ladder_traced, ParallelConfig};
 pub use shared::{
     explore_rescan_governed_stats, explore_structural_governed_stats, SharedResumeSeed,
 };
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use crate::addr::Address;
 use crate::collect::Collecting;
 use crate::gc::{reachable, Touches};
+use crate::lattice::WidenLattice;
 use crate::monad::{MonadFamily, Value};
 use crate::store::StoreLike;
 use crate::telemetry::{NoopSink, TraceSink};
@@ -101,9 +102,22 @@ pub struct EngineStats {
     /// Previously-stepped states that were re-enqueued because an address
     /// they read was widened (shared-store engine only).
     pub reenqueued: usize,
-    /// Address-level store-widening events: how many `(round, address)`
-    /// pairs saw the global store change (shared-store engine only).
-    pub store_widenings: usize,
+    /// Address-level store-growth events: how many `(round, address)`
+    /// pairs saw the global store change under the accumulating fold
+    /// (shared-store engine only).  Counts *join* growth — see
+    /// [`EngineStats::widen_applied`] for true widening applications; the
+    /// two were one counter (`store_widenings`) before real widening
+    /// existed, and conflating them would make the taxonomy lie.
+    pub store_joins_applied: usize,
+    /// True widening applications: how many `(round, address)` pairs were
+    /// accumulated with the co-domain's `▽` instead of `⊔` because the
+    /// address had been designated a widening point by the budget's
+    /// [`WidenPolicy`].  0 whenever
+    /// widening is off (the default).  Deterministic for the sequential
+    /// engines; timing-dependent for the elastic driver (which widens at
+    /// lazy-merge boundaries), so `--check-regress` gates it only for
+    /// sequential engines.
+    pub widen_applied: usize,
     /// Contribution joins folded into the running (or rebuilt) domain: the
     /// per-round cost the incremental engine drops from O(|states|) to
     /// O(|frontier|).  For the per-state engine, successful domain inserts.
@@ -214,7 +228,8 @@ impl EngineStats {
         self.states_stepped += other.states_stepped;
         self.cache_hits += other.cache_hits;
         self.reenqueued += other.reenqueued;
-        self.store_widenings += other.store_widenings;
+        self.store_joins_applied += other.store_joins_applied;
+        self.widen_applied += other.widen_applied;
         self.store_joins += other.store_joins;
         self.rebuild_rounds += other.rebuild_rounds;
         self.peak_frontier = self.peak_frontier.max(other.peak_frontier);
@@ -275,14 +290,15 @@ impl fmt::Display for EngineStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "iters={} stepped={} hits={} reenq={} widenings={} joins={} rebuilds={} peak={} \
-             intern={}/{} distinct={} clones={} shared-bytes={} syncs={} steals={} imbalance={} \
-             epochs={} stale={} memo={}/{} stripe-locks={}",
+            "iters={} stepped={} hits={} reenq={} addr-joins={} widened={} joins={} rebuilds={} \
+             peak={} intern={}/{} distinct={} clones={} shared-bytes={} syncs={} steals={} \
+             imbalance={} epochs={} stale={} memo={}/{} stripe-locks={}",
             self.iterations,
             self.states_stepped,
             self.cache_hits,
             self.reenqueued,
-            self.store_widenings,
+            self.store_joins_applied,
+            self.widen_applied,
             self.store_joins,
             self.rebuild_rounds,
             self.peak_frontier,
@@ -384,6 +400,126 @@ where
                 ((ps2, g2), s2)
             })
             .collect()
+    }
+}
+
+/// Per-address growth bookkeeping behind the budget's [`WidenPolicy`]:
+/// decides, round by round, **where** the shared-store engines accumulate
+/// with the co-domain's widening `▽` instead of plain join `⊔`.
+///
+/// The policy is the classical delayed-widening discipline, made
+/// address-local: every address starts as a join point; each fold that
+/// grows it counts one growth; once an address has grown strictly more
+/// than [`WidenPolicy::growth_threshold`] times it is designated a
+/// *widening point* and every later fold widens it
+/// ([`StoreDelta::widen_in_place_delta`](crate::store::StoreDelta)).
+/// Termination: each address joins at most `threshold + 1` times before
+/// switching to `▽`, and the co-domain guarantees every `▽`-chain
+/// stabilises in finitely many steps, so the per-address chain — and with
+/// it the store half of the fixpoint iteration — is finite.
+///
+/// A tracker built from a disabled policy never designates a point, and
+/// [`StoreDelta::widen_in_place_delta`](crate::store::StoreDelta) with an
+/// empty point set *is* `join_in_place_delta`, so engines call the widened
+/// fold unconditionally and stay byte-identical to the pre-widening
+/// engines whenever widening is off (the default).
+pub(crate) struct WidenTracker<A: Address> {
+    enabled: bool,
+    threshold: usize,
+    growths: BTreeMap<A, usize>,
+    points: BTreeSet<A>,
+}
+
+impl<A: Address> WidenTracker<A> {
+    pub(crate) fn new(policy: &WidenPolicy) -> Self {
+        WidenTracker {
+            enabled: policy.enabled,
+            threshold: policy.growth_threshold,
+            growths: BTreeMap::new(),
+            points: BTreeSet::new(),
+        }
+    }
+
+    /// The current widening points (always empty when widening is off).
+    pub(crate) fn points(&self) -> &BTreeSet<A> {
+        &self.points
+    }
+
+    /// Splits a fold's changed-address set into `(joined, widened)` counts
+    /// against the points that were in force *during* that fold — call
+    /// before [`WidenTracker::record`].
+    pub(crate) fn classify(&self, changed: &BTreeSet<A>) -> (usize, usize) {
+        if self.points.is_empty() {
+            return (changed.len(), 0);
+        }
+        let widened = changed.iter().filter(|a| self.points.contains(*a)).count();
+        (changed.len() - widened, widened)
+    }
+
+    /// Records one growth for every changed address; addresses past the
+    /// threshold become widening points for all subsequent folds.
+    pub(crate) fn record(&mut self, changed: &BTreeSet<A>) {
+        if !self.enabled {
+            return;
+        }
+        for a in changed {
+            let n = self.growths.entry(a.clone()).or_insert(0);
+            *n += 1;
+            if *n > self.threshold {
+                self.points.insert(a.clone());
+            }
+        }
+    }
+}
+
+/// The decreasing half of the widening/narrowing pair, run as an
+/// engine-independent post-pass once a widened solve has stabilised:
+/// `σ_{k+1} = σ_k △ F(σ_k)`, where `F(σ)` is the join of every discovered
+/// state's step image over `σ` — each pass can only tighten bounds the
+/// widening over-shot (`▽` loses a bound to ±∞; if the semantics actually
+/// caps the value, one image sweep recovers the cap), and the pass stops
+/// as soon as an iterate refines nothing, or after `passes` sweeps.
+///
+/// The image is assembled exactly the way the engines fold contributions:
+/// each branch's result store restricted to the addresses it *changed*
+/// relative to the current accumulator.  A store-passing branch threads the
+/// whole store through, so the unrestricted image would contain the
+/// accumulator itself and be trivially inflationary — no bound could ever
+/// tighten.  The restricted image speaks only about addresses some branch
+/// actually refined; the store-level narrow leaves every other binding
+/// untouched, so a stable address can never be "narrowed" against an image
+/// that is merely silent about it.
+///
+/// The pass is a pure function of the *final* `(states, store)` pair and
+/// the step function — no engine round structure enters it — so every
+/// engine that converged to the same widened fixpoint narrows to the same
+/// store, preserving the cross-engine byte-identity contract.  Its step
+/// executions are deliberately **not** counted in [`EngineStats`]: the
+/// work-counter invariants (`store_joins == states_stepped` on fast-path
+/// runs, parallel-vs-sequential counter equality) describe the solve, and
+/// the refinement sweep is not part of the solve.
+pub(crate) fn narrow_store_post_pass<Ps, G, S, F>(
+    states: &BTreeSet<(Ps, G)>,
+    store: &mut S,
+    step: &F,
+    passes: usize,
+) where
+    Ps: Value + Ord + StateRoots,
+    G: Value + Ord,
+    S: crate::store::StoreDelta<Ps::Addr> + WidenLattice,
+    F: StepFn<Ps, G, S>,
+{
+    for _ in 0..passes {
+        let mut image = S::bottom();
+        for (ps, g) in states.iter() {
+            for ((_, _), s2) in step.step(ps.clone(), g.clone(), store.clone()) {
+                let changed = s2.changed_addresses(store);
+                image.join_in_place(s2.restrict_to(&changed));
+            }
+        }
+        if !store.narrow_in_place(image) {
+            break;
+        }
     }
 }
 

@@ -105,8 +105,9 @@ use super::super::shared::{
 };
 #[cfg(test)]
 use super::super::ParallelCollecting;
-use super::super::{EngineStats, StateRoots, StepFn};
+use super::super::{narrow_store_post_pass, EngineStats, StateRoots, StepFn, WidenTracker};
 use super::{install_entries, solve_parallel_governed, ParallelConfig, SpinBarrier};
+use crate::lattice::WidenLattice;
 
 /// The shard that *owns* an address: the publisher of its epoch counter.
 /// A pure function of the address, so every worker agrees without
@@ -335,7 +336,7 @@ where
     Ps: Value + Ord + Hash + StateRoots + Send + Sync + std::fmt::Debug,
     Ps::Addr: Hash,
     G: Value + Ord + Hash + HasInitial + Send + Sync,
-    S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + Value,
+    S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + WidenLattice + Value,
     S::D: Touches<Ps::Addr>,
     F: StepFn<Ps, G, S>,
     T: TraceSink,
@@ -349,6 +350,15 @@ where
     }
     let armed = sink.enabled();
     let mut stats = EngineStats::default();
+    // Widening bookkeeping lives only at the coordinator's lazy merge:
+    // worker views fold their own deltas with the plain join (an epoch is
+    // bounded, so elastic progression cannot diverge between merges), and
+    // points are selected from merge-round growth.  Point selection is
+    // therefore timing-dependent here — which is why `widen_applied` is
+    // exempt from cross-engine gating for this driver — but the final
+    // fixpoint still agrees: widening only accelerates the same ascending
+    // chain, and the narrowing pass is a pure function of the final pair.
+    let mut widen: WidenTracker<Ps::Addr> = WidenTracker::new(&budget.widen);
     let interner: ShardedInterner<(Ps, G), StateId> = ShardedInterner::new();
     let cache_lock: RwLock<InternedCache<S, Ps::Addr>> = RwLock::new(Vec::new());
     let mut dependents: IdDependents<Ps::Addr> = FxHashMap::default();
@@ -640,13 +650,16 @@ where
                     stats.spine_clones += 1;
                     if armed {
                         let bound = entry.delta.addresses();
-                        let changed = store.join_in_place_delta(entry.delta.clone());
+                        let changed =
+                            store.widen_in_place_delta(entry.delta.clone(), widen.points());
                         for a in &bound {
                             sink.join_traffic(&label_of(a, ADDR_LABEL_MAX), changed.contains(a));
                         }
                         changed_addrs.extend(changed);
                     } else {
-                        changed_addrs.extend(store.join_in_place_delta(entry.delta.clone()));
+                        changed_addrs.extend(
+                            store.widen_in_place_delta(entry.delta.clone(), widen.points()),
+                        );
                     }
                 }
                 // Next frontier, part 1: fresh ids nobody stepped (the
@@ -662,7 +675,10 @@ where
                 }
                 drop(cache);
                 let join_ns = join_watch.lap_ns();
-                stats.store_widenings += changed_addrs.len();
+                let (joined, widened) = widen.classify(&changed_addrs);
+                stats.store_joins_applied += joined;
+                stats.widen_applied += widened;
+                widen.record(&changed_addrs);
                 stats.store_bytes_shared = stats.store_bytes_shared.max(store.shared_spine_bytes());
                 sink.round(RoundTrace {
                     round,
@@ -713,7 +729,16 @@ where
         .map(|(_, value)| value)
         .collect();
     let outcome = match exhausted {
-        None => Outcome::Complete(SharedStoreDomain::from_parts(states, store)),
+        None => {
+            // The decreasing pass runs on the final (states, store) pair
+            // only — engine-independent, so the narrowed store matches
+            // the sequential engines' even when elastic point selection
+            // differed along the way.
+            if budget.widen.enabled && budget.widen.narrow_passes > 0 {
+                narrow_store_post_pass(&states, &mut store, step, budget.widen.narrow_passes);
+            }
+            Outcome::Complete(SharedStoreDomain::from_parts(states, store))
+        }
         Some(reason) => {
             let resume_seed = Box::new(SharedResumeSeed {
                 states: states.iter().cloned().collect(),

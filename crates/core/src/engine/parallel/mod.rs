@@ -107,7 +107,11 @@ use super::shared::{
     sorted_subset, step_entry, IdDependents, InternedCache, InternedEntry, SharedGovernedSolve,
     SharedResumeSeed, ADDR_LABEL_MAX, STATE_LABEL_MAX,
 };
-use super::{DirectCollecting, EngineStats, ParallelCollecting, StateRoots, StepFn};
+use super::{
+    narrow_store_post_pass, DirectCollecting, EngineStats, ParallelCollecting, StateRoots, StepFn,
+    WidenTracker,
+};
+use crate::lattice::WidenLattice;
 
 /// The knob set of the parallel drivers: how many workers, and how many
 /// *epochs* each worker may advance its private sub-frontier between two
@@ -416,7 +420,7 @@ where
     Ps: Value + Ord + Hash + StateRoots + Send + Sync + std::fmt::Debug,
     Ps::Addr: Hash,
     G: Value + Ord + Hash + HasInitial + Send + Sync,
-    S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + Value,
+    S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + WidenLattice + Value,
     S::D: Touches<Ps::Addr>,
     F: StepFn<Ps, G, S>,
     T: TraceSink,
@@ -424,6 +428,11 @@ where
     let threads = threads.max(1);
     let armed = sink.enabled();
     let mut stats = EngineStats::default();
+    // Coordinator-only widening bookkeeping: points are selected (and ▽
+    // applied) exclusively at the join-on-sync fold, so the round
+    // structure — and with it the widened fixpoint — matches the
+    // sequential direct engine's at every thread count.
+    let mut widen: WidenTracker<Ps::Addr> = WidenTracker::new(&budget.widen);
     // The lock-striped hash-consing table, shared by all workers.
     let interner: ShardedInterner<(Ps, G), StateId> = ShardedInterner::new();
     // The flat memo cache, behind a RwLock: workers hold read locks
@@ -707,17 +716,23 @@ where
                         // address the delta binds is one join record,
                         // widened when the fold reports it grew.
                         let bound = entry.delta.addresses();
-                        let changed = store.join_in_place_delta(entry.delta.clone());
+                        let changed =
+                            store.widen_in_place_delta(entry.delta.clone(), widen.points());
                         for a in &bound {
                             sink.join_traffic(&label_of(a, ADDR_LABEL_MAX), changed.contains(a));
                         }
                         changed_addrs.extend(changed);
                     } else {
-                        changed_addrs.extend(store.join_in_place_delta(entry.delta.clone()));
+                        changed_addrs.extend(
+                            store.widen_in_place_delta(entry.delta.clone(), widen.points()),
+                        );
                     }
                 }
                 drop(cache);
-                stats.store_widenings += changed_addrs.len();
+                let (joined, widened) = widen.classify(&changed_addrs);
+                stats.store_joins_applied += joined;
+                stats.widen_applied += widened;
+                widen.record(&changed_addrs);
                 stats.store_bytes_shared = stats.store_bytes_shared.max(store.shared_spine_bytes());
                 // The round's phase split: the slowest worker's busy
                 // time is the step share, the coordinator's fold is the
@@ -778,7 +793,16 @@ where
         .map(|(_, value)| value)
         .collect();
     let outcome = match exhausted {
-        None => Outcome::Complete(SharedStoreDomain::from_parts(states, store)),
+        None => {
+            // Decreasing pass after stabilization (coordinator-only, on
+            // the final pair): pure function of (states, store), so the
+            // narrowed fixpoint is byte-identical to the sequential
+            // engines' at every thread count.
+            if budget.widen.enabled && budget.widen.narrow_passes > 0 {
+                narrow_store_post_pass(&states, &mut store, step, budget.widen.narrow_passes);
+            }
+            Outcome::Complete(SharedStoreDomain::from_parts(states, store))
+        }
         Some(reason) => {
             let resume_seed = Box::new(SharedResumeSeed {
                 states: states.iter().cloned().collect(),
@@ -799,7 +823,7 @@ where
     Ps: Value + Ord + Hash + StateRoots + Send + Sync,
     Ps::Addr: Hash,
     G: Value + Ord + Hash + HasInitial + Send + Sync,
-    S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + Value,
+    S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + WidenLattice + Value,
     S::D: Touches<Ps::Addr>,
 {
     type Seed = SharedResumeSeed<Ps, G, S>;
@@ -904,7 +928,7 @@ where
     Ps: Value + Ord + Hash + StateRoots + Send + Sync + std::fmt::Debug,
     Ps::Addr: Hash,
     G: Value + Ord + Hash + HasInitial + Send + Sync,
-    S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + Value,
+    S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + WidenLattice + Value,
     S::D: Touches<Ps::Addr>,
     F: StepFn<Ps, G, S>,
 {
@@ -934,7 +958,7 @@ where
     Ps: Value + Ord + Hash + StateRoots + Send + Sync + std::fmt::Debug,
     Ps::Addr: Hash,
     G: Value + Ord + Hash + HasInitial + Send + Sync,
-    S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + Value,
+    S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + WidenLattice + Value,
     S::D: Touches<Ps::Addr>,
     F: StepFn<Ps, G, S>,
     T: TraceSink,
@@ -1091,7 +1115,9 @@ pub(crate) mod tests {
             assert_eq!(par_stats.states_stepped, seq_stats.states_stepped);
             assert_eq!(par_stats.cache_hits, seq_stats.cache_hits);
             assert_eq!(par_stats.reenqueued, seq_stats.reenqueued);
-            assert_eq!(par_stats.store_widenings, seq_stats.store_widenings);
+            assert_eq!(par_stats.store_joins_applied, seq_stats.store_joins_applied);
+            assert_eq!(par_stats.widen_applied, seq_stats.widen_applied);
+            assert_eq!(par_stats.widen_applied, 0);
             assert_eq!(par_stats.store_joins, seq_stats.store_joins);
             assert_eq!(par_stats.rebuild_rounds, seq_stats.rebuild_rounds);
             assert_eq!(par_stats.peak_frontier, seq_stats.peak_frontier);

@@ -17,6 +17,21 @@
 //! coincide here ([`FrontierCollecting::explore_frontier_rescan`] and
 //! [`FrontierCollecting::explore_frontier_structural`] keep their
 //! defaults).
+//!
+//! ## Infinite-height co-domains
+//!
+//! The shared-store engines' widening points
+//! ([`WidenPolicy`](super::governor::WidenPolicy)) have no analogue here:
+//! a widening point is an *address of one accumulated store*, but this
+//! domain clones the store into every triple, so a counting loop over an
+//! infinite-height co-domain (an
+//! [`IntervalStore`](crate::store::IntervalStore) address fed by `n + 1`)
+//! mints a **fresh, distinct triple per iteration** — there is nothing to
+//! widen without collapsing triples that the domain's very definition
+//! keeps apart.  On such domains this driver does not terminate; run it
+//! under a [`Budget`] (the governed solve exhausts cleanly with a resume
+//! seed) or switch to the shared-store domain, whose engines terminate by
+//! widening.  The differential suite pins both behaviours.
 
 use std::collections::VecDeque;
 use std::hash::Hash;
@@ -225,7 +240,8 @@ mod tests {
         assert_eq!(stats.iterations, stats.states_stepped);
         assert!(stats.peak_frontier >= 1);
         assert_eq!(stats.cache_hits, 0);
-        assert_eq!(stats.store_widenings, 0);
+        assert_eq!(stats.store_joins_applied, 0);
+        assert_eq!(stats.widen_applied, 0);
         // The interner is the seen-set: one miss per distinct triple, one
         // hit per re-derived duplicate.
         assert_eq!(stats.distinct_states, worklist.len());

@@ -92,7 +92,11 @@ use crate::store::{StoreDelta, StoreLike};
 use crate::telemetry::{label_of, RoundTrace, Stopwatch, TraceSink};
 
 use super::governor::{Budget, Outcome, ResumeSeed, SolveFrom};
-use super::{DirectCollecting, EngineStats, FrontierCollecting, StateRoots, StepFn};
+use super::{
+    narrow_store_post_pass, DirectCollecting, EngineStats, FrontierCollecting, StateRoots, StepFn,
+    WidenTracker,
+};
+use crate::lattice::WidenLattice;
 use crate::telemetry::{GovernorTrace, GovernorTraceKind};
 
 /// The resume seed of every shared-store engine: the `(state, guts)`
@@ -392,7 +396,7 @@ where
     Ps: Value + Ord + Hash + StateRoots,
     Ps::Addr: Hash,
     G: Value + Ord + Hash + HasInitial,
-    S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + Value,
+    S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + WidenLattice + Value,
     S::D: Touches<Ps::Addr>,
 {
     fn explore_frontier_traced<F, T>(step: &F, initial: Ps, sink: &mut T) -> (Self, EngineStats)
@@ -453,7 +457,7 @@ where
     Ps: Value + Ord + Hash + StateRoots,
     Ps::Addr: Hash,
     G: Value + Ord + Hash + HasInitial,
-    S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + Value,
+    S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + WidenLattice + Value,
     S::D: Touches<Ps::Addr>,
 {
     type Seed = SharedResumeSeed<Ps, G, S>;
@@ -475,6 +479,11 @@ where
         // solve.
         let armed = sink.enabled();
         let mut stats = EngineStats::default();
+        // Per-address growth bookkeeping for the budget's widening policy:
+        // decides which addresses the fold accumulates with ▽ instead of ⊔.
+        // Inert (empty point set, so the widened fold *is* the join fold)
+        // whenever widening is off.
+        let mut widen: WidenTracker<Ps::Addr> = WidenTracker::new(&budget.widen);
         // The hash-consing table: every distinct (state, guts) pair gets a
         // dense StateId on first sight.  The interner doubles as the
         // seen-set and, at the end, as the domain's state set.
@@ -597,16 +606,20 @@ where
                     // Join-traffic attribution: which addresses this
                     // contribution bound, and which of them actually grew.
                     let bound = entry.delta.addresses();
-                    let changed = store.join_in_place_delta(entry.delta.clone());
+                    let changed = store.widen_in_place_delta(entry.delta.clone(), widen.points());
                     for a in &bound {
                         sink.join_traffic(&label_of(a, ADDR_LABEL_MAX), changed.contains(a));
                     }
                     changed_addrs.extend(changed);
                 } else {
-                    changed_addrs.extend(store.join_in_place_delta(entry.delta.clone()));
+                    changed_addrs
+                        .extend(store.widen_in_place_delta(entry.delta.clone(), widen.points()));
                 }
             }
-            stats.store_widenings += changed_addrs.len();
+            let (joined, widened) = widen.classify(&changed_addrs);
+            stats.store_joins_applied += joined;
+            stats.widen_applied += widened;
+            widen.record(&changed_addrs);
             // Sample spine sharing while this round's delta adoptions are
             // still live in the cache (peak over rounds).
             stats.store_bytes_shared = stats.store_bytes_shared.max(store.shared_spine_bytes());
@@ -642,10 +655,18 @@ where
         // assembled once, from the interner's value table.
         let states: BTreeSet<(Ps, G)> = interner.values().iter().cloned().collect();
         match exhausted {
-            None => (
-                Outcome::Complete(SharedStoreDomain::from_parts(states, store)),
-                stats,
-            ),
+            None => {
+                // The decreasing pass: only after a *complete* widened
+                // solve (an exhausted partial is not a post-fixpoint, so
+                // narrowing it would not be meaningful).
+                if budget.widen.enabled && budget.widen.narrow_passes > 0 {
+                    narrow_store_post_pass(&states, &mut store, step, budget.widen.narrow_passes);
+                }
+                (
+                    Outcome::Complete(SharedStoreDomain::from_parts(states, store)),
+                    stats,
+                )
+            }
             Some(reason) => {
                 let resume_seed = Box::new(ResumeSeed {
                     states: interner.values().to_vec(),
@@ -679,13 +700,14 @@ pub fn explore_structural_governed_stats<Ps, G, S, F, T>(
 where
     Ps: Value + Ord + StateRoots,
     G: Value + Ord + HasInitial,
-    S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + Value,
+    S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + WidenLattice + Value,
     S::D: Touches<Ps::Addr>,
     F: StepFn<Ps, G, S>,
     T: TraceSink,
 {
     let armed = sink.enabled();
     let mut stats = EngineStats::default();
+    let mut widen: WidenTracker<Ps::Addr> = WidenTracker::new(&budget.widen);
     let mut cache: StepCache<Ps, G, S, Ps::Addr> = BTreeMap::new();
     // The reverse dependency index: for every address, the cached pairs
     // whose outcome may depend on it.  Maintained alongside the cache so
@@ -777,9 +799,16 @@ where
                     discovered.push(succ.clone());
                 }
             }
-            changed_addrs.extend(current.store_mut().join_in_place_delta(entry.store.clone()));
+            changed_addrs.extend(
+                current
+                    .store_mut()
+                    .widen_in_place_delta(entry.store.clone(), widen.points()),
+            );
         }
-        stats.store_widenings += changed_addrs.len();
+        let (joined, widened) = widen.classify(&changed_addrs);
+        stats.store_joins_applied += joined;
+        stats.widen_applied += widened;
+        widen.record(&changed_addrs);
         stats.store_bytes_shared = stats
             .store_bytes_shared
             .max(current.store().shared_spine_bytes());
@@ -806,6 +835,15 @@ where
         frontier = next;
     }
 
+    if exhausted.is_none() && budget.widen.enabled && budget.widen.narrow_passes > 0 {
+        let states = current.states().clone();
+        narrow_store_post_pass(
+            &states,
+            current.store_mut(),
+            step,
+            budget.widen.narrow_passes,
+        );
+    }
     let outcome = governed_outcome(current, exhausted);
     (outcome, stats)
 }
@@ -850,13 +888,14 @@ pub fn explore_rescan_governed_stats<Ps, G, S, F, T>(
 where
     Ps: Value + Ord + StateRoots,
     G: Value + Ord + HasInitial,
-    S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + Value,
+    S: StoreLike<Ps::Addr> + StoreDelta<Ps::Addr> + WidenLattice + Value,
     S::D: Touches<Ps::Addr>,
     F: StepFn<Ps, G, S>,
     T: TraceSink,
 {
     let armed = sink.enabled();
     let mut stats = EngineStats::default();
+    let mut widen: WidenTracker<Ps::Addr> = WidenTracker::new(&budget.widen);
     let mut cache: StepCache<Ps, G, S, Ps::Addr> = BTreeMap::new();
     // For every address: the last store version at which its binding
     // changed.  Addresses never seen changing are absent.
@@ -931,9 +970,30 @@ where
         stats.peak_frontier = stats.peak_frontier.max(fresh_this_round);
 
         let step_ns = phase_watch.lap_ns();
-        let changed = next.store().changed_addresses(current.store());
         let scanned = current.len();
-        let grew = current.join_in_place(next);
+        let (grew, changed) = if budget.widen.enabled {
+            // Widened accumulation: fold the states half and the store
+            // half separately so the store can widen at the tracker's
+            // points.  The fold's reported delta — the addresses that
+            // actually changed under ⊔/▽ — drives the invalidation index
+            // and the growth counters.
+            let mut grew = false;
+            for key in next.states().clone() {
+                grew |= current.insert_state(key);
+            }
+            let delta = current
+                .store_mut()
+                .widen_in_place_delta(next.store().clone(), widen.points());
+            let (joined, widened) = widen.classify(&delta);
+            stats.store_joins_applied += joined;
+            stats.widen_applied += widened;
+            widen.record(&delta);
+            grew |= !delta.is_empty();
+            (grew, delta)
+        } else {
+            let changed = next.store().changed_addresses(current.store());
+            (current.join_in_place(next), changed)
+        };
         sink.round(RoundTrace {
             round: stats.iterations,
             frontier: fresh_this_round,
@@ -946,12 +1006,23 @@ where
             sync_ns: 0,
         });
         if !grew {
+            if budget.widen.enabled && budget.widen.narrow_passes > 0 {
+                let states = current.states().clone();
+                narrow_store_post_pass(
+                    &states,
+                    current.store_mut(),
+                    step,
+                    budget.widen.narrow_passes,
+                );
+            }
             return (Outcome::Complete(current), stats);
         }
         stats.store_bytes_shared = stats
             .store_bytes_shared
             .max(current.store().shared_spine_bytes());
-        stats.store_widenings += changed.len();
+        if !budget.widen.enabled {
+            stats.store_joins_applied += changed.len();
+        }
         version += 1;
         for addr in changed {
             last_changed.insert(addr, version);
@@ -1061,7 +1132,8 @@ mod tests {
         assert_eq!(structural, kleene);
         assert_eq!(rescan, kleene);
         assert!(stats.cache_hits > 0, "expected cache hits: {stats}");
-        assert!(stats.store_widenings > 0);
+        assert!(stats.store_joins_applied > 0);
+        assert_eq!(stats.widen_applied, 0);
         assert!(stats.iterations > 1);
         // The id-indexed engine never does more logical work than the
         // structural engine — and may do strictly less: its delta-shaped
@@ -1070,7 +1142,10 @@ mod tests {
         assert!(stats.iterations <= structural_stats.iterations);
         assert!(stats.states_stepped <= structural_stats.states_stepped);
         assert!(stats.store_joins <= structural_stats.store_joins);
-        assert_eq!(stats.store_widenings, structural_stats.store_widenings);
+        assert_eq!(
+            stats.store_joins_applied,
+            structural_stats.store_joins_applied
+        );
         // Both incremental engines fold strictly fewer contributions than
         // the rescanning engine re-joins.
         assert!(

@@ -395,6 +395,10 @@ impl<T: Ord + Clone> crate::lattice::Lattice for CowSet<T> {
     }
 }
 
+// Power-sets over a program's finite value space: the default widening
+// (join) terminates, so the finite-height defaults apply.
+impl<T: Ord + Clone> crate::lattice::WidenLattice for CowSet<T> {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

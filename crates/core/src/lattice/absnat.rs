@@ -3,7 +3,7 @@
 use std::fmt;
 use std::ops::Add;
 
-use super::{Lattice, MeetLattice, TopLattice};
+use super::{Lattice, MeetLattice, TopLattice, WidenLattice};
 
 /// An abstract natural number: how many times an abstract resource has been
 /// allocated.
@@ -114,6 +114,9 @@ impl MeetLattice for AbsNat {
         self.min(other)
     }
 }
+
+// Three elements: the default widening (join) trivially terminates.
+impl WidenLattice for AbsNat {}
 
 #[cfg(test)]
 mod tests {

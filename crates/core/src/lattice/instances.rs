@@ -4,7 +4,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use super::{Lattice, MeetLattice, TopLattice};
+use super::{Lattice, MeetLattice, TopLattice, WidenLattice};
 
 impl Lattice for () {
     fn bottom() -> Self {}
@@ -236,6 +236,93 @@ impl<K: Ord + Clone, V: Lattice> Lattice for BTreeMap<K, V> {
         // A map is semantically ⊥ when every explicit binding is ⊥ (missing
         // keys are implicitly bound to ⊥) — no `bottom()` allocation needed.
         self.values().all(V::is_bottom)
+    }
+}
+
+// Finite-height container instances: the default widening (plain join)
+// already terminates, and the default narrowing (identity) is sound.
+impl WidenLattice for () {}
+impl WidenLattice for bool {}
+impl<T: Ord + Clone> WidenLattice for BTreeSet<T> {}
+impl<T: Clone + Eq> WidenLattice for Flat<T> {}
+
+/// Pairs widen and narrow component-wise, so a product of an
+/// infinite-height component with anything else still stabilises.
+impl<A: WidenLattice, B: WidenLattice> WidenLattice for (A, B) {
+    fn widen_in_place(&mut self, other: Self) -> bool {
+        self.0.widen_in_place(other.0) | self.1.widen_in_place(other.1)
+    }
+
+    fn narrow_in_place(&mut self, other: Self) -> bool {
+        self.0.narrow_in_place(other.0) | self.1.narrow_in_place(other.1)
+    }
+}
+
+impl<A: WidenLattice, B: WidenLattice, C: WidenLattice> WidenLattice for (A, B, C) {
+    fn widen_in_place(&mut self, other: Self) -> bool {
+        self.0.widen_in_place(other.0)
+            | self.1.widen_in_place(other.1)
+            | self.2.widen_in_place(other.2)
+    }
+
+    fn narrow_in_place(&mut self, other: Self) -> bool {
+        self.0.narrow_in_place(other.0)
+            | self.1.narrow_in_place(other.1)
+            | self.2.narrow_in_place(other.2)
+    }
+}
+
+/// `Option` widens through the adjoined bottom: leaving `None` is one
+/// strict growth, after which the inner lattice's widening takes over.
+/// Narrowing never re-enters `None` (the trivial narrowing there).
+impl<A: WidenLattice> WidenLattice for Option<A> {
+    fn widen_in_place(&mut self, other: Self) -> bool {
+        match (self.as_mut(), other) {
+            (_, None) => false,
+            (Some(a), Some(b)) => a.widen_in_place(b),
+            (None, some) => {
+                *self = some;
+                true
+            }
+        }
+    }
+
+    fn narrow_in_place(&mut self, other: Self) -> bool {
+        match (self.as_mut(), other) {
+            (Some(a), Some(b)) => a.narrow_in_place(b),
+            _ => false,
+        }
+    }
+}
+
+/// Point-wise maps widen key-by-key: a key is a widening point for its own
+/// binding, so finitely many keys each stabilising yields stabilisation of
+/// the whole map.  Narrowing visits `self`'s keys against `other`'s
+/// bindings (`⊥` when absent).
+impl<K: Ord + Clone, V: WidenLattice> WidenLattice for BTreeMap<K, V> {
+    fn widen_in_place(&mut self, other: Self) -> bool {
+        let mut changed = false;
+        for (k, v) in other {
+            match self.entry(k) {
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    changed |= e.get_mut().widen_in_place(v);
+                }
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    changed |= !v.is_bottom();
+                    e.insert(v);
+                }
+            }
+        }
+        changed
+    }
+
+    fn narrow_in_place(&mut self, other: Self) -> bool {
+        let mut changed = false;
+        for (k, v) in self.iter_mut() {
+            let refined = other.get(k).cloned().unwrap_or_else(V::bottom);
+            changed |= v.narrow_in_place(refined);
+        }
+        changed
     }
 }
 

@@ -1,0 +1,430 @@
+//! The interval lattice `[lo, hi]` over the integers — the framework's
+//! first *infinite-height* abstract domain.
+//!
+//! Every previously committed domain (power-sets over a program's finite
+//! closure space, [`Flat`](super::Flat), [`AbsNat`](super::AbsNat)) has
+//! finite height, so ascending Kleene iteration terminates by counting.
+//! Intervals break that accident: `[0,0] ⊑ [0,1] ⊑ [0,2] ⊑ …` ascends
+//! forever, and a fixpoint engine that only ever `join`s will chase it
+//! forever too.  [`Interval`] therefore carries the classic
+//! widening/narrowing pair of interval analysis through the
+//! [`WidenLattice`] trait:
+//!
+//! * [`Interval::widen`] jumps any *unstable* bound to `±∞`.  A widened
+//!   chain `x_{n+1} = x_n ▽ f(x_n)` can strictly grow at most three times
+//!   (leave `⊥`, lose the lower bound, lose the upper bound), so it
+//!   stabilises in finitely many steps regardless of `f`.
+//! * [`Interval::narrow`] walks an infinite bound back to the
+//!   corresponding bound of a smaller argument, recovering precision the
+//!   over-eager widening threw away, and can only tighten finitely often.
+//!
+//! Bound arithmetic saturates at `i64::MIN`/`i64::MAX`; the two infinities
+//! are explicit enum variants, not sentinel integers, so `[0, i64::MAX]`
+//! and `[0, +∞)` stay distinguishable.
+
+use std::fmt;
+
+use super::{Lattice, MeetLattice, TopLattice, WidenLattice};
+
+/// A lower bound: `-∞` or a finite inclusive bound.
+///
+/// The derived `Ord` is the numeric order (`NegInf` below every finite
+/// bound), so `min`/`max` on bounds compute interval hulls directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Lo {
+    /// Unbounded below.
+    NegInf,
+    /// Bounded below by this value (inclusive).
+    At(i64),
+}
+
+/// An upper bound: a finite inclusive bound or `+∞`.
+///
+/// The derived `Ord` is the numeric order (`PosInf` above every finite
+/// bound).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Hi {
+    /// Bounded above by this value (inclusive).
+    At(i64),
+    /// Unbounded above.
+    PosInf,
+}
+
+impl Lo {
+    fn plus(self, other: Lo) -> Lo {
+        match (self, other) {
+            (Lo::At(a), Lo::At(b)) => Lo::At(a.saturating_add(b)),
+            _ => Lo::NegInf,
+        }
+    }
+}
+
+impl Hi {
+    fn plus(self, other: Hi) -> Hi {
+        match (self, other) {
+            (Hi::At(a), Hi::At(b)) => Hi::At(a.saturating_add(b)),
+            _ => Hi::PosInf,
+        }
+    }
+}
+
+/// An integer interval: either empty (`⊥`) or a non-empty `[lo, hi]`.
+///
+/// The `Range` constructor is kept normalised — `lo ≤ hi` always holds —
+/// so structural equality is semantic equality and the derived `Ord`
+/// gives the deterministic total order the power-set domains need.
+///
+/// ```rust
+/// use mai_core::lattice::{Interval, Lattice, WidenLattice};
+///
+/// let n = Interval::singleton(0);
+/// let grown = n.join(Interval::singleton(1));
+/// assert_eq!(grown, Interval::range(0, 1));
+/// // The unstable upper bound widens away; the stable lower bound stays.
+/// assert_eq!(n.widen(grown), Interval::at_least(0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Interval {
+    /// The empty interval `⊥`: no value is possible.
+    Empty,
+    /// All integers from the lower to the upper bound, inclusive.
+    Range(Lo, Hi),
+}
+
+fn range_norm(lo: Lo, hi: Hi) -> Interval {
+    match (lo, hi) {
+        (Lo::At(l), Hi::At(h)) if l > h => Interval::Empty,
+        _ => Interval::Range(lo, hi),
+    }
+}
+
+impl Interval {
+    /// The interval containing exactly `n`.
+    pub fn singleton(n: i64) -> Self {
+        Interval::Range(Lo::At(n), Hi::At(n))
+    }
+
+    /// The interval `[lo, hi]`; `⊥` when `lo > hi`.
+    pub fn range(lo: i64, hi: i64) -> Self {
+        range_norm(Lo::At(lo), Hi::At(hi))
+    }
+
+    /// The interval `[n, +∞)`.
+    pub fn at_least(n: i64) -> Self {
+        Interval::Range(Lo::At(n), Hi::PosInf)
+    }
+
+    /// The interval `(-∞, n]`.
+    pub fn at_most(n: i64) -> Self {
+        Interval::Range(Lo::NegInf, Hi::At(n))
+    }
+
+    /// The bounds, or `None` for `⊥`.
+    pub fn bounds(&self) -> Option<(Lo, Hi)> {
+        match self {
+            Interval::Empty => None,
+            Interval::Range(lo, hi) => Some((*lo, *hi)),
+        }
+    }
+
+    /// Whether `n` is a possible value.
+    pub fn contains(&self, n: i64) -> bool {
+        match self {
+            Interval::Empty => false,
+            Interval::Range(lo, hi) => {
+                let above = match lo {
+                    Lo::NegInf => true,
+                    Lo::At(l) => *l <= n,
+                };
+                let below = match hi {
+                    Hi::PosInf => true,
+                    Hi::At(h) => n <= *h,
+                };
+                above && below
+            }
+        }
+    }
+
+    /// Whether `0` is a possible value — the guard the abstract-error
+    /// layer checks before an abstract division.
+    pub fn contains_zero(&self) -> bool {
+        self.contains(0)
+    }
+}
+
+/// Abstract addition: the interval of all pairwise sums, with saturating
+/// bound arithmetic.  Adding `⊥` to anything is `⊥` — no concrete pair
+/// exists.
+impl std::ops::Add for Interval {
+    type Output = Interval;
+
+    fn add(self, other: Self) -> Self {
+        match (self, other) {
+            (Interval::Range(l1, h1), Interval::Range(l2, h2)) => {
+                Interval::Range(l1.plus(l2), h1.plus(h2))
+            }
+            _ => Interval::Empty,
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Interval::Empty => write!(f, "⊥"),
+            Interval::Range(lo, hi) => {
+                match lo {
+                    Lo::NegInf => write!(f, "(-∞, ")?,
+                    Lo::At(l) => write!(f, "[{l}, ")?,
+                }
+                match hi {
+                    Hi::PosInf => write!(f, "+∞)"),
+                    Hi::At(h) => write!(f, "{h}]"),
+                }
+            }
+        }
+    }
+}
+
+impl Lattice for Interval {
+    fn bottom() -> Self {
+        Interval::Empty
+    }
+
+    fn join(self, other: Self) -> Self {
+        match (self, other) {
+            (Interval::Empty, x) | (x, Interval::Empty) => x,
+            (Interval::Range(l1, h1), Interval::Range(l2, h2)) => {
+                Interval::Range(l1.min(l2), h1.max(h2))
+            }
+        }
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Interval::Empty, _) => true,
+            (Interval::Range(..), Interval::Empty) => false,
+            (Interval::Range(l1, h1), Interval::Range(l2, h2)) => l2 <= l1 && h1 <= h2,
+        }
+    }
+
+    fn join_in_place(&mut self, other: Self) -> bool {
+        let changed = !other.leq(self);
+        *self = self.join(other);
+        changed
+    }
+
+    fn is_bottom(&self) -> bool {
+        matches!(self, Interval::Empty)
+    }
+}
+
+impl MeetLattice for Interval {
+    fn meet(self, other: Self) -> Self {
+        match (self, other) {
+            (Interval::Empty, _) | (_, Interval::Empty) => Interval::Empty,
+            (Interval::Range(l1, h1), Interval::Range(l2, h2)) => {
+                range_norm(l1.max(l2), h1.min(h2))
+            }
+        }
+    }
+}
+
+impl TopLattice for Interval {
+    fn top() -> Self {
+        Interval::Range(Lo::NegInf, Hi::PosInf)
+    }
+}
+
+impl WidenLattice for Interval {
+    /// Classic interval widening: any bound `other` pushes past jumps
+    /// straight to the corresponding infinity; stable bounds are kept.
+    fn widen_in_place(&mut self, other: Self) -> bool {
+        let widened = match (*self, other) {
+            (x, Interval::Empty) => x,
+            (Interval::Empty, y) => y,
+            (Interval::Range(l1, h1), Interval::Range(l2, h2)) => Interval::Range(
+                if l2 < l1 { Lo::NegInf } else { l1 },
+                if h2 > h1 { Hi::PosInf } else { h1 },
+            ),
+        };
+        let changed = widened != *self;
+        *self = widened;
+        changed
+    }
+
+    /// Classic interval narrowing: an infinite bound of `self` is replaced
+    /// by the corresponding bound of `other`; finite bounds are kept.
+    fn narrow_in_place(&mut self, other: Self) -> bool {
+        let narrowed = match (*self, other) {
+            (_, Interval::Empty) | (Interval::Empty, _) => Interval::Empty,
+            (Interval::Range(l1, h1), Interval::Range(l2, h2)) => range_norm(
+                if l1 == Lo::NegInf { l2 } else { l1 },
+                if h1 == Hi::PosInf { h2 } else { h1 },
+            ),
+        };
+        let changed = narrowed != *self;
+        *self = narrowed;
+        changed
+    }
+}
+
+/// Intervals are pure base values: they hold no addresses, so abstract
+/// garbage collection never traces through them.
+impl<A: Ord> crate::gc::Touches<A> for Interval {
+    fn touches(&self) -> std::collections::BTreeSet<A> {
+        std::collections::BTreeSet::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_the_hull() {
+        assert_eq!(
+            Interval::singleton(1).join(Interval::singleton(5)),
+            Interval::range(1, 5)
+        );
+        assert_eq!(
+            Interval::at_most(0).join(Interval::at_least(3)),
+            Interval::top()
+        );
+        assert_eq!(
+            Interval::bottom().join(Interval::singleton(7)),
+            Interval::singleton(7)
+        );
+    }
+
+    #[test]
+    fn leq_is_inclusion() {
+        assert!(Interval::range(1, 2).leq(&Interval::range(0, 3)));
+        assert!(!Interval::range(0, 3).leq(&Interval::range(1, 2)));
+        assert!(Interval::bottom().leq(&Interval::bottom()));
+        assert!(Interval::range(0, 0).leq(&Interval::at_least(0)));
+        assert!(!Interval::at_least(0).leq(&Interval::range(0, i64::MAX)));
+    }
+
+    #[test]
+    fn meet_is_the_intersection() {
+        assert_eq!(
+            Interval::range(0, 5).meet(Interval::range(3, 9)),
+            Interval::range(3, 5)
+        );
+        assert_eq!(
+            Interval::range(0, 2).meet(Interval::range(4, 6)),
+            Interval::Empty
+        );
+        assert_eq!(
+            Interval::top().meet(Interval::singleton(3)),
+            Interval::singleton(3)
+        );
+    }
+
+    #[test]
+    fn range_normalises_empty() {
+        assert_eq!(Interval::range(3, 1), Interval::Empty);
+        assert!(Interval::range(3, 1).is_bottom());
+    }
+
+    #[test]
+    fn widen_kills_unstable_bounds_only() {
+        let x = Interval::range(0, 1);
+        let y = Interval::range(0, 2);
+        assert_eq!(x.widen(y), Interval::at_least(0));
+        // Stable on both sides: widening is the identity.
+        assert_eq!(y.widen(x), y);
+        // Unstable below.
+        assert_eq!(
+            Interval::range(0, 5).widen(Interval::range(-1, 5)),
+            Interval::Range(Lo::NegInf, Hi::At(5))
+        );
+        // Leaving bottom adopts the new value without losing bounds.
+        assert_eq!(Interval::Empty.widen(x), x);
+    }
+
+    #[test]
+    fn widen_is_an_upper_bound_of_both_arguments() {
+        let cases = [
+            (Interval::range(0, 1), Interval::range(0, 4)),
+            (Interval::range(2, 3), Interval::range(-9, 3)),
+            (Interval::Empty, Interval::range(1, 1)),
+            (Interval::range(1, 1), Interval::Empty),
+        ];
+        for (a, b) in cases {
+            let w = a.widen(b);
+            assert!(a.leq(&w) && b.leq(&w), "{a} ▽ {b} = {w}");
+        }
+    }
+
+    #[test]
+    fn widened_counting_chain_stabilises() {
+        // x_{n+1} = x_n ▽ (x_n ⊔ (x_n + [1,1])): diverges under join,
+        // stabilises in a handful of widening steps.
+        let mut x = Interval::singleton(0);
+        let mut steps = 0;
+        loop {
+            let next = x.join(x + Interval::singleton(1));
+            if !x.widen_in_place(next) {
+                break;
+            }
+            steps += 1;
+            assert!(steps <= 3, "widened chain failed to stabilise");
+        }
+        assert_eq!(x, Interval::at_least(0));
+    }
+
+    #[test]
+    fn narrow_recovers_finite_bounds() {
+        // Widening overshot to [0, +∞); one descending step recovers the
+        // true bound when the functional's image is [0, 10].
+        let widened = Interval::at_least(0);
+        assert_eq!(
+            widened.narrow(Interval::range(0, 10)),
+            Interval::range(0, 10)
+        );
+        // Finite bounds are kept even when `other` is tighter.
+        assert_eq!(
+            Interval::range(0, 10).narrow(Interval::range(2, 5)),
+            Interval::range(0, 10)
+        );
+        assert_eq!(
+            Interval::at_least(0).narrow(Interval::Empty),
+            Interval::Empty
+        );
+    }
+
+    #[test]
+    fn add_saturates_and_propagates_infinities() {
+        assert_eq!(
+            Interval::range(1, 2) + Interval::range(10, 20),
+            Interval::range(11, 22)
+        );
+        assert_eq!(
+            Interval::at_least(0) + Interval::singleton(1),
+            Interval::at_least(1)
+        );
+        assert_eq!(
+            Interval::singleton(i64::MAX) + Interval::singleton(1),
+            Interval::singleton(i64::MAX)
+        );
+        assert_eq!(Interval::Empty + Interval::singleton(1), Interval::Empty);
+    }
+
+    #[test]
+    fn contains_checks_both_bounds() {
+        assert!(Interval::range(-1, 1).contains_zero());
+        assert!(!Interval::range(1, 9).contains_zero());
+        assert!(Interval::at_least(0).contains(1_000_000));
+        assert!(!Interval::Empty.contains(0));
+    }
+
+    #[test]
+    fn display_renders_infinities() {
+        assert_eq!(Interval::range(0, 3).to_string(), "[0, 3]");
+        assert_eq!(Interval::at_least(0).to_string(), "[0, +∞)");
+        assert_eq!(Interval::at_most(-2).to_string(), "(-∞, -2]");
+        assert_eq!(Interval::Empty.to_string(), "⊥");
+    }
+}

@@ -1,7 +1,7 @@
 //! Kleene iteration: computing least fixed points by ascending iteration
 //! from `⊥` (paper §5.2, equation (1)).
 
-use super::Lattice;
+use super::{Lattice, WidenLattice};
 use crate::engine::governor::{Budget, Outcome};
 
 /// Computes the least fixed point of a monotone function by Kleene
@@ -54,7 +54,80 @@ where
     }
 }
 
+/// Widened Kleene iteration: ascends by plain join for `delay` rounds
+/// (the standard *widening delay*, buying precision while the iterates are
+/// still informative), then switches the accumulation point to
+/// [`WidenLattice::widen_in_place`] so the chain provably stabilises even
+/// over an infinite-height domain such as
+/// [`Interval`](crate::lattice::Interval).
+///
+/// The result is a *post-fixpoint* of `λx. x ⊔ f(x)` (widening covers the
+/// join), i.e. a sound over-approximation of the least fixed point; run
+/// [`narrow_it`] afterwards to walk precision back.
+///
+/// ```rust
+/// use mai_core::lattice::{kleene_it_widened, Interval, Lattice};
+///
+/// // A counting loop: x ↦ [0,0] ⊔ (x + [1,1]) — diverges under kleene_it.
+/// let post = kleene_it_widened(
+///     |x: &Interval| Interval::singleton(0).join(*x + Interval::singleton(1)),
+///     3,
+/// );
+/// assert_eq!(post, Interval::at_least(0));
+/// ```
+pub fn kleene_it_widened<L, F>(f: F, delay: usize) -> L
+where
+    L: WidenLattice,
+    F: Fn(&L) -> L,
+{
+    let mut current = L::bottom();
+    let mut rounds = 0usize;
+    loop {
+        let next = f(&current);
+        let changed = if rounds < delay {
+            current.join_in_place(next)
+        } else {
+            current.widen_in_place(next)
+        };
+        if !changed {
+            return current;
+        }
+        rounds += 1;
+    }
+}
+
+/// Descending (narrowing) iteration from a post-fixpoint: computes
+/// `x_{n+1} = x_n △ f(x_n)` for at most `max_passes` rounds, stopping as
+/// soon as a pass refines nothing.
+///
+/// Starting from any post-fixpoint `x ⊒ f(x)` of a monotone `f`, every
+/// narrowed iterate is still a post-fixpoint above the least fixed point
+/// (`lfp ⊑ f(x) ⊑ x △ f(x) ⊑ x`), so the pass is sound whenever it
+/// stops; the explicit `max_passes` bound makes it *total* even for
+/// narrowings that oscillate.
+pub fn narrow_it<L, F>(start: L, f: F, max_passes: usize) -> L
+where
+    L: WidenLattice,
+    F: Fn(&L) -> L,
+{
+    let mut current = start;
+    for _ in 0..max_passes {
+        let image = f(&current);
+        if !current.narrow_in_place(image) {
+            break;
+        }
+    }
+    current
+}
+
 /// The result of a bounded Kleene iteration.
+///
+/// The outcome is `#[must_use]`: an [`KleeneOutcome::Exhausted`] carries a
+/// *truncated* iterate that is **not** a fixpoint, so callers must check
+/// [`KleeneOutcome::converged`] (or match) before treating the value as
+/// one — dropping the outcome on the floor is exactly the silent
+/// non-convergence bug this type exists to prevent.
+#[must_use = "an Exhausted outcome's value is a truncated iterate, not a fixpoint — check converged()"]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum KleeneOutcome<L> {
     /// The iteration stabilised at this fixed point after the recorded
@@ -232,6 +305,33 @@ mod tests {
         assert!(partial.len() < one_shot.len());
         let (resumed, _) = kleene_it_governed_from(*resume_seed, f, &Budget::unlimited());
         assert_eq!(resumed.into_complete(), one_shot);
+    }
+
+    #[test]
+    fn widened_iteration_terminates_where_plain_kleene_diverges() {
+        use crate::lattice::Interval;
+        // The counting functional ascends forever under join…
+        let f = |x: &Interval| Interval::singleton(0).join(*x + Interval::singleton(1));
+        let bounded = kleene_it_bounded(f, 50);
+        assert!(!bounded.converged());
+        // …and stabilises at [0, +∞) once the accumulation point widens.
+        for delay in [0usize, 1, 3, 10] {
+            assert_eq!(kleene_it_widened(f, delay), Interval::at_least(0));
+        }
+    }
+
+    #[test]
+    fn narrowing_recovers_a_bounded_loop_counter() {
+        use crate::lattice::{Interval, MeetLattice};
+        // x ↦ [0,0] ⊔ ((x + 1) ⊓ (-∞, 10]): a loop counting up to 10.
+        let f = |x: &Interval| {
+            Interval::singleton(0).join((*x + Interval::singleton(1)).meet(Interval::at_most(10)))
+        };
+        let post = kleene_it_widened(f, 2);
+        assert_eq!(post, Interval::at_least(0));
+        // One descending pass replaces the widened +∞ with the true bound.
+        let refined = narrow_it(post, f, 4);
+        assert_eq!(refined, Interval::range(0, 10));
     }
 
     #[test]

@@ -29,13 +29,16 @@
 mod absnat;
 mod galois;
 mod instances;
+mod interval;
 mod kleene;
 
 pub use absnat::AbsNat;
 pub use galois::GaloisConnection;
 pub use instances::{Flat, PointwiseExt};
+pub use interval::{Hi, Interval, Lo};
 pub use kleene::{
-    kleene_it, kleene_it_bounded, kleene_it_governed, kleene_it_governed_from, KleeneOutcome,
+    kleene_it, kleene_it_bounded, kleene_it_governed, kleene_it_governed_from, kleene_it_widened,
+    narrow_it, KleeneOutcome,
 };
 
 /// A join semi-lattice with a least element.
@@ -128,6 +131,62 @@ pub trait MeetLattice: Lattice {
 pub trait TopLattice: Lattice {
     /// The greatest element.
     fn top() -> Self;
+}
+
+/// Lattices with a widening/narrowing pair — the termination device for
+/// *infinite-height* domains such as [`Interval`].
+///
+/// On a finite-height lattice, ascending Kleene iteration terminates
+/// because every strictly ascending chain is finite.  [`Interval`] breaks
+/// that: `[0,0] ⊑ [0,1] ⊑ …` ascends forever.  Widening `▽` replaces the
+/// join at selected accumulation points so that the iteration sequence
+/// `x_{n+1} = x_n ▽ f(x_n)` is still an upper-bound chain but provably
+/// stabilises; narrowing `△` then walks the over-approximation back down
+/// without ever dropping below a fixpoint.
+///
+/// # Laws
+///
+/// * **Upper bound**: `a ⊑ a ▽ b` and `b ⊑ a ▽ b` (widening covers the
+///   join, so a widened iterate is still a post-fixpoint candidate);
+/// * **Termination**: for every sequence `y_n`, the chain
+///   `x_{n+1} = x_n ▽ y_n` stabilises after finitely many strict growths;
+/// * **Narrowing**: if `b ⊑ a` then `b ⊑ a △ b ⊑ a`, and every chain
+///   `x_{n+1} = x_n △ y_n` with `y_n ⊑ x_n` stabilises.
+///
+/// The defaults — widen as plain join, narrow as the identity on `self` —
+/// satisfy all three laws **on finite-height lattices only**; they make
+/// every existing finite domain a `WidenLattice` for free without changing
+/// its semantics.  Infinite-height domains must override both.
+pub trait WidenLattice: Lattice {
+    /// In-place widening: grows `self` to `self ▽ other`, reporting
+    /// whether anything changed.  Defaults to [`Lattice::join_in_place`],
+    /// which is a correct widening exactly when the lattice has finite
+    /// height.
+    fn widen_in_place(&mut self, other: Self) -> bool {
+        self.join_in_place(other)
+    }
+
+    /// In-place narrowing: refines `self` to `self △ other` (with
+    /// `other ⊑ self`), reporting whether anything changed.  Defaults to
+    /// keeping `self` — the trivial narrowing, sound for every lattice.
+    fn narrow_in_place(&mut self, other: Self) -> bool {
+        let _ = other;
+        false
+    }
+
+    /// Value-passing widening `self ▽ other`.
+    #[must_use]
+    fn widen(mut self, other: Self) -> Self {
+        self.widen_in_place(other);
+        self
+    }
+
+    /// Value-passing narrowing `self △ other`.
+    #[must_use]
+    fn narrow(mut self, other: Self) -> Self {
+        self.narrow_in_place(other);
+        self
+    }
 }
 
 /// The paper's `joinWith` (§5.3.3): map a function over a collection and

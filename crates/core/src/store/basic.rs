@@ -94,6 +94,11 @@ impl<A: Address, V: Ord + Clone> Lattice for BasicStore<A, V> {
     }
 }
 
+/// Power-set co-domains have finite height over any fixed program, so the
+/// defaults (widen = join, narrow = no-op) are a sound, terminating
+/// widening pair.
+impl<A: Address, V: Ord + Clone> crate::lattice::WidenLattice for BasicStore<A, V> {}
+
 impl<A, V> StoreLike<A> for BasicStore<A, V>
 where
     A: Address,

@@ -97,6 +97,11 @@ impl<A: Address, V: Ord + Clone> Lattice for CountingStore<A, V> {
     }
 }
 
+/// Counted power-set co-domains have finite height over any fixed program
+/// (the count component saturates at ∞), so the defaults (widen = join,
+/// narrow = no-op) are a sound, terminating widening pair.
+impl<A: Address, V: Ord + Clone> crate::lattice::WidenLattice for CountingStore<A, V> {}
+
 impl<A, V> StoreLike<A> for CountingStore<A, V>
 where
     A: Address,

@@ -1,0 +1,323 @@
+//! The numeric abstract store: addresses bound to [`Interval`]s.
+//!
+//! [`BasicStore`](super::BasicStore) and
+//! [`CountingStore`](super::CountingStore) have power-set co-domains, so
+//! over any fixed program their height is finite and plain join-driven
+//! fixpoint iteration terminates.  [`IntervalStore`] is the store the
+//! engines' widening machinery exists for: its co-domain is the
+//! infinite-height [`Interval`] lattice, so an address fed by a counting
+//! loop grows forever under `⊔` and the engines must switch that
+//! address's accumulation to `▽` ([`StoreDelta::widen_in_place_delta`])
+//! to terminate.
+//!
+//! The representation mirrors `BasicStore`: a persistent [`PMap`] spine
+//! (cloning is an `Arc` bump; a write copies one root-to-leaf path), with
+//! the co-domain a `Copy` interval instead of a value set.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::addr::Address;
+use crate::lattice::{Interval, Lattice, WidenLattice};
+use crate::pmap::PMap;
+
+use super::{StoreDelta, StoreLike};
+
+/// A point-wise map from addresses to [`Interval`]s:
+/// `Ŝtore = Âddr → Interval`.
+///
+/// `bind` is the weak update `σ ⊔ [â ↦ ι]`; `replace` is a strong update.
+/// The store is a lattice point-wise, a [`WidenLattice`] point-wise (every
+/// address is its own widening point), and a [`StoreDelta`] whose
+/// [`StoreDelta::widen_in_place_delta`] actually widens — the override
+/// that makes the fixpoint engines terminate on numeric domains.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct IntervalStore<A: Ord> {
+    bindings: PMap<A, Interval>,
+}
+
+impl<A: Address> IntervalStore<A> {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        IntervalStore {
+            bindings: PMap::new(),
+        }
+    }
+
+    /// Iterates over the bindings, in the spine's deterministic (hash)
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (&A, &Interval)> {
+        self.bindings.iter()
+    }
+
+    /// The number of addresses bound to an interval with at least one
+    /// finite bound — the precision metric narrowing improves.
+    pub fn finite_bound_count(&self) -> usize {
+        self.bindings
+            .values()
+            .filter(|i| {
+                i.bounds().is_some_and(|(lo, hi)| {
+                    matches!(lo, crate::lattice::Lo::At(_))
+                        || matches!(hi, crate::lattice::Hi::At(_))
+                })
+            })
+            .count()
+    }
+}
+
+impl<A: Address + fmt::Debug> fmt::Debug for IntervalStore<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.bindings.iter()).finish()
+    }
+}
+
+impl<A: Address> Lattice for IntervalStore<A> {
+    fn bottom() -> Self {
+        IntervalStore::new()
+    }
+
+    fn join(mut self, other: Self) -> Self {
+        self.bindings.join_map_in_place(other.bindings);
+        self
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.bindings.leq_map(&other.bindings)
+    }
+
+    fn join_in_place(&mut self, other: Self) -> bool {
+        self.bindings.join_map_in_place(other.bindings)
+    }
+
+    fn is_bottom(&self) -> bool {
+        self.bindings.is_bottom_map()
+    }
+}
+
+impl<A: Address> WidenLattice for IntervalStore<A> {
+    /// Point-wise widening: every address of `other` is treated as a
+    /// widening point.
+    fn widen_in_place(&mut self, other: Self) -> bool {
+        let everywhere: BTreeSet<A> = other.bindings.keys().cloned().collect();
+        !self.widen_in_place_delta(other, &everywhere).is_empty()
+    }
+
+    /// Point-wise narrowing of `self`'s bindings against `other`'s.
+    ///
+    /// Addresses `other` does not bind are left untouched: at the store
+    /// level the narrowing image is assembled from change-restricted step
+    /// contributions (see the engines' narrowing post-pass), so a missing
+    /// binding means the image is *silent* about the address — every
+    /// producer reproduced the current binding exactly — not that the
+    /// address's value is `⊥`.
+    fn narrow_in_place(&mut self, other: Self) -> bool {
+        let mut changed = false;
+        let addrs: Vec<A> = self.bindings.keys().cloned().collect();
+        for a in addrs {
+            let Some(refined) = other.bindings.get(&a).copied() else {
+                continue;
+            };
+            let mut cur = *self.bindings.get(&a).expect("key just listed");
+            if cur.narrow_in_place(refined) {
+                self.bindings.insert(a, cur);
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+impl<A: Address> StoreLike<A> for IntervalStore<A> {
+    type D = Interval;
+
+    fn bind_in_place(&mut self, a: A, d: Self::D) -> bool {
+        self.bindings.join_at_in_place(a, d)
+    }
+
+    fn replace(mut self, a: A, d: Self::D) -> Self {
+        self.bindings.insert(a, d);
+        self
+    }
+
+    fn fetch(&self, a: &A) -> Self::D {
+        self.bindings.get(a).copied().unwrap_or(Interval::Empty)
+    }
+
+    fn fetch_ref(&self, a: &A) -> Option<&Self::D> {
+        self.bindings.get(a)
+    }
+
+    fn contains(&self, a: &A) -> bool {
+        self.bindings.get(a).is_some_and(|i| !i.is_bottom())
+    }
+
+    fn filter_store<F>(mut self, keep: F) -> Self
+    where
+        F: Fn(&A) -> bool,
+    {
+        self.bindings.retain(keep);
+        self
+    }
+
+    fn restrict_to(mut self, addrs: &BTreeSet<A>) -> Self {
+        self.bindings = self.bindings.restricted_to(addrs);
+        self
+    }
+
+    fn addresses(&self) -> BTreeSet<A> {
+        self.bindings.keys().cloned().collect()
+    }
+
+    fn binding_count(&self) -> usize {
+        self.bindings.len()
+    }
+
+    fn shared_spine_bytes(&self) -> usize {
+        self.bindings.shared_spine_bytes()
+    }
+}
+
+impl<A: Address> StoreDelta<A> for IntervalStore<A> {
+    fn changed_addresses(&self, other: &Self) -> BTreeSet<A> {
+        self.bindings.changed_keys(&other.bindings)
+    }
+
+    fn join_in_place_delta(&mut self, other: Self) -> BTreeSet<A> {
+        self.bindings.join_in_place_delta(other.bindings)
+    }
+
+    fn widen_in_place_delta(&mut self, other: Self, widen_at: &BTreeSet<A>) -> BTreeSet<A> {
+        if widen_at.is_empty() {
+            return self.bindings.join_in_place_delta(other.bindings);
+        }
+        let mut changed = BTreeSet::new();
+        for (a, v) in other.bindings.iter() {
+            if widen_at.contains(a) {
+                let mut cur = self.bindings.get(a).copied().unwrap_or(Interval::Empty);
+                if cur.widen_in_place(*v) {
+                    self.bindings.insert(a.clone(), cur);
+                    changed.insert(a.clone());
+                }
+            } else if self.bindings.join_at_in_place(a.clone(), *v) {
+                changed.insert(a.clone());
+            }
+        }
+        changed
+    }
+}
+
+impl<A: Address> FromIterator<(A, Interval)> for IntervalStore<A> {
+    fn from_iter<T: IntoIterator<Item = (A, Interval)>>(iter: T) -> Self {
+        let mut store = IntervalStore::new();
+        for (a, d) in iter {
+            store.bind_in_place(a, d);
+        }
+        store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    type S = IntervalStore<u8>;
+
+    #[test]
+    fn bind_is_a_weak_update() {
+        let s = S::new()
+            .bind(1, Interval::singleton(3))
+            .bind(1, Interval::singleton(7));
+        assert_eq!(s.fetch(&1), Interval::range(3, 7));
+        assert_eq!(s.fetch(&9), Interval::Empty);
+        assert!(s.contains(&1) && !s.contains(&9));
+    }
+
+    #[test]
+    fn replace_is_a_strong_update() {
+        let s = S::new()
+            .bind(1, Interval::range(0, 9))
+            .replace(1, Interval::singleton(4));
+        assert_eq!(s.fetch(&1), Interval::singleton(4));
+    }
+
+    #[test]
+    fn widen_delta_widens_only_designated_addresses() {
+        let mut s = S::new()
+            .bind(1, Interval::range(0, 1))
+            .bind(2, Interval::range(0, 1));
+        let delta: S = [(1u8, Interval::range(0, 2)), (2, Interval::range(0, 2))]
+            .into_iter()
+            .collect();
+        let widen_at = [1u8].into_iter().collect();
+        let changed = s.widen_in_place_delta(delta, &widen_at);
+        assert_eq!(changed, [1u8, 2].into_iter().collect());
+        // Address 1 widened its unstable bound away; address 2 only joined.
+        assert_eq!(s.fetch(&1), Interval::at_least(0));
+        assert_eq!(s.fetch(&2), Interval::range(0, 2));
+    }
+
+    #[test]
+    fn widen_delta_with_no_points_is_the_join_delta() {
+        let base = S::new().bind(1, Interval::range(0, 1));
+        let delta: S = [(1u8, Interval::range(0, 2))].into_iter().collect();
+
+        let mut widened = base.clone();
+        let w_changed = widened.widen_in_place_delta(delta.clone(), &BTreeSet::new());
+        let mut joined = base;
+        let j_changed = joined.join_in_place_delta(delta);
+        assert_eq!(widened, joined);
+        assert_eq!(w_changed, j_changed);
+    }
+
+    #[test]
+    fn narrowing_recovers_finite_bounds_pointwise() {
+        let mut s = S::new()
+            .bind(1, Interval::at_least(0))
+            .bind(2, Interval::range(0, 5));
+        let image: S = [(1u8, Interval::range(0, 10)), (2, Interval::range(0, 5))]
+            .into_iter()
+            .collect();
+        assert!(s.narrow_in_place(image));
+        assert_eq!(s.fetch(&1), Interval::range(0, 10));
+        assert_eq!(s.fetch(&2), Interval::range(0, 5));
+        assert_eq!(s.finite_bound_count(), 2);
+    }
+
+    proptest! {
+        /// The widen-delta law: the result is an upper bound of both
+        /// stores, and the reported addresses are exactly those whose
+        /// binding changed.
+        #[test]
+        fn prop_widen_delta_is_upper_bound_with_exact_delta(
+            // The vendored proptest has no signed-range strategy, so lows
+            // are sampled as offsets and shifted into [-5, 5).
+            xs in proptest::collection::vec((0u8..6, 0u64..10, 0u64..5), 0..10),
+            ys in proptest::collection::vec((0u8..6, 0u64..10, 0u64..5), 0..10),
+            points in proptest::collection::btree_set(0u8..6, 0..6),
+        ) {
+            let mk = |entries: &[(u8, u64, u64)]| -> S {
+                entries
+                    .iter()
+                    .map(|&(a, lo, len)| {
+                        let lo = lo as i64 - 5;
+                        (a, Interval::range(lo, lo + len as i64))
+                    })
+                    .collect()
+            };
+            let s1 = mk(&xs);
+            let s2 = mk(&ys);
+            let mut widened = s1.clone();
+            let changed = widened.widen_in_place_delta(s2.clone(), &points);
+            prop_assert!(s1.leq(&widened));
+            prop_assert!(s2.leq(&widened));
+            for a in 0u8..6 {
+                prop_assert_eq!(
+                    changed.contains(&a),
+                    widened.fetch(&a) != s1.fetch(&a),
+                    "address {}", a
+                );
+            }
+        }
+    }
+}

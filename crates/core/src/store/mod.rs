@@ -15,9 +15,11 @@
 
 mod basic;
 mod counting;
+mod interval;
 
 pub use basic::BasicStore;
 pub use counting::{Counter, CountingStore};
+pub use interval::IntervalStore;
 
 use std::collections::BTreeSet;
 use std::fmt::Debug;
@@ -187,7 +189,7 @@ pub trait StoreDelta<A: Address>: StoreLike<A> {
     /// `self ⊔ other` and returns every address whose binding observably
     /// changed (value set or auxiliary data such as counts).
     ///
-    /// This is the incremental engine's widening primitive: folding a
+    /// This is the incremental engine's accumulation primitive: folding a
     /// step's result store into the running global store yields the delta
     /// for dependency invalidation directly, with no snapshot clone and no
     /// after-the-fact [`StoreDelta::changed_addresses`] diff.  The returned
@@ -195,6 +197,25 @@ pub trait StoreDelta<A: Address>: StoreLike<A> {
     /// growth (a join can only grow), and the flag-free join law holds:
     /// the set is empty iff `other ⊑ old_self`.
     fn join_in_place_delta(&mut self, other: Self) -> BTreeSet<A>;
+
+    /// Like [`StoreDelta::join_in_place_delta`], but accumulating with the
+    /// co-domain's *widening* at the addresses in `widen_at` (plain join
+    /// everywhere else).  This is the engines' widening point: when a
+    /// store's co-domain has infinite height (e.g.
+    /// [`Interval`](crate::lattice::Interval)), an address that keeps
+    /// growing round after round is designated a widening point and its
+    /// accumulation switches from `⊔` to `▽`, so the per-address chain —
+    /// and with it the fixpoint iteration — stabilises.
+    ///
+    /// The default ignores `widen_at` and joins: for finite-height
+    /// co-domains (power-sets, counted power-sets) the join *is* a
+    /// terminating widening, and the engines' behaviour is unchanged.
+    /// Stores over infinite-height co-domains
+    /// ([`IntervalStore`]) override it.
+    fn widen_in_place_delta(&mut self, other: Self, widen_at: &BTreeSet<A>) -> BTreeSet<A> {
+        let _ = widen_at;
+        self.join_in_place_delta(other)
+    }
 }
 
 #[cfg(test)]

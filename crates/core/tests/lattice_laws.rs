@@ -22,7 +22,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use mai_core::env::CowSet;
-use mai_core::lattice::{AbsNat, Flat, Lattice};
+use mai_core::lattice::{AbsNat, Flat, Interval, Lattice, WidenLattice};
 use mai_core::pmap::PMap;
 use mai_core::store::{BasicStore, CountingStore, StoreLike};
 use proptest::prelude::*;
@@ -139,6 +139,25 @@ fn counting_entry() -> BoxedStrategy<(CowSet<u8>, AbsNat)> {
     (cow_set(), absnat()).boxed()
 }
 
+/// Arbitrary intervals over a small window of ℤ, including the unbounded
+/// shapes.  The vendored proptest only implements `Strategy` for unsigned
+/// ranges, so bounds are sampled as offsets and shifted into `[-5, 6]`.
+fn interval() -> BoxedStrategy<Interval> {
+    let small = || (0u8..12).prop_map(|n| n as i64 - 5);
+    prop_oneof![
+        Just(Interval::Empty),
+        small().prop_map(Interval::singleton),
+        small().prop_map(Interval::at_least),
+        small().prop_map(Interval::at_most),
+        (small(), small()).prop_map(|(a, b)| Interval::range(a.min(b), a.max(b))),
+        Just(Interval::Range(
+            mai_core::lattice::Lo::NegInf,
+            mai_core::lattice::Hi::PosInf
+        )),
+    ]
+    .boxed()
+}
+
 fn basic_store() -> BoxedStrategy<BasicStore<u8, u8>> {
     proptest::collection::vec((0u8..5, 0u8..6), 0..8)
         .prop_map(|pairs| {
@@ -180,6 +199,72 @@ lattice_laws!(pmap_carrier_laws, PMap<u8, CowSet<u8>>, pmap_carrier());
 lattice_laws!(counting_entry_laws, (CowSet<u8>, AbsNat), counting_entry());
 lattice_laws!(basic_store_laws, BasicStore<u8, u8>, basic_store());
 lattice_laws!(counting_store_laws, CountingStore<u8, u8>, counting_store());
+lattice_laws!(interval_laws, Interval, interval());
+
+/// The widening laws that make `Interval` — an *infinite-height* lattice —
+/// safe to iterate: `▽` is an upper bound of both arguments, it absorbs
+/// like the join on the flag side, and every widened chain
+/// `x_{n+1} = x_n ▽ f(x_n)` stabilises in finitely many steps.
+mod interval_widening_laws {
+    use super::*;
+
+    proptest! {
+        #[test]
+        fn prop_widen_is_an_upper_bound(a in interval(), b in interval()) {
+            let mut w = a;
+            let changed = w.widen_in_place(b);
+            prop_assert!(a.leq(&w), "{a:?} ⋢ {a:?} ▽ {b:?} = {w:?}");
+            prop_assert!(b.leq(&w), "{b:?} ⋢ {a:?} ▽ {b:?} = {w:?}");
+            // The flag mirrors the join law: no growth ⟺ other ⊑ self.
+            prop_assert_eq!(changed, !b.leq(&a));
+            // Re-widening an absorbed value never reports growth.
+            prop_assert!(!{ let mut w2 = w; w2.widen_in_place(b) });
+        }
+
+        #[test]
+        fn prop_narrow_refines_within_the_order(a in interval(), b in interval()) {
+            // Narrowing from a value below self stays between it and self:
+            // b ⊑ a  ⟹  b ⊑ (a △ b) ⊑ a.
+            if b.leq(&a) {
+                let mut n = a;
+                n.narrow_in_place(b);
+                prop_assert!(b.leq(&n), "{b:?} ⋢ {a:?} △ {b:?} = {n:?}");
+                prop_assert!(n.leq(&a), "{a:?} △ {b:?} = {n:?} ⋢ {a:?}");
+            }
+        }
+
+        #[test]
+        fn prop_widened_chains_stabilise(start in interval(), step in 1u8..4) {
+            // The ascending chain x ↦ x + [step, step] never stabilises
+            // under plain join (infinite height); under widening it must,
+            // within a small bound.  64 steps is far beyond the 2 or 3 an
+            // interval can take (each bound jumps to ±∞ at most once).
+            let step = Interval::singleton(step as i64);
+            let mut x = start;
+            let mut stable = false;
+            for _ in 0..64 {
+                let next = x + step;
+                if !x.widen_in_place(next) {
+                    stable = true;
+                    break;
+                }
+            }
+            prop_assert!(stable, "widened chain failed to stabilise at {x:?}");
+        }
+
+        #[test]
+        fn prop_join_chains_do_not_stabilise_without_widening(lo in 0u8..5) {
+            // The counterpoint pinning why widening is *needed*: the same
+            // chain under plain join grows forever (here: checked to keep
+            // growing for 64 steps from any small singleton).
+            let mut x = Interval::singleton(lo as i64);
+            for _ in 0..64 {
+                let next = x + Interval::singleton(1);
+                prop_assert!(x.join_in_place(next), "join chain stabilised at {x:?}");
+            }
+        }
+    }
+}
 
 /// The two carriers implement the *same* point-wise lattice: building the
 /// identical content on both and joining the identical other side yields

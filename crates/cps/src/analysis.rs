@@ -310,6 +310,7 @@ where
     C: Context + std::hash::Hash,
     S: StoreLike<C::Addr, D = BTreeSet<Val<C::Addr>>>
         + mai_core::store::StoreDelta<C::Addr>
+        + mai_core::lattice::WidenLattice
         + Value,
 {
     explore_frontier_ladder(
@@ -892,6 +893,23 @@ pub fn analyse_concrete_collecting(
     )
 }
 
+/// The abstract errors observable in a set of reachable states: the
+/// power-set of error messages carried by stuck ([`CExp::Error`]) states.
+/// This is the analysis-level output of the error layer threaded through
+/// [`mnext`] — a program point that abstracts to
+/// a stuck configuration (unbound variable, arity mismatch) shows up
+/// here instead of vanishing as a silently dropped branch.
+pub fn abstract_errors<'a, A, I>(states: I) -> BTreeSet<String>
+where
+    A: 'a,
+    I: IntoIterator<Item = &'a PState<A>>,
+{
+    states
+        .into_iter()
+        .filter_map(|ps| ps.error().map(str::to_owned))
+        .collect()
+}
+
 /// A flow set: which λ-abstractions may be bound to each variable.
 pub type FlowMap = BTreeMap<Name, BTreeSet<Lambda>>;
 
@@ -1014,6 +1032,34 @@ mod tests {
             .distinct_states()
             .iter()
             .any(PState::is_final));
+    }
+
+    #[test]
+    fn stuck_programs_surface_as_abstract_errors() {
+        // The operator references an unbound variable, so the only way
+        // this program can end is the error state.
+        let open = parse_program("(free (λ (r) exit))").unwrap();
+        let mono = analyse_mono(&open);
+        let states = mono.distinct_states();
+        let errors = abstract_errors(states.iter());
+        assert!(
+            errors.iter().any(|m| m.contains("unbound variable `free`")),
+            "expected an unbound-variable error, got {errors:?}"
+        );
+        assert!(!states.iter().any(PState::is_final));
+
+        // An arity mismatch surfaces the same way.
+        let mismatch = parse_program("((λ (x k) (k x)) (λ (y) exit))").unwrap();
+        let shared = analyse_kcfa_shared::<1>(&mismatch);
+        let errors = abstract_errors(shared.distinct_states().iter());
+        assert!(
+            errors.iter().any(|m| m.contains("arity mismatch")),
+            "expected an arity-mismatch error, got {errors:?}"
+        );
+
+        // A well-formed program reports no abstract errors.
+        let closed = analyse_mono(&identity_program());
+        assert!(abstract_errors(closed.distinct_states().iter()).is_empty());
     }
 
     #[test]

@@ -71,10 +71,10 @@ impl Heap {
 ///
 /// # Panics
 ///
-/// Looking up an unbound variable or reading an unwritten address panics:
-/// the concrete semantics is a partial function, and such programs are
-/// simply stuck.  [`interpret_with_limit`] documents this at the driver
-/// level.
+/// The unbound-variable and read-before-write panics are defensive
+/// invariants: `mnext`'s pure stuck checks turn unbound references into
+/// [`CExp::Error`] states before `fun`/`arg` run, and fresh allocation
+/// writes every address before it can be read.
 impl CpsInterface<HeapAddr> for StateM<Heap> {
     fn fun(env: &Env<HeapAddr>, e: &AExp) -> Self::M<Val<HeapAddr>> {
         match e {
@@ -142,6 +142,18 @@ pub enum Outcome {
         /// The heap at that point.
         heap: Heap,
     },
+    /// The program got stuck (e.g. on an unbound variable or an arity
+    /// mismatch) — the concrete counterpart of the abstract error layer:
+    /// `mnext` produced an error state instead of panicking, so
+    /// stuckness is an outcome, not a crash.
+    Stuck {
+        /// The stuck (error) machine state.
+        state: PState<HeapAddr>,
+        /// The heap at that point.
+        heap: Heap,
+        /// How many transitions were taken.
+        steps: usize,
+    },
 }
 
 impl Outcome {
@@ -153,14 +165,26 @@ impl Outcome {
     /// The final (or last) state.
     pub fn state(&self) -> &PState<HeapAddr> {
         match self {
-            Outcome::Halted { state, .. } | Outcome::OutOfFuel { state, .. } => state,
+            Outcome::Halted { state, .. }
+            | Outcome::OutOfFuel { state, .. }
+            | Outcome::Stuck { state, .. } => state,
+        }
+    }
+
+    /// The error message, if the run got stuck.
+    pub fn stuck_message(&self) -> Option<&str> {
+        match self {
+            Outcome::Stuck { state, .. } => state.error(),
+            _ => None,
         }
     }
 
     /// The final (or last) heap.
     pub fn heap(&self) -> &Heap {
         match self {
-            Outcome::Halted { heap, .. } | Outcome::OutOfFuel { heap, .. } => heap,
+            Outcome::Halted { heap, .. }
+            | Outcome::OutOfFuel { heap, .. }
+            | Outcome::Stuck { heap, .. } => heap,
         }
     }
 }
@@ -168,11 +192,8 @@ impl Outcome {
 /// Runs a CPS program with the concrete interpreter — the paper's
 /// `interpret` driver loop of §4 — with a step budget so that divergent
 /// programs return [`Outcome::OutOfFuel`] instead of looping forever.
-///
-/// # Panics
-///
-/// Panics if the program gets stuck (reads an unbound variable), which
-/// cannot happen for closed programs produced by [`crate::parser`].
+/// Stuck programs (unbound variable, arity mismatch) return
+/// [`Outcome::Stuck`].
 pub fn interpret_with_limit(program: &CExp, max_steps: usize) -> Outcome {
     interpret_governed(program, &Budget::unlimited().with_max_steps(max_steps))
 }
@@ -180,12 +201,8 @@ pub fn interpret_with_limit(program: &CExp, max_steps: usize) -> Outcome {
 /// Runs a CPS program under a [`Budget`]: the governor is consulted before
 /// every machine transition, so step limits, deadlines and cancellation
 /// all land within one transition.  A concrete run has no rounds, so the
-/// budget's round count advances in lockstep with its step count.
-///
-/// # Panics
-///
-/// Panics if the program gets stuck (reads an unbound variable), which
-/// cannot happen for closed programs produced by [`crate::parser`].
+/// budget's round count advances in lockstep with its step count.  Stuck
+/// programs return [`Outcome::Stuck`].
 pub fn interpret_governed(program: &CExp, budget: &Budget) -> Outcome {
     let mut state = PState::inject(program.clone());
     let mut heap = Heap::new();
@@ -193,6 +210,11 @@ pub fn interpret_governed(program: &CExp, budget: &Budget) -> Outcome {
     loop {
         if state.is_final() {
             return Outcome::Halted { state, heap, steps };
+        }
+        // Error states self-loop (they are final for `mnext`), so the
+        // driver surfaces them as an outcome instead of spinning.
+        if state.is_error() {
+            return Outcome::Stuck { state, heap, steps };
         }
         if budget.exhausted(steps, steps).is_some() {
             return Outcome::OutOfFuel { state, heap };
@@ -206,11 +228,8 @@ pub fn interpret_governed(program: &CExp, budget: &Budget) -> Outcome {
 }
 
 /// Runs a CPS program to completion with a generous default step budget.
-///
-/// # Panics
-///
-/// Panics if the program gets stuck.  Divergent programs are reported as
-/// [`Outcome::OutOfFuel`] after 1 000 000 steps.
+/// Stuck programs return [`Outcome::Stuck`]; divergent programs are
+/// reported as [`Outcome::OutOfFuel`] after 1 000 000 steps.
 pub fn interpret(program: &CExp) -> Outcome {
     interpret_with_limit(program, 1_000_000)
 }
@@ -234,7 +253,7 @@ mod tests {
         let out = interpret(&CExp::Exit);
         match out {
             Outcome::Halted { steps, .. } => assert_eq!(steps, 0),
-            Outcome::OutOfFuel { .. } => panic!("exit must halt"),
+            Outcome::OutOfFuel { .. } | Outcome::Stuck { .. } => panic!("exit must halt"),
         }
     }
 
@@ -273,9 +292,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unbound variable")]
     fn open_programs_get_stuck() {
         let p = CExp::call(mai_core::name::Label::new(1), AExp::var("free"), vec![]);
-        let _ = interpret(&p);
+        let out = interpret(&p);
+        assert!(!out.halted());
+        let message = out.stuck_message().expect("open program must get stuck");
+        assert!(
+            message.contains("unbound variable `free`"),
+            "unexpected stuck message: {message}"
+        );
+    }
+
+    #[test]
+    fn arity_mismatches_get_stuck() {
+        // ((λ (x k) (k x)) (λ (y) exit)) — a two-parameter callee applied
+        // to one argument.
+        let p = parse_program("((λ (x k) (k x)) (λ (y) exit))").unwrap();
+        let out = interpret(&p);
+        let message = out.stuck_message().expect("arity mismatch must get stuck");
+        assert!(
+            message.contains("arity mismatch"),
+            "unexpected stuck message: {message}"
+        );
     }
 }

@@ -114,6 +114,7 @@ mod tests {
         match interpret_with_limit(&program, 1_000_000) {
             Outcome::Halted { heap, .. } => heap.allocations_for(&Name::from("cf")),
             Outcome::OutOfFuel { .. } => panic!("church decoding diverged"),
+            Outcome::Stuck { state, .. } => panic!("church decoding got stuck at {state:?}"),
         }
     }
 

@@ -16,7 +16,7 @@ use std::collections::BTreeSet;
 use mai_core::addr::Context;
 use mai_core::store::{fetch_filtered, StoreLike};
 
-use crate::semantics::{Env, PState, Val};
+use crate::semantics::{arity_mismatch, first_unbound, Env, PState, Val};
 use crate::syntax::{AExp, CExp};
 
 /// The branch vector of one direct-style CPS transition.
@@ -63,13 +63,39 @@ where
 {
     let (f, args) = match &ps.call {
         CExp::Call { f, args, .. } => (f.clone(), args.clone()),
-        CExp::Exit => return vec![((ps, ctx), store)],
+        CExp::Exit | CExp::Error(_) => return vec![((ps, ctx), store)],
     };
+    // Same pure stuck check as the Rc carrier's `mnext`: an unbound
+    // reference becomes an error state, not an empty branch set.
+    if let Some(v) = first_unbound(&ps.env, &f, &args) {
+        return vec![(
+            (
+                PState::new(CExp::Error(format!("unbound variable `{}`", v)), Env::new()),
+                ctx,
+            ),
+            store,
+        )];
+    }
     let site = ps.site();
     let env = ps.env.clone();
 
     let mut out = Vec::new();
     for proc in atomic::<C, S>(&env, &f, &store) {
+        // Arity mismatches error per callee branch, before the tick —
+        // matching `mnext`, whose check precedes the monadic `tick`.
+        if proc.lambda().params().len() != args.len() {
+            out.push((
+                (
+                    PState::new(
+                        CExp::Error(arity_mismatch(proc.lambda(), args.len())),
+                        Env::new(),
+                    ),
+                    ctx.clone(),
+                ),
+                store.clone(),
+            ));
+            continue;
+        }
         // tick: advance the context across this call (per callee branch,
         // exactly as the Rc carrier's state threading does).
         let ticked = ctx.clone().advance(site);

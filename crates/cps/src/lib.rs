@@ -43,7 +43,7 @@ pub mod semantics;
 pub mod syntax;
 
 pub use analysis::{
-    analyse, analyse_concrete_collecting, analyse_gc, analyse_gc_worklist,
+    abstract_errors, analyse, analyse_concrete_collecting, analyse_gc, analyse_gc_worklist,
     analyse_gc_worklist_rescan, analyse_gc_worklist_structural, analyse_kcfa,
     analyse_kcfa_count_cloned, analyse_kcfa_count_cloned_worklist, analyse_kcfa_gc,
     analyse_kcfa_gc_worklist, analyse_kcfa_shared, analyse_kcfa_shared_gc,

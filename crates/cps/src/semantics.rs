@@ -112,6 +112,19 @@ impl<A> PState<A> {
         self.call.is_exit()
     }
 
+    /// Whether this state is stuck on an abstract error.
+    pub fn is_error(&self) -> bool {
+        matches!(self.call, CExp::Error(_))
+    }
+
+    /// The error message, if this state is stuck.
+    pub fn error(&self) -> Option<&str> {
+        match &self.call {
+            CExp::Error(msg) => Some(msg),
+            _ => None,
+        }
+    }
+
     /// The label of the call site this state is about to execute.
     pub fn site(&self) -> Label {
         self.call.label()
@@ -194,9 +207,12 @@ pub trait CpsInterface<A: Address>: MonadFamily {
 /// mnext ς = return ς
 /// ```
 ///
-/// Exit states (and stuck states — a call whose operator evaluates to
-/// nothing) simply produce no successors or themselves, depending on the
-/// monad's notion of failure.
+/// Exit states step to themselves.  Stuck transitions — an unbound
+/// variable in operator or operand position, or an arity mismatch between
+/// callee and call — step to an [`CExp::Error`] state (which then steps to
+/// itself): the error layer.  Both checks are *pure* (the environment and
+/// the callee's parameter list live outside the monad), so every carrier,
+/// concrete or abstract, produces the identical error successor.
 pub fn mnext<M, A>(ps: PState<A>) -> M::M<PState<A>>
 where
     M: CpsInterface<A>,
@@ -204,9 +220,21 @@ where
 {
     match ps.call.clone() {
         CExp::Call { f, args, .. } => {
+            if let Some(v) = first_unbound(&ps.env, &f, &args) {
+                return M::pure(PState::new(
+                    CExp::Error(format!("unbound variable `{}`", v)),
+                    Env::new(),
+                ));
+            }
             let env = ps.env.clone();
             let state = ps;
             M::bind(M::fun(&env, &f), move |proc| {
+                if proc.lambda().params().len() != args.len() {
+                    return M::pure(PState::new(
+                        CExp::Error(arity_mismatch(proc.lambda(), args.len())),
+                        Env::new(),
+                    ));
+                }
                 // Each non-deterministic callee gets its own copies.
                 let env = env.clone();
                 let args = args.clone();
@@ -259,8 +287,27 @@ where
                 })
             })
         }
-        CExp::Exit => M::pure(ps),
+        CExp::Exit | CExp::Error(_) => M::pure(ps),
     }
+}
+
+/// The first unbound variable reference of a call, operator position
+/// first, operands left to right — shared by both carriers so the error
+/// state (and its message) is byte-identical.
+pub(crate) fn first_unbound<A>(env: &Env<A>, f: &AExp, args: &[AExp]) -> Option<Var> {
+    std::iter::once(f).chain(args.iter()).find_map(|e| match e {
+        AExp::Ref(v) if env.get(v).is_none() => Some(v.clone()),
+        _ => None,
+    })
+}
+
+/// The arity-mismatch message for applying `lambda` to `got` arguments.
+pub(crate) fn arity_mismatch(lambda: &Lambda, got: usize) -> String {
+    format!(
+        "arity mismatch: callee takes {} arguments, call passes {}",
+        lambda.params().len(),
+        got
+    )
 }
 
 #[cfg(test)]

@@ -191,6 +191,15 @@ pub enum CExp {
     },
     /// The final state of the machine.
     Exit,
+    /// A stuck control point, carrying an abstract error message.
+    ///
+    /// **Not source syntax**: the parser and builders never produce it.
+    /// In CPS the machine's control component *is* a call expression, so
+    /// the abstract error layer lives here — [`crate::semantics::mnext`]
+    /// manufactures an `Error` state when a transition gets stuck (an
+    /// unbound variable, an arity mismatch), making stuckness a
+    /// reachable, observable state instead of a silently dropped branch.
+    Error(String),
 }
 
 /// Call expressions hash by their label alone (see [`Lambda`]'s `Hash` for
@@ -210,11 +219,12 @@ impl CExp {
         CExp::Call { label, f, args }
     }
 
-    /// The label of this call site ([`Label::none`] for `exit`).
+    /// The label of this call site ([`Label::none`] for `exit` and error
+    /// states).
     pub fn label(&self) -> Label {
         match self {
             CExp::Call { label, .. } => *label,
-            CExp::Exit => Label::none(),
+            CExp::Exit | CExp::Error(_) => Label::none(),
         }
     }
 
@@ -233,7 +243,7 @@ impl CExp {
                 }
                 free
             }
-            CExp::Exit => std::collections::BTreeSet::new(),
+            CExp::Exit | CExp::Error(_) => std::collections::BTreeSet::new(),
         }
     }
 
@@ -309,6 +319,7 @@ impl fmt::Display for CExp {
                 write!(f, ")")
             }
             CExp::Exit => write!(f, "exit"),
+            CExp::Error(msg) => write!(f, "(error {:?})", msg),
         }
     }
 }

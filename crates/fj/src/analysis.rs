@@ -364,6 +364,7 @@ where
     C: Context + std::hash::Hash,
     S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>>
         + mai_core::store::StoreDelta<C::Addr>
+        + mai_core::lattice::WidenLattice
         + Value,
 {
     let table = program.table.clone();
@@ -874,6 +875,22 @@ where
         .collect()
 }
 
+/// The set of abstract error messages among the reachable states — the
+/// observable output of the abstract error layer.  Stuck states are final
+/// for [`mnext`] (they self-loop), so the fixpoint's power-set of reachable
+/// states collects every way the program may go wrong (failed casts,
+/// unknown classes, arity mismatches, unbound variables).
+pub fn abstract_errors<'a, A, I>(states: I) -> BTreeSet<String>
+where
+    A: 'a,
+    I: IntoIterator<Item = &'a PState<A>>,
+{
+    states
+        .into_iter()
+        .filter_map(|ps| ps.error().map(str::to_owned))
+        .collect()
+}
+
 /// States that may report the class of their halt value.
 pub trait ResultClass {
     /// The dynamic class of the halt value, if this state is a halt state.
@@ -996,6 +1013,34 @@ mod tests {
         let result = analyse_mono(&program);
         assert!(result.distinct_states().iter().any(PState::is_stuck));
         assert!(!result.distinct_states().iter().any(PState::is_final));
+    }
+
+    #[test]
+    fn stuck_states_surface_as_abstract_errors() {
+        // A failed downcast is an observable analysis fact.
+        let result = analyse_mono(&programs::bad_downcast());
+        let errors = abstract_errors(result.distinct_states().iter());
+        assert!(
+            errors.iter().any(|m| m.contains("failed cast")),
+            "unexpected error set: {errors:?}"
+        );
+
+        // An unbound variable errors through the pure env-miss check.
+        let open = Program {
+            table: programs::bad_downcast().table,
+            main: crate::syntax::Expr::var("free"),
+        };
+        let result = analyse_mono(&open);
+        let errors = abstract_errors(result.distinct_states().iter());
+        assert!(
+            errors.iter().any(|m| m.contains("unbound variable `free`")),
+            "unexpected error set: {errors:?}"
+        );
+        assert!(!result.distinct_states().iter().any(PState::is_final));
+
+        // A well-behaved program reports no errors.
+        let result = analyse_mono(&programs::pair_fst());
+        assert!(abstract_errors(result.distinct_states().iter()).is_empty());
     }
 
     #[test]

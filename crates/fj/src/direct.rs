@@ -230,7 +230,11 @@ where
                             )
                         })
                         .collect(),
-                    None => Vec::new(),
+                    // Same pure env-miss check as `mnext`: an unbound
+                    // variable becomes a stuck state, not an empty branch
+                    // set (which the fixpoint could not distinguish from
+                    // an unreached program point).
+                    None => vec![((stuck(format!("unbound variable `{}`", v)), ctx), store)],
                 },
                 Expr::FieldAccess {
                     label,

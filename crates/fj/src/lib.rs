@@ -40,7 +40,7 @@ pub mod syntax;
 pub mod typecheck;
 
 pub use analysis::{
-    analyse, analyse_kcfa, analyse_kcfa_shared, analyse_kcfa_shared_gc,
+    abstract_errors, analyse, analyse_kcfa, analyse_kcfa_shared, analyse_kcfa_shared_gc,
     analyse_kcfa_shared_gc_worklist, analyse_kcfa_shared_rescan, analyse_kcfa_shared_structural,
     analyse_kcfa_shared_worklist, analyse_kcfa_with_count, analyse_kcfa_with_count_worklist,
     analyse_kcfa_worklist, analyse_mono, analyse_mono_worklist, analyse_with_gc,

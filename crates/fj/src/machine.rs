@@ -275,6 +275,17 @@ impl<A> PState<A> {
         matches!(self.control, Control::Stuck(_))
     }
 
+    /// The abstract error message, if the machine is stuck.  Stuck states
+    /// are final for [`mnext`] (they self-loop), so the analysis' power-set
+    /// of reachable states collects them — the FJ face of the `Either`-style
+    /// abstract error layer shared with the two λ-calculi.
+    pub fn error(&self) -> Option<&str> {
+        match &self.control {
+            Control::Stuck(why) => Some(why),
+            _ => None,
+        }
+    }
+
     /// The result object, if the machine has halted.
     pub fn result(&self) -> Option<&Obj<A>> {
         match &self.control {
@@ -451,6 +462,12 @@ where
     let env = ps.env.clone();
     let kont = ps.kont.clone();
     match expr.as_ref().clone() {
+        // The environment lives in the state, not the monad, so an unbound
+        // variable is detected *before* the monadic lookup — the check (and
+        // the stuck successor it produces) is identical on every carrier.
+        Expr::Var(v) if env.get(&v).is_none() => {
+            M::pure(stuck(format!("unbound variable `{}`", v)))
+        }
         Expr::Var(v) => M::bind(M::lookup(&env, &v), move |obj| {
             M::pure(PState {
                 control: Control::Value(obj),

@@ -446,6 +446,7 @@ where
     C: Context + std::hash::Hash,
     S: StoreLike<C::Addr, D = BTreeSet<Storable<C::Addr>>>
         + mai_core::store::StoreDelta<C::Addr>
+        + mai_core::lattice::WidenLattice
         + Value,
 {
     explore_frontier_ladder(
@@ -798,6 +799,23 @@ pub fn analyse_kcfa_shared_ladder<const K: usize>(
     analyse_worklist_ladder::<KCallCtx<K>, KCeskStore>(term, config, budget)
 }
 
+/// The abstract errors observable in a set of reachable states: the
+/// power-set of error messages carried by stuck states.  This is the
+/// analysis-level output of the error layer threaded through
+/// [`mnext`] — a program point that abstracts to a stuck configuration
+/// (an unbound variable, say) shows up here instead of vanishing as a
+/// silently dropped branch.
+pub fn abstract_errors<'a, A, I>(states: I) -> BTreeSet<String>
+where
+    A: 'a,
+    I: IntoIterator<Item = &'a PState<A>>,
+{
+    states
+        .into_iter()
+        .filter_map(|ps| ps.error().map(str::to_owned))
+        .collect()
+}
+
 /// Which λ-abstraction parameters each variable may be bound to, extracted
 /// from a CESK store (continuation entries are ignored).
 pub fn flow_map_of_store<A, S>(store: &S) -> std::collections::BTreeMap<Name, BTreeSet<Var>>
@@ -907,6 +925,26 @@ mod tests {
         for ps in cloned.distinct_states() {
             assert!(shared.distinct_states().contains(&ps));
         }
+    }
+
+    #[test]
+    fn unbound_variables_surface_as_abstract_errors() {
+        let mut b = TermBuilder::new();
+        let t = b.app(Term::lam("x", Term::var("x")), Term::var("free"));
+        let mono = analyse_mono(&t);
+        let states = mono.distinct_states();
+        let errors = abstract_errors(states.iter());
+        assert!(
+            errors.iter().any(|m| m.contains("unbound variable `free`")),
+            "expected an unbound-variable error, got {errors:?}"
+        );
+        // The stuck branch is the only way this program can end: no
+        // halted state is reachable.
+        assert!(!states.iter().any(PState::is_final));
+
+        // A closed program reports no abstract errors.
+        let closed = analyse_mono(&identity_app());
+        assert!(abstract_errors(closed.distinct_states().iter()).is_empty());
     }
 
     #[test]

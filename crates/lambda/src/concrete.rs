@@ -139,6 +139,18 @@ pub enum Outcome {
         /// The heap at that point.
         heap: Heap,
     },
+    /// The machine got stuck (e.g. on an unbound variable) — the concrete
+    /// counterpart of the abstract error layer: `mnext` produced an error
+    /// state instead of panicking, so stuckness is an outcome, not a
+    /// crash.
+    Stuck {
+        /// The error message carried by the stuck state.
+        message: String,
+        /// The heap at that point.
+        heap: Heap,
+        /// How many machine transitions were taken.
+        steps: usize,
+    },
 }
 
 impl Outcome {
@@ -151,23 +163,31 @@ impl Outcome {
     pub fn value(&self) -> Option<&Closure<HeapAddr>> {
         match self {
             Outcome::Halted { value, .. } => Some(value),
-            Outcome::OutOfFuel { .. } => None,
+            Outcome::OutOfFuel { .. } | Outcome::Stuck { .. } => None,
+        }
+    }
+
+    /// The error message, if the run got stuck.
+    pub fn stuck_message(&self) -> Option<&str> {
+        match self {
+            Outcome::Stuck { message, .. } => Some(message),
+            _ => None,
         }
     }
 
     /// The heap at the end of the run.
     pub fn heap(&self) -> &Heap {
         match self {
-            Outcome::Halted { heap, .. } | Outcome::OutOfFuel { heap, .. } => heap,
+            Outcome::Halted { heap, .. }
+            | Outcome::OutOfFuel { heap, .. }
+            | Outcome::Stuck { heap, .. } => heap,
         }
     }
 }
 
-/// Evaluates a closed term with the concrete CESK machine.
-///
-/// # Panics
-///
-/// Panics if the term gets stuck (references an unbound variable).
+/// Evaluates a closed term with the concrete CESK machine.  A term that
+/// gets stuck (references an unbound variable) returns
+/// [`Outcome::Stuck`].
 pub fn evaluate_with_limit(term: &Term, max_steps: usize) -> Outcome {
     evaluate_governed(term, &Budget::unlimited().with_max_steps(max_steps))
 }
@@ -176,11 +196,7 @@ pub fn evaluate_with_limit(term: &Term, max_steps: usize) -> Outcome {
 /// before every machine transition, so step limits, deadlines and
 /// cancellation all land within one transition.  A concrete run has no
 /// rounds, so the budget's round count advances in lockstep with its step
-/// count.
-///
-/// # Panics
-///
-/// Panics if the term gets stuck (references an unbound variable).
+/// count.  A stuck term returns [`Outcome::Stuck`].
 pub fn evaluate_governed(term: &Term, budget: &Budget) -> Outcome {
     let mut state = PState::inject(term.clone());
     let mut heap = Heap::new();
@@ -189,6 +205,15 @@ pub fn evaluate_governed(term: &Term, budget: &Budget) -> Outcome {
         if let Some(value) = state.result() {
             return Outcome::Halted {
                 value: value.clone(),
+                heap,
+                steps,
+            };
+        }
+        // Error states self-loop (they are final for `mnext`), so the
+        // driver surfaces them as an outcome instead of spinning.
+        if let Some(message) = state.error() {
+            return Outcome::Stuck {
+                message: message.to_owned(),
                 heap,
                 steps,
             };
@@ -203,11 +228,8 @@ pub fn evaluate_governed(term: &Term, budget: &Budget) -> Outcome {
     }
 }
 
-/// Evaluates a closed term with a generous default step budget.
-///
-/// # Panics
-///
-/// Panics if the term gets stuck.
+/// Evaluates a closed term with a generous default step budget.  A stuck
+/// term returns [`Outcome::Stuck`].
 pub fn evaluate(term: &Term) -> Outcome {
     evaluate_with_limit(term, 1_000_000)
 }
@@ -305,8 +327,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unbound variable")]
     fn open_terms_get_stuck() {
-        let _ = evaluate(&Term::var("free"));
+        let out = evaluate(&Term::var("free"));
+        assert!(!out.halted());
+        let message = out.stuck_message().expect("open term must get stuck");
+        assert!(
+            message.contains("unbound variable `free`"),
+            "unexpected stuck message: {message}"
+        );
     }
 }

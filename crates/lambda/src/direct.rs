@@ -73,7 +73,19 @@ where
                         )
                     })
                     .collect(),
-                None => Vec::new(),
+                // Same pure env-miss check as `mnext`: an unbound
+                // variable becomes an error state, not an empty branch
+                // set (which the fixpoint could not distinguish from an
+                // unreached program point).
+                None => vec![pure_branch(
+                    PState {
+                        control: Control::Error(format!("unbound variable `{}`", v)),
+                        env: Env::new(),
+                        kont: ps.kont,
+                    },
+                    ctx,
+                    store,
+                )],
             },
             Term::Lam { param, body } => vec![pure_branch(
                 PState {
@@ -232,7 +244,7 @@ where
                 out
             }
         },
-        Control::Halted(_) => vec![pure_branch(ps, ctx, store)],
+        Control::Halted(_) | Control::Error(_) => vec![pure_branch(ps, ctx, store)],
     }
 }
 
@@ -258,6 +270,33 @@ mod tests {
 
         let (fixpoint, _) = crate::analysis::analyse_kcfa_shared_worklist::<1>(&program);
         assert!(!fixpoint.states().is_empty());
+        for (ps, ctx) in fixpoint.states() {
+            let mut rc: Vec<((PState<KCallAddr>, Ctx), KCeskStore)> = run_store_passing(
+                mnext::<M, KCallAddr>(ps.clone()),
+                ctx.clone(),
+                fixpoint.store().clone(),
+            );
+            let mut direct =
+                mnext_direct::<Ctx, KCeskStore>(ps.clone(), ctx.clone(), fixpoint.store().clone());
+            rc.sort();
+            direct.sort();
+            assert_eq!(rc, direct, "carriers diverged at {ps:?}");
+        }
+    }
+
+    #[test]
+    fn carriers_agree_on_stuck_states_of_an_open_program() {
+        // `(λx. x) free` — the argument position references an unbound
+        // variable, so both carriers must produce the same error state
+        // (and self-loop on it) rather than dropping the branch.
+        let mut b = TermBuilder::new();
+        let program = b.app(Term::lam("x", Term::var("x")), Term::var("free"));
+
+        let (fixpoint, _) = crate::analysis::analyse_kcfa_shared_worklist::<1>(&program);
+        assert!(
+            fixpoint.states().iter().any(|(ps, _)| ps.is_error()),
+            "the unbound variable never surfaced as an error state"
+        );
         for (ps, ctx) in fixpoint.states() {
             let mut rc: Vec<((PState<KCallAddr>, Ctx), KCeskStore)> = run_store_passing(
                 mnext::<M, KCallAddr>(ps.clone()),

@@ -195,6 +195,13 @@ pub enum Control<A> {
     Value(Closure<A>),
     /// The machine has halted with this value.
     Halted(Closure<A>),
+    /// The machine is stuck on an abstract error (e.g. an unbound
+    /// variable), carried as a message.  Error states are final — they
+    /// self-loop like `Halted` — so the abstraction of a stuck execution
+    /// is an observable analysis fact instead of a silently dropped
+    /// branch (an `Either`-style error layer, with the analysis'
+    /// power-set of reachable states collecting the set of messages).
+    Error(String),
 }
 
 impl<A: fmt::Debug> fmt::Debug for Control<A> {
@@ -203,6 +210,7 @@ impl<A: fmt::Debug> fmt::Debug for Control<A> {
             Control::Eval(t) => write!(f, "eval {}", t),
             Control::Value(v) => write!(f, "value {:?}", v),
             Control::Halted(v) => write!(f, "halted {:?}", v),
+            Control::Error(msg) => write!(f, "error {}", msg),
         }
     }
 }
@@ -243,6 +251,19 @@ impl<A> PState<A> {
             _ => None,
         }
     }
+
+    /// Whether the machine is stuck on an abstract error.
+    pub fn is_error(&self) -> bool {
+        matches!(self.control, Control::Error(_))
+    }
+
+    /// The error message, if the machine is stuck.
+    pub fn error(&self) -> Option<&str> {
+        match &self.control {
+            Control::Error(msg) => Some(msg),
+            _ => None,
+        }
+    }
 }
 
 impl<A: fmt::Debug> fmt::Debug for PState<A> {
@@ -260,6 +281,7 @@ impl<A: Address> Touches<A> for PState<A> {
                 .filter_map(|v| self.env.get(v).cloned())
                 .collect(),
             Control::Value(v) | Control::Halted(v) => v.touches(),
+            Control::Error(_) => BTreeSet::new(),
         };
         out.extend(self.kont.clone());
         out
@@ -352,7 +374,7 @@ where
     match ps.control.clone() {
         Control::Eval(term) => step_eval::<M, A>(term, ps),
         Control::Value(value) => step_value::<M, A>(value, ps),
-        Control::Halted(_) => M::pure(ps),
+        Control::Halted(_) | Control::Error(_) => M::pure(ps),
     }
 }
 
@@ -364,6 +386,15 @@ where
     let env = ps.env.clone();
     let kont = ps.kont.clone();
     match term.as_ref().clone() {
+        // The environment lives in the state, not the monad, so an
+        // unbound variable is detected *before* the monadic lookup — the
+        // check (and the error successor it produces) is identical on
+        // every carrier, concrete or abstract.
+        Term::Var(v) if env.get(&v).is_none() => M::pure(PState {
+            control: Control::Error(format!("unbound variable `{}`", v)),
+            env: Env::new(),
+            kont,
+        }),
         Term::Var(v) => M::bind(M::lookup(&env, &v), move |value| {
             M::pure(PState {
                 control: Control::Value(value),

@@ -64,9 +64,10 @@ fn assert_parallel_counters(label: &str, threads: usize, seq: &EngineStats, par:
     assert_eq!(par.cache_hits, seq.cache_hits, "{ctx}: cache_hits");
     assert_eq!(par.reenqueued, seq.reenqueued, "{ctx}: reenqueued");
     assert_eq!(
-        par.store_widenings, seq.store_widenings,
-        "{ctx}: store_widenings"
+        par.store_joins_applied, seq.store_joins_applied,
+        "{ctx}: store_joins_applied"
     );
+    assert_eq!(par.widen_applied, seq.widen_applied, "{ctx}: widen_applied");
     assert_eq!(par.store_joins, seq.store_joins, "{ctx}: store_joins");
     assert_eq!(
         par.rebuild_rounds, seq.rebuild_rounds,
@@ -90,7 +91,8 @@ where
     C: mai_core::addr::Context + std::hash::Hash,
     S: mai_core::store::StoreLike<C::Addr, D = BTreeSet<mai_lambda::Storable<C::Addr>>>
         + mai_core::store::StoreDelta<C::Addr>
-        + mai_core::monad::Value,
+        + mai_core::monad::Value
+        + mai_core::lattice::WidenLattice,
 {
     use mai_lambda::analysis as la;
     type Dom<C, S> =
@@ -144,7 +146,8 @@ where
     C: mai_core::addr::Context + std::hash::Hash,
     S: mai_core::store::StoreLike<C::Addr, D = BTreeSet<mai_cps::Val<C::Addr>>>
         + mai_core::store::StoreDelta<C::Addr>
-        + mai_core::monad::Value,
+        + mai_core::monad::Value
+        + mai_core::lattice::WidenLattice,
 {
     use mai_cps::analysis as ca;
     type Dom<C, S> =
@@ -369,6 +372,263 @@ fn stale_shard_delta_reconverges_through_the_dependency_index() {
             );
             assert_eq!(stats.sync_rounds, stats.iterations);
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The committed interval counting-loop workloads (infinite-height domain)
+// ---------------------------------------------------------------------------
+
+/// A program point of the interval counting loop (see [`counting_step`]).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+struct CountSt(u8);
+
+impl mai_core::StateRoots for CountSt {
+    type Addr = u8;
+
+    fn state_roots(&self) -> BTreeSet<u8> {
+        // Only the loop head reads the counter cell, so only it re-enters
+        // the frontier when the cell grows — the re-enqueue channel the
+        // engines' widening-point selection watches.
+        if self.0 == 1 {
+            [0u8].into_iter().collect()
+        } else {
+            BTreeSet::new()
+        }
+    }
+}
+
+type IStore = mai_core::store::IntervalStore<u8>;
+type IDom = mai_core::SharedStoreDomain<CountSt, u64, IStore>;
+
+/// The counting-loop workload over the infinite-height interval domain:
+/// `0 ⟨x := 0⟩ → 1 ⟨loop head: exit | x := (x ⊓ guard) + 1; goto 1⟩ → 2`.
+/// Under plain join the loop-head contribution grows `x` by one every
+/// round — the latent non-termination the engines' widening machinery
+/// exists for.  `cap = None` counts without bound; `cap = Some(c)` guards
+/// the increment with `x < c`, which the narrowing post-pass can recover
+/// after the widened ascent overshoots to `+∞`.
+fn counting_step(
+    cap: Option<i64>,
+) -> impl Fn(CountSt, u64, IStore) -> Vec<((CountSt, u64), IStore)> + Sync {
+    use mai_core::lattice::{Interval, Lattice, MeetLattice};
+    use mai_core::store::StoreLike;
+    move |ps, g, s| match ps.0 {
+        0 => vec![((CountSt(1), g), s.bind(0u8, Interval::singleton(0)))],
+        1 => {
+            let x = s.fetch(&0u8);
+            let body = match cap {
+                Some(c) => x.meet(Interval::at_most(c - 1)),
+                None => x,
+            };
+            let mut branches = vec![((CountSt(2), g), s.clone())];
+            if !body.is_bottom() {
+                let incremented = body + Interval::singleton(1);
+                branches.push(((CountSt(1), g), s.replace(0u8, incremented)));
+            }
+            branches
+        }
+        _ => vec![((ps, g), s)],
+    }
+}
+
+/// The same loop on the `Rc`-closure carrier (`StorePassing`), desugared
+/// by `run_store_passing` exactly as the language crates' `mnext` is —
+/// the carrier-duality half of the interval workload.
+fn m_counting_step(
+    cap: Option<i64>,
+) -> impl Fn(
+    CountSt,
+) -> <mai_core::monad::StorePassing<u64, IStore> as mai_core::monad::MonadFamily>::M<CountSt> {
+    use mai_core::lattice::{Interval, Lattice, MeetLattice};
+    use mai_core::monad::{
+        MonadFamily, MonadPlus, MonadState, MonadTrans, StateT, StorePassing, VecM,
+    };
+    use mai_core::store::StoreLike;
+    type M = StorePassing<u64, IStore>;
+    move |ps| match ps.0 {
+        0 => {
+            let write =
+                <M as MonadTrans>::lift(<StateT<IStore, VecM> as MonadState<IStore>>::modify(
+                    move |s: IStore| s.bind(0u8, Interval::singleton(0)),
+                ));
+            M::bind(write, |_| M::pure(CountSt(1)))
+        }
+        1 => {
+            let fetched = <M as MonadTrans>::lift(
+                <StateT<IStore, VecM> as MonadState<IStore>>::gets(|s: &IStore| s.fetch(&0u8)),
+            );
+            M::bind(fetched, move |x: Interval| {
+                let body = match cap {
+                    Some(c) => x.meet(Interval::at_most(c - 1)),
+                    None => x,
+                };
+                let exit = M::pure(CountSt(2));
+                if body.is_bottom() {
+                    exit
+                } else {
+                    let incremented = body + Interval::singleton(1);
+                    let write = <M as MonadTrans>::lift(<StateT<IStore, VecM> as MonadState<
+                        IStore,
+                    >>::modify(
+                        move |s: IStore| s.replace(0u8, incremented),
+                    ));
+                    M::mplus(exit, M::bind(write, |_| M::pure(CountSt(1))))
+                }
+            })
+        }
+        _ => M::pure(ps),
+    }
+}
+
+#[test]
+fn interval_counting_loop_diverges_without_widening_and_converges_with_it() {
+    use mai_core::engine::{Budget, ParallelConfig, WidenPolicy};
+    use mai_core::lattice::Interval;
+    use mai_core::monad::run_store_passing;
+    use mai_core::store::StoreLike;
+    use mai_core::{DirectCollecting, ExhaustReason, Outcome, ParallelCollecting, SolveFrom};
+
+    for (cap, expected) in [
+        (None, Interval::at_least(0)),
+        (Some(10), Interval::range(0, 10)),
+    ] {
+        let step = counting_step(cap);
+        let label = match cap {
+            None => "uncapped",
+            Some(_) => "capped",
+        };
+
+        // Without widening the uncapped ascent never stabilises: a step
+        // budget is the only thing that stops it, and it must report
+        // cleanly as budget exhaustion (an under-approximation), not
+        // convergence.  The capped loop has finite height, so join-only
+        // iteration legitimately completes — and pins the precision the
+        // narrowing pass must recover after widening overshoots.
+        let fuel = Budget::unlimited().with_max_steps(64);
+        let (join_only, _) =
+            <IDom as DirectCollecting<CountSt, u64, IStore>>::explore_frontier_governed(
+                &step,
+                SolveFrom::Fresh(CountSt(0)),
+                &fuel,
+            );
+        match cap {
+            None => assert_eq!(
+                join_only.exhaust_reason(),
+                Some(ExhaustReason::StepBudget),
+                "{label}: join-only iteration must starve the step budget"
+            ),
+            Some(_) => {
+                let Outcome::Complete(finite) = join_only else {
+                    panic!("{label}: join-only iteration of a finite chain must converge")
+                };
+                assert_eq!(
+                    finite.store().fetch(&0u8),
+                    expected,
+                    "{label}: join-only counter bound"
+                );
+            }
+        }
+
+        // With widening the same solve completes, and the outcome shape
+        // keeps widening-forced convergence distinguishable from budget
+        // exhaustion.
+        let widened = Budget::unlimited().with_widening(WidenPolicy::after_growths(3));
+        let (outcome, seq_stats) =
+            <IDom as DirectCollecting<CountSt, u64, IStore>>::explore_frontier_governed(
+                &step,
+                SolveFrom::Fresh(CountSt(0)),
+                &widened,
+            );
+        let Outcome::Complete(sequential) = outcome else {
+            panic!("{label}: widened direct solve must converge");
+        };
+        assert_eq!(
+            sequential.store().fetch(&0u8),
+            expected,
+            "{label}: widened (then narrowed) counter bound"
+        );
+        assert!(seq_stats.widen_applied > 0, "{label}: widening never fired");
+
+        // Carrier duality: the Rc-closure step desugars to the identical
+        // solve — fixpoint and every work counter byte-for-byte.
+        let m_step = m_counting_step(cap);
+        let rc_step = move |ps: CountSt, g: u64, s: IStore| run_store_passing(m_step(ps), g, s);
+        let (rc_outcome, rc_stats) =
+            <IDom as DirectCollecting<CountSt, u64, IStore>>::explore_frontier_governed(
+                &rc_step,
+                SolveFrom::Fresh(CountSt(0)),
+                &widened,
+            );
+        let Outcome::Complete(rc) = rc_outcome else {
+            panic!("{label}: widened Rc-carrier solve must converge");
+        };
+        assert_eq!(rc, sequential, "{label}: Rc carrier != direct carrier");
+        assert_eq!(rc_stats, seq_stats, "{label}: Rc carrier work counters");
+
+        // The barrier-parallel driver widens at the coordinator only, so
+        // the fixpoint *and* the deterministic counters reproduce the
+        // sequential direct engine at every thread count.
+        for threads in PARALLEL_THREADS {
+            let (outcome, par_stats) =
+                <IDom as ParallelCollecting<CountSt, u64, IStore>>::explore_frontier_parallel_governed(
+                    &step,
+                    SolveFrom::Fresh(CountSt(0)),
+                    threads,
+                    &widened,
+                )
+                .expect("parallel widened solve must not fault");
+            let Outcome::Complete(parallel) = outcome else {
+                panic!("{label}: widened parallel solve must converge at {threads} threads");
+            };
+            assert_eq!(
+                parallel, sequential,
+                "{label}: parallel != direct at {threads} threads"
+            );
+            assert_parallel_counters(
+                &format!("interval {label}"),
+                threads,
+                &seq_stats,
+                &par_stats,
+            );
+
+            // The elastic driver re-steps states it saw stale, so its
+            // widening counters are timing-dependent by design — only the
+            // fixpoint is pinned, at every (threads, epochs) grid point.
+            for epochs in ELASTIC_EPOCHS {
+                let (outcome, _) =
+                    <IDom as ParallelCollecting<CountSt, u64, IStore>>::explore_frontier_elastic_governed(
+                        &step,
+                        SolveFrom::Fresh(CountSt(0)),
+                        ParallelConfig { threads, epochs },
+                        &widened,
+                    )
+                    .expect("elastic widened solve must not fault");
+                let Outcome::Complete(elastic) = outcome else {
+                    panic!(
+                        "{label}: widened elastic solve must converge at {threads} threads, {epochs} epochs"
+                    );
+                };
+                assert_eq!(
+                    elastic, sequential,
+                    "{label}: elastic != direct at {threads} threads, {epochs} epochs"
+                );
+            }
+        }
+
+        // Soundness against the whole-domain widened Kleene oracle: the
+        // engines' per-address widening points are at least as precise,
+        // never unsound.
+        let oracle: IDom = mai_core::collect::explore_fp_widened::<
+            mai_core::monad::StorePassing<u64, IStore>,
+            CountSt,
+            IDom,
+            _,
+        >(m_counting_step(cap), CountSt(0), 3, 2);
+        assert!(
+            mai_core::Lattice::leq(&sequential, &oracle),
+            "{label}: engine fixpoint is not below the widened Kleene oracle"
+        );
     }
 }
 

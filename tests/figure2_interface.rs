@@ -29,6 +29,14 @@ fn concrete_interpreter_and_collecting_semantics_agree_on_termination() {
             collecting_halts,
             "{name}: concrete interpreter and concrete collecting semantics disagree"
         );
+        // A halting verdict must never rest on a truncated iterate: when
+        // the concrete run halts, the collecting run must actually have
+        // converged (the divergent programs are the only ones allowed to
+        // exhaust the Kleene bound).
+        assert!(
+            collecting.converged() || !concrete.halted(),
+            "{name}: halting classified from a truncated Kleene iterate"
+        );
     }
 }
 
