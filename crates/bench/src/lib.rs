@@ -1365,7 +1365,11 @@ pub struct WideningRow {
     /// every deterministic counter at `threads` workers.
     pub parallel_parity: bool,
     /// Whether the elastic driver reproduced the fixpoint (its widening
-    /// counters are timing-dependent and deliberately unchecked).
+    /// counters are timing-dependent and deliberately unchecked).  On
+    /// this single-cell workload the fixpoint itself is
+    /// schedule-independent — see the derivation at the parity solve —
+    /// which is what licenses asserting byte-equality for a driver whose
+    /// widening points are otherwise timing-dependent.
     pub elastic_parity: bool,
     /// Worker threads of the parallel/elastic parity solves.
     pub threads: usize,
@@ -1498,6 +1502,16 @@ pub fn widening_row(
         })
         .unwrap_or(false);
 
+    // Byte-equality is deliberate here even though elastic widening-point
+    // selection is timing-dependent: on this workload it is deterministic.
+    // The loop has a single interval cell whose lower bound never grows
+    // (every contribution is ⊒ [0, ..] once state 0's init lands) and
+    // whose upper bound grows every merge until widened, so *any*
+    // merge/point schedule drives the cell to exactly [0, +∞); the state
+    // set {0, 1, 2} is schedule-independent; and the narrowing pass is a
+    // pure function of that final pair.  A multi-cell workload would not
+    // support this assertion — elastic runs there are only guaranteed a
+    // sound post-fixpoint, not the sequential engines' bytes.
     let elastic_parity = <WideningDomain as ParallelCollecting<CountState, u64, IS>>::
         explore_frontier_elastic_governed(
             &step,

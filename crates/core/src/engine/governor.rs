@@ -128,7 +128,11 @@ pub struct WidenPolicy {
     /// How many descending (narrowing) passes to run after the widened
     /// ascent stabilises.  Narrowing is an engine-independent post-pass
     /// over the final accumulator, so it cannot break cross-engine
-    /// byte-identity.
+    /// byte-identity.  The pass honours the budget's wall-clock bounds
+    /// ([`Budget::interrupted`]): a deadline or cancellation stops the
+    /// refinement between state re-steps, returning the (sound, merely
+    /// less precise) store narrowed so far — the outcome stays
+    /// `Complete`, because the widened ascent already converged.
     pub narrow_passes: usize,
 }
 
@@ -240,10 +244,22 @@ impl Budget {
             && !self.cancel.is_cancelled()
     }
 
-    /// The round-boundary check: given the rounds completed and state
-    /// steps performed so far, should the solve stop, and why?
+    /// The wall-clock half of [`Budget::exhausted`]: cancellation and
+    /// deadline only, independent of the work counters.
+    ///
+    /// This is the check the narrowing post-pass polls between state
+    /// re-steps, so a governed solve with a deadline or a
+    /// [`CancelToken`] cannot overrun its bound inside the refinement
+    /// sweep.  The round/step budgets deliberately do *not* gate the
+    /// pass: the widened store is already a sound `Complete` result, the
+    /// pass's steps are not counted in
+    /// [`EngineStats`](crate::engine::EngineStats) (they are refinement,
+    /// not solve work), and a count-gated pass would truncate differently
+    /// across engines whose step counts legitimately differ (elastic vs.
+    /// sequential), breaking the cross-engine byte-identity of the
+    /// narrowed store.
     #[inline]
-    pub fn exhausted(&self, rounds: usize, steps: usize) -> Option<ExhaustReason> {
+    pub fn interrupted(&self) -> Option<ExhaustReason> {
         if self.cancel.is_cancelled() {
             return Some(ExhaustReason::Cancelled);
         }
@@ -251,6 +267,16 @@ impl Budget {
             if Instant::now() >= deadline {
                 return Some(ExhaustReason::DeadlineExpired);
             }
+        }
+        None
+    }
+
+    /// The round-boundary check: given the rounds completed and state
+    /// steps performed so far, should the solve stop, and why?
+    #[inline]
+    pub fn exhausted(&self, rounds: usize, steps: usize) -> Option<ExhaustReason> {
+        if let Some(reason) = self.interrupted() {
+            return Some(reason);
         }
         if let Some(max_rounds) = self.max_rounds {
             if rounds >= max_rounds {

@@ -480,15 +480,22 @@ impl<A: Address> WidenTracker<A> {
 /// caps the value, one image sweep recovers the cap), and the pass stops
 /// as soon as an iterate refines nothing, or after `passes` sweeps.
 ///
-/// The image is assembled exactly the way the engines fold contributions:
-/// each branch's result store restricted to the addresses it *changed*
-/// relative to the current accumulator.  A store-passing branch threads the
-/// whole store through, so the unrestricted image would contain the
-/// accumulator itself and be trivially inflationary — no bound could ever
-/// tighten.  The restricted image speaks only about addresses some branch
-/// actually refined; the store-level narrow leaves every other binding
-/// untouched, so a stable address can never be "narrowed" against an image
-/// that is merely silent about it.
+/// The image is assembled from what each branch actually **wrote**: the
+/// pre-store handed to a re-stepped state is armed for write journaling
+/// ([`StoreDelta::arm_write_journal`](crate::store::StoreDelta)), and each
+/// result branch's journal — exactly the addresses it bound or replaced,
+/// with the written values — is joined into the image.  This meets the
+/// contract the store-level narrow needs: `image(a)`, when present, is an
+/// upper bound of *every* producer's contribution at `a`, and a silent
+/// address is one **no producer wrote**, so leaving it untouched is sound.
+/// A value-level diff against the accumulator cannot provide this — a
+/// branch that writes exactly the current binding (say `x := y` with
+/// `y = [0,+∞)`) diffs as unchanged, and dropping it from the image would
+/// let another branch's tighter write (`x := [0,5]`) narrow the address
+/// below values that genuinely flow there.  A store that does not journal
+/// falls back to contributing its whole branch store — inflationary (a
+/// store-passing branch threads the accumulator through, so nothing
+/// tightens), but sound; only journaling stores recover precision.
 ///
 /// The pass is a pure function of the *final* `(states, store)` pair and
 /// the step function — no engine round structure enters it — so every
@@ -497,12 +504,19 @@ impl<A: Address> WidenTracker<A> {
 /// executions are deliberately **not** counted in [`EngineStats`]: the
 /// work-counter invariants (`store_joins == states_stepped` on fast-path
 /// runs, parallel-vs-sequential counter equality) describe the solve, and
-/// the refinement sweep is not part of the solve.
+/// the refinement sweep is not part of the solve.  For the same reason the
+/// budget's round/step limits do not gate the sweep — but its *wall-clock*
+/// bounds do: [`Budget::interrupted`] is polled between state re-steps,
+/// and a deadline or cancellation abandons the refinement early.  That is
+/// safe — the widened store is already a sound `Complete` result, and
+/// every completed `σ_{k+1} = σ_k △ F(σ_k)` iterate (the only thing an
+/// abort can skip) only refines it further.
 pub(crate) fn narrow_store_post_pass<Ps, G, S, F>(
     states: &BTreeSet<(Ps, G)>,
     store: &mut S,
     step: &F,
     passes: usize,
+    budget: &Budget,
 ) where
     Ps: Value + Ord + StateRoots,
     G: Value + Ord,
@@ -512,9 +526,16 @@ pub(crate) fn narrow_store_post_pass<Ps, G, S, F>(
     for _ in 0..passes {
         let mut image = S::bottom();
         for (ps, g) in states.iter() {
-            for ((_, _), s2) in step.step(ps.clone(), g.clone(), store.clone()) {
-                let changed = s2.changed_addresses(store);
-                image.join_in_place(s2.restrict_to(&changed));
+            if budget.interrupted().is_some() {
+                return;
+            }
+            let mut pre = store.clone();
+            pre.arm_write_journal();
+            for ((_, _), mut s2) in step.step(ps.clone(), g.clone(), pre) {
+                match s2.take_write_journal() {
+                    Some(written) => image.join_in_place(written),
+                    None => image.join_in_place(s2),
+                };
             }
         }
         if !store.narrow_in_place(image) {

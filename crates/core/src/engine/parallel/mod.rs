@@ -799,7 +799,13 @@ where
             // narrowed fixpoint is byte-identical to the sequential
             // engines' at every thread count.
             if budget.widen.enabled && budget.widen.narrow_passes > 0 {
-                narrow_store_post_pass(&states, &mut store, step, budget.widen.narrow_passes);
+                narrow_store_post_pass(
+                    &states,
+                    &mut store,
+                    step,
+                    budget.widen.narrow_passes,
+                    budget,
+                );
             }
             Outcome::Complete(SharedStoreDomain::from_parts(states, store))
         }

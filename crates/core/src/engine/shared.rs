@@ -660,7 +660,13 @@ where
                 // solve (an exhausted partial is not a post-fixpoint, so
                 // narrowing it would not be meaningful).
                 if budget.widen.enabled && budget.widen.narrow_passes > 0 {
-                    narrow_store_post_pass(&states, &mut store, step, budget.widen.narrow_passes);
+                    narrow_store_post_pass(
+                        &states,
+                        &mut store,
+                        step,
+                        budget.widen.narrow_passes,
+                        budget,
+                    );
                 }
                 (
                     Outcome::Complete(SharedStoreDomain::from_parts(states, store)),
@@ -842,6 +848,7 @@ where
             current.store_mut(),
             step,
             budget.widen.narrow_passes,
+            budget,
         );
     }
     let outcome = governed_outcome(current, exhausted);
@@ -1013,6 +1020,7 @@ where
                     current.store_mut(),
                     step,
                     budget.widen.narrow_passes,
+                    budget,
                 );
             }
             return (Outcome::Complete(current), stats);
@@ -1278,6 +1286,92 @@ mod tests {
         // stays in the accumulated domain: cumulative semantics never
         // un-discovers a state.
         assert!(interned.states().iter().any(|(ps, _)| ps.0 == 8));
+    }
+
+    /// States of the narrowing-soundness machine below.  States 1 and 2
+    /// both read cell 0, so both are re-enqueued as the loop widens it.
+    #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+    struct NarrowSt(u32);
+
+    impl StateRoots for NarrowSt {
+        type Addr = u8;
+
+        fn state_roots(&self) -> BTreeSet<u8> {
+            if self.0 == 1 || self.0 == 2 {
+                [0u8].into_iter().collect()
+            } else {
+                BTreeSet::new()
+            }
+        }
+    }
+
+    /// Regression test: the narrowing post-pass must treat a strong update
+    /// that *reproduces* the widened binding as a producer contribution.
+    ///
+    /// The machine is
+    ///
+    /// ```text
+    /// 0: x := 0                        → {1, 2, 3}
+    /// 1: x := x + 1                    → {1, 4}   (unbounded loop; widens
+    ///                                              cell 0 to [0,+∞))
+    /// 2: y := x                        → {4}      (strong-updates cell 1 to
+    ///                                              exactly [0,+∞))
+    /// 3: y := [0,5]                    → {4}
+    /// 4: halt
+    /// ```
+    ///
+    /// Cell 1's sound binding is `[0,+∞) ⊔ [0,5] = [0,+∞)`: the copier at
+    /// state 2 really can deposit any value `x` takes.  An image built from
+    /// each branch's *changed* addresses drops the copier (its write equals
+    /// the accumulated binding, so nothing diffs), sees only state 3's
+    /// `[0,5]`, and narrows cell 1 to the unsound `[0,5]`.  The write
+    /// journal records both strong updates, keeping the image at `[0,+∞)`.
+    #[test]
+    fn narrowing_keeps_reproducing_strong_updates_in_the_image() {
+        use super::super::governor::WidenPolicy;
+        use crate::lattice::Interval;
+        use crate::store::IntervalStore;
+
+        type IS = IntervalStore<u8>;
+        let step = |ps: NarrowSt, g: u64, s: IS| -> Vec<((NarrowSt, u64), IS)> {
+            match ps.0 {
+                0 => {
+                    let s = s.bind(0u8, Interval::singleton(0));
+                    vec![
+                        ((NarrowSt(1), g), s.clone()),
+                        ((NarrowSt(2), g), s.clone()),
+                        ((NarrowSt(3), g), s),
+                    ]
+                }
+                1 => {
+                    let x = s.fetch(&0u8);
+                    let incremented = x + Interval::singleton(1);
+                    vec![
+                        ((NarrowSt(4), g), s.clone()),
+                        ((NarrowSt(1), g), s.replace(0u8, incremented)),
+                    ]
+                }
+                2 => {
+                    let x = s.fetch(&0u8);
+                    vec![((NarrowSt(4), g), s.replace(1u8, x))]
+                }
+                3 => vec![((NarrowSt(4), g), s.replace(1u8, Interval::range(0, 5)))],
+                _ => vec![((ps, g), s)],
+            }
+        };
+
+        let budget = Budget::unlimited().with_widening(WidenPolicy::after_growths(3));
+        let (outcome, _) =
+            <SharedStoreDomain<NarrowSt, u64, IS> as DirectCollecting<NarrowSt, u64, IS>>::
+                explore_frontier_governed(&step, SolveFrom::Fresh(NarrowSt(0)), &budget);
+        let fixpoint = outcome.into_complete();
+
+        // The loop cell widens to [0,+∞) and narrowing cannot tighten it
+        // (the loop really is unbounded).
+        assert_eq!(fixpoint.store().fetch(&0u8), Interval::at_least(0));
+        // The copied cell must stay [0,+∞): the reproducing strong update
+        // at state 2 is a real producer even though it never diffs.
+        assert_eq!(fixpoint.store().fetch(&1u8), Interval::at_least(0));
     }
 
     #[test]

@@ -31,9 +31,45 @@ use super::{StoreDelta, StoreLike};
 /// address is its own widening point), and a [`StoreDelta`] whose
 /// [`StoreDelta::widen_in_place_delta`] actually widens — the override
 /// that makes the fixpoint engines terminate on numeric domains.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+///
+/// The store also journals its writes when armed
+/// ([`StoreDelta::arm_write_journal`]): `journal`, when present, maps each
+/// address written since arming to the written values (weak updates join,
+/// strong updates replace — mirroring the writes).  The journal is
+/// operational metadata for the engines' narrowing post-pass, **not**
+/// part of the store's value: equality, ordering and hashing see the
+/// bindings only, so an armed snapshot compares equal to its unarmed
+/// original.
+#[derive(Clone, Default)]
 pub struct IntervalStore<A: Ord> {
     bindings: PMap<A, Interval>,
+    journal: Option<PMap<A, Interval>>,
+}
+
+impl<A: Ord + Eq> PartialEq for IntervalStore<A> {
+    fn eq(&self, other: &Self) -> bool {
+        self.bindings == other.bindings
+    }
+}
+
+impl<A: Ord + Eq> Eq for IntervalStore<A> {}
+
+impl<A: Ord> PartialOrd for IntervalStore<A> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<A: Ord> Ord for IntervalStore<A> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.bindings.cmp(&other.bindings)
+    }
+}
+
+impl<A: Ord + std::hash::Hash> std::hash::Hash for IntervalStore<A> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.bindings.hash(state);
+    }
 }
 
 impl<A: Address> IntervalStore<A> {
@@ -41,6 +77,7 @@ impl<A: Address> IntervalStore<A> {
     pub fn new() -> Self {
         IntervalStore {
             bindings: PMap::new(),
+            journal: None,
         }
     }
 
@@ -104,12 +141,19 @@ impl<A: Address> WidenLattice for IntervalStore<A> {
 
     /// Point-wise narrowing of `self`'s bindings against `other`'s.
     ///
-    /// Addresses `other` does not bind are left untouched: at the store
-    /// level the narrowing image is assembled from change-restricted step
-    /// contributions (see the engines' narrowing post-pass), so a missing
-    /// binding means the image is *silent* about the address — every
-    /// producer reproduced the current binding exactly — not that the
-    /// address's value is `⊥`.
+    /// **Precondition (the caller's obligation):** wherever `other` binds
+    /// an address `a`, `other[a]` must be an upper bound of *every*
+    /// producer's contribution at `a` — including a producer whose write
+    /// reproduced the current binding exactly.  Addresses `other` does
+    /// not bind are left untouched: a missing binding means the image is
+    /// *silent* about the address — **no producer wrote it at all** — not
+    /// that the address's value is `⊥`.  The engines' narrowing post-pass
+    /// meets this contract by assembling the image from per-branch write
+    /// journals ([`StoreDelta::take_write_journal`]), which record every
+    /// write verbatim; a value-level diff against the accumulator would
+    /// *not* meet it, because a write of exactly the current value is
+    /// invisible to a diff and its exclusion would let another producer's
+    /// tighter write unsoundly narrow the address.
     fn narrow_in_place(&mut self, other: Self) -> bool {
         let mut changed = false;
         let addrs: Vec<A> = self.bindings.keys().cloned().collect();
@@ -131,10 +175,16 @@ impl<A: Address> StoreLike<A> for IntervalStore<A> {
     type D = Interval;
 
     fn bind_in_place(&mut self, a: A, d: Self::D) -> bool {
+        if let Some(journal) = &mut self.journal {
+            journal.join_at_in_place(a.clone(), d);
+        }
         self.bindings.join_at_in_place(a, d)
     }
 
     fn replace(mut self, a: A, d: Self::D) -> Self {
+        if let Some(journal) = &mut self.journal {
+            journal.insert(a.clone(), d);
+        }
         self.bindings.insert(a, d);
         self
     }
@@ -151,6 +201,10 @@ impl<A: Address> StoreLike<A> for IntervalStore<A> {
         self.bindings.get(a).is_some_and(|i| !i.is_bottom())
     }
 
+    // Restriction filters the *bindings* only: an armed snapshot keeps its
+    // journal intact, so a write that abstract GC later drops from the
+    // branch store still reaches the narrowing image (a larger image can
+    // only block tightening — sound).
     fn filter_store<F>(mut self, keep: F) -> Self
     where
         F: Fn(&A) -> bool,
@@ -203,6 +257,17 @@ impl<A: Address> StoreDelta<A> for IntervalStore<A> {
             }
         }
         changed
+    }
+
+    fn arm_write_journal(&mut self) {
+        self.journal = Some(PMap::new());
+    }
+
+    fn take_write_journal(&mut self) -> Option<Self> {
+        self.journal.take().map(|journal| IntervalStore {
+            bindings: journal,
+            journal: None,
+        })
     }
 }
 
@@ -282,6 +347,85 @@ mod tests {
         assert_eq!(s.fetch(&1), Interval::range(0, 10));
         assert_eq!(s.fetch(&2), Interval::range(0, 5));
         assert_eq!(s.finite_bound_count(), 2);
+    }
+
+    #[test]
+    fn journal_records_writes_not_diffs() {
+        let mut s = S::new().bind(1, Interval::at_least(0));
+        s.arm_write_journal();
+        // A strong update that *reproduces* the current binding diffs as
+        // unchanged but is a real producer contribution — the journal must
+        // record it (the narrowing image's soundness depends on this).
+        let mut s = s.replace(1, Interval::at_least(0));
+        // Weak updates join into the journal entry exactly as they join
+        // into the bindings.
+        s.bind_in_place(2, Interval::singleton(3));
+        s.bind_in_place(2, Interval::singleton(7));
+        let journal = s.take_write_journal().expect("store was armed");
+        assert_eq!(journal.fetch(&1), Interval::at_least(0));
+        assert_eq!(journal.fetch(&2), Interval::range(3, 7));
+        // Untouched addresses stay silent: silence means "no producer
+        // wrote this", which narrow_in_place must not confuse with ⊥.
+        assert!(!journal.contains(&3));
+        // Taking disarms: a second take has nothing to report.
+        assert!(s.take_write_journal().is_none());
+    }
+
+    #[test]
+    fn take_without_arming_is_none() {
+        let mut s = S::new().bind(1, Interval::singleton(0));
+        assert!(s.take_write_journal().is_none());
+    }
+
+    #[test]
+    fn journal_propagates_through_clone_and_branching() {
+        let mut pre = S::new().bind(1, Interval::range(0, 9));
+        pre.arm_write_journal();
+        // Store-passing branches clone the armed snapshot; each branch's
+        // journal accumulates independently after the split.
+        let mut exit = pre.clone();
+        let body = pre.replace(1, Interval::singleton(4));
+        let exit_journal = exit.take_write_journal().expect("clone stays armed");
+        assert!(!exit_journal.contains(&1), "pass-through wrote nothing");
+        let mut body = body;
+        let body_journal = body.take_write_journal().expect("branch stays armed");
+        assert_eq!(body_journal.fetch(&1), Interval::singleton(4));
+    }
+
+    #[test]
+    fn journal_survives_gc_restriction() {
+        let mut s = S::new();
+        s.arm_write_journal();
+        let s = s
+            .bind(1, Interval::singleton(2))
+            .bind(2, Interval::singleton(5));
+        // Abstract GC restricts the *bindings*; the journal keeps the
+        // dropped write so it still reaches the narrowing image.
+        let mut s = s.restrict_to(&[1u8].into_iter().collect());
+        assert!(!s.contains(&2));
+        let journal = s.take_write_journal().expect("restriction keeps the arm");
+        assert_eq!(journal.fetch(&2), Interval::singleton(5));
+    }
+
+    #[test]
+    fn identity_ignores_the_journal() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+
+        let plain = S::new().bind(1, Interval::range(0, 3));
+        let mut armed = plain.clone();
+        armed.arm_write_journal();
+        let armed = armed.replace(1, Interval::range(0, 3));
+        // Stores live inside state-space keys: arming (and the journal
+        // entries it accumulates) must be invisible to Eq/Ord/Hash.
+        assert_eq!(plain, armed);
+        assert_eq!(plain.cmp(&armed), std::cmp::Ordering::Equal);
+        let digest = |s: &S| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(digest(&plain), digest(&armed));
     }
 
     proptest! {

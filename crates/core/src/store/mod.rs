@@ -216,6 +216,48 @@ pub trait StoreDelta<A: Address>: StoreLike<A> {
         let _ = widen_at;
         self.join_in_place_delta(other)
     }
+
+    /// Arms write journaling on this store snapshot: from now on, every
+    /// semantic write ([`StoreLike::bind_in_place`] / [`StoreLike::bind`]
+    /// and [`StoreLike::replace`]) performed on this snapshot **or on any
+    /// store derived from it** (by `clone`, branch threading, GC
+    /// filtering) is recorded in a journal the derived store carries.
+    ///
+    /// The engines' narrowing post-pass arms the pre-store it hands to a
+    /// re-stepped state so that each result branch reports exactly what
+    /// that branch *wrote* — a store's value being unchanged after a step
+    /// cannot distinguish "the branch did not write the address" from
+    /// "the branch wrote exactly the current value", and the narrowing
+    /// image must include the latter (see
+    /// [`StoreDelta::take_write_journal`]).
+    ///
+    /// The default is a no-op: stores without journaling stay valid, and
+    /// the narrowing pass falls back to a coarser (but still sound)
+    /// image for them.  Accumulation folds
+    /// ([`StoreDelta::join_in_place_delta`] /
+    /// [`StoreDelta::widen_in_place_delta`]) are *not* writes and are
+    /// never journaled.
+    fn arm_write_journal(&mut self) {}
+
+    /// Takes this snapshot's write journal, as a store binding **exactly
+    /// the addresses written** since [`StoreDelta::arm_write_journal`],
+    /// each to the written co-domain values (weak updates join into the
+    /// journal entry; strong updates replace it, mirroring the writes
+    /// themselves).  Returns `None` when the store does not journal (or
+    /// was never armed); the journal is cleared by the take.
+    ///
+    /// This is the soundness primitive of the narrowing post-pass: the
+    /// decreasing image at an address must be an upper bound of **every**
+    /// producer's written contribution there, including a producer whose
+    /// write reproduced the current binding exactly.  The journal reports
+    /// such a write verbatim, where a value-level diff against the
+    /// accumulator would silently drop it.
+    fn take_write_journal(&mut self) -> Option<Self>
+    where
+        Self: Sized,
+    {
+        None
+    }
 }
 
 #[cfg(test)]
